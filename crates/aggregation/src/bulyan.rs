@@ -1,0 +1,150 @@
+//! Bulyan (Guerraoui & Rouault, ICML 2018 — reference [10] of the paper).
+
+use fedms_tensor::Tensor;
+
+use crate::rule::validate_models;
+use crate::{AggError, AggregationRule, Result};
+
+/// Bulyan: a two-stage rule that first selects `n − 2f` candidates by
+/// iterated Krum, then coordinate-wise averages the `n − 4f` values closest
+/// to the candidates' median.
+///
+/// Requires `n ≥ 4f + 3` inputs, the strongest requirement of the rules in
+/// this crate — the price for combining distance-based selection with
+/// coordinate-wise robustness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bulyan {
+    num_byzantine: usize,
+}
+
+impl Bulyan {
+    /// Creates the rule assuming at most `num_byzantine` malicious inputs.
+    pub fn new(num_byzantine: usize) -> Self {
+        Bulyan { num_byzantine }
+    }
+
+    /// The assumed Byzantine count `f`.
+    pub fn num_byzantine(&self) -> usize {
+        self.num_byzantine
+    }
+}
+
+impl AggregationRule for Bulyan {
+    fn name(&self) -> &'static str {
+        "bulyan"
+    }
+
+    fn aggregate(&self, models: &[Tensor]) -> Result<Tensor> {
+        let len = validate_models(models)?;
+        let n = models.len();
+        let f = self.num_byzantine;
+        if n < 4 * f + 3 {
+            return Err(AggError::TooFewModels { got: n, needed: 4 * f + 3 });
+        }
+        // Stage 1: select n − 2f candidates by Krum score (the same
+        // scoring Multi-Krum uses, but keeping the chosen set instead of
+        // averaging it away).
+        let select = n - 2 * f;
+        let krum_scores = crate::krum::krum_scores(models, f)?;
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            krum_scores[a]
+                .partial_cmp(&krum_scores[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let chosen: Vec<&Tensor> = order[..select].iter().map(|&i| &models[i]).collect();
+
+        // Stage 2: per coordinate, average the select − 2f values closest
+        // to the median of the chosen candidates.
+        let keep = select - 2 * f;
+        let mut out = vec![0.0f32; len];
+        let mut column: Vec<f32> = vec![0.0; select];
+        for (d, o) in out.iter_mut().enumerate() {
+            for (j, m) in chosen.iter().enumerate() {
+                column[j] = m.as_slice()[d];
+            }
+            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let median = if select % 2 == 1 {
+                column[select / 2]
+            } else {
+                0.5 * (column[select / 2 - 1] + column[select / 2])
+            };
+            // The `keep` values closest to the median form a contiguous
+            // window of the sorted column; slide to find the best window.
+            let mut best_start = 0usize;
+            let mut best_spread = f32::INFINITY;
+            for start in 0..=(select - keep) {
+                let spread = (column[start + keep - 1] - median)
+                    .abs()
+                    .max((column[start] - median).abs());
+                if spread < best_spread {
+                    best_spread = spread;
+                    best_start = start;
+                }
+            }
+            let window = &column[best_start..best_start + keep];
+            *o = (window.iter().map(|&v| v as f64).sum::<f64>() / keep as f64) as f32;
+        }
+        Ok(Tensor::from_vec(out, models[0].dims())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalars(vs: &[f32]) -> Vec<Tensor> {
+        vs.iter().map(|&v| Tensor::from_slice(&[v])).collect()
+    }
+
+    #[test]
+    fn requires_4f_plus_3() {
+        let models = scalars(&[1.0; 6]);
+        assert!(matches!(
+            Bulyan::new(1).aggregate(&models),
+            Err(AggError::TooFewModels { needed: 7, .. })
+        ));
+        assert!(Bulyan::new(1).aggregate(&scalars(&[1.0; 7])).is_ok());
+        assert_eq!(Bulyan::new(2).num_byzantine(), 2);
+    }
+
+    #[test]
+    fn identical_models_are_fixed_point() {
+        let models = scalars(&[3.5; 8]);
+        let out = Bulyan::new(1).aggregate(&models).unwrap();
+        assert_eq!(out.as_slice(), &[3.5]);
+    }
+
+    #[test]
+    fn robust_to_f_extreme_outliers() {
+        let mut vs = vec![1.0f32, 1.1, 0.9, 1.05, 0.95, 1.0];
+        vs.push(1e9); // f = 1 Byzantine
+        let out = Bulyan::new(1).aggregate(&scalars(&vs)).unwrap();
+        assert!((out.as_slice()[0] - 1.0).abs() < 0.2, "got {}", out.as_slice()[0]);
+    }
+
+    #[test]
+    fn output_within_honest_range() {
+        let honest = [0.5f32, 1.0, 1.5, 2.0, 2.5, 3.0];
+        let mut vs = honest.to_vec();
+        vs.push(-1e9);
+        let out = Bulyan::new(1).aggregate(&scalars(&vs)).unwrap().as_slice()[0];
+        assert!((0.5..=3.0).contains(&out), "got {out}");
+    }
+
+    #[test]
+    fn multi_dimensional_trims_per_coordinate() {
+        let mut models: Vec<Tensor> = (0..7)
+            .map(|i| Tensor::from_slice(&[i as f32 * 0.1, 1.0]))
+            .collect();
+        models[6] = Tensor::from_slice(&[0.3, 1e9]); // outlier in dim 1 only
+        let out = Bulyan::new(1).aggregate(&models).unwrap();
+        assert!(out.as_slice()[1] < 2.0, "dim-1 outlier must be trimmed");
+        assert!((out.as_slice()[0] - 0.3).abs() < 0.3);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Bulyan::new(0).aggregate(&[]).is_err());
+    }
+}

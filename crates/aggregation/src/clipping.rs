@@ -1,0 +1,128 @@
+//! Centered clipping (Karimireddy, He & Jaggi, ICML 2021) — a momentum-
+//! style robust aggregator contemporary with the paper.
+
+use fedms_tensor::Tensor;
+
+use crate::rule::validate_models;
+use crate::{AggError, AggregationRule, Result};
+
+/// Iterative centered clipping: starting from an estimate `v` (the
+/// coordinate-wise median here), repeat
+/// `v ← v + (1/n) Σ_i clip_τ(x_i − v)` where `clip_τ` scales a vector down
+/// to L2 norm `τ` if it exceeds it.
+///
+/// Bounded-influence by construction: a single Byzantine input can move the
+/// estimate by at most `τ/n` per iteration, whatever its magnitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CenteredClip {
+    tau: f32,
+    iters: usize,
+}
+
+impl CenteredClip {
+    /// Creates the rule with clipping radius `tau` and `iters` refinement
+    /// iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggError::BadParameter`] for non-positive `tau` or zero
+    /// iterations.
+    pub fn new(tau: f32, iters: usize) -> Result<Self> {
+        if !(tau.is_finite() && tau > 0.0) {
+            return Err(AggError::BadParameter(format!("tau must be positive, got {tau}")));
+        }
+        if iters == 0 {
+            return Err(AggError::BadParameter("need at least one iteration".into()));
+        }
+        Ok(CenteredClip { tau, iters })
+    }
+
+    /// The clipping radius τ.
+    pub fn tau(&self) -> f32 {
+        self.tau
+    }
+}
+
+impl AggregationRule for CenteredClip {
+    fn name(&self) -> &'static str {
+        "centered_clip"
+    }
+
+    fn aggregate(&self, models: &[Tensor]) -> Result<Tensor> {
+        validate_models(models)?;
+        // Robust initialisation: the coordinate-wise median.
+        let mut v = crate::CoordinateMedian::new().aggregate(models)?;
+        let n = models.len() as f32;
+        for _ in 0..self.iters {
+            let mut correction = Tensor::zeros(v.dims());
+            for m in models {
+                let mut delta = m.sub(&v)?;
+                let norm = delta.norm_l2();
+                if norm > self.tau {
+                    delta.scale(self.tau / norm);
+                }
+                correction.add_inplace(&delta)?;
+            }
+            correction.scale(1.0 / n);
+            v.add_inplace(&correction)?;
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalars(vs: &[f32]) -> Vec<Tensor> {
+        vs.iter().map(|&v| Tensor::from_slice(&[v])).collect()
+    }
+
+    #[test]
+    fn validates_parameters() {
+        assert!(CenteredClip::new(0.0, 3).is_err());
+        assert!(CenteredClip::new(-1.0, 3).is_err());
+        assert!(CenteredClip::new(f32::NAN, 3).is_err());
+        assert!(CenteredClip::new(1.0, 0).is_err());
+        assert_eq!(CenteredClip::new(2.0, 3).unwrap().tau(), 2.0);
+    }
+
+    #[test]
+    fn identical_models_are_fixed_point() {
+        let models = scalars(&[4.0; 6]);
+        let out = CenteredClip::new(1.0, 5).unwrap().aggregate(&models).unwrap();
+        assert!((out.as_slice()[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clean_inputs_converge_to_mean() {
+        let models = scalars(&[1.0, 2.0, 3.0]);
+        // τ large enough to never clip → plain mean after one iteration.
+        let out = CenteredClip::new(100.0, 3).unwrap().aggregate(&models).unwrap();
+        assert!((out.as_slice()[0] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn byzantine_influence_is_bounded_by_tau() {
+        let mut vs = vec![0.0f32; 9];
+        vs.push(1e9);
+        let out = CenteredClip::new(1.0, 3).unwrap().aggregate(&scalars(&vs)).unwrap();
+        // The outlier moves the estimate by at most iters·τ/n = 0.3.
+        assert!(out.as_slice()[0].abs() <= 0.3 + 1e-4, "got {}", out.as_slice()[0]);
+    }
+
+    #[test]
+    fn clips_in_l2_not_per_coordinate() {
+        // A 2-d outlier along one axis: clipping is on the vector norm.
+        let mut models = vec![Tensor::from_slice(&[0.0, 0.0]); 4];
+        models.push(Tensor::from_slice(&[10.0, 0.0]));
+        let out = CenteredClip::new(1.0, 1).unwrap().aggregate(&models).unwrap();
+        assert!(out.as_slice()[0] <= 0.2 + 1e-5);
+        assert_eq!(out.as_slice()[1], 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(CenteredClip::new(1.0, 1).unwrap().aggregate(&[]).is_err());
+    }
+}

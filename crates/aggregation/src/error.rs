@@ -1,0 +1,83 @@
+//! Error type for aggregation rules.
+
+use std::fmt;
+
+use fedms_tensor::TensorError;
+
+/// Errors produced by aggregation rules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// No models were supplied.
+    Empty,
+    /// The supplied models do not all share one shape.
+    ShapeDisagreement {
+        /// Index of the first offending model.
+        index: usize,
+    },
+    /// A rule parameter is invalid (trim rate, Byzantine count, …).
+    BadParameter(String),
+    /// Too few models for the rule's robustness requirement.
+    TooFewModels {
+        /// Models supplied.
+        got: usize,
+        /// Minimum the rule requires.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for AggError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AggError::Empty => write!(f, "no models to aggregate"),
+            AggError::ShapeDisagreement { index } => {
+                write!(f, "model {index} has a different shape from model 0")
+            }
+            AggError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+            AggError::TooFewModels { got, needed } => {
+                write!(f, "rule needs at least {needed} models, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AggError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AggError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for AggError {
+    fn from(e: TensorError) -> Self {
+        AggError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            AggError::Tensor(TensorError::Empty("x")),
+            AggError::Empty,
+            AggError::ShapeDisagreement { index: 3 },
+            AggError::BadParameter("beta".into()),
+            AggError::TooFewModels { got: 1, needed: 3 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AggError>();
+    }
+}

@@ -1,0 +1,138 @@
+//! Smoothed geometric median via the Weiszfeld iteration (Pillutla et al.,
+//! 2022 — reference [7]/[8] of the paper).
+
+use fedms_tensor::Tensor;
+
+use crate::rule::validate_models;
+use crate::{AggError, AggregationRule, Result};
+
+/// The geometric median: the point minimising the sum of Euclidean
+/// distances to the models, computed by damped Weiszfeld fixed-point
+/// iteration with an `ε` smoothing floor to avoid division blow-ups when the
+/// iterate lands on a model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricMedian {
+    max_iters: usize,
+    tolerance: f32,
+    epsilon: f32,
+}
+
+impl Default for GeometricMedian {
+    fn default() -> Self {
+        GeometricMedian { max_iters: 64, tolerance: 1e-6, epsilon: 1e-8 }
+    }
+}
+
+impl GeometricMedian {
+    /// Creates the rule with default iteration limits (64 iterations,
+    /// tolerance 1e-6).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the iteration budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggError::BadParameter`] for a zero iteration budget or
+    /// non-positive tolerance.
+    pub fn with_budget(max_iters: usize, tolerance: f32) -> Result<Self> {
+        if max_iters == 0 {
+            return Err(AggError::BadParameter("need at least one iteration".into()));
+        }
+        if !(tolerance.is_finite() && tolerance > 0.0) {
+            return Err(AggError::BadParameter(format!("bad tolerance {tolerance}")));
+        }
+        Ok(GeometricMedian { max_iters, tolerance, epsilon: 1e-8 })
+    }
+}
+
+impl AggregationRule for GeometricMedian {
+    fn name(&self) -> &'static str {
+        "geometric_median"
+    }
+
+    fn aggregate(&self, models: &[Tensor]) -> Result<Tensor> {
+        let len = validate_models(models)?;
+        // Start from the coordinate-wise mean.
+        let mut current = crate::Mean::new().aggregate(models)?;
+        let mut next = vec![0.0f64; len];
+        for _ in 0..self.max_iters {
+            next.iter_mut().for_each(|v| *v = 0.0);
+            let mut weight_sum = 0.0f64;
+            for m in models {
+                let dist = m.sub(&current)?.norm_l2().max(self.epsilon) as f64;
+                let w = 1.0 / dist;
+                weight_sum += w;
+                for (acc, &v) in next.iter_mut().zip(m.as_slice()) {
+                    *acc += w * v as f64;
+                }
+            }
+            let candidate: Vec<f32> =
+                next.iter().map(|&v| (v / weight_sum) as f32).collect();
+            let candidate = Tensor::from_vec(candidate, current.dims())?;
+            let moved = candidate.sub(&current)?.norm_l2();
+            current = candidate;
+            if moved <= self.tolerance {
+                break;
+            }
+        }
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalars(vs: &[f32]) -> Vec<Tensor> {
+        vs.iter().map(|&v| Tensor::from_slice(&[v])).collect()
+    }
+
+    #[test]
+    fn scalar_geometric_median_is_median() {
+        let out = GeometricMedian::new().aggregate(&scalars(&[1.0, 2.0, 100.0])).unwrap();
+        assert!((out.as_slice()[0] - 2.0).abs() < 0.1, "got {}", out.as_slice()[0]);
+    }
+
+    #[test]
+    fn symmetric_cluster_converges_to_center() {
+        let models = vec![
+            Tensor::from_slice(&[1.0, 0.0]),
+            Tensor::from_slice(&[-1.0, 0.0]),
+            Tensor::from_slice(&[0.0, 1.0]),
+            Tensor::from_slice(&[0.0, -1.0]),
+        ];
+        let out = GeometricMedian::new().aggregate(&models).unwrap();
+        assert!(out.norm_l2() < 1e-4);
+    }
+
+    #[test]
+    fn robust_to_single_far_outlier() {
+        let mut models = vec![Tensor::from_slice(&[0.0, 0.0]); 6];
+        models.push(Tensor::from_slice(&[1e6, 1e6]));
+        let out = GeometricMedian::new().aggregate(&models).unwrap();
+        assert!(out.norm_l2() < 1.0, "outlier pulled the median to {out}");
+    }
+
+    #[test]
+    fn identical_models_are_fixed_point() {
+        let models = vec![Tensor::from_slice(&[3.0, -1.0]); 5];
+        let out = GeometricMedian::new().aggregate(&models).unwrap();
+        assert!((out.as_slice()[0] - 3.0).abs() < 1e-5);
+        assert!((out.as_slice()[1] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn budget_validation() {
+        assert!(GeometricMedian::with_budget(0, 1e-6).is_err());
+        assert!(GeometricMedian::with_budget(10, 0.0).is_err());
+        assert!(GeometricMedian::with_budget(10, f32::NAN).is_err());
+        assert!(GeometricMedian::with_budget(10, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(GeometricMedian::new().aggregate(&[]).is_err());
+    }
+}

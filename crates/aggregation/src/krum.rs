@@ -1,0 +1,182 @@
+//! Krum and Multi-Krum selection (Blanchard et al., NeurIPS 2017 —
+//! reference [9] of the paper).
+
+use fedms_tensor::Tensor;
+
+use crate::rule::validate_models;
+use crate::{AggError, AggregationRule, Result};
+
+/// Computes each model's Krum score: the sum of its squared distances to
+/// its `n − f − 2` nearest neighbours.
+pub(crate) fn krum_scores(models: &[Tensor], f: usize) -> Result<Vec<f64>> {
+    let n = models.len();
+    let closest = n - f - 2;
+    let mut dist2 = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = models[i].sub(&models[j])?.norm_l2_sq() as f64;
+            dist2[i][j] = d;
+            dist2[j][i] = d;
+        }
+    }
+    let mut scores = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut ds: Vec<f64> =
+            (0..n).filter(|&j| j != i).map(|j| dist2[i][j]).collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        scores.push(ds[..closest].iter().sum());
+    }
+    Ok(scores)
+}
+
+fn check_count(n: usize, f: usize) -> Result<()> {
+    // Krum requires n ≥ f + 3 so each model has n − f − 2 ≥ 1 neighbours.
+    if n < f + 3 {
+        return Err(AggError::TooFewModels { got: n, needed: f + 3 });
+    }
+    Ok(())
+}
+
+/// Krum: selects the single model with the smallest sum of squared
+/// distances to its `n − f − 2` nearest neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Krum {
+    num_byzantine: usize,
+}
+
+impl Krum {
+    /// Creates the rule assuming at most `num_byzantine` malicious inputs.
+    pub fn new(num_byzantine: usize) -> Self {
+        Krum { num_byzantine }
+    }
+
+    /// The assumed Byzantine count `f`.
+    pub fn num_byzantine(&self) -> usize {
+        self.num_byzantine
+    }
+}
+
+impl AggregationRule for Krum {
+    fn name(&self) -> &'static str {
+        "krum"
+    }
+
+    fn aggregate(&self, models: &[Tensor]) -> Result<Tensor> {
+        validate_models(models)?;
+        check_count(models.len(), self.num_byzantine)?;
+        let scores = krum_scores(models, self.num_byzantine)?;
+        let best = scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .ok_or(AggError::Empty)?;
+        Ok(models[best].clone())
+    }
+}
+
+/// Multi-Krum: averages the `m` models with the best Krum scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiKrum {
+    num_byzantine: usize,
+    select: usize,
+}
+
+impl MultiKrum {
+    /// Creates the rule: tolerate `num_byzantine` inputs, average the best
+    /// `select` candidates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggError::BadParameter`] if `select == 0`.
+    pub fn new(num_byzantine: usize, select: usize) -> Result<Self> {
+        if select == 0 {
+            return Err(AggError::BadParameter("must select at least one model".into()));
+        }
+        Ok(MultiKrum { num_byzantine, select })
+    }
+}
+
+impl AggregationRule for MultiKrum {
+    fn name(&self) -> &'static str {
+        "multi_krum"
+    }
+
+    fn aggregate(&self, models: &[Tensor]) -> Result<Tensor> {
+        validate_models(models)?;
+        let n = models.len();
+        check_count(n, self.num_byzantine)?;
+        if self.select > n {
+            return Err(AggError::TooFewModels { got: n, needed: self.select });
+        }
+        let scores = krum_scores(models, self.num_byzantine)?;
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let chosen: Vec<Tensor> =
+            order[..self.select].iter().map(|&i| models[i].clone()).collect();
+        crate::Mean::new().aggregate(&chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_with_outlier() -> Vec<Tensor> {
+        vec![
+            Tensor::from_slice(&[1.0, 1.0]),
+            Tensor::from_slice(&[1.1, 0.9]),
+            Tensor::from_slice(&[0.9, 1.1]),
+            Tensor::from_slice(&[1.05, 1.0]),
+            Tensor::from_slice(&[100.0, -100.0]),
+        ]
+    }
+
+    #[test]
+    fn krum_picks_cluster_member() {
+        let out = Krum::new(1).aggregate(&cluster_with_outlier()).unwrap();
+        assert!(out.as_slice()[0] < 2.0, "Krum must not select the outlier");
+    }
+
+    #[test]
+    fn krum_requires_enough_models() {
+        let models = vec![Tensor::zeros(&[2]); 3];
+        assert!(matches!(
+            Krum::new(1).aggregate(&models),
+            Err(AggError::TooFewModels { .. })
+        ));
+        assert!(Krum::new(0).aggregate(&models).is_ok());
+        assert_eq!(Krum::new(2).num_byzantine(), 2);
+    }
+
+    #[test]
+    fn krum_identical_models_returns_them() {
+        let models = vec![Tensor::from_slice(&[5.0]); 4];
+        let out = Krum::new(1).aggregate(&models).unwrap();
+        assert_eq!(out.as_slice(), &[5.0]);
+    }
+
+    #[test]
+    fn multi_krum_averages_selection() {
+        let out = MultiKrum::new(1, 3).unwrap().aggregate(&cluster_with_outlier()).unwrap();
+        // Average of three cluster members stays near (1, 1).
+        assert!((out.as_slice()[0] - 1.0).abs() < 0.2);
+        assert!((out.as_slice()[1] - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn multi_krum_validates() {
+        assert!(MultiKrum::new(1, 0).is_err());
+        let models = vec![Tensor::zeros(&[2]); 4];
+        assert!(MultiKrum::new(1, 5).unwrap().aggregate(&models).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        assert!(Krum::new(0).aggregate(&[]).is_err());
+        let mixed = vec![Tensor::zeros(&[2]), Tensor::zeros(&[3])];
+        assert!(Krum::new(0).aggregate(&mixed).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Plain averaging (FedAvg / "Vanilla FL").
+
+use fedms_tensor::Tensor;
+
+use crate::rule::validate_models;
+use crate::{AggregationRule, Result};
+
+/// The arithmetic mean of all models — no Byzantine protection.
+///
+/// This is both what each benign PS computes over the client uploads it
+/// receives (Algorithm 1 line 4) and the filter of the paper's "Vanilla FL"
+/// baseline, whose accuracy collapses under server-side attacks (Fig. 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mean;
+
+impl Mean {
+    /// Creates the rule.
+    pub fn new() -> Self {
+        Mean
+    }
+}
+
+impl AggregationRule for Mean {
+    fn name(&self) -> &'static str {
+        "mean"
+    }
+
+    fn aggregate(&self, models: &[Tensor]) -> Result<Tensor> {
+        let len = validate_models(models)?;
+        let inv = 1.0 / models.len() as f32;
+        let mut acc = vec![0.0f64; len];
+        for m in models {
+            for (a, &v) in acc.iter_mut().zip(m.as_slice()) {
+                *a += v as f64;
+            }
+        }
+        let data: Vec<f32> = acc.into_iter().map(|v| v as f32 * inv).collect();
+        Ok(Tensor::from_vec(data, models[0].dims())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_elementwise() {
+        let models =
+            vec![Tensor::from_slice(&[1.0, 10.0]), Tensor::from_slice(&[3.0, 20.0])];
+        let m = Mean::new().aggregate(&models).unwrap();
+        assert_eq!(m.as_slice(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn single_model_is_identity() {
+        let m = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(Mean::new().aggregate(&[m.clone()]).unwrap(), m);
+    }
+
+    #[test]
+    fn preserves_shape() {
+        let models = vec![Tensor::zeros(&[2, 3]); 4];
+        assert_eq!(Mean::new().aggregate(&models).unwrap().dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Mean::new().aggregate(&[]).is_err());
+        assert!(Mean::new()
+            .aggregate(&[Tensor::zeros(&[2]), Tensor::zeros(&[3])])
+            .is_err());
+    }
+
+    #[test]
+    fn one_outlier_shifts_mean() {
+        // Demonstrates the vulnerability trimmed mean fixes.
+        let mut models = vec![Tensor::from_slice(&[1.0]); 9];
+        models.push(Tensor::from_slice(&[1000.0]));
+        let m = Mean::new().aggregate(&models).unwrap();
+        assert!(m.as_slice()[0] > 100.0);
+    }
+}

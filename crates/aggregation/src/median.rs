@@ -1,0 +1,91 @@
+//! Coordinate-wise median aggregation (Yin et al., 2018).
+
+use fedms_tensor::Tensor;
+
+use crate::rule::validate_models;
+use crate::{AggregationRule, Result};
+
+/// The coordinate-wise median: in every dimension, the median of the
+/// received values (mean of the two central values for even counts).
+///
+/// The strongest trimming limit of the trimmed-mean family; used as a
+/// baseline filter in the ablation benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoordinateMedian;
+
+impl CoordinateMedian {
+    /// Creates the rule.
+    pub fn new() -> Self {
+        CoordinateMedian
+    }
+}
+
+impl AggregationRule for CoordinateMedian {
+    fn name(&self) -> &'static str {
+        "coordinate_median"
+    }
+
+    fn aggregate(&self, models: &[Tensor]) -> Result<Tensor> {
+        let len = validate_models(models)?;
+        let n = models.len();
+        let mut out = vec![0.0f32; len];
+        let mut column = vec![0.0f32; n];
+        for (d, o) in out.iter_mut().enumerate() {
+            for (j, m) in models.iter().enumerate() {
+                column[j] = m.as_slice()[d];
+            }
+            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            *o = if n % 2 == 1 {
+                column[n / 2]
+            } else {
+                0.5 * (column[n / 2 - 1] + column[n / 2])
+            };
+        }
+        Ok(Tensor::from_vec(out, models[0].dims())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalars(vs: &[f32]) -> Vec<Tensor> {
+        vs.iter().map(|&v| Tensor::from_slice(&[v])).collect()
+    }
+
+    #[test]
+    fn odd_count_takes_middle() {
+        let out = CoordinateMedian::new().aggregate(&scalars(&[5.0, 1.0, 3.0])).unwrap();
+        assert_eq!(out.as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn even_count_averages_center() {
+        let out = CoordinateMedian::new().aggregate(&scalars(&[1.0, 2.0, 3.0, 10.0])).unwrap();
+        assert_eq!(out.as_slice(), &[2.5]);
+    }
+
+    #[test]
+    fn robust_to_minority_outliers() {
+        let out = CoordinateMedian::new()
+            .aggregate(&scalars(&[1.0, 1.0, 1.0, 1e9, -1e9]))
+            .unwrap();
+        assert_eq!(out.as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn per_dimension() {
+        let models = vec![
+            Tensor::from_slice(&[0.0, 9.0]),
+            Tensor::from_slice(&[1.0, 8.0]),
+            Tensor::from_slice(&[2.0, 7.0]),
+        ];
+        let out = CoordinateMedian::new().aggregate(&models).unwrap();
+        assert_eq!(out.as_slice(), &[1.0, 8.0]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(CoordinateMedian::new().aggregate(&[]).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Norm-bounding: a cheap pre-filter that caps each model's influence.
+
+use fedms_tensor::Tensor;
+
+use crate::rule::validate_models;
+use crate::{AggError, AggregationRule, Result};
+
+/// Norm-bounded averaging: every model is rescaled (if needed) so its L2
+/// norm does not exceed `factor ×` the median model norm, then averaged.
+///
+/// A standard, cheap defence layer (used e.g. by production FL systems as
+/// a first gate): it cannot stop direction-level attacks, but makes
+/// magnitude-based blow-ups (Random, amplified updates) impossible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormBound {
+    factor: f32,
+}
+
+impl NormBound {
+    /// Creates the rule with a cap at `factor ×` the median norm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggError::BadParameter`] for non-positive or non-finite
+    /// `factor`.
+    pub fn new(factor: f32) -> Result<Self> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(AggError::BadParameter(format!(
+                "norm-bound factor must be positive, got {factor}"
+            )));
+        }
+        Ok(NormBound { factor })
+    }
+
+    /// The cap factor over the median norm.
+    pub fn factor(&self) -> f32 {
+        self.factor
+    }
+}
+
+impl AggregationRule for NormBound {
+    fn name(&self) -> &'static str {
+        "norm_bound"
+    }
+
+    fn aggregate(&self, models: &[Tensor]) -> Result<Tensor> {
+        validate_models(models)?;
+        let mut norms: Vec<f32> = models.iter().map(Tensor::norm_l2).collect();
+        norms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = norms.len();
+        let median = if n % 2 == 1 {
+            norms[n / 2]
+        } else {
+            0.5 * (norms[n / 2 - 1] + norms[n / 2])
+        };
+        let cap = self.factor * median;
+        let bounded: Vec<Tensor> = models
+            .iter()
+            .map(|m| {
+                let norm = m.norm_l2();
+                if cap > 0.0 && norm > cap {
+                    m.scaled(cap / norm)
+                } else {
+                    m.clone()
+                }
+            })
+            .collect();
+        crate::Mean::new().aggregate(&bounded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalars(vs: &[f32]) -> Vec<Tensor> {
+        vs.iter().map(|&v| Tensor::from_slice(&[v])).collect()
+    }
+
+    #[test]
+    fn validates_factor() {
+        assert!(NormBound::new(0.0).is_err());
+        assert!(NormBound::new(f32::NAN).is_err());
+        assert_eq!(NormBound::new(2.0).unwrap().factor(), 2.0);
+    }
+
+    #[test]
+    fn clean_inputs_pass_through_as_mean() {
+        let models = scalars(&[1.0, 2.0, 3.0]);
+        let out = NormBound::new(2.0).unwrap().aggregate(&models).unwrap();
+        assert!((out.as_slice()[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn magnitude_outlier_is_capped() {
+        let mut vs = vec![1.0f32; 9];
+        vs.push(1e9);
+        let out = NormBound::new(2.0).unwrap().aggregate(&scalars(&vs)).unwrap();
+        // The outlier contributes at most 2·median = 2 → mean ≤ (9 + 2)/10.
+        assert!(out.as_slice()[0] <= 1.1 + 1e-5, "got {}", out.as_slice()[0]);
+    }
+
+    #[test]
+    fn direction_attacks_pass_untouched() {
+        // Sign-flipped model with honest magnitude is NOT caught — the
+        // documented limitation versus trimming.
+        let models = scalars(&[1.0, 1.0, 1.0, -1.0]);
+        let out = NormBound::new(2.0).unwrap().aggregate(&models).unwrap();
+        assert!((out.as_slice()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_zero_models_are_fixed_point() {
+        let models = scalars(&[0.0; 5]);
+        let out = NormBound::new(2.0).unwrap().aggregate(&models).unwrap();
+        assert_eq!(out.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(NormBound::new(1.0).unwrap().aggregate(&[]).is_err());
+    }
+}

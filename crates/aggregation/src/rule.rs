@@ -1,0 +1,62 @@
+//! The [`AggregationRule`] trait and shared input validation.
+
+use fedms_tensor::Tensor;
+
+use crate::{AggError, Result};
+
+/// A rule that combines several same-shape model tensors into one.
+///
+/// Implementations must be deterministic functions of their input (the
+/// simulator relies on this for reproducibility) and must tolerate any
+/// *values* — Byzantine inputs may contain arbitrary finite floats.
+///
+/// The trait is object-safe; experiment harnesses select rules at runtime
+/// via `Box<dyn AggregationRule>`.
+pub trait AggregationRule: Send + Sync {
+    /// A short identifier used in experiment output (e.g. `"trimmed_mean"`).
+    fn name(&self) -> &'static str;
+
+    /// Aggregates `models` into a single tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggError::Empty`] for an empty slice,
+    /// [`AggError::ShapeDisagreement`] if shapes differ, and rule-specific
+    /// errors (e.g. [`AggError::TooFewModels`]) otherwise.
+    fn aggregate(&self, models: &[Tensor]) -> Result<Tensor>;
+}
+
+/// Validates the common preconditions shared by all rules: at least one
+/// model, all with identical shapes. Returns the common length.
+///
+/// # Errors
+///
+/// Returns [`AggError::Empty`] or [`AggError::ShapeDisagreement`].
+pub(crate) fn validate_models(models: &[Tensor]) -> Result<usize> {
+    let Some(first) = models.first() else {
+        return Err(AggError::Empty);
+    };
+    for (i, m) in models.iter().enumerate().skip(1) {
+        if m.shape() != first.shape() {
+            return Err(AggError::ShapeDisagreement { index: i });
+        }
+    }
+    Ok(first.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_empty_and_mismatched() {
+        assert!(matches!(validate_models(&[]), Err(AggError::Empty)));
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(matches!(
+            validate_models(&[a.clone(), b]),
+            Err(AggError::ShapeDisagreement { index: 1 })
+        ));
+        assert_eq!(validate_models(&[a.clone(), a]).unwrap(), 2);
+    }
+}

@@ -1,0 +1,198 @@
+//! The coordinate-wise β-trimmed mean — Fed-MS's model filter.
+
+use fedms_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::rule::validate_models;
+use crate::{AggError, AggregationRule, Result};
+
+/// Trimmed mean of a scalar sample: drops the `trim` smallest and `trim`
+/// largest values, then averages the rest. Exposed for the Lemma-2
+/// experiment, which studies the scalar case directly.
+///
+/// # Errors
+///
+/// Returns [`AggError::TooFewModels`] if fewer than `2·trim + 1` values are
+/// supplied.
+pub fn trimmed_mean_scalars(values: &[f32], trim: usize) -> Result<f32> {
+    let needed = 2 * trim + 1;
+    if values.len() < needed {
+        return Err(AggError::TooFewModels { got: values.len(), needed });
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let kept = &sorted[trim..sorted.len() - trim];
+    Ok((kept.iter().map(|&v| v as f64).sum::<f64>() / kept.len() as f64) as f32)
+}
+
+/// Coordinate-wise β-trimmed mean (the paper's `trmean_β{·}`, Algorithm 1
+/// line 13).
+///
+/// In every dimension the `⌊β·P⌋` largest and `⌊β·P⌋` smallest entries are
+/// discarded and the rest averaged. With `β = B/P` this tolerates up to `B`
+/// Byzantine servers per dimension (Lemma 2 bounds the residual error by
+/// `4P/(P−2B)² · η²E²G²`).
+///
+/// The paper's experiments use `β = 0.2` (Fed-MS) and `β = 0.1`
+/// (Fed-MS⁻, an intentionally under-trimmed ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrimmedMean {
+    beta: f64,
+}
+
+impl TrimmedMean {
+    /// Creates the filter with trim rate `beta ∈ [0, 0.5)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggError::BadParameter`] for `beta` outside `[0, 0.5)` or
+    /// non-finite.
+    pub fn new(beta: f64) -> Result<Self> {
+        if !(beta.is_finite() && (0.0..0.5).contains(&beta)) {
+            return Err(AggError::BadParameter(format!(
+                "trim rate must be in [0, 0.5), got {beta}"
+            )));
+        }
+        Ok(TrimmedMean { beta })
+    }
+
+    /// The trim rate β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Number of entries trimmed from *each* side for `n` models.
+    pub fn trim_count(&self, n: usize) -> usize {
+        (self.beta * n as f64).floor() as usize
+    }
+}
+
+impl AggregationRule for TrimmedMean {
+    fn name(&self) -> &'static str {
+        "trimmed_mean"
+    }
+
+    fn aggregate(&self, models: &[Tensor]) -> Result<Tensor> {
+        let len = validate_models(models)?;
+        let n = models.len();
+        let trim = self.trim_count(n);
+        if n <= 2 * trim {
+            return Err(AggError::TooFewModels { got: n, needed: 2 * trim + 1 });
+        }
+        let kept = n - 2 * trim;
+        let inv = 1.0 / kept as f64;
+        let mut out = vec![0.0f32; len];
+        let mut column = vec![0.0f32; n];
+        for (d, o) in out.iter_mut().enumerate() {
+            for (j, m) in models.iter().enumerate() {
+                column[j] = m.as_slice()[d];
+            }
+            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let sum: f64 = column[trim..n - trim].iter().map(|&v| v as f64).sum();
+            *o = (sum * inv) as f32;
+        }
+        Ok(Tensor::from_vec(out, models[0].dims())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalars(vs: &[f32]) -> Vec<Tensor> {
+        vs.iter().map(|&v| Tensor::from_slice(&[v])).collect()
+    }
+
+    #[test]
+    fn validates_beta() {
+        assert!(TrimmedMean::new(-0.1).is_err());
+        assert!(TrimmedMean::new(0.5).is_err());
+        assert!(TrimmedMean::new(f64::NAN).is_err());
+        assert!(TrimmedMean::new(0.0).is_ok());
+        assert!(TrimmedMean::new(0.49).is_ok());
+    }
+
+    #[test]
+    fn papers_worked_example() {
+        // trmean_0.2{1,2,3,4,5} = (2+3+4)/3 = 3 (Section IV-B).
+        let out = TrimmedMean::new(0.2).unwrap().aggregate(&scalars(&[1.0, 2.0, 3.0, 4.0, 5.0]));
+        assert_eq!(out.unwrap().as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn beta_zero_equals_mean() {
+        let models = scalars(&[1.0, 2.0, 6.0]);
+        let out = TrimmedMean::new(0.0).unwrap().aggregate(&models).unwrap();
+        assert_eq!(out.as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn trim_count_floor() {
+        let t = TrimmedMean::new(0.2).unwrap();
+        assert_eq!(t.trim_count(10), 2);
+        assert_eq!(t.trim_count(5), 1);
+        assert_eq!(t.trim_count(4), 0);
+        assert_eq!(t.beta(), 0.2);
+    }
+
+    #[test]
+    fn robust_to_extreme_outliers() {
+        // 8 honest models at 1.0, 2 Byzantine at ±1e9; β=0.2 trims them.
+        let mut vs = vec![1.0f32; 8];
+        vs.push(1e9);
+        vs.push(-1e9);
+        let out = TrimmedMean::new(0.2).unwrap().aggregate(&scalars(&vs)).unwrap();
+        assert_eq!(out.as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn trims_per_dimension_independently() {
+        // Byzantine model is extreme in dim 0 only; dim 1 honest.
+        let models = vec![
+            Tensor::from_slice(&[0.0, 0.0]),
+            Tensor::from_slice(&[1.0, 1.0]),
+            Tensor::from_slice(&[2.0, 2.0]),
+            Tensor::from_slice(&[3.0, 3.0]),
+            Tensor::from_slice(&[1e9, 2.0]),
+        ];
+        let out = TrimmedMean::new(0.2).unwrap().aggregate(&models).unwrap();
+        assert_eq!(out.as_slice()[0], 2.0); // (1+2+3)/3
+        assert_eq!(out.as_slice()[1], (1.0 + 2.0 + 2.0) / 3.0);
+    }
+
+    #[test]
+    fn small_samples_degrade_to_mean() {
+        // β < 0.5 guarantees 2·⌊βn⌋ < n, so any non-empty sample is valid;
+        // when ⌊βn⌋ = 0 the rule degrades gracefully to the plain mean.
+        let out = TrimmedMean::new(0.4).unwrap().aggregate(&scalars(&[1.0, 2.0])).unwrap();
+        assert_eq!(out.as_slice(), &[1.5]);
+        // 0.4 · 3 → trim 1 per side, keep the median.
+        let out =
+            TrimmedMean::new(0.4).unwrap().aggregate(&scalars(&[1.0, 2.0, 9.0])).unwrap();
+        assert_eq!(out.as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn scalar_helper_matches_rule() {
+        let vs = [5.0f32, -2.0, 8.0, 0.0, 3.0, 7.0, 1.0];
+        let a = trimmed_mean_scalars(&vs, 2).unwrap();
+        let models = scalars(&vs);
+        // trim 2 of 7 → β must satisfy floor(7β) == 2; β = 0.3.
+        let b = TrimmedMean::new(0.3).unwrap().aggregate(&models).unwrap().as_slice()[0];
+        assert!((a - b).abs() < 1e-6);
+        assert!(trimmed_mean_scalars(&vs, 3).is_ok());
+        assert!(trimmed_mean_scalars(&vs, 4).is_err());
+    }
+
+    #[test]
+    fn output_bounded_by_honest_range_when_minority_byzantine() {
+        // Lemma-2 style guarantee: with trim ≥ B, the trimmed mean lies
+        // within the honest values' range.
+        let honest = [0.5f32, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0];
+        let mut vs = honest.to_vec();
+        vs.push(1e6);
+        vs.push(-1e6);
+        let out = trimmed_mean_scalars(&vs, 2).unwrap();
+        assert!(out >= 0.5 && out <= 4.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests of the aggregation-rule robustness invariants —
+//! in particular the order-statistics sandwich that powers Lemma 2.
+
+use fedms_aggregation::{
+    trimmed_mean_scalars, AggregationRule, Bulyan, CenteredClip, CoordinateMedian,
+    GeometricMedian, Krum, Mean, NormBound, TrimmedMean,
+};
+use fedms_tensor::Tensor;
+use proptest::prelude::*;
+
+fn models_strategy(n: usize, d: usize) -> impl Strategy<Value = Vec<Tensor>> {
+    proptest::collection::vec(proptest::collection::vec(-50.0f32..50.0, d), n)
+        .prop_map(|vs| vs.into_iter().map(|v| Tensor::from_slice(&v)).collect())
+}
+
+proptest! {
+    /// Lemma 2's core fact: with `trim ≥ B` tampered values, every
+    /// coordinate of the trimmed mean lies within [min, max] of the honest
+    /// values.
+    #[test]
+    fn trimmed_mean_bounded_by_honest_range(
+        honest in proptest::collection::vec(-10.0f32..10.0, 8),
+        byz in proptest::collection::vec(-1e6f32..1e6, 2),
+    ) {
+        let mut all = honest.clone();
+        all.extend_from_slice(&byz);
+        let out = trimmed_mean_scalars(&all, 2).unwrap();
+        let lo = honest.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = honest.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(out >= lo - 1e-4 && out <= hi + 1e-4, "out {out} not in [{lo}, {hi}]");
+    }
+
+    /// The paper's order-statistics sandwich (equation 7):
+    /// `p_{k-B} ≤ q_k ≤ p_{k+B}` after tampering B of P sorted scalars.
+    #[test]
+    fn order_statistics_sandwich(
+        honest in proptest::collection::vec(-100.0f32..100.0, 10),
+        byz in proptest::collection::vec(-1e5f32..1e5, 3),
+        positions in proptest::collection::vec(0usize..10, 3),
+    ) {
+        let b = 3usize;
+        let mut p = honest.clone();
+        p.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let mut tampered = honest;
+        for (slot, (&pos, &val)) in positions.iter().zip(byz.iter()).enumerate() {
+            let _ = slot;
+            tampered[pos] = val; // may overwrite fewer than B distinct slots — still ≤ B tampered
+        }
+        let mut q = tampered;
+        q.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for k in b..(10 - b) {
+            prop_assert!(q[k] >= p[k - b] - 1e-4);
+            prop_assert!(q[k] <= p[k + b] + 1e-4);
+        }
+    }
+
+    /// All rules agree on identical inputs: aggregate({m, m, …}) = m.
+    #[test]
+    fn rules_fix_identical_inputs(v in proptest::collection::vec(-10.0f32..10.0, 6)) {
+        let m = Tensor::from_slice(&v);
+        let models = vec![m.clone(); 7];
+        let rules: Vec<Box<dyn AggregationRule>> = vec![
+            Box::new(Mean::new()),
+            Box::new(TrimmedMean::new(0.2).unwrap()),
+            Box::new(CoordinateMedian::new()),
+            Box::new(GeometricMedian::new()),
+            Box::new(Krum::new(2)),
+        ];
+        for rule in rules {
+            let out = rule.aggregate(&models).unwrap();
+            for (a, b) in out.as_slice().iter().zip(m.as_slice()) {
+                prop_assert!((a - b).abs() < 1e-4, "{} drifted", rule.name());
+            }
+        }
+    }
+
+    /// Permutation invariance: shuffling the model list never changes the
+    /// trimmed mean, median, or mean.
+    #[test]
+    fn permutation_invariance(models in models_strategy(9, 5), rot in 1usize..8) {
+        let mut rotated = models.clone();
+        rotated.rotate_left(rot);
+        for rule in [&TrimmedMean::new(0.2).unwrap() as &dyn AggregationRule,
+                     &Mean::new(), &CoordinateMedian::new()] {
+            let a = rule.aggregate(&models).unwrap();
+            let b = rule.aggregate(&rotated).unwrap();
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// Translation equivariance: aggregate(models + c) = aggregate(models) + c.
+    #[test]
+    fn translation_equivariance(models in models_strategy(7, 4), c in -20.0f32..20.0) {
+        let shifted: Vec<Tensor> = models.iter().map(|m| m.add_scalar(c)).collect();
+        for rule in [&TrimmedMean::new(0.2).unwrap() as &dyn AggregationRule,
+                     &Mean::new(), &CoordinateMedian::new()] {
+            let a = rule.aggregate(&models).unwrap();
+            let b = rule.aggregate(&shifted).unwrap();
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                prop_assert!((x + c - y).abs() < 1e-2, "{} not equivariant", rule.name());
+            }
+        }
+    }
+
+    /// Trimmed mean interpolates between mean (β=0) and median (β→0.5):
+    /// its output always lies within the per-coordinate sample range.
+    #[test]
+    fn trimmed_mean_within_sample_range(models in models_strategy(10, 3)) {
+        let out = TrimmedMean::new(0.3).unwrap().aggregate(&models).unwrap();
+        for d in 0..3 {
+            let col: Vec<f32> = models.iter().map(|m| m.as_slice()[d]).collect();
+            let lo = col.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = col.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(out.as_slice()[d] >= lo - 1e-4);
+            prop_assert!(out.as_slice()[d] <= hi + 1e-4);
+        }
+    }
+
+    /// Krum always returns one of its inputs.
+    #[test]
+    fn krum_returns_an_input(models in models_strategy(6, 4)) {
+        let out = Krum::new(1).aggregate(&models).unwrap();
+        prop_assert!(models.iter().any(|m| m == &out));
+    }
+
+    /// Every rule (including the newer baselines) fixes identical inputs.
+    #[test]
+    fn newer_rules_fix_identical_inputs(v in proptest::collection::vec(-10.0f32..10.0, 5)) {
+        let m = Tensor::from_slice(&v);
+        let models = vec![m.clone(); 8];
+        let rules: Vec<Box<dyn AggregationRule>> = vec![
+            Box::new(Bulyan::new(1)),
+            Box::new(CenteredClip::new(1.0, 3).unwrap()),
+            Box::new(NormBound::new(2.0).unwrap()),
+        ];
+        for rule in rules {
+            let out = rule.aggregate(&models).unwrap();
+            for (a, b) in out.as_slice().iter().zip(m.as_slice()) {
+                prop_assert!((a - b).abs() < 1e-3, "{} drifted", rule.name());
+            }
+        }
+    }
+
+    /// Centered clipping's output never strays more than iters·τ from the
+    /// coordinate-wise median it starts at.
+    #[test]
+    fn centered_clip_bounded_displacement(
+        models in models_strategy(7, 4),
+        tau in 0.1f32..5.0,
+    ) {
+        let median = CoordinateMedian::new().aggregate(&models).unwrap();
+        let out = CenteredClip::new(tau, 3).unwrap().aggregate(&models).unwrap();
+        let moved = out.sub(&median).unwrap().norm_l2();
+        prop_assert!(moved <= 3.0 * tau + 1e-3, "moved {moved} with tau {tau}");
+    }
+
+    /// Norm-bounding caps every contribution: the output norm never exceeds
+    /// factor × the median input norm (triangle inequality over the mean).
+    #[test]
+    fn norm_bound_output_norm_capped(models in models_strategy(9, 4), factor in 0.5f32..3.0) {
+        let mut norms: Vec<f32> = models.iter().map(Tensor::norm_l2).collect();
+        norms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = norms[4];
+        let out = NormBound::new(factor).unwrap().aggregate(&models).unwrap();
+        prop_assert!(out.norm_l2() <= factor * median + 1e-3);
+    }
+
+    /// Bulyan's output stays within the per-coordinate range of its inputs.
+    #[test]
+    fn bulyan_within_sample_range(models in models_strategy(7, 3)) {
+        let out = Bulyan::new(1).aggregate(&models).unwrap();
+        for d in 0..3 {
+            let col: Vec<f32> = models.iter().map(|m| m.as_slice()[d]).collect();
+            let lo = col.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = col.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(out.as_slice()[d] >= lo - 1e-4);
+            prop_assert!(out.as_slice()[d] <= hi + 1e-4);
+        }
+    }
+}

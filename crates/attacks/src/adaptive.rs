@@ -1,0 +1,147 @@
+//! An adaptive adversary that changes its attack over time.
+//!
+//! The paper grants Byzantine servers full knowledge of the FL state and
+//! the ability to "adapt their behaviors according to the obtained
+//! information" (Section III-A). [`RotatingAttack`] is the canonical
+//! stress test for that clause: it cycles through a pool of behaviours on a
+//! fixed period, defeating any defence tuned to a single attack signature.
+
+use fedms_tensor::Tensor;
+use rand::rngs::StdRng;
+
+use crate::{AttackContext, AttackError, Result, ServerAttack};
+
+/// Cycles through a pool of attacks, switching every `period` rounds.
+///
+/// Equivocation status is the OR of the pool: if any phase equivocates,
+/// per-client dissemination is used throughout (consistent phases simply
+/// send every client the same model).
+pub struct RotatingAttack {
+    pool: Vec<Box<dyn ServerAttack>>,
+    period: usize,
+}
+
+impl std::fmt::Debug for RotatingAttack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RotatingAttack")
+            .field("pool", &self.pool.iter().map(|a| a.name()).collect::<Vec<_>>())
+            .field("period", &self.period)
+            .finish()
+    }
+}
+
+impl RotatingAttack {
+    /// Creates a rotation over `pool`, switching every `period` rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadParameter`] for an empty pool or zero
+    /// period.
+    pub fn new(pool: Vec<Box<dyn ServerAttack>>, period: usize) -> Result<Self> {
+        if pool.is_empty() {
+            return Err(AttackError::BadParameter("rotation pool must be non-empty".into()));
+        }
+        if period == 0 {
+            return Err(AttackError::BadParameter("rotation period must be positive".into()));
+        }
+        Ok(RotatingAttack { pool, period })
+    }
+
+    fn current(&self, round: usize) -> &dyn ServerAttack {
+        let phase = (round / self.period) % self.pool.len();
+        self.pool[phase].as_ref()
+    }
+
+    /// The attack active at `round` (for test/diagnostic introspection).
+    pub fn active_name(&self, round: usize) -> &'static str {
+        self.current(round).name()
+    }
+}
+
+impl ServerAttack for RotatingAttack {
+    fn name(&self) -> &'static str {
+        "rotating"
+    }
+
+    fn tamper(&self, ctx: &AttackContext<'_>, rng: &mut StdRng) -> Result<Tensor> {
+        self.current(ctx.round()).tamper(ctx, rng)
+    }
+
+    fn tamper_for(
+        &self,
+        ctx: &AttackContext<'_>,
+        client_id: usize,
+        rng: &mut StdRng,
+    ) -> Result<Tensor> {
+        self.current(ctx.round()).tamper_for(ctx, client_id, rng)
+    }
+
+    fn is_equivocating(&self) -> bool {
+        self.pool.iter().any(|a| a.is_equivocating())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttackKind, Benign, Equivocation, RandomAttack, ZeroAttack};
+    use fedms_tensor::rng::rng_for;
+
+    fn pool() -> Vec<Box<dyn ServerAttack>> {
+        vec![Box::new(Benign::new()), Box::new(ZeroAttack::new())]
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(RotatingAttack::new(vec![], 2).is_err());
+        assert!(RotatingAttack::new(pool(), 0).is_err());
+        assert!(RotatingAttack::new(pool(), 2).is_ok());
+    }
+
+    #[test]
+    fn rotates_on_schedule() {
+        let r = RotatingAttack::new(pool(), 2).unwrap();
+        assert_eq!(r.active_name(0), "benign");
+        assert_eq!(r.active_name(1), "benign");
+        assert_eq!(r.active_name(2), "zero");
+        assert_eq!(r.active_name(3), "zero");
+        assert_eq!(r.active_name(4), "benign");
+    }
+
+    #[test]
+    fn dispatches_to_active_phase() {
+        let r = RotatingAttack::new(pool(), 1).unwrap();
+        let a = Tensor::from_slice(&[5.0]);
+        let mut rng = rng_for(0, &[]);
+        // Round 0 → benign (identity), round 1 → zero.
+        let ctx0 = AttackContext::new(0, 0, &a, &[], 3);
+        assert_eq!(r.tamper(&ctx0, &mut rng).unwrap().as_slice(), &[5.0]);
+        let ctx1 = AttackContext::new(1, 0, &a, &[], 3);
+        assert_eq!(r.tamper(&ctx1, &mut rng).unwrap().as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn equivocation_is_pool_or() {
+        let plain = RotatingAttack::new(pool(), 1).unwrap();
+        assert!(!plain.is_equivocating());
+        let mixed: Vec<Box<dyn ServerAttack>> = vec![
+            Box::new(Benign::new()),
+            Box::new(Equivocation::new(RandomAttack::default_range(), 7)),
+        ];
+        let r = RotatingAttack::new(mixed, 1).unwrap();
+        assert!(r.is_equivocating());
+    }
+
+    #[test]
+    fn composes_with_attack_kinds() {
+        let pool: Vec<Box<dyn ServerAttack>> = AttackKind::paper_suite()
+            .iter()
+            .map(|k| k.build().expect("paper suite builds"))
+            .collect();
+        let r = RotatingAttack::new(pool, 5).unwrap();
+        assert_eq!(r.active_name(0), "noise");
+        assert_eq!(r.active_name(5), "random");
+        assert_eq!(r.active_name(10), "safeguard");
+        assert_eq!(r.active_name(15), "backward");
+    }
+}

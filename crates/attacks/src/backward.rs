@@ -1,0 +1,99 @@
+//! The Backward attack: staleness / replay.
+
+use fedms_tensor::Tensor;
+use rand::rngs::StdRng;
+
+use crate::{AttackContext, AttackError, Result, ServerAttack};
+
+/// The lagging attack of Section VI-A: disseminates the aggregation result
+/// from `delay` rounds ago (`ã_{t+1} = a_{t+1−T}`, with `T = 2` in the
+/// paper). While the run is younger than `delay` rounds the oldest
+/// available aggregate is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackwardAttack {
+    delay: usize,
+}
+
+impl BackwardAttack {
+    /// Creates the attack replaying the aggregate from `delay` rounds ago.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadParameter`] for `delay == 0` (that would be
+    /// honest behaviour).
+    pub fn new(delay: usize) -> Result<Self> {
+        if delay == 0 {
+            return Err(AttackError::BadParameter("delay 0 is not an attack".into()));
+        }
+        Ok(BackwardAttack { delay })
+    }
+
+    /// The paper's `T = 2`.
+    pub fn paper_default() -> Self {
+        BackwardAttack { delay: 2 }
+    }
+
+    /// The staleness in rounds.
+    pub fn delay(&self) -> usize {
+        self.delay
+    }
+}
+
+impl ServerAttack for BackwardAttack {
+    fn name(&self) -> &'static str {
+        "backward"
+    }
+
+    fn tamper(&self, ctx: &AttackContext<'_>, _rng: &mut StdRng) -> Result<Tensor> {
+        if let Some(stale) = ctx.aggregate_rounds_ago(self.delay) {
+            return Ok(stale.clone());
+        }
+        // Run younger than `delay`: replay the oldest state we have.
+        Ok(ctx.history().first().unwrap_or(ctx.true_aggregate()).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedms_tensor::rng::rng_for;
+
+    #[test]
+    fn validates_delay() {
+        assert!(BackwardAttack::new(0).is_err());
+        assert_eq!(BackwardAttack::paper_default().delay(), 2);
+    }
+
+    #[test]
+    fn replays_stale_aggregate() {
+        let hist = vec![
+            Tensor::from_slice(&[1.0]),
+            Tensor::from_slice(&[2.0]),
+            Tensor::from_slice(&[3.0]),
+        ];
+        let a = Tensor::from_slice(&[4.0]);
+        let ctx = AttackContext::new(3, 0, &a, &hist, 5);
+        let mut rng = rng_for(1, &[]);
+        let out = BackwardAttack::paper_default().tamper(&ctx, &mut rng).unwrap();
+        assert_eq!(out.as_slice(), &[2.0], "T=2 replays a_{{t-1}}");
+    }
+
+    #[test]
+    fn young_run_uses_oldest() {
+        let hist = vec![Tensor::from_slice(&[1.0])];
+        let a = Tensor::from_slice(&[2.0]);
+        let ctx = AttackContext::new(1, 0, &a, &hist, 5);
+        let mut rng = rng_for(1, &[]);
+        let out = BackwardAttack::new(5).unwrap().tamper(&ctx, &mut rng).unwrap();
+        assert_eq!(out.as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn round_zero_passes_current() {
+        let a = Tensor::from_slice(&[2.0]);
+        let ctx = AttackContext::new(0, 0, &a, &[], 5);
+        let mut rng = rng_for(1, &[]);
+        let out = BackwardAttack::paper_default().tamper(&ctx, &mut rng).unwrap();
+        assert_eq!(out.as_slice(), &[2.0]);
+    }
+}

@@ -1,0 +1,95 @@
+//! The adaptive-adversary knowledge passed to attacks.
+
+use fedms_tensor::Tensor;
+
+/// Everything a Byzantine server knows when it tampers: the paper grants
+/// the adversary "full knowledge on the FEEL algorithm, the history and
+/// current state of the FL process".
+#[derive(Debug, Clone, Copy)]
+pub struct AttackContext<'a> {
+    round: usize,
+    server_id: usize,
+    true_aggregate: &'a Tensor,
+    history: &'a [Tensor],
+    num_clients: usize,
+}
+
+impl<'a> AttackContext<'a> {
+    /// Builds a context for `round` on server `server_id`.
+    ///
+    /// `history` holds this server's *true* aggregates from previous rounds,
+    /// oldest first (so `history.last()` is the previous round's
+    /// aggregate); `true_aggregate` is the honest result of the current
+    /// round.
+    pub fn new(
+        round: usize,
+        server_id: usize,
+        true_aggregate: &'a Tensor,
+        history: &'a [Tensor],
+        num_clients: usize,
+    ) -> Self {
+        AttackContext { round, server_id, true_aggregate, history, num_clients }
+    }
+
+    /// The current training round (0-based).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// This server's index.
+    pub fn server_id(&self) -> usize {
+        self.server_id
+    }
+
+    /// The honest aggregation result of the current round.
+    pub fn true_aggregate(&self) -> &Tensor {
+        self.true_aggregate
+    }
+
+    /// Past true aggregates, oldest first.
+    pub fn history(&self) -> &[Tensor] {
+        self.history
+    }
+
+    /// The aggregate from `delay` rounds ago (`delay = 1` is the previous
+    /// round); `None` if the run is too young.
+    pub fn aggregate_rounds_ago(&self, delay: usize) -> Option<&Tensor> {
+        if delay == 0 {
+            return Some(self.true_aggregate);
+        }
+        self.history.len().checked_sub(delay).map(|i| &self.history[i])
+    }
+
+    /// Number of clients in the federation.
+    pub fn num_clients(&self) -> usize {
+        self.num_clients
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        let a = Tensor::from_slice(&[1.0]);
+        let hist = vec![Tensor::from_slice(&[-1.0]), Tensor::from_slice(&[0.0])];
+        let ctx = AttackContext::new(2, 4, &a, &hist, 50);
+        assert_eq!(ctx.round(), 2);
+        assert_eq!(ctx.server_id(), 4);
+        assert_eq!(ctx.num_clients(), 50);
+        assert_eq!(ctx.true_aggregate(), &a);
+        assert_eq!(ctx.history().len(), 2);
+    }
+
+    #[test]
+    fn rounds_ago_lookup() {
+        let a = Tensor::from_slice(&[2.0]);
+        let hist = vec![Tensor::from_slice(&[0.0]), Tensor::from_slice(&[1.0])];
+        let ctx = AttackContext::new(2, 0, &a, &hist, 1);
+        assert_eq!(ctx.aggregate_rounds_ago(0).unwrap().as_slice(), &[2.0]);
+        assert_eq!(ctx.aggregate_rounds_ago(1).unwrap().as_slice(), &[1.0]);
+        assert_eq!(ctx.aggregate_rounds_ago(2).unwrap().as_slice(), &[0.0]);
+        assert!(ctx.aggregate_rounds_ago(3).is_none());
+    }
+}

@@ -1,0 +1,107 @@
+//! Equivocation: inconsistent per-client dissemination.
+
+use fedms_tensor::rng::derive_seed;
+use fedms_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{AttackContext, Result, ServerAttack};
+
+/// Upgrades any attack to the paper's worst case: "a Byzantine PS can send
+/// various tampered models to different clients. Such a Byzantine behavior
+/// cannot be detected since the clients cannot directly communicate with
+/// each other."
+///
+/// Each client receives an *independently sampled* tampering: the wrapped
+/// attack is re-run with a per-client RNG stream, so stochastic attacks
+/// (Noise, Random) produce genuinely different models per client, while
+/// deterministic attacks (Backward, Safeguard) stay consistent — matching
+/// their information-theoretic limits.
+#[derive(Debug)]
+pub struct Equivocation<A> {
+    inner: A,
+    salt: u64,
+}
+
+impl<A: ServerAttack> Equivocation<A> {
+    /// Wraps `inner`, seeding the per-client streams from `salt`.
+    pub fn new(inner: A, salt: u64) -> Self {
+        Equivocation { inner, salt }
+    }
+
+    /// The wrapped attack.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: ServerAttack> ServerAttack for Equivocation<A> {
+    fn name(&self) -> &'static str {
+        "equivocation"
+    }
+
+    fn tamper(&self, ctx: &AttackContext<'_>, rng: &mut StdRng) -> Result<Tensor> {
+        self.inner.tamper(ctx, rng)
+    }
+
+    fn tamper_for(
+        &self,
+        ctx: &AttackContext<'_>,
+        client_id: usize,
+        _rng: &mut StdRng,
+    ) -> Result<Tensor> {
+        let seed = derive_seed(
+            self.salt,
+            &[ctx.round() as u64, ctx.server_id() as u64, client_id as u64],
+        );
+        let mut client_rng = StdRng::seed_from_u64(seed);
+        self.inner.tamper(ctx, &mut client_rng)
+    }
+
+    fn is_equivocating(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NoiseAttack, RandomAttack};
+    use fedms_tensor::rng::rng_for;
+
+    #[test]
+    fn different_clients_get_different_models() {
+        let a = Tensor::zeros(&[16]);
+        let ctx = AttackContext::new(0, 0, &a, &[], 5);
+        let atk = Equivocation::new(RandomAttack::default_range(), 7);
+        let mut rng = rng_for(0, &[]);
+        let x = atk.tamper_for(&ctx, 0, &mut rng).unwrap();
+        let y = atk.tamper_for(&ctx, 1, &mut rng).unwrap();
+        assert_ne!(x, y);
+        assert!(atk.is_equivocating());
+    }
+
+    #[test]
+    fn same_client_same_round_is_stable() {
+        let a = Tensor::zeros(&[16]);
+        let ctx = AttackContext::new(3, 1, &a, &[], 5);
+        let atk = Equivocation::new(NoiseAttack::new(1.0).unwrap(), 7);
+        let mut rng = rng_for(0, &[]);
+        let x = atk.tamper_for(&ctx, 2, &mut rng).unwrap();
+        let y = atk.tamper_for(&ctx, 2, &mut rng).unwrap();
+        assert_eq!(x, y, "per-client stream must not depend on caller rng state");
+    }
+
+    #[test]
+    fn rounds_decorrelate_streams() {
+        let a = Tensor::zeros(&[16]);
+        let atk = Equivocation::new(NoiseAttack::new(1.0).unwrap(), 7);
+        let mut rng = rng_for(0, &[]);
+        let ctx0 = AttackContext::new(0, 0, &a, &[], 5);
+        let ctx1 = AttackContext::new(1, 0, &a, &[], 5);
+        let x = atk.tamper_for(&ctx0, 0, &mut rng).unwrap();
+        let y = atk.tamper_for(&ctx1, 0, &mut rng).unwrap();
+        assert_ne!(x, y);
+        assert_eq!(atk.inner().std(), 1.0);
+    }
+}

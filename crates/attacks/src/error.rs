@@ -1,0 +1,55 @@
+//! Error type for attack construction and application.
+
+use std::fmt;
+
+use fedms_tensor::TensorError;
+
+/// Errors produced when building or applying an attack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An attack parameter is invalid (negative noise, empty range, …).
+    BadParameter(String),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AttackError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for AttackError {
+    fn from(e: TensorError) -> Self {
+        AttackError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!AttackError::BadParameter("std".into()).to_string().is_empty());
+        assert!(!AttackError::Tensor(TensorError::Empty("x")).to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

@@ -1,0 +1,151 @@
+//! Server-side Byzantine attack models for the Fed-MS reproduction.
+//!
+//! The paper (Section VI-A) deploys four attacks on the Byzantine parameter
+//! servers, all of which tamper with the server's *true* aggregation result
+//! before dissemination:
+//!
+//! * [`NoiseAttack`] — adds Gaussian noise to the true aggregate,
+//! * [`RandomAttack`] — replaces the aggregate with uniform `[-10, 10]`
+//!   values,
+//! * [`SafeguardAttack`] — reverse-gradient: `ã = a − γ(a − a_prev)` with
+//!   `γ = 0.6`,
+//! * [`BackwardAttack`] — staleness: replays the aggregate from `T` rounds
+//!   ago (`T = 2` in the paper).
+//!
+//! Additional behaviours round out the threat model: [`SignFlipAttack`],
+//! [`ZeroAttack`], the honest [`Benign`] control, and [`Equivocation`],
+//! which upgrades any attack to the paper's worst case of sending
+//! *different* tampered models to different clients.
+//!
+//! Attacks receive an [`AttackContext`] carrying the adaptive-adversary
+//! knowledge the paper grants: the current true aggregate, the full history
+//! of past aggregates, and round/topology metadata.
+//!
+//! # Example
+//!
+//! ```
+//! use fedms_attacks::{AttackContext, RandomAttack, ServerAttack};
+//! use fedms_tensor::rng::rng_for;
+//! use fedms_tensor::Tensor;
+//!
+//! let honest = Tensor::zeros(&[4]);
+//! let ctx = AttackContext::new(0, 0, &honest, &[], 50);
+//! let mut rng = rng_for(1, &[]);
+//! let tampered = RandomAttack::default_range().tamper(&ctx, &mut rng)?;
+//! assert!(tampered.as_slice().iter().all(|v| (-10.0..10.0).contains(v)));
+//! # Ok::<(), fedms_attacks::AttackError>(())
+//! ```
+
+mod adaptive;
+mod backward;
+mod client;
+mod context;
+mod equivocation;
+mod error;
+mod kind;
+mod noise;
+mod random;
+mod safeguard;
+mod signflip;
+mod stealth;
+
+pub use adaptive::RotatingAttack;
+pub use backward::BackwardAttack;
+pub use client::{ClientAttack, ClientAttackContext, ClientAttackKind};
+pub use context::AttackContext;
+pub use equivocation::Equivocation;
+pub use error::AttackError;
+pub use kind::AttackKind;
+pub use noise::NoiseAttack;
+pub use random::RandomAttack;
+pub use safeguard::SafeguardAttack;
+pub use signflip::{SignFlipAttack, ZeroAttack};
+pub use stealth::{AlieAttack, IpmAttack};
+
+use fedms_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Crate-wide `Result` alias using [`AttackError`].
+pub type Result<T> = std::result::Result<T, AttackError>;
+
+/// A Byzantine behaviour mounted on a parameter server.
+///
+/// Implementations tamper with the server's true aggregation result before
+/// dissemination. The paper's adversary is *adaptive*: it sees the full FL
+/// state via [`AttackContext`] and may derive its output from it.
+///
+/// Determinism contract: given equal context and RNG state, an attack must
+/// produce identical output (the simulator replays runs bit-exactly).
+pub trait ServerAttack: Send + Sync {
+    /// Short identifier used in experiment output (e.g. `"noise"`).
+    fn name(&self) -> &'static str;
+
+    /// Produces the tampered model broadcast to *all* clients this round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError`] if the context is unusable (e.g. shape
+    /// problems); well-formed contexts never fail.
+    fn tamper(&self, ctx: &AttackContext<'_>, rng: &mut StdRng) -> Result<Tensor>;
+
+    /// Produces the tampered model sent to one specific client. The default
+    /// forwards to [`ServerAttack::tamper`] (consistent dissemination);
+    /// equivocating attacks override this.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServerAttack::tamper`].
+    fn tamper_for(
+        &self,
+        ctx: &AttackContext<'_>,
+        _client_id: usize,
+        rng: &mut StdRng,
+    ) -> Result<Tensor> {
+        self.tamper(ctx, rng)
+    }
+
+    /// Whether dissemination may differ per client (the paper's worst case).
+    fn is_equivocating(&self) -> bool {
+        false
+    }
+}
+
+/// The honest control behaviour: disseminates the true aggregate unchanged.
+///
+/// Used for the `ε = 0%` rows of Figure 3 and as the behaviour of benign
+/// servers everywhere.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Benign;
+
+impl Benign {
+    /// Creates the behaviour.
+    pub fn new() -> Self {
+        Benign
+    }
+}
+
+impl ServerAttack for Benign {
+    fn name(&self) -> &'static str {
+        "benign"
+    }
+
+    fn tamper(&self, ctx: &AttackContext<'_>, _rng: &mut StdRng) -> Result<Tensor> {
+        Ok(ctx.true_aggregate().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedms_tensor::rng::rng_for;
+
+    #[test]
+    fn benign_is_identity() {
+        let a = Tensor::from_slice(&[1.0, -2.0]);
+        let ctx = AttackContext::new(3, 1, &a, &[], 10);
+        let mut rng = rng_for(0, &[]);
+        assert_eq!(Benign::new().tamper(&ctx, &mut rng).unwrap(), a);
+        assert!(!Benign::new().is_equivocating());
+        assert_eq!(Benign::new().tamper_for(&ctx, 5, &mut rng).unwrap(), a);
+    }
+}

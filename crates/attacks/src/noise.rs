@@ -1,0 +1,100 @@
+//! The Noise attack: Gaussian perturbation of the true aggregate.
+
+use fedms_tensor::Tensor;
+use rand::rngs::StdRng;
+
+use crate::{AttackContext, AttackError, Result, ServerAttack};
+
+/// Adds i.i.d. Gaussian noise `N(0, std²)` to every coordinate of the true
+/// aggregation result (Section VI-A: "introduces a Gaussian noise to the
+/// true aggregation result, causing perturbation").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseAttack {
+    std: f32,
+}
+
+impl NoiseAttack {
+    /// Creates the attack with noise standard deviation `std`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadParameter`] for negative or non-finite
+    /// `std`.
+    pub fn new(std: f32) -> Result<Self> {
+        if !(std.is_finite() && std >= 0.0) {
+            return Err(AttackError::BadParameter(format!(
+                "noise std must be non-negative, got {std}"
+            )));
+        }
+        Ok(NoiseAttack { std })
+    }
+
+    /// The noise level used by the experiment harness (calibrated so that
+    /// un-defended averaging degrades visibly but does not immediately
+    /// diverge, matching the paper's "mild" attack).
+    pub fn paper_default() -> Self {
+        NoiseAttack { std: 1.0 }
+    }
+
+    /// The noise standard deviation.
+    pub fn std(&self) -> f32 {
+        self.std
+    }
+}
+
+impl ServerAttack for NoiseAttack {
+    fn name(&self) -> &'static str {
+        "noise"
+    }
+
+    fn tamper(&self, ctx: &AttackContext<'_>, rng: &mut StdRng) -> Result<Tensor> {
+        let mut out = ctx.true_aggregate().clone();
+        if self.std > 0.0 {
+            let noise = Tensor::randn(rng, out.dims(), 0.0, self.std);
+            out.add_inplace(&noise)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedms_tensor::rng::rng_for;
+
+    #[test]
+    fn validates_std() {
+        assert!(NoiseAttack::new(-1.0).is_err());
+        assert!(NoiseAttack::new(f32::NAN).is_err());
+        assert!(NoiseAttack::new(0.0).is_ok());
+        assert_eq!(NoiseAttack::paper_default().std(), 1.0);
+    }
+
+    #[test]
+    fn zero_std_is_identity() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let ctx = AttackContext::new(0, 0, &a, &[], 5);
+        let mut rng = rng_for(1, &[]);
+        assert_eq!(NoiseAttack::new(0.0).unwrap().tamper(&ctx, &mut rng).unwrap(), a);
+    }
+
+    #[test]
+    fn perturbation_has_expected_scale() {
+        let a = Tensor::zeros(&[10_000]);
+        let ctx = AttackContext::new(0, 0, &a, &[], 5);
+        let mut rng = rng_for(2, &[]);
+        let out = NoiseAttack::new(0.5).unwrap().tamper(&ctx, &mut rng).unwrap();
+        let rms = (out.norm_l2_sq() / out.len() as f32).sqrt();
+        assert!((rms - 0.5).abs() < 0.02, "noise rms {rms}");
+    }
+
+    #[test]
+    fn deterministic_per_rng_state() {
+        let a = Tensor::zeros(&[8]);
+        let ctx = AttackContext::new(0, 0, &a, &[], 5);
+        let atk = NoiseAttack::new(1.0).unwrap();
+        let x = atk.tamper(&ctx, &mut rng_for(3, &[])).unwrap();
+        let y = atk.tamper(&ctx, &mut rng_for(3, &[])).unwrap();
+        assert_eq!(x, y);
+    }
+}

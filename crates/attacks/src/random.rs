@@ -1,0 +1,84 @@
+//! The Random attack: replaces the aggregate with uniform noise.
+
+use fedms_tensor::Tensor;
+use rand::rngs::StdRng;
+
+use crate::{AttackContext, AttackError, Result, ServerAttack};
+
+/// Replaces the genuine aggregation result with values drawn uniformly from
+/// `[lo, hi)` — the paper samples from `[-10, 10]`, which utterly destroys
+/// an unprotected average (Vanilla FL drops to ~10% accuracy in Fig. 2(b)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomAttack {
+    lo: f32,
+    hi: f32,
+}
+
+impl RandomAttack {
+    /// Creates the attack sampling from `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadParameter`] unless `lo < hi` and both are
+    /// finite.
+    pub fn new(lo: f32, hi: f32) -> Result<Self> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(AttackError::BadParameter(format!("bad range [{lo}, {hi})")));
+        }
+        Ok(RandomAttack { lo, hi })
+    }
+
+    /// The paper's `[-10, 10]` range.
+    pub fn default_range() -> Self {
+        RandomAttack { lo: -10.0, hi: 10.0 }
+    }
+
+    /// The sampling interval.
+    pub fn range(&self) -> (f32, f32) {
+        (self.lo, self.hi)
+    }
+}
+
+impl ServerAttack for RandomAttack {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn tamper(&self, ctx: &AttackContext<'_>, rng: &mut StdRng) -> Result<Tensor> {
+        Ok(Tensor::rand_uniform(rng, ctx.true_aggregate().dims(), self.lo, self.hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedms_tensor::rng::rng_for;
+
+    #[test]
+    fn validates_range() {
+        assert!(RandomAttack::new(1.0, 1.0).is_err());
+        assert!(RandomAttack::new(2.0, 1.0).is_err());
+        assert!(RandomAttack::new(f32::NAN, 1.0).is_err());
+        assert_eq!(RandomAttack::default_range().range(), (-10.0, 10.0));
+    }
+
+    #[test]
+    fn output_ignores_true_aggregate() {
+        let a = Tensor::full(&[6], 123.0);
+        let ctx = AttackContext::new(0, 0, &a, &[], 5);
+        let mut rng = rng_for(1, &[]);
+        let out = RandomAttack::default_range().tamper(&ctx, &mut rng).unwrap();
+        assert_eq!(out.dims(), a.dims());
+        assert!(out.as_slice().iter().all(|&v| (-10.0..10.0).contains(&v)));
+    }
+
+    #[test]
+    fn spans_the_interval() {
+        let a = Tensor::zeros(&[10_000]);
+        let ctx = AttackContext::new(0, 0, &a, &[], 5);
+        let mut rng = rng_for(2, &[]);
+        let out = RandomAttack::default_range().tamper(&ctx, &mut rng).unwrap();
+        assert!(out.min().unwrap() < -9.0);
+        assert!(out.max().unwrap() > 9.0);
+    }
+}

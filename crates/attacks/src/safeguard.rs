@@ -1,0 +1,100 @@
+//! The Safeguard attack: reverse pseudo-gradient.
+
+use fedms_tensor::Tensor;
+use rand::rngs::StdRng;
+
+use crate::{AttackContext, AttackError, Result, ServerAttack};
+
+/// The reverse-gradient attack of Section VI-A: with pseudo global gradient
+/// `g_{t+1} = a_{t+1} − a_t`, the Byzantine server disseminates
+/// `ã_{t+1} = a_{t+1} − γ·g_{t+1}` (the paper sets `γ = 0.6`), dragging the
+/// model back against its own progress. On the first round (no history) the
+/// true aggregate is disseminated unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafeguardAttack {
+    gamma: f32,
+}
+
+impl SafeguardAttack {
+    /// Creates the attack with scaling factor `gamma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadParameter`] for non-finite `gamma`.
+    pub fn new(gamma: f32) -> Result<Self> {
+        if !gamma.is_finite() {
+            return Err(AttackError::BadParameter(format!("gamma must be finite, got {gamma}")));
+        }
+        Ok(SafeguardAttack { gamma })
+    }
+
+    /// The paper's `γ = 0.6`.
+    pub fn paper_default() -> Self {
+        SafeguardAttack { gamma: 0.6 }
+    }
+
+    /// The scaling factor γ.
+    pub fn gamma(&self) -> f32 {
+        self.gamma
+    }
+}
+
+impl ServerAttack for SafeguardAttack {
+    fn name(&self) -> &'static str {
+        "safeguard"
+    }
+
+    fn tamper(&self, ctx: &AttackContext<'_>, _rng: &mut StdRng) -> Result<Tensor> {
+        let current = ctx.true_aggregate();
+        let Some(previous) = ctx.aggregate_rounds_ago(1) else {
+            return Ok(current.clone());
+        };
+        // ã = a − γ(a − a_prev)
+        let mut out = current.clone();
+        let pseudo_grad = current.sub(previous)?;
+        out.axpy(-self.gamma, &pseudo_grad)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedms_tensor::rng::rng_for;
+
+    #[test]
+    fn validates_gamma() {
+        assert!(SafeguardAttack::new(f32::NAN).is_err());
+        assert!(SafeguardAttack::new(-2.0).is_ok(), "negative gamma is a valid variant");
+        assert_eq!(SafeguardAttack::paper_default().gamma(), 0.6);
+    }
+
+    #[test]
+    fn first_round_passes_through() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let ctx = AttackContext::new(0, 0, &a, &[], 5);
+        let mut rng = rng_for(1, &[]);
+        assert_eq!(SafeguardAttack::paper_default().tamper(&ctx, &mut rng).unwrap(), a);
+    }
+
+    #[test]
+    fn drags_against_progress() {
+        // a_prev = 0, a = 1 → g = 1 → ã = 1 − 0.6 = 0.4.
+        let prev = vec![Tensor::from_slice(&[0.0])];
+        let a = Tensor::from_slice(&[1.0]);
+        let ctx = AttackContext::new(1, 0, &a, &prev, 5);
+        let mut rng = rng_for(1, &[]);
+        let out = SafeguardAttack::paper_default().tamper(&ctx, &mut rng).unwrap();
+        assert!((out.as_slice()[0] - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gamma_one_freezes_model() {
+        let prev = vec![Tensor::from_slice(&[3.0])];
+        let a = Tensor::from_slice(&[5.0]);
+        let ctx = AttackContext::new(1, 0, &a, &prev, 5);
+        let mut rng = rng_for(1, &[]);
+        let out = SafeguardAttack::new(1.0).unwrap().tamper(&ctx, &mut rng).unwrap();
+        assert_eq!(out.as_slice(), &[3.0], "gamma=1 replays the previous aggregate");
+    }
+}

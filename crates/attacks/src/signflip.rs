@@ -1,0 +1,100 @@
+//! Sign-flip and zero attacks (additional behaviours beyond the paper's
+//! four, covering the classic Byzantine repertoire).
+
+use fedms_tensor::Tensor;
+use rand::rngs::StdRng;
+
+use crate::{AttackContext, AttackError, Result, ServerAttack};
+
+/// Disseminates `−scale · a`: the classic sign-flipping attack that points
+/// the global model in the opposite direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignFlipAttack {
+    scale: f32,
+}
+
+impl SignFlipAttack {
+    /// Creates the attack with magnitude `scale` (output is `−scale · a`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadParameter`] for non-positive or non-finite
+    /// `scale`.
+    pub fn new(scale: f32) -> Result<Self> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(AttackError::BadParameter(format!(
+                "scale must be positive, got {scale}"
+            )));
+        }
+        Ok(SignFlipAttack { scale })
+    }
+
+    /// The negation magnitude.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+}
+
+impl ServerAttack for SignFlipAttack {
+    fn name(&self) -> &'static str {
+        "sign_flip"
+    }
+
+    fn tamper(&self, ctx: &AttackContext<'_>, _rng: &mut StdRng) -> Result<Tensor> {
+        Ok(ctx.true_aggregate().scaled(-self.scale))
+    }
+}
+
+/// Disseminates the all-zero model, erasing all training progress for
+/// clients that trust it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZeroAttack;
+
+impl ZeroAttack {
+    /// Creates the attack.
+    pub fn new() -> Self {
+        ZeroAttack
+    }
+}
+
+impl ServerAttack for ZeroAttack {
+    fn name(&self) -> &'static str {
+        "zero"
+    }
+
+    fn tamper(&self, ctx: &AttackContext<'_>, _rng: &mut StdRng) -> Result<Tensor> {
+        Ok(Tensor::zeros(ctx.true_aggregate().dims()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedms_tensor::rng::rng_for;
+
+    #[test]
+    fn sign_flip_negates_and_scales() {
+        let a = Tensor::from_slice(&[1.0, -2.0]);
+        let ctx = AttackContext::new(0, 0, &a, &[], 5);
+        let mut rng = rng_for(1, &[]);
+        let out = SignFlipAttack::new(2.0).unwrap().tamper(&ctx, &mut rng).unwrap();
+        assert_eq!(out.as_slice(), &[-2.0, 4.0]);
+        assert_eq!(SignFlipAttack::new(2.0).unwrap().scale(), 2.0);
+    }
+
+    #[test]
+    fn sign_flip_validates() {
+        assert!(SignFlipAttack::new(0.0).is_err());
+        assert!(SignFlipAttack::new(-1.0).is_err());
+        assert!(SignFlipAttack::new(f32::INFINITY).is_err());
+    }
+
+    #[test]
+    fn zero_erases() {
+        let a = Tensor::from_slice(&[5.0, -5.0]);
+        let ctx = AttackContext::new(0, 0, &a, &[], 5);
+        let mut rng = rng_for(1, &[]);
+        let out = ZeroAttack::new().tamper(&ctx, &mut rng).unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 0.0]);
+    }
+}

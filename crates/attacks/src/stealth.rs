@@ -1,0 +1,185 @@
+//! Stealth attacks that hide inside the statistics of honest behaviour —
+//! ALIE ("a little is enough", Baruch et al. 2019) and IPM (inner-product
+//! manipulation, Xie et al. 2020), adapted to the server-side threat model.
+//!
+//! Both are classic adversaries against robust aggregation: instead of
+//! sending obvious garbage (which trimming removes), they perturb *just
+//! inside* the filter's tolerance, maximising damage per unit of
+//! detectability. They stress the trimmed-mean filter far harder than the
+//! paper's four attacks and are used by the ablation benches.
+
+use fedms_tensor::Tensor;
+use rand::rngs::StdRng;
+
+use crate::{AttackContext, AttackError, Result, ServerAttack};
+
+/// Estimates the per-coordinate standard deviation of the server's recent
+/// true aggregates — the adaptive adversary's proxy for the benign spread.
+fn history_std(ctx: &AttackContext<'_>, window: usize) -> Option<Tensor> {
+    let history = ctx.history();
+    if history.len() < 2 {
+        return None;
+    }
+    let start = history.len().saturating_sub(window);
+    let recent = &history[start..];
+    let d = ctx.true_aggregate().len();
+    let n = recent.len() as f64;
+    let mut mean = vec![0.0f64; d];
+    for h in recent {
+        for (m, &v) in mean.iter_mut().zip(h.as_slice()) {
+            *m += v as f64 / n;
+        }
+    }
+    let mut var = vec![0.0f64; d];
+    for h in recent {
+        for ((va, &v), &m) in var.iter_mut().zip(h.as_slice()).zip(mean.iter()) {
+            let dlt = v as f64 - m;
+            *va += dlt * dlt / n;
+        }
+    }
+    Some(Tensor::from_slice(
+        &var.into_iter().map(|v| v.sqrt() as f32).collect::<Vec<_>>(),
+    ))
+}
+
+/// ALIE-style attack: shifts every coordinate of the true aggregate by
+/// `z` times the coordinate's recent standard deviation — large enough to
+/// bias the aggregate, small enough to sit inside the benign spread that
+/// coordinate-wise filters tolerate.
+///
+/// Until two rounds of history exist the attack passes the aggregate
+/// through unchanged (it has no spread estimate yet).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlieAttack {
+    z: f32,
+    window: usize,
+}
+
+impl AlieAttack {
+    /// Creates the attack with deviation multiplier `z` (classic choice
+    /// ≈ 1, tuned to the filter's breakdown point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadParameter`] for non-finite `z`.
+    pub fn new(z: f32) -> Result<Self> {
+        if !z.is_finite() {
+            return Err(AttackError::BadParameter(format!("z must be finite, got {z}")));
+        }
+        Ok(AlieAttack { z, window: 8 })
+    }
+
+    /// The deviation multiplier.
+    pub fn z(&self) -> f32 {
+        self.z
+    }
+}
+
+impl ServerAttack for AlieAttack {
+    fn name(&self) -> &'static str {
+        "alie"
+    }
+
+    fn tamper(&self, ctx: &AttackContext<'_>, _rng: &mut StdRng) -> Result<Tensor> {
+        let Some(std) = history_std(ctx, self.window) else {
+            return Ok(ctx.true_aggregate().clone());
+        };
+        let mut out = ctx.true_aggregate().clone();
+        out.axpy(self.z, &std)?;
+        Ok(out)
+    }
+}
+
+/// IPM-style attack: disseminates `−ε · a`, the negative of the true
+/// aggregate scaled by a small ε. For small ε the tampered model sits close
+/// to zero — within the benign cloud early in training — while its inner
+/// product with the true update direction is negative, dragging averaging
+/// filters backwards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IpmAttack {
+    epsilon: f32,
+}
+
+impl IpmAttack {
+    /// Creates the attack with scale `epsilon` (classic choices: 0.1–0.5
+    /// for stealth, > 1 for aggression).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadParameter`] for non-positive or non-finite
+    /// `epsilon`.
+    pub fn new(epsilon: f32) -> Result<Self> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(AttackError::BadParameter(format!(
+                "epsilon must be positive, got {epsilon}"
+            )));
+        }
+        Ok(IpmAttack { epsilon })
+    }
+
+    /// The negation scale ε.
+    pub fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+}
+
+impl ServerAttack for IpmAttack {
+    fn name(&self) -> &'static str {
+        "ipm"
+    }
+
+    fn tamper(&self, ctx: &AttackContext<'_>, _rng: &mut StdRng) -> Result<Tensor> {
+        Ok(ctx.true_aggregate().scaled(-self.epsilon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedms_tensor::rng::rng_for;
+
+    #[test]
+    fn validation() {
+        assert!(AlieAttack::new(f32::NAN).is_err());
+        assert!(AlieAttack::new(-1.5).is_ok(), "negative z flips direction, valid");
+        assert_eq!(AlieAttack::new(1.0).unwrap().z(), 1.0);
+        assert!(IpmAttack::new(0.0).is_err());
+        assert!(IpmAttack::new(-1.0).is_err());
+        assert_eq!(IpmAttack::new(0.5).unwrap().epsilon(), 0.5);
+    }
+
+    #[test]
+    fn alie_passes_through_without_history() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let ctx = AttackContext::new(0, 0, &a, &[], 5);
+        let out = AlieAttack::new(1.0).unwrap().tamper(&ctx, &mut rng_for(0, &[])).unwrap();
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn alie_shifts_by_history_spread() {
+        // History alternates ±1 around 0 in dim 0, constant in dim 1:
+        // std ≈ 1 in dim 0, 0 in dim 1.
+        let history = vec![
+            Tensor::from_slice(&[1.0, 5.0]),
+            Tensor::from_slice(&[-1.0, 5.0]),
+            Tensor::from_slice(&[1.0, 5.0]),
+            Tensor::from_slice(&[-1.0, 5.0]),
+        ];
+        let a = Tensor::from_slice(&[0.0, 5.0]);
+        let ctx = AttackContext::new(4, 0, &a, &history, 5);
+        let out = AlieAttack::new(2.0).unwrap().tamper(&ctx, &mut rng_for(0, &[])).unwrap();
+        assert!((out.as_slice()[0] - 2.0).abs() < 1e-5, "dim 0 shifted by 2·std");
+        assert!((out.as_slice()[1] - 5.0).abs() < 1e-5, "dim 1 untouched (zero spread)");
+    }
+
+    #[test]
+    fn ipm_negates_and_shrinks() {
+        let a = Tensor::from_slice(&[2.0, -4.0]);
+        let ctx = AttackContext::new(0, 0, &a, &[], 5);
+        let out = IpmAttack::new(0.5).unwrap().tamper(&ctx, &mut rng_for(0, &[])).unwrap();
+        assert_eq!(out.as_slice(), &[-1.0, 2.0]);
+        // Negative inner product with the true aggregate.
+        assert!(out.dot(&a).unwrap() < 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of attack invariants.
+
+use fedms_attacks::{
+    AttackContext, AttackKind, Benign, ClientAttackContext, ClientAttackKind, ServerAttack,
+};
+use fedms_tensor::rng::rng_for;
+use fedms_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, len).prop_map(|v| Tensor::from_slice(&v))
+}
+
+proptest! {
+    /// Benign is always exact identity regardless of state.
+    #[test]
+    fn benign_identity(agg in tensor_strategy(16), round in 0usize..100) {
+        let ctx = AttackContext::new(round, 0, &agg, &[], 10);
+        let out = Benign::new().tamper(&ctx, &mut rng_for(round as u64, &[])).unwrap();
+        prop_assert_eq!(out, agg);
+    }
+
+    /// Every attack preserves the aggregate's shape and produces finite
+    /// values on finite inputs.
+    #[test]
+    fn attacks_preserve_shape_and_finiteness(
+        agg in tensor_strategy(32),
+        prev in tensor_strategy(32),
+        seed in 0u64..1000,
+    ) {
+        let history = vec![prev];
+        for kind in [
+            AttackKind::Benign,
+            AttackKind::Noise { std: 1.0 },
+            AttackKind::Random { lo: -10.0, hi: 10.0 },
+            AttackKind::Safeguard { gamma: 0.6 },
+            AttackKind::Backward { delay: 2 },
+            AttackKind::SignFlip { scale: 1.0 },
+            AttackKind::Zero,
+        ] {
+            let attack = kind.build().unwrap();
+            let ctx = AttackContext::new(1, 0, &agg, &history, 5);
+            let out = attack.tamper(&ctx, &mut rng_for(seed, &[])).unwrap();
+            prop_assert_eq!(out.dims(), agg.dims(), "{} changed shape", attack.name());
+            prop_assert!(out.is_finite(), "{} produced non-finite values", attack.name());
+        }
+    }
+
+    /// Attacks are deterministic given equal RNG state and context.
+    #[test]
+    fn attacks_are_deterministic(agg in tensor_strategy(16), seed in 0u64..1000) {
+        for kind in AttackKind::paper_suite() {
+            let attack = kind.build().unwrap();
+            let ctx = AttackContext::new(0, 0, &agg, &[], 5);
+            let a = attack.tamper(&ctx, &mut rng_for(seed, &[])).unwrap();
+            let b = attack.tamper(&ctx, &mut rng_for(seed, &[])).unwrap();
+            prop_assert_eq!(a, b, "{} not deterministic", attack.name());
+        }
+    }
+
+    /// Safeguard's output is an affine combination of the current and
+    /// previous aggregates: ã = (1−γ)·a + γ·a_prev, coordinate-wise.
+    #[test]
+    fn safeguard_is_affine_combination(
+        agg in tensor_strategy(8),
+        prev in tensor_strategy(8),
+        gamma in -2.0f32..2.0,
+    ) {
+        let attack = AttackKind::Safeguard { gamma }.build().unwrap();
+        let history = vec![prev.clone()];
+        let ctx = AttackContext::new(1, 0, &agg, &history, 5);
+        let out = attack.tamper(&ctx, &mut rng_for(0, &[])).unwrap();
+        for i in 0..8 {
+            let expect = (1.0 - gamma) * agg.as_slice()[i] + gamma * prev.as_slice()[i];
+            prop_assert!((out.as_slice()[i] - expect).abs() < 1e-3);
+        }
+    }
+
+    /// Backward replays a value that literally appeared in the history.
+    #[test]
+    fn backward_replays_history(
+        hist_vals in proptest::collection::vec(-5.0f32..5.0, 4),
+        delay in 1usize..4,
+    ) {
+        let history: Vec<Tensor> =
+            hist_vals.iter().map(|&v| Tensor::from_slice(&[v])).collect();
+        let agg = Tensor::from_slice(&[99.0]);
+        let attack = AttackKind::Backward { delay }.build().unwrap();
+        let ctx = AttackContext::new(4, 0, &agg, &history, 5);
+        let out = attack.tamper(&ctx, &mut rng_for(0, &[])).unwrap();
+        prop_assert!(history.iter().any(|h| h == &out));
+    }
+
+    /// Client sign-flip anti-commutes with scaling: flip(c·w) = c·flip(w).
+    #[test]
+    fn client_sign_flip_scales(w in tensor_strategy(8), c in 0.1f32..5.0) {
+        let attack = ClientAttackKind::SignFlip { scale: 1.0 }.build().unwrap();
+        let scaled = w.scaled(c);
+        let ctx1 = ClientAttackContext::new(0, 0, &w, None);
+        let ctx2 = ClientAttackContext::new(0, 0, &scaled, None);
+        let f1 = attack.tamper_upload(&ctx1, &mut rng_for(0, &[])).unwrap();
+        let f2 = attack.tamper_upload(&ctx2, &mut rng_for(0, &[])).unwrap();
+        for i in 0..8 {
+            prop_assert!((f2.as_slice()[i] - c * f1.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    /// Amplify with factor 1 is honest behaviour.
+    #[test]
+    fn amplify_factor_one_is_honest(w in tensor_strategy(8), g in tensor_strategy(8)) {
+        let attack = ClientAttackKind::Amplify { factor: 1.0 }.build().unwrap();
+        let ctx = ClientAttackContext::new(1, 0, &w, Some(&g));
+        let out = attack.tamper_upload(&ctx, &mut rng_for(0, &[])).unwrap();
+        for i in 0..8 {
+            prop_assert!((out.as_slice()[i] - w.as_slice()[i]).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion bench: aggregation-rule cost scaling in (P, d).
+//!
+//! The Fed-MS filter runs on every client every round, so its cost versus
+//! the baselines (mean, median, Krum, geometric median) matters for edge
+//! deployment. Measures `aggregate()` over P models of dimension d.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedms_aggregation::{
+    AggregationRule, CoordinateMedian, GeometricMedian, Krum, Mean, TrimmedMean,
+};
+use fedms_tensor::rng::rng_for;
+use fedms_tensor::Tensor;
+use std::hint::black_box;
+
+fn models(p: usize, d: usize) -> Vec<Tensor> {
+    let mut rng = rng_for(1, &[p as u64, d as u64]);
+    (0..p).map(|_| Tensor::randn(&mut rng, &[d], 0.0, 1.0)).collect()
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation_rules");
+    group.sample_size(20);
+    let rules: Vec<(&str, Box<dyn AggregationRule>)> = vec![
+        ("mean", Box::new(Mean::new())),
+        ("trimmed_mean_0.2", Box::new(TrimmedMean::new(0.2).expect("valid beta"))),
+        ("median", Box::new(CoordinateMedian::new())),
+        ("krum_f2", Box::new(Krum::new(2))),
+        ("geo_median", Box::new(GeometricMedian::new())),
+    ];
+    for d in [1_000usize, 13_000] {
+        let ms = models(10, d);
+        for (name, rule) in &rules {
+            group.bench_with_input(BenchmarkId::new(*name, format!("P10_d{d}")), &ms, |b, ms| {
+                b.iter(|| rule.aggregate(black_box(ms)).expect("aggregation succeeds"))
+            });
+        }
+    }
+    // Scaling in P for the paper's model size.
+    let d = 13_000;
+    for p in [5usize, 20] {
+        let ms = models(p, d);
+        let rule = TrimmedMean::new(0.2).expect("valid beta");
+        group.bench_with_input(
+            BenchmarkId::new("trimmed_mean_0.2", format!("P{p}_d{d}")),
+            &ms,
+            |b, ms| b.iter(|| rule.aggregate(black_box(ms)).expect("aggregation succeeds")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rules);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: cost of applying each Byzantine attack to a
+//! paper-sized aggregate (d = 13k, the harness MLP).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedms_attacks::{AttackContext, AttackKind, ServerAttack};
+use fedms_tensor::rng::rng_for;
+use fedms_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_attacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attacks");
+    group.sample_size(30);
+    let d = 13_000usize;
+    let mut rng = rng_for(2, &[]);
+    let aggregate = Tensor::randn(&mut rng, &[d], 0.0, 0.1);
+    let history: Vec<Tensor> =
+        (0..4).map(|i| aggregate.add_scalar(i as f32 * 0.01)).collect();
+    let kinds = [
+        AttackKind::Benign,
+        AttackKind::Noise { std: 1.0 },
+        AttackKind::Random { lo: -10.0, hi: 10.0 },
+        AttackKind::Safeguard { gamma: 0.6 },
+        AttackKind::Backward { delay: 2 },
+        AttackKind::SignFlip { scale: 1.0 },
+    ];
+    for kind in kinds {
+        let attack = kind.build().expect("valid attack parameters");
+        group.bench_function(BenchmarkId::new("tamper", kind.label()), |b| {
+            b.iter(|| {
+                let ctx = AttackContext::new(4, 0, black_box(&aggregate), &history, 50);
+                attack.tamper(&ctx, &mut rng).expect("attack succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 2's workload: one full federated round
+//! (50 clients × 3 local steps → sparse upload → aggregation → Byzantine
+//! dissemination → per-client filtering) under each of the paper's four
+//! attacks with the Fed-MS filter. The `fig2` binary regenerates the whole
+//! figure; this bench prices one round of it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedms_attacks::AttackKind;
+use fedms_core::{FedMsConfig, FilterKind};
+
+fn fig2_config(attack: AttackKind) -> FedMsConfig {
+    let mut cfg = FedMsConfig::paper_defaults(42).expect("paper defaults");
+    cfg.byzantine_count = 2;
+    cfg.attack = attack;
+    cfg.filter = FilterKind::TrimmedMean { beta: 0.2 };
+    cfg.parallel = false; // stable single-thread timing
+    cfg
+}
+
+fn bench_fig2_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_round");
+    group.sample_size(10);
+    for (label, attack) in [
+        ("noise", AttackKind::Noise { std: 1.0 }),
+        ("random", AttackKind::Random { lo: -10.0, hi: 10.0 }),
+        ("safeguard", AttackKind::Safeguard { gamma: 0.6 }),
+        ("backward", AttackKind::Backward { delay: 2 }),
+    ] {
+        group.bench_function(BenchmarkId::new("fedms_round", label), |b| {
+            let mut engine =
+                fig2_config(attack).build_engine().expect("engine builds");
+            b.iter(|| engine.step_round(false).expect("round runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_round);
+criterion_main!(benches);

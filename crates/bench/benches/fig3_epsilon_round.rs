@@ -1,0 +1,28 @@
+//! Criterion bench for Figure 3's workload: one federated round at each
+//! Byzantine fraction ε ∈ {0, 10, 20, 30}% (Noise attack, β = ε filter).
+//! The `fig3` binary regenerates the figure; this bench prices one round
+//! per panel and shows the filter cost is flat in ε.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedms_attacks::AttackKind;
+use fedms_core::{FedMsConfig, FilterKind};
+
+fn bench_fig3_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_round");
+    group.sample_size(10);
+    for b_count in [0usize, 1, 2, 3] {
+        let mut cfg = FedMsConfig::paper_defaults(42).expect("paper defaults");
+        cfg.byzantine_count = b_count;
+        cfg.attack = AttackKind::Noise { std: 1.0 };
+        cfg.filter = FilterKind::TrimmedMean { beta: b_count as f64 / 10.0 };
+        cfg.parallel = false;
+        group.bench_function(BenchmarkId::new("round", format!("eps{}", b_count * 10)), |b| {
+            let mut engine = cfg.build_engine().expect("engine builds");
+            b.iter(|| engine.step_round(false).expect("round runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_round);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 4's workload: Dirichlet partitioning of the
+//! full training set across 50 clients at each D_α, plus the histogram
+//! statistics the figure reports. The `fig4` binary regenerates the
+//! figure's content.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedms_data::{DirichletPartitioner, LabelHistogram, SynthVisionConfig};
+use std::hint::black_box;
+
+fn bench_fig4_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_partition");
+    group.sample_size(30);
+    let (train, _) = SynthVisionConfig::default().generate(4).expect("dataset generates");
+    for alpha in [1.0f64, 5.0, 10.0, 1000.0] {
+        let p = DirichletPartitioner::new(alpha).expect("valid alpha");
+        group.bench_function(BenchmarkId::new("partition50", format!("alpha{alpha}")), |b| {
+            b.iter(|| p.partition(black_box(&train), 50, 4).expect("partition"))
+        });
+    }
+    let p = DirichletPartitioner::new(10.0).expect("valid alpha");
+    let shards = p.partition(&train, 50, 4).expect("partition");
+    group.bench_function("histograms50", |b| {
+        b.iter(|| {
+            shards
+                .iter()
+                .map(|s| LabelHistogram::from_indices(black_box(&train), s).expect("hist"))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4_partition);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 5's workload: one federated round at each
+//! data-heterogeneity level D_α ∈ {1, 5, 10, 1000} (Noise attack, ε = 20%,
+//! Fed-MS filter). The `fig5` binary regenerates the figure; this bench
+//! verifies the round cost is independent of the partition's skew.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedms_attacks::AttackKind;
+use fedms_core::{FedMsConfig, FilterKind};
+
+fn bench_fig5_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_round");
+    group.sample_size(10);
+    for alpha in [1.0f64, 5.0, 10.0, 1000.0] {
+        let mut cfg = FedMsConfig::paper_defaults(42).expect("paper defaults");
+        cfg.byzantine_count = 2;
+        cfg.attack = AttackKind::Noise { std: 1.0 };
+        cfg.filter = FilterKind::TrimmedMean { beta: 0.2 };
+        cfg.dirichlet_alpha = alpha;
+        cfg.parallel = false;
+        group.bench_function(BenchmarkId::new("round", format!("alpha{alpha}")), |b| {
+            let mut engine = cfg.build_engine().expect("engine builds");
+            b.iter(|| engine.step_round(false).expect("round runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_round);
+criterion_main!(benches);

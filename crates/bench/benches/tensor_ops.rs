@@ -1,0 +1,61 @@
+//! Criterion bench: tensor primitives underlying everything else —
+//! matmul shapes used by the MLP, im2col for the nano CNN, and the
+//! flat-vector operations the aggregation layer performs per round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedms_tensor::rng::rng_for;
+use fedms_tensor::{im2col, Conv2dGeometry, Tensor};
+use std::hint::black_box;
+
+fn bench_tensor_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor_ops");
+    group.sample_size(30);
+    let mut rng = rng_for(1, &[]);
+
+    // MLP forward shapes: (32, 192)·(192, 64)ᵀ and (32, 64)·(64, 10)ᵀ.
+    let x = Tensor::randn(&mut rng, &[32, 192], 0.0, 1.0);
+    let w1 = Tensor::randn(&mut rng, &[64, 192], 0.0, 0.1);
+    group.bench_function("matmul_transb_32x192x64", |b| {
+        b.iter(|| black_box(&x).matmul_transb(black_box(&w1)).expect("matmul"))
+    });
+
+    let a = Tensor::randn(&mut rng, &[64, 64], 0.0, 1.0);
+    let bm = Tensor::randn(&mut rng, &[64, 64], 0.0, 1.0);
+    group.bench_function("matmul_64x64x64", |b| {
+        b.iter(|| black_box(&a).matmul(black_box(&bm)).expect("matmul"))
+    });
+
+    let geom = Conv2dGeometry::new(3, 8, 8, 3, 1, 1).expect("geometry");
+    let img = Tensor::randn(&mut rng, &[3, 8, 8], 0.0, 1.0);
+    group.bench_function("im2col_3x8x8_k3", |b| {
+        b.iter(|| im2col(black_box(&img), &geom).expect("im2col"))
+    });
+
+    // Aggregation-layer vector ops at the harness model size.
+    let d = 13_000usize;
+    let u = Tensor::randn(&mut rng, &[d], 0.0, 1.0);
+    let v = Tensor::randn(&mut rng, &[d], 0.0, 1.0);
+    for (name, op) in [
+        ("add", 0usize),
+        ("dot", 1),
+        ("norm_l2", 2),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, format!("d{d}")), &d, |b, _| {
+            b.iter(|| match op {
+                0 => {
+                    black_box(&u).add(black_box(&v)).expect("add");
+                }
+                1 => {
+                    black_box(black_box(&u).dot(black_box(&v)).expect("dot"));
+                }
+                _ => {
+                    black_box(black_box(&u).norm_l2());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tensor_ops);
+criterion_main!(benches);

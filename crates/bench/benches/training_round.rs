@@ -1,0 +1,47 @@
+//! Criterion bench: one client's local-training stage (E mini-batch SGD
+//! steps) for the harness MLP and the MobileNetNano — the dominant cost of
+//! a federated round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedms_data::SynthVisionConfig;
+use fedms_nn::{Layer, LrSchedule, MobileNetNano, MobileNetNanoConfig, NeuralNet, Sgd};
+use fedms_sim::ModelSpec;
+use std::hint::black_box;
+
+fn bench_local_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_round");
+    group.sample_size(20);
+    let (train, _) = SynthVisionConfig::default().generate(3).expect("dataset generates");
+    let flat = train.flattened();
+    let (x, labels) = flat.batch(&(0..32).collect::<Vec<_>>()).expect("batch");
+    let (x_img, labels_img) = train.batch(&(0..8).collect::<Vec<_>>()).expect("batch");
+
+    group.bench_function("mlp_e3_batch32", |b| {
+        let mut net = ModelSpec::default_mlp().build(1).expect("model builds");
+        let mut opt = Sgd::new(LrSchedule::Constant(0.1)).expect("valid lr");
+        b.iter(|| {
+            for _ in 0..3 {
+                net.train_batch(black_box(&x), &labels, &mut opt).expect("step");
+            }
+        })
+    });
+
+    group.bench_function("mobilenet_nano_e1_batch8", |b| {
+        let mut net =
+            MobileNetNano::new(MobileNetNanoConfig::default(), 1).expect("model builds");
+        let mut opt = Sgd::new(LrSchedule::Constant(0.05)).expect("valid lr");
+        b.iter(|| {
+            net.train_batch(black_box(&x_img), &labels_img, &mut opt).expect("step")
+        })
+    });
+
+    group.bench_function("mlp_evaluate_200", |b| {
+        let mut net = ModelSpec::default_mlp().build(1).expect("model builds");
+        let (tx, tl) = flat.batch(&(0..200).collect::<Vec<_>>()).expect("batch");
+        b.iter(|| net.evaluate(black_box(&tx), &tl).expect("evaluate"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_training);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for the Section IV-A trade-off: cost of one federated
+//! round under sparse / redundant / full upload. Pairs with the `comm`
+//! experiment binary, which measures the byte counts and accuracy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedms_attacks::AttackKind;
+use fedms_core::{FedMsConfig, FilterKind};
+use fedms_sim::UploadStrategy;
+
+fn bench_upload_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("upload_strategies");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("sparse", UploadStrategy::Sparse),
+        ("redundant3", UploadStrategy::Redundant(3)),
+        ("full", UploadStrategy::Full),
+    ] {
+        let mut cfg = FedMsConfig::paper_defaults(42).expect("paper defaults");
+        cfg.byzantine_count = 2;
+        cfg.attack = AttackKind::Noise { std: 1.0 };
+        cfg.filter = FilterKind::TrimmedMean { beta: 0.2 };
+        cfg.upload = strategy;
+        cfg.parallel = false;
+        group.bench_function(BenchmarkId::new("round", label), |b| {
+            let mut engine = cfg.build_engine().expect("engine builds");
+            b.iter(|| engine.step_round(false).expect("round runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_upload_strategies);
+criterion_main!(benches);

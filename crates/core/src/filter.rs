@@ -1,0 +1,137 @@
+//! Serializable selection of the client-side model filter `Def(·)`.
+
+use fedms_aggregation::{
+    AggregationRule, Bulyan, CenteredClip, CoordinateMedian, GeometricMedian, Krum, Mean,
+    MultiKrum, NormBound, TrimmedMean,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::Result;
+
+/// The defence each client applies to the `P` received global models.
+///
+/// [`FilterKind::TrimmedMean`] with `beta = B/P` is Fed-MS;
+/// [`FilterKind::Mean`] is the undefended Vanilla-FL baseline; the rest are
+/// ablation filters from the Byzantine-robust-FL literature the paper cites.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FilterKind {
+    /// Plain averaging (Vanilla FL).
+    Mean,
+    /// The paper's coordinate-wise β-trimmed mean.
+    TrimmedMean {
+        /// Trim rate β ∈ [0, 0.5).
+        beta: f64,
+    },
+    /// Coordinate-wise median.
+    Median,
+    /// Krum selection assuming `f` Byzantine inputs.
+    Krum {
+        /// Assumed Byzantine count.
+        f: usize,
+    },
+    /// Multi-Krum: average the `m` best-scored of the inputs.
+    MultiKrum {
+        /// Assumed Byzantine count.
+        f: usize,
+        /// Number of models averaged.
+        m: usize,
+    },
+    /// Smoothed geometric median (Weiszfeld).
+    GeometricMedian,
+    /// Bulyan: Krum selection followed by coordinate-wise trimming.
+    Bulyan {
+        /// Assumed Byzantine count.
+        f: usize,
+    },
+    /// Iterative centered clipping with radius τ.
+    CenteredClip {
+        /// Clipping radius.
+        tau: f32,
+    },
+    /// Norm-bounded averaging (cap at `factor ×` the median norm).
+    NormBound {
+        /// Cap factor over the median model norm.
+        factor: f32,
+    },
+}
+
+impl FilterKind {
+    /// The Fed-MS filter for a topology with `b` Byzantine of `p` servers
+    /// (`β = B/P`, the paper's matched trim rate).
+    pub fn fedms(b: usize, p: usize) -> Self {
+        FilterKind::TrimmedMean { beta: b as f64 / p as f64 }
+    }
+
+    /// A short label for experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FilterKind::Mean => "vanilla",
+            FilterKind::TrimmedMean { .. } => "fed-ms",
+            FilterKind::Median => "median",
+            FilterKind::Krum { .. } => "krum",
+            FilterKind::MultiKrum { .. } => "multi-krum",
+            FilterKind::GeometricMedian => "geo-median",
+            FilterKind::Bulyan { .. } => "bulyan",
+            FilterKind::CenteredClip { .. } => "centered-clip",
+            FilterKind::NormBound { .. } => "norm-bound",
+        }
+    }
+
+    /// Instantiates the live rule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation from the concrete rules.
+    pub fn build(&self) -> Result<Box<dyn AggregationRule>> {
+        Ok(match *self {
+            FilterKind::Mean => Box::new(Mean::new()),
+            FilterKind::TrimmedMean { beta } => Box::new(TrimmedMean::new(beta)?),
+            FilterKind::Median => Box::new(CoordinateMedian::new()),
+            FilterKind::Krum { f } => Box::new(Krum::new(f)),
+            FilterKind::MultiKrum { f, m } => Box::new(MultiKrum::new(f, m)?),
+            FilterKind::GeometricMedian => Box::new(GeometricMedian::new()),
+            FilterKind::Bulyan { f } => Box::new(Bulyan::new(f)),
+            FilterKind::CenteredClip { tau } => Box::new(CenteredClip::new(tau, 3)?),
+            FilterKind::NormBound { factor } => Box::new(NormBound::new(factor)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fedms_matches_topology() {
+        let f = FilterKind::fedms(2, 10);
+        assert_eq!(f, FilterKind::TrimmedMean { beta: 0.2 });
+        assert_eq!(f.label(), "fed-ms");
+    }
+
+    #[test]
+    fn builds_every_kind() {
+        for kind in [
+            FilterKind::Mean,
+            FilterKind::TrimmedMean { beta: 0.2 },
+            FilterKind::Median,
+            FilterKind::Krum { f: 1 },
+            FilterKind::MultiKrum { f: 1, m: 2 },
+            FilterKind::GeometricMedian,
+            FilterKind::Bulyan { f: 1 },
+            FilterKind::CenteredClip { tau: 1.0 },
+            FilterKind::NormBound { factor: 2.0 },
+        ] {
+            let rule = kind.build().unwrap();
+            assert!(!rule.name().is_empty());
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn build_rejects_bad_parameters() {
+        assert!(FilterKind::TrimmedMean { beta: 0.6 }.build().is_err());
+        assert!(FilterKind::MultiKrum { f: 1, m: 0 }.build().is_err());
+        assert!(FilterKind::CenteredClip { tau: 0.0 }.build().is_err());
+        assert!(FilterKind::NormBound { factor: 0.0 }.build().is_err());
+    }
+}

@@ -1,0 +1,545 @@
+//! Theorem 1 in closed form, plus a convex federated simulator that
+//! validates the `O(1/T)` rate empirically.
+//!
+//! The paper proves that with `B < P/2` Byzantine servers, decaying steps
+//! `η_t = 2/(μ(γ+t))`, `γ = max(8L/μ, E)`, Fed-MS satisfies
+//!
+//! `E[F(w̄_t)] − F* ≤ L/(2μ(γ+t)) · (4Δ + γμ²‖w̄₀ − w*‖²)`
+//!
+//! with the error budget
+//!
+//! `Δ = 6LΓ + 8E²G² + (1/K)Σσ_k² + 4P/(P−2B)²·E²G² + (K−P)/(K−1)·4/P·E²G²`.
+//!
+//! [`TheoremConstants`] evaluates the bound and exposes Δ's five-term
+//! decomposition (heterogeneity, drift, SGD variance, Byzantine filter
+//! error from Lemma 2, sparse-upload error from Lemma 3).
+//! [`run_convex_fedms`] runs the actual Fed-MS loop on a
+//! [`QuadraticFleet`], where every constant is known, producing the
+//! measured `E[F(w̄_t)] − F*` series that the `theory` experiment compares
+//! against the bound.
+
+use fedms_aggregation::{AggregationRule, Mean, TrimmedMean};
+use fedms_attacks::{AttackContext, AttackKind, ServerAttack};
+use fedms_nn::convex::QuadraticFleet;
+use fedms_tensor::rng::rng_for;
+use fedms_tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, Result};
+
+/// The constants of Assumptions 1–4 plus the federation sizes, from which
+/// Theorem 1's bound is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TheoremConstants {
+    /// Smoothness `L` (Assumption 1).
+    pub l: f64,
+    /// Strong convexity `μ` (Assumption 2).
+    pub mu: f64,
+    /// Gradient-norm bound `G²` (Assumption 4).
+    pub g_sq: f64,
+    /// Mean stochastic-gradient variance `(1/K)Σσ_k²` (Assumption 3).
+    pub sigma_sq_mean: f64,
+    /// Heterogeneity `Γ = F* − (1/K)ΣF_k*`.
+    pub gamma_het: f64,
+    /// Local iterations per round `E`.
+    pub e: usize,
+    /// Clients `K`.
+    pub k: usize,
+    /// Servers `P`.
+    pub p: usize,
+    /// Byzantine servers `B`.
+    pub b: usize,
+}
+
+impl TheoremConstants {
+    /// Validates the preconditions of the theorem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] unless `0 < μ ≤ L`, `2B < P`,
+    /// `E ≥ 1`, `K ≥ 2` and all constants are finite and non-negative.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.mu > 0.0 && self.l >= self.mu && self.l.is_finite()) {
+            return Err(CoreError::BadConfig(format!(
+                "need 0 < mu <= L, got mu={}, L={}",
+                self.mu, self.l
+            )));
+        }
+        if 2 * self.b >= self.p {
+            return Err(CoreError::BadConfig(format!(
+                "theorem needs 2B < P, got B={}, P={}",
+                self.b, self.p
+            )));
+        }
+        if self.e == 0 || self.k < 2 {
+            return Err(CoreError::BadConfig("need E >= 1 and K >= 2".into()));
+        }
+        if !(self.g_sq >= 0.0 && self.sigma_sq_mean >= 0.0 && self.gamma_het >= 0.0) {
+            return Err(CoreError::BadConfig("constants must be non-negative".into()));
+        }
+        Ok(())
+    }
+
+    /// Heterogeneity term `6LΓ`.
+    pub fn heterogeneity_term(&self) -> f64 {
+        6.0 * self.l * self.gamma_het
+    }
+
+    /// Client-drift term `8E²G²` (Lemma 1).
+    pub fn drift_term(&self) -> f64 {
+        8.0 * (self.e * self.e) as f64 * self.g_sq
+    }
+
+    /// SGD-variance term `(1/K)Σσ_k²`.
+    pub fn variance_term(&self) -> f64 {
+        self.sigma_sq_mean
+    }
+
+    /// Byzantine-filter term `4P/(P−2B)² · E²G²` (Lemma 2).
+    pub fn byzantine_term(&self) -> f64 {
+        let denom = (self.p - 2 * self.b) as f64;
+        4.0 * self.p as f64 / (denom * denom) * (self.e * self.e) as f64 * self.g_sq
+    }
+
+    /// Sparse-upload (partial participation) term
+    /// `(K−P)/(K−1) · 4/P · E²G²` (Lemma 3); zero when `K ≤ P`.
+    pub fn sparse_term(&self) -> f64 {
+        if self.k <= self.p {
+            return 0.0;
+        }
+        ((self.k - self.p) as f64 / (self.k - 1) as f64) * 4.0 / self.p as f64
+            * (self.e * self.e) as f64
+            * self.g_sq
+    }
+
+    /// The full error budget `Δ`.
+    pub fn delta(&self) -> f64 {
+        self.heterogeneity_term()
+            + self.drift_term()
+            + self.variance_term()
+            + self.byzantine_term()
+            + self.sparse_term()
+    }
+
+    /// The proof's step-size numerator `φ = 2/μ`.
+    pub fn phi(&self) -> f64 {
+        2.0 / self.mu
+    }
+
+    /// The proof's offset `γ = max(8L/μ, E)`.
+    pub fn gamma_lr(&self) -> f64 {
+        (8.0 * self.l / self.mu).max(self.e as f64)
+    }
+
+    /// The prescribed step size `η_t = φ/(γ+t)`.
+    pub fn eta_at(&self, t: usize) -> f64 {
+        self.phi() / (self.gamma_lr() + t as f64)
+    }
+
+    /// Theorem 1's bound on `E[F(w̄_t)] − F*` at global step `t`, given the
+    /// initial distance `‖w̄₀ − w*‖²`.
+    pub fn bound_at(&self, t: usize, w0_dist_sq: f64) -> f64 {
+        let gamma = self.gamma_lr();
+        self.l / (2.0 * self.mu * (gamma + t as f64))
+            * (4.0 * self.delta() + gamma * self.mu * self.mu * w0_dist_sq)
+    }
+}
+
+/// Configuration of the convex-quadratic Fed-MS validation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvexFedMsConfig {
+    /// Servers `P`.
+    pub servers: usize,
+    /// Byzantine servers `B` (the first `B` server ids attack).
+    pub byzantine: usize,
+    /// The Byzantine behaviour.
+    pub attack: AttackKind,
+    /// Trim rate β of the client filter (`None` = plain mean / vanilla).
+    pub beta: Option<f64>,
+    /// Local SGD iterations per round `E`.
+    pub local_epochs: usize,
+    /// Per-coordinate stochastic-gradient noise σ.
+    pub noise_std: f32,
+    /// Training rounds.
+    pub rounds: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Every client starts at `w₀ = init_offset · 1` (distance from the
+    /// optimum makes the `O(1/T)` decay observable above the noise floor).
+    pub init_offset: f32,
+}
+
+/// One point of the measured optimality-gap series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GapPoint {
+    /// Global SGD step `t = round · E`.
+    pub step: usize,
+    /// Measured `F(w̄) − F*`.
+    pub gap: f64,
+}
+
+/// Runs the exact Fed-MS loop (local SGD → sparse upload → server mean →
+/// Byzantine tampering → trimmed-mean filter) on a convex quadratic fleet
+/// with the theorem's prescribed step size, and returns the optimality-gap
+/// series `F(w̄_t) − F*` along with the constants used.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadConfig`] for an infeasible configuration and
+/// propagates substrate errors.
+pub fn run_convex_fedms(
+    fleet: &QuadraticFleet,
+    cfg: &ConvexFedMsConfig,
+) -> Result<(Vec<GapPoint>, TheoremConstants)> {
+    if cfg.servers == 0 || cfg.rounds == 0 || cfg.local_epochs == 0 {
+        return Err(CoreError::BadConfig("servers, rounds, epochs must be positive".into()));
+    }
+    if cfg.byzantine > cfg.servers {
+        return Err(CoreError::BadConfig("more byzantine than servers".into()));
+    }
+    let k = fleet.len();
+    let d = fleet.dim();
+    let constants = TheoremConstants {
+        l: fleet.smoothness() as f64,
+        mu: fleet.strong_convexity() as f64,
+        // G² is estimated below from the run itself; start with 0 and fill in.
+        g_sq: 0.0,
+        sigma_sq_mean: (cfg.noise_std as f64 * cfg.noise_std as f64) * d as f64,
+        gamma_het: fleet.gamma().max(0.0) as f64,
+        e: cfg.local_epochs,
+        k,
+        p: cfg.servers,
+        b: cfg.byzantine,
+    };
+
+    let filter: Box<dyn AggregationRule> = match cfg.beta {
+        Some(beta) => Box::new(TrimmedMean::new(beta)?),
+        None => Box::new(Mean::new()),
+    };
+    let mean_rule = Mean::new();
+    let attacks: Vec<Option<Box<dyn ServerAttack>>> = (0..cfg.servers)
+        .map(|i| {
+            if i < cfg.byzantine {
+                cfg.attack.build().map(Some)
+            } else {
+                Ok(None)
+            }
+        })
+        .collect::<std::result::Result<_, _>>()?;
+
+    let wstar = fleet.optimum();
+    let fstar = fleet.optimal_value() as f64;
+    let mut clients: Vec<Tensor> = vec![Tensor::full(&[d], cfg.init_offset); k];
+    let mut histories: Vec<Vec<Tensor>> = vec![Vec::new(); cfg.servers];
+    let mut upload_rng = rng_for(cfg.seed, &[0x75_70]);
+    let mut attack_rng = rng_for(cfg.seed, &[0xA7_7A]);
+    let mut max_g_sq = 0.0f64;
+    let mut points = Vec::with_capacity(cfg.rounds + 1);
+
+    let gap_of = |ws: &[Tensor]| -> Result<f64> {
+        let mut mean = Tensor::zeros(&[d]);
+        for w in ws {
+            mean.add_inplace(w)?;
+        }
+        mean.scale(1.0 / ws.len() as f32);
+        Ok(fleet.global_value(&mean)? as f64 - fstar)
+    };
+    points.push(GapPoint { step: 0, gap: gap_of(&clients)? });
+
+    for round in 0..cfg.rounds {
+        // Local training: E prescribed-step SGD iterations.
+        for (ki, w) in clients.iter_mut().enumerate() {
+            let mut rng = rng_for(cfg.seed, &[0x5347_4400, round as u64, ki as u64]);
+            for i in 0..cfg.local_epochs {
+                let t = round * cfg.local_epochs + i;
+                let g = fleet.objectives()[ki].stochastic_grad(w, cfg.noise_std, &mut rng)?;
+                max_g_sq = max_g_sq.max(g.norm_l2_sq() as f64);
+                w.axpy(-(constants.eta_at(t) as f32), &g)?;
+            }
+        }
+        // Sparse upload.
+        let mut received: Vec<Vec<Tensor>> = vec![Vec::new(); cfg.servers];
+        for w in &clients {
+            received[upload_rng.gen_range(0..cfg.servers)].push(w.clone());
+        }
+        // Aggregation + dissemination.
+        let mut disseminated = Vec::with_capacity(cfg.servers);
+        for (i, bucket) in received.iter().enumerate() {
+            let agg = if bucket.is_empty() {
+                histories[i].last().cloned().unwrap_or_else(|| Tensor::zeros(&[d]))
+            } else {
+                mean_rule.aggregate(bucket)?
+            };
+            let out = match &attacks[i] {
+                None => agg.clone(),
+                Some(attack) => {
+                    let ctx = AttackContext::new(round, i, &agg, &histories[i], k);
+                    attack.tamper(&ctx, &mut attack_rng)?
+                }
+            };
+            histories[i].push(agg);
+            if histories[i].len() > 8 {
+                histories[i].remove(0);
+            }
+            disseminated.push(out);
+        }
+        // Client-side filter (consistent broadcast → one shared model).
+        let filtered = filter.aggregate(&disseminated)?;
+        for w in &mut clients {
+            *w = filtered.clone();
+        }
+        points.push(GapPoint {
+            step: (round + 1) * cfg.local_epochs,
+            gap: gap_of(&clients)?,
+        });
+    }
+
+    let mut constants = constants;
+    constants.g_sq = max_g_sq;
+    let _ = &wstar;
+    Ok((points, constants))
+}
+
+/// Sweeps the Byzantine server count on a fixed fleet and returns, per `B`,
+/// the mean optimality gap over the last quarter of the run (the stochastic
+/// floor) — the measured counterpart of Δ's `4P/(P−2B)²·E²G²` term, which
+/// predicts the floor to rise as `B → P/2`.
+///
+/// # Errors
+///
+/// Propagates configuration and run errors.
+pub fn sweep_byzantine(
+    fleet: &QuadraticFleet,
+    base: &ConvexFedMsConfig,
+    b_values: &[usize],
+) -> Result<Vec<(usize, f64)>> {
+    let mut out = Vec::with_capacity(b_values.len());
+    for &b in b_values {
+        let cfg = ConvexFedMsConfig {
+            byzantine: b,
+            beta: Some(b as f64 / base.servers as f64),
+            ..*base
+        };
+        let (points, _) = run_convex_fedms(fleet, &cfg)?;
+        let tail = &points[points.len() * 3 / 4..];
+        let floor = tail.iter().map(|p| p.gap).sum::<f64>() / tail.len() as f64;
+        out.push((b, floor));
+    }
+    Ok(out)
+}
+
+/// Least-squares slope of `log(gap)` against `log(step)` over the tail of a
+/// gap series — `≈ −1` certifies the `O(1/T)` rate. Points with
+/// non-positive gap or step are skipped.
+pub fn log_log_slope(points: &[GapPoint]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.gap > 0.0 && p.step > 0)
+        .map(|p| ((p.step as f64).ln(), p.gap.ln()))
+        .collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constants() -> TheoremConstants {
+        TheoremConstants {
+            l: 2.0,
+            mu: 0.5,
+            g_sq: 4.0,
+            sigma_sq_mean: 1.0,
+            gamma_het: 0.5,
+            e: 3,
+            k: 50,
+            p: 10,
+            b: 2,
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(constants().validate().is_ok());
+        let mut c = constants();
+        c.b = 5;
+        assert!(c.validate().is_err());
+        let mut c = constants();
+        c.mu = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = constants();
+        c.mu = 3.0; // > L
+        assert!(c.validate().is_err());
+        let mut c = constants();
+        c.e = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn delta_decomposition_sums() {
+        let c = constants();
+        let sum = c.heterogeneity_term()
+            + c.drift_term()
+            + c.variance_term()
+            + c.byzantine_term()
+            + c.sparse_term();
+        assert!((c.delta() - sum).abs() < 1e-12);
+        // Hand-check the Byzantine term: 4·10/(10−4)²·9·4 = 40/36·36 = 40.
+        assert!((c.byzantine_term() - 40.0).abs() < 1e-9);
+        // Sparse term: (50−10)/49 · 4/10 · 9 · 4 = 40/49·14.4 ≈ 11.755.
+        assert!((c.sparse_term() - (40.0 / 49.0) * 0.4 * 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_byzantine_servers_worsen_delta() {
+        let mut c = constants();
+        let base = c.delta();
+        c.b = 4;
+        assert!(c.delta() > base);
+    }
+
+    #[test]
+    fn sparse_term_zero_when_k_small() {
+        let mut c = constants();
+        c.k = 10;
+        assert_eq!(c.sparse_term(), 0.0);
+        c.k = 5;
+        assert_eq!(c.sparse_term(), 0.0);
+    }
+
+    #[test]
+    fn step_size_follows_proof() {
+        let c = constants();
+        assert!((c.phi() - 4.0).abs() < 1e-12);
+        assert!((c.gamma_lr() - 32.0).abs() < 1e-12); // 8·2/0.5 = 32 > E = 3
+        assert!((c.eta_at(0) - 4.0 / 32.0).abs() < 1e-12);
+        assert!(c.eta_at(10) < c.eta_at(0));
+    }
+
+    #[test]
+    fn bound_decays_as_one_over_t() {
+        let c = constants();
+        let b1 = c.bound_at(100, 1.0);
+        let b2 = c.bound_at(200, 1.0);
+        // 1/t decay: doubling t should roughly halve the bound.
+        let ratio = b1 / b2;
+        assert!(ratio > 1.5 && ratio < 2.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn convex_run_converges_and_matches_rate() {
+        let fleet = QuadraticFleet::random(20, 8, 0.5, 2.0, 1.0, 3).unwrap();
+        let cfg = ConvexFedMsConfig {
+            servers: 5,
+            byzantine: 1,
+            attack: AttackKind::Random { lo: -10.0, hi: 10.0 },
+            beta: Some(0.2),
+            local_epochs: 2,
+            noise_std: 0.1,
+            rounds: 300,
+            seed: 11,
+            init_offset: 5.0,
+        };
+        let (points, constants) = run_convex_fedms(&fleet, &cfg).unwrap();
+        assert_eq!(points.len(), 301);
+        let first = points[1].gap;
+        let last = points.last().unwrap().gap;
+        assert!(last < first * 0.2, "gap should shrink: {first} → {last}");
+        assert!(constants.g_sq > 0.0, "G² estimated from the run");
+        // Tail slope of log gap vs log t should be ≈ −1 (allow slack: the
+        // stochastic floor flattens the very end).
+        // Measure the slope before the stochastic floor flattens the curve:
+        // use the first half of the series.
+        let slope = log_log_slope(&points[1..points.len() / 2]).unwrap();
+        assert!(slope < -0.5, "expected decaying gap, slope {slope}");
+    }
+
+    #[test]
+    fn vanilla_filter_diverges_under_random_attack() {
+        let fleet = QuadraticFleet::random(20, 8, 0.5, 2.0, 1.0, 3).unwrap();
+        let base = ConvexFedMsConfig {
+            servers: 5,
+            byzantine: 1,
+            attack: AttackKind::Random { lo: -10.0, hi: 10.0 },
+            beta: Some(0.2),
+            local_epochs: 2,
+            noise_std: 0.1,
+            rounds: 100,
+            seed: 12,
+            init_offset: 5.0,
+        };
+        let (fedms, _) = run_convex_fedms(&fleet, &base).unwrap();
+        let vanilla_cfg = ConvexFedMsConfig { beta: None, ..base };
+        let (vanilla, _) = run_convex_fedms(&fleet, &vanilla_cfg).unwrap();
+        let f_gap = fedms.last().unwrap().gap;
+        let v_gap = vanilla.last().unwrap().gap;
+        assert!(
+            v_gap > 10.0 * f_gap,
+            "vanilla gap {v_gap} should dwarf fed-ms gap {f_gap}"
+        );
+    }
+
+    #[test]
+    fn convex_run_validates_config() {
+        let fleet = QuadraticFleet::random(4, 2, 1.0, 1.0, 0.5, 0).unwrap();
+        let bad = ConvexFedMsConfig {
+            servers: 0,
+            byzantine: 0,
+            attack: AttackKind::Benign,
+            beta: None,
+            local_epochs: 1,
+            noise_std: 0.0,
+            rounds: 1,
+            seed: 0,
+            init_offset: 0.0,
+        };
+        assert!(run_convex_fedms(&fleet, &bad).is_err());
+    }
+
+    #[test]
+    fn byzantine_sweep_floor_grows_toward_half() {
+        let fleet = QuadraticFleet::random(20, 8, 0.5, 2.0, 1.0, 5).unwrap();
+        let base = ConvexFedMsConfig {
+            servers: 8,
+            byzantine: 0,
+            attack: AttackKind::Random { lo: -10.0, hi: 10.0 },
+            beta: Some(0.0),
+            local_epochs: 2,
+            noise_std: 0.1,
+            rounds: 150,
+            seed: 17,
+            init_offset: 3.0,
+        };
+        let sweep = sweep_byzantine(&fleet, &base, &[0, 3]).unwrap();
+        assert_eq!(sweep.len(), 2);
+        let clean = sweep[0].1;
+        let near_half = sweep[1].1;
+        assert!(
+            near_half > clean,
+            "floor should rise toward B = P/2: clean {clean}, B=3 {near_half}"
+        );
+    }
+
+    #[test]
+    fn log_log_slope_of_exact_power_law() {
+        let points: Vec<GapPoint> = (1..50)
+            .map(|t| GapPoint { step: t, gap: 10.0 / t as f64 })
+            .collect();
+        let slope = log_log_slope(&points).unwrap();
+        assert!((slope + 1.0).abs() < 1e-9, "slope {slope}");
+        assert!(log_log_slope(&points[..2]).is_none());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests of Theorem 1's closed-form machinery.
+
+use fedms_core::theory::TheoremConstants;
+use proptest::prelude::*;
+
+fn constants_strategy() -> impl Strategy<Value = TheoremConstants> {
+    (
+        0.1f64..2.0,   // mu
+        1.0f64..8.0,   // l multiplier over mu
+        0.0f64..50.0,  // g_sq
+        0.0f64..10.0,  // sigma
+        0.0f64..10.0,  // gamma_het
+        1usize..5,     // e
+        2usize..100,   // k
+        3usize..30,    // p
+    )
+        .prop_flat_map(|(mu, lmul, g_sq, sigma, gamma_het, e, k, p)| {
+            (0usize..p.div_ceil(2)).prop_map(move |b| TheoremConstants {
+                l: mu * lmul,
+                mu,
+                g_sq,
+                sigma_sq_mean: sigma,
+                gamma_het,
+                e,
+                k,
+                p,
+                b,
+            })
+        })
+        .prop_filter("theorem precondition", |c| c.validate().is_ok())
+}
+
+proptest! {
+    /// Δ equals the sum of its five printed terms.
+    #[test]
+    fn delta_is_sum_of_terms(c in constants_strategy()) {
+        let sum = c.heterogeneity_term()
+            + c.drift_term()
+            + c.variance_term()
+            + c.byzantine_term()
+            + c.sparse_term();
+        prop_assert!((c.delta() - sum).abs() < 1e-9 * (1.0 + sum.abs()));
+        prop_assert!(c.delta() >= 0.0);
+    }
+
+    /// The bound decays monotonically in t and scales like Θ(1/t).
+    #[test]
+    fn bound_decays_one_over_t(c in constants_strategy(), w0 in 0.0f64..100.0) {
+        let b10 = c.bound_at(10, w0);
+        let b20 = c.bound_at(20, w0);
+        let b40 = c.bound_at(40, w0);
+        prop_assert!(b20 <= b10 + 1e-12);
+        prop_assert!(b40 <= b20 + 1e-12);
+        // 1/t family: bound_at(t)·(γ+t) is constant.
+        let g = c.gamma_lr();
+        let x10 = b10 * (g + 10.0);
+        let x40 = b40 * (g + 40.0);
+        prop_assert!((x10 - x40).abs() < 1e-6 * (1.0 + x10.abs()));
+    }
+
+    /// More Byzantine servers never shrink the error budget.
+    #[test]
+    fn delta_monotone_in_b(c in constants_strategy()) {
+        prop_assume!(2 * (c.b + 1) < c.p);
+        let worse = TheoremConstants { b: c.b + 1, ..c };
+        prop_assert!(worse.delta() + 1e-12 >= c.delta());
+    }
+
+    /// The prescribed step size respects the proof's preconditions:
+    /// non-increasing and η_t ≤ 2·η_{t+E}.
+    #[test]
+    fn step_size_preconditions(c in constants_strategy()) {
+        for t in 0..50 {
+            prop_assert!(c.eta_at(t + 1) <= c.eta_at(t) + 1e-15);
+            prop_assert!(c.eta_at(t) <= 2.0 * c.eta_at(t + c.e) + 1e-12);
+        }
+        // η_0 = φ/γ ≤ 1/(4L) given γ = max(8L/μ, E) and φ = 2/μ.
+        prop_assert!(c.eta_at(0) <= 1.0 / (4.0 * c.l) + 1e-12);
+    }
+}

@@ -1,0 +1,244 @@
+//! In-memory labelled datasets.
+
+use fedms_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::{DataError, Result};
+
+/// A labelled dataset held in memory: samples stacked along axis 0 of one
+/// tensor, plus integer class labels.
+///
+/// Samples may be images (`(N, C, H, W)`) or flat feature vectors
+/// (`(N, D)`); [`Dataset::flattened`] converts the former to the latter for
+/// MLP training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    samples: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating sample/label agreement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Inconsistent`] if the label count differs from
+    /// the number of samples, any label is out of range, the dataset is
+    /// empty, or the sample tensor is rank 0.
+    pub fn new(samples: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self> {
+        if samples.rank() == 0 {
+            return Err(DataError::Inconsistent("samples must have a batch axis".into()));
+        }
+        let n = samples.dims()[0];
+        if n == 0 {
+            return Err(DataError::Inconsistent("dataset must contain samples".into()));
+        }
+        if labels.len() != n {
+            return Err(DataError::Inconsistent(format!(
+                "{} labels for {n} samples",
+                labels.len()
+            )));
+        }
+        if num_classes == 0 {
+            return Err(DataError::Inconsistent("num_classes must be positive".into()));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DataError::Inconsistent(format!(
+                "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        Ok(Dataset { samples, labels, num_classes })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty (never true for a constructed dataset).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The full sample tensor.
+    pub fn samples(&self) -> &Tensor {
+        &self.samples
+    }
+
+    /// The labels, aligned with axis 0 of [`Dataset::samples`].
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Per-sample shape (dims after the batch axis).
+    pub fn sample_dims(&self) -> &[usize] {
+        &self.samples.dims()[1..]
+    }
+
+    /// Number of scalars per sample.
+    pub fn sample_volume(&self) -> usize {
+        self.sample_dims().iter().product()
+    }
+
+    /// Gathers the samples and labels at `indices` into a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::IndexOutOfBounds`] for an invalid index and
+    /// [`DataError::Inconsistent`] for an empty index list.
+    pub fn batch(&self, indices: &[usize]) -> Result<(Tensor, Vec<usize>)> {
+        if indices.is_empty() {
+            return Err(DataError::Inconsistent("batch indices must be non-empty".into()));
+        }
+        let vol = self.sample_volume();
+        let mut data = Vec::with_capacity(indices.len() * vol);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(DataError::IndexOutOfBounds { index: i, len: self.len() });
+            }
+            data.extend_from_slice(&self.samples.as_slice()[i * vol..(i + 1) * vol]);
+            labels.push(self.labels[i]);
+        }
+        let mut dims = vec![indices.len()];
+        dims.extend_from_slice(self.sample_dims());
+        Ok((Tensor::from_vec(data, &dims)?, labels))
+    }
+
+    /// Builds a new dataset containing only the samples at `indices`
+    /// (duplicates allowed, order preserved).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Dataset::batch`].
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset> {
+        let (samples, labels) = self.batch(indices)?;
+        Dataset::new(samples, labels, self.num_classes)
+    }
+
+    /// Returns a copy with each sample flattened to a vector:
+    /// `(N, C, H, W) → (N, C·H·W)`.
+    pub fn flattened(&self) -> Dataset {
+        let n = self.len();
+        let vol = self.sample_volume();
+        let samples = self
+            .samples
+            .reshape(&[n, vol])
+            .expect("volume is preserved by flattening");
+        Dataset { samples, labels: self.labels.clone(), num_classes: self.num_classes }
+    }
+
+    /// Returns a copy with every label remapped through `map` — the classic
+    /// label-flipping data poisoning used by Byzantine *clients* (extension
+    /// experiments; the paper's future work considers malicious clients).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Inconsistent`] if `map` produces an
+    /// out-of-range class.
+    pub fn with_mapped_labels(&self, map: impl Fn(usize) -> usize) -> Result<Dataset> {
+        let labels: Vec<usize> = self.labels.iter().map(|&l| map(l)).collect();
+        Dataset::new(self.samples.clone(), labels, self.num_classes)
+    }
+
+    /// Returns a copy with labels rotated by `offset` modulo the class
+    /// count (`offset = 1` sends class 0 → 1, …, last → 0) — a standard
+    /// label-flip poisoning pattern.
+    pub fn with_rotated_labels(&self, offset: usize) -> Dataset {
+        self.with_mapped_labels(|l| (l + offset) % self.num_classes)
+            .expect("rotation stays in class range")
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let samples = Tensor::linspace(0.0, 11.0, 12).reshape(&[4, 3]).unwrap();
+        Dataset::new(samples, vec![0, 1, 1, 2], 3).unwrap()
+    }
+
+    #[test]
+    fn validates_construction() {
+        let s = Tensor::zeros(&[2, 3]);
+        assert!(Dataset::new(s.clone(), vec![0], 2).is_err());
+        assert!(Dataset::new(s.clone(), vec![0, 2], 2).is_err());
+        assert!(Dataset::new(s.clone(), vec![0, 1], 0).is_err());
+        assert!(Dataset::new(Tensor::zeros(&[0, 3]), vec![], 2).is_err());
+        assert!(Dataset::new(Tensor::scalar(1.0), vec![0], 2).is_err());
+        assert!(Dataset::new(s, vec![0, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.sample_dims(), &[3]);
+        assert_eq!(d.sample_volume(), 3);
+        assert_eq!(d.class_counts(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn batch_gathers_in_order() {
+        let d = tiny();
+        let (x, y) = d.batch(&[2, 0]).unwrap();
+        assert_eq!(x.dims(), &[2, 3]);
+        assert_eq!(x.as_slice(), &[6.0, 7.0, 8.0, 0.0, 1.0, 2.0]);
+        assert_eq!(y, vec![1, 0]);
+    }
+
+    #[test]
+    fn batch_validates() {
+        let d = tiny();
+        assert!(d.batch(&[]).is_err());
+        assert!(matches!(d.batch(&[4]), Err(DataError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn subset_preserves_classes() {
+        let d = tiny();
+        let s = d.subset(&[1, 2, 1]).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels(), &[1, 1, 1]);
+        assert_eq!(s.num_classes(), 3);
+    }
+
+    #[test]
+    fn label_mapping_and_rotation() {
+        let d = tiny();
+        let rotated = d.with_rotated_labels(1);
+        assert_eq!(rotated.labels(), &[1, 2, 2, 0]);
+        assert_eq!(rotated.samples(), d.samples());
+        let identity = d.with_rotated_labels(3);
+        assert_eq!(identity.labels(), d.labels());
+        // Out-of-range mapping is rejected.
+        assert!(d.with_mapped_labels(|_| 99).is_err());
+    }
+
+    #[test]
+    fn flatten_images() {
+        let samples = Tensor::zeros(&[2, 3, 4, 4]);
+        let d = Dataset::new(samples, vec![0, 1], 2).unwrap();
+        let f = d.flattened();
+        assert_eq!(f.samples().dims(), &[2, 48]);
+        assert_eq!(f.labels(), d.labels());
+    }
+}

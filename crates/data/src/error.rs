@@ -1,0 +1,75 @@
+//! Error type for dataset construction and partitioning.
+
+use std::fmt;
+
+use fedms_tensor::TensorError;
+
+/// Errors produced by dataset generation, batching and partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// The dataset definition is inconsistent (labels vs samples, class
+    /// count, empty dataset, …).
+    Inconsistent(String),
+    /// A sample index exceeds the dataset size.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Number of samples in the dataset.
+        len: usize,
+    },
+    /// A configuration value is invalid (zero clients, non-positive α, …).
+    BadConfig(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DataError::Inconsistent(msg) => write!(f, "inconsistent dataset: {msg}"),
+            DataError::IndexOutOfBounds { index, len } => {
+                write!(f, "sample index {index} out of bounds for dataset of {len}")
+            }
+            DataError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            DataError::Tensor(TensorError::Empty("x")),
+            DataError::Inconsistent("labels".into()),
+            DataError::IndexOutOfBounds { index: 5, len: 2 },
+            DataError::BadConfig("alpha".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-client label statistics (the data behind Figure 4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DataError, Dataset, Result};
+
+/// The class histogram of one client's shard.
+///
+/// Figure 4 of the paper visualises these histograms for the first ten
+/// clients at each `D_α`; the `fig4` experiment binary prints them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelHistogram {
+    counts: Vec<usize>,
+}
+
+impl LabelHistogram {
+    /// Computes the histogram of the samples at `indices` in `dataset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::IndexOutOfBounds`] for an invalid index.
+    pub fn from_indices(dataset: &Dataset, indices: &[usize]) -> Result<Self> {
+        let mut counts = vec![0usize; dataset.num_classes()];
+        for &i in indices {
+            if i >= dataset.len() {
+                return Err(DataError::IndexOutOfBounds { index: i, len: dataset.len() });
+            }
+            counts[dataset.labels()[i]] += 1;
+        }
+        Ok(LabelHistogram { counts })
+    }
+
+    /// Per-class counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total samples in the shard.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Per-class fractions (empty shard → all zeros).
+    pub fn fractions(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+
+    /// Shannon entropy of the label distribution in nats; `ln(classes)` for
+    /// a uniform shard, 0 for a single-class shard.
+    pub fn entropy(&self) -> f64 {
+        self.fractions()
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.ln())
+            .sum()
+    }
+
+    /// Renders a compact bar string (one character per class, height 0–9)
+    /// used by the `fig4` experiment output.
+    pub fn bar_string(&self) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        self.counts
+            .iter()
+            .map(|&c| {
+                let level = (c * 9 + max / 2) / max;
+                char::from_digit(level as u32, 10).unwrap_or('9')
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedms_tensor::Tensor;
+
+    fn ds() -> Dataset {
+        Dataset::new(Tensor::zeros(&[6, 2]), vec![0, 0, 1, 1, 1, 2], 3).unwrap()
+    }
+
+    #[test]
+    fn counts_and_total() {
+        let h = LabelHistogram::from_indices(&ds(), &[0, 2, 3, 5]).unwrap();
+        assert_eq!(h.counts(), &[1, 2, 1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_index() {
+        assert!(LabelHistogram::from_indices(&ds(), &[6]).is_err());
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let h = LabelHistogram::from_indices(&ds(), &[0, 1, 2]).unwrap();
+        let s: f64 = h.fractions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        let empty = LabelHistogram::from_indices(&ds(), &[]).unwrap();
+        assert_eq!(empty.fractions(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        let single = LabelHistogram::from_indices(&ds(), &[2, 3, 4]).unwrap();
+        assert_eq!(single.entropy(), 0.0);
+        let uniform = LabelHistogram::from_indices(&ds(), &[0, 2, 5]).unwrap();
+        assert!((uniform.entropy() - 3.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bar_string_has_one_char_per_class() {
+        let h = LabelHistogram::from_indices(&ds(), &[0, 1, 2, 5]).unwrap();
+        let bars = h.bar_string();
+        assert_eq!(bars.chars().count(), 3);
+        assert_eq!(bars.chars().next(), Some('9')); // max class renders full height
+    }
+}

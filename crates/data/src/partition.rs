@@ -1,0 +1,249 @@
+//! Dirichlet non-iid partitioning (Hsu, Qi & Brown, 2019 — the paper's
+//! `D_α`).
+
+use fedms_tensor::rng::rng_for;
+use rand::Rng;
+use rand_distr::{Dirichlet, Distribution};
+use serde::{Deserialize, Serialize};
+
+use crate::{DataError, Dataset, Result};
+
+/// Splits a dataset across `K` clients with per-class Dirichlet proportions.
+///
+/// For every class `c`, client shares `p ∈ Δ^K` are drawn from
+/// `Dirichlet(α·1_K)` and the class's samples are dealt out accordingly.
+/// Small `α` concentrates each class on few clients (strongly non-iid);
+/// `α → ∞` approaches a uniform iid split. The paper sweeps
+/// `D_α ∈ {1, 5, 10, 1000}`.
+///
+/// Every client is guaranteed at least one sample (a client that would end
+/// up empty steals one sample from the largest shard), so downstream local
+/// training is always well-defined.
+///
+/// # Example
+///
+/// ```
+/// use fedms_data::{DirichletPartitioner, SynthVisionConfig};
+///
+/// let (train, _) = SynthVisionConfig::small().generate(0)?;
+/// let shards = DirichletPartitioner::new(1.0)?.partition(&train, 4, 0)?;
+/// assert!(shards.iter().all(|s| !s.is_empty()));
+/// # Ok::<(), fedms_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DirichletPartitioner {
+    alpha: f64,
+}
+
+impl DirichletPartitioner {
+    /// Creates a partitioner with concentration `alpha` (the paper's `D_α`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadConfig`] for non-positive or non-finite `alpha`.
+    pub fn new(alpha: f64) -> Result<Self> {
+        if !(alpha.is_finite() && alpha > 0.0) {
+            return Err(DataError::BadConfig(format!("alpha must be positive, got {alpha}")));
+        }
+        Ok(DirichletPartitioner { alpha })
+    }
+
+    /// The concentration parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Partitions `dataset` into `num_clients` index shards, seeded by
+    /// `seed`. Shard `k` holds the sample indices of client `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadConfig`] if `num_clients` is zero or exceeds
+    /// the dataset size.
+    pub fn partition(
+        &self,
+        dataset: &Dataset,
+        num_clients: usize,
+        seed: u64,
+    ) -> Result<Vec<Vec<usize>>> {
+        if num_clients == 0 {
+            return Err(DataError::BadConfig("need at least one client".into()));
+        }
+        if num_clients > dataset.len() {
+            return Err(DataError::BadConfig(format!(
+                "{num_clients} clients cannot each receive a sample from {} total",
+                dataset.len()
+            )));
+        }
+        let mut shards: Vec<Vec<usize>> = vec![Vec::new(); num_clients];
+        // Indices of each class, in dataset order.
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); dataset.num_classes()];
+        for (i, &l) in dataset.labels().iter().enumerate() {
+            per_class[l].push(i);
+        }
+        for (class, indices) in per_class.into_iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut rng = rng_for(seed, &[0x44_49_52, class as u64]); // "DIR"
+            let shares = self.sample_shares(num_clients, &mut rng);
+            // Deal samples to clients proportionally via largest-remainder.
+            let n = indices.len();
+            let mut counts: Vec<usize> =
+                shares.iter().map(|&s| (s * n as f64).floor() as usize).collect();
+            let assigned: usize = counts.iter().sum();
+            // Distribute the remainder to the largest fractional parts.
+            let mut fracs: Vec<(f64, usize)> = shares
+                .iter()
+                .enumerate()
+                .map(|(k, &s)| (s * n as f64 - counts[k] as f64, k))
+                .collect();
+            fracs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            for i in 0..n - assigned {
+                counts[fracs[i % num_clients].1] += 1;
+            }
+            let mut cursor = 0usize;
+            for (k, &c) in counts.iter().enumerate() {
+                shards[k].extend_from_slice(&indices[cursor..cursor + c]);
+                cursor += c;
+            }
+        }
+        // Guarantee non-empty shards.
+        for k in 0..num_clients {
+            if shards[k].is_empty() {
+                let donor = (0..num_clients)
+                    .max_by_key(|&j| shards[j].len())
+                    .expect("at least one client exists");
+                let moved =
+                    shards[donor].pop().expect("largest shard holds at least one sample");
+                shards[k].push(moved);
+            }
+        }
+        Ok(shards)
+    }
+
+    /// Draws one set of client shares. `Dirichlet` in `rand_distr` requires
+    /// `K ≥ 2`; a single client always receives share 1.
+    fn sample_shares<R: Rng + ?Sized>(&self, num_clients: usize, rng: &mut R) -> Vec<f64> {
+        if num_clients == 1 {
+            return vec![1.0];
+        }
+        let dir = Dirichlet::new_with_size(self.alpha, num_clients)
+            .expect("alpha validated positive, num_clients >= 2");
+        dir.sample(rng)
+    }
+}
+
+/// A dispersion statistic for partition quality: the mean across clients of
+/// the total-variation distance between the client's label distribution and
+/// the global label distribution. 0 = perfectly iid; approaching 1 = each
+/// client sees a single class. Used by the `fig4` experiment to quantify
+/// the heterogeneity each `D_α` induces.
+pub fn mean_tv_distance(dataset: &Dataset, shards: &[Vec<usize>]) -> f64 {
+    let classes = dataset.num_classes();
+    let global = dataset.class_counts();
+    let total: usize = global.iter().sum();
+    let global: Vec<f64> = global.iter().map(|&c| c as f64 / total as f64).collect();
+    let mut acc = 0.0f64;
+    for shard in shards {
+        let mut counts = vec![0usize; classes];
+        for &i in shard {
+            counts[dataset.labels()[i]] += 1;
+        }
+        let n: usize = counts.iter().sum();
+        if n == 0 {
+            continue;
+        }
+        let tv: f64 = counts
+            .iter()
+            .zip(global.iter())
+            .map(|(&c, &g)| (c as f64 / n as f64 - g).abs())
+            .sum::<f64>()
+            / 2.0;
+        acc += tv;
+    }
+    acc / shards.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthVisionConfig;
+
+    fn data() -> Dataset {
+        let (train, _) = SynthVisionConfig::default().generate(11).unwrap();
+        train
+    }
+
+    #[test]
+    fn validates_alpha() {
+        assert!(DirichletPartitioner::new(0.0).is_err());
+        assert!(DirichletPartitioner::new(-1.0).is_err());
+        assert!(DirichletPartitioner::new(f64::NAN).is_err());
+        assert_eq!(DirichletPartitioner::new(2.0).unwrap().alpha(), 2.0);
+    }
+
+    #[test]
+    fn partition_covers_every_sample_exactly_once() {
+        let d = data();
+        let shards = DirichletPartitioner::new(1.0).unwrap().partition(&d, 7, 3).unwrap();
+        let mut seen = vec![false; d.len()];
+        for shard in &shards {
+            for &i in shard {
+                assert!(!seen[i], "sample {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every sample must be assigned");
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let d = data();
+        let p = DirichletPartitioner::new(5.0).unwrap();
+        assert_eq!(p.partition(&d, 10, 9).unwrap(), p.partition(&d, 10, 9).unwrap());
+        assert_ne!(p.partition(&d, 10, 9).unwrap(), p.partition(&d, 10, 10).unwrap());
+    }
+
+    #[test]
+    fn no_empty_shards() {
+        let d = data();
+        // Extremely non-iid: empty shards would be likely without the guard.
+        let shards = DirichletPartitioner::new(0.05).unwrap().partition(&d, 50, 1).unwrap();
+        assert!(shards.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn small_alpha_is_more_heterogeneous() {
+        let d = data();
+        let het = mean_tv_distance(
+            &d,
+            &DirichletPartitioner::new(0.1).unwrap().partition(&d, 10, 5).unwrap(),
+        );
+        let hom = mean_tv_distance(
+            &d,
+            &DirichletPartitioner::new(1000.0).unwrap().partition(&d, 10, 5).unwrap(),
+        );
+        assert!(
+            het > hom + 0.1,
+            "alpha 0.1 should be much more heterogeneous: {het} vs {hom}"
+        );
+        assert!(hom < 0.15, "alpha 1000 should be near-iid, tv {hom}");
+    }
+
+    #[test]
+    fn validates_client_count() {
+        let d = data();
+        let p = DirichletPartitioner::new(1.0).unwrap();
+        assert!(p.partition(&d, 0, 0).is_err());
+        assert!(p.partition(&d, d.len() + 1, 0).is_err());
+        assert!(p.partition(&d, 1, 0).is_ok(), "single client receives everything");
+    }
+
+    #[test]
+    fn single_client_gets_all() {
+        let d = data();
+        let shards = DirichletPartitioner::new(1.0).unwrap().partition(&d, 1, 0).unwrap();
+        assert_eq!(shards[0].len(), d.len());
+    }
+}

@@ -1,0 +1,161 @@
+//! Seeded mini-batch sampling for local SGD.
+
+use fedms_tensor::rng::rng_for;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{DataError, Result};
+
+/// Produces mini-batches of sample indices, uniformly at random with
+/// replacement across batches (each batch is a without-replacement draw) —
+/// the `ξ_{t,i}^k` of the paper's local-training stage.
+///
+/// # Example
+///
+/// ```
+/// use fedms_data::BatchSampler;
+///
+/// let mut s = BatchSampler::new(10, 4, 42)?;
+/// let batch = s.next_batch();
+/// assert_eq!(batch.len(), 4);
+/// assert!(batch.iter().all(|&i| i < 10));
+/// # Ok::<(), fedms_data::DataError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchSampler {
+    len: usize,
+    batch_size: usize,
+    rng: StdRng,
+    scratch: Vec<usize>,
+}
+
+impl BatchSampler {
+    /// Creates a sampler over `len` samples with the given batch size
+    /// (clamped to `len`), seeded deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadConfig`] if `len` or `batch_size` is zero.
+    pub fn new(len: usize, batch_size: usize, seed: u64) -> Result<Self> {
+        if len == 0 || batch_size == 0 {
+            return Err(DataError::BadConfig(
+                "sampler needs positive length and batch size".into(),
+            ));
+        }
+        Ok(BatchSampler {
+            len,
+            batch_size: batch_size.min(len),
+            rng: rng_for(seed, &[0x42_41_54_43]), // "BATC"
+            scratch: (0..len).collect(),
+        })
+    }
+
+    /// The effective batch size (may be smaller than requested for tiny
+    /// shards).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Draws the next mini-batch of indices (without replacement inside the
+    /// batch).
+    pub fn next_batch(&mut self) -> Vec<usize> {
+        if self.batch_size * 4 >= self.len {
+            // Partial Fisher–Yates: shuffle a prefix of the index pool.
+            for i in 0..self.batch_size {
+                let j = self.rng.gen_range(i..self.len);
+                self.scratch.swap(i, j);
+            }
+            self.scratch[..self.batch_size].to_vec()
+        } else {
+            // Sparse draw for small batches over big shards.
+            let mut picked = Vec::with_capacity(self.batch_size);
+            while picked.len() < self.batch_size {
+                let c = self.rng.gen_range(0..self.len);
+                if !picked.contains(&c) {
+                    picked.push(c);
+                }
+            }
+            picked
+        }
+    }
+
+    /// Returns all indices in a fresh random order (one epoch).
+    pub fn epoch(&mut self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.len).collect();
+        order.shuffle(&mut self.rng);
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn validates_config() {
+        assert!(BatchSampler::new(0, 2, 0).is_err());
+        assert!(BatchSampler::new(5, 0, 0).is_err());
+    }
+
+    #[test]
+    fn batch_size_clamped() {
+        let s = BatchSampler::new(3, 10, 0).unwrap();
+        assert_eq!(s.batch_size(), 3);
+    }
+
+    #[test]
+    fn batches_are_in_range_and_distinct() {
+        let mut s = BatchSampler::new(100, 16, 1).unwrap();
+        for _ in 0..50 {
+            let b = s.next_batch();
+            assert_eq!(b.len(), 16);
+            let set: HashSet<_> = b.iter().collect();
+            assert_eq!(set.len(), 16, "indices within a batch must be distinct");
+            assert!(b.iter().all(|&i| i < 100));
+        }
+    }
+
+    #[test]
+    fn sparse_path_in_range_and_distinct() {
+        let mut s = BatchSampler::new(1000, 8, 2).unwrap();
+        for _ in 0..20 {
+            let b = s.next_batch();
+            let set: HashSet<_> = b.iter().collect();
+            assert_eq!(set.len(), 8);
+            assert!(b.iter().all(|&i| i < 1000));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = BatchSampler::new(50, 8, 7).unwrap();
+        let mut b = BatchSampler::new(50, 8, 7).unwrap();
+        for _ in 0..10 {
+            assert_eq!(a.next_batch(), b.next_batch());
+        }
+        let mut c = BatchSampler::new(50, 8, 8).unwrap();
+        assert_ne!(a.next_batch(), c.next_batch());
+    }
+
+    #[test]
+    fn coverage_over_many_batches() {
+        // Every index should eventually appear.
+        let mut s = BatchSampler::new(20, 5, 3).unwrap();
+        let mut seen = HashSet::new();
+        for _ in 0..100 {
+            seen.extend(s.next_batch());
+        }
+        assert_eq!(seen.len(), 20);
+    }
+
+    #[test]
+    fn epoch_is_permutation() {
+        let mut s = BatchSampler::new(30, 4, 4).unwrap();
+        let e = s.epoch();
+        let set: HashSet<_> = e.iter().collect();
+        assert_eq!(e.len(), 30);
+        assert_eq!(set.len(), 30);
+    }
+}

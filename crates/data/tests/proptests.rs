@@ -1,0 +1,114 @@
+//! Property-based tests of dataset and partitioning invariants.
+
+use fedms_data::{BatchSampler, Dataset, DirichletPartitioner, LabelHistogram, SynthVisionConfig};
+use fedms_tensor::Tensor;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..40, 2usize..6).prop_flat_map(|(n, classes)| {
+        proptest::collection::vec(0usize..classes, n).prop_map(move |labels| {
+            Dataset::new(Tensor::zeros(&[labels.len(), 3]), labels, classes)
+                .expect("valid dataset")
+        })
+    })
+}
+
+proptest! {
+    /// Partition is an exact cover: every index once, none invented.
+    #[test]
+    fn partition_is_exact_cover(
+        ds in dataset_strategy(),
+        clients in 1usize..8,
+        alpha in 0.1f64..100.0,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(clients <= ds.len());
+        let shards =
+            DirichletPartitioner::new(alpha).unwrap().partition(&ds, clients, seed).unwrap();
+        prop_assert_eq!(shards.len(), clients);
+        let mut seen = HashSet::new();
+        for shard in &shards {
+            prop_assert!(!shard.is_empty(), "no shard may be empty");
+            for &i in shard {
+                prop_assert!(i < ds.len());
+                prop_assert!(seen.insert(i), "index {i} assigned twice");
+            }
+        }
+        prop_assert_eq!(seen.len(), ds.len());
+    }
+
+    /// Histograms of a partition add back up to the global class counts.
+    #[test]
+    fn histograms_sum_to_global(
+        ds in dataset_strategy(),
+        clients in 1usize..6,
+        seed in 0u64..50,
+    ) {
+        prop_assume!(clients <= ds.len());
+        let shards =
+            DirichletPartitioner::new(1.0).unwrap().partition(&ds, clients, seed).unwrap();
+        let mut total = vec![0usize; ds.num_classes()];
+        for shard in &shards {
+            let h = LabelHistogram::from_indices(&ds, shard).unwrap();
+            for (t, &c) in total.iter_mut().zip(h.counts()) {
+                *t += c;
+            }
+        }
+        prop_assert_eq!(total, ds.class_counts());
+    }
+
+    /// Batch sampling never repeats inside a batch and stays in range.
+    #[test]
+    fn sampler_invariants(len in 1usize..200, batch in 1usize..64, seed in 0u64..50) {
+        let mut s = BatchSampler::new(len, batch, seed).unwrap();
+        for _ in 0..5 {
+            let b = s.next_batch();
+            prop_assert_eq!(b.len(), batch.min(len));
+            let set: HashSet<_> = b.iter().collect();
+            prop_assert_eq!(set.len(), b.len());
+            prop_assert!(b.iter().all(|&i| i < len));
+        }
+    }
+
+    /// Subsetting preserves per-sample data exactly.
+    #[test]
+    fn subset_preserves_rows(indices in proptest::collection::vec(0usize..20, 1..10)) {
+        let data: Vec<f32> = (0..60).map(|v| v as f32).collect();
+        let ds = Dataset::new(
+            Tensor::from_vec(data, &[20, 3]).unwrap(),
+            (0..20).map(|i| i % 4).collect(),
+            4,
+        )
+        .unwrap();
+        let sub = ds.subset(&indices).unwrap();
+        for (pos, &orig) in indices.iter().enumerate() {
+            let got = &sub.samples().as_slice()[pos * 3..(pos + 1) * 3];
+            let want = &ds.samples().as_slice()[orig * 3..(orig + 1) * 3];
+            prop_assert_eq!(got, want);
+            prop_assert_eq!(sub.labels()[pos], ds.labels()[orig]);
+        }
+    }
+
+    /// Label rotation is a bijection on classes: rotating by `classes`
+    /// steps in total returns the original labels.
+    #[test]
+    fn label_rotation_cycles(ds in dataset_strategy(), offset in 0usize..10) {
+        let rotated = ds.with_rotated_labels(offset);
+        prop_assert_eq!(
+            rotated.class_counts().iter().sum::<usize>(),
+            ds.class_counts().iter().sum::<usize>()
+        );
+        let back = rotated.with_rotated_labels(ds.num_classes() - offset % ds.num_classes());
+        prop_assert_eq!(back.labels(), ds.labels());
+    }
+
+    /// Dataset generation is a pure function of (config, seed).
+    #[test]
+    fn synthvision_pure(seed in 0u64..20) {
+        let cfg = SynthVisionConfig::small();
+        let (a, _) = cfg.generate(seed).unwrap();
+        let (b, _) = cfg.generate(seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

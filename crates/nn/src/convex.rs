@@ -1,0 +1,381 @@
+//! Strongly convex quadratic objectives with known constants.
+//!
+//! Theorem 1 of the paper bounds Fed-MS's optimality gap in terms of the
+//! smoothness `L`, strong convexity `μ`, gradient bound `G`, stochastic
+//! variance `σ²` and heterogeneity `Γ` of the local objectives. Neural
+//! networks satisfy none of these assumptions exactly, so the theory
+//! experiment (`fedms-bench --bin theory`) instead optimises a fleet of
+//! quadratics where every constant is known in closed form:
+//!
+//! `F_k(w) = ½ (w − c_k)ᵀ diag(a_k) (w − c_k)`,
+//!
+//! with `μ = min a_k`, `L = max a_k`, minimiser `c_k` and `F_k* = 0`.
+
+use fedms_tensor::rng::rng_for;
+use fedms_tensor::{Tensor, TensorError};
+use rand::Rng;
+
+use crate::{NnError, Result};
+
+/// One client's quadratic objective `½ (w − c)ᵀ diag(a) (w − c)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadraticObjective {
+    a_diag: Tensor,
+    center: Tensor,
+}
+
+impl QuadraticObjective {
+    /// Creates an objective from a positive diagonal `a_diag` and minimiser
+    /// `center`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if shapes differ, the dimension is
+    /// zero, or any diagonal entry is non-positive.
+    pub fn new(a_diag: Tensor, center: Tensor) -> Result<Self> {
+        if a_diag.shape() != center.shape() || a_diag.rank() != 1 {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                left: a_diag.dims().to_vec(),
+                right: center.dims().to_vec(),
+            }));
+        }
+        if a_diag.is_empty() {
+            return Err(NnError::BadConfig("quadratic dimension must be positive".into()));
+        }
+        if a_diag.as_slice().iter().any(|&v| !(v.is_finite() && v > 0.0)) {
+            return Err(NnError::BadConfig("diagonal entries must be positive".into()));
+        }
+        Ok(QuadraticObjective { a_diag, center })
+    }
+
+    /// Problem dimension.
+    pub fn dim(&self) -> usize {
+        self.a_diag.len()
+    }
+
+    /// `F_k(w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `w` has the wrong dimension.
+    pub fn value(&self, w: &Tensor) -> Result<f32> {
+        let d = w.sub(&self.center)?;
+        let mut acc = 0.0f64;
+        for (&x, &a) in d.as_slice().iter().zip(self.a_diag.as_slice()) {
+            acc += 0.5 * (a as f64) * (x as f64) * (x as f64);
+        }
+        Ok(acc as f32)
+    }
+
+    /// Exact gradient `∇F_k(w) = diag(a)(w − c)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `w` has the wrong dimension.
+    pub fn grad(&self, w: &Tensor) -> Result<Tensor> {
+        Ok(w.sub(&self.center)?.mul(&self.a_diag)?)
+    }
+
+    /// Stochastic gradient: the exact gradient plus i.i.d. Gaussian noise of
+    /// standard deviation `noise_std` per coordinate, so that
+    /// `E‖∇̃F − ∇F‖² = d·noise_std²` (Assumption 3's `σ_k²`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `w` has the wrong dimension.
+    pub fn stochastic_grad<R: Rng + ?Sized>(
+        &self,
+        w: &Tensor,
+        noise_std: f32,
+        rng: &mut R,
+    ) -> Result<Tensor> {
+        let mut g = self.grad(w)?;
+        if noise_std > 0.0 {
+            let noise = Tensor::randn(rng, g.dims(), 0.0, noise_std);
+            g.add_inplace(&noise)?;
+        }
+        Ok(g)
+    }
+
+    /// The minimiser `c_k`.
+    pub fn minimiser(&self) -> &Tensor {
+        &self.center
+    }
+
+    /// The diagonal of the Hessian.
+    pub fn hessian_diag(&self) -> &Tensor {
+        &self.a_diag
+    }
+
+    /// Smoothness constant `L = max_i a_i`.
+    pub fn smoothness(&self) -> f32 {
+        self.a_diag.max().unwrap_or(0.0)
+    }
+
+    /// Strong-convexity constant `μ = min_i a_i`.
+    pub fn strong_convexity(&self) -> f32 {
+        self.a_diag.min().unwrap_or(0.0)
+    }
+}
+
+/// A fleet of `K` client quadratics forming the global objective
+/// `F(w) = (1/K) Σ_k F_k(w)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadraticFleet {
+    objectives: Vec<QuadraticObjective>,
+}
+
+impl QuadraticFleet {
+    /// Wraps explicit per-client objectives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if the list is empty or dimensions
+    /// disagree.
+    pub fn new(objectives: Vec<QuadraticObjective>) -> Result<Self> {
+        let Some(first) = objectives.first() else {
+            return Err(NnError::BadConfig("fleet needs at least one objective".into()));
+        };
+        let d = first.dim();
+        if objectives.iter().any(|o| o.dim() != d) {
+            return Err(NnError::BadConfig("all objectives must share a dimension".into()));
+        }
+        Ok(QuadraticFleet { objectives })
+    }
+
+    /// Samples a random fleet: `K` clients in dimension `d`, Hessian
+    /// eigenvalues uniform in `[mu, l]`, minimisers `N(0, spread²)` per
+    /// coordinate — `spread` controls the heterogeneity `Γ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for `k == 0`, `d == 0` or an invalid
+    /// eigenvalue range.
+    pub fn random(k: usize, d: usize, mu: f32, l: f32, spread: f32, seed: u64) -> Result<Self> {
+        if k == 0 || d == 0 {
+            return Err(NnError::BadConfig("fleet size and dimension must be positive".into()));
+        }
+        if !(mu > 0.0 && l >= mu) {
+            return Err(NnError::BadConfig(format!("need 0 < mu <= l, got mu={mu}, l={l}")));
+        }
+        let mut objectives = Vec::with_capacity(k);
+        for i in 0..k {
+            let mut rng = rng_for(seed, &[0x51_55_41_44, i as u64]);
+            let a = if l > mu {
+                Tensor::rand_uniform(&mut rng, &[d], mu, l)
+            } else {
+                Tensor::full(&[d], mu)
+            };
+            let c = Tensor::randn(&mut rng, &[d], 0.0, spread);
+            objectives.push(QuadraticObjective::new(a, c)?);
+        }
+        QuadraticFleet::new(objectives)
+    }
+
+    /// Number of clients.
+    pub fn len(&self) -> usize {
+        self.objectives.len()
+    }
+
+    /// Whether the fleet is empty (never true for a constructed fleet).
+    pub fn is_empty(&self) -> bool {
+        self.objectives.is_empty()
+    }
+
+    /// Problem dimension.
+    pub fn dim(&self) -> usize {
+        self.objectives[0].dim()
+    }
+
+    /// The client objectives.
+    pub fn objectives(&self) -> &[QuadraticObjective] {
+        &self.objectives
+    }
+
+    /// Global objective value `F(w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `w` has the wrong dimension.
+    pub fn global_value(&self, w: &Tensor) -> Result<f32> {
+        let mut acc = 0.0f64;
+        for o in &self.objectives {
+            acc += o.value(w)? as f64;
+        }
+        Ok((acc / self.objectives.len() as f64) as f32)
+    }
+
+    /// The global minimiser `w* = (Σ diag(a_k))⁻¹ Σ diag(a_k) c_k`
+    /// (closed form because all Hessians are diagonal).
+    pub fn optimum(&self) -> Tensor {
+        let d = self.dim();
+        let mut num = vec![0.0f64; d];
+        let mut den = vec![0.0f64; d];
+        for o in &self.objectives {
+            for i in 0..d {
+                let a = o.a_diag.as_slice()[i] as f64;
+                num[i] += a * o.center.as_slice()[i] as f64;
+                den[i] += a;
+            }
+        }
+        Tensor::from_fn(&[d], |i| (num[i] / den[i]) as f32)
+    }
+
+    /// `F* = F(w*)`, the global minimum value.
+    pub fn optimal_value(&self) -> f32 {
+        self.global_value(&self.optimum()).expect("optimum has the fleet's dimension")
+    }
+
+    /// Heterogeneity `Γ = F* − (1/K) Σ_k F_k*`; each `F_k* = 0`, so
+    /// `Γ = F*`.
+    pub fn gamma(&self) -> f32 {
+        self.optimal_value()
+    }
+
+    /// Global smoothness bound `L = max_k L_k`.
+    pub fn smoothness(&self) -> f32 {
+        self.objectives.iter().map(|o| o.smoothness()).fold(0.0, f32::max)
+    }
+
+    /// Global strong-convexity bound `μ = min_k μ_k`.
+    pub fn strong_convexity(&self) -> f32 {
+        self.objectives.iter().map(|o| o.strong_convexity()).fold(f32::INFINITY, f32::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> QuadraticObjective {
+        QuadraticObjective::new(
+            Tensor::from_slice(&[1.0, 4.0]),
+            Tensor::from_slice(&[1.0, -1.0]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(QuadraticObjective::new(Tensor::zeros(&[2]), Tensor::zeros(&[3])).is_err());
+        assert!(QuadraticObjective::new(
+            Tensor::from_slice(&[1.0, -1.0]),
+            Tensor::zeros(&[2])
+        )
+        .is_err());
+        assert!(QuadraticObjective::new(Tensor::zeros(&[0]), Tensor::zeros(&[0])).is_err());
+    }
+
+    #[test]
+    fn value_and_grad_at_minimiser_are_zero() {
+        let o = simple();
+        let c = o.minimiser().clone();
+        assert_eq!(o.value(&c).unwrap(), 0.0);
+        assert_eq!(o.grad(&c).unwrap().norm_l2(), 0.0);
+    }
+
+    #[test]
+    fn value_matches_hand_computation() {
+        let o = simple();
+        let w = Tensor::from_slice(&[2.0, 0.0]);
+        // ½[1·(2−1)² + 4·(0+1)²] = ½(1 + 4) = 2.5
+        assert!((o.value(&w).unwrap() - 2.5).abs() < 1e-6);
+        assert_eq!(o.grad(&w).unwrap().as_slice(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn constants_are_extremes_of_diagonal() {
+        let o = simple();
+        assert_eq!(o.smoothness(), 4.0);
+        assert_eq!(o.strong_convexity(), 1.0);
+        assert_eq!(o.hessian_diag().as_slice(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn stochastic_grad_is_unbiased_and_noisy() {
+        let o = simple();
+        let w = Tensor::from_slice(&[0.0, 0.0]);
+        let exact = o.grad(&w).unwrap();
+        let mut rng = rng_for(1, &[]);
+        let mut acc = Tensor::zeros(&[2]);
+        let n = 2000;
+        for _ in 0..n {
+            acc.add_inplace(&o.stochastic_grad(&w, 0.5, &mut rng).unwrap()).unwrap();
+        }
+        acc.scale(1.0 / n as f32);
+        let err = acc.sub(&exact).unwrap().norm_l2();
+        assert!(err < 0.05, "mean stochastic grad should approach exact, err {err}");
+        let zero_noise = o.stochastic_grad(&w, 0.0, &mut rng).unwrap();
+        assert_eq!(zero_noise, exact);
+    }
+
+    #[test]
+    fn fleet_optimum_minimises_global() {
+        let fleet = QuadraticFleet::random(5, 8, 0.5, 2.0, 1.0, 9).unwrap();
+        let wstar = fleet.optimum();
+        let fstar = fleet.optimal_value();
+        let mut rng = rng_for(10, &[]);
+        for _ in 0..20 {
+            let probe = wstar.add(&Tensor::randn(&mut rng, &[8], 0.0, 0.1)).unwrap();
+            assert!(fleet.global_value(&probe).unwrap() >= fstar - 1e-5);
+        }
+    }
+
+    #[test]
+    fn fleet_gamma_grows_with_spread() {
+        let tight = QuadraticFleet::random(10, 4, 1.0, 1.0, 0.01, 3).unwrap();
+        let wide = QuadraticFleet::random(10, 4, 1.0, 1.0, 2.0, 3).unwrap();
+        assert!(wide.gamma() > tight.gamma());
+        assert!(tight.gamma() >= 0.0);
+    }
+
+    #[test]
+    fn fleet_identical_centers_have_zero_gamma() {
+        let c = Tensor::from_slice(&[1.0, 2.0]);
+        let a = Tensor::from_slice(&[1.0, 1.0]);
+        let objs = vec![
+            QuadraticObjective::new(a.clone(), c.clone()).unwrap(),
+            QuadraticObjective::new(a, c).unwrap(),
+        ];
+        let fleet = QuadraticFleet::new(objs).unwrap();
+        assert!(fleet.gamma().abs() < 1e-7);
+    }
+
+    #[test]
+    fn fleet_validation() {
+        assert!(QuadraticFleet::new(vec![]).is_err());
+        assert!(QuadraticFleet::random(0, 4, 1.0, 2.0, 1.0, 0).is_err());
+        assert!(QuadraticFleet::random(3, 0, 1.0, 2.0, 1.0, 0).is_err());
+        assert!(QuadraticFleet::random(3, 4, 2.0, 1.0, 1.0, 0).is_err());
+        assert!(QuadraticFleet::random(3, 4, 0.0, 1.0, 1.0, 0).is_err());
+        let mixed = vec![
+            QuadraticObjective::new(Tensor::ones(&[2]), Tensor::zeros(&[2])).unwrap(),
+            QuadraticObjective::new(Tensor::ones(&[3]), Tensor::zeros(&[3])).unwrap(),
+        ];
+        assert!(QuadraticFleet::new(mixed).is_err());
+    }
+
+    #[test]
+    fn fleet_constants_cover_range() {
+        let fleet = QuadraticFleet::random(20, 16, 0.5, 2.0, 1.0, 11).unwrap();
+        assert!(fleet.strong_convexity() >= 0.5);
+        assert!(fleet.smoothness() <= 2.0);
+        assert!(fleet.len() == 20 && !fleet.is_empty() && fleet.dim() == 16);
+    }
+
+    #[test]
+    fn gradient_descent_converges_to_optimum() {
+        let fleet = QuadraticFleet::random(4, 6, 0.5, 2.0, 1.0, 13).unwrap();
+        let mut w = Tensor::zeros(&[6]);
+        for _ in 0..200 {
+            let mut g = Tensor::zeros(&[6]);
+            for o in fleet.objectives() {
+                g.add_inplace(&o.grad(&w).unwrap()).unwrap();
+            }
+            g.scale(1.0 / fleet.len() as f32);
+            w.axpy(-0.4, &g).unwrap();
+        }
+        let gap = fleet.global_value(&w).unwrap() - fleet.optimal_value();
+        assert!(gap < 1e-6, "GD should reach the optimum, gap {gap}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for the neural-network substrate.
+
+use std::fmt;
+
+use fedms_tensor::TensorError;
+
+/// Errors produced by model construction, forward/backward passes and
+/// optimisation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed (shape/rank/index problems).
+    Tensor(TensorError),
+    /// `backward` was called before `forward`, so no activation is cached.
+    NoForwardCache(&'static str),
+    /// The supplied parameter vector has the wrong length for this model.
+    ParamLengthMismatch {
+        /// Length supplied.
+        got: usize,
+        /// Length the model requires.
+        expected: usize,
+    },
+    /// Labels and batch size disagree, or a label is out of class range.
+    BadLabels(String),
+    /// A configuration value is invalid (e.g. empty layer widths).
+    BadConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::NoForwardCache(layer) => {
+                write!(f, "backward called before forward on layer {layer}")
+            }
+            NnError::ParamLengthMismatch { got, expected } => {
+                write!(f, "parameter vector length {got} does not match model size {expected}")
+            }
+            NnError::BadLabels(msg) => write!(f, "bad labels: {msg}"),
+            NnError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = NnError::from(TensorError::Empty("mean"));
+        assert!(e.to_string().contains("tensor error"));
+        assert!(e.source().is_some());
+        assert!(NnError::NoForwardCache("linear").source().is_none());
+        assert!(NnError::ParamLengthMismatch { got: 1, expected: 2 }
+            .to_string()
+            .contains("parameter vector"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

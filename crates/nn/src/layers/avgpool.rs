@@ -1,0 +1,161 @@
+//! 2-D average pooling.
+
+use fedms_tensor::{Tensor, TensorError};
+
+use crate::{Layer, NnError, Result};
+
+/// Non-overlapping `k×k` average pooling over `(batch, C, H, W)` inputs.
+///
+/// `H` and `W` must be divisible by `k`. The backward pass spreads each
+/// output gradient evenly over its window.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    k: usize,
+    cached_dims: Option<[usize; 4]>,
+}
+
+impl AvgPool2d {
+    /// Creates a pooling layer with window size `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for `k < 2`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k < 2 {
+            return Err(NnError::BadConfig("pool window must be at least 2".into()));
+        }
+        Ok(AvgPool2d { k, cached_dims: None })
+    }
+
+    /// The window size.
+    pub fn window(&self) -> usize {
+        self.k
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> &'static str {
+        "avg_pool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return Err(TensorError::RankMismatch { expected: 4, got: input.rank() }.into());
+        }
+        let [b, c, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
+        if h % self.k != 0 || w % self.k != 0 {
+            return Err(NnError::BadConfig(format!(
+                "input {h}x{w} not divisible by pool window {}",
+                self.k
+            )));
+        }
+        let (oh, ow) = (h / self.k, w / self.k);
+        let inv = 1.0 / (self.k * self.k) as f32;
+        let src = input.as_slice();
+        let mut out = Tensor::zeros(&[b, c, oh, ow]);
+        for plane_idx in 0..b * c {
+            let plane = &src[plane_idx * h * w..(plane_idx + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for dy in 0..self.k {
+                        for dx in 0..self.k {
+                            acc += plane[(oy * self.k + dy) * w + ox * self.k + dx];
+                        }
+                    }
+                    out.as_mut_slice()[plane_idx * oh * ow + oy * ow + ox] = acc * inv;
+                }
+            }
+        }
+        self.cached_dims = Some([b, c, h, w]);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let [b, c, h, w] = self.cached_dims.ok_or(NnError::NoForwardCache("avg_pool2d"))?;
+        let (oh, ow) = (h / self.k, w / self.k);
+        if grad_out.dims() != [b, c, oh, ow] {
+            return Err(TensorError::ShapeMismatch {
+                left: grad_out.dims().to_vec(),
+                right: vec![b, c, oh, ow],
+            }
+            .into());
+        }
+        let inv = 1.0 / (self.k * self.k) as f32;
+        let mut grad_in = Tensor::zeros(&[b, c, h, w]);
+        for plane_idx in 0..b * c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad_out.as_slice()[plane_idx * oh * ow + oy * ow + ox] * inv;
+                    for dy in 0..self.k {
+                        for dx in 0..self.k {
+                            grad_in.as_mut_slice()
+                                [plane_idx * h * w + (oy * self.k + dy) * w + ox * self.k + dx] +=
+                                g;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_window() {
+        assert!(AvgPool2d::new(1).is_err());
+        assert_eq!(AvgPool2d::new(2).unwrap().window(), 2);
+    }
+
+    #[test]
+    fn forward_averages_windows() {
+        let mut l = AvgPool2d::new(2).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = l.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[2.5]);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let mut l = AvgPool2d::new(2).unwrap();
+        assert!(l.forward(&Tensor::zeros(&[1, 1, 3, 4])).is_err());
+        assert!(l.forward(&Tensor::zeros(&[4, 4])).is_err());
+        assert!(matches!(
+            l.backward(&Tensor::zeros(&[1, 1, 1, 1])),
+            Err(NnError::NoForwardCache(_))
+        ));
+    }
+
+    #[test]
+    fn backward_spreads_evenly() {
+        let mut l = AvgPool2d::new(2).unwrap();
+        l.forward(&Tensor::zeros(&[1, 1, 2, 2])).unwrap();
+        let g = l.backward(&Tensor::from_vec(vec![8.0], &[1, 1, 1, 1]).unwrap()).unwrap();
+        assert_eq!(g.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+        assert!(l.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn gradient_matches_numerical() {
+        crate::gradcheck::check_layer(Box::new(AvgPool2d::new(2).unwrap()), &[2, 2, 4, 4], 71, 1e-2)
+            .unwrap();
+    }
+}

@@ -1,0 +1,338 @@
+//! 2-D batch normalisation.
+
+use fedms_tensor::{Tensor, TensorError};
+
+use crate::{Layer, NnError, Result};
+
+/// Per-channel batch normalisation over `(batch, C, H, W)` inputs
+/// (Ioffe & Szegedy, 2015) — the normalisation MobileNetV2 uses after every
+/// convolution.
+///
+/// Trainable parameters are the affine `γ` (scale) and `β` (shift); the
+/// running mean/variance used at inference are **buffers**, not parameters,
+/// and are deliberately excluded from [`Layer::params`]: in the federated
+/// setting each client keeps its own normalisation statistics (the FedBN
+/// convention), so the aggregation layer never mixes them.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    training: bool,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    normalized: Tensor,
+    inv_std: Vec<f32>,
+    dims: [usize; 4],
+    used_batch_stats: bool,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` channels with γ = 1,
+    /// β = 0, ε = 1e-5 and running-stat momentum 0.1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for zero channels.
+    pub fn new(channels: usize) -> Result<Self> {
+        if channels == 0 {
+            return Err(NnError::BadConfig("batch norm needs at least one channel".into()));
+        }
+        Ok(BatchNorm2d {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            training: true,
+            cache: None,
+        })
+    }
+
+    /// The tracked running mean (inference statistics).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// The tracked running variance (inference statistics).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<[usize; 4]> {
+        if input.rank() != 4 {
+            return Err(TensorError::RankMismatch { expected: 4, got: input.rank() }.into());
+        }
+        let d = input.dims();
+        if d[1] != self.channels {
+            return Err(TensorError::ShapeMismatch {
+                left: d.to_vec(),
+                right: vec![d[0], self.channels, d[2], d[3]],
+            }
+            .into());
+        }
+        Ok([d[0], d[1], d[2], d[3]])
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &'static str {
+        "batch_norm2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let [b, c, h, w] = self.check_input(input)?;
+        let plane = h * w;
+        let per_channel = b * plane;
+        let src = input.as_slice();
+
+        // Channel statistics: batch stats when training, running stats at
+        // inference.
+        let mut mean = vec![0.0f64; c];
+        let mut var = vec![0.0f64; c];
+        if self.training {
+            for bi in 0..b {
+                for ci in 0..c {
+                    let base = (bi * c + ci) * plane;
+                    for &v in &src[base..base + plane] {
+                        mean[ci] += v as f64;
+                    }
+                }
+            }
+            for m in &mut mean {
+                *m /= per_channel as f64;
+            }
+            for bi in 0..b {
+                for ci in 0..c {
+                    let base = (bi * c + ci) * plane;
+                    for &v in &src[base..base + plane] {
+                        let d = v as f64 - mean[ci];
+                        var[ci] += d * d;
+                    }
+                }
+            }
+            for v in &mut var {
+                *v /= per_channel as f64;
+            }
+            // Update running statistics.
+            for ci in 0..c {
+                let rm = &mut self.running_mean.as_mut_slice()[ci];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * mean[ci] as f32;
+                let rv = &mut self.running_var.as_mut_slice()[ci];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * var[ci] as f32;
+            }
+        } else {
+            for ci in 0..c {
+                mean[ci] = self.running_mean.as_slice()[ci] as f64;
+                var[ci] = self.running_var.as_slice()[ci] as f64;
+            }
+        }
+
+        let inv_std: Vec<f32> =
+            var.iter().map(|&v| 1.0 / ((v as f32 + self.eps).sqrt())).collect();
+        let mut normalized = Tensor::zeros(&[b, c, h, w]);
+        let mut out = Tensor::zeros(&[b, c, h, w]);
+        for bi in 0..b {
+            for ci in 0..c {
+                let base = (bi * c + ci) * plane;
+                let g = self.gamma.as_slice()[ci];
+                let bt = self.beta.as_slice()[ci];
+                for p in 0..plane {
+                    let xhat = (src[base + p] - mean[ci] as f32) * inv_std[ci];
+                    normalized.as_mut_slice()[base + p] = xhat;
+                    out.as_mut_slice()[base + p] = g * xhat + bt;
+                }
+            }
+        }
+        self.cache = Some(BnCache {
+            normalized,
+            inv_std,
+            dims: [b, c, h, w],
+            used_batch_stats: self.training,
+        });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or(NnError::NoForwardCache("batch_norm2d"))?;
+        let [b, c, h, w] = cache.dims;
+        if grad_out.dims() != [b, c, h, w] {
+            return Err(TensorError::ShapeMismatch {
+                left: grad_out.dims().to_vec(),
+                right: vec![b, c, h, w],
+            }
+            .into());
+        }
+        let plane = h * w;
+        let m = (b * plane) as f64;
+        let dy = grad_out.as_slice();
+        let xhat = cache.normalized.as_slice();
+        let mut grad_in = Tensor::zeros(&[b, c, h, w]);
+
+        for ci in 0..c {
+            // Channel reductions: Σdy and Σdy·x̂.
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for bi in 0..b {
+                let base = (bi * c + ci) * plane;
+                for p in 0..plane {
+                    sum_dy += dy[base + p] as f64;
+                    sum_dy_xhat += dy[base + p] as f64 * xhat[base + p] as f64;
+                }
+            }
+            self.grad_beta.as_mut_slice()[ci] += sum_dy as f32;
+            self.grad_gamma.as_mut_slice()[ci] += sum_dy_xhat as f32;
+
+            let g = self.gamma.as_slice()[ci] as f64;
+            let inv_std = cache.inv_std[ci] as f64;
+            for bi in 0..b {
+                let base = (bi * c + ci) * plane;
+                for p in 0..plane {
+                    let d = if cache.used_batch_stats {
+                        // Full batch-norm backward.
+                        g * inv_std / m
+                            * (m * dy[base + p] as f64
+                                - sum_dy
+                                - xhat[base + p] as f64 * sum_dy_xhat)
+                    } else {
+                        // Inference statistics are constants: pure affine.
+                        g * inv_std * dy[base + p] as f64
+                    };
+                    grad_in.as_mut_slice()[base + p] = d as f32;
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_gamma, &self.grad_beta]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_gamma.scale(0.0);
+        self.grad_beta.scale(0.0);
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedms_tensor::rng::rng_for;
+
+    #[test]
+    fn validates_channels() {
+        assert!(BatchNorm2d::new(0).is_err());
+        assert!(BatchNorm2d::new(3).is_ok());
+    }
+
+    #[test]
+    fn training_forward_normalizes_per_channel() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let mut rng = rng_for(1, &[]);
+        let x = Tensor::randn(&mut rng, &[4, 2, 3, 3], 5.0, 2.0);
+        let y = bn.forward(&x).unwrap();
+        // With γ=1, β=0 the output of each channel has ≈0 mean, ≈1 var.
+        let plane = 9;
+        for ci in 0..2 {
+            let mut vals = Vec::new();
+            for bi in 0..4 {
+                let base = (bi * 2 + ci) * plane;
+                vals.extend_from_slice(&y.as_slice()[base..base + plane]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_track_data() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        let mut rng = rng_for(2, &[]);
+        for _ in 0..200 {
+            let x = Tensor::randn(&mut rng, &[8, 1, 2, 2], 3.0, 0.5);
+            bn.forward(&x).unwrap();
+        }
+        let rm = bn.running_mean().as_slice()[0];
+        let rv = bn.running_var().as_slice()[0];
+        assert!((rm - 3.0).abs() < 0.1, "running mean {rm}");
+        assert!((rv - 0.25).abs() < 0.1, "running var {rv}");
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        bn.running_mean.as_mut_slice()[0] = 10.0;
+        bn.running_var.as_mut_slice()[0] = 4.0;
+        bn.set_training(false);
+        let x = Tensor::full(&[1, 1, 2, 2], 12.0);
+        let y = bn.forward(&x).unwrap();
+        // (12 − 10)/2 = 1 in every position.
+        for &v in y.as_slice() {
+            assert!((v - 1.0).abs() < 1e-3);
+        }
+        // Eval mode must not touch the running stats.
+        assert_eq!(bn.running_mean().as_slice()[0], 10.0);
+    }
+
+    #[test]
+    fn affine_params_are_trainable_buffers_are_not() {
+        let bn = BatchNorm2d::new(3).unwrap();
+        assert_eq!(bn.num_params(), 6, "gamma + beta only — FedBN keeps stats local");
+    }
+
+    #[test]
+    fn backward_requires_forward_and_validates_shape() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        assert!(matches!(
+            bn.backward(&Tensor::zeros(&[1, 1, 2, 2])),
+            Err(NnError::NoForwardCache(_))
+        ));
+        bn.forward(&Tensor::zeros(&[1, 1, 2, 2])).unwrap();
+        assert!(bn.backward(&Tensor::zeros(&[1, 1, 3, 3])).is_err());
+    }
+
+    #[test]
+    fn train_mode_gradient_matches_numerical() {
+        let bn = BatchNorm2d::new(2).unwrap();
+        crate::gradcheck::check_layer(Box::new(bn), &[3, 2, 3, 3], 61, 4e-2).unwrap();
+    }
+
+    #[test]
+    fn eval_mode_gradient_matches_numerical() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        // Seed non-trivial running stats, then freeze.
+        let mut rng = rng_for(3, &[]);
+        bn.forward(&Tensor::randn(&mut rng, &[4, 2, 3, 3], 1.0, 2.0)).unwrap();
+        bn.set_training(false);
+        crate::gradcheck::check_layer(Box::new(bn), &[2, 2, 3, 3], 67, 2e-2).unwrap();
+    }
+}

@@ -1,0 +1,177 @@
+//! Inverted dropout.
+
+use fedms_tensor::rng::rng_for;
+use fedms_tensor::{Tensor, TensorError};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{Layer, NnError, Result};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and the survivors are scaled by `1/(1−p)`, so the
+/// expected activation is unchanged and inference (eval mode) is a pure
+/// identity.
+///
+/// The mask stream is seeded at construction; note that this makes a model
+/// containing dropout *stateful* across forward calls (mask sequence), so
+/// bit-exact checkpoint/resume of the federated engine applies to
+/// dropout-free models — the harness models are dropout-free by default.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    training: bool,
+    rng: StdRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p ∈ [0, 1)`, mask
+    /// stream seeded by `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for `p` outside `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Result<Self> {
+        if !(p.is_finite() && (0.0..1.0).contains(&p)) {
+            return Err(NnError::BadConfig(format!(
+                "drop probability must be in [0, 1), got {p}"
+            )));
+        }
+        Ok(Dropout { p, training: true, rng: rng_for(seed, &[0x44_52_4F]), mask: None })
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if !self.training || self.p == 0.0 {
+            self.mask = None;
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask = Tensor::from_fn(input.dims(), |_| {
+            if self.rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            }
+        });
+        let out = input.mul(&mask)?;
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        match &self.mask {
+            None => {
+                if self.training && self.p > 0.0 {
+                    return Err(NnError::NoForwardCache("dropout"));
+                }
+                Ok(grad_out.clone())
+            }
+            Some(mask) => {
+                if mask.shape() != grad_out.shape() {
+                    return Err(TensorError::ShapeMismatch {
+                        left: grad_out.dims().to_vec(),
+                        right: mask.dims().to_vec(),
+                    }
+                    .into());
+                }
+                grad_out.mul(mask).map_err(Into::into)
+            }
+        }
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_probability() {
+        assert!(Dropout::new(-0.1, 0).is_err());
+        assert!(Dropout::new(1.0, 0).is_err());
+        assert!(Dropout::new(f32::NAN, 0).is_err());
+        assert_eq!(Dropout::new(0.5, 0).unwrap().probability(), 0.5);
+    }
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1).unwrap();
+        d.set_training(false);
+        let x = Tensor::linspace(0.0, 1.0, 8);
+        assert_eq!(d.forward(&x).unwrap(), x);
+        assert_eq!(d.backward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let mut d = Dropout::new(0.0, 1).unwrap();
+        let x = Tensor::ones(&[8]);
+        assert_eq!(d.forward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 2).unwrap();
+        let x = Tensor::ones(&[20_000]);
+        let y = d.forward(&x).unwrap();
+        let mean = y.mean().unwrap();
+        assert!((mean - 1.0).abs() < 0.02, "inverted dropout mean {mean}");
+        // Either zero or the scale value.
+        let scale = 1.0 / 0.7;
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - scale).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3).unwrap();
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x).unwrap();
+        let g = d.backward(&Tensor::ones(&[64])).unwrap();
+        // The gradient passes exactly where the forward did.
+        for (yo, go) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(yo == &0.0, go == &0.0);
+        }
+        assert!(d.backward(&Tensor::ones(&[32])).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors_in_training() {
+        let mut d = Dropout::new(0.5, 4).unwrap();
+        assert!(matches!(
+            d.backward(&Tensor::ones(&[4])),
+            Err(NnError::NoForwardCache(_))
+        ));
+    }
+}

@@ -1,0 +1,185 @@
+//! 2-D max pooling.
+
+use fedms_tensor::{Tensor, TensorError};
+
+use crate::{Layer, NnError, Result};
+
+/// Non-overlapping `k×k` max pooling over `(batch, C, H, W)` inputs.
+///
+/// `H` and `W` must be divisible by `k`. The backward pass routes each
+/// output gradient to the argmax position of its window (first maximum on
+/// ties).
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    k: usize,
+    cached: Option<PoolCache>,
+}
+
+#[derive(Debug, Clone)]
+struct PoolCache {
+    in_dims: [usize; 4],
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with window size `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for `k < 2`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k < 2 {
+            return Err(NnError::BadConfig("pool window must be at least 2".into()));
+        }
+        Ok(MaxPool2d { k, cached: None })
+    }
+
+    /// The window size.
+    pub fn window(&self) -> usize {
+        self.k
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "max_pool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return Err(TensorError::RankMismatch { expected: 4, got: input.rank() }.into());
+        }
+        let [b, c, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
+        if h % self.k != 0 || w % self.k != 0 {
+            return Err(NnError::BadConfig(format!(
+                "input {h}x{w} not divisible by pool window {}",
+                self.k
+            )));
+        }
+        let (oh, ow) = (h / self.k, w / self.k);
+        let src = input.as_slice();
+        let mut out = Tensor::zeros(&[b, c, oh, ow]);
+        let mut argmax = vec![0usize; b * c * oh * ow];
+        for plane_idx in 0..b * c {
+            let plane = &src[plane_idx * h * w..(plane_idx + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_pos = 0usize;
+                    for dy in 0..self.k {
+                        for dx in 0..self.k {
+                            let pos = (oy * self.k + dy) * w + ox * self.k + dx;
+                            if plane[pos] > best {
+                                best = plane[pos];
+                                best_pos = pos;
+                            }
+                        }
+                    }
+                    let oidx = plane_idx * oh * ow + oy * ow + ox;
+                    out.as_mut_slice()[oidx] = best;
+                    argmax[oidx] = plane_idx * h * w + best_pos;
+                }
+            }
+        }
+        self.cached = Some(PoolCache { in_dims: [b, c, h, w], argmax });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self.cached.as_ref().ok_or(NnError::NoForwardCache("max_pool2d"))?;
+        let [b, c, h, w] = cache.in_dims;
+        if grad_out.len() != cache.argmax.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: grad_out.dims().to_vec(),
+                right: vec![b, c, h / self.k, w / self.k],
+            }
+            .into());
+        }
+        let mut grad_in = Tensor::zeros(&[b, c, h, w]);
+        for (oidx, &pos) in cache.argmax.iter().enumerate() {
+            grad_in.as_mut_slice()[pos] += grad_out.as_slice()[oidx];
+        }
+        Ok(grad_in)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_window() {
+        assert!(MaxPool2d::new(1).is_err());
+        assert_eq!(MaxPool2d::new(2).unwrap().window(), 2);
+    }
+
+    #[test]
+    fn forward_picks_window_max() {
+        let mut l = MaxPool2d::new(2).unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = l.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn rejects_indivisible_input() {
+        let mut l = MaxPool2d::new(2).unwrap();
+        assert!(l.forward(&Tensor::zeros(&[1, 1, 3, 4])).is_err());
+        assert!(l.forward(&Tensor::zeros(&[1, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut l = MaxPool2d::new(2).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 9.0, 2.0, 3.0], &[1, 1, 2, 2]).unwrap();
+        l.forward(&x).unwrap();
+        let g = l.backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap()).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut l = MaxPool2d::new(2).unwrap();
+        assert!(matches!(
+            l.backward(&Tensor::zeros(&[1, 1, 1, 1])),
+            Err(NnError::NoForwardCache(_))
+        ));
+    }
+
+    #[test]
+    fn no_params() {
+        assert_eq!(MaxPool2d::new(2).unwrap().num_params(), 0);
+    }
+
+    #[test]
+    fn gradient_matches_numerical() {
+        // Max pooling is piecewise linear; the kink detector skips window
+        // ties, so the check passes on generic random inputs.
+        crate::gradcheck::check_layer(
+            Box::new(MaxPool2d::new(2).unwrap()),
+            &[2, 2, 4, 4],
+            41,
+            2e-2,
+        )
+        .unwrap();
+    }
+}

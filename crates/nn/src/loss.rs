@@ -1,0 +1,205 @@
+//! Softmax cross-entropy loss and classification metrics.
+
+use fedms_tensor::{Tensor, TensorError};
+
+use crate::{NnError, Result};
+
+/// The value and gradient of a loss evaluated on a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the logits,
+    /// shape `(batch, classes)`.
+    pub grad_logits: Tensor,
+}
+
+/// Row-wise numerically stable softmax of a `(batch, classes)` logit matrix.
+///
+/// # Errors
+///
+/// Returns a rank error for non-matrices.
+///
+/// # Example
+///
+/// ```
+/// use fedms_nn::softmax;
+/// use fedms_tensor::Tensor;
+///
+/// let p = softmax(&Tensor::from_vec(vec![0.0, 0.0], &[1, 2])?)?;
+/// assert!((p.as_slice()[0] - 0.5).abs() < 1e-6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn softmax(logits: &Tensor) -> Result<Tensor> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, got: logits.rank() }.into());
+    }
+    let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = logits.clone();
+    for i in 0..batch {
+        let row = &mut out.as_mut_slice()[i * classes..(i + 1) * classes];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Ok(out)
+}
+
+/// Mean softmax cross-entropy of a `(batch, classes)` logit matrix against
+/// integer labels, together with its gradient.
+///
+/// The gradient is the classic `softmax(logits) − one_hot(labels)` divided by
+/// the batch size.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadLabels`] if `labels.len()` differs from the batch
+/// size or any label is out of range, and a rank error for non-matrices.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, got: logits.rank() }.into());
+    }
+    let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != batch {
+        return Err(NnError::BadLabels(format!(
+            "{} labels for batch of {batch}",
+            labels.len()
+        )));
+    }
+    if batch == 0 {
+        return Err(NnError::BadLabels("empty batch".into()));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+        return Err(NnError::BadLabels(format!("label {bad} out of range for {classes} classes")));
+    }
+    let mut probs = softmax(logits)?;
+    let mut loss = 0.0f64;
+    let inv_batch = 1.0 / batch as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &mut probs.as_mut_slice()[i * classes..(i + 1) * classes];
+        // Clamp to avoid log(0) on saturated predictions.
+        loss -= (row[label].max(1e-12) as f64).ln();
+        row[label] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_batch;
+        }
+    }
+    Ok(LossOutput { loss: (loss / batch as f64) as f32, grad_logits: probs })
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadLabels`] on a length mismatch or empty batch, and a
+/// rank error for non-matrices.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    let preds = logits.argmax_rows()?;
+    if preds.len() != labels.len() {
+        return Err(NnError::BadLabels(format!(
+            "{} labels for batch of {}",
+            labels.len(),
+            preds.len()
+        )));
+    }
+    if labels.is_empty() {
+        return Err(NnError::BadLabels("empty batch".into()));
+    }
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Ok(correct as f32 / labels.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let p = softmax(&t).unwrap();
+        for i in 0..2 {
+            let s: f32 = p.row(i).unwrap().iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(p.as_slice().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]).unwrap();
+        let p = softmax(&t).unwrap();
+        assert!(p.is_finite());
+        assert!(p.as_slice()[1] > p.as_slice()[0]);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let t = Tensor::zeros(&[4, 10]);
+        let out = softmax_cross_entropy(&t, &[0, 3, 7, 9]).unwrap();
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_small() {
+        let mut t = Tensor::zeros(&[1, 3]);
+        t.as_mut_slice()[1] = 20.0;
+        let out = softmax_cross_entropy(&t, &[1]).unwrap();
+        assert!(out.loss < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero() {
+        let t = Tensor::from_vec(vec![1.0, -1.0, 0.5, 2.0, 0.0, -2.0], &[2, 3]).unwrap();
+        let out = softmax_cross_entropy(&t, &[2, 0]).unwrap();
+        for i in 0..2 {
+            let s: f32 = out.grad_logits.row(i).unwrap().iter().sum();
+            assert!(s.abs() < 1e-6, "softmax-CE gradient rows must sum to 0, got {s}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_numerical() {
+        let t = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1, 0.9, -0.4], &[2, 3]).unwrap();
+        let labels = [1usize, 2];
+        let out = softmax_cross_entropy(&t, &labels).unwrap();
+        let eps = 1e-3f32;
+        for ci in 0..t.len() {
+            let mut tp = t.clone();
+            tp.as_mut_slice()[ci] += eps;
+            let lp = softmax_cross_entropy(&tp, &labels).unwrap().loss;
+            let mut tm = t.clone();
+            tm.as_mut_slice()[ci] -= eps;
+            let lm = softmax_cross_entropy(&tm, &labels).unwrap().loss;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = out.grad_logits.as_slice()[ci];
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "coord {ci}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates_labels() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&t, &[0]).is_err());
+        assert!(softmax_cross_entropy(&t, &[0, 3]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros(&[0, 3]), &[]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros(&[3]), &[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_correct() {
+        let t = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
+        assert_eq!(accuracy(&t, &[0, 1, 1]).unwrap(), 2.0 / 3.0);
+        assert_eq!(accuracy(&t, &[0, 1, 0]).unwrap(), 1.0);
+        assert!(accuracy(&t, &[0]).is_err());
+        assert!(accuracy(&Tensor::zeros(&[0, 2]), &[]).is_err());
+    }
+}

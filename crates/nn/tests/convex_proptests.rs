@@ -1,0 +1,91 @@
+//! Property-based tests of the convex-objective substrate used for the
+//! Theorem-1 validation experiments.
+
+use fedms_nn::convex::{QuadraticFleet, QuadraticObjective};
+use fedms_tensor::Tensor;
+use proptest::prelude::*;
+
+fn objective_strategy(d: usize) -> impl Strategy<Value = QuadraticObjective> {
+    (
+        proptest::collection::vec(0.1f32..5.0, d),
+        proptest::collection::vec(-5.0f32..5.0, d),
+    )
+        .prop_map(|(a, c)| {
+            QuadraticObjective::new(Tensor::from_slice(&a), Tensor::from_slice(&c))
+                .expect("valid objective")
+        })
+}
+
+proptest! {
+    /// F_k(w) ≥ 0 with equality exactly at the minimiser.
+    #[test]
+    fn value_nonnegative(o in objective_strategy(6), w in proptest::collection::vec(-10.0f32..10.0, 6)) {
+        let w = Tensor::from_slice(&w);
+        prop_assert!(o.value(&w).unwrap() >= 0.0);
+        prop_assert!(o.value(o.minimiser()).unwrap() <= 1e-6);
+    }
+
+    /// The analytic gradient matches central finite differences.
+    #[test]
+    fn gradient_matches_numeric(
+        o in objective_strategy(4),
+        w in proptest::collection::vec(-3.0f32..3.0, 4),
+    ) {
+        let w = Tensor::from_slice(&w);
+        let g = o.grad(&w).unwrap();
+        let eps = 1e-2f32;
+        for i in 0..4 {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[i] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[i] -= eps;
+            let numeric = (o.value(&wp).unwrap() - o.value(&wm).unwrap()) / (2.0 * eps);
+            prop_assert!((numeric - g.as_slice()[i]).abs() < 0.05 * (1.0 + numeric.abs()));
+        }
+    }
+
+    /// Strong convexity: F(w) ≥ F(w*) + μ/2·‖w − w*‖².
+    #[test]
+    fn strong_convexity_lower_bound(
+        o in objective_strategy(5),
+        w in proptest::collection::vec(-5.0f32..5.0, 5),
+    ) {
+        let w = Tensor::from_slice(&w);
+        let mu = o.strong_convexity();
+        let dist_sq = w.sub(o.minimiser()).unwrap().norm_l2_sq();
+        prop_assert!(o.value(&w).unwrap() + 1e-3 >= 0.5 * mu * dist_sq * (1.0 - 1e-4));
+    }
+
+    /// Smoothness: F(w) ≤ F(w*) + L/2·‖w − w*‖².
+    #[test]
+    fn smoothness_upper_bound(
+        o in objective_strategy(5),
+        w in proptest::collection::vec(-5.0f32..5.0, 5),
+    ) {
+        let w = Tensor::from_slice(&w);
+        let l = o.smoothness();
+        let dist_sq = w.sub(o.minimiser()).unwrap().norm_l2_sq();
+        prop_assert!(o.value(&w).unwrap() <= 0.5 * l * dist_sq * (1.0 + 1e-4) + 1e-3);
+    }
+
+    /// The fleet optimum is a stationary point of the global objective.
+    #[test]
+    fn fleet_optimum_is_stationary(seed in 0u64..50) {
+        let fleet = QuadraticFleet::random(6, 5, 0.5, 2.0, 1.0, seed).unwrap();
+        let wstar = fleet.optimum();
+        let mut g = Tensor::zeros(&[5]);
+        for o in fleet.objectives() {
+            g.add_inplace(&o.grad(&wstar).unwrap()).unwrap();
+        }
+        prop_assert!(g.norm_l2() < 1e-4, "global gradient at optimum: {}", g.norm_l2());
+    }
+
+    /// Γ is non-negative and zero for a single-client fleet.
+    #[test]
+    fn gamma_nonnegative(seed in 0u64..30) {
+        let fleet = QuadraticFleet::random(5, 4, 0.5, 2.0, 1.0, seed).unwrap();
+        prop_assert!(fleet.gamma() >= -1e-5);
+        let single = QuadraticFleet::random(1, 4, 0.5, 2.0, 1.0, seed).unwrap();
+        prop_assert!(single.gamma().abs() < 1e-5);
+    }
+}

@@ -1,0 +1,90 @@
+//! Communication accounting.
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Message and byte counters for one round or one whole run.
+///
+/// Models are `f32` vectors, so one model transfer costs `4 · d` bytes.
+/// These counters back the Section IV-A claim that sparse uploading keeps
+/// Fed-MS's aggregation cost equal to single-server FL (`K` messages per
+/// round instead of `K·P`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Client → server model uploads.
+    pub upload_messages: u64,
+    /// Server → client model disseminations.
+    pub download_messages: u64,
+    /// Bytes uploaded.
+    pub upload_bytes: u64,
+    /// Bytes downloaded.
+    pub download_bytes: u64,
+}
+
+impl CommStats {
+    /// An empty counter.
+    pub fn new() -> Self {
+        CommStats::default()
+    }
+
+    /// Records `count` uploads of a model with `model_len` parameters.
+    pub fn record_uploads(&mut self, count: u64, model_len: usize) {
+        self.upload_messages += count;
+        self.upload_bytes += count * 4 * model_len as u64;
+    }
+
+    /// Records `count` disseminations of a model with `model_len`
+    /// parameters.
+    pub fn record_downloads(&mut self, count: u64, model_len: usize) {
+        self.download_messages += count;
+        self.download_bytes += count * 4 * model_len as u64;
+    }
+
+    /// Total messages in both directions.
+    pub fn total_messages(&self) -> u64 {
+        self.upload_messages + self.download_messages
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.upload_bytes + self.download_bytes
+    }
+}
+
+impl AddAssign for CommStats {
+    fn add_assign(&mut self, rhs: CommStats) {
+        self.upload_messages += rhs.upload_messages;
+        self.download_messages += rhs.download_messages;
+        self.upload_bytes += rhs.upload_bytes;
+        self.download_bytes += rhs.download_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let mut c = CommStats::new();
+        c.record_uploads(50, 100);
+        c.record_downloads(500, 100);
+        assert_eq!(c.upload_messages, 50);
+        assert_eq!(c.upload_bytes, 50 * 400);
+        assert_eq!(c.download_messages, 500);
+        assert_eq!(c.download_bytes, 500 * 400);
+        assert_eq!(c.total_messages(), 550);
+        assert_eq!(c.total_bytes(), 550 * 400);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = CommStats::new();
+        a.record_uploads(1, 10);
+        let mut b = CommStats::new();
+        b.record_downloads(2, 10);
+        a += b;
+        assert_eq!(a.total_messages(), 3);
+        assert_eq!(a.total_bytes(), 3 * 40);
+    }
+}

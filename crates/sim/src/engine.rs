@@ -1,0 +1,1136 @@
+//! The round-loop engine: local training → sparse upload → aggregation →
+//! (possibly Byzantine) dissemination → client-side filtering.
+
+use fedms_aggregation::{AggregationRule, Mean};
+use fedms_attacks::{ClientAttack, ClientAttackContext, ServerAttack};
+use fedms_data::Dataset;
+use fedms_nn::LrSchedule;
+use fedms_tensor::rng::{derive_seed, rng_for};
+use fedms_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::server::Dissemination;
+use crate::{
+    Client, CommStats, EventLog, ModelSpec, Result, RoundEvent, RoundMetrics, RunResult, Server,
+    SimError, Topology, UploadStrategy,
+};
+
+/// Static configuration of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Client/server counts and the Byzantine set.
+    pub topology: Topology,
+    /// The training model all clients share.
+    pub model: ModelSpec,
+    /// Client→server upload strategy (the paper uses sparse).
+    pub upload: UploadStrategy,
+    /// Local SGD iterations per round (the paper's `E`, set to 3).
+    pub local_epochs: usize,
+    /// Mini-batch size for local SGD.
+    pub batch_size: usize,
+    /// Learning-rate schedule, indexed by global step `t·E + i`.
+    pub schedule: LrSchedule,
+    /// Root seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// Evaluate every `eval_every` rounds (the final round is always
+    /// evaluated). Must be ≥ 1.
+    pub eval_every: usize,
+    /// Number of clients whose local models are averaged for the accuracy
+    /// metric (0 = all clients). The paper averages all 50.
+    pub eval_clients: usize,
+    /// Train clients on multiple threads (bit-identical to sequential).
+    pub parallel: bool,
+    /// When true (the paper's protocol), accuracy is measured on the
+    /// clients' *local* models right after local training; when false, on
+    /// the post-filter models at the end of the round. Under strong
+    /// heterogeneity (small `D_α`) local models are biased toward their
+    /// shard's classes, which is exactly the effect Figure 5 reports.
+    pub eval_after_local: bool,
+}
+
+impl EngineConfig {
+    /// The paper's federated-learning settings (Table II): `K = 50`
+    /// clients, `P = 10` servers, `E = 3` local iterations, sparse upload.
+    /// The Byzantine set is empty here; callers add attacks per experiment.
+    pub fn paper_defaults(seed: u64) -> Result<Self> {
+        Ok(EngineConfig {
+            topology: Topology::new(50, 10, [])?,
+            model: ModelSpec::default_mlp(),
+            upload: UploadStrategy::Sparse,
+            local_epochs: 3,
+            batch_size: 32,
+            schedule: LrSchedule::Constant(0.1),
+            seed,
+            eval_every: 1,
+            eval_clients: 0,
+            parallel: true,
+            eval_after_local: true,
+        })
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.local_epochs == 0 {
+            return Err(SimError::BadConfig("local_epochs must be positive".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(SimError::BadConfig("batch_size must be positive".into()));
+        }
+        if self.eval_every == 0 {
+            return Err(SimError::BadConfig("eval_every must be positive".into()));
+        }
+        self.schedule.validate().map_err(SimError::from)?;
+        Ok(())
+    }
+}
+
+/// A bit-exact checkpoint of a running federation: everything that evolves
+/// during training and is not re-derivable from the configuration.
+///
+/// Because every stochastic stream in the engine is a pure function of
+/// `(seed, round, entity)`, restoring a snapshot into a freshly built
+/// engine (same config, datasets and adversaries) and continuing produces
+/// results identical to the uninterrupted run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Completed rounds.
+    pub round: usize,
+    /// Every client's flat model vector, in client order.
+    pub client_models: Vec<Tensor>,
+    /// Per-server adaptive-adversary state: (history, last aggregate).
+    pub server_state: Vec<(Vec<Tensor>, Option<Tensor>)>,
+    /// Metrics recorded so far.
+    pub result: RunResult,
+}
+
+/// A running federation.
+///
+/// Generic over the client-side model filter (`Def(·)` in the problem
+/// definition): [`fedms_aggregation::TrimmedMean`] makes this Fed-MS,
+/// [`fedms_aggregation::Mean`] makes it the Vanilla-FL baseline, and any
+/// other [`AggregationRule`] gives an ablation.
+pub struct SimulationEngine {
+    config: EngineConfig,
+    clients: Vec<Client>,
+    servers: Vec<Server>,
+    filter: Box<dyn AggregationRule>,
+    server_rule: Box<dyn AggregationRule>,
+    client_attacks: Vec<Option<Box<dyn ClientAttack>>>,
+    participation: f64,
+    upload_drop_rate: f64,
+    record_diagnostics: bool,
+    event_log: Option<EventLog>,
+    initial_model: Tensor,
+    test_samples: Tensor,
+    test_labels: Vec<usize>,
+    round: usize,
+    result: RunResult,
+}
+
+impl std::fmt::Debug for SimulationEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulationEngine")
+            .field("round", &self.round)
+            .field("clients", &self.clients.len())
+            .field("servers", &self.servers.len())
+            .field("filter", &self.filter.name())
+            .finish()
+    }
+}
+
+impl SimulationEngine {
+    /// Builds a federation.
+    ///
+    /// * `train`/`test` — the global dataset splits (image layout; the
+    ///   engine flattens them if the model wants flat input),
+    /// * `partitions` — per-client sample indices into `train` (from
+    ///   [`fedms_data::DirichletPartitioner`]),
+    /// * `filter` — the client-side defence `Def(·)`,
+    /// * `attacks` — one attack per Byzantine server id declared in the
+    ///   topology; ids must match exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] for mismatched partitions/attacks or
+    /// invalid configuration values, and propagates substrate errors.
+    pub fn new(
+        config: EngineConfig,
+        train: &Dataset,
+        test: &Dataset,
+        partitions: &[Vec<usize>],
+        filter: Box<dyn AggregationRule>,
+        attacks: Vec<(usize, Box<dyn ServerAttack>)>,
+    ) -> Result<Self> {
+        Self::with_adversaries(
+            config,
+            train,
+            test,
+            partitions,
+            filter,
+            Box::new(Mean::new()),
+            attacks,
+            Vec::new(),
+        )
+    }
+
+    /// Builds a federation with the full dual threat model: Byzantine
+    /// *servers* (as in [`SimulationEngine::new`]) **and** Byzantine
+    /// *clients* (`client_attacks`, one per malicious client id), with a
+    /// configurable server-side aggregation rule (`server_rule`; the
+    /// paper's benign servers use the plain mean, a robust rule extends
+    /// Fed-MS to the client threat the paper leaves as future work).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SimulationEngine::new`], plus
+    /// [`SimError::BadConfig`] for duplicate or out-of-range Byzantine
+    /// client ids.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_adversaries(
+        config: EngineConfig,
+        train: &Dataset,
+        test: &Dataset,
+        partitions: &[Vec<usize>],
+        filter: Box<dyn AggregationRule>,
+        server_rule: Box<dyn AggregationRule>,
+        attacks: Vec<(usize, Box<dyn ServerAttack>)>,
+        client_attacks: Vec<(usize, Box<dyn ClientAttack>)>,
+    ) -> Result<Self> {
+        config.validate()?;
+        let topo = &config.topology;
+        if partitions.len() != topo.num_clients() {
+            return Err(SimError::BadConfig(format!(
+                "{} partitions for {} clients",
+                partitions.len(),
+                topo.num_clients()
+            )));
+        }
+        {
+            let mut attack_ids: Vec<usize> = attacks.iter().map(|(id, _)| *id).collect();
+            attack_ids.sort_unstable();
+            let mut byz_ids: Vec<usize> = topo.byzantine_ids().collect();
+            byz_ids.sort_unstable();
+            if attack_ids != byz_ids {
+                return Err(SimError::BadConfig(format!(
+                    "attack ids {attack_ids:?} do not match byzantine ids {byz_ids:?}"
+                )));
+            }
+        }
+
+        // All clients start from the same w₀ (Algorithm 1 line 6).
+        let init_seed = derive_seed(config.seed, &[0x494E_4954]); // "INIT"
+        let reference = config.model.build(init_seed)?;
+        let initial_model = fedms_nn::NeuralNet::param_vector(reference.as_ref());
+
+        let flat = config.model.wants_flat_input();
+        let test_set = if flat { test.flattened() } else { test.clone() };
+        let mut clients = Vec::with_capacity(topo.num_clients());
+        for (k, part) in partitions.iter().enumerate() {
+            let shard = train.subset(part)?;
+            let shard = if flat { shard.flattened() } else { shard };
+            let model = config.model.build(init_seed)?;
+            clients.push(Client::new(
+                k,
+                model,
+                shard,
+                config.batch_size,
+                config.schedule,
+                derive_seed(config.seed, &[0x434C_4E54, k as u64]), // "CLNT"
+            )?);
+        }
+
+        let mut attack_map: std::collections::BTreeMap<usize, Box<dyn ServerAttack>> =
+            attacks.into_iter().collect();
+        let mut servers = Vec::with_capacity(topo.num_servers());
+        for i in 0..topo.num_servers() {
+            let seed = config.seed;
+            servers.push(match attack_map.remove(&i) {
+                Some(attack) => Server::byzantine(i, attack, seed),
+                None => Server::benign(i, seed),
+            });
+        }
+
+        let mut client_attack_slots: Vec<Option<Box<dyn ClientAttack>>> =
+            (0..topo.num_clients()).map(|_| None).collect();
+        for (id, attack) in client_attacks {
+            if id >= client_attack_slots.len() {
+                return Err(SimError::BadConfig(format!(
+                    "byzantine client id {id} out of range for {} clients",
+                    client_attack_slots.len()
+                )));
+            }
+            if client_attack_slots[id].is_some() {
+                return Err(SimError::BadConfig(format!(
+                    "duplicate attack for client {id}"
+                )));
+            }
+            client_attack_slots[id] = Some(attack);
+        }
+
+        Ok(SimulationEngine {
+            participation: 1.0,
+            upload_drop_rate: 0.0,
+            record_diagnostics: false,
+            event_log: None,
+            client_attacks: client_attack_slots,
+            server_rule,
+            config,
+            clients,
+            servers,
+            filter,
+            initial_model,
+            test_samples: test_set.samples().clone(),
+            test_labels: test_set.labels().to_vec(),
+            round: 0,
+            result: RunResult::new(),
+        })
+    }
+
+    /// Ids of the Byzantine clients (empty under the paper's base model).
+    pub fn byzantine_client_ids(&self) -> Vec<usize> {
+        self.client_attacks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.as_ref().map(|_| i))
+            .collect()
+    }
+
+    /// Rotates the labels of one client's training shard (the data-level
+    /// side of a label-flip Byzantine client).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] for an out-of-range client id.
+    pub fn poison_client_labels(&mut self, client: usize, offset: usize) -> Result<()> {
+        let Some(c) = self.clients.get_mut(client) else {
+            return Err(SimError::BadConfig(format!(
+                "client {client} out of range for {} clients",
+                self.clients.len()
+            )));
+        };
+        c.poison_labels(offset);
+        Ok(())
+    }
+
+    /// Sets the per-round client participation fraction: each round only a
+    /// uniformly sampled `⌈fraction·K⌉` clients train and upload (classic
+    /// partial device participation; the paper's Lemma 3 machinery covers
+    /// it). Everyone still receives the dissemination and filters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] unless `0 < fraction ≤ 1`.
+    pub fn set_participation(&mut self, fraction: f64) -> Result<()> {
+        if !(fraction.is_finite() && fraction > 0.0 && fraction <= 1.0) {
+            return Err(SimError::BadConfig(format!(
+                "participation must be in (0, 1], got {fraction}"
+            )));
+        }
+        self.participation = fraction;
+        Ok(())
+    }
+
+    /// Sets the probability that any single client→server upload message is
+    /// lost in transit (outdoor edge links are lossy; the fallback of
+    /// re-using the previous aggregate covers servers that receive
+    /// nothing). Dropped messages are still counted as sent — the sender
+    /// pays for the attempt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] unless `0 ≤ rate < 1`.
+    pub fn set_upload_drop_rate(&mut self, rate: f64) -> Result<()> {
+        if !(rate.is_finite() && (0.0..1.0).contains(&rate)) {
+            return Err(SimError::BadConfig(format!(
+                "drop rate must be in [0, 1), got {rate}"
+            )));
+        }
+        self.upload_drop_rate = rate;
+        Ok(())
+    }
+
+    /// Enables the structured event log with the given retention capacity
+    /// (see [`crate::EventLog`]); pass 0 to disable recording again.
+    pub fn enable_event_log(&mut self, capacity: usize) {
+        self.event_log = if capacity == 0 { None } else { Some(EventLog::with_capacity(capacity)) };
+    }
+
+    /// The event log, if enabled.
+    pub fn event_log(&self) -> Option<&EventLog> {
+        self.event_log.as_ref()
+    }
+
+    /// Enables per-round defence diagnostics (see
+    /// [`crate::RoundDiagnostics`]). Costs a few extra vector passes per
+    /// evaluated round.
+    pub fn set_record_diagnostics(&mut self, on: bool) {
+        self.record_diagnostics = on;
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The current round (number of completed rounds).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The shared initial model `w₀`.
+    pub fn initial_model(&self) -> &Tensor {
+        &self.initial_model
+    }
+
+    /// Metrics recorded so far.
+    pub fn result(&self) -> &RunResult {
+        &self.result
+    }
+
+    /// The current flat model vector of each client.
+    pub fn client_models(&self) -> Vec<Tensor> {
+        self.clients.iter().map(Client::model_vector).collect()
+    }
+
+    /// Runs `rounds` training rounds, evaluating per the configuration.
+    /// Returns the accumulated result (clone of [`SimulationEngine::result`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any substrate error; the engine is left at the round that
+    /// failed.
+    pub fn run(&mut self, rounds: usize) -> Result<RunResult> {
+        for r in 0..rounds {
+            let evaluate =
+                (self.round % self.config.eval_every == 0) || (r + 1 == rounds);
+            self.step_round(evaluate)?;
+        }
+        Ok(self.result.clone())
+    }
+
+    /// Executes exactly one round; records metrics if `evaluate`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors.
+    pub fn step_round(&mut self, evaluate: bool) -> Result<()> {
+        let topo = self.config.topology.clone();
+        let (num_clients, num_servers) = (topo.num_clients(), topo.num_servers());
+        let model_len = self.initial_model.len();
+        let mut comm = CommStats::new();
+
+        // The global model each client starts this round from (context for
+        // update-amplification client attacks).
+        let start_vectors: Vec<Tensor> =
+            self.clients.iter().map(Client::model_vector).collect();
+
+        // All engine-level randomness is derived per round from the root
+        // seed, making every round a pure function of (config, round,
+        // client/server state) — the property behind bit-exact
+        // checkpoint/resume ([`SimulationEngine::snapshot`]).
+        let round_label = self.round as u64;
+        let mut upload_rng = rng_for(self.config.seed, &[0x55_50_4C_44, round_label]); // "UPLD"
+        let mut participation_rng =
+            rng_for(self.config.seed, &[0x50_41_52_54, round_label]); // "PART"
+        let mut client_attack_rng =
+            rng_for(self.config.seed, &[0x43_41_54, round_label]); // "CAT"
+
+        // Partial participation: sample this round's active clients.
+        let active: Vec<usize> = if self.participation >= 1.0 {
+            (0..num_clients).collect()
+        } else {
+            let take = ((self.participation * num_clients as f64).ceil() as usize)
+                .clamp(1, num_clients);
+            let mut ids: Vec<usize> = (0..num_clients).collect();
+            use rand::seq::SliceRandom;
+            ids.shuffle(&mut participation_rng);
+            let mut chosen = ids[..take].to_vec();
+            chosen.sort_unstable();
+            chosen
+        };
+
+        // 1. Local training (Algorithm 1 lines 8–10) — active clients only.
+        let global_step = self.round * self.config.local_epochs;
+        let epochs = self.config.local_epochs;
+        let losses = self.for_clients(&active, |c| c.local_train(epochs, global_step))?;
+        let mean_train_loss =
+            losses.iter().map(|&l| l as f64).sum::<f64>() / losses.len() as f64;
+        if let Some(log) = &mut self.event_log {
+            for (&client, &loss) in active.iter().zip(losses.iter()) {
+                log.push(RoundEvent::LocalTrainingCompleted {
+                    round: self.round,
+                    client,
+                    loss,
+                });
+            }
+        }
+
+        // Accuracy of the freshly trained *local* models (the paper's
+        // metric), measured before aggregation touches them.
+        let local_accuracy = if evaluate && self.config.eval_after_local {
+            Some(self.evaluate_mean_accuracy()?)
+        } else {
+            None
+        };
+
+        // 2. Sparse upload (line 11).
+        let assignment =
+            self.config.upload.assign(num_clients, num_servers, &mut upload_rng)?;
+        let uploads: u64 = active.iter().map(|&k| assignment[k].len() as u64).sum();
+        comm.record_uploads(uploads, model_len);
+        let mut client_vectors: Vec<Tensor> =
+            self.clients.iter().map(Client::model_vector).collect();
+        // Byzantine clients tamper with their uploads (extension beyond the
+        // paper's server-only threat model).
+        for (k, slot) in self.client_attacks.iter().enumerate() {
+            if let Some(attack) = slot {
+                let global = if self.round == 0 { None } else { Some(&start_vectors[k]) };
+                let ctx = ClientAttackContext::new(self.round, k, &client_vectors[k], global);
+                client_vectors[k] = attack.tamper_upload(&ctx, &mut client_attack_rng)?;
+            }
+        }
+        let is_active = {
+            let mut mask = vec![false; num_clients];
+            for &k in &active {
+                mask[k] = true;
+            }
+            mask
+        };
+        let mut drop_rng = rng_for(self.config.seed, &[0x44_52_4F_50, round_label]); // "DROP"
+        let mut received: Vec<Vec<Tensor>> = vec![Vec::new(); num_servers];
+        for (k, servers) in assignment.iter().enumerate() {
+            if !is_active[k] {
+                continue;
+            }
+            for &s in servers {
+                let dropped = if self.upload_drop_rate > 0.0 {
+                    use rand::Rng;
+                    drop_rng.gen_bool(self.upload_drop_rate)
+                } else {
+                    false
+                };
+                if let Some(log) = &mut self.event_log {
+                    log.push(RoundEvent::UploadSent {
+                        round: self.round,
+                        client: k,
+                        server: s,
+                        dropped,
+                    });
+                }
+                if dropped {
+                    continue; // lost in transit
+                }
+                received[s].push(client_vectors[k].clone());
+            }
+        }
+
+        // 3. Aggregation and dissemination (lines 3–5), Byzantine or not.
+        let mut disseminations: Vec<Dissemination> = Vec::with_capacity(num_servers);
+        for (i, server) in self.servers.iter_mut().enumerate() {
+            let agg =
+                server.aggregate(&received[i], &self.initial_model, self.server_rule.as_ref())?;
+            let d = server.disseminate(&agg, self.round, num_clients)?;
+            Server::check_dissemination(&d, num_clients)?;
+            comm.record_downloads(num_clients as u64, model_len);
+            if let Some(log) = &mut self.event_log {
+                log.push(RoundEvent::Aggregated {
+                    round: self.round,
+                    server: i,
+                    received: received[i].len(),
+                    aggregate_norm: agg.norm_l2(),
+                });
+                log.push(RoundEvent::Disseminated {
+                    round: self.round,
+                    server: i,
+                    byzantine: server.is_byzantine(),
+                    equivocating: matches!(d, Dissemination::PerClient(_)),
+                });
+            }
+            disseminations.push(d);
+        }
+
+        // 4. Client-side filtering (lines 12–13): w_{t+1,0}^k = Def(ã…).
+        let mut filtered: Vec<Tensor> = Vec::with_capacity(num_clients);
+        for k in 0..num_clients {
+            let views: Vec<Tensor> =
+                disseminations.iter().map(|d| d.for_client(k).clone()).collect();
+            let out = self.filter.aggregate(&views)?;
+            if let Some(log) = &mut self.event_log {
+                let naive = Mean::new().aggregate(&views)?;
+                log.push(RoundEvent::Filtered {
+                    round: self.round,
+                    client: k,
+                    displacement: out.sub(&naive)?.norm_l2(),
+                });
+            }
+            filtered.push(out);
+        }
+
+        // Defence diagnostics from client 0's viewpoint.
+        let diagnostics = if self.record_diagnostics && evaluate {
+            let views: Vec<Tensor> =
+                disseminations.iter().map(|d| d.for_client(0).clone()).collect();
+            let mut pair_sum = 0.0f64;
+            let mut pairs = 0usize;
+            for i in 0..views.len() {
+                for j in (i + 1)..views.len() {
+                    pair_sum += views[i].sub(&views[j])?.norm_l2() as f64;
+                    pairs += 1;
+                }
+            }
+            let naive = Mean::new().aggregate(&views)?;
+            let displacement = filtered[0].sub(&naive)?.norm_l2();
+            let mut max_update = 0.0f32;
+            for &k in &active {
+                let update =
+                    client_vectors[k].sub(&start_vectors[k])?.norm_l2();
+                max_update = max_update.max(update);
+            }
+            Some(crate::RoundDiagnostics {
+                server_disagreement: if pairs > 0 {
+                    (pair_sum / pairs as f64) as f32
+                } else {
+                    0.0
+                },
+                filter_displacement: displacement,
+                max_update_norm: max_update,
+            })
+        } else {
+            None
+        };
+
+        for (client, model) in self.clients.iter_mut().zip(filtered.iter()) {
+            client.set_model_vector(model)?;
+        }
+
+        self.round += 1;
+        self.result.total_comm += comm;
+
+        // 5. Evaluation: mean test accuracy of the local models.
+        if evaluate {
+            let mean_accuracy = match local_accuracy {
+                Some(acc) => acc,
+                None => self.evaluate_mean_accuracy()?,
+            };
+            self.result.rounds.push(RoundMetrics {
+                round: self.round - 1,
+                mean_accuracy,
+                mean_train_loss: mean_train_loss as f32,
+                comm,
+                diagnostics,
+            });
+        }
+        Ok(())
+    }
+
+    /// Captures a bit-exact checkpoint of the federation's evolving state.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            round: self.round,
+            client_models: self.client_models(),
+            server_state: self.servers.iter().map(Server::state_snapshot).collect(),
+            result: self.result.clone(),
+        }
+    }
+
+    /// Restores a checkpoint taken from an engine with the same
+    /// configuration, datasets and adversaries. Continuing afterwards is
+    /// bit-identical to the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] if the snapshot's entity counts or
+    /// model sizes do not match this engine.
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<()> {
+        if snapshot.client_models.len() != self.clients.len() {
+            return Err(SimError::BadConfig(format!(
+                "snapshot has {} clients, engine has {}",
+                snapshot.client_models.len(),
+                self.clients.len()
+            )));
+        }
+        if snapshot.server_state.len() != self.servers.len() {
+            return Err(SimError::BadConfig(format!(
+                "snapshot has {} servers, engine has {}",
+                snapshot.server_state.len(),
+                self.servers.len()
+            )));
+        }
+        if snapshot.client_models.iter().any(|m| m.len() != self.initial_model.len()) {
+            return Err(SimError::BadConfig(
+                "snapshot model size does not match the engine's model".into(),
+            ));
+        }
+        for (client, model) in self.clients.iter_mut().zip(&snapshot.client_models) {
+            client.set_model_vector(model)?;
+        }
+        for (server, (history, last)) in
+            self.servers.iter_mut().zip(snapshot.server_state.iter())
+        {
+            server.restore_state(history.clone(), last.clone());
+        }
+        self.round = snapshot.round;
+        self.result = snapshot.result.clone();
+        Ok(())
+    }
+
+    /// Mean test accuracy over the configured number of **benign** clients
+    /// (Byzantine clients train on purpose-poisoned objectives; excluding
+    /// them from the quality metric is the robust-FL convention).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors; returns [`SimError::BadConfig`] if
+    /// every client is Byzantine.
+    pub fn evaluate_mean_accuracy(&mut self) -> Result<f32> {
+        let mut indices: Vec<usize> = (0..self.clients.len())
+            .filter(|&i| self.client_attacks[i].is_none())
+            .collect();
+        if indices.is_empty() {
+            return Err(SimError::BadConfig("no benign clients to evaluate".into()));
+        }
+        if self.config.eval_clients != 0 {
+            indices.truncate(self.config.eval_clients);
+        }
+        let samples = self.test_samples.clone();
+        let labels = self.test_labels.clone();
+        let accs = self.for_clients(&indices, |c| c.evaluate(&samples, &labels))?;
+        Ok((accs.iter().map(|&a| a as f64).sum::<f64>() / accs.len() as f64) as f32)
+    }
+
+    /// Applies `f` to the clients at `indices` (strictly increasing),
+    /// optionally in parallel, preserving index order in the returned
+    /// vector.
+    fn for_clients<F>(&mut self, indices: &[usize], f: F) -> Result<Vec<f32>>
+    where
+        F: Fn(&mut Client) -> Result<f32> + Sync,
+    {
+        let mut selected: Vec<&mut Client> = Vec::with_capacity(indices.len());
+        {
+            let mut rest = &mut self.clients[..];
+            let mut offset = 0usize;
+            for &i in indices {
+                let (_, tail) = rest.split_at_mut(i - offset);
+                let (one, tail) = tail.split_at_mut(1);
+                selected.push(&mut one[0]);
+                rest = tail;
+                offset = i + 1;
+            }
+        }
+        let n = selected.len();
+        if !self.config.parallel || n < 4 {
+            return selected.into_iter().map(&f).collect();
+        }
+        let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+        let chunk = n.div_ceil(threads.min(n));
+        let mut outputs: Vec<Result<Vec<f32>>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for group in selected.chunks_mut(chunk) {
+                let f = &f;
+                handles.push(scope.spawn(move |_| -> Result<Vec<f32>> {
+                    group.iter_mut().map(|c| f(c)).collect()
+                }));
+            }
+            for h in handles {
+                outputs.push(h.join().expect("client worker panicked"));
+            }
+        })
+        .expect("crossbeam scope panicked");
+        let mut flat = Vec::with_capacity(n);
+        for out in outputs {
+            flat.extend(out?);
+        }
+        Ok(flat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedms_aggregation::{Mean, TrimmedMean};
+    use fedms_attacks::AttackKind;
+    use fedms_data::{DirichletPartitioner, SynthVisionConfig};
+
+    fn small_setup(
+        byzantine: Vec<usize>,
+        attack: AttackKind,
+        filter: Box<dyn AggregationRule>,
+        parallel: bool,
+    ) -> SimulationEngine {
+        let (train, test) = SynthVisionConfig::small().generate(3).unwrap();
+        let topo = Topology::new(8, 4, byzantine.clone()).unwrap();
+        let parts = DirichletPartitioner::new(10.0).unwrap().partition(&train, 8, 3).unwrap();
+        let config = EngineConfig {
+            topology: topo,
+            model: ModelSpec::Mlp { widths: vec![16, 8, 4] },
+            upload: UploadStrategy::Sparse,
+            local_epochs: 2,
+            batch_size: 4,
+            schedule: LrSchedule::Constant(0.05),
+            seed: 9,
+            eval_every: 1,
+            eval_clients: 0,
+            parallel,
+            eval_after_local: false,
+        };
+        let attacks = byzantine
+            .into_iter()
+            .map(|id| (id, attack.build().unwrap()))
+            .collect();
+        SimulationEngine::new(config, &train, &test, &parts, filter, attacks).unwrap()
+    }
+
+    #[test]
+    fn engine_runs_and_records() {
+        let mut e = small_setup(vec![], AttackKind::Benign, Box::new(Mean::new()), false);
+        let result = e.run(3).unwrap();
+        assert_eq!(result.rounds.len(), 3);
+        assert_eq!(e.round(), 3);
+        assert!(result.final_accuracy().unwrap() > 0.0);
+        assert!(result.total_comm.upload_messages > 0);
+    }
+
+    #[test]
+    fn all_clients_share_filtered_model_under_broadcast() {
+        // With consistent dissemination every client applies the same filter
+        // to the same inputs → identical post-filter models.
+        let mut e = small_setup(vec![], AttackKind::Benign, Box::new(Mean::new()), false);
+        e.step_round(false).unwrap();
+        let models = e.client_models();
+        for m in &models[1..] {
+            assert_eq!(m, &models[0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_parallelism() {
+        let mut seq = small_setup(vec![1], AttackKind::Noise { std: 0.5 },
+            Box::new(TrimmedMean::new(0.25).unwrap()), false);
+        let mut par = small_setup(vec![1], AttackKind::Noise { std: 0.5 },
+            Box::new(TrimmedMean::new(0.25).unwrap()), true);
+        seq.run(2).unwrap();
+        par.run(2).unwrap();
+        assert_eq!(seq.client_models(), par.client_models());
+        assert_eq!(seq.result().rounds, par.result().rounds);
+    }
+
+    #[test]
+    fn sparse_upload_comm_matches_formula() {
+        let mut e = small_setup(vec![], AttackKind::Benign, Box::new(Mean::new()), false);
+        e.run(2).unwrap();
+        let comm = e.result().total_comm;
+        // K=8 uploads and K·P=32 downloads per round, 2 rounds.
+        assert_eq!(comm.upload_messages, 16);
+        assert_eq!(comm.download_messages, 64);
+    }
+
+    #[test]
+    fn attack_ids_must_match_topology() {
+        let (train, test) = SynthVisionConfig::small().generate(3).unwrap();
+        let topo = Topology::new(4, 3, [1]).unwrap();
+        let parts = DirichletPartitioner::new(10.0).unwrap().partition(&train, 4, 3).unwrap();
+        let config = EngineConfig {
+            topology: topo,
+            model: ModelSpec::Mlp { widths: vec![16, 4] },
+            upload: UploadStrategy::Sparse,
+            local_epochs: 1,
+            batch_size: 4,
+            schedule: LrSchedule::Constant(0.05),
+            seed: 0,
+            eval_every: 1,
+            eval_clients: 0,
+            parallel: false,
+            eval_after_local: false,
+        };
+        // No attack supplied for byzantine server 1 → error.
+        let err = SimulationEngine::new(
+            config,
+            &train,
+            &test,
+            &parts,
+            Box::new(Mean::new()),
+            vec![],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = EngineConfig::paper_defaults(0).unwrap();
+        cfg.local_epochs = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = EngineConfig::paper_defaults(0).unwrap();
+        cfg.batch_size = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = EngineConfig::paper_defaults(0).unwrap();
+        cfg.eval_every = 0;
+        assert!(cfg.validate().is_err());
+        assert!(EngineConfig::paper_defaults(0).unwrap().validate().is_ok());
+    }
+
+    #[test]
+    fn trimmed_mean_resists_random_attack_in_miniature() {
+        // 1 Byzantine of 4 servers with the Random attack: the mean filter
+        // absorbs garbage while the trimmed filter (β=0.25 trims 1/side)
+        // stays near the honest aggregate.
+        let mut vanilla =
+            small_setup(vec![2], AttackKind::Random { lo: -10.0, hi: 10.0 },
+                Box::new(Mean::new()), false);
+        let mut fedms =
+            small_setup(vec![2], AttackKind::Random { lo: -10.0, hi: 10.0 },
+                Box::new(TrimmedMean::new(0.25).unwrap()), false);
+        vanilla.run(4).unwrap();
+        fedms.run(4).unwrap();
+        let v_norm = vanilla.client_models()[0].norm_l2();
+        let f_norm = fedms.client_models()[0].norm_l2();
+        // The random attack injects coordinates of magnitude ~10; a mean
+        // over 4 servers keeps ~1/4 of that, blowing up the model norm.
+        assert!(
+            v_norm > 2.0 * f_norm,
+            "vanilla norm {v_norm} should dwarf fed-ms norm {f_norm}"
+        );
+    }
+
+    #[test]
+    fn byzantine_clients_are_filtered_by_robust_server_rule() {
+        use fedms_attacks::ClientAttackKind;
+        let (train, test) = SynthVisionConfig::small().generate(3).unwrap();
+        let topo = Topology::new(8, 2, []).unwrap();
+        let parts = DirichletPartitioner::new(10.0).unwrap().partition(&train, 8, 3).unwrap();
+        let config = EngineConfig {
+            topology: topo,
+            model: ModelSpec::Mlp { widths: vec![16, 8, 4] },
+            upload: UploadStrategy::Full,
+            local_epochs: 2,
+            batch_size: 4,
+            schedule: LrSchedule::Constant(0.05),
+            seed: 9,
+            eval_every: 1,
+            eval_clients: 0,
+            parallel: false,
+            eval_after_local: false,
+        };
+        let client_attacks = vec![
+            (1usize, ClientAttackKind::Random { lo: -10.0, hi: 10.0 }.build().unwrap()),
+        ];
+        // Robust server rule: trimmed mean over the 8 uploads (trim 1/side).
+        let mut robust = SimulationEngine::with_adversaries(
+            config.clone(),
+            &train,
+            &test,
+            &parts,
+            Box::new(Mean::new()),
+            Box::new(TrimmedMean::new(0.13).unwrap()),
+            vec![],
+            client_attacks,
+        )
+        .unwrap();
+        assert_eq!(robust.byzantine_client_ids(), vec![1]);
+        robust.run(3).unwrap();
+        let robust_norm = robust.client_models()[0].norm_l2();
+
+        // Same attack with the plain mean at the servers: garbage leaks in.
+        let client_attacks = vec![
+            (1usize, ClientAttackKind::Random { lo: -10.0, hi: 10.0 }.build().unwrap()),
+        ];
+        let mut naive = SimulationEngine::with_adversaries(
+            config,
+            &train,
+            &test,
+            &parts,
+            Box::new(Mean::new()),
+            Box::new(Mean::new()),
+            vec![],
+            client_attacks,
+        )
+        .unwrap();
+        naive.run(3).unwrap();
+        let naive_norm = naive.client_models()[0].norm_l2();
+        assert!(
+            naive_norm > 1.5 * robust_norm,
+            "naive server mean {naive_norm} should blow up vs robust {robust_norm}"
+        );
+    }
+
+    #[test]
+    fn client_attack_validation() {
+        use fedms_attacks::ClientAttackKind;
+        let (train, test) = SynthVisionConfig::small().generate(3).unwrap();
+        let parts = DirichletPartitioner::new(10.0).unwrap().partition(&train, 4, 3).unwrap();
+        let config = EngineConfig {
+            topology: Topology::new(4, 2, []).unwrap(),
+            model: ModelSpec::Mlp { widths: vec![16, 4] },
+            upload: UploadStrategy::Sparse,
+            local_epochs: 1,
+            batch_size: 4,
+            schedule: LrSchedule::Constant(0.05),
+            seed: 0,
+            eval_every: 1,
+            eval_clients: 0,
+            parallel: false,
+            eval_after_local: false,
+        };
+        let atk = || ClientAttackKind::SignFlip { scale: 1.0 }.build().unwrap();
+        // Out-of-range id.
+        assert!(SimulationEngine::with_adversaries(
+            config.clone(), &train, &test, &parts,
+            Box::new(Mean::new()), Box::new(Mean::new()),
+            vec![], vec![(4, atk())],
+        ).is_err());
+        // Duplicate id.
+        assert!(SimulationEngine::with_adversaries(
+            config.clone(), &train, &test, &parts,
+            Box::new(Mean::new()), Box::new(Mean::new()),
+            vec![], vec![(1, atk()), (1, atk())],
+        ).is_err());
+        // All clients Byzantine → evaluation impossible.
+        let all: Vec<_> = (0..4).map(|i| (i, atk())).collect();
+        let mut engine = SimulationEngine::with_adversaries(
+            config, &train, &test, &parts,
+            Box::new(Mean::new()), Box::new(Mean::new()),
+            vec![], all,
+        ).unwrap();
+        assert!(engine.evaluate_mean_accuracy().is_err());
+    }
+
+    #[test]
+    fn partial_participation_trains_fewer_clients() {
+        let mut e = small_setup(vec![], AttackKind::Benign, Box::new(Mean::new()), false);
+        e.set_participation(0.5).unwrap();
+        e.step_round(false).unwrap();
+        // 8 clients at 50% → 4 uploads this round (sparse = 1 per client).
+        assert_eq!(e.result().total_comm.upload_messages, 4);
+        assert!(e.set_participation(0.0).is_err());
+        assert!(e.set_participation(1.5).is_err());
+        assert!(e.set_participation(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn event_log_records_every_stage() {
+        let mut e = small_setup(
+            vec![1],
+            AttackKind::Random { lo: -10.0, hi: 10.0 },
+            Box::new(TrimmedMean::new(0.25).unwrap()),
+            false,
+        );
+        e.enable_event_log(10_000);
+        e.step_round(false).unwrap();
+        let log = e.event_log().unwrap();
+        // 8 clients train, 8 sparse uploads, 4 aggregations, 4
+        // disseminations, 8 filters.
+        assert_eq!(log.of_kind("train").len(), 8);
+        assert_eq!(log.of_kind("upload").len(), 8);
+        assert_eq!(log.of_kind("aggregate").len(), 4);
+        assert_eq!(log.of_kind("disseminate").len(), 4);
+        assert_eq!(log.of_kind("filter").len(), 8);
+        // The Byzantine server is flagged.
+        let byz: Vec<bool> = log
+            .of_kind("disseminate")
+            .iter()
+            .map(|ev| matches!(ev, RoundEvent::Disseminated { byzantine: true, .. }))
+            .collect();
+        assert_eq!(byz.iter().filter(|&&b| b).count(), 1);
+        // Disabling stops recording.
+        e.enable_event_log(0);
+        e.step_round(false).unwrap();
+        assert!(e.event_log().is_none());
+    }
+
+    #[test]
+    fn upload_drops_are_survivable() {
+        let mut e = small_setup(vec![], AttackKind::Benign,
+            Box::new(TrimmedMean::new(0.25).unwrap()), false);
+        e.set_upload_drop_rate(0.5).unwrap();
+        e.run(4).unwrap();
+        assert!(e.result().final_accuracy().unwrap().is_finite());
+        // Senders still pay for dropped messages.
+        assert_eq!(e.result().total_comm.upload_messages, 8 * 4);
+        assert!(e.set_upload_drop_rate(1.0).is_err());
+        assert!(e.set_upload_drop_rate(-0.1).is_err());
+    }
+
+    #[test]
+    fn diagnostics_reflect_attack_intensity() {
+        let mut clean =
+            small_setup(vec![], AttackKind::Benign, Box::new(TrimmedMean::new(0.25).unwrap()), false);
+        clean.set_record_diagnostics(true);
+        clean.step_round(true).unwrap();
+        let clean_d = clean.result().rounds[0].diagnostics.clone().unwrap();
+
+        let mut attacked = small_setup(
+            vec![1],
+            AttackKind::Random { lo: -10.0, hi: 10.0 },
+            Box::new(TrimmedMean::new(0.25).unwrap()),
+            false,
+        );
+        attacked.set_record_diagnostics(true);
+        attacked.step_round(true).unwrap();
+        let attacked_d = attacked.result().rounds[0].diagnostics.clone().unwrap();
+
+        assert!(
+            attacked_d.server_disagreement > 5.0 * clean_d.server_disagreement,
+            "random attack should explode disagreement: {} vs {}",
+            attacked_d.server_disagreement,
+            clean_d.server_disagreement
+        );
+        assert!(
+            attacked_d.filter_displacement > clean_d.filter_displacement,
+            "filter must move further under attack"
+        );
+        assert!(clean_d.max_update_norm > 0.0);
+        // Without recording, no diagnostics appear.
+        let mut off = small_setup(vec![], AttackKind::Benign, Box::new(Mean::new()), false);
+        off.step_round(true).unwrap();
+        assert!(off.result().rounds[0].diagnostics.is_none());
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_exact() {
+        let make = || {
+            small_setup(
+                vec![1],
+                AttackKind::Backward { delay: 2 }, // history-dependent attack
+                Box::new(TrimmedMean::new(0.25).unwrap()),
+                false,
+            )
+        };
+        // Reference: uninterrupted 6-round run.
+        let mut reference = make();
+        reference.run(6).unwrap();
+
+        // Checkpointed: 3 rounds, snapshot, fresh engine, restore, 3 more.
+        let mut first = make();
+        first.run(3).unwrap();
+        let snap = first.snapshot();
+        assert_eq!(snap.round, 3);
+        let mut resumed = make();
+        resumed.restore(&snap).unwrap();
+        resumed.run(3).unwrap();
+
+        assert_eq!(reference.client_models(), resumed.client_models());
+        assert_eq!(reference.result().rounds, resumed.result().rounds);
+    }
+
+    #[test]
+    fn restore_validates_shape() {
+        let mut a = small_setup(vec![], AttackKind::Benign, Box::new(Mean::new()), false);
+        let mut snap = a.snapshot();
+        snap.client_models.pop();
+        assert!(a.restore(&snap).is_err());
+        let mut snap = a.snapshot();
+        snap.server_state.pop();
+        assert!(a.restore(&snap).is_err());
+        let mut snap = a.snapshot();
+        snap.client_models[0] = Tensor::zeros(&[3]);
+        assert!(a.restore(&snap).is_err());
+    }
+
+    #[test]
+    fn paper_defaults_match_table_ii() {
+        let cfg = EngineConfig::paper_defaults(1).unwrap();
+        assert_eq!(cfg.topology.num_clients(), 50);
+        assert_eq!(cfg.topology.num_servers(), 10);
+        assert_eq!(cfg.local_epochs, 3);
+        assert_eq!(cfg.upload, UploadStrategy::Sparse);
+    }
+}

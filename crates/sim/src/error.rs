@@ -1,0 +1,110 @@
+//! Error type for the simulator.
+
+use std::fmt;
+
+use fedms_aggregation::AggError;
+use fedms_attacks::AttackError;
+use fedms_data::DataError;
+use fedms_nn::NnError;
+use fedms_tensor::TensorError;
+
+/// Errors produced while constructing or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Tensor-level failure.
+    Tensor(TensorError),
+    /// Model/training failure.
+    Nn(NnError),
+    /// Dataset/partitioning failure.
+    Data(DataError),
+    /// Aggregation-rule failure.
+    Agg(AggError),
+    /// Attack failure.
+    Attack(AttackError),
+    /// Invalid simulation configuration.
+    BadConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Tensor(e) => write!(f, "tensor error: {e}"),
+            SimError::Nn(e) => write!(f, "model error: {e}"),
+            SimError::Data(e) => write!(f, "data error: {e}"),
+            SimError::Agg(e) => write!(f, "aggregation error: {e}"),
+            SimError::Attack(e) => write!(f, "attack error: {e}"),
+            SimError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Tensor(e) => Some(e),
+            SimError::Nn(e) => Some(e),
+            SimError::Data(e) => Some(e),
+            SimError::Agg(e) => Some(e),
+            SimError::Attack(e) => Some(e),
+            SimError::BadConfig(_) => None,
+        }
+    }
+}
+
+impl From<TensorError> for SimError {
+    fn from(e: TensorError) -> Self {
+        SimError::Tensor(e)
+    }
+}
+
+impl From<NnError> for SimError {
+    fn from(e: NnError) -> Self {
+        SimError::Nn(e)
+    }
+}
+
+impl From<DataError> for SimError {
+    fn from(e: DataError) -> Self {
+        SimError::Data(e)
+    }
+}
+
+impl From<AggError> for SimError {
+    fn from(e: AggError) -> Self {
+        SimError::Agg(e)
+    }
+}
+
+impl From<AttackError> for SimError {
+    fn from(e: AttackError) -> Self {
+        SimError::Attack(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e: SimError = TensorError::Empty("x").into();
+        assert!(e.to_string().contains("tensor"));
+        assert!(e.source().is_some());
+        assert!(SimError::BadConfig("k".into()).source().is_none());
+    }
+
+    #[test]
+    fn conversions_compile() {
+        let _: SimError = NnError::NoForwardCache("l").into();
+        let _: SimError = DataError::BadConfig("d".into()).into();
+        let _: SimError = AggError::Empty.into();
+        let _: SimError = AttackError::BadParameter("p".into()).into();
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

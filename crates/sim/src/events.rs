@@ -1,0 +1,213 @@
+//! Structured event log for auditing a federation run.
+//!
+//! When enabled on the engine, every stage of every round appends a
+//! [`RoundEvent`] — who trained, which uploads went where (and which were
+//! dropped), what each server aggregated and disseminated, and what each
+//! filter decided. The log is bounded (oldest events evicted) and
+//! queryable, turning "why did round 17 go wrong?" into a lookup instead of
+//! a re-run.
+
+use serde::{Deserialize, Serialize};
+
+/// One structured event emitted by the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RoundEvent {
+    /// A client finished its local-training stage.
+    LocalTrainingCompleted {
+        /// Round index.
+        round: usize,
+        /// Client id.
+        client: usize,
+        /// Mean training loss over the local iterations.
+        loss: f32,
+    },
+    /// A client's model was sent to a server (post client-attack tampering,
+    /// pre channel loss).
+    UploadSent {
+        /// Round index.
+        round: usize,
+        /// Sender client id.
+        client: usize,
+        /// Destination server id.
+        server: usize,
+        /// Whether the message was lost in transit.
+        dropped: bool,
+    },
+    /// A server produced its aggregate.
+    Aggregated {
+        /// Round index.
+        round: usize,
+        /// Server id.
+        server: usize,
+        /// Number of uploads received this round.
+        received: usize,
+        /// L2 norm of the (true) aggregate.
+        aggregate_norm: f32,
+    },
+    /// A server disseminated (broadcast view; per-client equivocation is
+    /// flagged).
+    Disseminated {
+        /// Round index.
+        round: usize,
+        /// Server id.
+        server: usize,
+        /// Whether the server is Byzantine.
+        byzantine: bool,
+        /// Whether dissemination differed per client.
+        equivocating: bool,
+    },
+    /// A client applied its model filter.
+    Filtered {
+        /// Round index.
+        round: usize,
+        /// Client id.
+        client: usize,
+        /// L2 distance between the filter output and the plain mean of the
+        /// received models.
+        displacement: f32,
+    },
+}
+
+impl RoundEvent {
+    /// The round this event belongs to.
+    pub fn round(&self) -> usize {
+        match *self {
+            RoundEvent::LocalTrainingCompleted { round, .. }
+            | RoundEvent::UploadSent { round, .. }
+            | RoundEvent::Aggregated { round, .. }
+            | RoundEvent::Disseminated { round, .. }
+            | RoundEvent::Filtered { round, .. } => round,
+        }
+    }
+
+    /// A short tag for filtering (`"train"`, `"upload"`, `"aggregate"`,
+    /// `"disseminate"`, `"filter"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RoundEvent::LocalTrainingCompleted { .. } => "train",
+            RoundEvent::UploadSent { .. } => "upload",
+            RoundEvent::Aggregated { .. } => "aggregate",
+            RoundEvent::Disseminated { .. } => "disseminate",
+            RoundEvent::Filtered { .. } => "filter",
+        }
+    }
+}
+
+/// A bounded, append-only event buffer.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    events: std::collections::VecDeque<RoundEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Creates a log retaining at most `capacity` events (oldest evicted).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            events: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if full.
+    pub fn push(&mut self, event: RoundEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted (or rejected by a zero-capacity log).
+    pub fn evicted(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates the retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &RoundEvent> {
+        self.events.iter()
+    }
+
+    /// All retained events of one round.
+    pub fn round(&self, round: usize) -> Vec<&RoundEvent> {
+        self.events.iter().filter(|e| e.round() == round).collect()
+    }
+
+    /// All retained events of one kind (see [`RoundEvent::kind`]).
+    pub fn of_kind(&self, kind: &str) -> Vec<&RoundEvent> {
+        self.events.iter().filter(|e| e.kind() == kind).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(round: usize) -> RoundEvent {
+        RoundEvent::Aggregated { round, server: 0, received: 3, aggregate_norm: 1.0 }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut log = EventLog::with_capacity(10);
+        assert!(log.is_empty());
+        log.push(ev(0));
+        log.push(RoundEvent::Filtered { round: 0, client: 2, displacement: 0.5 });
+        log.push(ev(1));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.round(0).len(), 2);
+        assert_eq!(log.of_kind("aggregate").len(), 2);
+        assert_eq!(log.of_kind("filter").len(), 1);
+        assert_eq!(log.evicted(), 0);
+    }
+
+    #[test]
+    fn eviction_keeps_newest() {
+        let mut log = EventLog::with_capacity(3);
+        for r in 0..5 {
+            log.push(ev(r));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.evicted(), 2);
+        let rounds: Vec<usize> = log.iter().map(RoundEvent::round).collect();
+        assert_eq!(rounds, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_all() {
+        let mut log = EventLog::with_capacity(0);
+        log.push(ev(0));
+        assert!(log.is_empty());
+        assert_eq!(log.evicted(), 1);
+    }
+
+    #[test]
+    fn kinds_and_rounds_cover_all_variants() {
+        let events = [
+            RoundEvent::LocalTrainingCompleted { round: 7, client: 0, loss: 1.0 },
+            RoundEvent::UploadSent { round: 7, client: 0, server: 1, dropped: false },
+            RoundEvent::Aggregated { round: 7, server: 1, received: 1, aggregate_norm: 2.0 },
+            RoundEvent::Disseminated { round: 7, server: 1, byzantine: true, equivocating: false },
+            RoundEvent::Filtered { round: 7, client: 0, displacement: 0.1 },
+        ];
+        let kinds: Vec<_> = events.iter().map(RoundEvent::kind).collect();
+        assert_eq!(kinds, vec!["train", "upload", "aggregate", "disseminate", "filter"]);
+        assert!(events.iter().all(|e| e.round() == 7));
+    }
+}

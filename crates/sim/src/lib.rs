@@ -1,0 +1,50 @@
+//! The federated edge learning (FEEL) network simulator.
+//!
+//! This crate is the substrate on which the Fed-MS algorithm (in
+//! `fedms-core`) runs: a deterministic, single-process simulation of the
+//! paper's system model — `K` end clients, `P` edge parameter servers of
+//! which `B` are Byzantine, synchronized rounds of local training → sparse
+//! upload → aggregation → dissemination → client-side filtering.
+//!
+//! Main pieces:
+//!
+//! * [`Topology`] — client/server counts and the (hidden) Byzantine set,
+//! * [`UploadStrategy`] — the paper's sparse upload, plus full and
+//!   k-redundant ablations,
+//! * [`Client`] / [`Server`] — stateful simulation entities,
+//! * [`SimulationEngine`] — the round loop, generic over the client-side
+//!   model filter (`Def(·)`) and per-server attacks,
+//! * [`CommStats`] — message/byte accounting (the communication-efficiency
+//!   claims of Section IV-A),
+//! * [`RoundMetrics`] / [`RunResult`] — per-round accuracy/loss series, the
+//!   data behind every accuracy figure in the paper.
+//!
+//! Determinism: every stochastic decision (mini-batches, upload choices,
+//! attack noise) draws from an RNG stream derived from one experiment seed
+//! via [`fedms_tensor::rng`], so runs are bit-reproducible — including under
+//! the optional crossbeam-parallel client training.
+
+mod client;
+mod comm;
+mod engine;
+mod error;
+mod events;
+mod metrics;
+mod model_spec;
+mod server;
+mod topology;
+mod upload;
+
+pub use client::Client;
+pub use comm::CommStats;
+pub use engine::{EngineConfig, SimulationEngine, Snapshot};
+pub use error::SimError;
+pub use events::{EventLog, RoundEvent};
+pub use metrics::{RoundDiagnostics, RoundMetrics, RunResult, RunSummary};
+pub use model_spec::ModelSpec;
+pub use server::Server;
+pub use topology::Topology;
+pub use upload::UploadStrategy;
+
+/// Crate-wide `Result` alias using [`SimError`].
+pub type Result<T> = std::result::Result<T, SimError>;

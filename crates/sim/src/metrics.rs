@@ -1,0 +1,166 @@
+//! Per-round metrics and whole-run results.
+
+use serde::{Deserialize, Serialize};
+
+use crate::CommStats;
+
+/// Optional per-round health diagnostics, recorded when
+/// [`crate::SimulationEngine::set_record_diagnostics`] is enabled.
+///
+/// These quantify what the defence is doing: how far the servers' views
+/// disagree (a proxy for attack intensity plus sparse-upload variance) and
+/// how far the filter had to move from naive averaging to stay safe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundDiagnostics {
+    /// Mean pairwise L2 distance between the models the servers
+    /// disseminated this round (client 0's view).
+    pub server_disagreement: f32,
+    /// L2 distance between the filtered model and the plain mean of the
+    /// disseminated models — zero when the filter agrees with averaging,
+    /// large when it actively discards tampering.
+    pub filter_displacement: f32,
+    /// Largest L2 norm of a client's local update (post-training minus
+    /// round-start model) this round.
+    pub max_update_norm: f32,
+}
+
+/// Measurements taken at the end of one training round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundMetrics {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Mean test accuracy over the evaluated clients' local models (the
+    /// paper's headline metric: "average test accuracy of the 50 local
+    /// models on the CIFAR-10 test dataset").
+    pub mean_accuracy: f32,
+    /// Mean training loss over clients' local iterations this round.
+    pub mean_train_loss: f32,
+    /// Communication spent in this round.
+    pub comm: CommStats,
+    /// Defence diagnostics, if recording was enabled.
+    #[serde(default)]
+    pub diagnostics: Option<RoundDiagnostics>,
+}
+
+/// The complete record of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RunResult {
+    /// Per-round metrics, in round order (only rounds where evaluation ran).
+    pub rounds: Vec<RoundMetrics>,
+    /// Total communication across all rounds.
+    pub total_comm: CommStats,
+}
+
+/// Headline statistics distilled from a [`RunResult`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Accuracy at the last evaluated round.
+    pub final_accuracy: f32,
+    /// Best accuracy over the run.
+    pub best_accuracy: f32,
+    /// First round at which accuracy reached 90% of the final value
+    /// (a convergence-speed proxy), if any.
+    pub rounds_to_90pct_of_final: Option<usize>,
+    /// Mean accuracy across evaluated rounds (area-under-curve proxy).
+    pub mean_accuracy: f32,
+    /// Total uploaded bytes.
+    pub upload_bytes: u64,
+}
+
+impl RunResult {
+    /// An empty result.
+    pub fn new() -> Self {
+        RunResult::default()
+    }
+
+    /// Distils the headline statistics; `None` for an empty result.
+    pub fn summary(&self) -> Option<RunSummary> {
+        let final_accuracy = self.final_accuracy()?;
+        let best_accuracy = self.best_accuracy()?;
+        let threshold = 0.9 * final_accuracy;
+        let rounds_to_90pct_of_final = self
+            .rounds
+            .iter()
+            .find(|m| m.mean_accuracy >= threshold)
+            .map(|m| m.round);
+        let mean_accuracy = (self
+            .rounds
+            .iter()
+            .map(|m| m.mean_accuracy as f64)
+            .sum::<f64>()
+            / self.rounds.len() as f64) as f32;
+        Some(RunSummary {
+            final_accuracy,
+            best_accuracy,
+            rounds_to_90pct_of_final,
+            mean_accuracy,
+            upload_bytes: self.total_comm.upload_bytes,
+        })
+    }
+
+    /// The final recorded accuracy, if any round was evaluated.
+    pub fn final_accuracy(&self) -> Option<f32> {
+        self.rounds.last().map(|r| r.mean_accuracy)
+    }
+
+    /// The best recorded accuracy.
+    pub fn best_accuracy(&self) -> Option<f32> {
+        self.rounds
+            .iter()
+            .map(|r| r.mean_accuracy)
+            .fold(None, |acc: Option<f32>, v| Some(acc.map_or(v, |a| a.max(v))))
+    }
+
+    /// The accuracy series as `(round, accuracy)` pairs — one figure line.
+    pub fn accuracy_series(&self) -> Vec<(usize, f32)> {
+        self.rounds.iter().map(|r| (r.round, r.mean_accuracy)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_with(accs: &[f32]) -> RunResult {
+        let mut r = RunResult::new();
+        for (i, &a) in accs.iter().enumerate() {
+            r.rounds.push(RoundMetrics {
+                round: i,
+                mean_accuracy: a,
+                mean_train_loss: 1.0,
+                comm: CommStats::new(),
+                diagnostics: None,
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn empty_result_has_no_accuracy() {
+        let r = RunResult::new();
+        assert!(r.final_accuracy().is_none());
+        assert!(r.best_accuracy().is_none());
+        assert!(r.accuracy_series().is_empty());
+    }
+
+    #[test]
+    fn final_and_best() {
+        let r = result_with(&[0.1, 0.7, 0.5]);
+        assert_eq!(r.final_accuracy(), Some(0.5));
+        assert_eq!(r.best_accuracy(), Some(0.7));
+        assert_eq!(r.accuracy_series(), vec![(0, 0.1), (1, 0.7), (2, 0.5)]);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        assert!(RunResult::new().summary().is_none());
+        let r = result_with(&[0.2, 0.5, 0.62, 0.7]);
+        let s = r.summary().unwrap();
+        assert_eq!(s.final_accuracy, 0.7);
+        assert_eq!(s.best_accuracy, 0.7);
+        // 90% of final = 0.63 → first reached at round 3.
+        assert_eq!(s.rounds_to_90pct_of_final, Some(3));
+        assert!((s.mean_accuracy - 0.505).abs() < 1e-5);
+        assert_eq!(s.upload_bytes, 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Serializable model selection for simulation configuration.
+
+use fedms_nn::{Layer, Mlp, MobileNetNano, MobileNetNanoConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::Result;
+
+/// A serializable description of the training model, turned into a live
+/// network with [`ModelSpec::build`]. All clients build architecturally
+/// identical models; passing the same seed reproduces the same initial
+/// weights `w₀` everywhere (Algorithm 1 line 6).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// A multi-layer perceptron over flattened samples.
+    Mlp {
+        /// Layer widths, input first, classes last.
+        widths: Vec<usize>,
+    },
+    /// The miniature MobileNetV2 over image tensors.
+    MobileNetNano(MobileNetNanoConfig),
+}
+
+impl ModelSpec {
+    /// The harness default: an MLP sized for the default
+    /// [`fedms_data::SynthVisionConfig`] (3·8·8 = 192 inputs, 10 classes).
+    pub fn default_mlp() -> Self {
+        ModelSpec::Mlp { widths: vec![192, 64, 10] }
+    }
+
+    /// Whether this model consumes flattened `(N, D)` samples (true for
+    /// MLPs) or image tensors `(N, C, H, W)`.
+    pub fn wants_flat_input(&self) -> bool {
+        matches!(self, ModelSpec::Mlp { .. })
+    }
+
+    /// Builds a live model initialised from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model construction errors (bad widths/blocks).
+    pub fn build(&self, seed: u64) -> Result<Box<dyn Layer>> {
+        Ok(match self {
+            ModelSpec::Mlp { widths } => Box::new(Mlp::new(widths, seed)?),
+            ModelSpec::MobileNetNano(cfg) => Box::new(MobileNetNano::new(cfg.clone(), seed)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedms_nn::NeuralNet;
+
+    #[test]
+    fn builds_both_kinds() {
+        let mlp = ModelSpec::default_mlp().build(0).unwrap();
+        assert!(mlp.num_params() > 0);
+        let nano = ModelSpec::MobileNetNano(MobileNetNanoConfig::default()).build(0).unwrap();
+        assert!(nano.num_params() > 0);
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = ModelSpec::default_mlp().build(3).unwrap();
+        let b = ModelSpec::default_mlp().build(3).unwrap();
+        assert_eq!(a.param_vector(), b.param_vector());
+    }
+
+    #[test]
+    fn input_layout_flag() {
+        assert!(ModelSpec::default_mlp().wants_flat_input());
+        assert!(!ModelSpec::MobileNetNano(MobileNetNanoConfig::default()).wants_flat_input());
+    }
+
+    #[test]
+    fn bad_spec_errors() {
+        assert!(ModelSpec::Mlp { widths: vec![4] }.build(0).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! The simulated edge-network topology.
+
+use fedms_tensor::rng::rng_for;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+use crate::{Result, SimError};
+
+/// The FEEL system of the paper: `K` clients on the end side, `P` parameter
+/// servers on the edge side, `B ≤ P/2` of which are Byzantine at unknown
+/// positions.
+///
+/// # Example
+///
+/// ```
+/// use fedms_sim::Topology;
+///
+/// // 50 clients, 10 servers, 2 Byzantine (ε = 20%), random placement.
+/// let topo = Topology::with_random_byzantine(50, 10, 2, 42)?;
+/// assert_eq!(topo.num_byzantine(), 2);
+/// assert!(topo.byzantine_minority());
+/// # Ok::<(), fedms_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    num_clients: usize,
+    num_servers: usize,
+    byzantine: BTreeSet<usize>,
+}
+
+impl Topology {
+    /// Creates a topology with an explicit Byzantine server set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] if either count is zero or a
+    /// Byzantine id is out of range. (A Byzantine *majority* is accepted —
+    /// the harness uses it to demonstrate the `B ≤ P/2` feasibility bound —
+    /// but [`Topology::byzantine_minority`] will report `false`.)
+    pub fn new(
+        num_clients: usize,
+        num_servers: usize,
+        byzantine: impl IntoIterator<Item = usize>,
+    ) -> Result<Self> {
+        if num_clients == 0 || num_servers == 0 {
+            return Err(SimError::BadConfig(
+                "need at least one client and one server".into(),
+            ));
+        }
+        let byzantine: BTreeSet<usize> = byzantine.into_iter().collect();
+        if let Some(&bad) = byzantine.iter().find(|&&b| b >= num_servers) {
+            return Err(SimError::BadConfig(format!(
+                "byzantine server id {bad} out of range for {num_servers} servers"
+            )));
+        }
+        Ok(Topology { num_clients, num_servers, byzantine })
+    }
+
+    /// Creates a topology with `num_byzantine` servers placed uniformly at
+    /// random (the paper: "the distribution of the Byzantine PSs … can be
+    /// arbitrary and unknown for the clients").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] under the same conditions as
+    /// [`Topology::new`], or if `num_byzantine > num_servers`.
+    pub fn with_random_byzantine(
+        num_clients: usize,
+        num_servers: usize,
+        num_byzantine: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        if num_byzantine > num_servers {
+            return Err(SimError::BadConfig(format!(
+                "{num_byzantine} byzantine of {num_servers} servers"
+            )));
+        }
+        let mut ids: Vec<usize> = (0..num_servers).collect();
+        let mut rng = rng_for(seed, &[0x42_59_5A]); // "BYZ"
+        ids.shuffle(&mut rng);
+        Topology::new(num_clients, num_servers, ids.into_iter().take(num_byzantine))
+    }
+
+    /// Number of clients `K`.
+    pub fn num_clients(&self) -> usize {
+        self.num_clients
+    }
+
+    /// Number of parameter servers `P`.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Number of Byzantine servers `B`.
+    pub fn num_byzantine(&self) -> usize {
+        self.byzantine.len()
+    }
+
+    /// Whether server `id` is Byzantine.
+    pub fn is_byzantine(&self, id: usize) -> bool {
+        self.byzantine.contains(&id)
+    }
+
+    /// The Byzantine server ids, ascending.
+    pub fn byzantine_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        self.byzantine.iter().copied()
+    }
+
+    /// The paper's feasibility condition `B ≤ P/2` (strict minority
+    /// requires `2B < P`; this reports the strict version, which is what
+    /// Lemma 2 needs: `P − 2B > 0`).
+    pub fn byzantine_minority(&self) -> bool {
+        2 * self.num_byzantine() < self.num_servers
+    }
+
+    /// The Byzantine fraction ε = B/P.
+    pub fn epsilon(&self) -> f64 {
+        self.num_byzantine() as f64 / self.num_servers as f64
+    }
+
+    /// The matching trim rate β = B/P for the Fed-MS filter.
+    pub fn matching_beta(&self) -> f64 {
+        self.epsilon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_counts_and_ids() {
+        assert!(Topology::new(0, 5, []).is_err());
+        assert!(Topology::new(5, 0, []).is_err());
+        assert!(Topology::new(5, 5, [5]).is_err());
+        assert!(Topology::new(5, 5, [4]).is_ok());
+    }
+
+    #[test]
+    fn byzantine_set_deduplicated() {
+        let t = Topology::new(10, 5, [1, 1, 3]).unwrap();
+        assert_eq!(t.num_byzantine(), 2);
+        assert!(t.is_byzantine(1));
+        assert!(t.is_byzantine(3));
+        assert!(!t.is_byzantine(0));
+        assert_eq!(t.byzantine_ids().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn random_placement_deterministic_and_in_range() {
+        let a = Topology::with_random_byzantine(50, 10, 3, 7).unwrap();
+        let b = Topology::with_random_byzantine(50, 10, 3, 7).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.num_byzantine(), 3);
+        assert!(a.byzantine_ids().all(|id| id < 10));
+        let c = Topology::with_random_byzantine(50, 10, 3, 8).unwrap();
+        // Different seeds usually place differently (not guaranteed, but
+        // with C(10,3)=120 possibilities the chosen seeds differ).
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn minority_and_epsilon() {
+        let t = Topology::with_random_byzantine(50, 10, 2, 0).unwrap();
+        assert!(t.byzantine_minority());
+        assert!((t.epsilon() - 0.2).abs() < 1e-12);
+        assert!((t.matching_beta() - 0.2).abs() < 1e-12);
+        let half = Topology::with_random_byzantine(50, 10, 5, 0).unwrap();
+        assert!(!half.byzantine_minority());
+        assert!(Topology::with_random_byzantine(50, 10, 11, 0).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests of simulator invariants.
+
+use fedms_sim::{Topology, UploadStrategy};
+use fedms_tensor::rng::rng_for;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// Upload assignments are always in range, distinct per client, and
+    /// sized per the strategy's formula.
+    #[test]
+    fn assignment_invariants(
+        clients in 1usize..40,
+        servers in 1usize..12,
+        k in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let mut rng = rng_for(seed, &[]);
+        for strategy in [
+            UploadStrategy::Sparse,
+            UploadStrategy::Full,
+            UploadStrategy::Redundant(k),
+        ] {
+            let a = strategy.assign(clients, servers, &mut rng).unwrap();
+            prop_assert_eq!(a.len(), clients);
+            let total: usize = a.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, strategy.messages_per_round(clients, servers));
+            for list in &a {
+                let set: HashSet<_> = list.iter().collect();
+                prop_assert_eq!(set.len(), list.len(), "duplicate server in assignment");
+                prop_assert!(list.iter().all(|&s| s < servers));
+            }
+        }
+    }
+
+    /// Random Byzantine placement respects the requested count, stays in
+    /// range, and is reproducible per seed.
+    #[test]
+    fn topology_random_placement(
+        clients in 1usize..30,
+        servers in 1usize..15,
+        seed in 0u64..100,
+    ) {
+        let b = servers / 2;
+        let t = Topology::with_random_byzantine(clients, servers, b, seed).unwrap();
+        prop_assert_eq!(t.num_byzantine(), b);
+        prop_assert!(t.byzantine_ids().all(|id| id < servers));
+        let again = Topology::with_random_byzantine(clients, servers, b, seed).unwrap();
+        prop_assert_eq!(t, again);
+    }
+
+    /// ε = B/P and the strict-minority predicate agree with arithmetic.
+    #[test]
+    fn epsilon_consistency(servers in 1usize..20, b_frac in 0.0f64..1.0) {
+        let b = ((servers as f64) * b_frac) as usize;
+        prop_assume!(b <= servers);
+        let t = Topology::with_random_byzantine(5, servers, b, 0).unwrap();
+        prop_assert!((t.epsilon() - b as f64 / servers as f64).abs() < 1e-12);
+        prop_assert_eq!(t.byzantine_minority(), 2 * b < servers);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Errors produced by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements supplied does not match the requested shape.
+    LengthMismatch {
+        /// Number of elements supplied.
+        got: usize,
+        /// Number of elements the shape requires.
+        expected: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+    },
+    /// The inner dimensions of a matrix product do not agree.
+    MatmulDimMismatch {
+        /// `(rows, cols)` of the left matrix.
+        left: (usize, usize),
+        /// `(rows, cols)` of the right matrix.
+        right: (usize, usize),
+    },
+    /// An operation required a tensor of a particular rank.
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the supplied tensor.
+        got: usize,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending flat or per-axis index.
+        index: usize,
+        /// The bound that was violated.
+        bound: usize,
+    },
+    /// A reduction or statistic was requested over an empty set.
+    Empty(&'static str),
+    /// An operation-specific invariant was violated.
+    Invalid(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { got, expected } => {
+                write!(f, "data length {got} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::MatmulDimMismatch { left, right } => {
+                write!(f, "matmul dimension mismatch: {left:?} x {right:?}")
+            }
+            TensorError::RankMismatch { expected, got } => {
+                write!(f, "expected rank {expected}, got rank {got}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for extent {bound}")
+            }
+            TensorError::Empty(what) => write!(f, "operation on empty input: {what}"),
+            TensorError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs: Vec<TensorError> = vec![
+            TensorError::LengthMismatch { got: 1, expected: 2 },
+            TensorError::ShapeMismatch { left: vec![2], right: vec![3] },
+            TensorError::MatmulDimMismatch { left: (2, 3), right: (4, 5) },
+            TensorError::RankMismatch { expected: 2, got: 1 },
+            TensorError::IndexOutOfBounds { index: 9, bound: 3 },
+            TensorError::Empty("mean"),
+            TensorError::Invalid("negative stride".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

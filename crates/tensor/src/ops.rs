@@ -1,0 +1,440 @@
+//! Linear algebra and reduction operations on [`Tensor`].
+
+use crate::{Tensor, TensorError};
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Linear algebra (rank-2)
+    // ------------------------------------------------------------------
+
+    /// Matrix product of two rank-2 tensors: `(m×k) · (k×n) → (m×n)`.
+    ///
+    /// Uses a cache-friendly `i-k-j` loop order; adequate for the model
+    /// sizes trained in this workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::MatmulDimMismatch`] if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        let (m, k) = self.matrix_dims()?;
+        let (k2, n) = other.matrix_dims()?;
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch { left: (m, k), right: (k2, n) });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (kk, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
+                    *o += aik * bkj;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self · otherᵀ` for rank-2 tensors: `(m×k) · (n×k)ᵀ → (m×n)`.
+    ///
+    /// Equivalent to `self.matmul(&other.transposed()?)` but avoids
+    /// materialising the transpose; used on backward passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::MatmulDimMismatch`] if the shared dimension disagrees.
+    pub fn matmul_transb(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        let (m, k) = self.matrix_dims()?;
+        let (n, k2) = other.matrix_dims()?;
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch { left: (m, k), right: (k2, n) });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in arow.iter().zip(brow.iter()) {
+                    acc += x * y;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `selfᵀ · other` for rank-2 tensors: `(k×m)ᵀ · (k×n) → (m×n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::MatmulDimMismatch`] if the shared dimension disagrees.
+    pub fn matmul_transa(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        let (k, m) = self.matrix_dims()?;
+        let (k2, n) = other.matrix_dims()?;
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch { left: (m, k), right: (k2, n) });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for kk in 0..k {
+            let arow = &a[kk * m..(kk + 1) * m];
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (i, &aki) in arow.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
+                    *o += aki * bkj;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix–vector product of a rank-2 and a rank-1 tensor:
+    /// `(m×n) · (n) → (m)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/dimension errors on shape mismatch.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor, TensorError> {
+        let (m, n) = self.matrix_dims()?;
+        if v.rank() != 1 {
+            return Err(TensorError::RankMismatch { expected: 1, got: v.rank() });
+        }
+        if v.len() != n {
+            return Err(TensorError::MatmulDimMismatch { left: (m, n), right: (v.len(), 1) });
+        }
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let mut out = vec![0.0f32; m];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &a[i * n..(i + 1) * n];
+            let mut acc = 0.0f64;
+            for (&r, &xv) in row.iter().zip(x.iter()) {
+                acc += r as f64 * xv as f64;
+            }
+            *o = acc as f32;
+        }
+        Tensor::from_vec(out, &[m])
+    }
+
+    /// Outer product of two rank-1 tensors: `(m) ⊗ (n) → (m×n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank error if either input is not rank 1.
+    pub fn outer(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 1 {
+            return Err(TensorError::RankMismatch { expected: 1, got: self.rank() });
+        }
+        if other.rank() != 1 {
+            return Err(TensorError::RankMismatch { expected: 1, got: other.rank() });
+        }
+        let (m, n) = (self.len(), other.len());
+        let mut out = vec![0.0f32; m * n];
+        for (i, &a) in self.as_slice().iter().enumerate() {
+            for (j, &b) in other.as_slice().iter().enumerate() {
+                out[i * n + j] = a * b;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Returns the transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn transposed(&self) -> Result<Tensor, TensorError> {
+        let (m, n) = self.matrix_dims()?;
+        let a = self.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    fn matrix_dims(&self) -> Result<(usize, usize), TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, got: self.rank() });
+        }
+        Ok((self.dims()[0], self.dims()[1]))
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// The sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// The arithmetic mean of all elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn mean(&self) -> Result<f32, TensorError> {
+        if self.is_empty() {
+            return Err(TensorError::Empty("mean"));
+        }
+        Ok(self.sum() / self.len() as f32)
+    }
+
+    /// The maximum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn max(&self) -> Result<f32, TensorError> {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(None, |m: Option<f32>, v| Some(m.map_or(v, |m| m.max(v))))
+            .ok_or(TensorError::Empty("max"))
+    }
+
+    /// The minimum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn min(&self) -> Result<f32, TensorError> {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(None, |m: Option<f32>, v| Some(m.map_or(v, |m| m.min(v))))
+            .ok_or(TensorError::Empty("min"))
+    }
+
+    /// The Euclidean (`L₂`) norm of the flattened tensor.
+    pub fn norm_l2(&self) -> f32 {
+        self.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt() as f32
+    }
+
+    /// The squared Euclidean norm of the flattened tensor.
+    pub fn norm_l2_sq(&self) -> f32 {
+        self.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() as f32
+    }
+
+    /// The inner product of two same-shape tensors (flattened).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn dot(&self, other: &Tensor) -> Result<f32, TensorError> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        Ok(self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice().iter())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum::<f64>() as f32)
+    }
+
+    /// Index of the maximum element of a rank-1 tensor (ties → first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn argmax(&self) -> Result<usize, TensorError> {
+        let s = self.as_slice();
+        if s.is_empty() {
+            return Err(TensorError::Empty("argmax"));
+        }
+        let mut best = 0usize;
+        for (i, &v) in s.iter().enumerate() {
+            if v > s[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Per-row argmax for a rank-2 tensor: the predicted class of each
+    /// sample in a batch of logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>, TensorError> {
+        let (m, _n) = self.matrix_dims()?;
+        let mut out = Vec::with_capacity(m);
+        for i in 0..m {
+            let row = self.row(i)?;
+            let mut best = 0usize;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Whether every element is finite (no NaN/±∞).
+    pub fn is_finite(&self) -> bool {
+        self.as_slice().iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(data: &[f32], r: usize, c: usize) -> Tensor {
+        Tensor::from_vec(data.to_vec(), &[r, c]).unwrap()
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = mat(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let b = mat(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], 3, 2);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = mat(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(a.matmul(&Tensor::eye(2)).unwrap(), a);
+        assert_eq!(Tensor::eye(2).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matches!(a.matmul(&b), Err(TensorError::MatmulDimMismatch { .. })));
+        assert!(matches!(
+            Tensor::zeros(&[3]).matmul(&b),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_transb_matches_explicit_transpose() {
+        let a = mat(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let b = mat(&[1.0, 0.5, -1.0, 2.0, 0.0, 3.0, 1.0, 1.0, 2.0, -2.0, 0.5, 0.5], 4, 3);
+        let fast = a.matmul_transb(&b).unwrap();
+        let slow = a.matmul(&b.transposed().unwrap()).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_transa_matches_explicit_transpose() {
+        let a = mat(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2);
+        let b = mat(&[1.0, 0.5, -1.0, 2.0, 0.0, 3.0], 3, 2);
+        let fast = a.matmul_transa(&b).unwrap();
+        let slow = a.transposed().unwrap().matmul(&b).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = mat(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let v = Tensor::from_slice(&[1.0, 0.5, -1.0]);
+        let fast = a.matvec(&v).unwrap();
+        let slow = a.matmul(&v.reshape(&[3, 1]).unwrap()).unwrap();
+        assert_eq!(fast.as_slice(), slow.as_slice());
+        assert!(a.matvec(&Tensor::zeros(&[2])).is_err());
+        assert!(a.matvec(&Tensor::zeros(&[3, 1])).is_err());
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 4.0, 5.0]);
+        let o = a.outer(&b).unwrap();
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.as_slice(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+        assert!(Tensor::zeros(&[2, 2]).outer(&b).is_err());
+        assert!(a.outer(&Tensor::zeros(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = mat(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let t = a.transposed().unwrap();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.transposed().unwrap(), a);
+        assert_eq!(t.get(&[2, 1]).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_slice(&[1.0, -3.0, 2.0]);
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.mean().unwrap(), 0.0);
+        assert_eq!(t.max().unwrap(), 2.0);
+        assert_eq!(t.min().unwrap(), -3.0);
+        assert!((t.norm_l2() - 14.0f32.sqrt()).abs() < 1e-6);
+        assert!((t.norm_l2_sq() - 14.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reductions_reject_empty() {
+        let e = Tensor::zeros(&[0]);
+        assert!(e.mean().is_err());
+        assert!(e.max().is_err());
+        assert!(e.min().is_err());
+        assert!(e.argmax().is_err());
+        assert_eq!(e.sum(), 0.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, -5.0, 6.0]);
+        assert_eq!(a.dot(&b).unwrap(), 12.0);
+        assert!(a.dot(&Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        let t = Tensor::from_slice(&[1.0, 3.0, 3.0, 2.0]);
+        assert_eq!(t.argmax().unwrap(), 1);
+    }
+
+    #[test]
+    fn argmax_rows_per_sample() {
+        let t = mat(&[0.1, 0.9, 0.0, 0.7, 0.2, 0.1], 2, 3);
+        assert_eq!(t.argmax_rows().unwrap(), vec![1, 0]);
+        assert!(Tensor::zeros(&[3]).argmax_rows().is_err());
+    }
+
+    #[test]
+    fn is_finite_detects_nan_inf() {
+        assert!(Tensor::ones(&[4]).is_finite());
+        let mut t = Tensor::ones(&[4]);
+        t.as_mut_slice()[2] = f32::NAN;
+        assert!(!t.is_finite());
+        t.as_mut_slice()[2] = f32::INFINITY;
+        assert!(!t.is_finite());
+    }
+}

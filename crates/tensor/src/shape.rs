@@ -1,0 +1,186 @@
+//! Tensor shapes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::TensorError;
+
+/// The extents of a tensor along each axis, in row-major order.
+///
+/// A `Shape` is a thin, validated wrapper around a `Vec<usize>`; the product
+/// of its extents is the tensor's element count ([`Shape::volume`]).
+///
+/// # Example
+///
+/// ```
+/// use fedms_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.volume(), 24);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from per-axis extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Returns the scalar shape (rank 0, volume 1).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The total number of elements: the product of all extents.
+    ///
+    /// A rank-0 shape has volume 1.
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// The extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// The extent of axis `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize, TensorError> {
+        self.0
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::IndexOutOfBounds { index: axis, bound: self.0.len() })
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    ///
+    /// The last axis has stride 1.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a per-axis index into a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `index.len() != rank`, and
+    /// [`TensorError::IndexOutOfBounds`] if any coordinate exceeds its extent.
+    pub fn flat_index(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.0.len() {
+            return Err(TensorError::RankMismatch { expected: self.0.len(), got: index.len() });
+        }
+        let mut flat = 0usize;
+        let strides = self.strides();
+        for (axis, (&i, &n)) in index.iter().zip(self.0.iter()).enumerate() {
+            if i >= n {
+                return Err(TensorError::IndexOutOfBounds { index: i, bound: n });
+            }
+            flat += i * strides[axis];
+        }
+        Ok(flat)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_rank() {
+        assert_eq!(Shape::new(&[2, 3]).volume(), 6);
+        assert_eq!(Shape::new(&[2, 3]).rank(), 2);
+        assert_eq!(Shape::scalar().volume(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+        assert_eq!(Shape::new(&[5, 0, 2]).volume(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[7]).strides(), vec![1]);
+        assert_eq!(Shape::scalar().strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn flat_index_roundtrip() {
+        let s = Shape::new(&[2, 3, 4]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let f = s.flat_index(&[i, j, k]).unwrap();
+                    assert!(f < 24);
+                    assert!(seen.insert(f), "duplicate flat index");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn flat_index_errors() {
+        let s = Shape::new(&[2, 3]);
+        assert!(matches!(s.flat_index(&[0]), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(s.flat_index(&[2, 0]), Err(TensorError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Shape = [1usize, 2].into();
+        let b: Shape = vec![1usize, 2].into();
+        let c: Shape = (&[1usize, 2][..]).into();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+}

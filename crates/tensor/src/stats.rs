@@ -1,0 +1,314 @@
+//! Axis reductions, concatenation and summary statistics.
+
+use crate::{Shape, Tensor, TensorError};
+
+impl Tensor {
+    /// Column sums of a rank-2 tensor: `(m, n) → (n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank error for non-matrices.
+    pub fn sum_rows(&self) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, got: self.rank() });
+        }
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut acc = vec![0.0f64; n];
+        for i in 0..m {
+            for (a, &v) in acc.iter_mut().zip(self.row(i)?.iter()) {
+                *a += v as f64;
+            }
+        }
+        Ok(Tensor::from_vec(acc.into_iter().map(|v| v as f32).collect(), &[n])?)
+    }
+
+    /// Column means of a rank-2 tensor: `(m, n) → (n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank error for non-matrices and [`TensorError::Empty`] for
+    /// zero rows.
+    pub fn mean_rows(&self) -> Result<Tensor, TensorError> {
+        let m = *self.dims().first().ok_or(TensorError::Empty("mean_rows"))?;
+        if m == 0 {
+            return Err(TensorError::Empty("mean_rows"));
+        }
+        let mut out = self.sum_rows()?;
+        out.scale(1.0 / m as f32);
+        Ok(out)
+    }
+
+    /// Population variance of all elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn variance(&self) -> Result<f32, TensorError> {
+        let mean = self.mean()? as f64;
+        let var = self
+            .as_slice()
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.len() as f64;
+        Ok(var as f32)
+    }
+
+    /// Population standard deviation of all elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn std_dev(&self) -> Result<f32, TensorError> {
+        Ok(self.variance()?.sqrt())
+    }
+
+    /// Concatenates rank-1 tensors end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty list and a rank error if
+    /// any input is not rank 1.
+    pub fn concat(tensors: &[Tensor]) -> Result<Tensor, TensorError> {
+        if tensors.is_empty() {
+            return Err(TensorError::Empty("concat"));
+        }
+        let mut data = Vec::new();
+        for t in tensors {
+            if t.rank() != 1 {
+                return Err(TensorError::RankMismatch { expected: 1, got: t.rank() });
+            }
+            data.extend_from_slice(t.as_slice());
+        }
+        Ok(Tensor::from_slice(&data))
+    }
+
+    /// Stacks same-shape tensors along a new leading axis:
+    /// `n × (d…) → (n, d…)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty list and
+    /// [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn stack(tensors: &[Tensor]) -> Result<Tensor, TensorError> {
+        let Some(first) = tensors.first() else {
+            return Err(TensorError::Empty("stack"));
+        };
+        let mut data = Vec::with_capacity(tensors.len() * first.len());
+        for t in tensors {
+            if t.shape() != first.shape() {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.dims().to_vec(),
+                    right: t.dims().to_vec(),
+                });
+            }
+            data.extend_from_slice(t.as_slice());
+        }
+        let mut dims = vec![tensors.len()];
+        dims.extend_from_slice(first.dims());
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Splits a rank-1 tensor into chunks of the given lengths (which must
+    /// sum to `len`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank error for non-vectors and
+    /// [`TensorError::LengthMismatch`] if the lengths do not add up.
+    pub fn split(&self, lengths: &[usize]) -> Result<Vec<Tensor>, TensorError> {
+        if self.rank() != 1 {
+            return Err(TensorError::RankMismatch { expected: 1, got: self.rank() });
+        }
+        let total: usize = lengths.iter().sum();
+        if total != self.len() {
+            return Err(TensorError::LengthMismatch { got: total, expected: self.len() });
+        }
+        let mut out = Vec::with_capacity(lengths.len());
+        let mut offset = 0usize;
+        for &l in lengths {
+            out.push(Tensor::from_slice(&self.as_slice()[offset..offset + l]));
+            offset += l;
+        }
+        Ok(out)
+    }
+
+    /// The per-coordinate squared distance to another tensor, summed — the
+    /// squared Euclidean distance `‖a − b‖²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn distance_sq(&self, other: &Tensor) -> Result<f32, TensorError> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        Ok(self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| {
+                let d = a as f64 - b as f64;
+                d * d
+            })
+            .sum::<f64>() as f32)
+    }
+
+    /// Reinterprets the tensor with a fresh shape object (no data change);
+    /// exposed for zero-copy adapters.
+    pub fn shape_object(&self) -> Shape {
+        self.shape().clone()
+    }
+
+    /// Elementwise clamp into `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Invalid`] if `lo > hi` or either bound is NaN.
+    pub fn clamped(&self, lo: f32, hi: f32) -> Result<Tensor, TensorError> {
+        if !(lo <= hi) {
+            return Err(TensorError::Invalid(format!("bad clamp bounds [{lo}, {hi}]")));
+        }
+        Ok(self.map(|v| v.clamp(lo, hi)))
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Linear interpolation toward `other`: `(1−t)·self + t·other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn lerp(&self, other: &Tensor, t: f32) -> Result<Tensor, TensorError> {
+        let mut out = self.scaled(1.0 - t);
+        out.axpy(t, other)?;
+        Ok(out)
+    }
+
+    /// Rescales the tensor in place so its L2 norm is at most `max_norm`
+    /// (no-op if already within, or if the tensor is zero). Returns the
+    /// scale factor applied.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; non-positive `max_norm` simply zeroes the tensor.
+    pub fn clip_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.norm_l2();
+        if norm <= max_norm || norm == 0.0 {
+            return 1.0;
+        }
+        let scale = (max_norm / norm).max(0.0);
+        self.scale(scale);
+        scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_mean_rows() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(m.sum_rows().unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(m.mean_rows().unwrap().as_slice(), &[2.5, 3.5, 4.5]);
+        assert!(Tensor::zeros(&[3]).sum_rows().is_err());
+        assert!(Tensor::zeros(&[0, 3]).mean_rows().is_err());
+    }
+
+    #[test]
+    fn variance_and_std() {
+        let t = Tensor::from_slice(&[1.0, 3.0]);
+        assert_eq!(t.variance().unwrap(), 1.0);
+        assert_eq!(t.std_dev().unwrap(), 1.0);
+        assert_eq!(Tensor::full(&[5], 2.0).variance().unwrap(), 0.0);
+        assert!(Tensor::zeros(&[0]).variance().is_err());
+    }
+
+    #[test]
+    fn concat_vectors() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0]);
+        let c = Tensor::concat(&[a, b]).unwrap();
+        assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0]);
+        assert!(Tensor::concat(&[]).is_err());
+        assert!(Tensor::concat(&[Tensor::zeros(&[2, 2])]).is_err());
+    }
+
+    #[test]
+    fn stack_makes_batch() {
+        let rows = vec![Tensor::from_slice(&[1.0, 2.0]), Tensor::from_slice(&[3.0, 4.0])];
+        let s = Tensor::stack(&rows).unwrap();
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(Tensor::stack(&[]).is_err());
+        let mixed = vec![Tensor::zeros(&[2]), Tensor::zeros(&[3])];
+        assert!(Tensor::stack(&mixed).is_err());
+    }
+
+    #[test]
+    fn split_roundtrips_concat() {
+        let t = Tensor::linspace(0.0, 5.0, 6);
+        let parts = t.split(&[2, 3, 1]).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[1].as_slice(), &[2.0, 3.0, 4.0]);
+        let back = Tensor::concat(&parts).unwrap();
+        assert_eq!(back, t);
+        assert!(t.split(&[2, 2]).is_err());
+        assert!(Tensor::zeros(&[2, 2]).split(&[4]).is_err());
+    }
+
+    #[test]
+    fn distance_sq_matches_norm() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[4.0, 6.0]);
+        assert_eq!(a.distance_sq(&b).unwrap(), 25.0);
+        assert!((a.distance_sq(&b).unwrap() - a.sub(&b).unwrap().norm_l2_sq()).abs() < 1e-5);
+        assert!(a.distance_sq(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn shape_object_clones() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.shape_object().dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn clamp_and_abs() {
+        let t = Tensor::from_slice(&[-5.0, 0.5, 5.0]);
+        assert_eq!(t.clamped(-1.0, 1.0).unwrap().as_slice(), &[-1.0, 0.5, 1.0]);
+        assert!(t.clamped(1.0, -1.0).is_err());
+        assert_eq!(t.abs().as_slice(), &[5.0, 0.5, 5.0]);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Tensor::from_slice(&[0.0, 10.0]);
+        let b = Tensor::from_slice(&[10.0, 0.0]);
+        assert_eq!(a.lerp(&b, 0.0).unwrap(), a);
+        assert_eq!(a.lerp(&b, 1.0).unwrap(), b);
+        assert_eq!(a.lerp(&b, 0.5).unwrap().as_slice(), &[5.0, 5.0]);
+        assert!(a.lerp(&Tensor::zeros(&[3]), 0.5).is_err());
+    }
+
+    #[test]
+    fn clip_norm_bounds() {
+        let mut t = Tensor::from_slice(&[3.0, 4.0]); // norm 5
+        let scale = t.clip_norm(1.0);
+        assert!((t.norm_l2() - 1.0).abs() < 1e-5);
+        assert!((scale - 0.2).abs() < 1e-6);
+        let mut small = Tensor::from_slice(&[0.1]);
+        assert_eq!(small.clip_norm(1.0), 1.0);
+        let mut zero = Tensor::zeros(&[4]);
+        assert_eq!(zero.clip_norm(1.0), 1.0);
+    }
+}

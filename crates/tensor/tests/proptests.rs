@@ -1,0 +1,100 @@
+//! Property-based tests for tensor algebra invariants.
+
+use fedms_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-100.0f32..100.0, len).prop_map(|v| Tensor::from_slice(&v))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in tensor_strategy(16), b in tensor_strategy(16)) {
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in tensor_strategy(16), b in tensor_strategy(16)) {
+        let r = a.add(&b).unwrap().sub(&b).unwrap();
+        for (x, y) in r.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3_f32.max(y.abs() * 1e-5));
+        }
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in tensor_strategy(8), b in tensor_strategy(8), k in -10.0f32..10.0) {
+        let lhs = a.add(&b).unwrap().scaled(k);
+        let rhs = a.scaled(k).add(&b.scaled(k)).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-2);
+        }
+    }
+
+    #[test]
+    fn dot_is_symmetric(a in tensor_strategy(32), b in tensor_strategy(32)) {
+        prop_assert_eq!(a.dot(&b).unwrap(), b.dot(&a).unwrap());
+    }
+
+    #[test]
+    fn cauchy_schwarz(a in tensor_strategy(32), b in tensor_strategy(32)) {
+        let d = a.dot(&b).unwrap().abs();
+        prop_assert!(d <= a.norm_l2() * b.norm_l2() * (1.0 + 1e-4) + 1e-4);
+    }
+
+    #[test]
+    fn norm_scales_absolutely(a in tensor_strategy(32), k in -10.0f32..10.0) {
+        let lhs = a.scaled(k).norm_l2();
+        let rhs = k.abs() * a.norm_l2();
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + rhs));
+    }
+
+    #[test]
+    fn mean_bounded_by_extremes(a in tensor_strategy(32)) {
+        let m = a.mean().unwrap();
+        prop_assert!(m >= a.min().unwrap() - 1e-4);
+        prop_assert!(m <= a.max().unwrap() + 1e-4);
+    }
+
+    #[test]
+    fn argmax_is_max(a in tensor_strategy(32)) {
+        let i = a.argmax().unwrap();
+        prop_assert_eq!(a.as_slice()[i], a.max().unwrap());
+    }
+
+    #[test]
+    fn transpose_involution(data in proptest::collection::vec(-10.0f32..10.0, 12)) {
+        let m = Tensor::from_vec(data, &[3, 4]).unwrap();
+        prop_assert_eq!(m.transposed().unwrap().transposed().unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_linear_in_first_arg(
+        a in proptest::collection::vec(-5.0f32..5.0, 6),
+        b in proptest::collection::vec(-5.0f32..5.0, 6),
+        c in proptest::collection::vec(-5.0f32..5.0, 6),
+    ) {
+        let a = Tensor::from_vec(a, &[2, 3]).unwrap();
+        let b = Tensor::from_vec(b, &[2, 3]).unwrap();
+        let c = Tensor::from_vec(c, &[3, 2]).unwrap();
+        let lhs = a.add(&b).unwrap().matmul(&c).unwrap();
+        let rhs = a.matmul(&c).unwrap().add(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-2);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        x in proptest::collection::vec(-5.0f32..5.0, 2 * 6 * 5),
+        seed_y in proptest::collection::vec(-5.0f32..5.0, 18 * 9),
+    ) {
+        let g = Conv2dGeometry::new(2, 6, 5, 3, 2, 1).unwrap();
+        prop_assert_eq!(g.col_rows(), 18);
+        prop_assert_eq!(g.col_cols(), 9);
+        let x = Tensor::from_vec(x, &[2, 6, 5]).unwrap();
+        let y = Tensor::from_vec(seed_y, &[18, 9]).unwrap();
+        let lhs = im2col(&x, &g).unwrap().dot(&y).unwrap();
+        let rhs = x.flattened().dot(&col2im(&y, &g).unwrap().flattened()).unwrap();
+        prop_assert!((lhs - rhs).abs() <= 1e-1 * (1.0 + lhs.abs()));
+    }
+}

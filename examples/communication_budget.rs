@@ -1,0 +1,48 @@
+//! Communication budget: is uploading to every server worth it?
+//!
+//! Scenario: your edge network bills by the byte. Each client could upload
+//! its model to all `P` servers (maximum redundancy, `K·P` messages per
+//! round), to a few, or — the Fed-MS design — to exactly one chosen at
+//! random (`K` messages, the same as classic single-server FL). This
+//! example measures the real byte counts from the simulator's accounting
+//! and the accuracy each budget buys under an active attack.
+//!
+//! Run with: `cargo run --release --example communication_budget`
+
+use fedms::{AttackKind, CoreError, FedMsConfig, FilterKind, UploadStrategy};
+
+fn main() -> Result<(), CoreError> {
+    let rounds = 25;
+    println!("Communication budget under the Noise attack (K=50, P=10, B=2)\n");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>10}",
+        "strategy", "msgs/rnd", "upload MiB", "down MiB", "final acc"
+    );
+    for (label, strategy) in [
+        ("sparse (1 PS)", UploadStrategy::Sparse),
+        ("redundant k=2", UploadStrategy::Redundant(2)),
+        ("redundant k=5", UploadStrategy::Redundant(5)),
+        ("full (all P)", UploadStrategy::Full),
+    ] {
+        let mut cfg = FedMsConfig::paper_defaults(42)?;
+        cfg.byzantine_count = 2;
+        cfg.attack = AttackKind::Noise { std: 1.0 };
+        cfg.filter = FilterKind::TrimmedMean { beta: 0.2 };
+        cfg.upload = strategy;
+        cfg.rounds = rounds;
+        cfg.eval_every = rounds;
+        let result = cfg.run()?;
+        let comm = result.total_comm;
+        println!(
+            "{:<16} {:>10} {:>12.2} {:>12.2} {:>9.1}%",
+            label,
+            comm.upload_messages / rounds as u64,
+            comm.upload_bytes as f64 / (1024.0 * 1024.0),
+            comm.download_bytes as f64 / (1024.0 * 1024.0),
+            result.final_accuracy().unwrap_or(0.0) * 100.0
+        );
+    }
+    println!("\nSparse upload costs P× less than full upload; Lemma 3 prices the");
+    println!("accuracy difference (a variance term that vanishes as rounds grow).");
+    Ok(())
+}

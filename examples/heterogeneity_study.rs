@@ -1,0 +1,54 @@
+//! Heterogeneity study: how non-iid can the client data get before
+//! federated training suffers?
+//!
+//! Scenario: a fleet of hospitals trains a shared diagnostic model; each
+//! site sees a skewed slice of the condition distribution. The Dirichlet
+//! `D_α` knob reproduces this skew. The study prints, per α: the label
+//! skew statistics of the partition, and the accuracy Fed-MS reaches under
+//! a simultaneous Byzantine-server attack.
+//!
+//! Run with: `cargo run --release --example heterogeneity_study`
+
+use fedms::data::mean_tv_distance;
+use fedms::{
+    AttackKind, CoreError, DirichletPartitioner, FedMsConfig, FilterKind, LabelHistogram,
+    SynthVisionConfig,
+};
+
+fn main() -> Result<(), CoreError> {
+    let (train, _) = SynthVisionConfig::default().generate(7)?;
+
+    println!("Heterogeneity study: Dirichlet D_a from pathological to iid");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12}",
+        "D_a", "mean TV", "min entropy", "max entropy", "final acc"
+    );
+    for alpha in [0.5, 1.0, 5.0, 10.0, 100.0, 1000.0] {
+        let shards = DirichletPartitioner::new(alpha)?.partition(&train, 50, 7)?;
+        let tv = mean_tv_distance(&train, &shards);
+        let mut min_h = f64::INFINITY;
+        let mut max_h = f64::NEG_INFINITY;
+        for shard in &shards {
+            let h = LabelHistogram::from_indices(&train, shard)?.entropy();
+            min_h = min_h.min(h);
+            max_h = max_h.max(h);
+        }
+
+        let mut cfg = FedMsConfig::paper_defaults(7)?;
+        cfg.byzantine_count = 2;
+        cfg.attack = AttackKind::Noise { std: 1.0 };
+        cfg.filter = FilterKind::TrimmedMean { beta: 0.2 };
+        cfg.dirichlet_alpha = alpha;
+        cfg.rounds = 25;
+        cfg.eval_every = 25;
+        let acc = cfg.run()?.final_accuracy().unwrap_or(0.0);
+
+        println!(
+            "{alpha:>8} {tv:>10.3} {min_h:>12.3} {max_h:>12.3} {:>11.1}%",
+            acc * 100.0
+        );
+    }
+    println!("\nSmaller D_a -> spikier per-client label distributions (higher TV,");
+    println!("lower entropy) and a harder federated optimisation problem.");
+    Ok(())
+}

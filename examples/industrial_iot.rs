@@ -1,0 +1,89 @@
+//! Industrial-IoT condition monitoring — the paper's motivating domain.
+//!
+//! Fifty factory gateways each observe vibration/temperature-style sensor
+//! waveforms from their local machines and collaboratively train a
+//! condition classifier. The edge aggregation layer (10 outdoor parameter
+//! servers, 2 compromised) runs Fed-MS. This example drives the simulator
+//! directly with the `SynthSensor` time-series dataset — showing the engine
+//! is dataset-agnostic (anything that yields a [`fedms::Dataset`] works).
+//!
+//! Run with: `cargo run --release --example industrial_iot`
+
+use fedms::{
+    AttackKind, DirichletPartitioner, EngineConfig, LrSchedule, ModelSpec, ServerAttack,
+    SimulationEngine, SynthSensorConfig, Topology, TrimmedMean, UploadStrategy,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sensor_cfg = SynthSensorConfig::default();
+    let (train, test) = sensor_cfg.generate(2026)?;
+    println!(
+        "IIoT condition monitoring: {} conditions, {} sensors x {} steps, {} train samples",
+        sensor_cfg.num_classes,
+        sensor_cfg.sensors,
+        sensor_cfg.timesteps,
+        train.len()
+    );
+
+    // Gateways see skewed condition mixes (one plant mostly healthy, one
+    // mostly bearing faults, ...): Dirichlet α = 2.
+    let partitions = DirichletPartitioner::new(2.0)?.partition(&train, 50, 2026)?;
+
+    let topology = Topology::with_random_byzantine(50, 10, 2, 2026)?;
+    let byzantine: Vec<usize> = topology.byzantine_ids().collect();
+    println!("edge servers: 10, compromised: {byzantine:?} (mounting the Random attack)\n");
+
+    let config = EngineConfig {
+        topology,
+        model: ModelSpec::Mlp {
+            widths: vec![sensor_cfg.sample_volume(), 48, sensor_cfg.num_classes],
+        },
+        upload: UploadStrategy::Sparse,
+        local_epochs: 3,
+        batch_size: 32,
+        schedule: LrSchedule::Constant(0.1),
+        seed: 2026,
+        eval_every: 5,
+        eval_clients: 0,
+        parallel: true,
+        eval_after_local: true,
+    };
+    let attacks: Vec<(usize, Box<dyn ServerAttack>)> = byzantine
+        .iter()
+        .map(|&id| {
+            AttackKind::Random { lo: -10.0, hi: 10.0 }
+                .build()
+                .map(|attack| (id, attack))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut engine = SimulationEngine::new(
+        config,
+        &train,
+        &test,
+        &partitions,
+        Box::new(TrimmedMean::new(0.2)?),
+        attacks,
+    )?;
+    engine.set_record_diagnostics(true);
+
+    let result = engine.run(30)?;
+    println!("{:>6} {:>10} {:>16} {:>14}", "round", "accuracy", "srv disagreement", "filter move");
+    for m in &result.rounds {
+        let d = m.diagnostics.as_ref();
+        println!(
+            "{:>6} {:>9.1}% {:>16.2} {:>14.3}",
+            m.round,
+            m.mean_accuracy * 100.0,
+            d.map_or(0.0, |d| d.server_disagreement),
+            d.map_or(0.0, |d| d.filter_displacement),
+        );
+    }
+    println!(
+        "\nfinal condition-classification accuracy: {:.1}% despite 2 hijacked servers",
+        result.final_accuracy().unwrap_or(0.0) * 100.0
+    );
+    println!("(the 'filter move' column is the distance between naive averaging and");
+    println!(" the trimmed mean — the defence visibly working every round)");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quickstart: defend a 50-client federation against Byzantine parameter
+//! servers in ~30 lines.
+//!
+//! Two of the ten edge servers are compromised and replace their aggregates
+//! with uniform garbage (the paper's Random attack). We run the same
+//! federation twice — once undefended (Vanilla FL) and once with the
+//! Fed-MS trimmed-mean filter — and watch the undefended run collapse.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fedms::{AttackKind, CoreError, FedMsConfig, FilterKind};
+
+fn main() -> Result<(), CoreError> {
+    let rounds = 30;
+
+    println!("Fed-MS quickstart: K=50 clients, P=10 servers, B=2 Byzantine");
+    println!("attack: Random [-10, 10] replacement of the aggregated model\n");
+
+    for (label, filter) in [
+        ("vanilla FL (mean filter)", FilterKind::Mean),
+        ("Fed-MS (trimmed mean, beta=0.2)", FilterKind::TrimmedMean { beta: 0.2 }),
+    ] {
+        let mut cfg = FedMsConfig::paper_defaults(42)?;
+        cfg.byzantine_count = 2;
+        cfg.attack = AttackKind::Random { lo: -10.0, hi: 10.0 };
+        cfg.filter = filter;
+        cfg.rounds = rounds;
+        cfg.eval_every = 5;
+
+        let result = cfg.run()?;
+        println!("{label}:");
+        for m in &result.rounds {
+            println!("  round {:>2}  accuracy {:.1}%", m.round, m.mean_accuracy * 100.0);
+        }
+        println!(
+            "  => final {:.1}%  (uploads/round: {})\n",
+            result.final_accuracy().unwrap_or(0.0) * 100.0,
+            result.total_comm.upload_messages / rounds as u64,
+        );
+    }
+
+    println!("The trimmed-mean filter discards the tampered extremes in every");
+    println!("coordinate, so Fed-MS trains as if the attackers were not there.");
+    Ok(())
+}

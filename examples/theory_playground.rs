@@ -1,0 +1,62 @@
+//! Theory playground: watch Theorem 1 happen on a convex problem.
+//!
+//! Builds a fleet of strongly convex quadratic clients with known constants
+//! (`L`, `μ`, `Γ`), runs the actual Fed-MS loop with the proof's decaying
+//! step size under a Random server attack, and prints the measured
+//! optimality gap next to the closed-form bound and the Δ error budget.
+//!
+//! Run with: `cargo run --release --example theory_playground`
+
+use fedms::theory::{log_log_slope, run_convex_fedms, ConvexFedMsConfig};
+use fedms::{AttackKind, CoreError};
+use fedms::nn::convex::QuadraticFleet;
+
+fn main() -> Result<(), CoreError> {
+    let fleet = QuadraticFleet::random(30, 12, 0.5, 2.0, 1.0, 1)?;
+    println!(
+        "fleet: K={} d={} L={:.2} mu={:.2} Gamma={:.3}\n",
+        fleet.len(),
+        fleet.dim(),
+        fleet.smoothness(),
+        fleet.strong_convexity(),
+        fleet.gamma()
+    );
+
+    for (label, byzantine, beta) in [
+        ("clean, no filter", 0usize, None),
+        ("2/8 byzantine, no filter", 2, None),
+        ("2/8 byzantine, trimmed 0.25", 2, Some(0.25)),
+    ] {
+        let cfg = ConvexFedMsConfig {
+            servers: 8,
+            byzantine,
+            attack: AttackKind::Random { lo: -10.0, hi: 10.0 },
+            beta,
+            local_epochs: 3,
+            noise_std: 0.1,
+            rounds: 500,
+            seed: 7,
+            init_offset: 5.0,
+        };
+        let (points, constants) = run_convex_fedms(&fleet, &cfg)?;
+        let slope = log_log_slope(&points[1..points.len() / 2]).unwrap_or(f64::NAN);
+        println!("{label}:");
+        println!(
+            "  gap at t=3: {:.3}   t=150: {:.5}   t=1500: {:.6}   slope {:.2}",
+            points[1].gap,
+            points[50].gap,
+            points[500].gap,
+            slope
+        );
+        if byzantine > 0 && beta.is_some() {
+            println!(
+                "  Delta budget: byzantine term {:.1}, sparse-upload term {:.1}",
+                constants.byzantine_term(),
+                constants.sparse_term()
+            );
+        }
+    }
+    println!("\nTakeaway: the trimmed filter restores the clean 1/t decay that the");
+    println!("unfiltered run loses the moment Byzantine servers appear.");
+    Ok(())
+}

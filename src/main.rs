@@ -1,0 +1,291 @@
+//! `fedms` — command-line front end for the Fed-MS reproduction.
+//!
+//! ```text
+//! fedms init-config <file.json>   write a template experiment config
+//! fedms run [<file.json>]         run an experiment (defaults: Table II)
+//! fedms attacks                   list server/client attack kinds
+//! fedms filters                   list client-side filter kinds
+//! ```
+//!
+//! `run` prints the per-round accuracy table and, with `--out <file>`,
+//! writes the full metric record as JSON. `compare` runs several configs
+//! and prints a summary table (final/best accuracy, convergence speed,
+//! bytes uploaded).
+
+use fedms::{AttackKind, ClientAttackKind, FedMsConfig, FilterKind, Snapshot};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  fedms init-config <file.json>\n  fedms run [<file.json>] [--out <file>] [--rounds <n>] [--seed <n>] [--save-checkpoint <file>] [--resume <file>]\n  fedms compare <a.json> <b.json> [...]\n  fedms attacks\n  fedms filters"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "init-config" => init_config(&args[1..]),
+        "run" => run(&args[1..]),
+        "compare" => compare(&args[1..]),
+        "attacks" => {
+            println!("server attacks (FedMsConfig.attack):");
+            for kind in [
+                AttackKind::Benign,
+                AttackKind::Noise { std: 1.0 },
+                AttackKind::Random { lo: -10.0, hi: 10.0 },
+                AttackKind::Safeguard { gamma: 0.6 },
+                AttackKind::Backward { delay: 2 },
+                AttackKind::SignFlip { scale: 1.0 },
+                AttackKind::Zero,
+                AttackKind::Alie { z: 1.0 },
+                AttackKind::Ipm { epsilon: 0.5 },
+            ] {
+                println!("  {:<10} {:?}", kind.label(), kind);
+            }
+            println!("client attacks (FedMsConfig.client_attack):");
+            for kind in [
+                ClientAttackKind::SignFlip { scale: 1.0 },
+                ClientAttackKind::Noise { std: 1.0 },
+                ClientAttackKind::Random { lo: -10.0, hi: 10.0 },
+                ClientAttackKind::Amplify { factor: 10.0 },
+                ClientAttackKind::LabelFlip { offset: 1 },
+            ] {
+                println!("  {:<10} {:?}", kind.label(), kind);
+            }
+            ExitCode::SUCCESS
+        }
+        "filters" => {
+            println!("client-side filters (FedMsConfig.filter / .server_filter):");
+            for kind in [
+                FilterKind::Mean,
+                FilterKind::TrimmedMean { beta: 0.2 },
+                FilterKind::Median,
+                FilterKind::Krum { f: 2 },
+                FilterKind::MultiKrum { f: 2, m: 4 },
+                FilterKind::GeometricMedian,
+                FilterKind::Bulyan { f: 1 },
+            ] {
+                println!("  {:<12} {:?}", kind.label(), kind);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn init_config(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let cfg = match FedMsConfig::paper_defaults(42) {
+        Ok(mut cfg) => {
+            cfg.byzantine_count = 2;
+            cfg.attack = AttackKind::Random { lo: -10.0, hi: 10.0 };
+            cfg
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let body = match serde_json::to_string_pretty(&cfg) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: could not serialise config: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("error: could not write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote template config to {path}; edit and `fedms run {path}`");
+    ExitCode::SUCCESS
+}
+
+fn compare(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        return usage();
+    }
+    println!(
+        "{:<24} {:>10} {:>10} {:>12} {:>12}",
+        "config", "final acc", "best acc", "rnds to 90%", "upload MiB"
+    );
+    for path in args {
+        let cfg: FedMsConfig = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|body| serde_json::from_str(&body).map_err(|e| e.to_string()))
+        {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("error: could not load {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let result = match cfg.run() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(summary) = result.summary() else {
+            eprintln!("error: {path}: run produced no evaluated rounds");
+            return ExitCode::FAILURE;
+        };
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        println!(
+            "{:<24} {:>9.1}% {:>9.1}% {:>12} {:>12.1}",
+            name,
+            summary.final_accuracy * 100.0,
+            summary.best_accuracy * 100.0,
+            summary
+                .rounds_to_90pct_of_final
+                .map_or("-".to_string(), |r| r.to_string()),
+            summary.upload_bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut config_path: Option<&str> = None;
+    let mut out_path: Option<&str> = None;
+    let mut rounds: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut save_checkpoint: Option<&str> = None;
+    let mut resume: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().map(String::as_str),
+            "--rounds" => rounds = it.next().and_then(|v| v.parse().ok()),
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()),
+            "--save-checkpoint" => save_checkpoint = it.next().map(String::as_str),
+            "--resume" => resume = it.next().map(String::as_str),
+            other if !other.starts_with("--") && config_path.is_none() => {
+                config_path = Some(other)
+            }
+            other => {
+                eprintln!("error: unrecognised argument {other}");
+                return usage();
+            }
+        }
+    }
+
+    let mut cfg = match config_path {
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|body| serde_json::from_str::<FedMsConfig>(&body).map_err(|e| e.to_string()))
+        {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("error: could not load {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match FedMsConfig::paper_defaults(42) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    if let Some(r) = rounds {
+        cfg.rounds = r;
+    }
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+
+    println!(
+        "fed-ms run: K={} P={} B={} attack={} filter={} rounds={} seed={}",
+        cfg.clients,
+        cfg.servers,
+        cfg.byzantine_count,
+        cfg.attack.label(),
+        cfg.filter.label(),
+        cfg.rounds,
+        cfg.seed
+    );
+    let mut engine = match cfg.build_engine() {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = resume {
+        let snapshot: Snapshot = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|body| serde_json::from_str(&body).map_err(|e| e.to_string()))
+        {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: could not load checkpoint {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = engine.restore(&snapshot) {
+            eprintln!("error: checkpoint does not fit this config: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("resumed from {path} at round {}", snapshot.round);
+    }
+    let result = match engine.run(cfg.rounds) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = save_checkpoint {
+        match serde_json::to_string(&engine.snapshot()) {
+            Ok(body) => {
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("error: could not write checkpoint {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("checkpoint saved to {path} (round {})", engine.round());
+            }
+            Err(e) => {
+                eprintln!("error: could not serialise checkpoint: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("{:>6} {:>10} {:>12}", "round", "accuracy", "train loss");
+    for m in &result.rounds {
+        println!("{:>6} {:>9.1}% {:>12.4}", m.round, m.mean_accuracy * 100.0, m.mean_train_loss);
+    }
+    println!(
+        "final accuracy {:.1}%  uploads {}  upload bytes {}",
+        result.final_accuracy().unwrap_or(0.0) * 100.0,
+        result.total_comm.upload_messages,
+        result.total_comm.upload_bytes
+    );
+    if let Some(path) = out_path {
+        match serde_json::to_string_pretty(&result) {
+            Ok(body) => {
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("error: could not write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote metrics to {path}");
+            }
+            Err(e) => {
+                eprintln!("error: could not serialise metrics: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,70 @@
+//! Integration tests for bit-exact checkpoint/resume through the facade.
+
+use fedms::{AttackKind, FedMsConfig, FilterKind, Snapshot};
+
+fn cfg(seed: u64) -> FedMsConfig {
+    let mut cfg = FedMsConfig::tiny(seed);
+    cfg.byzantine_count = 1;
+    cfg.attack = AttackKind::Safeguard { gamma: 0.6 }; // history-dependent
+    cfg.filter = FilterKind::TrimmedMean { beta: 0.25 };
+    cfg.rounds = 6;
+    cfg
+}
+
+#[test]
+fn resume_reproduces_uninterrupted_run() {
+    let config = cfg(31);
+    let mut reference = config.build_engine().unwrap();
+    reference.run(6).unwrap();
+
+    let mut first = config.build_engine().unwrap();
+    first.run(2).unwrap();
+    let snap = first.snapshot();
+
+    let mut resumed = config.build_engine().unwrap();
+    resumed.restore(&snap).unwrap();
+    resumed.run(4).unwrap();
+
+    assert_eq!(reference.client_models(), resumed.client_models());
+    assert_eq!(reference.result(), resumed.result());
+}
+
+#[test]
+fn snapshot_survives_json_roundtrip() {
+    let config = cfg(32);
+    let mut engine = config.build_engine().unwrap();
+    engine.run(3).unwrap();
+    let snap = engine.snapshot();
+    let json = serde_json::to_string(&snap).unwrap();
+    let back: Snapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(snap, back);
+
+    // Restoring the deserialised snapshot continues identically.
+    let mut a = config.build_engine().unwrap();
+    a.restore(&snap).unwrap();
+    let mut b = config.build_engine().unwrap();
+    b.restore(&back).unwrap();
+    a.run(2).unwrap();
+    b.run(2).unwrap();
+    assert_eq!(a.client_models(), b.client_models());
+}
+
+#[test]
+fn snapshot_from_wrong_config_is_rejected() {
+    let mut engine = cfg(33).build_engine().unwrap();
+    engine.run(1).unwrap();
+    let snap = engine.snapshot();
+
+    // Different model size → reject.
+    let mut other_cfg = cfg(33);
+    other_cfg.model = fedms::ModelSpec::Mlp { widths: vec![16, 4] };
+    let mut other = other_cfg.build_engine().unwrap();
+    assert!(other.restore(&snap).is_err());
+
+    // Different topology → reject.
+    let mut other_cfg = cfg(33);
+    other_cfg.servers = 3;
+    other_cfg.byzantine_count = 1;
+    let mut other = other_cfg.build_engine().unwrap();
+    assert!(other.restore(&snap).is_err());
+}

@@ -1,0 +1,131 @@
+//! End-to-end tests of the `fedms` CLI binary.
+
+use std::process::Command;
+
+fn fedms() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fedms"))
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("fedms-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = fedms().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn attacks_and_filters_list() {
+    let out = fedms().arg("attacks").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["noise", "random", "safeguard", "backward", "alie", "label_flip"] {
+        assert!(text.contains(needle), "attack list missing {needle}");
+    }
+    let out = fedms().arg("filters").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["fed-ms", "vanilla", "krum", "bulyan"] {
+        assert!(text.contains(needle), "filter list missing {needle}");
+    }
+}
+
+#[test]
+fn init_config_then_run_roundtrip() {
+    let cfg_path = temp_path("cfg.json");
+    let out_path = temp_path("metrics.json");
+    let out = fedms()
+        .args(["init-config", cfg_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Shrink the config so the test is fast.
+    let body = std::fs::read_to_string(&cfg_path).unwrap();
+    let mut cfg: serde_json::Value = serde_json::from_str(&body).unwrap();
+    cfg["clients"] = 6.into();
+    cfg["servers"] = 3.into();
+    cfg["byzantine_count"] = 1.into();
+    cfg["dataset"]["train_per_class"] = 5.into();
+    cfg["dataset"]["test_per_class"] = 2.into();
+    cfg["model"] = serde_json::json!({"Mlp": {"widths": [192, 8, 10]}});
+    std::fs::write(&cfg_path, serde_json::to_string(&cfg).unwrap()).unwrap();
+
+    let out = fedms()
+        .args([
+            "run",
+            cfg_path.to_str().unwrap(),
+            "--rounds",
+            "2",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("final accuracy"));
+
+    // The metrics file parses back into a RunResult.
+    let metrics: fedms::RunResult =
+        serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+    assert_eq!(metrics.rounds.len(), 2);
+
+    let _ = std::fs::remove_file(cfg_path);
+    let _ = std::fs::remove_file(out_path);
+}
+
+#[test]
+fn compare_prints_summary_table() {
+    let cfg_path = temp_path("cmp.json");
+    let out = fedms()
+        .args(["init-config", cfg_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let body = std::fs::read_to_string(&cfg_path).unwrap();
+    let mut cfg: serde_json::Value = serde_json::from_str(&body).unwrap();
+    cfg["clients"] = 6.into();
+    cfg["servers"] = 3.into();
+    cfg["byzantine_count"] = 1.into();
+    cfg["rounds"] = 2.into();
+    cfg["dataset"]["train_per_class"] = 5.into();
+    cfg["dataset"]["test_per_class"] = 2.into();
+    cfg["model"] = serde_json::json!({"Mlp": {"widths": [192, 8, 10]}});
+    std::fs::write(&cfg_path, serde_json::to_string(&cfg).unwrap()).unwrap();
+
+    let out = fedms()
+        .args(["compare", cfg_path.to_str().unwrap(), cfg_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("final acc"));
+    assert_eq!(text.lines().count(), 3, "header + two rows");
+    assert!(fedms().arg("compare").output().unwrap().status.code() != Some(0));
+    let _ = std::fs::remove_file(cfg_path);
+}
+
+#[test]
+fn run_rejects_garbage_config() {
+    let cfg_path = temp_path("bad.json");
+    std::fs::write(&cfg_path, "{not json").unwrap();
+    let out = fedms()
+        .args(["run", cfg_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("could not load"));
+    let _ = std::fs::remove_file(cfg_path);
+}
+
+#[test]
+fn unknown_flag_rejected() {
+    let out = fedms().args(["run", "--bogus"]).output().expect("binary runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,216 @@
+//! Integration tests that assemble the federation from the individual
+//! substrate crates (rather than the high-level `FedMsConfig`), verifying
+//! that the public APIs compose the way DESIGN.md promises.
+
+use fedms::{
+    AttackKind, DirichletPartitioner, EngineConfig, LrSchedule, Mean, MobileNetNanoConfig,
+    ModelSpec, NoiseAttack, RotatingAttack, ServerAttack, SimulationEngine, SynthVisionConfig,
+    Topology, TrimmedMean, UploadStrategy,
+};
+
+fn small_data() -> (fedms::Dataset, fedms::Dataset) {
+    SynthVisionConfig {
+        num_classes: 3,
+        channels: 1,
+        height: 4,
+        width: 4,
+        train_per_class: 20,
+        test_per_class: 6,
+        noise_std: 0.6,
+        prototype_scale: 1.0,
+        brightness_std: 0.1,
+    }
+    .generate(99)
+    .unwrap()
+}
+
+#[test]
+fn manual_assembly_with_trimmed_mean_filter() {
+    let (train, test) = small_data();
+    let partitions = DirichletPartitioner::new(5.0).unwrap().partition(&train, 6, 1).unwrap();
+    let topology = Topology::new(6, 4, [2]).unwrap();
+    let config = EngineConfig {
+        topology,
+        model: ModelSpec::Mlp { widths: vec![16, 8, 3] },
+        upload: UploadStrategy::Sparse,
+        local_epochs: 2,
+        batch_size: 8,
+        schedule: LrSchedule::Constant(0.1),
+        seed: 5,
+        eval_every: 1,
+        eval_clients: 0,
+        parallel: false,
+        eval_after_local: false,
+    };
+    let attacks: Vec<(usize, Box<dyn ServerAttack>)> =
+        vec![(2, Box::new(NoiseAttack::new(1.0).unwrap()))];
+    let mut engine = SimulationEngine::new(
+        config,
+        &train,
+        &test,
+        &partitions,
+        Box::new(TrimmedMean::new(0.25).unwrap()),
+        attacks,
+    )
+    .unwrap();
+    let result = engine.run(4).unwrap();
+    assert_eq!(result.rounds.len(), 4);
+    assert!(result.final_accuracy().unwrap() > 0.3);
+}
+
+#[test]
+fn mobilenet_nano_federation_trains() {
+    // The paper's model family (inverted residuals) through the whole
+    // pipeline — image-layout data, conv forward/backward, aggregation.
+    let (train, test) = small_data();
+    let partitions = DirichletPartitioner::new(10.0).unwrap().partition(&train, 4, 2).unwrap();
+    let nano = MobileNetNanoConfig {
+        in_channels: 1,
+        in_h: 4,
+        in_w: 4,
+        stem_channels: 4,
+        blocks: vec![(2, 4, 1)],
+        num_classes: 3,
+    };
+    let config = EngineConfig {
+        topology: Topology::new(4, 3, []).unwrap(),
+        model: ModelSpec::MobileNetNano(nano),
+        upload: UploadStrategy::Sparse,
+        local_epochs: 1,
+        batch_size: 8,
+        schedule: LrSchedule::Constant(0.05),
+        seed: 6,
+        eval_every: 2,
+        eval_clients: 0,
+        parallel: false,
+        eval_after_local: false,
+    };
+    let mut engine = SimulationEngine::new(
+        config,
+        &train,
+        &test,
+        &partitions,
+        Box::new(Mean::new()),
+        vec![],
+    )
+    .unwrap();
+    let result = engine.run(2).unwrap();
+    assert!(result.final_accuracy().unwrap().is_finite());
+    assert!(result.total_comm.upload_bytes > 0);
+}
+
+#[test]
+fn engine_exposes_client_models_for_inspection() {
+    let (train, test) = small_data();
+    let partitions = DirichletPartitioner::new(5.0).unwrap().partition(&train, 4, 3).unwrap();
+    let config = EngineConfig {
+        topology: Topology::new(4, 2, []).unwrap(),
+        model: ModelSpec::Mlp { widths: vec![16, 3] },
+        upload: UploadStrategy::Full,
+        local_epochs: 1,
+        batch_size: 4,
+        schedule: LrSchedule::Constant(0.05),
+        seed: 7,
+        eval_every: 1,
+        eval_clients: 0,
+        parallel: false,
+        eval_after_local: false,
+    };
+    let mut engine = SimulationEngine::new(
+        config,
+        &train,
+        &test,
+        &partitions,
+        Box::new(Mean::new()),
+        vec![],
+    )
+    .unwrap();
+    let w0 = engine.initial_model().clone();
+    let before = engine.client_models();
+    assert!(before.iter().all(|m| m == &w0), "all clients start from w0");
+    engine.step_round(false).unwrap();
+    let after = engine.client_models();
+    assert!(after.iter().all(|m| m != &w0), "training must move the models");
+    // With full upload and no Byzantine servers, every server aggregate is
+    // identical, so every client's filtered model is identical.
+    assert!(after.iter().all(|m| m == &after[0]));
+}
+
+#[test]
+fn rotating_adaptive_adversary_is_survivable() {
+    // The adaptive adversary cycles through all four paper attacks during
+    // one run; the trimmed-mean filter handles every phase.
+    let (train, test) = small_data();
+    let partitions = DirichletPartitioner::new(5.0).unwrap().partition(&train, 6, 9).unwrap();
+    let pool: Vec<Box<dyn ServerAttack>> = AttackKind::paper_suite()
+        .iter()
+        .map(|k| k.build().unwrap())
+        .collect();
+    let rotating = RotatingAttack::new(pool, 2).unwrap();
+    let config = EngineConfig {
+        topology: Topology::new(6, 4, [1]).unwrap(),
+        model: ModelSpec::Mlp { widths: vec![16, 8, 3] },
+        upload: UploadStrategy::Sparse,
+        local_epochs: 2,
+        batch_size: 8,
+        schedule: LrSchedule::Constant(0.1),
+        seed: 9,
+        eval_every: 8,
+        eval_clients: 0,
+        parallel: false,
+        eval_after_local: false,
+    };
+    let mut engine = SimulationEngine::new(
+        config,
+        &train,
+        &test,
+        &partitions,
+        Box::new(TrimmedMean::new(0.25).unwrap()),
+        vec![(1, Box::new(rotating))],
+    )
+    .unwrap();
+    engine.enable_event_log(4096);
+    let result = engine.run(8).unwrap();
+    assert!(result.final_accuracy().unwrap() > 0.4);
+    // The event log shows the Byzantine server active in every round.
+    let byz_disseminations = engine
+        .event_log()
+        .unwrap()
+        .of_kind("disseminate")
+        .into_iter()
+        .filter(|e| matches!(e, fedms::sim::RoundEvent::Disseminated { byzantine: true, .. }))
+        .count();
+    assert_eq!(byz_disseminations, 8);
+}
+
+#[test]
+fn attack_trait_objects_compose_via_kind() {
+    // AttackKind -> Box<dyn ServerAttack> -> engine, for every paper attack.
+    let (train, test) = small_data();
+    let partitions = DirichletPartitioner::new(5.0).unwrap().partition(&train, 4, 4).unwrap();
+    for kind in AttackKind::paper_suite() {
+        let config = EngineConfig {
+            topology: Topology::new(4, 3, [0]).unwrap(),
+            model: ModelSpec::Mlp { widths: vec![16, 3] },
+            upload: UploadStrategy::Sparse,
+            local_epochs: 1,
+            batch_size: 4,
+            schedule: LrSchedule::Constant(0.05),
+            seed: 8,
+            eval_every: 1,
+            eval_clients: 2,
+            parallel: false,
+            eval_after_local: false,
+        };
+        let mut engine = SimulationEngine::new(
+            config,
+            &train,
+            &test,
+            &partitions,
+            Box::new(TrimmedMean::new(0.34).unwrap()),
+            vec![(0, kind.build().unwrap())],
+        )
+        .unwrap();
+        engine.run(2).unwrap();
+    }
+}

@@ -1,0 +1,117 @@
+//! Integration tests for the dual threat model (Byzantine servers AND
+//! clients) — the extension beyond the paper's server-only adversary.
+
+use fedms::{
+    AttackKind, ClientAttackKind, FedMsConfig, FilterKind, SynthVisionConfig,
+};
+
+fn base(seed: u64) -> FedMsConfig {
+    let mut cfg = FedMsConfig::tiny(seed);
+    cfg.clients = 12;
+    cfg.servers = 4;
+    cfg.dataset = SynthVisionConfig {
+        num_classes: 4,
+        channels: 1,
+        height: 4,
+        width: 4,
+        train_per_class: 30,
+        test_per_class: 10,
+        noise_std: 0.8,
+        prototype_scale: 1.0,
+        brightness_std: 0.1,
+    };
+    cfg.model = fedms::ModelSpec::Mlp { widths: vec![16, 12, 4] };
+    cfg.rounds = 10;
+    cfg.eval_every = 10;
+    cfg
+}
+
+#[test]
+fn robust_server_rule_survives_byzantine_clients() {
+    // 3 of 12 clients upload garbage; all clients use the plain mean as
+    // their own filter and all servers receive every upload, so the server
+    // rule is the *only* line of defence: the plain mean collapses, the
+    // median stays healthy.
+    let mut naive = base(21);
+    naive.byzantine_clients = 3;
+    naive.client_attack = ClientAttackKind::Random { lo: -10.0, hi: 10.0 };
+    naive.filter = FilterKind::Mean;
+    naive.upload = fedms::UploadStrategy::Full;
+    naive.server_filter = FilterKind::Mean;
+    let naive_acc = naive.run().unwrap().final_accuracy().unwrap();
+
+    let mut dual = base(21);
+    dual.byzantine_clients = 3;
+    dual.client_attack = ClientAttackKind::Random { lo: -10.0, hi: 10.0 };
+    dual.filter = FilterKind::Mean;
+    dual.upload = fedms::UploadStrategy::Full;
+    dual.server_filter = FilterKind::Median;
+    let dual_acc = dual.run().unwrap().final_accuracy().unwrap();
+
+    assert!(
+        dual_acc > naive_acc + 0.15,
+        "median server rule {dual_acc} should beat naive mean {naive_acc}"
+    );
+}
+
+#[test]
+fn dual_threat_simultaneous_attacks() {
+    // Byzantine servers (Noise) AND Byzantine clients (sign flip), with
+    // the symmetric defence: the run must stay healthy.
+    let mut cfg = base(22);
+    cfg.byzantine_count = 1;
+    cfg.attack = AttackKind::Noise { std: 1.0 };
+    cfg.byzantine_clients = 2;
+    cfg.client_attack = ClientAttackKind::SignFlip { scale: 1.0 };
+    cfg.filter = FilterKind::TrimmedMean { beta: 0.25 };
+    cfg.server_filter = FilterKind::Median;
+    let acc = cfg.run().unwrap().final_accuracy().unwrap();
+    assert!(acc > 0.5, "dual defence should survive the dual attack, got {acc}");
+}
+
+#[test]
+fn byzantine_clients_excluded_from_metric() {
+    // The accuracy metric averages benign clients only; a run where the
+    // Byzantine clients' own models are garbage must not drag it down when
+    // the defence holds.
+    let mut cfg = base(23);
+    cfg.byzantine_clients = 2;
+    cfg.client_attack = ClientAttackKind::Random { lo: -10.0, hi: 10.0 };
+    cfg.server_filter = FilterKind::Median;
+    let result = cfg.run().unwrap();
+    assert!(result.final_accuracy().unwrap() > 0.4);
+}
+
+#[test]
+fn amplify_attack_needs_robust_servers() {
+    // Update amplification (×20) through a plain mean visibly perturbs
+    // training; the median rule bounds it.
+    let mut naive = base(24);
+    naive.byzantine_clients = 3;
+    naive.client_attack = ClientAttackKind::Amplify { factor: 20.0 };
+    naive.server_filter = FilterKind::Mean;
+    let naive_acc = naive.run().unwrap().final_accuracy().unwrap();
+
+    let mut dual = base(24);
+    dual.byzantine_clients = 3;
+    dual.client_attack = ClientAttackKind::Amplify { factor: 20.0 };
+    dual.server_filter = FilterKind::Median;
+    let dual_acc = dual.run().unwrap().final_accuracy().unwrap();
+
+    assert!(
+        dual_acc + 0.05 >= naive_acc,
+        "robust rule should never be much worse: {dual_acc} vs {naive_acc}"
+    );
+}
+
+#[test]
+fn dual_runs_stay_deterministic() {
+    let mut cfg = base(25);
+    cfg.byzantine_count = 1;
+    cfg.byzantine_clients = 2;
+    cfg.client_attack = ClientAttackKind::Noise { std: 1.0 };
+    cfg.server_filter = FilterKind::TrimmedMean { beta: 0.2 };
+    let a = cfg.run().unwrap();
+    let b = cfg.run().unwrap();
+    assert_eq!(a, b);
+}

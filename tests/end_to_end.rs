@@ -1,0 +1,158 @@
+//! End-to-end integration tests across the whole workspace, exercised
+//! through the `fedms` facade exactly as a downstream user would.
+
+use fedms::{AttackKind, FedMsConfig, FilterKind, SynthVisionConfig, UploadStrategy};
+
+/// A mid-size federation that is still fast in debug builds.
+fn mid_config(seed: u64) -> FedMsConfig {
+    let mut cfg = FedMsConfig::tiny(seed);
+    cfg.clients = 12;
+    cfg.servers = 5;
+    cfg.dataset = SynthVisionConfig {
+        num_classes: 4,
+        channels: 1,
+        height: 4,
+        width: 4,
+        train_per_class: 30,
+        test_per_class: 10,
+        noise_std: 0.8,
+        prototype_scale: 1.0,
+        brightness_std: 0.1,
+    };
+    cfg.model = fedms::ModelSpec::Mlp { widths: vec![16, 12, 4] };
+    cfg.rounds = 10;
+    cfg.eval_every = 10;
+    cfg
+}
+
+#[test]
+fn fedms_beats_vanilla_under_random_attack() {
+    let mut fedms = mid_config(3);
+    fedms.byzantine_count = 1;
+    fedms.attack = AttackKind::Random { lo: -10.0, hi: 10.0 };
+    fedms.filter = FilterKind::TrimmedMean { beta: 0.2 };
+    let fedms_acc = fedms.run().unwrap().final_accuracy().unwrap();
+
+    let mut vanilla = mid_config(3);
+    vanilla.byzantine_count = 1;
+    vanilla.attack = AttackKind::Random { lo: -10.0, hi: 10.0 };
+    vanilla.filter = FilterKind::Mean;
+    let vanilla_acc = vanilla.run().unwrap().final_accuracy().unwrap();
+
+    assert!(
+        fedms_acc > vanilla_acc + 0.15,
+        "fed-ms {fedms_acc} should clearly beat vanilla {vanilla_acc}"
+    );
+}
+
+#[test]
+fn attack_free_fedms_matches_vanilla() {
+    // Figure 3(a): with no Byzantine servers the trimmed filter costs
+    // almost nothing relative to plain averaging.
+    let mut fedms = mid_config(4);
+    fedms.filter = FilterKind::TrimmedMean { beta: 0.2 };
+    let fedms_acc = fedms.run().unwrap().final_accuracy().unwrap();
+
+    let mut vanilla = mid_config(4);
+    vanilla.filter = FilterKind::Mean;
+    let vanilla_acc = vanilla.run().unwrap().final_accuracy().unwrap();
+
+    assert!(
+        (fedms_acc - vanilla_acc).abs() < 0.15,
+        "attack-free gap too large: fed-ms {fedms_acc} vs vanilla {vanilla_acc}"
+    );
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let mut cfg = mid_config(5);
+    cfg.byzantine_count = 2;
+    cfg.attack = AttackKind::Noise { std: 1.0 };
+    let a = cfg.run().unwrap();
+    let b = cfg.run().unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = mid_config(6).run().unwrap();
+    let b = mid_config(7).run().unwrap();
+    assert_ne!(a, b);
+}
+
+#[test]
+fn equivocating_attack_is_survivable() {
+    // The paper's worst case: Byzantine servers send different models to
+    // different clients. The per-client filter still recovers.
+    let mut cfg = mid_config(8);
+    cfg.byzantine_count = 1;
+    cfg.equivocate = true;
+    cfg.attack = AttackKind::Random { lo: -10.0, hi: 10.0 };
+    cfg.filter = FilterKind::TrimmedMean { beta: 0.2 };
+    let acc = cfg.run().unwrap().final_accuracy().unwrap();
+    assert!(acc > 0.5, "equivocation should not break fed-ms, got {acc}");
+}
+
+#[test]
+fn sparse_upload_message_count_matches_single_server_fl() {
+    let mut cfg = mid_config(9);
+    cfg.upload = UploadStrategy::Sparse;
+    let result = cfg.run().unwrap();
+    // K uploads per round — the Section IV-A communication claim.
+    assert_eq!(
+        result.total_comm.upload_messages,
+        (cfg.clients * cfg.rounds) as u64
+    );
+
+    let mut full = mid_config(9);
+    full.upload = UploadStrategy::Full;
+    let full_result = full.run().unwrap();
+    assert_eq!(
+        full_result.total_comm.upload_messages,
+        (full.clients * full.servers * full.rounds) as u64
+    );
+}
+
+#[test]
+fn all_paper_attacks_complete_with_defence() {
+    for attack in [
+        AttackKind::Noise { std: 1.0 },
+        AttackKind::Random { lo: -10.0, hi: 10.0 },
+        AttackKind::Safeguard { gamma: 0.6 },
+        AttackKind::Backward { delay: 2 },
+    ] {
+        let mut cfg = mid_config(10);
+        cfg.byzantine_count = 2;
+        cfg.attack = attack;
+        cfg.filter = FilterKind::TrimmedMean { beta: 0.4 };
+        cfg.rounds = 5;
+        cfg.eval_every = 5;
+        let result = cfg.run().unwrap();
+        assert!(result.final_accuracy().unwrap().is_finite());
+    }
+}
+
+#[test]
+fn half_byzantine_defeats_the_filter() {
+    // Feasibility bound: B = P/2 leaves no honest majority per dimension;
+    // even the trimmed mean cannot help (the paper requires B <= P/2 with
+    // strict minority for the guarantee).
+    let mut cfg = mid_config(11);
+    cfg.servers = 4;
+    cfg.byzantine_count = 2; // exactly half
+    cfg.attack = AttackKind::Random { lo: -10.0, hi: 10.0 };
+    cfg.filter = FilterKind::TrimmedMean { beta: 0.49 };
+    let majority_byz = cfg.run().unwrap().final_accuracy().unwrap();
+
+    let mut safe = mid_config(11);
+    safe.servers = 4;
+    safe.byzantine_count = 1;
+    safe.attack = AttackKind::Random { lo: -10.0, hi: 10.0 };
+    safe.filter = FilterKind::TrimmedMean { beta: 0.49 };
+    let minority_byz = safe.run().unwrap().final_accuracy().unwrap();
+
+    assert!(
+        minority_byz > majority_byz,
+        "minority case {minority_byz} should beat the half-byzantine case {majority_byz}"
+    );
+}
