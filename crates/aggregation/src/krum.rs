@@ -20,9 +20,13 @@ pub(crate) fn krum_scores(models: &[Tensor], f: usize) -> Result<Vec<f64>> {
         }
     }
     let mut scores = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut ds: Vec<f64> =
-            (0..n).filter(|&j| j != i).map(|j| dist2[i][j]).collect();
+    for (i, row) in dist2.iter().enumerate() {
+        let mut ds: Vec<f64> = row
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &d)| d)
+            .collect();
         ds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         scores.push(ds[..closest].iter().sum());
     }

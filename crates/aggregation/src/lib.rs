@@ -48,7 +48,7 @@ pub use mean::Mean;
 pub use median::CoordinateMedian;
 pub use normbound::NormBound;
 pub use rule::AggregationRule;
-pub use trimmed::{trimmed_mean_scalars, TrimmedMean};
+pub use trimmed::{trimmed_mean_scalars, AdaptiveTrimmedMean, TrimmedMean};
 
 /// Crate-wide `Result` alias using [`AggError`].
 pub type Result<T> = std::result::Result<T, AggError>;

@@ -54,7 +54,7 @@ mod tests {
     #[test]
     fn single_model_is_identity() {
         let m = Tensor::from_slice(&[1.0, 2.0]);
-        assert_eq!(Mean::new().aggregate(&[m.clone()]).unwrap(), m);
+        assert_eq!(Mean::new().aggregate(std::slice::from_ref(&m)).unwrap(), m);
     }
 
     #[test]

@@ -67,6 +67,68 @@ impl TrimmedMean {
     }
 }
 
+/// Coordinate-wise trimmed mean that discards a *fixed count* `b` per side,
+/// independent of how many models actually arrive.
+///
+/// [`TrimmedMean`] fixes the trim *rate* β and derives the count `⌊β·n⌋`
+/// from the sample size, which under-trims when servers crash: with
+/// `P = 10`, `B = 2` and two crashed servers only `P' = 8` models arrive
+/// and `⌊0.2·8⌋ = 1 < B`. This rule instead pins the count to the known
+/// Byzantine bound `B`, so the effective rate β' = B/P' *rises* as the
+/// sample shrinks and up to `B` adversarial entries per dimension are
+/// always discarded. Aggregation stays sound until `P' ≤ 2B`, where no
+/// honest majority remains per coordinate and the rule reports
+/// [`AggError::TooFewModels`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptiveTrimmedMean {
+    trim: usize,
+}
+
+impl AdaptiveTrimmedMean {
+    /// Creates the filter trimming exactly `trim` entries from each side.
+    pub fn new(trim: usize) -> Self {
+        AdaptiveTrimmedMean { trim }
+    }
+
+    /// The fixed per-side trim count.
+    pub fn trim(&self) -> usize {
+        self.trim
+    }
+
+    /// The smallest sample size this rule accepts (`2·trim + 1`).
+    pub fn min_models(&self) -> usize {
+        2 * self.trim + 1
+    }
+}
+
+impl AggregationRule for AdaptiveTrimmedMean {
+    fn name(&self) -> &'static str {
+        "adaptive_trimmed_mean"
+    }
+
+    fn aggregate(&self, models: &[Tensor]) -> Result<Tensor> {
+        let len = validate_models(models)?;
+        let n = models.len();
+        let trim = self.trim;
+        if n <= 2 * trim {
+            return Err(AggError::TooFewModels { got: n, needed: 2 * trim + 1 });
+        }
+        let kept = n - 2 * trim;
+        let inv = 1.0 / kept as f64;
+        let mut out = vec![0.0f32; len];
+        let mut column = vec![0.0f32; n];
+        for (d, o) in out.iter_mut().enumerate() {
+            for (j, m) in models.iter().enumerate() {
+                column[j] = m.as_slice()[d];
+            }
+            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let sum: f64 = column[trim..n - trim].iter().map(|&v| v as f64).sum();
+            *o = (sum * inv) as f32;
+        }
+        Ok(Tensor::from_vec(out, models[0].dims())?)
+    }
+}
+
 impl AggregationRule for TrimmedMean {
     fn name(&self) -> &'static str {
         "trimmed_mean"
@@ -185,6 +247,70 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_trims_fixed_count_regardless_of_sample_size() {
+        let rule = AdaptiveTrimmedMean::new(2);
+        assert_eq!(rule.trim(), 2);
+        assert_eq!(rule.min_models(), 5);
+        // Full federation: 8 honest at 1.0 plus two extremes; trims both.
+        let mut vs = vec![1.0f32; 8];
+        vs.push(1e9);
+        vs.push(-1e9);
+        let out = rule.aggregate(&scalars(&vs)).unwrap();
+        assert_eq!(out.as_slice(), &[1.0]);
+        // Degraded federation: 3 of 8 honest servers crashed, the two
+        // Byzantine extremes still present. A rate-based β = 0.2 would trim
+        // only ⌊0.2·7⌋ = 1 per side; the fixed count still removes both.
+        let mut degraded = vec![1.0f32; 5];
+        degraded.push(1e9);
+        degraded.push(-1e9);
+        let out = rule.aggregate(&scalars(&degraded)).unwrap();
+        assert_eq!(out.as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn adaptive_errors_at_quorum_boundary() {
+        let rule = AdaptiveTrimmedMean::new(2);
+        // Exactly 2·B + 1 = 5 models: the boundary case still succeeds.
+        let out = rule.aggregate(&scalars(&[1.0, 2.0, 3.0, 4.0, 5.0])).unwrap();
+        assert_eq!(out.as_slice(), &[3.0]);
+        // 2·B = 4 models: no honest majority per coordinate remains.
+        let err = rule.aggregate(&scalars(&[1.0, 2.0, 3.0, 4.0])).unwrap_err();
+        match err {
+            AggError::TooFewModels { got, needed } => {
+                assert_eq!(got, 4);
+                assert_eq!(needed, 5);
+            }
+            other => panic!("expected TooFewModels, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_zero_trim_is_plain_mean() {
+        let rule = AdaptiveTrimmedMean::new(0);
+        let out = rule.aggregate(&scalars(&[1.0, 2.0, 6.0])).unwrap();
+        assert_eq!(out.as_slice(), &[3.0]);
+        assert!(rule.aggregate(&[]).is_err());
+    }
+
+    #[test]
+    fn adaptive_matches_rate_based_on_full_federation() {
+        // On the nominal P = 10, β = 0.2 federation both rules trim 2/side.
+        let vs = [5.0f32, -2.0, 8.0, 0.0, 3.0, 7.0, 1.0, 4.0, -9.0, 12.0];
+        let models = scalars(&vs);
+        let a = AdaptiveTrimmedMean::new(2).aggregate(&models).unwrap();
+        let b = TrimmedMean::new(0.2).unwrap().aggregate(&models).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn adaptive_serde_roundtrip() {
+        let rule = AdaptiveTrimmedMean::new(3);
+        let json = serde_json::to_string(&rule).unwrap();
+        let back: AdaptiveTrimmedMean = serde_json::from_str(&json).unwrap();
+        assert_eq!(rule, back);
+    }
+
+    #[test]
     fn output_bounded_by_honest_range_when_minority_byzantine() {
         // Lemma-2 style guarantee: with trim ≥ B, the trimmed mean lies
         // within the honest values' range.
@@ -193,6 +319,6 @@ mod tests {
         vs.push(1e6);
         vs.push(-1e6);
         let out = trimmed_mean_scalars(&vs, 2).unwrap();
-        assert!(out >= 0.5 && out <= 4.0);
+        assert!((0.5..=4.0).contains(&out));
     }
 }

@@ -2,8 +2,8 @@
 //! in particular the order-statistics sandwich that powers Lemma 2.
 
 use fedms_aggregation::{
-    trimmed_mean_scalars, AggregationRule, Bulyan, CenteredClip, CoordinateMedian,
-    GeometricMedian, Krum, Mean, NormBound, TrimmedMean,
+    trimmed_mean_scalars, AdaptiveTrimmedMean, AggregationRule, Bulyan, CenteredClip,
+    CoordinateMedian, GeometricMedian, Krum, Mean, NormBound, TrimmedMean,
 };
 use fedms_tensor::Tensor;
 use proptest::prelude::*;
@@ -178,5 +178,71 @@ proptest! {
             prop_assert!(out.as_slice()[d] >= lo - 1e-4);
             prop_assert!(out.as_slice()[d] <= hi + 1e-4);
         }
+    }
+
+    /// The fault-tolerant filter is permutation invariant at *every* sample
+    /// size above its quorum — the property the degraded-delivery path
+    /// relies on, since omission faults reorder and shrink the view.
+    #[test]
+    fn adaptive_permutation_invariant_across_sizes(
+        models in (5usize..12).prop_flat_map(|n| models_strategy(n, 4)),
+        rot in 1usize..4,
+        trim in 0usize..2,
+    ) {
+        let mut rotated = models.clone();
+        rotated.rotate_left(rot % models.len());
+        let rule = AdaptiveTrimmedMean::new(trim);
+        let a = rule.aggregate(&models).unwrap();
+        let b = rule.aggregate(&rotated).unwrap();
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Whatever subset of servers survives, the adaptive filter's output is
+    /// sandwiched by the survivors' per-coordinate min/max.
+    #[test]
+    fn adaptive_bounded_by_survivor_range(
+        models in (5usize..11).prop_flat_map(|n| models_strategy(n, 3)),
+        trim in 1usize..3,
+    ) {
+        prop_assume!(models.len() > 2 * trim);
+        let out = AdaptiveTrimmedMean::new(trim).aggregate(&models).unwrap();
+        for d in 0..3 {
+            let col: Vec<f32> = models.iter().map(|m| m.as_slice()[d]).collect();
+            let lo = col.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = col.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(out.as_slice()[d] >= lo - 1e-4);
+            prop_assert!(out.as_slice()[d] <= hi + 1e-4);
+        }
+    }
+
+    /// With nothing trimmed the adaptive filter is exactly the mean, at any
+    /// sample size.
+    #[test]
+    fn adaptive_zero_trim_equals_mean(
+        models in (3usize..10).prop_flat_map(|n| models_strategy(n, 5)),
+    ) {
+        let a = AdaptiveTrimmedMean::new(0).aggregate(&models).unwrap();
+        let b = Mean::new().aggregate(&models).unwrap();
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Below or at the 2·trim quorum the adaptive filter refuses to
+    /// aggregate rather than return a majority-Byzantine average.
+    #[test]
+    fn adaptive_rejects_sub_quorum_samples(
+        trim in 1usize..4,
+        extra in 0usize..3,
+    ) {
+        let rule = AdaptiveTrimmedMean::new(trim);
+        let n_bad = (2 * trim).saturating_sub(extra).max(1);
+        let bad: Vec<Tensor> = (0..n_bad).map(|i| Tensor::from_slice(&[i as f32])).collect();
+        prop_assert!(rule.aggregate(&bad).is_err());
+        let n_good = 2 * trim + 1;
+        let good: Vec<Tensor> = (0..n_good).map(|i| Tensor::from_slice(&[i as f32])).collect();
+        prop_assert!(rule.aggregate(&good).is_ok());
     }
 }

@@ -2,7 +2,7 @@
 //! paper-sized aggregate (d = 13k, the harness MLP).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fedms_attacks::{AttackContext, AttackKind, ServerAttack};
+use fedms_attacks::{AttackContext, AttackKind};
 use fedms_tensor::rng::rng_for;
 use fedms_tensor::Tensor;
 use std::hint::black_box;

@@ -24,7 +24,7 @@ fn bench_fig4_partition(c: &mut Criterion) {
             shards
                 .iter()
                 .map(|s| LabelHistogram::from_indices(black_box(&train), s).expect("hist"))
-                .count()
+                .collect::<Vec<_>>()
         })
     });
     group.finish();

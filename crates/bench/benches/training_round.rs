@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fedms_data::SynthVisionConfig;
-use fedms_nn::{Layer, LrSchedule, MobileNetNano, MobileNetNanoConfig, NeuralNet, Sgd};
+use fedms_nn::{LrSchedule, MobileNetNano, MobileNetNanoConfig, NeuralNet, Sgd};
 use fedms_sim::ModelSpec;
 use std::hint::black_box;
 

@@ -10,7 +10,7 @@ use fedms_core::Result;
 fn main() -> Result<()> {
     let cfg = harness_defaults(42)?;
     println!("Table II: important settings (paper -> this reproduction)");
-    println!("{:<22} {:<28} {}", "setting", "paper", "reproduction");
+    println!("{:<22} {:<28} reproduction", "setting", "paper");
     let rows: Vec<(&str, String, String)> = vec![
         (
             "dataset",

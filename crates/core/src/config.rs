@@ -4,7 +4,8 @@ use fedms_attacks::{AttackKind, ClientAttack, ClientAttackKind, ServerAttack};
 use fedms_data::{DirichletPartitioner, SynthVisionConfig};
 use fedms_nn::LrSchedule;
 use fedms_sim::{
-    EngineConfig, ModelSpec, RunResult, SimulationEngine, Topology, UploadStrategy,
+    EngineConfig, FaultPlan, FaultSpec, ModelSpec, RunResult, SimulationEngine, Topology,
+    UploadStrategy,
 };
 use fedms_tensor::rng::derive_seed;
 use serde::{Deserialize, Serialize};
@@ -80,6 +81,11 @@ pub struct FedMsConfig {
     /// transit (lossy outdoor edge links; 0 = the paper's reliable
     /// channel).
     pub upload_drop_rate: f64,
+    /// Benign-fault scenario (crashed/straggler servers, lossy downlinks).
+    /// The concrete victims are sampled from the run seed at build time;
+    /// the default injects no faults.
+    #[serde(default)]
+    pub fault: FaultSpec,
 }
 
 impl FedMsConfig {
@@ -117,6 +123,7 @@ impl FedMsConfig {
             participation: 1.0,
             record_diagnostics: false,
             upload_drop_rate: 0.0,
+            fault: FaultSpec::default(),
         })
     }
 
@@ -149,6 +156,7 @@ impl FedMsConfig {
             participation: 1.0,
             record_diagnostics: false,
             upload_drop_rate: 0.0,
+            fault: FaultSpec::default(),
         }
     }
 
@@ -180,6 +188,7 @@ impl FedMsConfig {
         if self.rounds == 0 {
             return Err(CoreError::BadConfig("rounds must be positive".into()));
         }
+        self.fault.validate(self.servers).map_err(CoreError::from)?;
         Ok(())
     }
 
@@ -258,6 +267,12 @@ impl FedMsConfig {
         }
         engine.set_participation(self.participation)?;
         engine.set_upload_drop_rate(self.upload_drop_rate)?;
+        if !self.fault.is_trivial() {
+            // The victims are a pure function of (spec, seed): FaultPlan
+            // sampling draws from its own labelled RNG stream.
+            let plan = FaultPlan::sample(&self.fault, self.servers, self.seed)?;
+            engine.set_fault_plan(plan)?;
+        }
         engine.set_record_diagnostics(self.record_diagnostics);
         Ok(engine)
     }

@@ -1,8 +1,8 @@
 //! Serializable selection of the client-side model filter `Def(·)`.
 
 use fedms_aggregation::{
-    AggregationRule, Bulyan, CenteredClip, CoordinateMedian, GeometricMedian, Krum, Mean,
-    MultiKrum, NormBound, TrimmedMean,
+    AdaptiveTrimmedMean, AggregationRule, Bulyan, CenteredClip, CoordinateMedian,
+    GeometricMedian, Krum, Mean, MultiKrum, NormBound, TrimmedMean,
 };
 use serde::{Deserialize, Serialize};
 
@@ -21,6 +21,14 @@ pub enum FilterKind {
     TrimmedMean {
         /// Trim rate β ∈ [0, 0.5).
         beta: f64,
+    },
+    /// Fault-tolerant trimmed mean discarding a fixed `trim = B` entries
+    /// per side of however many models arrive (effective rate `B/P'`).
+    /// Degrades gracefully when crash/omission faults shrink the sample;
+    /// errors once `P' ≤ 2B`.
+    AdaptiveTrimmedMean {
+        /// Per-side trim count (set to the Byzantine bound `B`).
+        trim: usize,
     },
     /// Coordinate-wise median.
     Median,
@@ -62,11 +70,20 @@ impl FilterKind {
         FilterKind::TrimmedMean { beta: b as f64 / p as f64 }
     }
 
+    /// The fault-tolerant Fed-MS filter for `b` Byzantine servers: trims
+    /// exactly `b` per side of the models that actually arrive, so crashed
+    /// or omitted servers raise the effective trim rate instead of
+    /// weakening the defence.
+    pub fn fedms_adaptive(b: usize) -> Self {
+        FilterKind::AdaptiveTrimmedMean { trim: b }
+    }
+
     /// A short label for experiment output.
     pub fn label(&self) -> &'static str {
         match self {
             FilterKind::Mean => "vanilla",
             FilterKind::TrimmedMean { .. } => "fed-ms",
+            FilterKind::AdaptiveTrimmedMean { .. } => "fed-ms-adaptive",
             FilterKind::Median => "median",
             FilterKind::Krum { .. } => "krum",
             FilterKind::MultiKrum { .. } => "multi-krum",
@@ -86,6 +103,7 @@ impl FilterKind {
         Ok(match *self {
             FilterKind::Mean => Box::new(Mean::new()),
             FilterKind::TrimmedMean { beta } => Box::new(TrimmedMean::new(beta)?),
+            FilterKind::AdaptiveTrimmedMean { trim } => Box::new(AdaptiveTrimmedMean::new(trim)),
             FilterKind::Median => Box::new(CoordinateMedian::new()),
             FilterKind::Krum { f } => Box::new(Krum::new(f)),
             FilterKind::MultiKrum { f, m } => Box::new(MultiKrum::new(f, m)?),
@@ -109,10 +127,19 @@ mod tests {
     }
 
     #[test]
+    fn fedms_adaptive_pins_trim_count() {
+        let f = FilterKind::fedms_adaptive(2);
+        assert_eq!(f, FilterKind::AdaptiveTrimmedMean { trim: 2 });
+        assert_eq!(f.label(), "fed-ms-adaptive");
+        assert_eq!(f.build().unwrap().name(), "adaptive_trimmed_mean");
+    }
+
+    #[test]
     fn builds_every_kind() {
         for kind in [
             FilterKind::Mean,
             FilterKind::TrimmedMean { beta: 0.2 },
+            FilterKind::AdaptiveTrimmedMean { trim: 2 },
             FilterKind::Median,
             FilterKind::Krum { f: 1 },
             FilterKind::MultiKrum { f: 1, m: 2 },

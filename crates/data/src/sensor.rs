@@ -99,7 +99,7 @@ impl SynthSensorConfig {
         // amplitude in [0.5, 1.5] and a phase offset.
         let mut signatures = Vec::with_capacity(self.num_classes);
         for class in 0..self.num_classes {
-            let mut rng = rng_for(seed, &[0x5349_47, class as u64]); // "SIG"
+            let mut rng = rng_for(seed, &[0x0053_4947, class as u64]); // "SIG"
             let per_sensor: Vec<(f32, f32, f32)> = (0..self.sensors)
                 .map(|_| {
                     (

@@ -184,13 +184,13 @@ impl SynthVision {
         let n = per_class * config.num_classes;
         let mut data = Vec::with_capacity(n * vol);
         let mut labels = Vec::with_capacity(n);
-        for class in 0..config.num_classes {
+        for (class, prototype) in prototypes.iter().enumerate().take(config.num_classes) {
             let mut rng = rng_for(seed, &[0x53_41_4D_50, split, class as u64]); // "SAMP"
             let noise = Normal::new(0.0f32, config.noise_std.max(1e-12))
                 .map_err(|e| DataError::BadConfig(e.to_string()))?;
             let bright = Normal::new(0.0f32, config.brightness_std.max(1e-12))
                 .map_err(|e| DataError::BadConfig(e.to_string()))?;
-            let proto = prototypes[class].as_slice();
+            let proto = prototype.as_slice();
             for _ in 0..per_class {
                 let shift = if config.brightness_std > 0.0 { bright.sample(&mut rng) } else { 0.0 };
                 for &p in proto {

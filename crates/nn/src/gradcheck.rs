@@ -86,8 +86,10 @@ pub fn check_layer(
     let param_grads: Vec<Vec<f32>> =
         layer.grads().iter().map(|g| g.as_slice().to_vec()).collect();
 
-    // Parameter gradients.
+    // Parameter gradients. The index walks `layer.params()` and
+    // `layer.params_mut()` at once, so an iterator can't replace it.
     let n_tensors = layer.params().len();
+    #[allow(clippy::needless_range_loop)]
     for pi in 0..n_tensors {
         let plen = layer.params()[pi].len();
         let mut coords: Vec<usize> = (0..plen).collect();

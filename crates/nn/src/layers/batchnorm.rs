@@ -104,11 +104,11 @@ impl Layer for BatchNorm2d {
         let mut mean = vec![0.0f64; c];
         let mut var = vec![0.0f64; c];
         if self.training {
-            for bi in 0..b {
-                for ci in 0..c {
+            for (ci, m) in mean.iter_mut().enumerate() {
+                for bi in 0..b {
                     let base = (bi * c + ci) * plane;
                     for &v in &src[base..base + plane] {
-                        mean[ci] += v as f64;
+                        *m += v as f64;
                     }
                 }
             }

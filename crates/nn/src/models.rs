@@ -42,7 +42,7 @@ impl Mlp {
         if widths.len() < 2 {
             return Err(NnError::BadConfig("mlp needs at least input and output widths".into()));
         }
-        if widths.iter().any(|&w| w == 0) {
+        if widths.contains(&0) {
             return Err(NnError::BadConfig("mlp widths must be positive".into()));
         }
         let mut rng = rng_for(seed, &[0x4D4C50]); // "MLP"
@@ -347,11 +347,9 @@ mod tests {
         let mut cfg = MobileNetNanoConfig::default();
         cfg.blocks.clear();
         assert!(MobileNetNano::new(cfg, 0).is_err());
-        let mut cfg = MobileNetNanoConfig::default();
-        cfg.num_classes = 0;
+        let cfg = MobileNetNanoConfig { num_classes: 0, ..Default::default() };
         assert!(MobileNetNano::new(cfg, 0).is_err());
-        let mut cfg = MobileNetNanoConfig::default();
-        cfg.blocks = vec![(0, 8, 1)];
+        let cfg = MobileNetNanoConfig { blocks: vec![(0, 8, 1)], ..Default::default() };
         assert!(MobileNetNano::new(cfg, 0).is_err());
     }
 

@@ -19,6 +19,18 @@ pub struct CommStats {
     pub upload_bytes: u64,
     /// Bytes downloaded.
     pub download_bytes: u64,
+    /// Uploads lost in transit (channel loss or crashed recipient). These
+    /// are included in `upload_messages` — the sender pays for the attempt.
+    #[serde(default)]
+    pub dropped_uploads: u64,
+    /// Disseminations lost in transit (fault-plan downlink omission).
+    /// Included in `download_messages`.
+    #[serde(default)]
+    pub dropped_downloads: u64,
+    /// Disseminations delivered twice (fault-plan duplication). Each
+    /// duplicate also adds one extra message to `download_messages`.
+    #[serde(default)]
+    pub duplicated_downloads: u64,
 }
 
 impl CommStats {
@@ -40,6 +52,24 @@ impl CommStats {
         self.download_bytes += count * 4 * model_len as u64;
     }
 
+    /// Records one lost upload (already counted in `upload_messages`).
+    pub fn record_dropped_upload(&mut self) {
+        self.dropped_uploads += 1;
+    }
+
+    /// Records one lost dissemination (already counted in
+    /// `download_messages`).
+    pub fn record_dropped_download(&mut self) {
+        self.dropped_downloads += 1;
+    }
+
+    /// Records one duplicated dissemination: the repeat transmission costs
+    /// another message and its bytes.
+    pub fn record_duplicated_download(&mut self, model_len: usize) {
+        self.duplicated_downloads += 1;
+        self.record_downloads(1, model_len);
+    }
+
     /// Total messages in both directions.
     pub fn total_messages(&self) -> u64 {
         self.upload_messages + self.download_messages
@@ -57,6 +87,9 @@ impl AddAssign for CommStats {
         self.download_messages += rhs.download_messages;
         self.upload_bytes += rhs.upload_bytes;
         self.download_bytes += rhs.download_bytes;
+        self.dropped_uploads += rhs.dropped_uploads;
+        self.dropped_downloads += rhs.dropped_downloads;
+        self.duplicated_downloads += rhs.duplicated_downloads;
     }
 }
 
@@ -86,5 +119,25 @@ mod tests {
         a += b;
         assert_eq!(a.total_messages(), 3);
         assert_eq!(a.total_bytes(), 3 * 40);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let mut c = CommStats::new();
+        c.record_downloads(4, 10);
+        c.record_dropped_upload();
+        c.record_dropped_download();
+        c.record_duplicated_download(10);
+        assert_eq!(c.dropped_uploads, 1);
+        assert_eq!(c.dropped_downloads, 1);
+        assert_eq!(c.duplicated_downloads, 1);
+        // The duplicate is an extra real transmission.
+        assert_eq!(c.download_messages, 5);
+        assert_eq!(c.download_bytes, 5 * 40);
+        let mut total = CommStats::new();
+        total += c;
+        total += c;
+        assert_eq!(total.dropped_uploads, 2);
+        assert_eq!(total.duplicated_downloads, 2);
     }
 }

@@ -11,8 +11,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::server::Dissemination;
 use crate::{
-    Client, CommStats, EventLog, ModelSpec, Result, RoundEvent, RoundMetrics, RunResult, Server,
-    SimError, Topology, UploadStrategy,
+    Client, CommStats, EventLog, FaultPlan, ModelSpec, Result, RoundEvent, RoundMetrics,
+    RunResult, Server, SimError, Topology, UploadStrategy,
 };
 
 /// Static configuration of a simulation run.
@@ -96,8 +96,9 @@ pub struct Snapshot {
     pub round: usize,
     /// Every client's flat model vector, in client order.
     pub client_models: Vec<Tensor>,
-    /// Per-server adaptive-adversary state: (history, last aggregate).
-    pub server_state: Vec<(Vec<Tensor>, Option<Tensor>)>,
+    /// Per-server evolving state: (attack history, last aggregate,
+    /// straggler outbox).
+    pub server_state: Vec<(Vec<Tensor>, Option<Tensor>, Vec<Tensor>)>,
     /// Metrics recorded so far.
     pub result: RunResult,
 }
@@ -117,6 +118,7 @@ pub struct SimulationEngine {
     client_attacks: Vec<Option<Box<dyn ClientAttack>>>,
     participation: f64,
     upload_drop_rate: f64,
+    fault_plan: FaultPlan,
     record_diagnostics: bool,
     event_log: Option<EventLog>,
     initial_model: Tensor,
@@ -269,6 +271,7 @@ impl SimulationEngine {
         Ok(SimulationEngine {
             participation: 1.0,
             upload_drop_rate: 0.0,
+            fault_plan: FaultPlan::none(),
             record_diagnostics: false,
             event_log: None,
             client_attacks: client_attack_slots,
@@ -348,6 +351,25 @@ impl SimulationEngine {
         Ok(())
     }
 
+    /// Installs a benign-fault schedule (crash/straggler/omission/duplicate
+    /// faults; see [`crate::FaultPlan`]). The trivial plan restores
+    /// fault-free behaviour bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] if the plan does not fit this
+    /// topology (see [`FaultPlan::validate`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<()> {
+        plan.validate(self.config.topology.num_servers())?;
+        self.fault_plan = plan;
+        Ok(())
+    }
+
+    /// The active fault schedule (trivial by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
     /// Enables the structured event log with the given retention capacity
     /// (see [`crate::EventLog`]); pass 0 to disable recording again.
     pub fn enable_event_log(&mut self, capacity: usize) {
@@ -401,7 +423,7 @@ impl SimulationEngine {
     pub fn run(&mut self, rounds: usize) -> Result<RunResult> {
         for r in 0..rounds {
             let evaluate =
-                (self.round % self.config.eval_every == 0) || (r + 1 == rounds);
+                self.round.is_multiple_of(self.config.eval_every) || (r + 1 == rounds);
             self.step_round(evaluate)?;
         }
         Ok(self.result.clone())
@@ -502,12 +524,16 @@ impl SimulationEngine {
                 continue;
             }
             for &s in servers {
-                let dropped = if self.upload_drop_rate > 0.0 {
+                // A message is lost to channel noise (the RNG draw happens
+                // regardless of the recipient's health, so a fault plan
+                // perturbs nothing else) or because the recipient crashed.
+                let channel_loss = if self.upload_drop_rate > 0.0 {
                     use rand::Rng;
                     drop_rng.gen_bool(self.upload_drop_rate)
                 } else {
                     false
                 };
+                let dropped = channel_loss || self.fault_plan.is_crashed(s, self.round);
                 if let Some(log) = &mut self.event_log {
                     log.push(RoundEvent::UploadSent {
                         round: self.round,
@@ -517,6 +543,7 @@ impl SimulationEngine {
                     });
                 }
                 if dropped {
+                    comm.record_dropped_upload();
                     continue; // lost in transit
                 }
                 received[s].push(client_vectors[k].clone());
@@ -524,13 +551,28 @@ impl SimulationEngine {
         }
 
         // 3. Aggregation and dissemination (lines 3–5), Byzantine or not.
-        let mut disseminations: Vec<Dissemination> = Vec::with_capacity(num_servers);
+        // Faulted servers may contribute nothing: a crashed server is
+        // permanently silent, a straggler is silent while its delayed
+        // pipeline fills. Silent servers are `None` here — clients filter
+        // over whatever actually arrives.
+        let mut disseminations: Vec<Option<Dissemination>> =
+            Vec::with_capacity(num_servers);
+        let mut silent_servers = 0usize;
         for (i, server) in self.servers.iter_mut().enumerate() {
+            if self.fault_plan.is_crashed(i, self.round) {
+                silent_servers += 1;
+                if let Some(log) = &mut self.event_log {
+                    log.push(RoundEvent::ServerSilent {
+                        round: self.round,
+                        server: i,
+                        crashed: true,
+                    });
+                }
+                disseminations.push(None);
+                continue;
+            }
             let agg =
                 server.aggregate(&received[i], &self.initial_model, self.server_rule.as_ref())?;
-            let d = server.disseminate(&agg, self.round, num_clients)?;
-            Server::check_dissemination(&d, num_clients)?;
-            comm.record_downloads(num_clients as u64, model_len);
             if let Some(log) = &mut self.event_log {
                 log.push(RoundEvent::Aggregated {
                     round: self.round,
@@ -538,6 +580,29 @@ impl SimulationEngine {
                     received: received[i].len(),
                     aggregate_norm: agg.norm_l2(),
                 });
+            }
+            // A straggler disseminates the aggregate it computed `delay`
+            // rounds ago (or nothing while warming up).
+            let to_send = match self.fault_plan.straggler_delay(i) {
+                Some(delay) => server.delay_aggregate(agg, delay),
+                None => Some(agg),
+            };
+            let Some(out) = to_send else {
+                silent_servers += 1;
+                if let Some(log) = &mut self.event_log {
+                    log.push(RoundEvent::ServerSilent {
+                        round: self.round,
+                        server: i,
+                        crashed: false,
+                    });
+                }
+                disseminations.push(None);
+                continue;
+            };
+            let d = server.disseminate(&out, self.round, num_clients)?;
+            Server::check_dissemination(&d, num_clients)?;
+            comm.record_downloads(num_clients as u64, model_len);
+            if let Some(log) = &mut self.event_log {
                 log.push(RoundEvent::Disseminated {
                     round: self.round,
                     server: i,
@@ -545,30 +610,93 @@ impl SimulationEngine {
                     equivocating: matches!(d, Dissemination::PerClient(_)),
                 });
             }
-            disseminations.push(d);
+            disseminations.push(Some(d));
         }
 
-        // 4. Client-side filtering (lines 12–13): w_{t+1,0}^k = Def(ã…).
+        // 4. Client-side filtering (lines 12–13): w_{t+1,0}^k = Def(ã…),
+        // over however many models survive the faults. The downlink RNG is
+        // only instantiated when the plan is lossy, so a trivial plan is
+        // bit-identical to the fault-free path.
+        let byz_servers = topo.byzantine_ids().count();
+        let mut downlink_rng = if self.fault_plan.lossy_downlink() {
+            Some(rng_for(self.config.seed, &[0x4F_4D_49_54, round_label])) // "OMIT"
+        } else {
+            None
+        };
+        let mut client0_views: Vec<Tensor> = Vec::new();
         let mut filtered: Vec<Tensor> = Vec::with_capacity(num_clients);
         for k in 0..num_clients {
-            let views: Vec<Tensor> =
-                disseminations.iter().map(|d| d.for_client(k).clone()).collect();
-            let out = self.filter.aggregate(&views)?;
+            // Each client sees its own realization of the lossy downlink.
+            let mut views: Vec<Tensor> = Vec::with_capacity(num_servers);
+            let mut distinct = 0usize;
+            for d in disseminations.iter().flatten() {
+                let model = d.for_client(k);
+                if let Some(rng) = &mut downlink_rng {
+                    use rand::Rng;
+                    if self.fault_plan.downlink_omission > 0.0
+                        && rng.gen_bool(self.fault_plan.downlink_omission)
+                    {
+                        comm.record_dropped_download();
+                        continue;
+                    }
+                    views.push(model.clone());
+                    distinct += 1;
+                    if self.fault_plan.duplicate_rate > 0.0
+                        && rng.gen_bool(self.fault_plan.duplicate_rate)
+                    {
+                        // Delivered twice: the filter sees the model with
+                        // double weight (and the network carried it twice).
+                        comm.record_duplicated_download(model_len);
+                        views.push(model.clone());
+                    }
+                } else {
+                    views.push(model.clone());
+                    distinct += 1;
+                }
+            }
+            // Graceful-degradation guard: trimming B per side needs a
+            // strict honest majority among the *distinct* deliveries
+            // (duplicates of one server must not count towards quorum).
+            // Only fault-degraded views (`P' < P`) are guarded — a
+            // deliberately infeasible fault-free federation (B ≥ P/2) is
+            // let through so experiments can demonstrate filter defeat.
+            if byz_servers > 0 && distinct < num_servers && distinct <= 2 * byz_servers {
+                return Err(SimError::DegradedQuorum {
+                    round: self.round,
+                    client: k,
+                    received: distinct,
+                    needed: 2 * byz_servers,
+                });
+            }
+            let out = if views.is_empty() {
+                // Total blackout (only reachable with B = 0): the client
+                // keeps its locally trained model this round.
+                self.clients[k].model_vector()
+            } else {
+                self.filter.aggregate(&views)?
+            };
             if let Some(log) = &mut self.event_log {
-                let naive = Mean::new().aggregate(&views)?;
+                let displacement = if views.is_empty() {
+                    0.0
+                } else {
+                    out.sub(&Mean::new().aggregate(&views)?)?.norm_l2()
+                };
                 log.push(RoundEvent::Filtered {
                     round: self.round,
                     client: k,
-                    displacement: out.sub(&naive)?.norm_l2(),
+                    displacement,
                 });
+            }
+            if k == 0 && self.record_diagnostics && evaluate {
+                client0_views = views.clone();
             }
             filtered.push(out);
         }
 
-        // Defence diagnostics from client 0's viewpoint.
+        // Defence diagnostics from client 0's viewpoint (its realized,
+        // post-fault view — not the idealized full dissemination).
         let diagnostics = if self.record_diagnostics && evaluate {
-            let views: Vec<Tensor> =
-                disseminations.iter().map(|d| d.for_client(0).clone()).collect();
+            let views = client0_views;
             let mut pair_sum = 0.0f64;
             let mut pairs = 0usize;
             for i in 0..views.len() {
@@ -577,8 +705,12 @@ impl SimulationEngine {
                     pairs += 1;
                 }
             }
-            let naive = Mean::new().aggregate(&views)?;
-            let displacement = filtered[0].sub(&naive)?.norm_l2();
+            let displacement = if views.is_empty() {
+                0.0
+            } else {
+                let naive = Mean::new().aggregate(&views)?;
+                filtered[0].sub(&naive)?.norm_l2()
+            };
             let mut max_update = 0.0f32;
             for &k in &active {
                 let update =
@@ -593,6 +725,7 @@ impl SimulationEngine {
                 },
                 filter_displacement: displacement,
                 max_update_norm: max_update,
+                silent_servers,
             })
         } else {
             None
@@ -663,10 +796,10 @@ impl SimulationEngine {
         for (client, model) in self.clients.iter_mut().zip(&snapshot.client_models) {
             client.set_model_vector(model)?;
         }
-        for (server, (history, last)) in
+        for (server, (history, last, outbox)) in
             self.servers.iter_mut().zip(snapshot.server_state.iter())
         {
-            server.restore_state(history.clone(), last.clone());
+            server.restore_state(history.clone(), last.clone(), outbox.clone());
         }
         self.round = snapshot.round;
         self.result = snapshot.result.clone();
@@ -723,19 +856,18 @@ impl SimulationEngine {
         let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
         let chunk = n.div_ceil(threads.min(n));
         let mut outputs: Vec<Result<Vec<f32>>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for group in selected.chunks_mut(chunk) {
                 let f = &f;
-                handles.push(scope.spawn(move |_| -> Result<Vec<f32>> {
+                handles.push(scope.spawn(move || -> Result<Vec<f32>> {
                     group.iter_mut().map(|c| f(c)).collect()
                 }));
             }
             for h in handles {
                 outputs.push(h.join().expect("client worker panicked"));
             }
-        })
-        .expect("crossbeam scope panicked");
+        });
         let mut flat = Vec::with_capacity(n);
         for out in outputs {
             flat.extend(out?);
@@ -1132,5 +1264,197 @@ mod tests {
         assert_eq!(cfg.topology.num_servers(), 10);
         assert_eq!(cfg.local_epochs, 3);
         assert_eq!(cfg.upload, UploadStrategy::Sparse);
+    }
+
+    #[test]
+    fn trivial_fault_plan_is_bit_identical_to_no_plan() {
+        let mut plain = small_setup(vec![1], AttackKind::Noise { std: 0.5 },
+            Box::new(TrimmedMean::new(0.25).unwrap()), false);
+        let mut planned = small_setup(vec![1], AttackKind::Noise { std: 0.5 },
+            Box::new(TrimmedMean::new(0.25).unwrap()), false);
+        planned.set_fault_plan(crate::FaultPlan::none()).unwrap();
+        plain.run(3).unwrap();
+        planned.run(3).unwrap();
+        assert_eq!(plain.client_models(), planned.client_models());
+        assert_eq!(plain.result(), planned.result());
+    }
+
+    #[test]
+    fn crashed_server_goes_silent_and_run_survives() {
+        use crate::{FaultPlan, ServerFault};
+        let mut e = small_setup(vec![], AttackKind::Benign,
+            Box::new(TrimmedMean::new(0.25).unwrap()), false);
+        e.enable_event_log(10_000);
+        e.set_record_diagnostics(true);
+        e.set_fault_plan(FaultPlan {
+            server_faults: vec![ServerFault::None, ServerFault::Crash { round: 1 }],
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        e.run(3).unwrap();
+        assert!(e.result().final_accuracy().unwrap().is_finite());
+        let log = e.event_log().unwrap();
+        // Server 1 is up in round 0, silent in rounds 1 and 2.
+        assert_eq!(log.of_kind("silent").len(), 2);
+        assert!(log.of_kind("silent").iter().all(|ev| matches!(
+            ev,
+            RoundEvent::ServerSilent { server: 1, crashed: true, .. }
+        )));
+        // Round 0 disseminates from 4 servers, later rounds from 3.
+        assert_eq!(log.round(0).iter().filter(|e| e.kind() == "disseminate").count(), 4);
+        assert_eq!(log.round(2).iter().filter(|e| e.kind() == "disseminate").count(), 3);
+        // Uploads routed to the dead server are lost and accounted.
+        let comm = e.result().total_comm;
+        assert_eq!(
+            comm.download_messages,
+            (4 + 3 + 3) * 8 // live servers × clients per round
+        );
+        let diag = e.result().rounds[2].diagnostics.clone().unwrap();
+        assert_eq!(diag.silent_servers, 1);
+    }
+
+    #[test]
+    fn adaptive_filter_survives_crash_plus_byzantine() {
+        use crate::{FaultPlan, ServerFault};
+        use fedms_aggregation::AdaptiveTrimmedMean;
+        // 4 servers, B = 1 Byzantine, 1 crashed from round 1: clients see
+        // P' = 3 > 2B models; the fixed-count trim still removes the
+        // Byzantine extreme.
+        let mut e = small_setup(vec![1], AttackKind::Random { lo: -10.0, hi: 10.0 },
+            Box::new(AdaptiveTrimmedMean::new(1)), false);
+        e.set_fault_plan(FaultPlan {
+            server_faults: vec![ServerFault::None, ServerFault::None,
+                ServerFault::Crash { round: 1 }, ServerFault::None],
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        e.run(4).unwrap();
+        // The random attack injects coordinates ~10; a surviving filter
+        // keeps the model norm modest.
+        assert!(e.client_models()[0].norm_l2() < 50.0);
+    }
+
+    #[test]
+    fn degraded_quorum_is_a_typed_error() {
+        use crate::{FaultPlan, ServerFault};
+        // 4 servers, B = 1: two crashes leave P' = 2 ≤ 2B.
+        let mut e = small_setup(vec![1], AttackKind::Noise { std: 0.5 },
+            Box::new(TrimmedMean::new(0.25).unwrap()), false);
+        e.set_fault_plan(FaultPlan {
+            server_faults: vec![ServerFault::Crash { round: 1 }, ServerFault::None,
+                ServerFault::Crash { round: 1 }, ServerFault::None],
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        // Round 0 is healthy…
+        e.step_round(false).unwrap();
+        // …round 1 must fail fast with the structured error, not panic.
+        match e.step_round(false) {
+            Err(SimError::DegradedQuorum { round, client, received, needed }) => {
+                assert_eq!(round, 1);
+                assert_eq!(client, 0);
+                assert_eq!(received, 2);
+                assert_eq!(needed, 2);
+            }
+            other => panic!("expected DegradedQuorum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn straggler_delays_then_delivers_stale_models() {
+        use crate::{FaultPlan, ServerFault};
+        let mut e = small_setup(vec![], AttackKind::Benign,
+            Box::new(TrimmedMean::new(0.25).unwrap()), false);
+        e.enable_event_log(10_000);
+        e.set_fault_plan(FaultPlan {
+            server_faults: vec![ServerFault::Straggler { delay: 2 }],
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        e.run(4).unwrap();
+        let log = e.event_log().unwrap();
+        // Warm-up: silent in rounds 0 and 1, delivering from round 2 on.
+        let silent: Vec<usize> =
+            log.of_kind("silent").iter().map(|ev| ev.round()).collect();
+        assert_eq!(silent, vec![0, 1]);
+        assert_eq!(log.round(3).iter().filter(|e| e.kind() == "disseminate").count(), 4);
+        assert!(e.result().final_accuracy().unwrap().is_finite());
+    }
+
+    #[test]
+    fn lossy_downlink_is_deterministic_and_accounted() {
+        use crate::FaultPlan;
+        let make = || {
+            let mut e = small_setup(vec![], AttackKind::Benign,
+                Box::new(TrimmedMean::new(0.25).unwrap()), false);
+            e.set_fault_plan(FaultPlan {
+                downlink_omission: 0.3,
+                duplicate_rate: 0.2,
+                ..FaultPlan::default()
+            })
+            .unwrap();
+            e
+        };
+        let mut a = make();
+        let mut b = make();
+        a.run(3).unwrap();
+        b.run(3).unwrap();
+        assert_eq!(a.client_models(), b.client_models());
+        assert_eq!(a.result(), b.result());
+        let comm = a.result().total_comm;
+        assert!(comm.dropped_downloads > 0, "30% omission must drop something");
+        assert!(comm.duplicated_downloads > 0, "20% duplication must duplicate something");
+        // Duplicates add real traffic on top of the 4·8·3 base messages.
+        assert_eq!(comm.download_messages, 4 * 8 * 3 + comm.duplicated_downloads);
+    }
+
+    #[test]
+    fn set_fault_plan_validates_against_topology() {
+        use crate::{FaultPlan, ServerFault};
+        let mut e = small_setup(vec![], AttackKind::Benign, Box::new(Mean::new()), false);
+        // 5 entries for a 4-server federation.
+        assert!(e
+            .set_fault_plan(FaultPlan {
+                server_faults: vec![ServerFault::None; 5],
+                ..FaultPlan::default()
+            })
+            .is_err());
+        assert!(e
+            .set_fault_plan(FaultPlan { downlink_omission: 1.5, ..FaultPlan::default() })
+            .is_err());
+        assert!(e.set_fault_plan(FaultPlan::none()).is_ok());
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_exact_under_faults() {
+        use crate::{FaultPlan, ServerFault};
+        // No Byzantine set here: with B = 0 the quorum guard stays out of
+        // the way and arbitrarily harsh fault realizations stay runnable.
+        let make = || {
+            let mut e = small_setup(
+                vec![],
+                AttackKind::Benign,
+                Box::new(TrimmedMean::new(0.25).unwrap()),
+                false,
+            );
+            e.set_fault_plan(FaultPlan {
+                server_faults: vec![ServerFault::Straggler { delay: 1 },
+                    ServerFault::Crash { round: 4 }],
+                downlink_omission: 0.1,
+                ..FaultPlan::default()
+            })
+            .unwrap();
+            e
+        };
+        let mut reference = make();
+        reference.run(6).unwrap();
+        let mut first = make();
+        first.run(3).unwrap();
+        let snap = first.snapshot();
+        let mut resumed = make();
+        resumed.restore(&snap).unwrap();
+        resumed.run(3).unwrap();
+        assert_eq!(reference.client_models(), resumed.client_models());
+        assert_eq!(reference.result().rounds, resumed.result().rounds);
     }
 }

@@ -23,6 +23,22 @@ pub enum SimError {
     Attack(AttackError),
     /// Invalid simulation configuration.
     BadConfig(String),
+    /// A client received too few server models to filter safely.
+    ///
+    /// Raised when faults leave a client with `P' ≤ 2B` surviving models:
+    /// the trimmed-mean filter can no longer guarantee an honest majority
+    /// per coordinate, so the round aborts with a typed error instead of
+    /// silently aggregating a possibly Byzantine-dominated sample.
+    DegradedQuorum {
+        /// Round in which the quorum was lost.
+        round: usize,
+        /// The client whose view degraded.
+        client: usize,
+        /// Number of server models that actually arrived (`P'`).
+        received: usize,
+        /// The strict lower bound `2B`: safety needs `received > needed`.
+        needed: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -34,6 +50,11 @@ impl fmt::Display for SimError {
             SimError::Agg(e) => write!(f, "aggregation error: {e}"),
             SimError::Attack(e) => write!(f, "attack error: {e}"),
             SimError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            SimError::DegradedQuorum { round, client, received, needed } => write!(
+                f,
+                "round {round}: client {client} received only {received} server \
+                 models but Byzantine tolerance needs more than {needed}"
+            ),
         }
     }
 }
@@ -46,7 +67,7 @@ impl std::error::Error for SimError {
             SimError::Data(e) => Some(e),
             SimError::Agg(e) => Some(e),
             SimError::Attack(e) => Some(e),
-            SimError::BadConfig(_) => None,
+            SimError::BadConfig(_) | SimError::DegradedQuorum { .. } => None,
         }
     }
 }
@@ -92,6 +113,16 @@ mod tests {
         assert!(e.to_string().contains("tensor"));
         assert!(e.source().is_some());
         assert!(SimError::BadConfig("k".into()).source().is_none());
+    }
+
+    #[test]
+    fn degraded_quorum_display_names_parties() {
+        let e = SimError::DegradedQuorum { round: 7, client: 3, received: 4, needed: 4 };
+        let msg = e.to_string();
+        assert!(msg.contains("round 7"));
+        assert!(msg.contains("client 3"));
+        assert!(msg.contains('4'));
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -56,6 +56,17 @@ pub enum RoundEvent {
         /// Whether dissemination differed per client.
         equivocating: bool,
     },
+    /// A server contributed no dissemination this round — crashed, or a
+    /// straggler still warming up its delayed pipeline.
+    ServerSilent {
+        /// Round index.
+        round: usize,
+        /// The silent server's id.
+        server: usize,
+        /// Whether the silence is a permanent crash (`true`) or a
+        /// straggler's delay (`false`).
+        crashed: bool,
+    },
     /// A client applied its model filter.
     Filtered {
         /// Round index.
@@ -76,18 +87,20 @@ impl RoundEvent {
             | RoundEvent::UploadSent { round, .. }
             | RoundEvent::Aggregated { round, .. }
             | RoundEvent::Disseminated { round, .. }
+            | RoundEvent::ServerSilent { round, .. }
             | RoundEvent::Filtered { round, .. } => round,
         }
     }
 
     /// A short tag for filtering (`"train"`, `"upload"`, `"aggregate"`,
-    /// `"disseminate"`, `"filter"`).
+    /// `"disseminate"`, `"silent"`, `"filter"`).
     pub fn kind(&self) -> &'static str {
         match self {
             RoundEvent::LocalTrainingCompleted { .. } => "train",
             RoundEvent::UploadSent { .. } => "upload",
             RoundEvent::Aggregated { .. } => "aggregate",
             RoundEvent::Disseminated { .. } => "disseminate",
+            RoundEvent::ServerSilent { .. } => "silent",
             RoundEvent::Filtered { .. } => "filter",
         }
     }
@@ -204,10 +217,14 @@ mod tests {
             RoundEvent::UploadSent { round: 7, client: 0, server: 1, dropped: false },
             RoundEvent::Aggregated { round: 7, server: 1, received: 1, aggregate_norm: 2.0 },
             RoundEvent::Disseminated { round: 7, server: 1, byzantine: true, equivocating: false },
+            RoundEvent::ServerSilent { round: 7, server: 2, crashed: true },
             RoundEvent::Filtered { round: 7, client: 0, displacement: 0.1 },
         ];
         let kinds: Vec<_> = events.iter().map(RoundEvent::kind).collect();
-        assert_eq!(kinds, vec!["train", "upload", "aggregate", "disseminate", "filter"]);
+        assert_eq!(
+            kinds,
+            vec!["train", "upload", "aggregate", "disseminate", "silent", "filter"]
+        );
         assert!(events.iter().all(|e| e.round() == 7));
     }
 }

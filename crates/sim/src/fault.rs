@@ -1,0 +1,371 @@
+//! Fault injection: crash, omission, straggler and duplicate faults.
+//!
+//! The paper's threat model covers *Byzantine* servers — machines that stay
+//! responsive but lie. Real edge deployments additionally suffer benign
+//! faults: servers that crash mid-run, links that silently drop or
+//! duplicate messages, and stragglers whose disseminations arrive rounds
+//! late. This module describes such failures as a serializable
+//! [`FaultPlan`] that the [`crate::SimulationEngine`] replays
+//! deterministically, so every faulty run is exactly reproducible from
+//! `(config, seed)`.
+//!
+//! Two layers:
+//!
+//! * [`FaultSpec`] — the *scenario* ("crash 2 servers at round 5, 10%
+//!   downlink loss"), what experiment configs and CLI flags express;
+//! * [`FaultPlan`] — the *realization* (which concrete servers fail),
+//!   sampled from a spec with [`FaultPlan::sample`] using a seed-derived
+//!   RNG stream, or written out explicitly for targeted tests.
+//!
+//! With faults active a client may receive only `P' ≤ P` models. The
+//! engine then re-derives the trim from the survivors (effective rate
+//! `β' = B/P'`): as long as `P' > 2B` an honest per-coordinate majority
+//! remains and filtering degrades gracefully; at `P' ≤ 2B` the round
+//! aborts with [`crate::SimError::DegradedQuorum`].
+
+use fedms_tensor::rng::rng_for;
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, SimError};
+
+/// RNG label for fault-plan sampling ("FALT").
+const FAULT_LABEL: u64 = 0x46_41_4C_54;
+
+/// The failure mode of a single server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ServerFault {
+    /// Healthy: participates normally.
+    #[default]
+    None,
+    /// Fail-stop crash: from `round` onward the server neither aggregates
+    /// nor disseminates, and uploads addressed to it are lost.
+    Crash {
+        /// First round (0-based) in which the server is down.
+        round: usize,
+    },
+    /// Straggler: disseminations arrive `delay` rounds late, so clients see
+    /// the model the server computed `delay` rounds ago — and nothing at
+    /// all during the first `delay` rounds.
+    Straggler {
+        /// Delivery delay in rounds (≥ 1).
+        delay: usize,
+    },
+}
+
+/// A fault *scenario*: how many servers fail and how lossy the links are,
+/// without naming the victims. Sample a concrete [`FaultPlan`] from it.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Number of servers that crash.
+    #[serde(default)]
+    pub crashed_servers: usize,
+    /// Round at which the crashed servers go down.
+    #[serde(default)]
+    pub crash_round: usize,
+    /// Number of straggler servers.
+    #[serde(default)]
+    pub straggler_servers: usize,
+    /// Straggler delivery delay in rounds (≥ 1 when stragglers exist).
+    #[serde(default)]
+    pub straggler_delay: usize,
+    /// Probability an individual server→client dissemination is lost.
+    #[serde(default)]
+    pub downlink_omission: f64,
+    /// Probability a delivered dissemination arrives twice.
+    #[serde(default)]
+    pub duplicate_rate: f64,
+}
+
+impl FaultSpec {
+    /// Whether the spec describes a fault-free run.
+    pub fn is_trivial(&self) -> bool {
+        self.crashed_servers == 0
+            && self.straggler_servers == 0
+            && self.downlink_omission == 0.0
+            && self.duplicate_rate == 0.0
+    }
+
+    /// Validates the scenario against a federation of `num_servers`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] if more servers fault than exist,
+    /// probabilities fall outside `[0, 1)`, or stragglers have a zero
+    /// delay.
+    pub fn validate(&self, num_servers: usize) -> Result<()> {
+        if self.crashed_servers + self.straggler_servers > num_servers {
+            return Err(SimError::BadConfig(format!(
+                "{} crashed + {} straggler servers exceed the {} available",
+                self.crashed_servers, self.straggler_servers, num_servers
+            )));
+        }
+        for (name, p) in [
+            ("downlink_omission", self.downlink_omission),
+            ("duplicate_rate", self.duplicate_rate),
+        ] {
+            if !(p.is_finite() && (0.0..1.0).contains(&p)) {
+                return Err(SimError::BadConfig(format!(
+                    "{name} must be in [0, 1), got {p}"
+                )));
+            }
+        }
+        if self.straggler_servers > 0 && self.straggler_delay == 0 {
+            return Err(SimError::BadConfig(
+                "straggler_delay must be ≥ 1 when straggler_servers > 0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A concrete, replayable fault schedule for one run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Per-server fault, indexed by server id; servers past the end of the
+    /// vector are healthy.
+    #[serde(default)]
+    pub server_faults: Vec<ServerFault>,
+    /// Probability an individual server→client dissemination is lost.
+    #[serde(default)]
+    pub downlink_omission: f64,
+    /// Probability a delivered dissemination arrives twice (the client's
+    /// filter then sees that model with double weight).
+    #[serde(default)]
+    pub duplicate_rate: f64,
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Samples a concrete plan from a scenario: the victims are drawn
+    /// uniformly without replacement from the `num_servers` ids using an
+    /// RNG derived purely from `seed`, so the same `(spec, seed)` always
+    /// yields the same plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultSpec::validate`].
+    pub fn sample(spec: &FaultSpec, num_servers: usize, seed: u64) -> Result<Self> {
+        spec.validate(num_servers)?;
+        let mut faults = vec![ServerFault::None; num_servers];
+        if spec.crashed_servers + spec.straggler_servers > 0 {
+            use rand::seq::SliceRandom;
+            let mut ids: Vec<usize> = (0..num_servers).collect();
+            let mut rng = rng_for(seed, &[FAULT_LABEL]);
+            ids.shuffle(&mut rng);
+            for &id in ids.iter().take(spec.crashed_servers) {
+                faults[id] = ServerFault::Crash { round: spec.crash_round };
+            }
+            for &id in ids
+                .iter()
+                .skip(spec.crashed_servers)
+                .take(spec.straggler_servers)
+            {
+                faults[id] = ServerFault::Straggler { delay: spec.straggler_delay };
+            }
+        }
+        Ok(FaultPlan {
+            server_faults: faults,
+            downlink_omission: spec.downlink_omission,
+            duplicate_rate: spec.duplicate_rate,
+        })
+    }
+
+    /// Whether the plan injects no faults at all. A trivial plan leaves the
+    /// engine's behaviour (including its RNG streams) bit-identical to a
+    /// run without any plan.
+    pub fn is_trivial(&self) -> bool {
+        self.downlink_omission == 0.0
+            && self.duplicate_rate == 0.0
+            && self.server_faults.iter().all(|f| *f == ServerFault::None)
+    }
+
+    /// Whether any downlink-level fault (omission or duplication) is
+    /// active.
+    pub fn lossy_downlink(&self) -> bool {
+        self.downlink_omission > 0.0 || self.duplicate_rate > 0.0
+    }
+
+    /// The fault assigned to `server`.
+    pub fn fault_for(&self, server: usize) -> ServerFault {
+        self.server_faults.get(server).copied().unwrap_or_default()
+    }
+
+    /// Whether `server` is down (crashed) in `round`.
+    pub fn is_crashed(&self, server: usize, round: usize) -> bool {
+        matches!(self.fault_for(server), ServerFault::Crash { round: r } if round >= r)
+    }
+
+    /// The straggler delay of `server`, if it straggles.
+    pub fn straggler_delay(&self, server: usize) -> Option<usize> {
+        match self.fault_for(server) {
+            ServerFault::Straggler { delay } => Some(delay),
+            _ => None,
+        }
+    }
+
+    /// Ids of servers scheduled to crash (at any round).
+    pub fn crashed_ids(&self) -> Vec<usize> {
+        self.server_faults
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| matches!(f, ServerFault::Crash { .. }).then_some(i))
+            .collect()
+    }
+
+    /// Validates the plan against a federation of `num_servers`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] for out-of-range server ids, bad
+    /// probabilities, or zero straggler delays.
+    pub fn validate(&self, num_servers: usize) -> Result<()> {
+        if self.server_faults.len() > num_servers {
+            return Err(SimError::BadConfig(format!(
+                "fault plan names {} servers but the federation has {num_servers}",
+                self.server_faults.len()
+            )));
+        }
+        for (name, p) in [
+            ("downlink_omission", self.downlink_omission),
+            ("duplicate_rate", self.duplicate_rate),
+        ] {
+            if !(p.is_finite() && (0.0..1.0).contains(&p)) {
+                return Err(SimError::BadConfig(format!(
+                    "{name} must be in [0, 1), got {p}"
+                )));
+            }
+        }
+        if self
+            .server_faults
+            .iter()
+            .any(|f| matches!(f, ServerFault::Straggler { delay: 0 }))
+        {
+            return Err(SimError::BadConfig(
+                "straggler delay must be ≥ 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_plans_and_specs() {
+        assert!(FaultPlan::none().is_trivial());
+        assert!(FaultSpec::default().is_trivial());
+        let plan = FaultPlan {
+            server_faults: vec![ServerFault::None, ServerFault::Crash { round: 0 }],
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_trivial());
+        assert!(!FaultSpec { duplicate_rate: 0.1, ..FaultSpec::default() }.is_trivial());
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let spec = FaultSpec {
+            crashed_servers: 2,
+            crash_round: 3,
+            straggler_servers: 1,
+            straggler_delay: 2,
+            downlink_omission: 0.1,
+            duplicate_rate: 0.05,
+        };
+        let a = FaultPlan::sample(&spec, 10, 7).unwrap();
+        let b = FaultPlan::sample(&spec, 10, 7).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.crashed_ids().len(), 2);
+        assert_eq!(
+            a.server_faults
+                .iter()
+                .filter(|f| matches!(f, ServerFault::Straggler { .. }))
+                .count(),
+            1
+        );
+        // Crash and straggler sets never overlap.
+        for id in a.crashed_ids() {
+            assert!(a.straggler_delay(id).is_none());
+        }
+        // A different seed eventually picks different victims.
+        let picks: std::collections::BTreeSet<Vec<usize>> =
+            (0..16).map(|s| FaultPlan::sample(&spec, 10, s).unwrap().crashed_ids()).collect();
+        assert!(picks.len() > 1, "sampling should depend on the seed");
+    }
+
+    #[test]
+    fn crash_schedule_respects_round() {
+        let plan = FaultPlan {
+            server_faults: vec![ServerFault::Crash { round: 2 }],
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_crashed(0, 0));
+        assert!(!plan.is_crashed(0, 1));
+        assert!(plan.is_crashed(0, 2));
+        assert!(plan.is_crashed(0, 99));
+        // Unlisted servers are healthy.
+        assert!(!plan.is_crashed(5, 99));
+        assert_eq!(plan.fault_for(5), ServerFault::None);
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(FaultSpec::default().validate(4).is_ok());
+        let too_many = FaultSpec { crashed_servers: 3, straggler_servers: 2, ..FaultSpec::default() };
+        assert!(too_many.validate(4).is_err());
+        let bad_p = FaultSpec { downlink_omission: 1.0, ..FaultSpec::default() };
+        assert!(bad_p.validate(4).is_err());
+        let nan_p = FaultSpec { duplicate_rate: f64::NAN, ..FaultSpec::default() };
+        assert!(nan_p.validate(4).is_err());
+        let zero_delay =
+            FaultSpec { straggler_servers: 1, straggler_delay: 0, ..FaultSpec::default() };
+        assert!(zero_delay.validate(4).is_err());
+    }
+
+    #[test]
+    fn plan_validation() {
+        assert!(FaultPlan::none().validate(4).is_ok());
+        let oversized = FaultPlan {
+            server_faults: vec![ServerFault::None; 5],
+            ..FaultPlan::default()
+        };
+        assert!(oversized.validate(4).is_err());
+        let zero_delay = FaultPlan {
+            server_faults: vec![ServerFault::Straggler { delay: 0 }],
+            ..FaultPlan::default()
+        };
+        assert!(zero_delay.validate(4).is_err());
+        let bad_p = FaultPlan { duplicate_rate: -0.1, ..FaultPlan::default() };
+        assert!(bad_p.validate(4).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = FaultSpec {
+            crashed_servers: 2,
+            crash_round: 5,
+            straggler_servers: 1,
+            straggler_delay: 3,
+            downlink_omission: 0.25,
+            duplicate_rate: 0.125,
+        };
+        let plan = FaultPlan::sample(&spec, 10, 11).unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FaultSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        // Missing fields deserialize to the trivial default.
+        let empty: FaultPlan = serde_json::from_str("{}").unwrap();
+        assert!(empty.is_trivial());
+        let empty: FaultSpec = serde_json::from_str("{}").unwrap();
+        assert!(empty.is_trivial());
+    }
+}

@@ -22,13 +22,14 @@
 //! Determinism: every stochastic decision (mini-batches, upload choices,
 //! attack noise) draws from an RNG stream derived from one experiment seed
 //! via [`fedms_tensor::rng`], so runs are bit-reproducible — including under
-//! the optional crossbeam-parallel client training.
+//! the optional scoped-thread parallel client training.
 
 mod client;
 mod comm;
 mod engine;
 mod error;
 mod events;
+mod fault;
 mod metrics;
 mod model_spec;
 mod server;
@@ -40,6 +41,7 @@ pub use comm::CommStats;
 pub use engine::{EngineConfig, SimulationEngine, Snapshot};
 pub use error::SimError;
 pub use events::{EventLog, RoundEvent};
+pub use fault::{FaultPlan, FaultSpec, ServerFault};
 pub use metrics::{RoundDiagnostics, RoundMetrics, RunResult, RunSummary};
 pub use model_spec::ModelSpec;
 pub use server::Server;

@@ -22,6 +22,11 @@ pub struct RoundDiagnostics {
     /// Largest L2 norm of a client's local update (post-training minus
     /// round-start model) this round.
     pub max_update_norm: f32,
+    /// Servers that disseminated nothing this round (crashed, or straggler
+    /// pipelines still warming up). Clients filtered over `P` minus this
+    /// many models.
+    #[serde(default)]
+    pub silent_servers: usize,
 }
 
 /// Measurements taken at the end of one training round.

@@ -34,6 +34,9 @@ pub struct Server {
     attack: Option<Box<dyn ServerAttack>>,
     history: Vec<Tensor>,
     last_aggregate: Option<Tensor>,
+    /// Aggregates awaiting delayed dissemination (straggler fault), oldest
+    /// first.
+    outbox: Vec<Tensor>,
     seed: u64,
     max_history: usize,
 }
@@ -56,6 +59,7 @@ impl Server {
             attack: None,
             history: Vec::new(),
             last_aggregate: None,
+            outbox: Vec::new(),
             seed,
             max_history: 64,
         }
@@ -145,21 +149,44 @@ impl Server {
         Ok(out)
     }
 
+    /// Straggler pipeline: queues this round's `aggregate` and releases the
+    /// one computed `delay` rounds ago, or `None` while the pipeline is
+    /// still filling (the server stays silent those rounds).
+    pub fn delay_aggregate(&mut self, aggregate: Tensor, delay: usize) -> Option<Tensor> {
+        self.outbox.push(aggregate);
+        if self.outbox.len() > delay {
+            Some(self.outbox.remove(0))
+        } else {
+            None
+        }
+    }
+
+    /// Number of aggregates queued in the straggler outbox.
+    pub fn outbox_len(&self) -> usize {
+        self.outbox.len()
+    }
+
     /// Number of past aggregates retained for the adaptive adversary.
     pub fn history_len(&self) -> usize {
         self.history.len()
     }
 
-    /// Snapshot of the adaptive-adversary state (history + last aggregate)
-    /// for checkpointing.
-    pub(crate) fn state_snapshot(&self) -> (Vec<Tensor>, Option<Tensor>) {
-        (self.history.clone(), self.last_aggregate.clone())
+    /// Snapshot of the evolving state (attack history, last aggregate,
+    /// straggler outbox) for checkpointing.
+    pub(crate) fn state_snapshot(&self) -> (Vec<Tensor>, Option<Tensor>, Vec<Tensor>) {
+        (self.history.clone(), self.last_aggregate.clone(), self.outbox.clone())
     }
 
-    /// Restores the adaptive-adversary state from a checkpoint.
-    pub(crate) fn restore_state(&mut self, history: Vec<Tensor>, last: Option<Tensor>) {
+    /// Restores the evolving state from a checkpoint.
+    pub(crate) fn restore_state(
+        &mut self,
+        history: Vec<Tensor>,
+        last: Option<Tensor>,
+        outbox: Vec<Tensor>,
+    ) {
         self.history = history;
         self.last_aggregate = last;
+        self.outbox = outbox;
     }
 
     /// Validates that a dissemination covers `num_clients` clients.
@@ -270,6 +297,37 @@ mod tests {
         }
         assert!(Server::check_dissemination(&d, 4).is_ok());
         assert!(Server::check_dissemination(&d, 5).is_err());
+    }
+
+    #[test]
+    fn straggler_outbox_delays_by_exactly_d_rounds() {
+        let mut s = Server::benign(0, 1);
+        // delay = 2: rounds 0 and 1 release nothing, round t ≥ 2 releases
+        // the aggregate from round t − 2.
+        assert!(s.delay_aggregate(Tensor::from_slice(&[0.0]), 2).is_none());
+        assert!(s.delay_aggregate(Tensor::from_slice(&[1.0]), 2).is_none());
+        assert_eq!(s.outbox_len(), 2);
+        let out = s.delay_aggregate(Tensor::from_slice(&[2.0]), 2).unwrap();
+        assert_eq!(out.as_slice(), &[0.0]);
+        let out = s.delay_aggregate(Tensor::from_slice(&[3.0]), 2).unwrap();
+        assert_eq!(out.as_slice(), &[1.0]);
+        assert_eq!(s.outbox_len(), 2);
+    }
+
+    #[test]
+    fn outbox_survives_snapshot_roundtrip() {
+        let mut s = Server::benign(0, 1);
+        s.delay_aggregate(Tensor::from_slice(&[7.0]), 3);
+        let (history, last, outbox) = s.state_snapshot();
+        let mut restored = Server::benign(0, 1);
+        restored.restore_state(history, last, outbox);
+        assert_eq!(restored.outbox_len(), 1);
+        // The restored pipeline continues where the original left off.
+        assert!(restored.delay_aggregate(Tensor::from_slice(&[8.0]), 3).is_none());
+        let out = restored.delay_aggregate(Tensor::from_slice(&[9.0]), 3);
+        assert!(out.is_none());
+        let out = restored.delay_aggregate(Tensor::from_slice(&[10.0]), 3).unwrap();
+        assert_eq!(out.as_slice(), &[7.0]);
     }
 
     #[test]

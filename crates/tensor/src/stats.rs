@@ -19,7 +19,7 @@ impl Tensor {
                 *a += v as f64;
             }
         }
-        Ok(Tensor::from_vec(acc.into_iter().map(|v| v as f32).collect(), &[n])?)
+        Tensor::from_vec(acc.into_iter().map(|v| v as f32).collect(), &[n])
     }
 
     /// Column means of a rank-2 tensor: `(m, n) → (n)`.
@@ -172,7 +172,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::Invalid`] if `lo > hi` or either bound is NaN.
     pub fn clamped(&self, lo: f32, hi: f32) -> Result<Tensor, TensorError> {
-        if !(lo <= hi) {
+        if lo.is_nan() || hi.is_nan() || lo > hi {
             return Err(TensorError::Invalid(format!("bad clamp bounds [{lo}, {hi}]")));
         }
         Ok(self.map(|v| v.clamp(lo, hi)))

@@ -51,8 +51,8 @@ pub use fedms_sim as sim;
 pub use fedms_tensor as tensor;
 
 pub use fedms_aggregation::{
-    AggregationRule, Bulyan, CenteredClip, CoordinateMedian, GeometricMedian, Krum, Mean,
-    MultiKrum, NormBound, TrimmedMean,
+    AdaptiveTrimmedMean, AggregationRule, Bulyan, CenteredClip, CoordinateMedian,
+    GeometricMedian, Krum, Mean, MultiKrum, NormBound, TrimmedMean,
 };
 pub use fedms_attacks::{
     AlieAttack, AttackContext, AttackKind, BackwardAttack, Benign, ClientAttack,
@@ -69,7 +69,8 @@ pub use fedms_nn::{
 };
 pub use fedms_nn::{AvgPool2d, BatchNorm2d, Dropout, MaxPool2d, Sequential, Sigmoid, Tanh};
 pub use fedms_sim::{
-    CommStats, EngineConfig, ModelSpec, RoundDiagnostics, RoundMetrics, RunResult,
-    RunSummary, SimulationEngine, Snapshot, Topology, UploadStrategy,
+    CommStats, EngineConfig, EventLog, FaultPlan, FaultSpec, ModelSpec, RoundDiagnostics,
+    RoundEvent, RoundMetrics, RunResult, RunSummary, ServerFault, SimError, SimulationEngine,
+    Snapshot, Topology, UploadStrategy,
 };
 pub use fedms_tensor::{Shape, Tensor, TensorError};

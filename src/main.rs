@@ -17,7 +17,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fedms init-config <file.json>\n  fedms run [<file.json>] [--out <file>] [--rounds <n>] [--seed <n>] [--save-checkpoint <file>] [--resume <file>]\n  fedms compare <a.json> <b.json> [...]\n  fedms attacks\n  fedms filters"
+        "usage:\n  fedms init-config <file.json>\n  fedms run [<file.json>] [--out <file>] [--rounds <n>] [--seed <n>] [--save-checkpoint <file>] [--resume <file>]\n            [--crash <n>] [--crash-round <r>] [--stragglers <n>] [--straggler-delay <r>]\n            [--downlink-omission <p>] [--duplicate-rate <p>]\n  fedms compare <a.json> <b.json> [...]\n  fedms attacks\n  fedms filters\n\nfault flags inject benign server/link faults on top of the config's\nscenario; victims are sampled deterministically from the run seed."
     );
     ExitCode::FAILURE
 }
@@ -63,6 +63,7 @@ fn main() -> ExitCode {
             for kind in [
                 FilterKind::Mean,
                 FilterKind::TrimmedMean { beta: 0.2 },
+                FilterKind::AdaptiveTrimmedMean { trim: 2 },
                 FilterKind::Median,
                 FilterKind::Krum { f: 2 },
                 FilterKind::MultiKrum { f: 2, m: 4 },
@@ -162,6 +163,12 @@ fn run(args: &[String]) -> ExitCode {
     let mut seed: Option<u64> = None;
     let mut save_checkpoint: Option<&str> = None;
     let mut resume: Option<&str> = None;
+    let mut crash: Option<usize> = None;
+    let mut crash_round: Option<usize> = None;
+    let mut stragglers: Option<usize> = None;
+    let mut straggler_delay: Option<usize> = None;
+    let mut downlink_omission: Option<f64> = None;
+    let mut duplicate_rate: Option<f64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -170,6 +177,14 @@ fn run(args: &[String]) -> ExitCode {
             "--seed" => seed = it.next().and_then(|v| v.parse().ok()),
             "--save-checkpoint" => save_checkpoint = it.next().map(String::as_str),
             "--resume" => resume = it.next().map(String::as_str),
+            "--crash" => crash = it.next().and_then(|v| v.parse().ok()),
+            "--crash-round" => crash_round = it.next().and_then(|v| v.parse().ok()),
+            "--stragglers" => stragglers = it.next().and_then(|v| v.parse().ok()),
+            "--straggler-delay" => straggler_delay = it.next().and_then(|v| v.parse().ok()),
+            "--downlink-omission" => {
+                downlink_omission = it.next().and_then(|v| v.parse().ok())
+            }
+            "--duplicate-rate" => duplicate_rate = it.next().and_then(|v| v.parse().ok()),
             other if !other.starts_with("--") && config_path.is_none() => {
                 config_path = Some(other)
             }
@@ -205,6 +220,27 @@ fn run(args: &[String]) -> ExitCode {
     if let Some(s) = seed {
         cfg.seed = s;
     }
+    if let Some(n) = crash {
+        cfg.fault.crashed_servers = n;
+    }
+    if let Some(r) = crash_round {
+        cfg.fault.crash_round = r;
+    }
+    if let Some(n) = stragglers {
+        cfg.fault.straggler_servers = n;
+        if cfg.fault.straggler_delay == 0 {
+            cfg.fault.straggler_delay = 1;
+        }
+    }
+    if let Some(d) = straggler_delay {
+        cfg.fault.straggler_delay = d;
+    }
+    if let Some(p) = downlink_omission {
+        cfg.fault.downlink_omission = p;
+    }
+    if let Some(p) = duplicate_rate {
+        cfg.fault.duplicate_rate = p;
+    }
 
     println!(
         "fed-ms run: K={} P={} B={} attack={} filter={} rounds={} seed={}",
@@ -216,6 +252,17 @@ fn run(args: &[String]) -> ExitCode {
         cfg.rounds,
         cfg.seed
     );
+    if !cfg.fault.is_trivial() {
+        println!(
+            "faults: crash={}@round {} stragglers={}(+{} rounds) omission={} duplicates={}",
+            cfg.fault.crashed_servers,
+            cfg.fault.crash_round,
+            cfg.fault.straggler_servers,
+            cfg.fault.straggler_delay,
+            cfg.fault.downlink_omission,
+            cfg.fault.duplicate_rate
+        );
+    }
     let mut engine = match cfg.build_engine() {
         Ok(e) => e,
         Err(e) => {
@@ -272,6 +319,13 @@ fn run(args: &[String]) -> ExitCode {
         result.total_comm.upload_messages,
         result.total_comm.upload_bytes
     );
+    let comm = result.total_comm;
+    if comm.dropped_uploads + comm.dropped_downloads + comm.duplicated_downloads > 0 {
+        println!(
+            "fault losses: {} uploads dropped, {} downloads dropped, {} duplicated",
+            comm.dropped_uploads, comm.dropped_downloads, comm.duplicated_downloads
+        );
+    }
     if let Some(path) = out_path {
         match serde_json::to_string_pretty(&result) {
             Ok(body) => {

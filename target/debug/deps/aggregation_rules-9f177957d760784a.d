@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aggregation_rules-9f177957d760784a.d: crates/bench/benches/aggregation_rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaggregation_rules-9f177957d760784a.rmeta: crates/bench/benches/aggregation_rules.rs Cargo.toml
+
+crates/bench/benches/aggregation_rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

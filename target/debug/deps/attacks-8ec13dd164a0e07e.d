@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attacks-8ec13dd164a0e07e.d: crates/bench/benches/attacks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattacks-8ec13dd164a0e07e.rmeta: crates/bench/benches/attacks.rs Cargo.toml
+
+crates/bench/benches/attacks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpointing-fd1efce6a4fbf7b5.d: tests/checkpointing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpointing-fd1efce6a4fbf7b5.rmeta: tests/checkpointing.rs Cargo.toml
+
+tests/checkpointing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpointing-feb8b76a00d4de4a.d: tests/checkpointing.rs
+
+/root/repo/target/debug/deps/checkpointing-feb8b76a00d4de4a: tests/checkpointing.rs
+
+tests/checkpointing.rs:

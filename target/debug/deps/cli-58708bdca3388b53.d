@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-58708bdca3388b53.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-58708bdca3388b53.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_fedms=placeholder:fedms
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

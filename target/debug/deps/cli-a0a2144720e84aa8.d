@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-a0a2144720e84aa8.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-a0a2144720e84aa8: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_fedms=/root/repo/target/debug/fedms

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comm-1b19f9dbe330d62e.d: crates/bench/src/bin/comm.rs
+
+/root/repo/target/debug/deps/comm-1b19f9dbe330d62e: crates/bench/src/bin/comm.rs
+
+crates/bench/src/bin/comm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/comm-93fb51e3c2a3f753.d: crates/bench/src/bin/comm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomm-93fb51e3c2a3f753.rmeta: crates/bench/src/bin/comm.rs Cargo.toml
+
+crates/bench/src/bin/comm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comm-dcb8c34b49d8e9df.d: crates/bench/src/bin/comm.rs
+
+/root/repo/target/debug/deps/comm-dcb8c34b49d8e9df: crates/bench/src/bin/comm.rs
+
+crates/bench/src/bin/comm.rs:

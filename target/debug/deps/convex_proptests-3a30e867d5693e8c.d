@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convex_proptests-3a30e867d5693e8c.d: crates/nn/tests/convex_proptests.rs
+
+/root/repo/target/debug/deps/convex_proptests-3a30e867d5693e8c: crates/nn/tests/convex_proptests.rs
+
+crates/nn/tests/convex_proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/convex_proptests-f4d5d25a0df240e5.d: crates/nn/tests/convex_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconvex_proptests-f4d5d25a0df240e5.rmeta: crates/nn/tests/convex_proptests.rs Cargo.toml
+
+crates/nn/tests/convex_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

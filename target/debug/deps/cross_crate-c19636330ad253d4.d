@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate-c19636330ad253d4.d: tests/cross_crate.rs
+
+/root/repo/target/debug/deps/cross_crate-c19636330ad253d4: tests/cross_crate.rs
+
+tests/cross_crate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_crate-eac71f4c7134f590.d: tests/cross_crate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_crate-eac71f4c7134f590.rmeta: tests/cross_crate.rs Cargo.toml
+
+tests/cross_crate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-789d20f198a3c339.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-789d20f198a3c339: tests/determinism.rs
+
+tests/determinism.rs:

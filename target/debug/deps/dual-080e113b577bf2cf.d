@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dual-080e113b577bf2cf.d: crates/bench/src/bin/dual.rs
+
+/root/repo/target/debug/deps/dual-080e113b577bf2cf: crates/bench/src/bin/dual.rs
+
+crates/bench/src/bin/dual.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dual-5520f58cd315d4ff.d: crates/bench/src/bin/dual.rs
+
+/root/repo/target/debug/deps/dual-5520f58cd315d4ff: crates/bench/src/bin/dual.rs
+
+crates/bench/src/bin/dual.rs:

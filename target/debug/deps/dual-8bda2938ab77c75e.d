@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dual-8bda2938ab77c75e.d: crates/bench/src/bin/dual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdual-8bda2938ab77c75e.rmeta: crates/bench/src/bin/dual.rs Cargo.toml
+
+crates/bench/src/bin/dual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

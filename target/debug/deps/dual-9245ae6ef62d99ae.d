@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dual-9245ae6ef62d99ae.d: crates/bench/src/bin/dual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdual-9245ae6ef62d99ae.rmeta: crates/bench/src/bin/dual.rs Cargo.toml
+
+crates/bench/src/bin/dual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dual_threat-7034f790cc552327.d: tests/dual_threat.rs
+
+/root/repo/target/debug/deps/dual_threat-7034f790cc552327: tests/dual_threat.rs
+
+tests/dual_threat.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dual_threat-c59d789bcff1ce4e.d: tests/dual_threat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdual_threat-c59d789bcff1ce4e.rmeta: tests/dual_threat.rs Cargo.toml
+
+tests/dual_threat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

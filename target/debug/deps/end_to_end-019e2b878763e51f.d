@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-019e2b878763e51f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-019e2b878763e51f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

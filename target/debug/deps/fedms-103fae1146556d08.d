@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedms-103fae1146556d08.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedms-103fae1146556d08.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedms-405dfbd55386a6ad.d: src/lib.rs
+
+/root/repo/target/debug/deps/fedms-405dfbd55386a6ad: src/lib.rs
+
+src/lib.rs:

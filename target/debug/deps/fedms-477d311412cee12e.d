@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedms-477d311412cee12e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedms-477d311412cee12e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedms-47e2fa3821d7726c.d: src/main.rs
+
+/root/repo/target/debug/deps/fedms-47e2fa3821d7726c: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedms-5747600b91dc9727.d: src/main.rs
+
+/root/repo/target/debug/deps/fedms-5747600b91dc9727: src/main.rs
+
+src/main.rs:

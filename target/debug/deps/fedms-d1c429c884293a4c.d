@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedms-d1c429c884293a4c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedms-d1c429c884293a4c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

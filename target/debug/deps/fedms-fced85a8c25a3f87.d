@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fedms-fced85a8c25a3f87.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfedms-fced85a8c25a3f87.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfedms-fced85a8c25a3f87.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fedms_aggregation-2a1176dd4c97d5ea.d: crates/aggregation/src/lib.rs crates/aggregation/src/bulyan.rs crates/aggregation/src/clipping.rs crates/aggregation/src/error.rs crates/aggregation/src/geomedian.rs crates/aggregation/src/krum.rs crates/aggregation/src/mean.rs crates/aggregation/src/median.rs crates/aggregation/src/normbound.rs crates/aggregation/src/rule.rs crates/aggregation/src/trimmed.rs
+
+/root/repo/target/debug/deps/fedms_aggregation-2a1176dd4c97d5ea: crates/aggregation/src/lib.rs crates/aggregation/src/bulyan.rs crates/aggregation/src/clipping.rs crates/aggregation/src/error.rs crates/aggregation/src/geomedian.rs crates/aggregation/src/krum.rs crates/aggregation/src/mean.rs crates/aggregation/src/median.rs crates/aggregation/src/normbound.rs crates/aggregation/src/rule.rs crates/aggregation/src/trimmed.rs
+
+crates/aggregation/src/lib.rs:
+crates/aggregation/src/bulyan.rs:
+crates/aggregation/src/clipping.rs:
+crates/aggregation/src/error.rs:
+crates/aggregation/src/geomedian.rs:
+crates/aggregation/src/krum.rs:
+crates/aggregation/src/mean.rs:
+crates/aggregation/src/median.rs:
+crates/aggregation/src/normbound.rs:
+crates/aggregation/src/rule.rs:
+crates/aggregation/src/trimmed.rs:

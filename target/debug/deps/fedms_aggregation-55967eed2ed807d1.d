@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/fedms_aggregation-55967eed2ed807d1.d: crates/aggregation/src/lib.rs crates/aggregation/src/bulyan.rs crates/aggregation/src/clipping.rs crates/aggregation/src/error.rs crates/aggregation/src/geomedian.rs crates/aggregation/src/krum.rs crates/aggregation/src/mean.rs crates/aggregation/src/median.rs crates/aggregation/src/normbound.rs crates/aggregation/src/rule.rs crates/aggregation/src/trimmed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedms_aggregation-55967eed2ed807d1.rmeta: crates/aggregation/src/lib.rs crates/aggregation/src/bulyan.rs crates/aggregation/src/clipping.rs crates/aggregation/src/error.rs crates/aggregation/src/geomedian.rs crates/aggregation/src/krum.rs crates/aggregation/src/mean.rs crates/aggregation/src/median.rs crates/aggregation/src/normbound.rs crates/aggregation/src/rule.rs crates/aggregation/src/trimmed.rs Cargo.toml
+
+crates/aggregation/src/lib.rs:
+crates/aggregation/src/bulyan.rs:
+crates/aggregation/src/clipping.rs:
+crates/aggregation/src/error.rs:
+crates/aggregation/src/geomedian.rs:
+crates/aggregation/src/krum.rs:
+crates/aggregation/src/mean.rs:
+crates/aggregation/src/median.rs:
+crates/aggregation/src/normbound.rs:
+crates/aggregation/src/rule.rs:
+crates/aggregation/src/trimmed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

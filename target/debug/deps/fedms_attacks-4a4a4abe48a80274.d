@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/fedms_attacks-4a4a4abe48a80274.d: crates/attacks/src/lib.rs crates/attacks/src/adaptive.rs crates/attacks/src/backward.rs crates/attacks/src/client.rs crates/attacks/src/context.rs crates/attacks/src/equivocation.rs crates/attacks/src/error.rs crates/attacks/src/kind.rs crates/attacks/src/noise.rs crates/attacks/src/random.rs crates/attacks/src/safeguard.rs crates/attacks/src/signflip.rs crates/attacks/src/stealth.rs
+
+/root/repo/target/debug/deps/libfedms_attacks-4a4a4abe48a80274.rlib: crates/attacks/src/lib.rs crates/attacks/src/adaptive.rs crates/attacks/src/backward.rs crates/attacks/src/client.rs crates/attacks/src/context.rs crates/attacks/src/equivocation.rs crates/attacks/src/error.rs crates/attacks/src/kind.rs crates/attacks/src/noise.rs crates/attacks/src/random.rs crates/attacks/src/safeguard.rs crates/attacks/src/signflip.rs crates/attacks/src/stealth.rs
+
+/root/repo/target/debug/deps/libfedms_attacks-4a4a4abe48a80274.rmeta: crates/attacks/src/lib.rs crates/attacks/src/adaptive.rs crates/attacks/src/backward.rs crates/attacks/src/client.rs crates/attacks/src/context.rs crates/attacks/src/equivocation.rs crates/attacks/src/error.rs crates/attacks/src/kind.rs crates/attacks/src/noise.rs crates/attacks/src/random.rs crates/attacks/src/safeguard.rs crates/attacks/src/signflip.rs crates/attacks/src/stealth.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/adaptive.rs:
+crates/attacks/src/backward.rs:
+crates/attacks/src/client.rs:
+crates/attacks/src/context.rs:
+crates/attacks/src/equivocation.rs:
+crates/attacks/src/error.rs:
+crates/attacks/src/kind.rs:
+crates/attacks/src/noise.rs:
+crates/attacks/src/random.rs:
+crates/attacks/src/safeguard.rs:
+crates/attacks/src/signflip.rs:
+crates/attacks/src/stealth.rs:

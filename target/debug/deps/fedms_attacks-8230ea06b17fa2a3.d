@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fedms_attacks-8230ea06b17fa2a3.d: crates/attacks/src/lib.rs crates/attacks/src/adaptive.rs crates/attacks/src/backward.rs crates/attacks/src/client.rs crates/attacks/src/context.rs crates/attacks/src/equivocation.rs crates/attacks/src/error.rs crates/attacks/src/kind.rs crates/attacks/src/noise.rs crates/attacks/src/random.rs crates/attacks/src/safeguard.rs crates/attacks/src/signflip.rs crates/attacks/src/stealth.rs
+
+/root/repo/target/debug/deps/fedms_attacks-8230ea06b17fa2a3: crates/attacks/src/lib.rs crates/attacks/src/adaptive.rs crates/attacks/src/backward.rs crates/attacks/src/client.rs crates/attacks/src/context.rs crates/attacks/src/equivocation.rs crates/attacks/src/error.rs crates/attacks/src/kind.rs crates/attacks/src/noise.rs crates/attacks/src/random.rs crates/attacks/src/safeguard.rs crates/attacks/src/signflip.rs crates/attacks/src/stealth.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/adaptive.rs:
+crates/attacks/src/backward.rs:
+crates/attacks/src/client.rs:
+crates/attacks/src/context.rs:
+crates/attacks/src/equivocation.rs:
+crates/attacks/src/error.rs:
+crates/attacks/src/kind.rs:
+crates/attacks/src/noise.rs:
+crates/attacks/src/random.rs:
+crates/attacks/src/safeguard.rs:
+crates/attacks/src/signflip.rs:
+crates/attacks/src/stealth.rs:

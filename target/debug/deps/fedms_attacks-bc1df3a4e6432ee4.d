@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/fedms_attacks-bc1df3a4e6432ee4.d: crates/attacks/src/lib.rs crates/attacks/src/adaptive.rs crates/attacks/src/backward.rs crates/attacks/src/client.rs crates/attacks/src/context.rs crates/attacks/src/equivocation.rs crates/attacks/src/error.rs crates/attacks/src/kind.rs crates/attacks/src/noise.rs crates/attacks/src/random.rs crates/attacks/src/safeguard.rs crates/attacks/src/signflip.rs crates/attacks/src/stealth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedms_attacks-bc1df3a4e6432ee4.rmeta: crates/attacks/src/lib.rs crates/attacks/src/adaptive.rs crates/attacks/src/backward.rs crates/attacks/src/client.rs crates/attacks/src/context.rs crates/attacks/src/equivocation.rs crates/attacks/src/error.rs crates/attacks/src/kind.rs crates/attacks/src/noise.rs crates/attacks/src/random.rs crates/attacks/src/safeguard.rs crates/attacks/src/signflip.rs crates/attacks/src/stealth.rs Cargo.toml
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/adaptive.rs:
+crates/attacks/src/backward.rs:
+crates/attacks/src/client.rs:
+crates/attacks/src/context.rs:
+crates/attacks/src/equivocation.rs:
+crates/attacks/src/error.rs:
+crates/attacks/src/kind.rs:
+crates/attacks/src/noise.rs:
+crates/attacks/src/random.rs:
+crates/attacks/src/safeguard.rs:
+crates/attacks/src/signflip.rs:
+crates/attacks/src/stealth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

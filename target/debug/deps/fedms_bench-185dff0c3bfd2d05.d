@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedms_bench-185dff0c3bfd2d05.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedms_bench-185dff0c3bfd2d05.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedms_bench-89e18ca7fbb39c8a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fedms_bench-89e18ca7fbb39c8a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

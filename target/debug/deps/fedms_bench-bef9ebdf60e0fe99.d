@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fedms_bench-bef9ebdf60e0fe99.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfedms_bench-bef9ebdf60e0fe99.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfedms_bench-bef9ebdf60e0fe99.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

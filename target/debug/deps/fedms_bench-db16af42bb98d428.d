@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedms_bench-db16af42bb98d428.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedms_bench-db16af42bb98d428.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedms_core-176e50ca1524be5e.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/filter.rs crates/core/src/theory.rs
+
+/root/repo/target/debug/deps/fedms_core-176e50ca1524be5e: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/filter.rs crates/core/src/theory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/filter.rs:
+crates/core/src/theory.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fedms_core-8929d05835bbd3a6.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/filter.rs crates/core/src/theory.rs
+
+/root/repo/target/debug/deps/libfedms_core-8929d05835bbd3a6.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/filter.rs crates/core/src/theory.rs
+
+/root/repo/target/debug/deps/libfedms_core-8929d05835bbd3a6.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/filter.rs crates/core/src/theory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/filter.rs:
+crates/core/src/theory.rs:

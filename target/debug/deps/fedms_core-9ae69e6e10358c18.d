@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedms_core-9ae69e6e10358c18.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/filter.rs crates/core/src/theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedms_core-9ae69e6e10358c18.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/filter.rs crates/core/src/theory.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/filter.rs:
+crates/core/src/theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

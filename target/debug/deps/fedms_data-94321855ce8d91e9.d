@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedms_data-94321855ce8d91e9.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/histogram.rs crates/data/src/partition.rs crates/data/src/sampler.rs crates/data/src/sensor.rs crates/data/src/synth.rs
+
+/root/repo/target/debug/deps/fedms_data-94321855ce8d91e9: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/histogram.rs crates/data/src/partition.rs crates/data/src/sampler.rs crates/data/src/sensor.rs crates/data/src/synth.rs
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/dataset.rs:
+crates/data/src/error.rs:
+crates/data/src/histogram.rs:
+crates/data/src/partition.rs:
+crates/data/src/sampler.rs:
+crates/data/src/sensor.rs:
+crates/data/src/synth.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fedms_data-9fca4a8f51d27f10.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/histogram.rs crates/data/src/partition.rs crates/data/src/sampler.rs crates/data/src/sensor.rs crates/data/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedms_data-9fca4a8f51d27f10.rmeta: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/histogram.rs crates/data/src/partition.rs crates/data/src/sampler.rs crates/data/src/sensor.rs crates/data/src/synth.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/dataset.rs:
+crates/data/src/error.rs:
+crates/data/src/histogram.rs:
+crates/data/src/partition.rs:
+crates/data/src/sampler.rs:
+crates/data/src/sensor.rs:
+crates/data/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

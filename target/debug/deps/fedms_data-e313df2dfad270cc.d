@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fedms_data-e313df2dfad270cc.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/histogram.rs crates/data/src/partition.rs crates/data/src/sampler.rs crates/data/src/sensor.rs crates/data/src/synth.rs
+
+/root/repo/target/debug/deps/libfedms_data-e313df2dfad270cc.rlib: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/histogram.rs crates/data/src/partition.rs crates/data/src/sampler.rs crates/data/src/sensor.rs crates/data/src/synth.rs
+
+/root/repo/target/debug/deps/libfedms_data-e313df2dfad270cc.rmeta: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/histogram.rs crates/data/src/partition.rs crates/data/src/sampler.rs crates/data/src/sensor.rs crates/data/src/synth.rs
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/dataset.rs:
+crates/data/src/error.rs:
+crates/data/src/histogram.rs:
+crates/data/src/partition.rs:
+crates/data/src/sampler.rs:
+crates/data/src/sensor.rs:
+crates/data/src/synth.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/fedms_nn-410cc050e4a7cbd0.d: crates/nn/src/lib.rs crates/nn/src/convex.rs crates/nn/src/error.rs crates/nn/src/gradcheck.rs crates/nn/src/layer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/avgpool.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/maxpool.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/models.rs crates/nn/src/net.rs crates/nn/src/sgd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedms_nn-410cc050e4a7cbd0.rmeta: crates/nn/src/lib.rs crates/nn/src/convex.rs crates/nn/src/error.rs crates/nn/src/gradcheck.rs crates/nn/src/layer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/avgpool.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/maxpool.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/models.rs crates/nn/src/net.rs crates/nn/src/sgd.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/convex.rs:
+crates/nn/src/error.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/activation.rs:
+crates/nn/src/layers/avgpool.rs:
+crates/nn/src/layers/batchnorm.rs:
+crates/nn/src/layers/conv.rs:
+crates/nn/src/layers/dropout.rs:
+crates/nn/src/layers/maxpool.rs:
+crates/nn/src/layers/linear.rs:
+crates/nn/src/layers/pool.rs:
+crates/nn/src/layers/sequential.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/models.rs:
+crates/nn/src/net.rs:
+crates/nn/src/sgd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fedms_sim-4122b81b16edb7b2.d: crates/sim/src/lib.rs crates/sim/src/client.rs crates/sim/src/comm.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/events.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/model_spec.rs crates/sim/src/server.rs crates/sim/src/topology.rs crates/sim/src/upload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedms_sim-4122b81b16edb7b2.rmeta: crates/sim/src/lib.rs crates/sim/src/client.rs crates/sim/src/comm.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/events.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/model_spec.rs crates/sim/src/server.rs crates/sim/src/topology.rs crates/sim/src/upload.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/client.rs:
+crates/sim/src/comm.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/events.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/model_spec.rs:
+crates/sim/src/server.rs:
+crates/sim/src/topology.rs:
+crates/sim/src/upload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fedms_sim-c8c9dfc8fbc1473c.d: crates/sim/src/lib.rs crates/sim/src/client.rs crates/sim/src/comm.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/events.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/model_spec.rs crates/sim/src/server.rs crates/sim/src/topology.rs crates/sim/src/upload.rs
+
+/root/repo/target/debug/deps/fedms_sim-c8c9dfc8fbc1473c: crates/sim/src/lib.rs crates/sim/src/client.rs crates/sim/src/comm.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/events.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/model_spec.rs crates/sim/src/server.rs crates/sim/src/topology.rs crates/sim/src/upload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/client.rs:
+crates/sim/src/comm.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/events.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/model_spec.rs:
+crates/sim/src/server.rs:
+crates/sim/src/topology.rs:
+crates/sim/src/upload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fedms_tensor-2b721f93680a5ebd.d: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libfedms_tensor-2b721f93680a5ebd.rlib: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libfedms_tensor-2b721f93680a5ebd.rmeta: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/stats.rs:
+crates/tensor/src/tensor.rs:

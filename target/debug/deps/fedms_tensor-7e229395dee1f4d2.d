@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedms_tensor-7e229395dee1f4d2.d: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/fedms_tensor-7e229395dee1f4d2: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/stats.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-51ce8b0a626ca19a.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-51ce8b0a626ca19a: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

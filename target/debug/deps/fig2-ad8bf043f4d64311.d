@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-ad8bf043f4d64311.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-ad8bf043f4d64311: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

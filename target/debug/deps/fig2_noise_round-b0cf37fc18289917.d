@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_noise_round-b0cf37fc18289917.d: crates/bench/benches/fig2_noise_round.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_noise_round-b0cf37fc18289917.rmeta: crates/bench/benches/fig2_noise_round.rs Cargo.toml
+
+crates/bench/benches/fig2_noise_round.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

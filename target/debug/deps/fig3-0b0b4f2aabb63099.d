@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-0b0b4f2aabb63099.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-0b0b4f2aabb63099: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

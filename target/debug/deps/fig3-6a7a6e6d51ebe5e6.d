@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-6a7a6e6d51ebe5e6.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-6a7a6e6d51ebe5e6: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

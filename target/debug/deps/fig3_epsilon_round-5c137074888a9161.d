@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_epsilon_round-5c137074888a9161.d: crates/bench/benches/fig3_epsilon_round.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_epsilon_round-5c137074888a9161.rmeta: crates/bench/benches/fig3_epsilon_round.rs Cargo.toml
+
+crates/bench/benches/fig3_epsilon_round.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

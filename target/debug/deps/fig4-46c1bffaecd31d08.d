@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-46c1bffaecd31d08.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-46c1bffaecd31d08: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

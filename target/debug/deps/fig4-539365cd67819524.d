@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-539365cd67819524.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-539365cd67819524: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_partition-b12c82f1a22d171d.d: crates/bench/benches/fig4_partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_partition-b12c82f1a22d171d.rmeta: crates/bench/benches/fig4_partition.rs Cargo.toml
+
+crates/bench/benches/fig4_partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-5e7813142b40fb74.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-5e7813142b40fb74: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-b54dda51ae22b322.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-b54dda51ae22b322: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

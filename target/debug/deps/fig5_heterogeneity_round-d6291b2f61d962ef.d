@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_heterogeneity_round-d6291b2f61d962ef.d: crates/bench/benches/fig5_heterogeneity_round.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_heterogeneity_round-d6291b2f61d962ef.rmeta: crates/bench/benches/fig5_heterogeneity_round.rs Cargo.toml
+
+crates/bench/benches/fig5_heterogeneity_round.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lemma2-1dc467c191163aaa.d: crates/bench/src/bin/lemma2.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblemma2-1dc467c191163aaa.rmeta: crates/bench/src/bin/lemma2.rs Cargo.toml
+
+crates/bench/src/bin/lemma2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

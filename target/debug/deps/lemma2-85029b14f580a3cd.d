@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lemma2-85029b14f580a3cd.d: crates/bench/src/bin/lemma2.rs
+
+/root/repo/target/debug/deps/lemma2-85029b14f580a3cd: crates/bench/src/bin/lemma2.rs
+
+crates/bench/src/bin/lemma2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lemma2-d275108ac0ecac22.d: crates/bench/src/bin/lemma2.rs
+
+/root/repo/target/debug/deps/lemma2-d275108ac0ecac22: crates/bench/src/bin/lemma2.rs
+
+crates/bench/src/bin/lemma2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-090284f0efe9dd4d.d: crates/nn/tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-090284f0efe9dd4d: crates/nn/tests/pipeline.rs
+
+crates/nn/tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-28689145f990661f.d: crates/nn/tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-28689145f990661f.rmeta: crates/nn/tests/pipeline.rs Cargo.toml
+
+crates/nn/tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

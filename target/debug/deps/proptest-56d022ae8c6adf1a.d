@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-56d022ae8c6adf1a.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-56d022ae8c6adf1a.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

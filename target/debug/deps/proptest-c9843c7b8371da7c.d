@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-c9843c7b8371da7c.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c9843c7b8371da7c.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c9843c7b8371da7c.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

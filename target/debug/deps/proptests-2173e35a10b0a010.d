@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-2173e35a10b0a010.d: crates/sim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-2173e35a10b0a010.rmeta: crates/sim/tests/proptests.rs Cargo.toml
+
+crates/sim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4a49420562f040dc.d: crates/attacks/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4a49420562f040dc: crates/attacks/tests/proptests.rs
+
+crates/attacks/tests/proptests.rs:

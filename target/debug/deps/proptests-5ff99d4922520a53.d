@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5ff99d4922520a53.d: crates/aggregation/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5ff99d4922520a53: crates/aggregation/tests/proptests.rs
+
+crates/aggregation/tests/proptests.rs:

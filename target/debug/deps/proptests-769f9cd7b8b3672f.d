@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-769f9cd7b8b3672f.d: crates/tensor/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-769f9cd7b8b3672f.rmeta: crates/tensor/tests/proptests.rs Cargo.toml
+
+crates/tensor/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

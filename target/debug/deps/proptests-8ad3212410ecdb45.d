@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8ad3212410ecdb45.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8ad3212410ecdb45: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8b6a3587d4e779f8.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8b6a3587d4e779f8: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-8cd2cb534e98dde3.d: crates/attacks/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8cd2cb534e98dde3.rmeta: crates/attacks/tests/proptests.rs Cargo.toml
+
+crates/attacks/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

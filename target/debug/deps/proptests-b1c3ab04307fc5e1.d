@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b1c3ab04307fc5e1.d: crates/data/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b1c3ab04307fc5e1: crates/data/tests/proptests.rs
+
+crates/data/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-dc1557ae7e3d885d.d: crates/aggregation/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-dc1557ae7e3d885d: crates/aggregation/tests/proptests.rs
+
+crates/aggregation/tests/proptests.rs:

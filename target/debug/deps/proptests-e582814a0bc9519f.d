@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e582814a0bc9519f.d: crates/data/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e582814a0bc9519f.rmeta: crates/data/tests/proptests.rs Cargo.toml
+
+crates/data/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

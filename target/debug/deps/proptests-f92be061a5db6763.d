@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f92be061a5db6763.d: crates/aggregation/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f92be061a5db6763.rmeta: crates/aggregation/tests/proptests.rs Cargo.toml
+
+crates/aggregation/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fd30853c16653ff3.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fd30853c16653ff3: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

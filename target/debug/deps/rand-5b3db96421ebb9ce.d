@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-5b3db96421ebb9ce.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5b3db96421ebb9ce.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-0e8af4448276d35a.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-0e8af4448276d35a.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

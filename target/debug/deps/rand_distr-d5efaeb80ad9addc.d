@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-d5efaeb80ad9addc.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-d5efaeb80ad9addc.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-d5efaeb80ad9addc.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

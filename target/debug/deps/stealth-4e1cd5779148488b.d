@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stealth-4e1cd5779148488b.d: crates/bench/src/bin/stealth.rs
+
+/root/repo/target/debug/deps/stealth-4e1cd5779148488b: crates/bench/src/bin/stealth.rs
+
+crates/bench/src/bin/stealth.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stealth-8171f6c6ced5a5bc.d: crates/bench/src/bin/stealth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstealth-8171f6c6ced5a5bc.rmeta: crates/bench/src/bin/stealth.rs Cargo.toml
+
+crates/bench/src/bin/stealth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

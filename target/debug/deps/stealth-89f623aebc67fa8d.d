@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stealth-89f623aebc67fa8d.d: crates/bench/src/bin/stealth.rs
+
+/root/repo/target/debug/deps/stealth-89f623aebc67fa8d: crates/bench/src/bin/stealth.rs
+
+crates/bench/src/bin/stealth.rs:

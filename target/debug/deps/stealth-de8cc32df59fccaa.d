@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stealth-de8cc32df59fccaa.d: crates/bench/src/bin/stealth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstealth-de8cc32df59fccaa.rmeta: crates/bench/src/bin/stealth.rs Cargo.toml
+
+crates/bench/src/bin/stealth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

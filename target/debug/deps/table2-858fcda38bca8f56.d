@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-858fcda38bca8f56.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-858fcda38bca8f56: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

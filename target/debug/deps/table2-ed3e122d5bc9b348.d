@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-ed3e122d5bc9b348.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-ed3e122d5bc9b348: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tensor_ops-4b89cf047086743d.d: crates/bench/benches/tensor_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtensor_ops-4b89cf047086743d.rmeta: crates/bench/benches/tensor_ops.rs Cargo.toml
+
+crates/bench/benches/tensor_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

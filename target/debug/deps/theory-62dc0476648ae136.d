@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory-62dc0476648ae136.d: crates/bench/src/bin/theory.rs
+
+/root/repo/target/debug/deps/theory-62dc0476648ae136: crates/bench/src/bin/theory.rs
+
+crates/bench/src/bin/theory.rs:

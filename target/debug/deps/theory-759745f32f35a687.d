@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theory-759745f32f35a687.d: crates/bench/src/bin/theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheory-759745f32f35a687.rmeta: crates/bench/src/bin/theory.rs Cargo.toml
+
+crates/bench/src/bin/theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

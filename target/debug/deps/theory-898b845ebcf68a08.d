@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theory-898b845ebcf68a08.d: crates/bench/src/bin/theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheory-898b845ebcf68a08.rmeta: crates/bench/src/bin/theory.rs Cargo.toml
+
+crates/bench/src/bin/theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

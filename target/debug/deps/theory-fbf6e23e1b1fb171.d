@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory-fbf6e23e1b1fb171.d: crates/bench/src/bin/theory.rs
+
+/root/repo/target/debug/deps/theory-fbf6e23e1b1fb171: crates/bench/src/bin/theory.rs
+
+crates/bench/src/bin/theory.rs:

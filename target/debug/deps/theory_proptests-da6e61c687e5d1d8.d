@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theory_proptests-da6e61c687e5d1d8.d: crates/core/tests/theory_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheory_proptests-da6e61c687e5d1d8.rmeta: crates/core/tests/theory_proptests.rs Cargo.toml
+
+crates/core/tests/theory_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_proptests-f1659bf352fb8e5a.d: crates/core/tests/theory_proptests.rs
+
+/root/repo/target/debug/deps/theory_proptests-f1659bf352fb8e5a: crates/core/tests/theory_proptests.rs
+
+crates/core/tests/theory_proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/training_round-cf0ded0fc1fa91bc.d: crates/bench/benches/training_round.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraining_round-cf0ded0fc1fa91bc.rmeta: crates/bench/benches/training_round.rs Cargo.toml
+
+crates/bench/benches/training_round.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

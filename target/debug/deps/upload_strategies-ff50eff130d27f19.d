@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/upload_strategies-ff50eff130d27f19.d: crates/bench/benches/upload_strategies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libupload_strategies-ff50eff130d27f19.rmeta: crates/bench/benches/upload_strategies.rs Cargo.toml
+
+crates/bench/benches/upload_strategies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/worstcase-3f7a71c898d8d37b.d: crates/bench/src/bin/worstcase.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworstcase-3f7a71c898d8d37b.rmeta: crates/bench/src/bin/worstcase.rs Cargo.toml
+
+crates/bench/src/bin/worstcase.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

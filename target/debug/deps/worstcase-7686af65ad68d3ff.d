@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/worstcase-7686af65ad68d3ff.d: crates/bench/src/bin/worstcase.rs
+
+/root/repo/target/debug/deps/worstcase-7686af65ad68d3ff: crates/bench/src/bin/worstcase.rs
+
+crates/bench/src/bin/worstcase.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/worstcase-83aa7d7aa2bd5b1b.d: crates/bench/src/bin/worstcase.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworstcase-83aa7d7aa2bd5b1b.rmeta: crates/bench/src/bin/worstcase.rs Cargo.toml
+
+crates/bench/src/bin/worstcase.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

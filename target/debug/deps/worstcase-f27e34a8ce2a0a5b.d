@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/worstcase-f27e34a8ce2a0a5b.d: crates/bench/src/bin/worstcase.rs
+
+/root/repo/target/debug/deps/worstcase-f27e34a8ce2a0a5b: crates/bench/src/bin/worstcase.rs
+
+crates/bench/src/bin/worstcase.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/byzantine_gauntlet-112accfe8b54a5b3.d: examples/byzantine_gauntlet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbyzantine_gauntlet-112accfe8b54a5b3.rmeta: examples/byzantine_gauntlet.rs Cargo.toml
+
+examples/byzantine_gauntlet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

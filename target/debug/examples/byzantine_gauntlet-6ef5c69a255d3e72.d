@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/byzantine_gauntlet-6ef5c69a255d3e72.d: examples/byzantine_gauntlet.rs
+
+/root/repo/target/debug/examples/byzantine_gauntlet-6ef5c69a255d3e72: examples/byzantine_gauntlet.rs
+
+examples/byzantine_gauntlet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/communication_budget-642e893c09b0d697.d: examples/communication_budget.rs
+
+/root/repo/target/debug/examples/communication_budget-642e893c09b0d697: examples/communication_budget.rs
+
+examples/communication_budget.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/communication_budget-d6fd2cc1445090eb.d: examples/communication_budget.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcommunication_budget-d6fd2cc1445090eb.rmeta: examples/communication_budget.rs Cargo.toml
+
+examples/communication_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

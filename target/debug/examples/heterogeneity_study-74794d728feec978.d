@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heterogeneity_study-74794d728feec978.d: examples/heterogeneity_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheterogeneity_study-74794d728feec978.rmeta: examples/heterogeneity_study.rs Cargo.toml
+
+examples/heterogeneity_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneity_study-b72490f2ff46f561.d: examples/heterogeneity_study.rs
+
+/root/repo/target/debug/examples/heterogeneity_study-b72490f2ff46f561: examples/heterogeneity_study.rs
+
+examples/heterogeneity_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/industrial_iot-0e2bde813f297dc6.d: examples/industrial_iot.rs Cargo.toml
+
+/root/repo/target/debug/examples/libindustrial_iot-0e2bde813f297dc6.rmeta: examples/industrial_iot.rs Cargo.toml
+
+examples/industrial_iot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/industrial_iot-bb308819ab19d4ca.d: examples/industrial_iot.rs
+
+/root/repo/target/debug/examples/industrial_iot-bb308819ab19d4ca: examples/industrial_iot.rs
+
+examples/industrial_iot.rs:

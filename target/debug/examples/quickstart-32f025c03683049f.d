@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-32f025c03683049f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-32f025c03683049f: examples/quickstart.rs
+
+examples/quickstart.rs:

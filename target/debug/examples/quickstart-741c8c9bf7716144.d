@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-741c8c9bf7716144.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-741c8c9bf7716144.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/theory_playground-4ef302f099d5b3ac.d: examples/theory_playground.rs
+
+/root/repo/target/debug/examples/theory_playground-4ef302f099d5b3ac: examples/theory_playground.rs
+
+examples/theory_playground.rs:

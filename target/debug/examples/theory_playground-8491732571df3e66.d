@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/theory_playground-8491732571df3e66.d: examples/theory_playground.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtheory_playground-8491732571df3e66.rmeta: examples/theory_playground.rs Cargo.toml
+
+examples/theory_playground.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

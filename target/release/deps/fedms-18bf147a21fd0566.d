@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fedms-18bf147a21fd0566.d: src/lib.rs
+
+/root/repo/target/release/deps/libfedms-18bf147a21fd0566.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfedms-18bf147a21fd0566.rmeta: src/lib.rs
+
+src/lib.rs:

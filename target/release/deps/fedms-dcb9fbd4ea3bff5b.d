@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fedms-dcb9fbd4ea3bff5b.d: src/main.rs
+
+/root/repo/target/release/deps/fedms-dcb9fbd4ea3bff5b: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/fedms_aggregation-b9cd98597f11aeb6.d: crates/aggregation/src/lib.rs crates/aggregation/src/bulyan.rs crates/aggregation/src/clipping.rs crates/aggregation/src/error.rs crates/aggregation/src/geomedian.rs crates/aggregation/src/krum.rs crates/aggregation/src/mean.rs crates/aggregation/src/median.rs crates/aggregation/src/normbound.rs crates/aggregation/src/rule.rs crates/aggregation/src/trimmed.rs
+
+/root/repo/target/release/deps/libfedms_aggregation-b9cd98597f11aeb6.rlib: crates/aggregation/src/lib.rs crates/aggregation/src/bulyan.rs crates/aggregation/src/clipping.rs crates/aggregation/src/error.rs crates/aggregation/src/geomedian.rs crates/aggregation/src/krum.rs crates/aggregation/src/mean.rs crates/aggregation/src/median.rs crates/aggregation/src/normbound.rs crates/aggregation/src/rule.rs crates/aggregation/src/trimmed.rs
+
+/root/repo/target/release/deps/libfedms_aggregation-b9cd98597f11aeb6.rmeta: crates/aggregation/src/lib.rs crates/aggregation/src/bulyan.rs crates/aggregation/src/clipping.rs crates/aggregation/src/error.rs crates/aggregation/src/geomedian.rs crates/aggregation/src/krum.rs crates/aggregation/src/mean.rs crates/aggregation/src/median.rs crates/aggregation/src/normbound.rs crates/aggregation/src/rule.rs crates/aggregation/src/trimmed.rs
+
+crates/aggregation/src/lib.rs:
+crates/aggregation/src/bulyan.rs:
+crates/aggregation/src/clipping.rs:
+crates/aggregation/src/error.rs:
+crates/aggregation/src/geomedian.rs:
+crates/aggregation/src/krum.rs:
+crates/aggregation/src/mean.rs:
+crates/aggregation/src/median.rs:
+crates/aggregation/src/normbound.rs:
+crates/aggregation/src/rule.rs:
+crates/aggregation/src/trimmed.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/fedms_attacks-30011f748a59383e.d: crates/attacks/src/lib.rs crates/attacks/src/adaptive.rs crates/attacks/src/backward.rs crates/attacks/src/client.rs crates/attacks/src/context.rs crates/attacks/src/equivocation.rs crates/attacks/src/error.rs crates/attacks/src/kind.rs crates/attacks/src/noise.rs crates/attacks/src/random.rs crates/attacks/src/safeguard.rs crates/attacks/src/signflip.rs crates/attacks/src/stealth.rs
+
+/root/repo/target/release/deps/libfedms_attacks-30011f748a59383e.rlib: crates/attacks/src/lib.rs crates/attacks/src/adaptive.rs crates/attacks/src/backward.rs crates/attacks/src/client.rs crates/attacks/src/context.rs crates/attacks/src/equivocation.rs crates/attacks/src/error.rs crates/attacks/src/kind.rs crates/attacks/src/noise.rs crates/attacks/src/random.rs crates/attacks/src/safeguard.rs crates/attacks/src/signflip.rs crates/attacks/src/stealth.rs
+
+/root/repo/target/release/deps/libfedms_attacks-30011f748a59383e.rmeta: crates/attacks/src/lib.rs crates/attacks/src/adaptive.rs crates/attacks/src/backward.rs crates/attacks/src/client.rs crates/attacks/src/context.rs crates/attacks/src/equivocation.rs crates/attacks/src/error.rs crates/attacks/src/kind.rs crates/attacks/src/noise.rs crates/attacks/src/random.rs crates/attacks/src/safeguard.rs crates/attacks/src/signflip.rs crates/attacks/src/stealth.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/adaptive.rs:
+crates/attacks/src/backward.rs:
+crates/attacks/src/client.rs:
+crates/attacks/src/context.rs:
+crates/attacks/src/equivocation.rs:
+crates/attacks/src/error.rs:
+crates/attacks/src/kind.rs:
+crates/attacks/src/noise.rs:
+crates/attacks/src/random.rs:
+crates/attacks/src/safeguard.rs:
+crates/attacks/src/signflip.rs:
+crates/attacks/src/stealth.rs:

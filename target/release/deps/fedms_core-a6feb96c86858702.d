@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fedms_core-a6feb96c86858702.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/filter.rs crates/core/src/theory.rs
+
+/root/repo/target/release/deps/libfedms_core-a6feb96c86858702.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/filter.rs crates/core/src/theory.rs
+
+/root/repo/target/release/deps/libfedms_core-a6feb96c86858702.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/filter.rs crates/core/src/theory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/filter.rs:
+crates/core/src/theory.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fedms_data-47eba38a127e28fd.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/histogram.rs crates/data/src/partition.rs crates/data/src/sampler.rs crates/data/src/sensor.rs crates/data/src/synth.rs
+
+/root/repo/target/release/deps/libfedms_data-47eba38a127e28fd.rlib: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/histogram.rs crates/data/src/partition.rs crates/data/src/sampler.rs crates/data/src/sensor.rs crates/data/src/synth.rs
+
+/root/repo/target/release/deps/libfedms_data-47eba38a127e28fd.rmeta: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/histogram.rs crates/data/src/partition.rs crates/data/src/sampler.rs crates/data/src/sensor.rs crates/data/src/synth.rs
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/dataset.rs:
+crates/data/src/error.rs:
+crates/data/src/histogram.rs:
+crates/data/src/partition.rs:
+crates/data/src/sampler.rs:
+crates/data/src/sensor.rs:
+crates/data/src/synth.rs:

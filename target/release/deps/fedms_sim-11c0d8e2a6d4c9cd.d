@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/fedms_sim-11c0d8e2a6d4c9cd.d: crates/sim/src/lib.rs crates/sim/src/client.rs crates/sim/src/comm.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/events.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/model_spec.rs crates/sim/src/server.rs crates/sim/src/topology.rs crates/sim/src/upload.rs
+
+/root/repo/target/release/deps/libfedms_sim-11c0d8e2a6d4c9cd.rlib: crates/sim/src/lib.rs crates/sim/src/client.rs crates/sim/src/comm.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/events.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/model_spec.rs crates/sim/src/server.rs crates/sim/src/topology.rs crates/sim/src/upload.rs
+
+/root/repo/target/release/deps/libfedms_sim-11c0d8e2a6d4c9cd.rmeta: crates/sim/src/lib.rs crates/sim/src/client.rs crates/sim/src/comm.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/events.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/model_spec.rs crates/sim/src/server.rs crates/sim/src/topology.rs crates/sim/src/upload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/client.rs:
+crates/sim/src/comm.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/events.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/model_spec.rs:
+crates/sim/src/server.rs:
+crates/sim/src/topology.rs:
+crates/sim/src/upload.rs:

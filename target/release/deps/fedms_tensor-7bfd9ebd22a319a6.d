@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fedms_tensor-7bfd9ebd22a319a6.d: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libfedms_tensor-7bfd9ebd22a319a6.rlib: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libfedms_tensor-7bfd9ebd22a319a6.rmeta: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/stats.rs:
+crates/tensor/src/tensor.rs:

@@ -1,8 +1,10 @@
 //! Integration tests for the dual threat model (Byzantine servers AND
-//! clients) — the extension beyond the paper's server-only adversary.
+//! clients) — the extension beyond the paper's server-only adversary —
+//! plus the crash-fault combinations layered on top of it.
 
 use fedms::{
-    AttackKind, ClientAttackKind, FedMsConfig, FilterKind, SynthVisionConfig,
+    AttackKind, ClientAttackKind, CoreError, FedMsConfig, FilterKind, SimError,
+    SynthVisionConfig,
 };
 
 fn base(seed: u64) -> FedMsConfig {
@@ -101,6 +103,70 @@ fn amplify_attack_needs_robust_servers() {
     assert!(
         dual_acc + 0.05 >= naive_acc,
         "robust rule should never be much worse: {dual_acc} vs {naive_acc}"
+    );
+}
+
+#[test]
+fn crash_plus_byzantine_still_converges() {
+    // One Byzantine and one crashed server out of four: the faulty set
+    // stays below P/2, so the adaptive filter (trim = B of whatever
+    // arrives) must keep training healthy.
+    let mut cfg = base(26);
+    cfg.byzantine_count = 1;
+    cfg.attack = AttackKind::Random { lo: -10.0, hi: 10.0 };
+    cfg.filter = FilterKind::fedms_adaptive(1);
+    cfg.fault.crashed_servers = 1;
+    cfg.fault.crash_round = 3;
+    let acc = cfg.run().unwrap().final_accuracy().unwrap();
+    assert!(acc > 0.5, "crash + Byzantine below P/2 should converge, got {acc}");
+}
+
+#[test]
+fn quorum_collapse_is_a_typed_error_not_a_panic() {
+    // Two of four servers crash at round 1 while one of the survivors is
+    // Byzantine: clients see P' = 2 ≤ 2B models, which no trim count can
+    // defend. The run must fail fast with the structured quorum error.
+    let mut cfg = base(27);
+    cfg.byzantine_count = 1;
+    cfg.attack = AttackKind::Noise { std: 1.0 };
+    cfg.filter = FilterKind::fedms_adaptive(1);
+    cfg.fault.crashed_servers = 2;
+    cfg.fault.crash_round = 1;
+    match cfg.run() {
+        Err(CoreError::Sim(SimError::DegradedQuorum { round, received, needed, .. })) => {
+            assert_eq!(round, 1);
+            assert_eq!(received, 2);
+            assert_eq!(needed, 2);
+        }
+        other => panic!("expected DegradedQuorum, got {other:?}"),
+    }
+}
+
+#[test]
+fn table_ii_scale_crash_faults_cost_little_accuracy() {
+    // The issue's acceptance scenario: 10 servers, 2 Byzantine, 2 crashed.
+    // The degraded run must land within 5 accuracy points of the
+    // fault-free run at the same seed.
+    let mut baseline = base(28);
+    baseline.servers = 10;
+    baseline.byzantine_count = 2;
+    baseline.attack = AttackKind::Noise { std: 1.0 };
+    baseline.filter = FilterKind::fedms_adaptive(2);
+    let clean_acc = baseline.run().unwrap().final_accuracy().unwrap();
+
+    let mut faulted = base(28);
+    faulted.servers = 10;
+    faulted.byzantine_count = 2;
+    faulted.attack = AttackKind::Noise { std: 1.0 };
+    faulted.filter = FilterKind::fedms_adaptive(2);
+    faulted.fault.crashed_servers = 2;
+    faulted.fault.crash_round = 2;
+    let fault_acc = faulted.run().unwrap().final_accuracy().unwrap();
+
+    assert!(clean_acc > 0.5, "fault-free baseline should converge, got {clean_acc}");
+    assert!(
+        (clean_acc - fault_acc).abs() <= 0.05,
+        "2 crashes should cost at most 5 points: clean {clean_acc} vs faulted {fault_acc}"
     );
 }
 

@@ -1,0 +1,241 @@
+//! Offline stand-in for the `rand_distr` crate: the [`Distribution`] trait
+//! plus the [`Normal`], [`Uniform`] and [`Dirichlet`] distributions the
+//! Fed-MS workspace uses. Sampling is deterministic given the RNG stream
+//! (Box–Muller for normals, Marsaglia–Tsang for the gamma draws behind the
+//! Dirichlet), which preserves the simulator's bit-reproducibility.
+
+use rand::RngCore;
+
+/// Types that produce samples of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Floating-point scalars the distributions are generic over.
+pub trait Float: Copy {
+    /// Lossy conversion from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Lossless widening to `f64`.
+    fn to_f64(self) -> f64;
+}
+
+impl Float for f32 {
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Float for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+/// Error for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParameterError(&'static str);
+
+impl core::fmt::Display for ParameterError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParameterError {}
+
+/// Uniform draw in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One standard-normal draw via Box–Muller (two uniforms per sample; no
+/// cached spare, so sampling is stateless and `&self`).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1 = 1.0 - unit_f64(rng);
+    let u2 = unit_f64(rng);
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// The normal distribution `N(mean, std²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParameterError`] if `std` is negative or non-finite.
+    pub fn new(mean: F, std: F) -> Result<Self, ParameterError> {
+        let s = std.to_f64();
+        if !s.is_finite() || s < 0.0 {
+            return Err(ParameterError("std must be finite and non-negative"));
+        }
+        Ok(Normal { mean, std })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.mean.to_f64() + self.std.to_f64() * standard_normal(rng))
+    }
+}
+
+/// The uniform distribution on `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<F: Float> {
+    low: F,
+    high: F,
+}
+
+impl<F: Float> Uniform<F> {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high` (mirrors upstream `rand` 0.8).
+    pub fn new(low: F, high: F) -> Self {
+        assert!(low.to_f64() < high.to_f64(), "Uniform requires low < high");
+        Uniform { low, high }
+    }
+}
+
+impl<F: Float> Distribution<F> for Uniform<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let (lo, hi) = (self.low.to_f64(), self.high.to_f64());
+        F::from_f64(lo + (hi - lo) * unit_f64(rng))
+    }
+}
+
+/// Gamma(shape, 1) sample, Marsaglia–Tsang with the α < 1 boost.
+fn gamma_sample<R: RngCore + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    if shape < 1.0 {
+        // Boost: Gamma(α) = Gamma(α+1) · U^{1/α}.
+        let u = 1.0 - unit_f64(rng); // (0, 1]
+        return gamma_sample(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = 1.0 - unit_f64(rng);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// The symmetric Dirichlet distribution `Dir(α·1_K)` over the simplex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dirichlet {
+    alpha: f64,
+    size: usize,
+}
+
+impl Dirichlet {
+    /// Creates a symmetric Dirichlet with concentration `alpha` over `size`
+    /// components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParameterError`] unless `alpha > 0` (finite) and
+    /// `size ≥ 2`.
+    pub fn new_with_size(alpha: f64, size: usize) -> Result<Self, ParameterError> {
+        if !(alpha.is_finite() && alpha > 0.0) {
+            return Err(ParameterError("alpha must be positive and finite"));
+        }
+        if size < 2 {
+            return Err(ParameterError("Dirichlet needs at least 2 components"));
+        }
+        Ok(Dirichlet { alpha, size })
+    }
+}
+
+impl Distribution<Vec<f64>> for Dirichlet {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut draws: Vec<f64> =
+            (0..self.size).map(|_| gamma_sample(rng, self.alpha)).collect();
+        let total: f64 = draws.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            // Numerically degenerate (tiny alpha can underflow every gamma
+            // draw): fall back to a uniform simplex point.
+            return vec![1.0 / self.size as f64; self.size];
+        }
+        for d in &mut draws {
+            *d /= total;
+        }
+        draws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = Normal::new(2.0f64, 0.5).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(0.0f64, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let u = Uniform::new(-3.0f32, 5.0);
+        for _ in 0..1000 {
+            let x = u.sample(&mut rng);
+            assert!((-3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &alpha in &[0.05, 0.5, 1.0, 10.0, 1000.0] {
+            let d = Dirichlet::new_with_size(alpha, 7).unwrap();
+            let s = d.sample(&mut rng);
+            assert_eq!(s.len(), 7);
+            let total: f64 = s.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "alpha {alpha} total {total}");
+            assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        assert!(Dirichlet::new_with_size(0.0, 5).is_err());
+        assert!(Dirichlet::new_with_size(1.0, 1).is_err());
+    }
+
+    #[test]
+    fn dirichlet_concentration_effect() {
+        // Large alpha → near-uniform shares; small alpha → concentrated.
+        let mut rng = StdRng::seed_from_u64(4);
+        let tight = Dirichlet::new_with_size(1000.0, 4).unwrap().sample(&mut rng);
+        assert!(tight.iter().all(|&p| (p - 0.25).abs() < 0.1), "{tight:?}");
+        let spiky = Dirichlet::new_with_size(0.05, 4).unwrap().sample(&mut rng);
+        let max = spiky.iter().copied().fold(0.0f64, f64::max);
+        assert!(max > 0.5, "{spiky:?}");
+    }
+}

@@ -1,0 +1,529 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot download crates, so the workspace vendors a
+//! minimal serialization framework with serde's *surface* API: the
+//! [`Serialize`]/[`Deserialize`] traits, `#[derive(Serialize, Deserialize)]`
+//! (from the sibling `serde_derive` stub), and the `#[serde(default)]`
+//! field attribute.
+//!
+//! Instead of serde's visitor-based data model, everything funnels through
+//! one JSON-like [`Value`] tree; the sibling `serde_json` stub renders and
+//! parses that tree as JSON text. Enum representation matches real serde's
+//! externally-tagged default (`"Unit"`, `{"Newtype": v}`,
+//! `{"Tuple": [..]}`, `{"Struct": {..}}`), so JSON written by this stub is
+//! readable by upstream serde and vice versa for the types this workspace
+//! defines.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A JSON-like data tree — the single interchange format of this stub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integers.
+    Int(i64),
+    /// Non-negative integers (kept separate so `u64::MAX` survives).
+    UInt(u64),
+    /// `f32` payloads (kept separate so the shortest-roundtrip rendering of
+    /// an `f32` — e.g. `0.1` — is preserved instead of `0.10000000149…`).
+    F32(f32),
+    /// `f64` payloads.
+    Float(f64),
+    /// Strings.
+    String(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects with sorted keys.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+impl Value {
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable object map, if this is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            Value::F32(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Integer payload as `u64`, if non-negative integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(v) => Some(v),
+            Value::Int(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Integer payload as `i64`, if it fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.as_object().and_then(|m| m.get(key)).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        match self {
+            Value::Object(m) => m.entry(key.to_string()).or_insert(Value::Null),
+            other => panic!("cannot index non-object value {other:?} by string key"),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                let wide = v as i64;
+                if wide < 0 { Value::Int(wide) } else { Value::UInt(wide as u64) }
+            }
+        }
+    )*};
+}
+
+value_from_int!(u8, u16, u32, i8, i16, i32, i64, isize);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::UInt(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::UInt(v as u64)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::F32(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+/// Deserialization error: a human-readable path/expectation message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error from any displayable message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization to the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::custom(format!("expected bool, got {v:?}")))
+    }
+}
+
+macro_rules! serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), v)))?;
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError::custom(format!(concat!(stringify!($t), " out of range: {}"), raw))
+                })
+            }
+        }
+    )*};
+}
+
+serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::from(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), v)))?;
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError::custom(format!(concat!(stringify!($t), " out of range: {}"), raw))
+                })
+            }
+        }
+    )*};
+}
+
+serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F32(*self)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if v.is_null() {
+            return Ok(f32::NAN); // non-finite floats serialize as null
+        }
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::custom(format!("expected f32, got {v:?}")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if v.is_null() {
+            return Ok(f64::NAN);
+        }
+        v.as_f64().ok_or_else(|| DeError::custom(format!("expected f64, got {v:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::custom(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(T::from_value(v)?))
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::custom(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Vec::<T>::from_value(v)?.into())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Vec::<T>::from_value(v)?.into_iter().collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::custom(format!("expected object, got {v:?}")))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| DeError::custom(format!("expected tuple array, got {v:?}")))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected {expected}-tuple, got {} items", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42usize.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f32::from_value(&0.25f32.to_value()).unwrap(), 0.25);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(usize::from_value(&Value::String("x".into())).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u32> = None;
+        assert!(Option::<u32>::from_value(&o.to_value()).unwrap().is_none());
+        let s: BTreeSet<usize> = [3, 1, 2].into_iter().collect();
+        assert_eq!(BTreeSet::<usize>::from_value(&s.to_value()).unwrap(), s);
+        let t = (1usize, Some(2.5f32));
+        assert_eq!(
+            <(usize, Option<f32>)>::from_value(&t.to_value()).unwrap(),
+            t
+        );
+        let d: VecDeque<u8> = vec![9, 8].into();
+        assert_eq!(VecDeque::<u8>::from_value(&d.to_value()).unwrap(), d);
+    }
+
+    #[test]
+    fn value_indexing() {
+        let mut v = Value::Object(BTreeMap::new());
+        v["a"] = Value::UInt(1);
+        assert_eq!(v["a"], Value::UInt(1));
+        assert_eq!(v["missing"], Value::Null);
+        assert_eq!(v["missing"][3], Value::Null);
+    }
+}

@@ -1,0 +1,516 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` stub.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote`, which are not
+//! available offline) and emits impls of the stub's value-tree traits
+//! (`Serialize::to_value` / `Deserialize::from_value`). Supported shapes:
+//! named-field structs, tuple/newtype structs, unit structs, and enums with
+//! unit, newtype, tuple and struct variants — serialized with serde's
+//! externally-tagged enum representation so the JSON matches upstream.
+//!
+//! Field attribute support: `#[serde(default)]`. Fields whose type is
+//! syntactically `Option<..>` deserialize to `None` when the key is absent.
+//! Generic types and other `#[serde(..)]` attributes produce a
+//! `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stub `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the stub `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    has_default: bool,
+    is_option: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Ast {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(ast) => match mode {
+            Mode::Serialize => gen_serialize(&ast),
+            Mode::Deserialize => gen_deserialize(&ast),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive stub generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Scans one attribute (`#` already seen, `toks[*i]` is the bracket group).
+/// Returns `Ok(true)` if it was exactly `#[serde(default)]`.
+fn scan_attr(toks: &[TokenTree], i: &mut usize) -> Result<bool, String> {
+    let TokenTree::Group(g) = &toks[*i] else {
+        return Err("expected attribute brackets after `#`".into());
+    };
+    *i += 1;
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let is_serde = matches!(&inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return Ok(false); // doc comments and other attributes: ignore
+    }
+    if inner.len() == 2 {
+        if let TokenTree::Group(args) = &inner[1] {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            if args.len() == 1
+                && matches!(&args[0], TokenTree::Ident(id) if id.to_string() == "default")
+            {
+                return Ok(true);
+            }
+        }
+    }
+    Err(format!(
+        "vendored serde_derive only supports #[serde(default)], got #[{}]",
+        g.stream()
+    ))
+}
+
+/// Skips leading attributes, returning whether any was `#[serde(default)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> Result<bool, String> {
+    let mut has_default = false;
+    while *i + 1 < toks.len() {
+        let TokenTree::Punct(p) = &toks[*i] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        has_default |= scan_attr(toks, i)?;
+    }
+    Ok(has_default)
+}
+
+/// Skips `pub` / `pub(crate)` / `pub(in ..)` visibility.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(&toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(&toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Ast, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i)?;
+    skip_vis(&toks, &mut i);
+
+    let kind = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic types ({name})"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match &toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream())?)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Ast::Struct { name, fields })
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = &toks.get(i) else {
+                return Err("expected enum body".into());
+            };
+            Ok(Ast::Enum { name, variants: parse_variants(g.stream())? })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let has_default = skip_attrs(&toks, &mut i)?;
+        skip_vis(&toks, &mut i);
+        let name = match &toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        if !matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    ',' if depth == 0 => break,
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            ty.push_str(&toks[i].to_string());
+            i += 1;
+        }
+        i += 1; // past the comma (or off the end)
+        let ty = ty.replace(' ', "");
+        let is_option = ty.starts_with("Option<")
+            || ty.starts_with("std::option::Option<")
+            || ty.starts_with("core::option::Option<")
+            || ty.starts_with("::std::option::Option<")
+            || ty.starts_with("::core::option::Option<");
+        fields.push(Field { name, has_default, is_option });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(body: TokenStream) -> Result<usize, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut count = 0;
+    let mut depth = 0i32;
+    let mut in_field = false;
+    let mut i = 0;
+    while i < toks.len() {
+        // Field-level attributes/visibility only appear at element starts.
+        if !in_field {
+            skip_attrs(&toks, &mut i)?;
+            skip_vis(&toks, &mut i);
+            if i >= toks.len() {
+                break;
+            }
+        }
+        if let TokenTree::Punct(p) = &toks[i] {
+            match p.as_char() {
+                ',' if depth == 0 => {
+                    in_field = false;
+                    i += 1;
+                    continue;
+                }
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        if !in_field {
+            in_field = true;
+            count += 1;
+        }
+        i += 1;
+    }
+    Ok(count)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i)?;
+        let name = match &toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let fields = match &toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!("discriminants are not supported (variant {name})"));
+        }
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Emits statements that build a `BTreeMap<String, Value>` named `map_var`
+/// from named fields read through `access` (e.g. `&self.` or `` for match
+/// bindings).
+fn ser_named_fields(map_var: &str, fields: &[Field], mk_expr: impl Fn(&str) -> String) -> String {
+    let mut out = format!("let mut {map_var} = ::std::collections::BTreeMap::new();\n");
+    for f in fields {
+        let expr = mk_expr(&f.name);
+        out.push_str(&format!(
+            "{map_var}.insert(::std::string::String::from({:?}), \
+             ::serde::Serialize::to_value({expr}));\n",
+            f.name
+        ));
+    }
+    out
+}
+
+fn gen_serialize(ast: &Ast) -> String {
+    match ast {
+        Ast::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let mut b = ser_named_fields("__map", fs, |f| format!("&self.{f}"));
+                    b.push_str("::serde::Value::Object(__map)");
+                    b
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Ast::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::String(::std::string::String::from({vn:?})),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => {{\n\
+                         let mut __m = ::std::collections::BTreeMap::new();\n\
+                         __m.insert(::std::string::String::from({vn:?}), \
+                         ::serde::Serialize::to_value(__f0));\n\
+                         ::serde::Value::Object(__m)\n}}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(::std::string::String::from({vn:?}), \
+                             ::serde::Value::Array(vec![{}]));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                        let inner = ser_named_fields("__inner", fs, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n{inner}\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(::std::string::String::from({vn:?}), \
+                             ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+/// Emits a struct-literal body (`field: expr, ...`) that reads named fields
+/// out of a map expression `obj_var`.
+fn de_named_fields(type_label: &str, obj_var: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = if f.has_default {
+            "::std::default::Default::default()".to_string()
+        } else if f.is_option {
+            "::std::option::Option::None".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::custom({:?}))",
+                format!("{type_label}: missing field `{}`", f.name)
+            )
+        };
+        out.push_str(&format!(
+            "{}: match {obj_var}.get({:?}) {{\n\
+             ::std::option::Option::Some(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+             ::std::option::Option::None => {missing},\n}},\n",
+            f.name, f.name
+        ));
+    }
+    out
+}
+
+/// Emits an expression deserializing a tuple body of `n` fields from array
+/// expression `arr_var` into constructor `ctor`.
+fn de_tuple(type_label: &str, ctor: &str, arr_var: &str, n: usize) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|k| format!("::serde::Deserialize::from_value(&{arr_var}[{k}])?"))
+        .collect();
+    format!(
+        "{{\nif {arr_var}.len() != {n} {{\n\
+         return ::std::result::Result::Err(::serde::DeError::custom(format!(\n\
+         \"{type_label}: expected {n} elements, got {{}}\", {arr_var}.len())));\n}}\n\
+         ::std::result::Result::Ok({ctor}({}))\n}}",
+        items.join(", ")
+    )
+}
+
+fn gen_deserialize(ast: &Ast) -> String {
+    let body = match ast {
+        Ast::Struct { name, fields } => match fields {
+            Fields::Named(fs) => format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(format!(\"{name}: expected object, got {{:?}}\", __v)))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{}}})",
+                de_named_fields(name, "__obj", fs)
+            ),
+            Fields::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Fields::Tuple(n) => format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::custom(format!(\"{name}: expected array, got {{:?}}\", __v)))?;\n\
+                 {}",
+                de_tuple(name, name, "__arr", *n)
+            ),
+            Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        },
+        Ast::Enum { name, variants } => {
+            let unit: Vec<&Variant> =
+                variants.iter().filter(|v| matches!(v.fields, Fields::Unit)).collect();
+            let data: Vec<&Variant> =
+                variants.iter().filter(|v| !matches!(v.fields, Fields::Unit)).collect();
+
+            let mut body = String::new();
+            if !unit.is_empty() {
+                let mut arms = String::new();
+                for v in &unit {
+                    arms.push_str(&format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),\n",
+                        v.name, v.name
+                    ));
+                }
+                body.push_str(&format!(
+                    "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                     return match __s {{\n{arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"{name}: unknown variant `{{}}`\", __other))),\n}};\n}}\n"
+                ));
+            }
+            if data.is_empty() {
+                body.push_str(&format!(
+                    "::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"{name}: expected variant string, got {{:?}}\", __v)))"
+                ));
+            } else {
+                let mut arms = String::new();
+                for v in &data {
+                    let vn = &v.name;
+                    let label = format!("{name}::{vn}");
+                    match &v.fields {
+                        Fields::Tuple(1) => arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        )),
+                        Fields::Tuple(n) => arms.push_str(&format!(
+                            "{vn:?} => {{\nlet __arr = __inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::custom(\"{label}: expected array\"))?;\n{}\n}}\n",
+                            de_tuple(&label, &format!("{name}::{vn}"), "__arr", *n)
+                        )),
+                        Fields::Named(fs) => arms.push_str(&format!(
+                            "{vn:?} => {{\nlet __o = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"{label}: expected object\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{}}})\n}}\n",
+                            de_named_fields(&label, "__o", fs)
+                        )),
+                        Fields::Unit => unreachable!(),
+                    }
+                }
+                body.push_str(&format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(format!(\"{name}: expected variant, got {{:?}}\", __v)))?;\n\
+                     if __obj.len() != 1 {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"{name}: expected single-key variant object\"));\n}}\n\
+                     let (__tag, __inner) = __obj.iter().next().expect(\"len checked\");\n\
+                     match __tag.as_str() {{\n{arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"{name}: unknown variant `{{}}`\", __other))),\n}}\n"
+                ));
+            }
+            body
+        }
+    };
+    let name = match ast {
+        Ast::Struct { name, .. } | Ast::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
