@@ -48,9 +48,7 @@ impl AggregationRule for Bulyan {
         let krum_scores = crate::krum::krum_scores(models, f)?;
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
-            krum_scores[a]
-                .partial_cmp(&krum_scores[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
+            krum_scores[a].partial_cmp(&krum_scores[b]).unwrap_or(std::cmp::Ordering::Equal)
         });
         let chosen: Vec<&Tensor> = order[..select].iter().map(|&i| &models[i]).collect();
 
@@ -74,9 +72,8 @@ impl AggregationRule for Bulyan {
             let mut best_start = 0usize;
             let mut best_spread = f32::INFINITY;
             for start in 0..=(select - keep) {
-                let spread = (column[start + keep - 1] - median)
-                    .abs()
-                    .max((column[start] - median).abs());
+                let spread =
+                    (column[start + keep - 1] - median).abs().max((column[start] - median).abs());
                 if spread < best_spread {
                     best_spread = spread;
                     best_start = start;
@@ -134,9 +131,8 @@ mod tests {
 
     #[test]
     fn multi_dimensional_trims_per_coordinate() {
-        let mut models: Vec<Tensor> = (0..7)
-            .map(|i| Tensor::from_slice(&[i as f32 * 0.1, 1.0]))
-            .collect();
+        let mut models: Vec<Tensor> =
+            (0..7).map(|i| Tensor::from_slice(&[i as f32 * 0.1, 1.0])).collect();
         models[6] = Tensor::from_slice(&[0.3, 1e9]); // outlier in dim 1 only
         let out = Bulyan::new(1).aggregate(&models).unwrap();
         assert!(out.as_slice()[1] < 2.0, "dim-1 outlier must be trimmed");

@@ -68,8 +68,7 @@ impl AggregationRule for GeometricMedian {
                     *acc += w * v as f64;
                 }
             }
-            let candidate: Vec<f32> =
-                next.iter().map(|&v| (v / weight_sum) as f32).collect();
+            let candidate: Vec<f32> = next.iter().map(|&v| (v / weight_sum) as f32).collect();
             let candidate = Tensor::from_vec(candidate, current.dims())?;
             let moved = candidate.sub(&current)?.norm_l2();
             current = candidate;

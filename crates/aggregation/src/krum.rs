@@ -21,12 +21,8 @@ pub(crate) fn krum_scores(models: &[Tensor], f: usize) -> Result<Vec<f64>> {
     }
     let mut scores = Vec::with_capacity(n);
     for (i, row) in dist2.iter().enumerate() {
-        let mut ds: Vec<f64> = row
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != i)
-            .map(|(_, &d)| d)
-            .collect();
+        let mut ds: Vec<f64> =
+            row.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &d)| d).collect();
         ds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         scores.push(ds[..closest].iter().sum());
     }
@@ -118,8 +114,7 @@ impl AggregationRule for MultiKrum {
         order.sort_by(|&a, &b| {
             scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal)
         });
-        let chosen: Vec<Tensor> =
-            order[..self.select].iter().map(|&i| models[i].clone()).collect();
+        let chosen: Vec<Tensor> = order[..self.select].iter().map(|&i| models[i].clone()).collect();
         crate::Mean::new().aggregate(&chosen)
     }
 }
@@ -147,10 +142,7 @@ mod tests {
     #[test]
     fn krum_requires_enough_models() {
         let models = vec![Tensor::zeros(&[2]); 3];
-        assert!(matches!(
-            Krum::new(1).aggregate(&models),
-            Err(AggError::TooFewModels { .. })
-        ));
+        assert!(matches!(Krum::new(1).aggregate(&models), Err(AggError::TooFewModels { .. })));
         assert!(Krum::new(0).aggregate(&models).is_ok());
         assert_eq!(Krum::new(2).num_byzantine(), 2);
     }

@@ -45,8 +45,7 @@ mod tests {
 
     #[test]
     fn averages_elementwise() {
-        let models =
-            vec![Tensor::from_slice(&[1.0, 10.0]), Tensor::from_slice(&[3.0, 20.0])];
+        let models = vec![Tensor::from_slice(&[1.0, 10.0]), Tensor::from_slice(&[3.0, 20.0])];
         let m = Mean::new().aggregate(&models).unwrap();
         assert_eq!(m.as_slice(), &[2.0, 15.0]);
     }
@@ -66,9 +65,7 @@ mod tests {
     #[test]
     fn rejects_bad_input() {
         assert!(Mean::new().aggregate(&[]).is_err());
-        assert!(Mean::new()
-            .aggregate(&[Tensor::zeros(&[2]), Tensor::zeros(&[3])])
-            .is_err());
+        assert!(Mean::new().aggregate(&[Tensor::zeros(&[2]), Tensor::zeros(&[3])]).is_err());
     }
 
     #[test]

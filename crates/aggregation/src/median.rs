@@ -35,11 +35,7 @@ impl AggregationRule for CoordinateMedian {
                 column[j] = m.as_slice()[d];
             }
             column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            *o = if n % 2 == 1 {
-                column[n / 2]
-            } else {
-                0.5 * (column[n / 2 - 1] + column[n / 2])
-            };
+            *o = if n % 2 == 1 { column[n / 2] } else { 0.5 * (column[n / 2 - 1] + column[n / 2]) };
         }
         Ok(Tensor::from_vec(out, models[0].dims())?)
     }
@@ -67,9 +63,7 @@ mod tests {
 
     #[test]
     fn robust_to_minority_outliers() {
-        let out = CoordinateMedian::new()
-            .aggregate(&scalars(&[1.0, 1.0, 1.0, 1e9, -1e9]))
-            .unwrap();
+        let out = CoordinateMedian::new().aggregate(&scalars(&[1.0, 1.0, 1.0, 1e9, -1e9])).unwrap();
         assert_eq!(out.as_slice(), &[1.0]);
     }
 

@@ -48,11 +48,8 @@ impl AggregationRule for NormBound {
         let mut norms: Vec<f32> = models.iter().map(Tensor::norm_l2).collect();
         norms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let n = norms.len();
-        let median = if n % 2 == 1 {
-            norms[n / 2]
-        } else {
-            0.5 * (norms[n / 2 - 1] + norms[n / 2])
-        };
+        let median =
+            if n % 2 == 1 { norms[n / 2] } else { 0.5 * (norms[n / 2 - 1] + norms[n / 2]) };
         let cap = self.factor * median;
         let bounded: Vec<Tensor> = models
             .iter()

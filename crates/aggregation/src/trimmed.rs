@@ -229,8 +229,7 @@ mod tests {
         let out = TrimmedMean::new(0.4).unwrap().aggregate(&scalars(&[1.0, 2.0])).unwrap();
         assert_eq!(out.as_slice(), &[1.5]);
         // 0.4 · 3 → trim 1 per side, keep the median.
-        let out =
-            TrimmedMean::new(0.4).unwrap().aggregate(&scalars(&[1.0, 2.0, 9.0])).unwrap();
+        let out = TrimmedMean::new(0.4).unwrap().aggregate(&scalars(&[1.0, 2.0, 9.0])).unwrap();
         assert_eq!(out.as_slice(), &[2.0]);
     }
 

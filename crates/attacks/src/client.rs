@@ -219,10 +219,7 @@ impl ClientAttack for ClientNoise {
         if self.std > 0.0 {
             // Per-(round, client) stream keeps the tampering independent of
             // the caller's RNG phase.
-            let seed = derive_seed(
-                rng_seed_of(rng),
-                &[ctx.round() as u64, ctx.client_id() as u64],
-            );
+            let seed = derive_seed(rng_seed_of(rng), &[ctx.round() as u64, ctx.client_id() as u64]);
             let mut stream = StdRng::seed_from_u64(seed);
             let noise = Tensor::randn(&mut stream, out.dims(), 0.0, self.std);
             out.add_inplace(&noise)?;
@@ -338,8 +335,7 @@ mod tests {
         let out = atk.tamper_upload(&ctx_fixture(&w, Some(&g)), &mut rng_for(0, &[])).unwrap();
         assert_eq!(out.as_slice(), &[11.0, -9.0]);
         // Without a global model the honest model passes through.
-        let fallback =
-            atk.tamper_upload(&ctx_fixture(&w, None), &mut rng_for(0, &[])).unwrap();
+        let fallback = atk.tamper_upload(&ctx_fixture(&w, None), &mut rng_for(0, &[])).unwrap();
         assert_eq!(fallback, w);
     }
 

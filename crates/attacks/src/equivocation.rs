@@ -50,10 +50,8 @@ impl<A: ServerAttack> ServerAttack for Equivocation<A> {
         client_id: usize,
         _rng: &mut StdRng,
     ) -> Result<Tensor> {
-        let seed = derive_seed(
-            self.salt,
-            &[ctx.round() as u64, ctx.server_id() as u64, client_id as u64],
-        );
+        let seed =
+            derive_seed(self.salt, &[ctx.round() as u64, ctx.server_id() as u64, client_id as u64]);
         let mut client_rng = StdRng::seed_from_u64(seed);
         self.inner.tamper(ctx, &mut client_rng)
     }

@@ -3,8 +3,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    AlieAttack, BackwardAttack, Benign, Equivocation, IpmAttack, NoiseAttack, RandomAttack,
-    Result, SafeguardAttack, ServerAttack, SignFlipAttack, ZeroAttack,
+    AlieAttack, BackwardAttack, Benign, Equivocation, IpmAttack, NoiseAttack, RandomAttack, Result,
+    SafeguardAttack, ServerAttack, SignFlipAttack, ZeroAttack,
 };
 
 /// A serializable description of a server behaviour, turned into a live

@@ -22,9 +22,7 @@ impl SignFlipAttack {
     /// `scale`.
     pub fn new(scale: f32) -> Result<Self> {
         if !(scale.is_finite() && scale > 0.0) {
-            return Err(AttackError::BadParameter(format!(
-                "scale must be positive, got {scale}"
-            )));
+            return Err(AttackError::BadParameter(format!("scale must be positive, got {scale}")));
         }
         Ok(SignFlipAttack { scale })
     }

@@ -37,9 +37,7 @@ fn history_std(ctx: &AttackContext<'_>, window: usize) -> Option<Tensor> {
             *va += dlt * dlt / n;
         }
     }
-    Some(Tensor::from_slice(
-        &var.into_iter().map(|v| v.sqrt() as f32).collect::<Vec<_>>(),
-    ))
+    Some(Tensor::from_slice(&var.into_iter().map(|v| v.sqrt() as f32).collect::<Vec<_>>()))
 }
 
 /// ALIE-style attack: shifts every coordinate of the true aggregate by

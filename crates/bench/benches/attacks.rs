@@ -13,8 +13,7 @@ fn bench_attacks(c: &mut Criterion) {
     let d = 13_000usize;
     let mut rng = rng_for(2, &[]);
     let aggregate = Tensor::randn(&mut rng, &[d], 0.0, 0.1);
-    let history: Vec<Tensor> =
-        (0..4).map(|i| aggregate.add_scalar(i as f32 * 0.01)).collect();
+    let history: Vec<Tensor> = (0..4).map(|i| aggregate.add_scalar(i as f32 * 0.01)).collect();
     let kinds = [
         AttackKind::Benign,
         AttackKind::Noise { std: 1.0 },

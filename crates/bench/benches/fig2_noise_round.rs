@@ -27,8 +27,7 @@ fn bench_fig2_round(c: &mut Criterion) {
         ("backward", AttackKind::Backward { delay: 2 }),
     ] {
         group.bench_function(BenchmarkId::new("fedms_round", label), |b| {
-            let mut engine =
-                fig2_config(attack).build_engine().expect("engine builds");
+            let mut engine = fig2_config(attack).build_engine().expect("engine builds");
             b.iter(|| engine.step_round(false).expect("round runs"))
         });
     }

@@ -35,11 +35,7 @@ fn bench_tensor_ops(c: &mut Criterion) {
     let d = 13_000usize;
     let u = Tensor::randn(&mut rng, &[d], 0.0, 1.0);
     let v = Tensor::randn(&mut rng, &[d], 0.0, 1.0);
-    for (name, op) in [
-        ("add", 0usize),
-        ("dot", 1),
-        ("norm_l2", 2),
-    ] {
+    for (name, op) in [("add", 0usize), ("dot", 1), ("norm_l2", 2)] {
         group.bench_with_input(BenchmarkId::new(name, format!("d{d}")), &d, |b, _| {
             b.iter(|| match op {
                 0 => {

@@ -27,12 +27,9 @@ fn bench_local_training(c: &mut Criterion) {
     });
 
     group.bench_function("mobilenet_nano_e1_batch8", |b| {
-        let mut net =
-            MobileNetNano::new(MobileNetNanoConfig::default(), 1).expect("model builds");
+        let mut net = MobileNetNano::new(MobileNetNanoConfig::default(), 1).expect("model builds");
         let mut opt = Sgd::new(LrSchedule::Constant(0.05)).expect("valid lr");
-        b.iter(|| {
-            net.train_batch(black_box(&x_img), &labels_img, &mut opt).expect("step")
-        })
+        b.iter(|| net.train_batch(black_box(&x_img), &labels_img, &mut opt).expect("step"))
     });
 
     group.bench_function("mlp_evaluate_200", |b| {

@@ -1,0 +1,82 @@
+//! Criterion bench: per-round cost of the message layer.
+//!
+//! The phase pipeline routes every upload and dissemination through the
+//! [`Transport`] trait, so the transport's per-message overhead (inbox
+//! routing, fault realization, `CommStats` accounting) is on the critical
+//! path of every simulated round. Measures one full round of traffic —
+//! K uploads, P broadcasts, K downlink drains — through [`LocalTransport`]
+//! on a reliable network and under the paper's benign-fault mix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedms_sim::{
+    Broadcast, Dissemination, FaultPlan, LocalTransport, ServerFault, Transport, Upload,
+};
+use fedms_tensor::rng::rng_for;
+use fedms_tensor::Tensor;
+use std::hint::black_box;
+
+fn model(d: usize, tag: u64) -> Tensor {
+    let mut rng = rng_for(7, &[tag, d as u64]);
+    Tensor::randn(&mut rng, &[d], 0.0, 1.0)
+}
+
+/// One full round of protocol traffic through `t`.
+fn round_trip(t: &mut LocalTransport, round: usize, clients: usize, servers: usize, d: usize) {
+    t.begin_round(round, d);
+    for k in 0..clients {
+        t.send_upload(Upload { client: k, server: k % servers, model: model(d, k as u64) });
+    }
+    for s in 0..servers {
+        let inbox = t.take_inbox(s);
+        let agg = inbox.into_iter().next().unwrap_or_else(|| model(d, 1000 + s as u64));
+        if let (_, Some(m)) = t.release_aggregate(s, agg) {
+            t.broadcast(Broadcast { server: s, model: Dissemination::Broadcast(m) })
+                .expect("broadcast covers all clients");
+        }
+    }
+    for k in 0..clients {
+        black_box(t.drain_deliveries(k));
+    }
+    black_box(t.take_comm());
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_round");
+    group.sample_size(20);
+    let (clients, servers) = (20usize, 5usize);
+    for d in [1_000usize, 13_000] {
+        group.bench_with_input(BenchmarkId::new("reliable", format!("d{d}")), &d, |b, &d| {
+            let mut t = LocalTransport::new(7, clients, servers);
+            let mut round = 0;
+            b.iter(|| {
+                round_trip(&mut t, round, clients, servers, d);
+                round += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("faulty", format!("d{d}")), &d, |b, &d| {
+            let mut t = LocalTransport::new(7, clients, servers);
+            t.install_fault_plan(FaultPlan {
+                server_faults: vec![
+                    ServerFault::Crash { round: 5 },
+                    ServerFault::Straggler { delay: 2 },
+                    ServerFault::None,
+                    ServerFault::None,
+                    ServerFault::None,
+                ],
+                downlink_omission: 0.1,
+                duplicate_rate: 0.05,
+            })
+            .expect("plan fits the federation");
+            t.set_upload_drop_rate(0.1).expect("valid rate");
+            let mut round = 0;
+            b.iter(|| {
+                round_trip(&mut t, round, clients, servers, d);
+                round += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);

@@ -19,7 +19,9 @@
 //! Usage: `cargo run --release -p fedms-bench --bin dual`
 
 use fedms_attacks::{AttackKind, ClientAttackKind};
-use fedms_bench::{harness_defaults, print_series_table, run_averaged, save_json, seeds_from_env, Series};
+use fedms_bench::{
+    harness_defaults, print_series_table, run_averaged, save_json, seeds_from_env, Series,
+};
 use fedms_core::{FilterKind, Result};
 
 fn curve(

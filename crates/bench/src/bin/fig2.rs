@@ -13,7 +13,9 @@
 //! geometric-median filters under the Random attack.)
 
 use fedms_attacks::AttackKind;
-use fedms_bench::{harness_defaults, print_series_table, run_averaged, save_json, seeds_from_env, Series};
+use fedms_bench::{
+    harness_defaults, print_series_table, run_averaged, save_json, seeds_from_env, Series,
+};
 use fedms_core::{FilterKind, Result};
 
 fn panel(attack: AttackKind, seeds: &[u64]) -> Result<Vec<Series>> {
@@ -40,10 +42,7 @@ fn beta_sweep(seeds: &[u64]) -> Result<Vec<Series>> {
         cfg.byzantine_count = 2;
         cfg.attack = AttackKind::Random { lo: -10.0, hi: 10.0 };
         cfg.filter = FilterKind::TrimmedMean { beta };
-        out.push(Series {
-            label: format!("beta={beta}"),
-            points: run_averaged(&cfg, seeds)?,
-        });
+        out.push(Series { label: format!("beta={beta}"), points: run_averaged(&cfg, seeds)? });
     }
     Ok(out)
 }

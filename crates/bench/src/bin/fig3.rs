@@ -11,7 +11,9 @@
 //! Usage: `cargo run --release -p fedms-bench --bin fig3`
 
 use fedms_attacks::AttackKind;
-use fedms_bench::{harness_defaults, print_series_table, run_averaged, save_json, seeds_from_env, Series};
+use fedms_bench::{
+    harness_defaults, print_series_table, run_averaged, save_json, seeds_from_env, Series,
+};
 use fedms_core::{FilterKind, Result};
 
 fn panel(byzantine: usize, servers: usize, seeds: &[u64]) -> Result<Vec<Series>> {
@@ -36,9 +38,7 @@ fn main() -> Result<()> {
     println!("Figure 3: impact of the Byzantine fraction (Noise attack)");
     println!("K=50 P=10 E=3 D_a=10; seeds {seeds:?}");
     let mut all = serde_json::Map::new();
-    for (name, b) in
-        [("3a-eps0", 0usize), ("3b-eps10", 1), ("3c-eps20", 2), ("3d-eps30", 3)]
-    {
+    for (name, b) in [("3a-eps0", 0usize), ("3b-eps10", 1), ("3c-eps20", 2), ("3d-eps30", 3)] {
         let series = panel(b, 10, &seeds)?;
         print_series_table(&format!("Fig. {name} (e = {}%)", b * 10), &series);
         all.insert(name.into(), serde_json::to_value(&series).unwrap_or_default());

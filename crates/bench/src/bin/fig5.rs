@@ -10,7 +10,9 @@
 //! Usage: `cargo run --release -p fedms-bench --bin fig5`
 
 use fedms_attacks::AttackKind;
-use fedms_bench::{harness_defaults, print_series_table, run_averaged, save_json, seeds_from_env, Series};
+use fedms_bench::{
+    harness_defaults, print_series_table, run_averaged, save_json, seeds_from_env, Series,
+};
 use fedms_core::{FilterKind, Result};
 
 fn curves(filter: FilterKind, seeds: &[u64]) -> Result<Vec<Series>> {
@@ -21,10 +23,7 @@ fn curves(filter: FilterKind, seeds: &[u64]) -> Result<Vec<Series>> {
         cfg.attack = AttackKind::Noise { std: 1.0 };
         cfg.filter = filter;
         cfg.dirichlet_alpha = alpha;
-        out.push(Series {
-            label: format!("D_a={alpha}"),
-            points: run_averaged(&cfg, seeds)?,
-        });
+        out.push(Series { label: format!("D_a={alpha}"), points: run_averaged(&cfg, seeds)? });
     }
     Ok(out)
 }

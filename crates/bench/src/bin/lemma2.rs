@@ -39,8 +39,7 @@ fn main() -> Result<()> {
         let normal = Normal::new(0.0f64, sigma).expect("valid normal");
         let mut mse = 0.0f64;
         for _ in 0..trials {
-            let mut values: Vec<f32> =
-                (0..p).map(|_| normal.sample(&mut rng) as f32).collect();
+            let mut values: Vec<f32> = (0..p).map(|_| normal.sample(&mut rng) as f32).collect();
             // Worst-case adversary: push B values to +infinity-like extremes
             // (the sandwich argument shows one-sided attacks are maximal).
             for v in values.iter_mut().take(b) {

@@ -15,7 +15,9 @@
 //! Usage: `cargo run --release -p fedms-bench --bin stealth`
 
 use fedms_attacks::AttackKind;
-use fedms_bench::{harness_defaults, print_series_table, run_averaged, save_json, seeds_from_env, Series};
+use fedms_bench::{
+    harness_defaults, print_series_table, run_averaged, save_json, seeds_from_env, Series,
+};
 use fedms_core::{FilterKind, Result};
 
 fn curve(label: &str, attack: AttackKind, filter: FilterKind, seeds: &[u64]) -> Result<Series> {

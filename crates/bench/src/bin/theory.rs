@@ -82,8 +82,7 @@ fn main() -> Result<()> {
         bound_series.push((step, bound));
     }
 
-    let slope = log_log_slope(&points[points.len() / 10..points.len() / 2])
-        .unwrap_or(f64::NAN);
+    let slope = log_log_slope(&points[points.len() / 10..points.len() / 2]).unwrap_or(f64::NAN);
     println!("\nlog-log slope of measured gap (middle of run): {slope:.3} (O(1/T) => ~ -1)");
 
     println!("\nDelta decomposition (Theorem 1 error budget):");
@@ -109,10 +108,7 @@ fn main() -> Result<()> {
         c.b = b;
         println!("{:>4} {:>14.5} {:>18.1}", b, floor, c.byzantine_term());
     }
-    save_json(
-        "theory",
-        &TheoryOutput { slope, measured, bound: bound_series, delta_terms },
-    );
+    save_json("theory", &TheoryOutput { slope, measured, bound: bound_series, delta_terms });
     save_json("theory_bsweep", &sweep);
     Ok(())
 }

@@ -101,10 +101,7 @@ pub fn print_series_table(title: &str, series: &[Series]) {
     println!();
     let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
     for i in 0..rows {
-        let round = series
-            .iter()
-            .find_map(|s| s.points.get(i).map(|&(r, _)| r))
-            .unwrap_or(i);
+        let round = series.iter().find_map(|s| s.points.get(i).map(|&(r, _)| r)).unwrap_or(i);
         print!("{round:>6}");
         for s in series {
             match s.points.get(i) {

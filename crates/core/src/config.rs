@@ -4,8 +4,8 @@ use fedms_attacks::{AttackKind, ClientAttack, ClientAttackKind, ServerAttack};
 use fedms_data::{DirichletPartitioner, SynthVisionConfig};
 use fedms_nn::LrSchedule;
 use fedms_sim::{
-    EngineConfig, FaultPlan, FaultSpec, ModelSpec, RunResult, SimulationEngine, Topology,
-    UploadStrategy,
+    EngineConfig, FaultPlan, FaultSpec, LocalTransport, ModelSpec, RunResult, SimulationEngine,
+    Topology, Transport, UploadStrategy,
 };
 use fedms_tensor::rng::derive_seed;
 use serde::{Deserialize, Serialize};
@@ -216,8 +216,7 @@ impl FedMsConfig {
         let mut attacks: Vec<(usize, Box<dyn ServerAttack>)> = Vec::new();
         for id in topology.byzantine_ids() {
             let attack = if self.equivocate {
-                self.attack
-                    .build_equivocating(derive_seed(self.seed, &[0xEC, id as u64]))?
+                self.attack.build_equivocating(derive_seed(self.seed, &[0xEC, id as u64]))?
             } else {
                 self.attack.build()?
             };
@@ -247,8 +246,7 @@ impl FedMsConfig {
             parallel: self.parallel,
             eval_after_local: self.eval_after_local,
         };
-        let byz_client_ids: Vec<usize> =
-            client_attacks.iter().map(|(id, _)| *id).collect();
+        let byz_client_ids: Vec<usize> = client_attacks.iter().map(|(id, _)| *id).collect();
         let mut engine = SimulationEngine::with_adversaries(
             engine_config,
             &train,
@@ -266,13 +264,18 @@ impl FedMsConfig {
             }
         }
         engine.set_participation(self.participation)?;
-        engine.set_upload_drop_rate(self.upload_drop_rate)?;
+        // The delivery substrate is built explicitly: channel loss and the
+        // realized fault plan are transport concerns, configured before the
+        // transport is handed to the engine's phase pipeline.
+        let mut transport = LocalTransport::new(self.seed, self.clients, self.servers);
+        transport.set_upload_drop_rate(self.upload_drop_rate)?;
         if !self.fault.is_trivial() {
             // The victims are a pure function of (spec, seed): FaultPlan
             // sampling draws from its own labelled RNG stream.
             let plan = FaultPlan::sample(&self.fault, self.servers, self.seed)?;
-            engine.set_fault_plan(plan)?;
+            transport.install_fault_plan(plan)?;
         }
+        engine.set_transport(Box::new(transport));
         engine.set_record_diagnostics(self.record_diagnostics);
         Ok(engine)
     }

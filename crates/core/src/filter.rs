@@ -1,8 +1,8 @@
 //! Serializable selection of the client-side model filter `Def(·)`.
 
 use fedms_aggregation::{
-    AdaptiveTrimmedMean, AggregationRule, Bulyan, CenteredClip, CoordinateMedian,
-    GeometricMedian, Krum, Mean, MultiKrum, NormBound, TrimmedMean,
+    AdaptiveTrimmedMean, AggregationRule, Bulyan, CenteredClip, CoordinateMedian, GeometricMedian,
+    Krum, Mean, MultiKrum, NormBound, TrimmedMean,
 };
 use serde::{Deserialize, Serialize};
 

@@ -219,13 +219,7 @@ pub fn run_convex_fedms(
     };
     let mean_rule = Mean::new();
     let attacks: Vec<Option<Box<dyn ServerAttack>>> = (0..cfg.servers)
-        .map(|i| {
-            if i < cfg.byzantine {
-                cfg.attack.build().map(Some)
-            } else {
-                Ok(None)
-            }
-        })
+        .map(|i| if i < cfg.byzantine { cfg.attack.build().map(Some) } else { Ok(None) })
         .collect::<std::result::Result<_, _>>()?;
 
     let wstar = fleet.optimum();
@@ -289,10 +283,7 @@ pub fn run_convex_fedms(
         for w in &mut clients {
             *w = filtered.clone();
         }
-        points.push(GapPoint {
-            step: (round + 1) * cfg.local_epochs,
-            gap: gap_of(&clients)?,
-        });
+        points.push(GapPoint { step: (round + 1) * cfg.local_epochs, gap: gap_of(&clients)? });
     }
 
     let mut constants = constants;
@@ -316,11 +307,8 @@ pub fn sweep_byzantine(
 ) -> Result<Vec<(usize, f64)>> {
     let mut out = Vec::with_capacity(b_values.len());
     for &b in b_values {
-        let cfg = ConvexFedMsConfig {
-            byzantine: b,
-            beta: Some(b as f64 / base.servers as f64),
-            ..*base
-        };
+        let cfg =
+            ConvexFedMsConfig { byzantine: b, beta: Some(b as f64 / base.servers as f64), ..*base };
         let (points, _) = run_convex_fedms(fleet, &cfg)?;
         let tail = &points[points.len() * 3 / 4..];
         let floor = tail.iter().map(|p| p.gap).sum::<f64>() / tail.len() as f64;
@@ -486,10 +474,7 @@ mod tests {
         let (vanilla, _) = run_convex_fedms(&fleet, &vanilla_cfg).unwrap();
         let f_gap = fedms.last().unwrap().gap;
         let v_gap = vanilla.last().unwrap().gap;
-        assert!(
-            v_gap > 10.0 * f_gap,
-            "vanilla gap {v_gap} should dwarf fed-ms gap {f_gap}"
-        );
+        assert!(v_gap > 10.0 * f_gap, "vanilla gap {v_gap} should dwarf fed-ms gap {f_gap}");
     }
 
     #[test]
@@ -535,9 +520,8 @@ mod tests {
 
     #[test]
     fn log_log_slope_of_exact_power_law() {
-        let points: Vec<GapPoint> = (1..50)
-            .map(|t| GapPoint { step: t, gap: 10.0 / t as f64 })
-            .collect();
+        let points: Vec<GapPoint> =
+            (1..50).map(|t| GapPoint { step: t, gap: 10.0 / t as f64 }).collect();
         let slope = log_log_slope(&points).unwrap();
         assert!((slope + 1.0).abs() < 1e-9, "slope {slope}");
         assert!(log_log_slope(&points[..2]).is_none());

@@ -5,14 +5,14 @@ use proptest::prelude::*;
 
 fn constants_strategy() -> impl Strategy<Value = TheoremConstants> {
     (
-        0.1f64..2.0,   // mu
-        1.0f64..8.0,   // l multiplier over mu
-        0.0f64..50.0,  // g_sq
-        0.0f64..10.0,  // sigma
-        0.0f64..10.0,  // gamma_het
-        1usize..5,     // e
-        2usize..100,   // k
-        3usize..30,    // p
+        0.1f64..2.0,  // mu
+        1.0f64..8.0,  // l multiplier over mu
+        0.0f64..50.0, // g_sq
+        0.0f64..10.0, // sigma
+        0.0f64..10.0, // gamma_het
+        1usize..5,    // e
+        2usize..100,  // k
+        3usize..30,   // p
     )
         .prop_flat_map(|(mu, lmul, g_sq, sigma, gamma_het, e, k, p)| {
             (0usize..p.div_ceil(2)).prop_map(move |b| TheoremConstants {

@@ -46,14 +46,7 @@ impl Augmentation {
         Ok(())
     }
 
-    fn apply<R: Rng + ?Sized>(
-        &self,
-        image: &mut [f32],
-        c: usize,
-        h: usize,
-        w: usize,
-        rng: &mut R,
-    ) {
+    fn apply<R: Rng + ?Sized>(&self, image: &mut [f32], c: usize, h: usize, w: usize, rng: &mut R) {
         match *self {
             Augmentation::HorizontalFlip { p } => {
                 if p > 0.0 && rng.gen_bool(p) {
@@ -136,8 +129,7 @@ pub fn augment_dataset(
     for copy in 0..copies {
         for i in 0..n {
             let mut rng = rng_for(seed, &[0xA7_67, copy as u64, i as u64]);
-            let mut image =
-                dataset.samples().as_slice()[i * vol..(i + 1) * vol].to_vec();
+            let mut image = dataset.samples().as_slice()[i * vol..(i + 1) * vol].to_vec();
             for op in ops {
                 op.apply(&mut image, c, h, w, &mut rng);
             }
@@ -175,8 +167,7 @@ mod tests {
     #[test]
     fn flip_reverses_rows() {
         let d = image_dataset();
-        let out =
-            augment_dataset(&d, &[Augmentation::HorizontalFlip { p: 1.0 }], 1, 2).unwrap();
+        let out = augment_dataset(&d, &[Augmentation::HorizontalFlip { p: 1.0 }], 1, 2).unwrap();
         // Augmented copy of sample 0 starts at offset 12.
         assert_eq!(&out.samples().as_slice()[12..18], &[3.0, 2.0, 1.0, 6.0, 5.0, 4.0]);
     }
@@ -184,8 +175,7 @@ mod tests {
     #[test]
     fn zero_probability_flip_is_identity() {
         let d = image_dataset();
-        let out =
-            augment_dataset(&d, &[Augmentation::HorizontalFlip { p: 0.0 }], 1, 3).unwrap();
+        let out = augment_dataset(&d, &[Augmentation::HorizontalFlip { p: 0.0 }], 1, 3).unwrap();
         assert_eq!(&out.samples().as_slice()[12..24], d.samples().as_slice());
     }
 

@@ -127,10 +127,7 @@ impl Dataset {
     pub fn flattened(&self) -> Dataset {
         let n = self.len();
         let vol = self.sample_volume();
-        let samples = self
-            .samples
-            .reshape(&[n, vol])
-            .expect("volume is preserved by flattening");
+        let samples = self.samples.reshape(&[n, vol]).expect("volume is preserved by flattening");
         Dataset { samples, labels: self.labels.clone(), num_classes: self.num_classes }
     }
 

@@ -52,11 +52,7 @@ impl LabelHistogram {
     /// Shannon entropy of the label distribution in nats; `ln(classes)` for
     /// a uniform shard, 0 for a single-class shard.
     pub fn entropy(&self) -> f64 {
-        self.fractions()
-            .iter()
-            .filter(|&&p| p > 0.0)
-            .map(|&p| -p * p.ln())
-            .sum()
+        self.fractions().iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum()
     }
 
     /// Renders a compact bar string (one character per class, height 0–9)

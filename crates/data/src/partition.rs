@@ -114,8 +114,7 @@ impl DirichletPartitioner {
                 let donor = (0..num_clients)
                     .max_by_key(|&j| shards[j].len())
                     .expect("at least one client exists");
-                let moved =
-                    shards[donor].pop().expect("largest shard holds at least one sample");
+                let moved = shards[donor].pop().expect("largest shard holds at least one sample");
                 shards[k].push(moved);
             }
         }
@@ -224,10 +223,7 @@ mod tests {
             &d,
             &DirichletPartitioner::new(1000.0).unwrap().partition(&d, 10, 5).unwrap(),
         );
-        assert!(
-            het > hom + 0.1,
-            "alpha 0.1 should be much more heterogeneous: {het} vs {hom}"
-        );
+        assert!(het > hom + 0.1, "alpha 0.1 should be much more heterogeneous: {het} vs {hom}");
         assert!(hom < 0.15, "alpha 1000 should be near-iid, tv {hom}");
     }
 

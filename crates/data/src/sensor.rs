@@ -134,16 +134,14 @@ impl SynthSensorConfig {
                 .map_err(|e| DataError::BadConfig(e.to_string()))?;
             for _ in 0..per_class {
                 let jitter = if self.phase_jitter > 0.0 {
-                    rng.gen_range(-self.phase_jitter..self.phase_jitter)
-                        * std::f32::consts::TAU
+                    rng.gen_range(-self.phase_jitter..self.phase_jitter) * std::f32::consts::TAU
                 } else {
                     0.0
                 };
                 for &(freq, amp, phase) in signature {
                     let mut ar = 0.0f32;
                     for t in 0..self.timesteps {
-                        let angle = std::f32::consts::TAU * freq * t as f32
-                            / self.timesteps as f32
+                        let angle = std::f32::consts::TAU * freq * t as f32 / self.timesteps as f32
                             + phase
                             + jitter;
                         if self.noise_std > 0.0 {
@@ -168,8 +166,7 @@ impl SynthSensorConfig {
             shuffled.extend_from_slice(&data[i * vol..(i + 1) * vol]);
             shuffled_labels.push(labels[i]);
         }
-        let samples =
-            Tensor::from_vec(shuffled, &[n, self.sensors, self.timesteps])?;
+        let samples = Tensor::from_vec(shuffled, &[n, self.sensors, self.timesteps])?;
         Dataset::new(samples, shuffled_labels, self.num_classes)
     }
 }
@@ -217,11 +214,8 @@ mod tests {
     fn classes_are_distinguishable_at_low_noise() {
         // Nearest-centroid on the flattened waveform should beat chance
         // comfortably when noise is low and jitter is off.
-        let cfg = SynthSensorConfig {
-            noise_std: 0.1,
-            phase_jitter: 0.0,
-            ..SynthSensorConfig::small()
-        };
+        let cfg =
+            SynthSensorConfig { noise_std: 0.1, phase_jitter: 0.0, ..SynthSensorConfig::small() };
         let (train, test) = cfg.generate(5).unwrap();
         let vol = cfg.sample_volume();
         // Class centroids from the training set.
@@ -229,9 +223,8 @@ mod tests {
         let counts = train.class_counts();
         for i in 0..train.len() {
             let label = train.labels()[i];
-            for (c, &v) in centroids[label]
-                .iter_mut()
-                .zip(&train.samples().as_slice()[i * vol..(i + 1) * vol])
+            for (c, &v) in
+                centroids[label].iter_mut().zip(&train.samples().as_slice()[i * vol..(i + 1) * vol])
             {
                 *c += v / counts[label] as f32;
             }
@@ -241,10 +234,8 @@ mod tests {
             let x = &test.samples().as_slice()[i * vol..(i + 1) * vol];
             let best = (0..cfg.num_classes)
                 .min_by(|&a, &b| {
-                    let da: f32 =
-                        x.iter().zip(&centroids[a]).map(|(v, c)| (v - c) * (v - c)).sum();
-                    let db: f32 =
-                        x.iter().zip(&centroids[b]).map(|(v, c)| (v - c) * (v - c)).sum();
+                    let da: f32 = x.iter().zip(&centroids[a]).map(|(v, c)| (v - c) * (v - c)).sum();
+                    let db: f32 = x.iter().zip(&centroids[b]).map(|(v, c)| (v - c) * (v - c)).sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();

@@ -214,10 +214,8 @@ impl SynthVision {
             shuffled.extend_from_slice(&data[i * vol..(i + 1) * vol]);
             shuffled_labels.push(labels[i]);
         }
-        let samples = Tensor::from_vec(
-            shuffled,
-            &[n, config.channels, config.height, config.width],
-        )?;
+        let samples =
+            Tensor::from_vec(shuffled, &[n, config.channels, config.height, config.width])?;
         Dataset::new(samples, shuffled_labels, config.num_classes)
     }
 
@@ -312,11 +310,8 @@ mod tests {
     fn classes_are_separable_at_low_noise() {
         // Nearest-prototype classification should be near-perfect when noise
         // is far below prototype scale.
-        let cfg = SynthVisionConfig {
-            noise_std: 0.1,
-            brightness_std: 0.0,
-            ..SynthVisionConfig::small()
-        };
+        let cfg =
+            SynthVisionConfig { noise_std: 0.1, brightness_std: 0.0, ..SynthVisionConfig::small() };
         let sv = SynthVision::new(cfg, 7).unwrap();
         let test = sv.test();
         let vol = test.sample_volume();
@@ -325,8 +320,7 @@ mod tests {
             let x = &test.samples().as_slice()[i * vol..(i + 1) * vol];
             let mut best = (f32::INFINITY, 0usize);
             for (c, p) in sv.prototypes().iter().enumerate() {
-                let d: f32 =
-                    x.iter().zip(p.as_slice()).map(|(a, b)| (a - b).powi(2)).sum();
+                let d: f32 = x.iter().zip(p.as_slice()).map(|(a, b)| (a - b).powi(2)).sum();
                 if d < best.0 {
                     best = (d, c);
                 }
@@ -341,10 +335,7 @@ mod tests {
 
     #[test]
     fn classes_overlap_at_high_noise() {
-        let cfg = SynthVisionConfig {
-            noise_std: 10.0,
-            ..SynthVisionConfig::small()
-        };
+        let cfg = SynthVisionConfig { noise_std: 10.0, ..SynthVisionConfig::small() };
         let sv = SynthVision::new(cfg, 7).unwrap();
         let test = sv.test();
         let vol = test.sample_volume();
@@ -353,8 +344,7 @@ mod tests {
             let x = &test.samples().as_slice()[i * vol..(i + 1) * vol];
             let mut best = (f32::INFINITY, 0usize);
             for (c, p) in sv.prototypes().iter().enumerate() {
-                let d: f32 =
-                    x.iter().zip(p.as_slice()).map(|(a, b)| (a - b).powi(2)).sum();
+                let d: f32 = x.iter().zip(p.as_slice()).map(|(a, b)| (a - b).powi(2)).sum();
                 if d < best.0 {
                     best = (d, c);
                 }

@@ -8,8 +8,7 @@ use std::collections::HashSet;
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {
     (2usize..40, 2usize..6).prop_flat_map(|(n, classes)| {
         proptest::collection::vec(0usize..classes, n).prop_map(move |labels| {
-            Dataset::new(Tensor::zeros(&[labels.len(), 3]), labels, classes)
-                .expect("valid dataset")
+            Dataset::new(Tensor::zeros(&[labels.len(), 3]), labels, classes).expect("valid dataset")
         })
     })
 }

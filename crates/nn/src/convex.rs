@@ -248,21 +248,16 @@ mod tests {
     use super::*;
 
     fn simple() -> QuadraticObjective {
-        QuadraticObjective::new(
-            Tensor::from_slice(&[1.0, 4.0]),
-            Tensor::from_slice(&[1.0, -1.0]),
-        )
-        .unwrap()
+        QuadraticObjective::new(Tensor::from_slice(&[1.0, 4.0]), Tensor::from_slice(&[1.0, -1.0]))
+            .unwrap()
     }
 
     #[test]
     fn validates_inputs() {
         assert!(QuadraticObjective::new(Tensor::zeros(&[2]), Tensor::zeros(&[3])).is_err());
-        assert!(QuadraticObjective::new(
-            Tensor::from_slice(&[1.0, -1.0]),
-            Tensor::zeros(&[2])
-        )
-        .is_err());
+        assert!(
+            QuadraticObjective::new(Tensor::from_slice(&[1.0, -1.0]), Tensor::zeros(&[2])).is_err()
+        );
         assert!(QuadraticObjective::new(Tensor::zeros(&[0]), Tensor::zeros(&[0])).is_err());
     }
 

@@ -32,10 +32,7 @@ fn relative_error(analytic: f32, numeric: f32) -> f32 {
 /// non-differentiable kink (ReLU/ReLU6) inside the probing interval — e.g. a
 /// zero-initialised bias sitting exactly on the ReLU kink. Such coordinates
 /// are skipped rather than reported as failures.
-fn numeric_grad(
-    probe: &mut impl FnMut(f32) -> Result<f32>,
-    orig: f32,
-) -> Result<Option<f32>> {
+fn numeric_grad(probe: &mut impl FnMut(f32) -> Result<f32>, orig: f32) -> Result<Option<f32>> {
     let l0 = probe(orig)?;
     let lp = probe(orig + EPS)?;
     let lm = probe(orig - EPS)?;
@@ -83,8 +80,7 @@ pub fn check_layer(
     let out = layer.forward(&input)?;
     layer.zero_grads();
     let grad_in = layer.backward(&out)?;
-    let param_grads: Vec<Vec<f32>> =
-        layer.grads().iter().map(|g| g.as_slice().to_vec()).collect();
+    let param_grads: Vec<Vec<f32>> = layer.grads().iter().map(|g| g.as_slice().to_vec()).collect();
 
     // Parameter gradients. The index walks `layer.params()` and
     // `layer.params_mut()` at once, so an iterator can't replace it.

@@ -156,10 +156,7 @@ mod tests {
     #[test]
     fn backward_requires_forward() {
         let mut l = ReLU::new();
-        assert!(matches!(
-            l.backward(&Tensor::zeros(&[2])),
-            Err(NnError::NoForwardCache(_))
-        ));
+        assert!(matches!(l.backward(&Tensor::zeros(&[2])), Err(NnError::NoForwardCache(_))));
     }
 
     #[test]

@@ -155,7 +155,12 @@ mod tests {
 
     #[test]
     fn gradient_matches_numerical() {
-        crate::gradcheck::check_layer(Box::new(AvgPool2d::new(2).unwrap()), &[2, 2, 4, 4], 71, 1e-2)
-            .unwrap();
+        crate::gradcheck::check_layer(
+            Box::new(AvgPool2d::new(2).unwrap()),
+            &[2, 2, 4, 4],
+            71,
+            1e-2,
+        )
+        .unwrap();
     }
 }

@@ -141,8 +141,7 @@ impl Layer for BatchNorm2d {
             }
         }
 
-        let inv_std: Vec<f32> =
-            var.iter().map(|&v| 1.0 / ((v as f32 + self.eps).sqrt())).collect();
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / ((v as f32 + self.eps).sqrt())).collect();
         let mut normalized = Tensor::zeros(&[b, c, h, w]);
         let mut out = Tensor::zeros(&[b, c, h, w]);
         for bi in 0..b {

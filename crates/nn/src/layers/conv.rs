@@ -11,11 +11,9 @@ fn check_input_4d(input: &Tensor, c: usize, h: usize, w: usize) -> Result<usize>
     }
     let d = input.dims();
     if d[1] != c || d[2] != h || d[3] != w {
-        return Err(TensorError::ShapeMismatch {
-            left: d.to_vec(),
-            right: vec![d[0], c, h, w],
-        }
-        .into());
+        return Err(
+            TensorError::ShapeMismatch { left: d.to_vec(), right: vec![d[0], c, h, w] }.into()
+        );
     }
     Ok(d[0])
 }
@@ -98,9 +96,8 @@ impl Layer for Conv2d {
                 [s * self.out_channels * out_plane..(s + 1) * self.out_channels * out_plane];
             for oc in 0..self.out_channels {
                 let b = self.bias.as_slice()[oc];
-                for (d, &v) in dst[oc * out_plane..(oc + 1) * out_plane]
-                    .iter_mut()
-                    .zip(y.row(oc)?.iter())
+                for (d, &v) in
+                    dst[oc * out_plane..(oc + 1) * out_plane].iter_mut().zip(y.row(oc)?.iter())
                 {
                     *d = v + b;
                 }
@@ -115,18 +112,13 @@ impl Layer for Conv2d {
             return Err(NnError::NoForwardCache("conv2d"));
         }
         let g = self.geom;
-        let batch = check_input_4d(
-            grad_out,
-            self.out_channels,
-            g.out_h,
-            g.out_w,
-        )
-        .map_err(|_| {
-            NnError::Tensor(TensorError::ShapeMismatch {
-                left: grad_out.dims().to_vec(),
-                right: vec![self.cached_cols.len(), self.out_channels, g.out_h, g.out_w],
-            })
-        })?;
+        let batch =
+            check_input_4d(grad_out, self.out_channels, g.out_h, g.out_w).map_err(|_| {
+                NnError::Tensor(TensorError::ShapeMismatch {
+                    left: grad_out.dims().to_vec(),
+                    right: vec![self.cached_cols.len(), self.out_channels, g.out_h, g.out_w],
+                })
+            })?;
         if batch != self.cached_cols.len() {
             return Err(NnError::Tensor(TensorError::ShapeMismatch {
                 left: grad_out.dims().to_vec(),
@@ -138,8 +130,8 @@ impl Layer for Conv2d {
         let mut grad_in = Tensor::zeros(&[batch, g.in_channels, g.in_h, g.in_w]);
         for s in 0..batch {
             let go = Tensor::from_vec(
-                grad_out.as_slice()[s * self.out_channels * out_plane
-                    ..(s + 1) * self.out_channels * out_plane]
+                grad_out.as_slice()
+                    [s * self.out_channels * out_plane..(s + 1) * self.out_channels * out_plane]
                     .to_vec(),
                 &[self.out_channels, out_plane],
             )?;
@@ -153,8 +145,7 @@ impl Layer for Conv2d {
             // dCols = Wᵀ · gradOut, then scatter back to image space.
             let dcols = self.weight.matmul_transa(&go)?;
             let dimg = col2im(&dcols, &g)?;
-            grad_in.as_mut_slice()[s * vol..(s + 1) * vol]
-                .copy_from_slice(dimg.as_slice());
+            grad_in.as_mut_slice()[s * vol..(s + 1) * vol].copy_from_slice(dimg.as_slice());
         }
         Ok(grad_in)
     }
@@ -302,13 +293,9 @@ impl Layer for DepthwiseConv2d {
                         dcols[t * out_plane + j] = wv * gv;
                     }
                 }
-                let dimg = col2im(
-                    &Tensor::from_vec(dcols, &[kk, out_plane])?,
-                    &self.chan_geom,
-                )?;
+                let dimg = col2im(&Tensor::from_vec(dcols, &[kk, out_plane])?, &self.chan_geom)?;
                 let dst_off = (s * g.in_channels + c) * plane;
-                grad_in.as_mut_slice()[dst_off..dst_off + plane]
-                    .copy_from_slice(dimg.as_slice());
+                grad_in.as_mut_slice()[dst_off..dst_off + plane].copy_from_slice(dimg.as_slice());
             }
         }
         Ok(grad_in)
@@ -366,11 +353,8 @@ mod tests {
         let mut rng = rng_for(2, &[]);
         let mut l = Conv2d::new(geom(2, 2, 1, 1, 0), 1, &mut rng).unwrap();
         l.params_mut()[0].as_mut_slice().copy_from_slice(&[2.0, -1.0]);
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
-            &[1, 2, 2, 2],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
+            .unwrap();
         let y = l.forward(&x).unwrap();
         assert_eq!(y.as_slice(), &[-8.0, -16.0, -24.0, -32.0]);
     }

@@ -33,9 +33,7 @@ impl Dropout {
     /// Returns [`NnError::BadConfig`] for `p` outside `[0, 1)`.
     pub fn new(p: f32, seed: u64) -> Result<Self> {
         if !(p.is_finite() && (0.0..1.0).contains(&p)) {
-            return Err(NnError::BadConfig(format!(
-                "drop probability must be in [0, 1), got {p}"
-            )));
+            return Err(NnError::BadConfig(format!("drop probability must be in [0, 1), got {p}")));
         }
         Ok(Dropout { p, training: true, rng: rng_for(seed, &[0x44_52_4F]), mask: None })
     }
@@ -58,13 +56,17 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask = Tensor::from_fn(input.dims(), |_| {
-            if self.rng.gen::<f32>() < keep {
-                scale
-            } else {
-                0.0
-            }
-        });
+        let mask =
+            Tensor::from_fn(
+                input.dims(),
+                |_| {
+                    if self.rng.gen::<f32>() < keep {
+                        scale
+                    } else {
+                        0.0
+                    }
+                },
+            );
         let out = input.mul(&mask)?;
         self.mask = Some(mask);
         Ok(out)
@@ -147,10 +149,7 @@ mod tests {
         assert!((mean - 1.0).abs() < 0.02, "inverted dropout mean {mean}");
         // Either zero or the scale value.
         let scale = 1.0 / 0.7;
-        assert!(y
-            .as_slice()
-            .iter()
-            .all(|&v| v == 0.0 || (v - scale).abs() < 1e-6));
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - scale).abs() < 1e-6));
     }
 
     #[test]
@@ -169,9 +168,6 @@ mod tests {
     #[test]
     fn backward_before_forward_errors_in_training() {
         let mut d = Dropout::new(0.5, 4).unwrap();
-        assert!(matches!(
-            d.backward(&Tensor::ones(&[4])),
-            Err(NnError::NoForwardCache(_))
-        ));
+        assert!(matches!(d.backward(&Tensor::ones(&[4])), Err(NnError::NoForwardCache(_))));
     }
 }

@@ -83,8 +83,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let input =
-            self.cached_input.as_ref().ok_or(NnError::NoForwardCache("linear"))?;
+        let input = self.cached_input.as_ref().ok_or(NnError::NoForwardCache("linear"))?;
         // dW += gradOutᵀ · x   →  (out, batch)·(batch, in) = (out, in)
         let dw = grad_out.matmul_transa(input)?;
         self.grad_weight.add_inplace(&dw)?;
@@ -159,10 +158,7 @@ mod tests {
     fn backward_before_forward_errors() {
         let mut rng = rng_for(1, &[]);
         let mut l = Linear::new(2, 2, &mut rng).unwrap();
-        assert!(matches!(
-            l.backward(&Tensor::zeros(&[1, 2])),
-            Err(NnError::NoForwardCache(_))
-        ));
+        assert!(matches!(l.backward(&Tensor::zeros(&[1, 2])), Err(NnError::NoForwardCache(_))));
     }
 
     #[test]

@@ -155,10 +155,7 @@ mod tests {
     fn gap_rejects_bad_shapes() {
         let mut l = GlobalAvgPool::new();
         assert!(l.forward(&Tensor::zeros(&[2, 3])).is_err());
-        assert!(matches!(
-            l.backward(&Tensor::zeros(&[1, 1])),
-            Err(NnError::NoForwardCache(_))
-        ));
+        assert!(matches!(l.backward(&Tensor::zeros(&[1, 1])), Err(NnError::NoForwardCache(_))));
         l.forward(&Tensor::zeros(&[1, 2, 2, 2])).unwrap();
         assert!(l.backward(&Tensor::zeros(&[1, 3])).is_err());
     }
@@ -177,10 +174,7 @@ mod tests {
     #[test]
     fn flatten_backward_requires_forward() {
         let mut l = Flatten::new();
-        assert!(matches!(
-            l.backward(&Tensor::zeros(&[1, 4])),
-            Err(NnError::NoForwardCache(_))
-        ));
+        assert!(matches!(l.backward(&Tensor::zeros(&[1, 4])), Err(NnError::NoForwardCache(_))));
     }
 
     #[test]

@@ -67,10 +67,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOu
     }
     let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
     if labels.len() != batch {
-        return Err(NnError::BadLabels(format!(
-            "{} labels for batch of {batch}",
-            labels.len()
-        )));
+        return Err(NnError::BadLabels(format!("{} labels for batch of {batch}", labels.len())));
     }
     if batch == 0 {
         return Err(NnError::BadLabels("empty batch".into()));

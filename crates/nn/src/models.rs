@@ -5,8 +5,7 @@ use fedms_tensor::{Conv2dGeometry, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    Conv2d, DepthwiseConv2d, GlobalAvgPool, Layer, Linear, NnError, ReLU, ReLU6, Result,
-    Sequential,
+    Conv2d, DepthwiseConv2d, GlobalAvgPool, Layer, Linear, NnError, ReLU, ReLU6, Result, Sequential,
 };
 
 /// A multi-layer perceptron: `Linear → ReLU → … → Linear`.
@@ -154,9 +153,7 @@ impl Layer for InvertedResidual {
         let mut grad_in = self.body.backward(grad_out)?;
         if self.use_residual {
             // The skip path passes the output gradient straight through.
-            self.cached_input
-                .as_ref()
-                .ok_or(NnError::NoForwardCache("inverted_residual"))?;
+            self.cached_input.as_ref().ok_or(NnError::NoForwardCache("inverted_residual"))?;
             grad_in.add_inplace(grad_out)?;
         }
         Ok(grad_in)
@@ -248,8 +245,7 @@ impl MobileNetNano {
             return Err(NnError::BadConfig("block parameters must be positive".into()));
         }
         let mut rng = rng_for(seed, &[0x4D4E32]); // "MN2"
-        let stem_geom =
-            Conv2dGeometry::new(config.in_channels, config.in_h, config.in_w, 3, 1, 1)?;
+        let stem_geom = Conv2dGeometry::new(config.in_channels, config.in_h, config.in_w, 3, 1, 1)?;
         let mut seq = Sequential::new()
             .with(Conv2d::new(stem_geom, config.stem_channels, &mut rng)?)
             .with(ReLU6::new());

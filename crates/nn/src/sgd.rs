@@ -58,8 +58,7 @@ impl LrSchedule {
                 } else {
                     let progress = t as f32 / horizon as f32;
                     floor
-                        + 0.5 * (initial - floor)
-                            * (1.0 + (std::f32::consts::PI * progress).cos())
+                        + 0.5 * (initial - floor) * (1.0 + (std::f32::consts::PI * progress).cos())
                 }
             }
         }
@@ -126,9 +125,7 @@ impl Sgd {
     /// Returns [`NnError::BadConfig`] unless `0 ≤ momentum < 1`.
     pub fn with_momentum(mut self, momentum: f32) -> Result<Self> {
         if !(momentum.is_finite() && (0.0..1.0).contains(&momentum)) {
-            return Err(NnError::BadConfig(format!(
-                "momentum must be in [0, 1), got {momentum}"
-            )));
+            return Err(NnError::BadConfig(format!("momentum must be in [0, 1), got {momentum}")));
         }
         self.momentum = momentum;
         Ok(self)
@@ -205,9 +202,7 @@ impl Sgd {
         if self.momentum > 0.0 && self.velocity.len() != grads.len() {
             self.velocity = grads.iter().map(|g| vec![0.0f32; g.len()]).collect();
         }
-        for (pi, (param, grad)) in
-            model.params_mut().into_iter().zip(grads.iter()).enumerate()
-        {
+        for (pi, (param, grad)) in model.params_mut().into_iter().zip(grads.iter()).enumerate() {
             let pslice = param.as_mut_slice();
             for (ci, (p, &g)) in pslice.iter_mut().zip(grad.iter()).enumerate() {
                 let mut eff = scale * g + self.weight_decay * *p;
@@ -318,12 +313,10 @@ mod tests {
         let mut plain_model = Linear::new(1, 1, &mut rng).unwrap();
         let mut momentum_model = plain_model.clone();
         let mut plain = Sgd::new(LrSchedule::Constant(0.1)).unwrap();
-        let mut with_m =
-            Sgd::new(LrSchedule::Constant(0.1)).unwrap().with_momentum(0.9).unwrap();
+        let mut with_m = Sgd::new(LrSchedule::Constant(0.1)).unwrap().with_momentum(0.9).unwrap();
         let x = Tensor::ones(&[1, 1]);
         for _ in 0..5 {
-            for (model, opt) in
-                [(&mut plain_model, &mut plain), (&mut momentum_model, &mut with_m)]
+            for (model, opt) in [(&mut plain_model, &mut plain), (&mut momentum_model, &mut with_m)]
             {
                 model.forward(&x).unwrap();
                 model.zero_grads();
@@ -344,10 +337,7 @@ mod tests {
         let mut rng = rng_for(4, &[]);
         let mut l = Linear::new(2, 2, &mut rng).unwrap();
         let before = l.params()[0].norm_l2();
-        let mut opt = Sgd::new(LrSchedule::Constant(0.1))
-            .unwrap()
-            .with_weight_decay(0.5)
-            .unwrap();
+        let mut opt = Sgd::new(LrSchedule::Constant(0.1)).unwrap().with_weight_decay(0.5).unwrap();
         // Zero gradients: the only force is decay.
         l.zero_grads();
         for _ in 0..10 {
@@ -377,8 +367,7 @@ mod tests {
         let y = l.forward(&x).unwrap();
         l.zero_grads();
         l.backward(&y).unwrap();
-        let mut opt =
-            Sgd::new(LrSchedule::Constant(1.0)).unwrap().with_clip_norm(0.5).unwrap();
+        let mut opt = Sgd::new(LrSchedule::Constant(1.0)).unwrap().with_clip_norm(0.5).unwrap();
         opt.step(&mut l).unwrap();
         let moved: f32 = l.params()[0]
             .as_slice()

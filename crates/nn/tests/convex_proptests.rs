@@ -6,10 +6,7 @@ use fedms_tensor::Tensor;
 use proptest::prelude::*;
 
 fn objective_strategy(d: usize) -> impl Strategy<Value = QuadraticObjective> {
-    (
-        proptest::collection::vec(0.1f32..5.0, d),
-        proptest::collection::vec(-5.0f32..5.0, d),
-    )
+    (proptest::collection::vec(0.1f32..5.0, d), proptest::collection::vec(-5.0f32..5.0, d))
         .prop_map(|(a, c)| {
             QuadraticObjective::new(Tensor::from_slice(&a), Tensor::from_slice(&c))
                 .expect("valid objective")

@@ -34,10 +34,7 @@ fn cnn_trains_on_bright_vs_dark() {
         }
     }
     let mut net = tiny_cnn(3);
-    let mut opt = Sgd::new(LrSchedule::Constant(0.05))
-        .unwrap()
-        .with_momentum(0.9)
-        .unwrap();
+    let mut opt = Sgd::new(LrSchedule::Constant(0.05)).unwrap().with_momentum(0.9).unwrap();
     let first = net.train_batch(&x, &labels, &mut opt).unwrap();
     let mut last = first;
     for _ in 0..60 {
@@ -65,11 +62,9 @@ fn momentum_on_quadratic_beats_plain_sgd() {
     // Ill-conditioned quadratic via the convex module: momentum converges
     // faster at the same step size.
     use fedms_nn::convex::QuadraticObjective;
-    let o = QuadraticObjective::new(
-        Tensor::from_slice(&[10.0, 0.1]),
-        Tensor::from_slice(&[1.0, -1.0]),
-    )
-    .unwrap();
+    let o =
+        QuadraticObjective::new(Tensor::from_slice(&[10.0, 0.1]), Tensor::from_slice(&[1.0, -1.0]))
+            .unwrap();
     let run = |momentum: f32| -> f32 {
         let mut w = Tensor::zeros(&[2]);
         let mut velocity = Tensor::zeros(&[2]);
@@ -83,8 +78,5 @@ fn momentum_on_quadratic_beats_plain_sgd() {
     };
     let plain = run(0.0);
     let heavy = run(0.9);
-    assert!(
-        heavy < plain,
-        "momentum should reach a lower value: {heavy} vs plain {plain}"
-    );
+    assert!(heavy < plain, "momentum should reach a lower value: {heavy} vs plain {plain}");
 }

@@ -1,0 +1,520 @@
+//! The round-loop orchestrator: a thin driver over the phase pipeline
+//! ([`crate::phases`]) and the message layer ([`crate::transport`]).
+
+use fedms_aggregation::{AggregationRule, Mean};
+use fedms_attacks::{ClientAttack, ServerAttack};
+use fedms_data::Dataset;
+use fedms_tensor::rng::{derive_seed, rng_for};
+use fedms_tensor::Tensor;
+
+use crate::transport::{LocalTransport, Transport};
+use crate::{
+    phases, Client, EventLog, FaultPlan, Result, RoundMetrics, RunResult, Server, SimError,
+};
+
+mod config;
+mod snapshot;
+
+pub use config::EngineConfig;
+pub use snapshot::{Snapshot, SNAPSHOT_VERSION};
+
+/// A running federation.
+///
+/// Generic over the client-side model filter (`Def(·)` in the problem
+/// definition): [`fedms_aggregation::TrimmedMean`] makes this Fed-MS,
+/// [`fedms_aggregation::Mean`] makes it the Vanilla-FL baseline, and any
+/// other [`AggregationRule`] gives an ablation. Also generic over the
+/// delivery substrate: each round is executed as the phase pipeline
+/// [`phases::local_train`] → [`phases::upload`] → [`phases::aggregate`] →
+/// [`phases::disseminate`] → [`phases::filter`] over a [`Transport`]
+/// (a [`LocalTransport`] by default; swap it with
+/// [`SimulationEngine::set_transport`]).
+pub struct SimulationEngine {
+    config: EngineConfig,
+    clients: Vec<Client>,
+    servers: Vec<Server>,
+    filter: Box<dyn AggregationRule>,
+    server_rule: Box<dyn AggregationRule>,
+    client_attacks: Vec<Option<Box<dyn ClientAttack>>>,
+    participation: f64,
+    transport: Box<dyn Transport>,
+    record_diagnostics: bool,
+    event_log: Option<EventLog>,
+    initial_model: Tensor,
+    test_samples: Tensor,
+    test_labels: Vec<usize>,
+    round: usize,
+    result: RunResult,
+}
+
+impl std::fmt::Debug for SimulationEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulationEngine")
+            .field("round", &self.round)
+            .field("clients", &self.clients.len())
+            .field("servers", &self.servers.len())
+            .field("filter", &self.filter.name())
+            .field("transport", &self.transport.name())
+            .finish()
+    }
+}
+
+impl SimulationEngine {
+    /// Builds a federation.
+    ///
+    /// * `train`/`test` — the global dataset splits (image layout; the
+    ///   engine flattens them if the model wants flat input),
+    /// * `partitions` — per-client sample indices into `train` (from
+    ///   [`fedms_data::DirichletPartitioner`]),
+    /// * `filter` — the client-side defence `Def(·)`,
+    /// * `attacks` — one attack per Byzantine server id declared in the
+    ///   topology; ids must match exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] for mismatched partitions/attacks or
+    /// invalid configuration values, and propagates substrate errors.
+    pub fn new(
+        config: EngineConfig,
+        train: &Dataset,
+        test: &Dataset,
+        partitions: &[Vec<usize>],
+        filter: Box<dyn AggregationRule>,
+        attacks: Vec<(usize, Box<dyn ServerAttack>)>,
+    ) -> Result<Self> {
+        Self::with_adversaries(
+            config,
+            train,
+            test,
+            partitions,
+            filter,
+            Box::new(Mean::new()),
+            attacks,
+            Vec::new(),
+        )
+    }
+
+    /// Builds a federation with the full dual threat model: Byzantine
+    /// *servers* (as in [`SimulationEngine::new`]) **and** Byzantine
+    /// *clients* (`client_attacks`, one per malicious client id), with a
+    /// configurable server-side aggregation rule (`server_rule`; the
+    /// paper's benign servers use the plain mean, a robust rule extends
+    /// Fed-MS to the client threat the paper leaves as future work).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SimulationEngine::new`], plus
+    /// [`SimError::BadConfig`] for duplicate or out-of-range Byzantine
+    /// client ids.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_adversaries(
+        config: EngineConfig,
+        train: &Dataset,
+        test: &Dataset,
+        partitions: &[Vec<usize>],
+        filter: Box<dyn AggregationRule>,
+        server_rule: Box<dyn AggregationRule>,
+        attacks: Vec<(usize, Box<dyn ServerAttack>)>,
+        client_attacks: Vec<(usize, Box<dyn ClientAttack>)>,
+    ) -> Result<Self> {
+        config.validate()?;
+        let topo = &config.topology;
+        if partitions.len() != topo.num_clients() {
+            return Err(SimError::BadConfig(format!(
+                "{} partitions for {} clients",
+                partitions.len(),
+                topo.num_clients()
+            )));
+        }
+        {
+            let mut attack_ids: Vec<usize> = attacks.iter().map(|(id, _)| *id).collect();
+            attack_ids.sort_unstable();
+            let mut byz_ids: Vec<usize> = topo.byzantine_ids().collect();
+            byz_ids.sort_unstable();
+            if attack_ids != byz_ids {
+                return Err(SimError::BadConfig(format!(
+                    "attack ids {attack_ids:?} do not match byzantine ids {byz_ids:?}"
+                )));
+            }
+        }
+
+        // All clients start from the same w₀ (Algorithm 1 line 6).
+        let init_seed = derive_seed(config.seed, &[0x494E_4954]); // "INIT"
+        let reference = config.model.build(init_seed)?;
+        let initial_model = fedms_nn::NeuralNet::param_vector(reference.as_ref());
+
+        let flat = config.model.wants_flat_input();
+        let test_set = if flat { test.flattened() } else { test.clone() };
+        let mut clients = Vec::with_capacity(topo.num_clients());
+        for (k, part) in partitions.iter().enumerate() {
+            let shard = train.subset(part)?;
+            let shard = if flat { shard.flattened() } else { shard };
+            let model = config.model.build(init_seed)?;
+            clients.push(Client::new(
+                k,
+                model,
+                shard,
+                config.batch_size,
+                config.schedule,
+                derive_seed(config.seed, &[0x434C_4E54, k as u64]), // "CLNT"
+            )?);
+        }
+
+        let mut attack_map: std::collections::BTreeMap<usize, Box<dyn ServerAttack>> =
+            attacks.into_iter().collect();
+        let mut servers = Vec::with_capacity(topo.num_servers());
+        for i in 0..topo.num_servers() {
+            let seed = config.seed;
+            servers.push(match attack_map.remove(&i) {
+                Some(attack) => Server::byzantine(i, attack, seed),
+                None => Server::benign(i, seed),
+            });
+        }
+
+        let mut client_attack_slots: Vec<Option<Box<dyn ClientAttack>>> =
+            (0..topo.num_clients()).map(|_| None).collect();
+        for (id, attack) in client_attacks {
+            if id >= client_attack_slots.len() {
+                return Err(SimError::BadConfig(format!(
+                    "byzantine client id {id} out of range for {} clients",
+                    client_attack_slots.len()
+                )));
+            }
+            if client_attack_slots[id].is_some() {
+                return Err(SimError::BadConfig(format!("duplicate attack for client {id}")));
+            }
+            client_attack_slots[id] = Some(attack);
+        }
+
+        let transport =
+            Box::new(LocalTransport::new(config.seed, topo.num_clients(), topo.num_servers()));
+
+        Ok(SimulationEngine {
+            participation: 1.0,
+            transport,
+            record_diagnostics: false,
+            event_log: None,
+            client_attacks: client_attack_slots,
+            server_rule,
+            config,
+            clients,
+            servers,
+            filter,
+            initial_model,
+            test_samples: test_set.samples().clone(),
+            test_labels: test_set.labels().to_vec(),
+            round: 0,
+            result: RunResult::new(),
+        })
+    }
+
+    /// Ids of the Byzantine clients (empty under the paper's base model).
+    pub fn byzantine_client_ids(&self) -> Vec<usize> {
+        self.client_attacks.iter().enumerate().filter_map(|(i, a)| a.as_ref().map(|_| i)).collect()
+    }
+
+    /// Rotates the labels of one client's training shard (the data-level
+    /// side of a label-flip Byzantine client).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] for an out-of-range client id.
+    pub fn poison_client_labels(&mut self, client: usize, offset: usize) -> Result<()> {
+        let Some(c) = self.clients.get_mut(client) else {
+            return Err(SimError::BadConfig(format!(
+                "client {client} out of range for {} clients",
+                self.clients.len()
+            )));
+        };
+        c.poison_labels(offset);
+        Ok(())
+    }
+
+    /// Sets the per-round client participation fraction: each round only a
+    /// uniformly sampled `⌈fraction·K⌉` clients train and upload (classic
+    /// partial device participation; the paper's Lemma 3 machinery covers
+    /// it). Everyone still receives the dissemination and filters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] unless `0 < fraction ≤ 1`.
+    pub fn set_participation(&mut self, fraction: f64) -> Result<()> {
+        if !(fraction.is_finite() && fraction > 0.0 && fraction <= 1.0) {
+            return Err(SimError::BadConfig(format!(
+                "participation must be in (0, 1], got {fraction}"
+            )));
+        }
+        self.participation = fraction;
+        Ok(())
+    }
+
+    /// Replaces the delivery substrate the phase pipeline runs over. The
+    /// new transport starts from its own configuration — re-install any
+    /// fault plan or drop rate on it (or configure it before handing it
+    /// over).
+    pub fn set_transport(&mut self, transport: Box<dyn Transport>) {
+        self.transport = transport;
+    }
+
+    /// The active delivery substrate.
+    pub fn transport(&self) -> &dyn Transport {
+        self.transport.as_ref()
+    }
+
+    /// Sets the probability that any single client→server upload message is
+    /// lost in transit (outdoor edge links are lossy; the fallback of
+    /// re-using the previous aggregate covers servers that receive
+    /// nothing). Dropped messages are still counted as sent — the sender
+    /// pays for the attempt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] unless `0 ≤ rate < 1`.
+    pub fn set_upload_drop_rate(&mut self, rate: f64) -> Result<()> {
+        self.transport.set_upload_drop_rate(rate)
+    }
+
+    /// Installs a benign-fault schedule on the transport
+    /// (crash/straggler/omission/duplicate faults; see
+    /// [`crate::FaultPlan`]). The trivial plan restores fault-free
+    /// behaviour bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] if the plan does not fit this
+    /// topology (see [`FaultPlan::validate`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<()> {
+        self.transport.install_fault_plan(plan)
+    }
+
+    /// The active fault schedule (trivial by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.transport.fault_plan()
+    }
+
+    /// Enables the structured event log with the given retention capacity
+    /// (see [`crate::EventLog`]); pass 0 to disable recording again.
+    pub fn enable_event_log(&mut self, capacity: usize) {
+        self.event_log = if capacity == 0 { None } else { Some(EventLog::with_capacity(capacity)) };
+    }
+
+    /// The event log, if enabled.
+    pub fn event_log(&self) -> Option<&EventLog> {
+        self.event_log.as_ref()
+    }
+
+    /// Enables per-round defence diagnostics (see
+    /// [`crate::RoundDiagnostics`]). Costs a few extra vector passes per
+    /// evaluated round.
+    pub fn set_record_diagnostics(&mut self, on: bool) {
+        self.record_diagnostics = on;
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The current round (number of completed rounds).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The shared initial model `w₀`.
+    pub fn initial_model(&self) -> &Tensor {
+        &self.initial_model
+    }
+
+    /// Metrics recorded so far.
+    pub fn result(&self) -> &RunResult {
+        &self.result
+    }
+
+    /// The current flat model vector of each client.
+    pub fn client_models(&self) -> Vec<Tensor> {
+        self.clients.iter().map(Client::model_vector).collect()
+    }
+
+    /// Runs `rounds` training rounds, evaluating per the configuration.
+    /// Returns the accumulated result (clone of [`SimulationEngine::result`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any substrate error; the engine is left at the round that
+    /// failed.
+    pub fn run(&mut self, rounds: usize) -> Result<RunResult> {
+        for r in 0..rounds {
+            let evaluate = self.round.is_multiple_of(self.config.eval_every) || (r + 1 == rounds);
+            self.step_round(evaluate)?;
+        }
+        Ok(self.result.clone())
+    }
+
+    /// Executes exactly one round as the five-phase pipeline over the
+    /// transport; records metrics if `evaluate`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors. On error the round is not committed:
+    /// models, the round counter and the comm totals are untouched (the
+    /// next [`Transport::begin_round`] discards the partial round's
+    /// counters).
+    pub fn step_round(&mut self, evaluate: bool) -> Result<()> {
+        let topo = self.config.topology.clone();
+        let (num_clients, num_servers) = (topo.num_clients(), topo.num_servers());
+        self.transport.begin_round(self.round, self.initial_model.len());
+
+        // The global model each client starts this round from (context for
+        // update-amplification client attacks).
+        let start_vectors: Vec<Tensor> = self.clients.iter().map(Client::model_vector).collect();
+
+        // All engine-level randomness is derived per round from the root
+        // seed, making every round a pure function of (config, round,
+        // client/server state) — the property behind bit-exact
+        // checkpoint/resume ([`SimulationEngine::snapshot`]).
+        let round_label = self.round as u64;
+        let mut upload_rng = rng_for(self.config.seed, &[0x55_50_4C_44, round_label]); // "UPLD"
+        let mut participation_rng = rng_for(self.config.seed, &[0x50_41_52_54, round_label]); // "PART"
+        let mut client_attack_rng = rng_for(self.config.seed, &[0x43_41_54, round_label]); // "CAT"
+
+        let active =
+            phases::sample_participation(num_clients, self.participation, &mut participation_rng);
+
+        // 1. Local training (Algorithm 1 lines 8–10) — active clients only.
+        let mean_train_loss = phases::local_train(phases::TrainCtx {
+            clients: &mut self.clients,
+            active: &active,
+            round: self.round,
+            local_epochs: self.config.local_epochs,
+            parallel: self.config.parallel,
+            event_log: self.event_log.as_mut(),
+        })?;
+
+        // Accuracy of the freshly trained *local* models (the paper's
+        // metric), measured before aggregation touches them.
+        let local_accuracy = if evaluate && self.config.eval_after_local {
+            Some(self.evaluate_mean_accuracy()?)
+        } else {
+            None
+        };
+
+        // 2. Sparse upload (line 11) over the transport.
+        let assignment = self.config.upload.assign(num_clients, num_servers, &mut upload_rng)?;
+        let client_vectors = phases::upload(
+            phases::UploadCtx {
+                transport: self.transport.as_mut(),
+                clients: &self.clients,
+                client_attacks: &self.client_attacks,
+                start_vectors: &start_vectors,
+                active: &active,
+                round: self.round,
+                event_log: self.event_log.as_mut(),
+            },
+            &assignment,
+            &mut client_attack_rng,
+        )?;
+
+        // 3. Aggregation (lines 3–4): online servers aggregate their
+        // inboxes; crash/straggler silence is realized by the transport.
+        let (ready, silent_servers) = phases::aggregate(phases::AggregateCtx {
+            transport: self.transport.as_mut(),
+            servers: &mut self.servers,
+            server_rule: self.server_rule.as_ref(),
+            initial_model: &self.initial_model,
+            round: self.round,
+            event_log: self.event_log.as_mut(),
+        })?;
+
+        // 4. Dissemination (line 5), Byzantine or not.
+        phases::disseminate(
+            phases::DisseminateCtx {
+                transport: self.transport.as_mut(),
+                servers: &mut self.servers,
+                num_clients,
+                round: self.round,
+                event_log: self.event_log.as_mut(),
+            },
+            ready,
+        )?;
+
+        // 5. Client-side filtering (lines 12–13): w_{t+1,0}^k = Def(ã…),
+        // over however many models survive the faults.
+        let capture_views = self.record_diagnostics && evaluate;
+        let outcome = phases::filter(phases::FilterCtx {
+            transport: self.transport.as_mut(),
+            clients: &self.clients,
+            filter: self.filter.as_ref(),
+            num_servers,
+            byz_servers: topo.byzantine_ids().count(),
+            round: self.round,
+            event_log: self.event_log.as_mut(),
+            capture_views,
+        })?;
+
+        let diagnostics = if capture_views {
+            Some(phases::diagnostics(phases::DiagnosticsCtx {
+                views: &outcome.client0_views,
+                filtered0: &outcome.models[0],
+                client_vectors: &client_vectors,
+                start_vectors: &start_vectors,
+                active: &active,
+                silent_servers,
+            })?)
+        } else {
+            None
+        };
+
+        // Commit: install the filtered models, advance the round, absorb
+        // the transport's counters.
+        for (client, model) in self.clients.iter_mut().zip(outcome.models.iter()) {
+            client.set_model_vector(model)?;
+        }
+        self.round += 1;
+        let comm = self.transport.take_comm();
+        self.result.total_comm += comm;
+
+        // 6. Evaluation: mean test accuracy of the local models.
+        if evaluate {
+            let mean_accuracy = match local_accuracy {
+                Some(acc) => acc,
+                None => self.evaluate_mean_accuracy()?,
+            };
+            self.result.rounds.push(RoundMetrics {
+                round: self.round - 1,
+                mean_accuracy,
+                mean_train_loss: mean_train_loss as f32,
+                comm,
+                diagnostics,
+            });
+        }
+        Ok(())
+    }
+
+    /// Mean test accuracy over the configured number of **benign** clients
+    /// (Byzantine clients train on purpose-poisoned objectives; excluding
+    /// them from the quality metric is the robust-FL convention).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors; returns [`SimError::BadConfig`] if
+    /// every client is Byzantine.
+    pub fn evaluate_mean_accuracy(&mut self) -> Result<f32> {
+        let mut indices: Vec<usize> =
+            (0..self.clients.len()).filter(|&i| self.client_attacks[i].is_none()).collect();
+        if indices.is_empty() {
+            return Err(SimError::BadConfig("no benign clients to evaluate".into()));
+        }
+        if self.config.eval_clients != 0 {
+            indices.truncate(self.config.eval_clients);
+        }
+        let samples = self.test_samples.clone();
+        let labels = self.test_labels.clone();
+        let accs = phases::for_clients(&mut self.clients, &indices, self.config.parallel, |c| {
+            c.evaluate(&samples, &labels)
+        })?;
+        Ok((accs.iter().map(|&a| a as f64).sum::<f64>() / accs.len() as f64) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -39,6 +39,17 @@ pub enum SimError {
         /// The strict lower bound `2B`: safety needs `received > needed`.
         needed: usize,
     },
+    /// A checkpoint was written with a different [`crate::Snapshot`]
+    /// layout version than this build produces
+    /// ([`crate::SNAPSHOT_VERSION`]). Raised by
+    /// [`crate::SimulationEngine::restore`] instead of silently
+    /// reinterpreting an incompatible layout.
+    SnapshotVersion {
+        /// Version recorded in the snapshot (0 for pre-versioning files).
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -55,6 +66,11 @@ impl fmt::Display for SimError {
                 "round {round}: client {client} received only {received} server \
                  models but Byzantine tolerance needs more than {needed}"
             ),
+            SimError::SnapshotVersion { found, expected } => write!(
+                f,
+                "snapshot has layout version {found} but this build reads \
+                 version {expected}"
+            ),
         }
     }
 }
@@ -67,7 +83,9 @@ impl std::error::Error for SimError {
             SimError::Data(e) => Some(e),
             SimError::Agg(e) => Some(e),
             SimError::Attack(e) => Some(e),
-            SimError::BadConfig(_) | SimError::DegradedQuorum { .. } => None,
+            SimError::BadConfig(_)
+            | SimError::DegradedQuorum { .. }
+            | SimError::SnapshotVersion { .. } => None,
         }
     }
 }
@@ -122,6 +140,15 @@ mod tests {
         assert!(msg.contains("round 7"));
         assert!(msg.contains("client 3"));
         assert!(msg.contains('4'));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn snapshot_version_display_names_versions() {
+        let e = SimError::SnapshotVersion { found: 0, expected: 1 };
+        let msg = e.to_string();
+        assert!(msg.contains("version 0"));
+        assert!(msg.contains("version 1"));
         assert!(e.source().is_none());
     }
 

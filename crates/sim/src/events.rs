@@ -221,10 +221,7 @@ mod tests {
             RoundEvent::Filtered { round: 7, client: 0, displacement: 0.1 },
         ];
         let kinds: Vec<_> = events.iter().map(RoundEvent::kind).collect();
-        assert_eq!(
-            kinds,
-            vec!["train", "upload", "aggregate", "disseminate", "silent", "filter"]
-        );
+        assert_eq!(kinds, vec!["train", "upload", "aggregate", "disseminate", "silent", "filter"]);
         assert!(events.iter().all(|e| e.round() == 7));
     }
 }

@@ -99,14 +99,11 @@ impl FaultSpec {
                 self.crashed_servers, self.straggler_servers, num_servers
             )));
         }
-        for (name, p) in [
-            ("downlink_omission", self.downlink_omission),
-            ("duplicate_rate", self.duplicate_rate),
-        ] {
+        for (name, p) in
+            [("downlink_omission", self.downlink_omission), ("duplicate_rate", self.duplicate_rate)]
+        {
             if !(p.is_finite() && (0.0..1.0).contains(&p)) {
-                return Err(SimError::BadConfig(format!(
-                    "{name} must be in [0, 1), got {p}"
-                )));
+                return Err(SimError::BadConfig(format!("{name} must be in [0, 1), got {p}")));
             }
         }
         if self.straggler_servers > 0 && self.straggler_delay == 0 {
@@ -159,11 +156,7 @@ impl FaultPlan {
             for &id in ids.iter().take(spec.crashed_servers) {
                 faults[id] = ServerFault::Crash { round: spec.crash_round };
             }
-            for &id in ids
-                .iter()
-                .skip(spec.crashed_servers)
-                .take(spec.straggler_servers)
-            {
+            for &id in ids.iter().skip(spec.crashed_servers).take(spec.straggler_servers) {
                 faults[id] = ServerFault::Straggler { delay: spec.straggler_delay };
             }
         }
@@ -229,24 +222,15 @@ impl FaultPlan {
                 self.server_faults.len()
             )));
         }
-        for (name, p) in [
-            ("downlink_omission", self.downlink_omission),
-            ("duplicate_rate", self.duplicate_rate),
-        ] {
+        for (name, p) in
+            [("downlink_omission", self.downlink_omission), ("duplicate_rate", self.duplicate_rate)]
+        {
             if !(p.is_finite() && (0.0..1.0).contains(&p)) {
-                return Err(SimError::BadConfig(format!(
-                    "{name} must be in [0, 1), got {p}"
-                )));
+                return Err(SimError::BadConfig(format!("{name} must be in [0, 1), got {p}")));
             }
         }
-        if self
-            .server_faults
-            .iter()
-            .any(|f| matches!(f, ServerFault::Straggler { delay: 0 }))
-        {
-            return Err(SimError::BadConfig(
-                "straggler delay must be ≥ 1".into(),
-            ));
+        if self.server_faults.iter().any(|f| matches!(f, ServerFault::Straggler { delay: 0 })) {
+            return Err(SimError::BadConfig("straggler delay must be ≥ 1".into()));
         }
         Ok(())
     }
@@ -283,10 +267,7 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.crashed_ids().len(), 2);
         assert_eq!(
-            a.server_faults
-                .iter()
-                .filter(|f| matches!(f, ServerFault::Straggler { .. }))
-                .count(),
+            a.server_faults.iter().filter(|f| matches!(f, ServerFault::Straggler { .. })).count(),
             1
         );
         // Crash and straggler sets never overlap.
@@ -317,7 +298,8 @@ mod tests {
     #[test]
     fn spec_validation() {
         assert!(FaultSpec::default().validate(4).is_ok());
-        let too_many = FaultSpec { crashed_servers: 3, straggler_servers: 2, ..FaultSpec::default() };
+        let too_many =
+            FaultSpec { crashed_servers: 3, straggler_servers: 2, ..FaultSpec::default() };
         assert!(too_many.validate(4).is_err());
         let bad_p = FaultSpec { downlink_omission: 1.0, ..FaultSpec::default() };
         assert!(bad_p.validate(4).is_err());
@@ -331,10 +313,8 @@ mod tests {
     #[test]
     fn plan_validation() {
         assert!(FaultPlan::none().validate(4).is_ok());
-        let oversized = FaultPlan {
-            server_faults: vec![ServerFault::None; 5],
-            ..FaultPlan::default()
-        };
+        let oversized =
+            FaultPlan { server_faults: vec![ServerFault::None; 5], ..FaultPlan::default() };
         assert!(oversized.validate(4).is_err());
         let zero_delay = FaultPlan {
             server_faults: vec![ServerFault::Straggler { delay: 0 }],

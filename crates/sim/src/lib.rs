@@ -12,8 +12,13 @@
 //! * [`UploadStrategy`] — the paper's sparse upload, plus full and
 //!   k-redundant ablations,
 //! * [`Client`] / [`Server`] — stateful simulation entities,
-//! * [`SimulationEngine`] — the round loop, generic over the client-side
-//!   model filter (`Def(·)`) and per-server attacks,
+//! * [`Transport`] / [`LocalTransport`] — the message layer: typed
+//!   [`Upload`]/[`Broadcast`] protocol messages, delivery outcomes,
+//!   fault realization and all [`CommStats`] accounting,
+//! * [`SimulationEngine`] — a thin orchestrator that runs each round as an
+//!   explicit phase pipeline (train → upload → aggregate → disseminate →
+//!   filter) over the transport, generic over the client-side model filter
+//!   (`Def(·)`) and per-server attacks,
 //! * [`CommStats`] — message/byte accounting (the communication-efficiency
 //!   claims of Section IV-A),
 //! * [`RoundMetrics`] / [`RunResult`] — per-round accuracy/loss series, the
@@ -32,13 +37,15 @@ mod events;
 mod fault;
 mod metrics;
 mod model_spec;
+mod phases;
 mod server;
 mod topology;
+mod transport;
 mod upload;
 
 pub use client::Client;
 pub use comm::CommStats;
-pub use engine::{EngineConfig, SimulationEngine, Snapshot};
+pub use engine::{EngineConfig, SimulationEngine, Snapshot, SNAPSHOT_VERSION};
 pub use error::SimError;
 pub use events::{EventLog, RoundEvent};
 pub use fault::{FaultPlan, FaultSpec, ServerFault};
@@ -46,6 +53,9 @@ pub use metrics::{RoundDiagnostics, RoundMetrics, RunResult, RunSummary};
 pub use model_spec::ModelSpec;
 pub use server::Server;
 pub use topology::Topology;
+pub use transport::{
+    Broadcast, Delivery, DeliveryOutcome, Dissemination, LocalTransport, Transport, Upload,
+};
 pub use upload::UploadStrategy;
 
 /// Crate-wide `Result` alias using [`SimError`].

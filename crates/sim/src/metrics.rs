@@ -83,16 +83,9 @@ impl RunResult {
         let final_accuracy = self.final_accuracy()?;
         let best_accuracy = self.best_accuracy()?;
         let threshold = 0.9 * final_accuracy;
-        let rounds_to_90pct_of_final = self
-            .rounds
-            .iter()
-            .find(|m| m.mean_accuracy >= threshold)
-            .map(|m| m.round);
-        let mean_accuracy = (self
-            .rounds
-            .iter()
-            .map(|m| m.mean_accuracy as f64)
-            .sum::<f64>()
+        let rounds_to_90pct_of_final =
+            self.rounds.iter().find(|m| m.mean_accuracy >= threshold).map(|m| m.round);
+        let mean_accuracy = (self.rounds.iter().map(|m| m.mean_accuracy as f64).sum::<f64>()
             / self.rounds.len() as f64) as f32;
         Some(RunSummary {
             final_accuracy,

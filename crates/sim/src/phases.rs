@@ -1,0 +1,421 @@
+//! The composable phases of one federated round.
+//!
+//! [`crate::SimulationEngine::step_round`] is a thin orchestrator over the
+//! functions in this module, each of which implements exactly one stage of
+//! Algorithm 1 against a narrow context struct:
+//!
+//! 1. [`local_train`] — local SGD on the active clients (lines 8–10),
+//! 2. [`upload`] — client-attack tampering + sparse upload over the
+//!    [`Transport`] (line 11),
+//! 3. [`aggregate`] — per-server aggregation of whatever arrived, passed
+//!    through the server's delivery pipeline (lines 3–4),
+//! 4. [`disseminate`] — (possibly Byzantine) dissemination, queued on the
+//!    transport (line 5),
+//! 5. [`filter`] — per-client realization of the downlink and the
+//!    `Def(·)` filter (lines 12–13).
+//!
+//! The phases never touch fault realization or message accounting — both
+//! live behind the [`Transport`] — and they never share mutable state
+//! except through their contexts, so ablating, reordering (where the
+//! protocol allows) or instrumenting a single stage is a local change.
+
+use fedms_aggregation::{AggregationRule, Mean};
+use fedms_attacks::{ClientAttack, ClientAttackContext};
+use fedms_tensor::Tensor;
+use rand::rngs::StdRng;
+
+use crate::transport::{Broadcast, DeliveryOutcome, Dissemination, Transport, Upload};
+use crate::{Client, EventLog, Result, RoundDiagnostics, RoundEvent, Server, SimError};
+
+/// Samples this round's active client set: everyone at full participation,
+/// otherwise a uniform `⌈fraction·K⌉`-subset (sorted, so later phases walk
+/// clients in id order).
+pub(crate) fn sample_participation(
+    num_clients: usize,
+    fraction: f64,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    if fraction >= 1.0 {
+        return (0..num_clients).collect();
+    }
+    let take = ((fraction * num_clients as f64).ceil() as usize).clamp(1, num_clients);
+    let mut ids: Vec<usize> = (0..num_clients).collect();
+    use rand::seq::SliceRandom;
+    ids.shuffle(rng);
+    let mut chosen = ids[..take].to_vec();
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Context for the local-training phase.
+pub(crate) struct TrainCtx<'a> {
+    /// All clients; only those in `active` train.
+    pub clients: &'a mut [Client],
+    /// This round's active client ids (strictly increasing).
+    pub active: &'a [usize],
+    /// Current round index.
+    pub round: usize,
+    /// Local SGD iterations per round (the paper's `E`).
+    pub local_epochs: usize,
+    /// Train on multiple threads (bit-identical to sequential).
+    pub parallel: bool,
+    /// Structured event sink, if enabled.
+    pub event_log: Option<&'a mut EventLog>,
+}
+
+/// Phase 1 — local training on the active clients. Returns the mean local
+/// training loss.
+pub(crate) fn local_train(mut ctx: TrainCtx<'_>) -> Result<f64> {
+    let global_step = ctx.round * ctx.local_epochs;
+    let epochs = ctx.local_epochs;
+    let losses =
+        for_clients(ctx.clients, ctx.active, ctx.parallel, |c| c.local_train(epochs, global_step))?;
+    if let Some(log) = ctx.event_log.as_deref_mut() {
+        for (&client, &loss) in ctx.active.iter().zip(losses.iter()) {
+            log.push(RoundEvent::LocalTrainingCompleted { round: ctx.round, client, loss });
+        }
+    }
+    Ok(losses.iter().map(|&l| l as f64).sum::<f64>() / losses.len() as f64)
+}
+
+/// Context for the upload phase.
+pub(crate) struct UploadCtx<'a> {
+    /// The delivery substrate.
+    pub transport: &'a mut dyn Transport,
+    /// All clients (read-only: their trained model vectors are taken).
+    pub clients: &'a [Client],
+    /// Per-client Byzantine upload tampering, indexed by client id.
+    pub client_attacks: &'a [Option<Box<dyn ClientAttack>>],
+    /// Each client's model at the start of the round (attack context).
+    pub start_vectors: &'a [Tensor],
+    /// This round's active client ids.
+    pub active: &'a [usize],
+    /// Current round index.
+    pub round: usize,
+    /// Structured event sink, if enabled.
+    pub event_log: Option<&'a mut EventLog>,
+}
+
+/// Phase 2 — sparse upload: Byzantine clients tamper with their vectors
+/// (in client order, sharing `attack_rng`), then every active client sends
+/// per `assignment` over the transport. Returns the (tampered) upload
+/// vector of every client, which later phases use as attack/diagnostic
+/// context.
+pub(crate) fn upload(
+    mut ctx: UploadCtx<'_>,
+    assignment: &[Vec<usize>],
+    attack_rng: &mut StdRng,
+) -> Result<Vec<Tensor>> {
+    let num_clients = ctx.clients.len();
+    let mut client_vectors: Vec<Tensor> = ctx.clients.iter().map(Client::model_vector).collect();
+    // Byzantine clients tamper with their uploads (extension beyond the
+    // paper's server-only threat model).
+    for (k, slot) in ctx.client_attacks.iter().enumerate() {
+        if let Some(attack) = slot {
+            let global = if ctx.round == 0 { None } else { Some(&ctx.start_vectors[k]) };
+            let actx = ClientAttackContext::new(ctx.round, k, &client_vectors[k], global);
+            client_vectors[k] = attack.tamper_upload(&actx, attack_rng)?;
+        }
+    }
+    let mut is_active = vec![false; num_clients];
+    for &k in ctx.active {
+        is_active[k] = true;
+    }
+    for (k, servers) in assignment.iter().enumerate() {
+        if !is_active[k] {
+            continue;
+        }
+        for &s in servers {
+            let outcome = ctx.transport.send_upload(Upload {
+                client: k,
+                server: s,
+                model: client_vectors[k].clone(),
+            });
+            if let Some(log) = ctx.event_log.as_deref_mut() {
+                log.push(RoundEvent::UploadSent {
+                    round: ctx.round,
+                    client: k,
+                    server: s,
+                    dropped: outcome == DeliveryOutcome::Dropped,
+                });
+            }
+        }
+    }
+    Ok(client_vectors)
+}
+
+/// Context for the aggregation phase.
+pub(crate) struct AggregateCtx<'a> {
+    /// The delivery substrate.
+    pub transport: &'a mut dyn Transport,
+    /// All servers.
+    pub servers: &'a mut [Server],
+    /// The server-side aggregation rule (the paper's mean).
+    pub server_rule: &'a dyn AggregationRule,
+    /// Fallback aggregate for servers that never received anything.
+    pub initial_model: &'a Tensor,
+    /// Current round index.
+    pub round: usize,
+    /// Structured event sink, if enabled.
+    pub event_log: Option<&'a mut EventLog>,
+}
+
+/// Phase 3 — per-server aggregation. Each online server aggregates its
+/// transport inbox and pushes the result through its delivery pipeline.
+/// Returns the aggregate each server is ready to disseminate this round
+/// (`None` = silent: crashed, or a straggler pipeline still filling) and
+/// the number of silent servers.
+pub(crate) fn aggregate(mut ctx: AggregateCtx<'_>) -> Result<(Vec<Option<Tensor>>, usize)> {
+    let mut ready: Vec<Option<Tensor>> = Vec::with_capacity(ctx.servers.len());
+    let mut silent = 0usize;
+    for (i, server) in ctx.servers.iter_mut().enumerate() {
+        if !ctx.transport.server_online(i) {
+            silent += 1;
+            if let Some(log) = ctx.event_log.as_deref_mut() {
+                log.push(RoundEvent::ServerSilent { round: ctx.round, server: i, crashed: true });
+            }
+            ready.push(None);
+            continue;
+        }
+        let inbox = ctx.transport.take_inbox(i);
+        let agg = server.aggregate(&inbox, ctx.initial_model, ctx.server_rule)?;
+        if let Some(log) = ctx.event_log.as_deref_mut() {
+            log.push(RoundEvent::Aggregated {
+                round: ctx.round,
+                server: i,
+                received: inbox.len(),
+                aggregate_norm: agg.norm_l2(),
+            });
+        }
+        let (_, out) = ctx.transport.release_aggregate(i, agg);
+        match out {
+            Some(t) => ready.push(Some(t)),
+            None => {
+                silent += 1;
+                if let Some(log) = ctx.event_log.as_deref_mut() {
+                    log.push(RoundEvent::ServerSilent {
+                        round: ctx.round,
+                        server: i,
+                        crashed: false,
+                    });
+                }
+                ready.push(None);
+            }
+        }
+    }
+    Ok((ready, silent))
+}
+
+/// Context for the dissemination phase.
+pub(crate) struct DisseminateCtx<'a> {
+    /// The delivery substrate.
+    pub transport: &'a mut dyn Transport,
+    /// All servers.
+    pub servers: &'a mut [Server],
+    /// Number of clients the dissemination must cover.
+    pub num_clients: usize,
+    /// Current round index.
+    pub round: usize,
+    /// Structured event sink, if enabled.
+    pub event_log: Option<&'a mut EventLog>,
+}
+
+/// Phase 4 — dissemination: each non-silent server sends out its ready
+/// aggregate — honestly, or through its Byzantine attack — and the result
+/// is queued on the transport for every client.
+pub(crate) fn disseminate(mut ctx: DisseminateCtx<'_>, ready: Vec<Option<Tensor>>) -> Result<()> {
+    for (i, out) in ready.into_iter().enumerate() {
+        let Some(out) = out else { continue };
+        let server = &mut ctx.servers[i];
+        let d = server.disseminate(&out, ctx.round, ctx.num_clients)?;
+        let equivocating = matches!(d, Dissemination::PerClient(_));
+        let byzantine = server.is_byzantine();
+        ctx.transport.broadcast(Broadcast { server: i, model: d })?;
+        if let Some(log) = ctx.event_log.as_deref_mut() {
+            log.push(RoundEvent::Disseminated {
+                round: ctx.round,
+                server: i,
+                byzantine,
+                equivocating,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Context for the filtering phase.
+pub(crate) struct FilterCtx<'a> {
+    /// The delivery substrate.
+    pub transport: &'a mut dyn Transport,
+    /// All clients (read-only: blackout fallback keeps the local model).
+    pub clients: &'a [Client],
+    /// The client-side defence `Def(·)`.
+    pub filter: &'a dyn AggregationRule,
+    /// Total number of servers `P`.
+    pub num_servers: usize,
+    /// Number of Byzantine servers `B`.
+    pub byz_servers: usize,
+    /// Current round index.
+    pub round: usize,
+    /// Structured event sink, if enabled.
+    pub event_log: Option<&'a mut EventLog>,
+    /// Capture client 0's realized view for defence diagnostics.
+    pub capture_views: bool,
+}
+
+/// What the filtering phase produces.
+pub(crate) struct FilterOutcome {
+    /// The post-filter model of every client, in client order.
+    pub models: Vec<Tensor>,
+    /// Client 0's realized (post-fault) server views, if captured.
+    pub client0_views: Vec<Tensor>,
+}
+
+/// Phase 5 — client-side filtering: each client drains its own realization
+/// of the downlink and applies `Def(·)` over whatever arrived.
+///
+/// Graceful-degradation guard: trimming `B` per side needs a strict honest
+/// majority among the *distinct* deliveries (duplicates of one server must
+/// not count towards quorum). Only fault-degraded views (`P' < P`) are
+/// guarded — a deliberately infeasible fault-free federation (`B ≥ P/2`)
+/// is let through so experiments can demonstrate filter defeat.
+pub(crate) fn filter(mut ctx: FilterCtx<'_>) -> Result<FilterOutcome> {
+    let num_clients = ctx.clients.len();
+    let mut models: Vec<Tensor> = Vec::with_capacity(num_clients);
+    let mut client0_views: Vec<Tensor> = Vec::new();
+    for k in 0..num_clients {
+        let deliveries = ctx.transport.drain_deliveries(k);
+        let distinct =
+            deliveries.iter().filter(|d| d.outcome == DeliveryOutcome::Delivered).count();
+        let views: Vec<Tensor> = deliveries.into_iter().map(|d| d.model).collect();
+        if ctx.byz_servers > 0 && distinct < ctx.num_servers && distinct <= 2 * ctx.byz_servers {
+            return Err(SimError::DegradedQuorum {
+                round: ctx.round,
+                client: k,
+                received: distinct,
+                needed: 2 * ctx.byz_servers,
+            });
+        }
+        let out = if views.is_empty() {
+            // Total blackout (only reachable with B = 0): the client keeps
+            // its locally trained model this round.
+            ctx.clients[k].model_vector()
+        } else {
+            ctx.filter.aggregate(&views)?
+        };
+        if let Some(log) = ctx.event_log.as_deref_mut() {
+            let displacement = if views.is_empty() {
+                0.0
+            } else {
+                out.sub(&Mean::new().aggregate(&views)?)?.norm_l2()
+            };
+            log.push(RoundEvent::Filtered { round: ctx.round, client: k, displacement });
+        }
+        if k == 0 && ctx.capture_views {
+            client0_views = views;
+        }
+        models.push(out);
+    }
+    Ok(FilterOutcome { models, client0_views })
+}
+
+/// Context for the diagnostics pass.
+pub(crate) struct DiagnosticsCtx<'a> {
+    /// Client 0's realized (post-fault) server views.
+    pub views: &'a [Tensor],
+    /// Client 0's post-filter model.
+    pub filtered0: &'a Tensor,
+    /// Every client's (tampered) upload vector this round.
+    pub client_vectors: &'a [Tensor],
+    /// Every client's model at the start of the round.
+    pub start_vectors: &'a [Tensor],
+    /// This round's active client ids.
+    pub active: &'a [usize],
+    /// Number of servers that disseminated nothing this round.
+    pub silent_servers: usize,
+}
+
+/// Defence diagnostics from client 0's viewpoint (its realized, post-fault
+/// view — not the idealized full dissemination).
+pub(crate) fn diagnostics(ctx: DiagnosticsCtx<'_>) -> Result<RoundDiagnostics> {
+    let views = ctx.views;
+    let mut pair_sum = 0.0f64;
+    let mut pairs = 0usize;
+    for i in 0..views.len() {
+        for j in (i + 1)..views.len() {
+            pair_sum += views[i].sub(&views[j])?.norm_l2() as f64;
+            pairs += 1;
+        }
+    }
+    let displacement = if views.is_empty() {
+        0.0
+    } else {
+        let naive = Mean::new().aggregate(views)?;
+        ctx.filtered0.sub(&naive)?.norm_l2()
+    };
+    let mut max_update = 0.0f32;
+    for &k in ctx.active {
+        let update = ctx.client_vectors[k].sub(&ctx.start_vectors[k])?.norm_l2();
+        max_update = max_update.max(update);
+    }
+    Ok(RoundDiagnostics {
+        server_disagreement: if pairs > 0 { (pair_sum / pairs as f64) as f32 } else { 0.0 },
+        filter_displacement: displacement,
+        max_update_norm: max_update,
+        silent_servers: ctx.silent_servers,
+    })
+}
+
+/// Applies `f` to the clients at `indices` (strictly increasing),
+/// optionally on multiple threads, preserving index order in the returned
+/// vector. Parallel execution is bit-identical to sequential: `f` itself
+/// is deterministic per client and the outputs are stitched back in index
+/// order.
+pub(crate) fn for_clients<F>(
+    clients: &mut [Client],
+    indices: &[usize],
+    parallel: bool,
+    f: F,
+) -> Result<Vec<f32>>
+where
+    F: Fn(&mut Client) -> Result<f32> + Sync,
+{
+    let mut selected: Vec<&mut Client> = Vec::with_capacity(indices.len());
+    {
+        let mut rest = clients;
+        let mut offset = 0usize;
+        for &i in indices {
+            let (_, tail) = rest.split_at_mut(i - offset);
+            let (one, tail) = tail.split_at_mut(1);
+            selected.push(&mut one[0]);
+            rest = tail;
+            offset = i + 1;
+        }
+    }
+    let n = selected.len();
+    if !parallel || n < 4 {
+        return selected.into_iter().map(&f).collect();
+    }
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+    let chunk = n.div_ceil(threads.min(n));
+    let mut outputs: Vec<Result<Vec<f32>>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for group in selected.chunks_mut(chunk) {
+            let f = &f;
+            handles.push(
+                scope.spawn(move || -> Result<Vec<f32>> {
+                    group.iter_mut().map(|c| f(c)).collect()
+                }),
+            );
+        }
+        for h in handles {
+            outputs.push(h.join().expect("client worker panicked"));
+        }
+    });
+    let mut flat = Vec::with_capacity(n);
+    for out in outputs {
+        flat.extend(out?);
+    }
+    Ok(flat)
+}

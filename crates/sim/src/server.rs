@@ -1,30 +1,17 @@
 //! The edge-side parameter-server entity.
+//!
+//! A [`Server`] is pure protocol logic: it aggregates whatever uploads the
+//! transport put in its inbox and produces a [`Dissemination`] — honestly,
+//! or through its Byzantine attack. Delivery concerns (crash silence,
+//! straggler delays, message loss) live in [`crate::transport`], not here.
 
 use fedms_aggregation::AggregationRule;
 use fedms_attacks::{AttackContext, ServerAttack};
 use fedms_tensor::rng::rng_for;
 use fedms_tensor::Tensor;
 
-use crate::{Result, SimError};
-
-/// What a server sends out in the dissemination stage.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Dissemination {
-    /// The same model is broadcast to every client.
-    Broadcast(Tensor),
-    /// Client `k` receives `models[k]` (equivocating Byzantine server).
-    PerClient(Vec<Tensor>),
-}
-
-impl Dissemination {
-    /// The model delivered to `client_id`.
-    pub fn for_client(&self, client_id: usize) -> &Tensor {
-        match self {
-            Dissemination::Broadcast(m) => m,
-            Dissemination::PerClient(ms) => &ms[client_id],
-        }
-    }
-}
+use crate::transport::Dissemination;
+use crate::Result;
 
 /// One edge parameter server (Algorithm 1 lines 1–5): averages the client
 /// uploads it receives, then disseminates — honestly, or through its
@@ -34,9 +21,6 @@ pub struct Server {
     attack: Option<Box<dyn ServerAttack>>,
     history: Vec<Tensor>,
     last_aggregate: Option<Tensor>,
-    /// Aggregates awaiting delayed dissemination (straggler fault), oldest
-    /// first.
-    outbox: Vec<Tensor>,
     seed: u64,
     max_history: usize,
 }
@@ -59,7 +43,6 @@ impl Server {
             attack: None,
             history: Vec::new(),
             last_aggregate: None,
-            outbox: Vec::new(),
             seed,
             max_history: 64,
         }
@@ -124,13 +107,11 @@ impl Server {
         let out = match &self.attack {
             None => Dissemination::Broadcast(aggregate.clone()),
             Some(attack) => {
-                let ctx =
-                    AttackContext::new(round, self.id, aggregate, &self.history, num_clients);
+                let ctx = AttackContext::new(round, self.id, aggregate, &self.history, num_clients);
                 // Attack randomness is a pure function of
                 // (seed, server, round), which makes dissemination
                 // replayable from a checkpoint.
-                let mut rng =
-                    rng_for(self.seed, &[0x53_52_56, self.id as u64, round as u64]); // "SRV"
+                let mut rng = rng_for(self.seed, &[0x53_52_56, self.id as u64, round as u64]); // "SRV"
                 if attack.is_equivocating() {
                     let mut per_client = Vec::with_capacity(num_clients);
                     for k in 0..num_clients {
@@ -149,60 +130,22 @@ impl Server {
         Ok(out)
     }
 
-    /// Straggler pipeline: queues this round's `aggregate` and releases the
-    /// one computed `delay` rounds ago, or `None` while the pipeline is
-    /// still filling (the server stays silent those rounds).
-    pub fn delay_aggregate(&mut self, aggregate: Tensor, delay: usize) -> Option<Tensor> {
-        self.outbox.push(aggregate);
-        if self.outbox.len() > delay {
-            Some(self.outbox.remove(0))
-        } else {
-            None
-        }
-    }
-
-    /// Number of aggregates queued in the straggler outbox.
-    pub fn outbox_len(&self) -> usize {
-        self.outbox.len()
-    }
-
     /// Number of past aggregates retained for the adaptive adversary.
     pub fn history_len(&self) -> usize {
         self.history.len()
     }
 
-    /// Snapshot of the evolving state (attack history, last aggregate,
-    /// straggler outbox) for checkpointing.
-    pub(crate) fn state_snapshot(&self) -> (Vec<Tensor>, Option<Tensor>, Vec<Tensor>) {
-        (self.history.clone(), self.last_aggregate.clone(), self.outbox.clone())
+    /// Snapshot of the evolving state (attack history, last aggregate) for
+    /// checkpointing. The straggler outbox lives in the transport
+    /// ([`crate::Transport::state_snapshot`]).
+    pub(crate) fn state_snapshot(&self) -> (Vec<Tensor>, Option<Tensor>) {
+        (self.history.clone(), self.last_aggregate.clone())
     }
 
     /// Restores the evolving state from a checkpoint.
-    pub(crate) fn restore_state(
-        &mut self,
-        history: Vec<Tensor>,
-        last: Option<Tensor>,
-        outbox: Vec<Tensor>,
-    ) {
+    pub(crate) fn restore_state(&mut self, history: Vec<Tensor>, last: Option<Tensor>) {
         self.history = history;
         self.last_aggregate = last;
-        self.outbox = outbox;
-    }
-
-    /// Validates that a dissemination covers `num_clients` clients.
-    pub(crate) fn check_dissemination(
-        d: &Dissemination,
-        num_clients: usize,
-    ) -> Result<()> {
-        if let Dissemination::PerClient(ms) = d {
-            if ms.len() != num_clients {
-                return Err(SimError::BadConfig(format!(
-                    "per-client dissemination covers {} of {num_clients} clients",
-                    ms.len()
-                )));
-            }
-        }
-        Ok(())
     }
 }
 
@@ -265,11 +208,8 @@ mod tests {
 
     #[test]
     fn history_feeds_adaptive_attacks() {
-        let mut s = Server::byzantine(
-            1,
-            Box::new(fedms_attacks::BackwardAttack::paper_default()),
-            1,
-        );
+        let mut s =
+            Server::byzantine(1, Box::new(fedms_attacks::BackwardAttack::paper_default()), 1);
         let fallback = Tensor::zeros(&[1]);
         let mean = Mean::new();
         for v in [1.0f32, 2.0, 3.0, 4.0] {
@@ -295,39 +235,24 @@ mod tests {
             }
             Dissemination::Broadcast(_) => panic!("expected per-client dissemination"),
         }
-        assert!(Server::check_dissemination(&d, 4).is_ok());
-        assert!(Server::check_dissemination(&d, 5).is_err());
+        assert!(d.check_coverage(4).is_ok());
+        assert!(d.check_coverage(5).is_err());
     }
 
     #[test]
-    fn straggler_outbox_delays_by_exactly_d_rounds() {
+    fn state_survives_snapshot_roundtrip() {
         let mut s = Server::benign(0, 1);
-        // delay = 2: rounds 0 and 1 release nothing, round t ≥ 2 releases
-        // the aggregate from round t − 2.
-        assert!(s.delay_aggregate(Tensor::from_slice(&[0.0]), 2).is_none());
-        assert!(s.delay_aggregate(Tensor::from_slice(&[1.0]), 2).is_none());
-        assert_eq!(s.outbox_len(), 2);
-        let out = s.delay_aggregate(Tensor::from_slice(&[2.0]), 2).unwrap();
-        assert_eq!(out.as_slice(), &[0.0]);
-        let out = s.delay_aggregate(Tensor::from_slice(&[3.0]), 2).unwrap();
-        assert_eq!(out.as_slice(), &[1.0]);
-        assert_eq!(s.outbox_len(), 2);
-    }
-
-    #[test]
-    fn outbox_survives_snapshot_roundtrip() {
-        let mut s = Server::benign(0, 1);
-        s.delay_aggregate(Tensor::from_slice(&[7.0]), 3);
-        let (history, last, outbox) = s.state_snapshot();
+        let fallback = Tensor::zeros(&[1]);
+        let mean = Mean::new();
+        let agg = s.aggregate(&[Tensor::from_slice(&[4.0])], &fallback, &mean).unwrap();
+        s.disseminate(&agg, 0, 1).unwrap();
+        let (history, last) = s.state_snapshot();
         let mut restored = Server::benign(0, 1);
-        restored.restore_state(history, last, outbox);
-        assert_eq!(restored.outbox_len(), 1);
-        // The restored pipeline continues where the original left off.
-        assert!(restored.delay_aggregate(Tensor::from_slice(&[8.0]), 3).is_none());
-        let out = restored.delay_aggregate(Tensor::from_slice(&[9.0]), 3);
-        assert!(out.is_none());
-        let out = restored.delay_aggregate(Tensor::from_slice(&[10.0]), 3).unwrap();
-        assert_eq!(out.as_slice(), &[7.0]);
+        restored.restore_state(history, last);
+        assert_eq!(restored.history_len(), 1);
+        // The restored server re-uses the restored aggregate when starved.
+        let a = restored.aggregate(&[], &fallback, &mean).unwrap();
+        assert_eq!(a.as_slice(), &[4.0]);
     }
 
     #[test]
@@ -336,8 +261,7 @@ mod tests {
         let fallback = Tensor::zeros(&[1]);
         let mean = Mean::new();
         for i in 0..200 {
-            let agg =
-                s.aggregate(&[Tensor::from_slice(&[i as f32])], &fallback, &mean).unwrap();
+            let agg = s.aggregate(&[Tensor::from_slice(&[i as f32])], &fallback, &mean).unwrap();
             s.disseminate(&agg, i, 1).unwrap();
         }
         assert!(s.history_len() <= 64);

@@ -44,9 +44,7 @@ impl Topology {
         byzantine: impl IntoIterator<Item = usize>,
     ) -> Result<Self> {
         if num_clients == 0 || num_servers == 0 {
-            return Err(SimError::BadConfig(
-                "need at least one client and one server".into(),
-            ));
+            return Err(SimError::BadConfig("need at least one client and one server".into()));
         }
         let byzantine: BTreeSet<usize> = byzantine.into_iter().collect();
         if let Some(&bad) = byzantine.iter().find(|&&b| b >= num_servers) {

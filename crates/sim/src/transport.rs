@@ -1,0 +1,597 @@
+//! The message layer: typed protocol messages over a [`Transport`].
+//!
+//! Fed-MS's round is an explicit message-passing protocol — sparse uploads
+//! to one random PS, per-server aggregation, all-server dissemination,
+//! client-side filtering. This module makes the messages and their fates
+//! first-class:
+//!
+//! * [`Upload`] / [`Broadcast`] — the two protocol message types,
+//! * [`DeliveryOutcome`] / [`Delivery`] — what actually happened to each
+//!   message on the wire,
+//! * [`Transport`] — the delivery substrate the
+//!   [`crate::SimulationEngine`]'s phase pipeline runs over,
+//! * [`LocalTransport`] — the seed-deterministic in-process implementation.
+//!
+//! `LocalTransport` absorbs the *entire* benign-fault realization of a
+//! [`FaultPlan`] — crash silence, straggler outboxes, uplink channel loss,
+//! downlink omission and duplication — together with all [`CommStats`]
+//! accounting, so the engine and its phases never touch a fault branch or a
+//! byte counter directly. Alternate delivery models (a lossier WAN, a
+//! future async/networked backend) drop in by implementing [`Transport`]
+//! and handing the implementation to
+//! [`crate::SimulationEngine::set_transport`].
+//!
+//! Determinism: all transport randomness derives from the run seed and the
+//! round index (`"DROP"` stream for uplink channel loss, `"OMIT"` stream
+//! for downlink omission/duplication), and the RNGs are only instantiated
+//! when the corresponding loss probability is non-zero — a trivial plan is
+//! bit-identical to no plan at all, and every faulty run replays exactly
+//! from `(config, seed)`.
+
+use fedms_tensor::rng::rng_for;
+use fedms_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{CommStats, FaultPlan, Result, SimError};
+
+/// RNG label for uplink channel loss ("DROP").
+const DROP_LABEL: u64 = 0x44_52_4F_50;
+/// RNG label for downlink omission/duplication ("OMIT").
+const OMIT_LABEL: u64 = 0x4F_4D_49_54;
+
+/// What a server sends out in the dissemination stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dissemination {
+    /// The same model is broadcast to every client.
+    Broadcast(Tensor),
+    /// Client `k` receives `models[k]` (equivocating Byzantine server).
+    PerClient(Vec<Tensor>),
+}
+
+impl Dissemination {
+    /// The model delivered to `client_id`.
+    pub fn for_client(&self, client_id: usize) -> &Tensor {
+        match self {
+            Dissemination::Broadcast(m) => m,
+            Dissemination::PerClient(ms) => &ms[client_id],
+        }
+    }
+
+    /// Validates that the dissemination covers `num_clients` clients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] for a per-client dissemination that
+    /// does not name every client.
+    pub fn check_coverage(&self, num_clients: usize) -> Result<()> {
+        if let Dissemination::PerClient(ms) = self {
+            if ms.len() != num_clients {
+                return Err(SimError::BadConfig(format!(
+                    "per-client dissemination covers {} of {num_clients} clients",
+                    ms.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One client→server model upload (Algorithm 1 line 11).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Upload {
+    /// Sender client id.
+    pub client: usize,
+    /// Destination server id.
+    pub server: usize,
+    /// The (possibly client-attack-tampered) local model.
+    pub model: Tensor,
+}
+
+/// One server→clients dissemination message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Broadcast {
+    /// Sender server id.
+    pub server: usize,
+    /// The disseminated model(s); per-client when the server equivocates.
+    pub model: Dissemination,
+}
+
+/// The realized fate of one protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeliveryOutcome {
+    /// The message arrived this round.
+    Delivered,
+    /// Lost in transit: uplink channel loss or a crashed recipient.
+    Dropped,
+    /// Delivered twice — the duplicate is a second, separately accounted
+    /// transmission (the filter sees the model with double weight).
+    Duplicated,
+    /// Held back by a straggler pipeline; the payload surfaces (stale) in a
+    /// later round, or never if the pipeline is still warming up.
+    Delayed,
+}
+
+/// One realized server→client delivery on the downlink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// The originating server.
+    pub server: usize,
+    /// The delivered model.
+    pub model: Tensor,
+    /// [`DeliveryOutcome::Delivered`] for a first copy,
+    /// [`DeliveryOutcome::Duplicated`] for a fault-injected repeat.
+    /// Duplicates never count toward the filter quorum.
+    pub outcome: DeliveryOutcome,
+}
+
+/// The delivery substrate one federated round runs over.
+///
+/// The engine's phase pipeline is written purely against this trait:
+/// uploads go in via [`Transport::send_upload`], per-server inboxes come
+/// back out via [`Transport::take_inbox`], disseminations are queued with
+/// [`Transport::broadcast`] and realized per client with
+/// [`Transport::drain_deliveries`]. Fault realization (who is crashed,
+/// which pipeline straggles, which links lose or duplicate messages) and
+/// all [`CommStats`] accounting live behind the implementation.
+pub trait Transport: Send {
+    /// A short name for banners and diagnostics (e.g. `"local"`).
+    fn name(&self) -> &'static str;
+
+    /// Starts a new round: clears per-round buffers and counters and
+    /// re-derives the round's RNG streams. `model_len` is the parameter
+    /// count used for byte accounting.
+    fn begin_round(&mut self, round: usize, model_len: usize);
+
+    /// Routes one client→server upload and returns its realized fate
+    /// ([`DeliveryOutcome::Delivered`] or [`DeliveryOutcome::Dropped`]).
+    /// The sender pays for the attempt either way.
+    fn send_upload(&mut self, upload: Upload) -> DeliveryOutcome;
+
+    /// Whether `server` can participate this round (a crashed server
+    /// cannot).
+    fn server_online(&self, server: usize) -> bool;
+
+    /// Passes a freshly computed aggregate through the server's delivery
+    /// pipeline. A healthy pipeline returns it unchanged
+    /// ([`DeliveryOutcome::Delivered`]); a straggler pipeline returns the
+    /// aggregate from `delay` rounds ago, or `None` while still filling
+    /// (both [`DeliveryOutcome::Delayed`]).
+    fn release_aggregate(
+        &mut self,
+        server: usize,
+        aggregate: Tensor,
+    ) -> (DeliveryOutcome, Option<Tensor>);
+
+    /// Queues one server's dissemination for delivery to every client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] if the dissemination does not cover
+    /// every client.
+    fn broadcast(&mut self, message: Broadcast) -> Result<()>;
+
+    /// Takes the uplink inbox of `server`: the uploads that actually
+    /// arrived this round, in send order.
+    fn take_inbox(&mut self, server: usize) -> Vec<Tensor>;
+
+    /// Realizes the downlink for `client`: every queued dissemination, in
+    /// broadcast order, minus omissions, plus duplicates. Each client sees
+    /// its own realization of a lossy downlink.
+    fn drain_deliveries(&mut self, client: usize) -> Vec<Delivery>;
+
+    /// Takes the communication counters accumulated since
+    /// [`Transport::begin_round`].
+    fn take_comm(&mut self) -> CommStats;
+
+    /// Installs a benign-fault schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] if the plan does not fit the
+    /// federation (see [`FaultPlan::validate`]).
+    fn install_fault_plan(&mut self, plan: FaultPlan) -> Result<()>;
+
+    /// The active fault schedule (trivial by default).
+    fn fault_plan(&self) -> &FaultPlan;
+
+    /// Sets the probability that any single upload message is lost in
+    /// transit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] unless `0 ≤ rate < 1`.
+    fn set_upload_drop_rate(&mut self, rate: f64) -> Result<()>;
+
+    /// The evolving cross-round state (per-server straggler outboxes,
+    /// oldest first) for bit-exact checkpointing.
+    fn state_snapshot(&self) -> Vec<Vec<Tensor>>;
+
+    /// Restores the evolving state captured by
+    /// [`Transport::state_snapshot`].
+    fn restore_state(&mut self, outboxes: Vec<Vec<Tensor>>);
+}
+
+/// The seed-deterministic in-process transport.
+///
+/// Reproduces the paper's synchronous, reliable network by default; with a
+/// [`FaultPlan`] installed it realizes crash silence, straggler delays and
+/// lossy/duplicating downlinks exactly as described in DESIGN.md §6, with
+/// every random draw a pure function of `(seed, round, link)`.
+pub struct LocalTransport {
+    seed: u64,
+    num_clients: usize,
+    num_servers: usize,
+    fault_plan: FaultPlan,
+    upload_drop_rate: f64,
+    round: usize,
+    model_len: usize,
+    drop_rng: Option<StdRng>,
+    downlink_rng: Option<StdRng>,
+    inboxes: Vec<Vec<Tensor>>,
+    queued: Vec<Broadcast>,
+    /// Aggregates awaiting delayed dissemination per straggler server,
+    /// oldest first. Persists across rounds (checkpointed state).
+    outboxes: Vec<Vec<Tensor>>,
+    comm: CommStats,
+}
+
+impl std::fmt::Debug for LocalTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalTransport")
+            .field("round", &self.round)
+            .field("clients", &self.num_clients)
+            .field("servers", &self.num_servers)
+            .field("faulty", &!self.fault_plan.is_trivial())
+            .finish()
+    }
+}
+
+impl LocalTransport {
+    /// Creates a fault-free transport for a `num_clients` × `num_servers`
+    /// federation, deriving all channel randomness from `seed`.
+    pub fn new(seed: u64, num_clients: usize, num_servers: usize) -> Self {
+        LocalTransport {
+            seed,
+            num_clients,
+            num_servers,
+            fault_plan: FaultPlan::none(),
+            upload_drop_rate: 0.0,
+            round: 0,
+            model_len: 0,
+            drop_rng: None,
+            downlink_rng: None,
+            inboxes: vec![Vec::new(); num_servers],
+            queued: Vec::new(),
+            outboxes: vec![Vec::new(); num_servers],
+            comm: CommStats::new(),
+        }
+    }
+}
+
+impl Transport for LocalTransport {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn begin_round(&mut self, round: usize, model_len: usize) {
+        self.round = round;
+        self.model_len = model_len;
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        self.queued.clear();
+        self.comm = CommStats::new();
+        // The loss streams are derived per round so any round is replayable
+        // in isolation; they are only instantiated (and drawn from) when
+        // the corresponding probability is non-zero, keeping the reliable
+        // path bit-identical to the pre-fault engine.
+        self.drop_rng =
+            (self.upload_drop_rate > 0.0).then(|| rng_for(self.seed, &[DROP_LABEL, round as u64]));
+        self.downlink_rng = self
+            .fault_plan
+            .lossy_downlink()
+            .then(|| rng_for(self.seed, &[OMIT_LABEL, round as u64]));
+    }
+
+    fn send_upload(&mut self, upload: Upload) -> DeliveryOutcome {
+        // The sender pays for the attempt whether or not it lands.
+        self.comm.record_uploads(1, self.model_len);
+        // The channel draw happens regardless of the recipient's health, so
+        // a fault plan perturbs nothing else.
+        let channel_loss = match &mut self.drop_rng {
+            Some(rng) => rng.gen_bool(self.upload_drop_rate),
+            None => false,
+        };
+        if channel_loss || self.fault_plan.is_crashed(upload.server, self.round) {
+            self.comm.record_dropped_upload();
+            DeliveryOutcome::Dropped
+        } else {
+            self.inboxes[upload.server].push(upload.model);
+            DeliveryOutcome::Delivered
+        }
+    }
+
+    fn server_online(&self, server: usize) -> bool {
+        !self.fault_plan.is_crashed(server, self.round)
+    }
+
+    fn release_aggregate(
+        &mut self,
+        server: usize,
+        aggregate: Tensor,
+    ) -> (DeliveryOutcome, Option<Tensor>) {
+        match self.fault_plan.straggler_delay(server) {
+            Some(delay) => {
+                let outbox = &mut self.outboxes[server];
+                outbox.push(aggregate);
+                if outbox.len() > delay {
+                    (DeliveryOutcome::Delayed, Some(outbox.remove(0)))
+                } else {
+                    (DeliveryOutcome::Delayed, None)
+                }
+            }
+            None => (DeliveryOutcome::Delivered, Some(aggregate)),
+        }
+    }
+
+    fn broadcast(&mut self, message: Broadcast) -> Result<()> {
+        message.model.check_coverage(self.num_clients)?;
+        self.comm.record_downloads(self.num_clients as u64, self.model_len);
+        self.queued.push(message);
+        Ok(())
+    }
+
+    fn take_inbox(&mut self, server: usize) -> Vec<Tensor> {
+        std::mem::take(&mut self.inboxes[server])
+    }
+
+    fn drain_deliveries(&mut self, client: usize) -> Vec<Delivery> {
+        let mut out = Vec::with_capacity(self.queued.len());
+        for b in &self.queued {
+            let model = b.model.for_client(client);
+            if let Some(rng) = &mut self.downlink_rng {
+                if self.fault_plan.downlink_omission > 0.0
+                    && rng.gen_bool(self.fault_plan.downlink_omission)
+                {
+                    self.comm.record_dropped_download();
+                    continue;
+                }
+                out.push(Delivery {
+                    server: b.server,
+                    model: model.clone(),
+                    outcome: DeliveryOutcome::Delivered,
+                });
+                if self.fault_plan.duplicate_rate > 0.0
+                    && rng.gen_bool(self.fault_plan.duplicate_rate)
+                {
+                    // Delivered twice: double filter weight, and the
+                    // network carried it twice.
+                    self.comm.record_duplicated_download(self.model_len);
+                    out.push(Delivery {
+                        server: b.server,
+                        model: model.clone(),
+                        outcome: DeliveryOutcome::Duplicated,
+                    });
+                }
+            } else {
+                out.push(Delivery {
+                    server: b.server,
+                    model: model.clone(),
+                    outcome: DeliveryOutcome::Delivered,
+                });
+            }
+        }
+        out
+    }
+
+    fn take_comm(&mut self) -> CommStats {
+        std::mem::take(&mut self.comm)
+    }
+
+    fn install_fault_plan(&mut self, plan: FaultPlan) -> Result<()> {
+        plan.validate(self.num_servers)?;
+        self.fault_plan = plan;
+        Ok(())
+    }
+
+    fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    fn set_upload_drop_rate(&mut self, rate: f64) -> Result<()> {
+        if !(rate.is_finite() && (0.0..1.0).contains(&rate)) {
+            return Err(SimError::BadConfig(format!("drop rate must be in [0, 1), got {rate}")));
+        }
+        self.upload_drop_rate = rate;
+        Ok(())
+    }
+
+    fn state_snapshot(&self) -> Vec<Vec<Tensor>> {
+        self.outboxes.clone()
+    }
+
+    fn restore_state(&mut self, outboxes: Vec<Vec<Tensor>>) {
+        self.outboxes = outboxes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServerFault;
+
+    fn plain(seed: u64) -> LocalTransport {
+        let mut t = LocalTransport::new(seed, 4, 3);
+        t.begin_round(0, 2);
+        t
+    }
+
+    fn up(client: usize, server: usize, v: f32) -> Upload {
+        Upload { client, server, model: Tensor::from_slice(&[v, v]) }
+    }
+
+    #[test]
+    fn reliable_uplink_delivers_in_order() {
+        let mut t = plain(1);
+        assert_eq!(t.send_upload(up(0, 1, 1.0)), DeliveryOutcome::Delivered);
+        assert_eq!(t.send_upload(up(2, 1, 2.0)), DeliveryOutcome::Delivered);
+        let inbox = t.take_inbox(1);
+        assert_eq!(inbox.len(), 2);
+        assert_eq!(inbox[0].as_slice(), &[1.0, 1.0]);
+        assert_eq!(inbox[1].as_slice(), &[2.0, 2.0]);
+        assert!(t.take_inbox(1).is_empty(), "inbox is drained once");
+        let comm = t.take_comm();
+        assert_eq!(comm.upload_messages, 2);
+        assert_eq!(comm.upload_bytes, 2 * 4 * 2);
+        assert_eq!(comm.dropped_uploads, 0);
+    }
+
+    #[test]
+    fn crashed_recipient_drops_uploads() {
+        let mut t = LocalTransport::new(1, 4, 3);
+        t.install_fault_plan(FaultPlan {
+            server_faults: vec![ServerFault::None, ServerFault::Crash { round: 1 }],
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        t.begin_round(0, 2);
+        assert_eq!(t.send_upload(up(0, 1, 1.0)), DeliveryOutcome::Delivered);
+        assert!(t.server_online(1));
+        t.begin_round(1, 2);
+        assert_eq!(t.send_upload(up(0, 1, 1.0)), DeliveryOutcome::Dropped);
+        assert!(!t.server_online(1));
+        assert!(t.take_inbox(1).is_empty());
+        let comm = t.take_comm();
+        // The sender still pays for the dropped attempt.
+        assert_eq!(comm.upload_messages, 1);
+        assert_eq!(comm.dropped_uploads, 1);
+    }
+
+    #[test]
+    fn straggler_pipeline_delays_by_exactly_d_rounds() {
+        let mut t = LocalTransport::new(1, 4, 3);
+        t.install_fault_plan(FaultPlan {
+            server_faults: vec![ServerFault::Straggler { delay: 2 }],
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        t.begin_round(0, 1);
+        // delay = 2: rounds 0 and 1 release nothing, round t ≥ 2 releases
+        // the aggregate from round t − 2.
+        let (o, m) = t.release_aggregate(0, Tensor::from_slice(&[0.0]));
+        assert_eq!((o, m), (DeliveryOutcome::Delayed, None));
+        let (o, m) = t.release_aggregate(0, Tensor::from_slice(&[1.0]));
+        assert_eq!((o, m), (DeliveryOutcome::Delayed, None));
+        let (o, m) = t.release_aggregate(0, Tensor::from_slice(&[2.0]));
+        assert_eq!(o, DeliveryOutcome::Delayed);
+        assert_eq!(m.unwrap().as_slice(), &[0.0]);
+        // A healthy server's aggregate flows straight through.
+        let (o, m) = t.release_aggregate(1, Tensor::from_slice(&[7.0]));
+        assert_eq!(o, DeliveryOutcome::Delivered);
+        assert_eq!(m.unwrap().as_slice(), &[7.0]);
+    }
+
+    #[test]
+    fn outbox_survives_snapshot_roundtrip() {
+        let mut t = LocalTransport::new(1, 4, 3);
+        let plan = FaultPlan {
+            server_faults: vec![ServerFault::Straggler { delay: 3 }],
+            ..FaultPlan::default()
+        };
+        t.install_fault_plan(plan.clone()).unwrap();
+        t.begin_round(0, 1);
+        t.release_aggregate(0, Tensor::from_slice(&[7.0]));
+        let state = t.state_snapshot();
+        assert_eq!(state[0].len(), 1);
+
+        let mut restored = LocalTransport::new(1, 4, 3);
+        restored.install_fault_plan(plan).unwrap();
+        restored.restore_state(state);
+        // The restored pipeline continues where the original left off.
+        assert!(restored.release_aggregate(0, Tensor::from_slice(&[8.0])).1.is_none());
+        assert!(restored.release_aggregate(0, Tensor::from_slice(&[9.0])).1.is_none());
+        let out = restored.release_aggregate(0, Tensor::from_slice(&[10.0])).1.unwrap();
+        assert_eq!(out.as_slice(), &[7.0]);
+    }
+
+    #[test]
+    fn broadcast_checks_coverage_and_accounts() {
+        let mut t = plain(1);
+        let bad = Broadcast {
+            server: 0,
+            model: Dissemination::PerClient(vec![Tensor::from_slice(&[1.0, 1.0]); 3]),
+        };
+        assert!(t.broadcast(bad).is_err());
+        let good = Broadcast {
+            server: 0,
+            model: Dissemination::Broadcast(Tensor::from_slice(&[1.0, 1.0])),
+        };
+        t.broadcast(good).unwrap();
+        for k in 0..4 {
+            let d = t.drain_deliveries(k);
+            assert_eq!(d.len(), 1);
+            assert_eq!(d[0].server, 0);
+            assert_eq!(d[0].outcome, DeliveryOutcome::Delivered);
+        }
+        let comm = t.take_comm();
+        // One broadcast to 4 clients, nothing lost or duplicated.
+        assert_eq!(comm.download_messages, 4);
+        assert_eq!(comm.download_bytes, 4 * 4 * 2);
+        assert_eq!(comm.dropped_downloads + comm.duplicated_downloads, 0);
+    }
+
+    #[test]
+    fn lossy_downlink_realizes_per_client_and_accounts() {
+        let mut t = LocalTransport::new(9, 16, 2);
+        t.install_fault_plan(FaultPlan {
+            downlink_omission: 0.4,
+            duplicate_rate: 0.4,
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        t.begin_round(0, 1);
+        for s in 0..2 {
+            t.broadcast(Broadcast {
+                server: s,
+                model: Dissemination::Broadcast(Tensor::from_slice(&[s as f32])),
+            })
+            .unwrap();
+        }
+        let mut delivered = 0u64;
+        let mut duplicated = 0u64;
+        for k in 0..16 {
+            for d in t.drain_deliveries(k) {
+                match d.outcome {
+                    DeliveryOutcome::Delivered => delivered += 1,
+                    DeliveryOutcome::Duplicated => duplicated += 1,
+                    other => panic!("unexpected downlink outcome {other:?}"),
+                }
+            }
+        }
+        let comm = t.take_comm();
+        assert!(comm.dropped_downloads > 0, "40% omission must drop something");
+        assert!(duplicated > 0, "40% duplication must duplicate something");
+        assert_eq!(comm.duplicated_downloads, duplicated);
+        assert_eq!(comm.download_messages, 2 * 16 + duplicated);
+        assert_eq!(delivered, 2 * 16 - comm.dropped_downloads);
+    }
+
+    #[test]
+    fn validation_of_plan_and_drop_rate() {
+        let mut t = LocalTransport::new(1, 4, 3);
+        assert!(t
+            .install_fault_plan(FaultPlan {
+                server_faults: vec![ServerFault::None; 5],
+                ..FaultPlan::default()
+            })
+            .is_err());
+        assert!(t.set_upload_drop_rate(1.0).is_err());
+        assert!(t.set_upload_drop_rate(-0.1).is_err());
+        assert!(t.set_upload_drop_rate(f64::NAN).is_err());
+        assert!(t.set_upload_drop_rate(0.5).is_ok());
+        assert_eq!(t.name(), "local");
+        assert!(t.fault_plan().is_trivial());
+    }
+}

@@ -1,7 +1,7 @@
 //! Client→server upload strategies (Section IV-A's communication trade-off).
 
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -54,9 +54,9 @@ impl UploadStrategy {
             return Err(SimError::BadConfig("no servers to upload to".into()));
         }
         match *self {
-            UploadStrategy::Sparse => Ok((0..num_clients)
-                .map(|_| vec![rng.gen_range(0..num_servers)])
-                .collect()),
+            UploadStrategy::Sparse => {
+                Ok((0..num_clients).map(|_| vec![rng.gen_range(0..num_servers)]).collect())
+            }
             UploadStrategy::Full => {
                 let all: Vec<usize> = (0..num_servers).collect();
                 Ok(vec![all; num_clients])

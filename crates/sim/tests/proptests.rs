@@ -1,9 +1,86 @@
 //! Property-based tests of simulator invariants.
 
-use fedms_sim::{Topology, UploadStrategy};
+use fedms_sim::{
+    Broadcast, CommStats, DeliveryOutcome, Dissemination, FaultPlan, LocalTransport, ServerFault,
+    Topology, Transport, Upload, UploadStrategy,
+};
 use fedms_tensor::rng::rng_for;
+use fedms_tensor::Tensor;
 use proptest::prelude::*;
 use std::collections::HashSet;
+
+/// One realized message fate in a transport replay: `(round, stage, from,
+/// to, outcome)` where stage 0 = uplink (client → server), 1 = aggregate
+/// release (`to` is 1 when a model came out of the pipeline, 0 when the
+/// straggler outbox held it back), 2 = downlink delivery (server → client).
+type TraceEntry = (usize, u8, usize, usize, DeliveryOutcome);
+
+/// Builds a transport with `plan` installed and drives `rounds` full rounds
+/// of traffic through it — every client uploads once, every server releases
+/// an aggregate and broadcasts, every client drains its downlink — and
+/// records the realized fate of every message plus the per-round counters.
+fn replay_transport(
+    seed: u64,
+    clients: usize,
+    servers: usize,
+    plan: &FaultPlan,
+    drop_rate: f64,
+    rounds: usize,
+) -> (Vec<TraceEntry>, Vec<CommStats>) {
+    let mut t = LocalTransport::new(seed, clients, servers);
+    t.install_fault_plan(plan.clone()).expect("generated plan is valid");
+    t.set_upload_drop_rate(drop_rate).expect("generated rate is valid");
+    let mut trace = Vec::new();
+    let mut comms = Vec::new();
+    for round in 0..rounds {
+        t.begin_round(round, 2);
+        for k in 0..clients {
+            let s = k % servers;
+            let model = Tensor::from_slice(&[k as f32, round as f32]);
+            let outcome = t.send_upload(Upload { client: k, server: s, model });
+            trace.push((round, 0, k, s, outcome));
+        }
+        for s in 0..servers {
+            let _ = t.take_inbox(s);
+            let agg = Tensor::from_slice(&[s as f32, round as f32]);
+            let (outcome, released) = t.release_aggregate(s, agg);
+            trace.push((round, 1, s, usize::from(released.is_some()), outcome));
+            if let Some(model) = released {
+                t.broadcast(Broadcast { server: s, model: Dissemination::Broadcast(model) })
+                    .expect("full broadcast always covers every client");
+            }
+        }
+        for k in 0..clients {
+            for d in t.drain_deliveries(k) {
+                trace.push((round, 2, d.server, k, d.outcome));
+            }
+        }
+        comms.push(t.take_comm());
+    }
+    (trace, comms)
+}
+
+/// Maps generated per-server fault codes onto a [`FaultPlan`].
+fn plan_from_codes(
+    codes: &[u8],
+    crash_round: usize,
+    delay: usize,
+    omission: f64,
+    duplicate: f64,
+) -> FaultPlan {
+    FaultPlan {
+        server_faults: codes
+            .iter()
+            .map(|c| match c {
+                0 => ServerFault::None,
+                1 => ServerFault::Crash { round: crash_round },
+                _ => ServerFault::Straggler { delay },
+            })
+            .collect(),
+        downlink_omission: omission,
+        duplicate_rate: duplicate,
+    }
+}
 
 proptest! {
     /// Upload assignments are always in range, distinct per client, and
@@ -57,5 +134,92 @@ proptest! {
         let t = Topology::with_random_byzantine(5, servers, b, 0).unwrap();
         prop_assert!((t.epsilon() - b as f64 / servers as f64).abs() < 1e-12);
         prop_assert_eq!(t.byzantine_minority(), 2 * b < servers);
+    }
+
+    /// For any fault plan, delivery outcomes are a pure function of
+    /// `(seed, round, link)`: replaying the same traffic through a fresh
+    /// [`LocalTransport`] reproduces every message fate and every counter
+    /// bit-exactly.
+    #[test]
+    fn transport_outcomes_are_pure_function_of_seed_round_link(
+        seed in 0u64..1000,
+        clients in 1usize..10,
+        codes in proptest::collection::vec(0u8..3, 2..7),
+        crash_round in 0usize..3,
+        delay in 1usize..4,
+        omission in 0.0f64..0.9,
+        duplicate in 0.0f64..0.9,
+        drop_rate in 0.0f64..0.9,
+    ) {
+        let servers = codes.len();
+        let rounds = 1 + (seed % 4) as usize;
+        let plan = plan_from_codes(&codes, crash_round, delay, omission, duplicate);
+        let first = replay_transport(seed, clients, servers, &plan, drop_rate, rounds);
+        let second = replay_transport(seed, clients, servers, &plan, drop_rate, rounds);
+        prop_assert_eq!(first.0, second.0, "message fates diverged across replays");
+        prop_assert_eq!(first.1, second.1, "comm counters diverged across replays");
+    }
+
+    /// Per-round [`CommStats`] are exactly the sum of the per-message
+    /// outcomes the transport reported: nothing is counted twice, and no
+    /// message fate goes unaccounted.
+    #[test]
+    fn transport_comm_equals_sum_of_message_outcomes(
+        seed in 0u64..1000,
+        clients in 1usize..10,
+        codes in proptest::collection::vec(0u8..3, 2..7),
+        crash_round in 0usize..3,
+        delay in 1usize..4,
+        omission in 0.0f64..0.9,
+        duplicate in 0.0f64..0.9,
+        drop_rate in 0.0f64..0.9,
+    ) {
+        let servers = codes.len();
+        let rounds = 1 + (seed % 4) as usize;
+        let plan = plan_from_codes(&codes, crash_round, delay, omission, duplicate);
+        let (trace, comms) = replay_transport(seed, clients, servers, &plan, drop_rate, rounds);
+        let model_bytes = 2 * 4u64; // replay uses 2-element f32 models
+        for (round, comm) in comms.iter().enumerate() {
+            let round_entries: Vec<_> =
+                trace.iter().filter(|e| e.0 == round).collect();
+            let uploads =
+                round_entries.iter().filter(|e| e.1 == 0).count() as u64;
+            let dropped_up = round_entries
+                .iter()
+                .filter(|e| e.1 == 0 && e.4 == DeliveryOutcome::Dropped)
+                .count() as u64;
+            // Every released aggregate became one broadcast to all clients.
+            let broadcasts =
+                round_entries.iter().filter(|e| e.1 == 1 && e.3 == 1).count() as u64;
+            let delivered_down = round_entries
+                .iter()
+                .filter(|e| e.1 == 2 && e.4 == DeliveryOutcome::Delivered)
+                .count() as u64;
+            let duplicated = round_entries
+                .iter()
+                .filter(|e| e.1 == 2 && e.4 == DeliveryOutcome::Duplicated)
+                .count() as u64;
+
+            prop_assert_eq!(comm.upload_messages, uploads);
+            prop_assert_eq!(comm.dropped_uploads, dropped_up);
+            prop_assert_eq!(comm.upload_bytes, uploads * model_bytes);
+            prop_assert_eq!(comm.duplicated_downloads, duplicated);
+            // Broadcast fan-out: each broadcast is addressed to every
+            // client; a first copy either lands (Delivered) or is counted
+            // dropped, and duplicates add one extra accounted message.
+            let addressed = comm.download_messages - duplicated;
+            prop_assert_eq!(addressed, delivered_down + comm.dropped_downloads);
+            prop_assert_eq!(addressed % clients as u64, 0);
+            prop_assert_eq!(
+                comm.download_bytes,
+                comm.download_messages * model_bytes
+            );
+            // The broadcast count drives the fan-out exactly, and dropped
+            // downloads only exist under omission.
+            prop_assert_eq!(addressed, broadcasts * clients as u64);
+            if omission == 0.0 {
+                prop_assert_eq!(comm.dropped_downloads, 0);
+            }
+        }
     }
 }

@@ -217,8 +217,7 @@ mod tests {
     fn im2col_known_patch() {
         // 1 channel, 3x3 image, 2x2 kernel, stride 1, no padding → 2x2 output.
         let g = Conv2dGeometry::new(1, 3, 3, 2, 1, 0).unwrap();
-        let img =
-            Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3]).unwrap();
+        let img = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3]).unwrap();
         let cols = im2col(&img, &g).unwrap();
         assert_eq!(cols.dims(), &[4, 4]);
         // Row 0 is the top-left element of every patch.

@@ -331,10 +331,7 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
         assert!(matches!(a.matmul(&b), Err(TensorError::MatmulDimMismatch { .. })));
-        assert!(matches!(
-            Tensor::zeros(&[3]).matmul(&b),
-            Err(TensorError::RankMismatch { .. })
-        ));
+        assert!(matches!(Tensor::zeros(&[3]).matmul(&b), Err(TensorError::RankMismatch { .. })));
     }
 
     #[test]

@@ -364,8 +364,7 @@ impl std::ops::Sub for &Tensor {
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{} ", self.shape)?;
-        let preview: Vec<String> =
-            self.data.iter().take(8).map(|v| format!("{v:.4}")).collect();
+        let preview: Vec<String> = self.data.iter().take(8).map(|v| format!("{v:.4}")).collect();
         write!(f, "[{}{}]", preview.join(", "), if self.len() > 8 { ", …" } else { "" })
     }
 }

@@ -43,10 +43,7 @@ fn main() -> Result<(), CoreError> {
         cfg.eval_every = 25;
         let acc = cfg.run()?.final_accuracy().unwrap_or(0.0);
 
-        println!(
-            "{alpha:>8} {tv:>10.3} {min_h:>12.3} {max_h:>12.3} {:>11.1}%",
-            acc * 100.0
-        );
+        println!("{alpha:>8} {tv:>10.3} {min_h:>12.3} {max_h:>12.3} {:>11.1}%", acc * 100.0);
     }
     println!("\nSmaller D_a -> spikier per-client label distributions (higher TV,");
     println!("lower entropy) and a harder federated optimisation problem.");

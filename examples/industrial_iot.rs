@@ -50,11 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let attacks: Vec<(usize, Box<dyn ServerAttack>)> = byzantine
         .iter()
-        .map(|&id| {
-            AttackKind::Random { lo: -10.0, hi: 10.0 }
-                .build()
-                .map(|attack| (id, attack))
-        })
+        .map(|&id| AttackKind::Random { lo: -10.0, hi: 10.0 }.build().map(|attack| (id, attack)))
         .collect::<Result<_, _>>()?;
 
     let mut engine = SimulationEngine::new(

@@ -7,9 +7,9 @@
 //!
 //! Run with: `cargo run --release --example theory_playground`
 
+use fedms::nn::convex::QuadraticFleet;
 use fedms::theory::{log_log_slope, run_convex_fedms, ConvexFedMsConfig};
 use fedms::{AttackKind, CoreError};
-use fedms::nn::convex::QuadraticFleet;
 
 fn main() -> Result<(), CoreError> {
     let fleet = QuadraticFleet::random(30, 12, 0.5, 2.0, 1.0, 1)?;
@@ -43,10 +43,7 @@ fn main() -> Result<(), CoreError> {
         println!("{label}:");
         println!(
             "  gap at t=3: {:.3}   t=150: {:.5}   t=1500: {:.6}   slope {:.2}",
-            points[1].gap,
-            points[50].gap,
-            points[500].gap,
-            slope
+            points[1].gap, points[50].gap, points[500].gap, slope
         );
         if byzantine > 0 && beta.is_some() {
             println!(

@@ -51,8 +51,8 @@ pub use fedms_sim as sim;
 pub use fedms_tensor as tensor;
 
 pub use fedms_aggregation::{
-    AdaptiveTrimmedMean, AggregationRule, Bulyan, CenteredClip, CoordinateMedian,
-    GeometricMedian, Krum, Mean, MultiKrum, NormBound, TrimmedMean,
+    AdaptiveTrimmedMean, AggregationRule, Bulyan, CenteredClip, CoordinateMedian, GeometricMedian,
+    Krum, Mean, MultiKrum, NormBound, TrimmedMean,
 };
 pub use fedms_attacks::{
     AlieAttack, AttackContext, AttackKind, BackwardAttack, Benign, ClientAttack,
@@ -64,10 +64,8 @@ pub use fedms_data::{
     augment_dataset, Augmentation, BatchSampler, Dataset, DirichletPartitioner, LabelHistogram,
     SynthSensorConfig, SynthVision, SynthVisionConfig,
 };
-pub use fedms_nn::{
-    Layer, LrSchedule, Mlp, MobileNetNano, MobileNetNanoConfig, NeuralNet, Sgd,
-};
 pub use fedms_nn::{AvgPool2d, BatchNorm2d, Dropout, MaxPool2d, Sequential, Sigmoid, Tanh};
+pub use fedms_nn::{Layer, LrSchedule, Mlp, MobileNetNano, MobileNetNanoConfig, NeuralNet, Sgd};
 pub use fedms_sim::{
     CommStats, EngineConfig, EventLog, FaultPlan, FaultSpec, ModelSpec, RoundDiagnostics,
     RoundEvent, RoundMetrics, RunResult, RunSummary, ServerFault, SimError, SimulationEngine,

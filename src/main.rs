@@ -147,9 +147,7 @@ fn compare(args: &[String]) -> ExitCode {
             name,
             summary.final_accuracy * 100.0,
             summary.best_accuracy * 100.0,
-            summary
-                .rounds_to_90pct_of_final
-                .map_or("-".to_string(), |r| r.to_string()),
+            summary.rounds_to_90pct_of_final.map_or("-".to_string(), |r| r.to_string()),
             summary.upload_bytes as f64 / (1024.0 * 1024.0)
         );
     }
@@ -181,13 +179,9 @@ fn run(args: &[String]) -> ExitCode {
             "--crash-round" => crash_round = it.next().and_then(|v| v.parse().ok()),
             "--stragglers" => stragglers = it.next().and_then(|v| v.parse().ok()),
             "--straggler-delay" => straggler_delay = it.next().and_then(|v| v.parse().ok()),
-            "--downlink-omission" => {
-                downlink_omission = it.next().and_then(|v| v.parse().ok())
-            }
+            "--downlink-omission" => downlink_omission = it.next().and_then(|v| v.parse().ok()),
             "--duplicate-rate" => duplicate_rate = it.next().and_then(|v| v.parse().ok()),
-            other if !other.starts_with("--") && config_path.is_none() => {
-                config_path = Some(other)
-            }
+            other if !other.starts_with("--") && config_path.is_none() => config_path = Some(other),
             other => {
                 eprintln!("error: unrecognised argument {other}");
                 return usage();
@@ -270,6 +264,7 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    println!("transport: {}", engine.transport().name());
     if let Some(path) = resume {
         let snapshot: Snapshot = match std::fs::read_to_string(path)
             .map_err(|e| e.to_string())

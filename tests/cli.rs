@@ -39,10 +39,8 @@ fn attacks_and_filters_list() {
 fn init_config_then_run_roundtrip() {
     let cfg_path = temp_path("cfg.json");
     let out_path = temp_path("metrics.json");
-    let out = fedms()
-        .args(["init-config", cfg_path.to_str().unwrap()])
-        .output()
-        .expect("binary runs");
+    let out =
+        fedms().args(["init-config", cfg_path.to_str().unwrap()]).output().expect("binary runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
 
     // Shrink the config so the test is fast.
@@ -83,10 +81,8 @@ fn init_config_then_run_roundtrip() {
 #[test]
 fn compare_prints_summary_table() {
     let cfg_path = temp_path("cmp.json");
-    let out = fedms()
-        .args(["init-config", cfg_path.to_str().unwrap()])
-        .output()
-        .expect("binary runs");
+    let out =
+        fedms().args(["init-config", cfg_path.to_str().unwrap()]).output().expect("binary runs");
     assert!(out.status.success());
     let body = std::fs::read_to_string(&cfg_path).unwrap();
     let mut cfg: serde_json::Value = serde_json::from_str(&body).unwrap();
@@ -115,10 +111,7 @@ fn compare_prints_summary_table() {
 fn run_rejects_garbage_config() {
     let cfg_path = temp_path("bad.json");
     std::fs::write(&cfg_path, "{not json").unwrap();
-    let out = fedms()
-        .args(["run", cfg_path.to_str().unwrap()])
-        .output()
-        .expect("binary runs");
+    let out = fedms().args(["run", cfg_path.to_str().unwrap()]).output().expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("could not load"));
     let _ = std::fs::remove_file(cfg_path);

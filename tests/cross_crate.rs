@@ -85,15 +85,9 @@ fn mobilenet_nano_federation_trains() {
         parallel: false,
         eval_after_local: false,
     };
-    let mut engine = SimulationEngine::new(
-        config,
-        &train,
-        &test,
-        &partitions,
-        Box::new(Mean::new()),
-        vec![],
-    )
-    .unwrap();
+    let mut engine =
+        SimulationEngine::new(config, &train, &test, &partitions, Box::new(Mean::new()), vec![])
+            .unwrap();
     let result = engine.run(2).unwrap();
     assert!(result.final_accuracy().unwrap().is_finite());
     assert!(result.total_comm.upload_bytes > 0);
@@ -116,15 +110,9 @@ fn engine_exposes_client_models_for_inspection() {
         parallel: false,
         eval_after_local: false,
     };
-    let mut engine = SimulationEngine::new(
-        config,
-        &train,
-        &test,
-        &partitions,
-        Box::new(Mean::new()),
-        vec![],
-    )
-    .unwrap();
+    let mut engine =
+        SimulationEngine::new(config, &train, &test, &partitions, Box::new(Mean::new()), vec![])
+            .unwrap();
     let w0 = engine.initial_model().clone();
     let before = engine.client_models();
     assert!(before.iter().all(|m| m == &w0), "all clients start from w0");
@@ -142,10 +130,8 @@ fn rotating_adaptive_adversary_is_survivable() {
     // one run; the trimmed-mean filter handles every phase.
     let (train, test) = small_data();
     let partitions = DirichletPartitioner::new(5.0).unwrap().partition(&train, 6, 9).unwrap();
-    let pool: Vec<Box<dyn ServerAttack>> = AttackKind::paper_suite()
-        .iter()
-        .map(|k| k.build().unwrap())
-        .collect();
+    let pool: Vec<Box<dyn ServerAttack>> =
+        AttackKind::paper_suite().iter().map(|k| k.build().unwrap()).collect();
     let rotating = RotatingAttack::new(pool, 2).unwrap();
     let config = EngineConfig {
         topology: Topology::new(6, 4, [1]).unwrap(),

@@ -3,8 +3,7 @@
 //! plus the crash-fault combinations layered on top of it.
 
 use fedms::{
-    AttackKind, ClientAttackKind, CoreError, FedMsConfig, FilterKind, SimError,
-    SynthVisionConfig,
+    AttackKind, ClientAttackKind, CoreError, FedMsConfig, FilterKind, SimError, SynthVisionConfig,
 };
 
 fn base(seed: u64) -> FedMsConfig {

@@ -99,10 +99,7 @@ fn sparse_upload_message_count_matches_single_server_fl() {
     cfg.upload = UploadStrategy::Sparse;
     let result = cfg.run().unwrap();
     // K uploads per round — the Section IV-A communication claim.
-    assert_eq!(
-        result.total_comm.upload_messages,
-        (cfg.clients * cfg.rounds) as u64
-    );
+    assert_eq!(result.total_comm.upload_messages, (cfg.clients * cfg.rounds) as u64);
 
     let mut full = mid_config(9);
     full.upload = UploadStrategy::Full;

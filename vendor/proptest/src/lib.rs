@@ -281,10 +281,8 @@ pub fn run_cases<S>(
     S: Strategy,
     S::Value: std::fmt::Debug + Clone,
 {
-    let cases: u64 = std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(64);
+    let cases: u64 =
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
     let base = name_seed(test_name);
     let mut passed = 0u64;
     let mut attempts = 0u64;
@@ -295,9 +293,8 @@ pub fn run_cases<S>(
             "proptest `{test_name}`: too many rejected cases ({attempts} attempts for \
              {passed}/{cases} passes) — filters/assumptions are too strict"
         );
-        let mut rng = StdRng::seed_from_u64(base.wrapping_add(attempts.wrapping_mul(
-            0x9E37_79B9_7F4A_7C15,
-        )));
+        let mut rng =
+            StdRng::seed_from_u64(base.wrapping_add(attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
         attempts += 1;
         let Some(input) = strategy.generate(&mut rng) else {
             continue; // filtered out
@@ -305,9 +302,9 @@ pub fn run_cases<S>(
         match body(input.clone()) {
             Ok(()) => passed += 1,
             Err(TestCaseError::Reject) => continue,
-            Err(TestCaseError::Fail(msg)) => panic!(
-                "proptest `{test_name}` failed at case {passed}: {msg}\ninput: {input:#?}"
-            ),
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{test_name}` failed at case {passed}: {msg}\ninput: {input:#?}")
+            }
         }
     }
 }

@@ -168,8 +168,7 @@ impl Dirichlet {
 
 impl Distribution<Vec<f64>> for Dirichlet {
     fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
-        let mut draws: Vec<f64> =
-            (0..self.size).map(|_| gamma_sample(rng, self.alpha)).collect();
+        let mut draws: Vec<f64> = (0..self.size).map(|_| gamma_sample(rng, self.alpha)).collect();
         let total: f64 = draws.iter().sum();
         if total <= 0.0 || !total.is_finite() {
             // Numerically degenerate (tiny alpha can underflow every gamma
@@ -195,8 +194,7 @@ mod tests {
         let n = Normal::new(2.0f64, 0.5).unwrap();
         let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
         assert!((var - 0.25).abs() < 0.02, "var {var}");
         assert!(Normal::new(0.0f32, -1.0).is_err());

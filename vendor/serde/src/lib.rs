@@ -493,10 +493,7 @@ mod tests {
         assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
         assert_eq!(f32::from_value(&0.25f32.to_value()).unwrap(), 0.25);
         assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
-        assert_eq!(
-            String::from_value(&"hi".to_string().to_value()).unwrap(),
-            "hi"
-        );
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
         assert!(u8::from_value(&Value::UInt(300)).is_err());
         assert!(usize::from_value(&Value::String("x".into())).is_err());
     }
@@ -510,10 +507,7 @@ mod tests {
         let s: BTreeSet<usize> = [3, 1, 2].into_iter().collect();
         assert_eq!(BTreeSet::<usize>::from_value(&s.to_value()).unwrap(), s);
         let t = (1usize, Some(2.5f32));
-        assert_eq!(
-            <(usize, Option<f32>)>::from_value(&t.to_value()).unwrap(),
-            t
-        );
+        assert_eq!(<(usize, Option<f32>)>::from_value(&t.to_value()).unwrap(), t);
         let d: VecDeque<u8> = vec![9, 8].into();
         assert_eq!(VecDeque::<u8>::from_value(&d.to_value()).unwrap(), d);
     }

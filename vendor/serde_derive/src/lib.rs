@@ -78,7 +78,8 @@ fn scan_attr(toks: &[TokenTree], i: &mut usize) -> Result<bool, String> {
     };
     *i += 1;
     let inner: Vec<TokenTree> = g.stream().into_iter().collect();
-    let is_serde = matches!(&inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    let is_serde =
+        matches!(&inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
     if !is_serde {
         return Ok(false); // doc comments and other attributes: ignore
     }
@@ -92,10 +93,7 @@ fn scan_attr(toks: &[TokenTree], i: &mut usize) -> Result<bool, String> {
             }
         }
     }
-    Err(format!(
-        "vendored serde_derive only supports #[serde(default)], got #[{}]",
-        g.stream()
-    ))
+    Err(format!("vendored serde_derive only supports #[serde(default)], got #[{}]", g.stream()))
 }
 
 /// Skips leading attributes, returning whether any was `#[serde(default)]`.
@@ -140,9 +138,7 @@ fn parse_item(input: TokenStream) -> Result<Ast, String> {
     };
     i += 1;
     if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        return Err(format!(
-            "vendored serde_derive does not support generic types ({name})"
-        ));
+        return Err(format!("vendored serde_derive does not support generic types ({name})"));
     }
 
     match kind.as_str() {
@@ -407,9 +403,8 @@ fn de_named_fields(type_label: &str, obj_var: &str, fields: &[Field]) -> String 
 /// Emits an expression deserializing a tuple body of `n` fields from array
 /// expression `arr_var` into constructor `ctor`.
 fn de_tuple(type_label: &str, ctor: &str, arr_var: &str, n: usize) -> String {
-    let items: Vec<String> = (0..n)
-        .map(|k| format!("::serde::Deserialize::from_value(&{arr_var}[{k}])?"))
-        .collect();
+    let items: Vec<String> =
+        (0..n).map(|k| format!("::serde::Deserialize::from_value(&{arr_var}[{k}])?")).collect();
     format!(
         "{{\nif {arr_var}.len() != {n} {{\n\
          return ::std::result::Result::Err(::serde::DeError::custom(format!(\n\

@@ -343,9 +343,7 @@ impl Parser<'_> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let esc = self
-                        .peek()
-                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    let esc = self.peek().ok_or_else(|| Error("unterminated escape".into()))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -423,8 +421,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         if !is_float {
             // Integer path keeps full 64-bit precision (seeds!).
             if let Some(stripped) = text.strip_prefix('-') {
@@ -437,9 +435,7 @@ impl Parser<'_> {
                 return Ok(Value::UInt(v));
             }
         }
-        text.parse::<f64>()
-            .map(Value::Float)
-            .map_err(|_| Error(format!("invalid number `{text}`")))
+        text.parse::<f64>().map(Value::Float).map_err(|_| Error(format!("invalid number `{text}`")))
     }
 }
 
