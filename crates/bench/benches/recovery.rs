@@ -1,0 +1,112 @@
+//! Criterion bench: what the recovery layer costs per round.
+//!
+//! The [`ResilientTransport`] decorator sits on the critical path of every
+//! upload and downlink drain once recovery is enabled. Measures one full
+//! round of traffic — K uploads, P broadcasts, K downlink drains — through
+//! a lossy federation three ways: bare [`LocalTransport`], the decorator
+//! with the disabled policy (must be free), and the decorator actively
+//! retrying and failing over.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedms_sim::{
+    Broadcast, Dissemination, FaultPlan, LocalTransport, RecoveryPolicy, ResilientTransport,
+    ServerFault, Transport, Upload,
+};
+use fedms_tensor::rng::rng_for;
+use fedms_tensor::Tensor;
+use std::hint::black_box;
+
+fn model(d: usize, tag: u64) -> Tensor {
+    let mut rng = rng_for(7, &[tag, d as u64]);
+    Tensor::randn(&mut rng, &[d], 0.0, 1.0)
+}
+
+/// One full round of protocol traffic through `t`.
+fn round_trip(t: &mut dyn Transport, round: usize, clients: usize, servers: usize, d: usize) {
+    t.begin_round(round, d);
+    for k in 0..clients {
+        t.send_upload(Upload { client: k, server: k % servers, model: model(d, k as u64) });
+    }
+    for s in 0..servers {
+        let inbox = t.take_inbox(s);
+        let agg = inbox.into_iter().next().unwrap_or_else(|| model(d, 1000 + s as u64));
+        if let (_, Some(m)) = t.release_aggregate(s, agg) {
+            t.broadcast(Broadcast { server: s, model: Dissemination::Broadcast(m) })
+                .expect("broadcast covers all clients");
+        }
+    }
+    for k in 0..clients {
+        black_box(t.drain_deliveries(k));
+    }
+    black_box(t.take_comm());
+}
+
+/// A lossy 20-client / 5-server federation: one crash, one straggler, 10%
+/// omission and 10% uplink loss.
+fn lossy_transport(clients: usize, servers: usize) -> LocalTransport {
+    let mut t = LocalTransport::new(7, clients, servers);
+    t.install_fault_plan(FaultPlan {
+        server_faults: vec![
+            ServerFault::Crash { round: 5 },
+            ServerFault::Straggler { delay: 2 },
+            ServerFault::None,
+            ServerFault::None,
+            ServerFault::None,
+        ],
+        downlink_omission: 0.1,
+        duplicate_rate: 0.05,
+    })
+    .expect("plan fits the federation");
+    t.set_upload_drop_rate(0.1).expect("valid rate");
+    t
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_round");
+    group.sample_size(20);
+    let (clients, servers) = (20usize, 5usize);
+    let active = RecoveryPolicy {
+        retry_budget: 3,
+        failover: true,
+        round_deadline_ms: 0,
+        ..RecoveryPolicy::standard()
+    };
+    for d in [1_000usize, 13_000] {
+        group.bench_with_input(BenchmarkId::new("bare", format!("d{d}")), &d, |b, &d| {
+            let mut t = lossy_transport(clients, servers);
+            let mut round = 0;
+            b.iter(|| {
+                round_trip(&mut t, round, clients, servers, d);
+                round += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("disabled", format!("d{d}")), &d, |b, &d| {
+            let mut t = ResilientTransport::new(
+                lossy_transport(clients, servers),
+                RecoveryPolicy::disabled(),
+                7,
+                servers,
+            )
+            .expect("disabled policy is valid");
+            let mut round = 0;
+            b.iter(|| {
+                round_trip(&mut t, round, clients, servers, d);
+                round += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("active", format!("d{d}")), &d, |b, &d| {
+            let mut t =
+                ResilientTransport::new(lossy_transport(clients, servers), active, 7, servers)
+                    .expect("active policy is valid");
+            let mut round = 0;
+            b.iter(|| {
+                round_trip(&mut t, round, clients, servers, d);
+                round += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

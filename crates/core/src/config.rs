@@ -4,8 +4,8 @@ use fedms_attacks::{AttackKind, ClientAttack, ClientAttackKind, ServerAttack};
 use fedms_data::{DirichletPartitioner, SynthVisionConfig};
 use fedms_nn::LrSchedule;
 use fedms_sim::{
-    EngineConfig, FaultPlan, FaultSpec, LocalTransport, ModelSpec, RunResult, SimulationEngine,
-    Topology, Transport, UploadStrategy,
+    EngineConfig, FaultPlan, FaultSpec, LocalTransport, ModelSpec, RecoveryPolicy,
+    ResilientTransport, RunResult, SimulationEngine, Topology, Transport, UploadStrategy,
 };
 use fedms_tensor::rng::derive_seed;
 use serde::{Deserialize, Serialize};
@@ -86,6 +86,11 @@ pub struct FedMsConfig {
     /// the default injects no faults.
     #[serde(default)]
     pub fault: FaultSpec,
+    /// Transport recovery policy (deadline-driven retries, backoff and
+    /// upload failover). Disabled by default, which keeps delivery
+    /// bit-identical to the bare transport.
+    #[serde(default)]
+    pub recovery: RecoveryPolicy,
 }
 
 impl FedMsConfig {
@@ -124,6 +129,7 @@ impl FedMsConfig {
             record_diagnostics: false,
             upload_drop_rate: 0.0,
             fault: FaultSpec::default(),
+            recovery: RecoveryPolicy::disabled(),
         })
     }
 
@@ -157,6 +163,7 @@ impl FedMsConfig {
             record_diagnostics: false,
             upload_drop_rate: 0.0,
             fault: FaultSpec::default(),
+            recovery: RecoveryPolicy::disabled(),
         }
     }
 
@@ -245,6 +252,7 @@ impl FedMsConfig {
             eval_clients: self.eval_clients,
             parallel: self.parallel,
             eval_after_local: self.eval_after_local,
+            recovery: self.recovery,
         };
         let byz_client_ids: Vec<usize> = client_attacks.iter().map(|(id, _)| *id).collect();
         let mut engine = SimulationEngine::with_adversaries(
@@ -275,7 +283,16 @@ impl FedMsConfig {
             let plan = FaultPlan::sample(&self.fault, self.servers, self.seed)?;
             transport.install_fault_plan(plan)?;
         }
-        engine.set_transport(Box::new(transport));
+        if self.recovery.is_disabled() {
+            engine.set_transport(Box::new(transport));
+        } else {
+            engine.set_transport(Box::new(ResilientTransport::new(
+                transport,
+                self.recovery,
+                self.seed,
+                self.servers,
+            )?));
+        }
         engine.set_record_diagnostics(self.record_diagnostics);
         Ok(engine)
     }

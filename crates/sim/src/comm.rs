@@ -31,6 +31,22 @@ pub struct CommStats {
     /// duplicate also adds one extra message to `download_messages`.
     #[serde(default)]
     pub duplicated_downloads: u64,
+    /// Upload retransmissions placed by the recovery layer (attempts past
+    /// the first, on any target). Included in `upload_messages`.
+    #[serde(default)]
+    pub retried_uploads: u64,
+    /// Uploads re-targeted to a failover server after the original target
+    /// exhausted its budget. The failover attempts themselves are counted
+    /// in `upload_messages` (first one) and `retried_uploads` (the rest).
+    #[serde(default)]
+    pub failover_uploads: u64,
+    /// Dissemination retransmissions placed by the recovery layer to repair
+    /// downlink omission. Included in `download_messages`.
+    #[serde(default)]
+    pub retried_downloads: u64,
+    /// Exchanges the recovery layer abandoned on the per-message deadline.
+    #[serde(default)]
+    pub deadline_misses: u64,
 }
 
 impl CommStats {
@@ -70,6 +86,30 @@ impl CommStats {
         self.record_downloads(1, model_len);
     }
 
+    /// Records one recovery-layer upload retransmission. The attempt
+    /// itself is paid for by the transport's normal
+    /// [`CommStats::record_uploads`] when it hits the wire.
+    pub fn record_retried_upload(&mut self) {
+        self.retried_uploads += 1;
+    }
+
+    /// Records one failover re-targeting decision.
+    pub fn record_failover_upload(&mut self) {
+        self.failover_uploads += 1;
+    }
+
+    /// Records one recovery-layer dissemination retransmission of a model
+    /// with `model_len` parameters (a real message, paid in full).
+    pub fn record_retried_download(&mut self, model_len: usize) {
+        self.retried_downloads += 1;
+        self.record_downloads(1, model_len);
+    }
+
+    /// Records one exchange abandoned on its deadline.
+    pub fn record_deadline_miss(&mut self) {
+        self.deadline_misses += 1;
+    }
+
     /// Total messages in both directions.
     pub fn total_messages(&self) -> u64 {
         self.upload_messages + self.download_messages
@@ -90,6 +130,10 @@ impl AddAssign for CommStats {
         self.dropped_uploads += rhs.dropped_uploads;
         self.dropped_downloads += rhs.dropped_downloads;
         self.duplicated_downloads += rhs.duplicated_downloads;
+        self.retried_uploads += rhs.retried_uploads;
+        self.failover_uploads += rhs.failover_uploads;
+        self.retried_downloads += rhs.retried_downloads;
+        self.deadline_misses += rhs.deadline_misses;
     }
 }
 
@@ -139,5 +183,36 @@ mod tests {
         total += c;
         assert_eq!(total.dropped_uploads, 2);
         assert_eq!(total.duplicated_downloads, 2);
+    }
+
+    #[test]
+    fn recovery_counters_accumulate() {
+        let mut c = CommStats::new();
+        c.record_retried_upload();
+        c.record_failover_upload();
+        c.record_retried_download(10);
+        c.record_deadline_miss();
+        assert_eq!(c.retried_uploads, 1);
+        assert_eq!(c.failover_uploads, 1);
+        assert_eq!(c.retried_downloads, 1);
+        assert_eq!(c.deadline_misses, 1);
+        // A downlink retransmission is a real message; the upload retry is
+        // paid by the transport when it actually sends.
+        assert_eq!(c.download_messages, 1);
+        assert_eq!(c.download_bytes, 40);
+        assert_eq!(c.upload_messages, 0);
+        let mut total = CommStats::new();
+        total += c;
+        total += c;
+        assert_eq!(total.retried_uploads, 2);
+        assert_eq!(total.failover_uploads, 2);
+        assert_eq!(total.retried_downloads, 2);
+        assert_eq!(total.deadline_misses, 2);
+        // Old serialized stats without the new fields still deserialize.
+        let old: CommStats = serde_json::from_str(
+            r#"{"upload_messages":1,"download_messages":2,"upload_bytes":4,"download_bytes":8}"#,
+        )
+        .unwrap();
+        assert_eq!(old.retried_uploads + old.failover_uploads + old.deadline_misses, 0);
     }
 }

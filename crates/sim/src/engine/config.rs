@@ -3,7 +3,7 @@
 use fedms_nn::LrSchedule;
 use serde::{Deserialize, Serialize};
 
-use crate::{ModelSpec, Result, SimError, Topology, UploadStrategy};
+use crate::{ModelSpec, RecoveryPolicy, Result, SimError, Topology, UploadStrategy};
 
 /// Static configuration of a simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,6 +36,11 @@ pub struct EngineConfig {
     /// heterogeneity (small `D_α`) local models are biased toward their
     /// shard's classes, which is exactly the effect Figure 5 reports.
     pub eval_after_local: bool,
+    /// Transport recovery policy (retries, backoff, failover). Disabled by
+    /// default, which leaves delivery bit-identical to a bare
+    /// [`crate::LocalTransport`].
+    #[serde(default)]
+    pub recovery: RecoveryPolicy,
 }
 
 impl EngineConfig {
@@ -55,6 +60,7 @@ impl EngineConfig {
             eval_clients: 0,
             parallel: true,
             eval_after_local: true,
+            recovery: RecoveryPolicy::disabled(),
         })
     }
 
@@ -69,6 +75,7 @@ impl EngineConfig {
             return Err(SimError::BadConfig("eval_every must be positive".into()));
         }
         self.schedule.validate().map_err(SimError::from)?;
+        self.recovery.validate()?;
         Ok(())
     }
 }

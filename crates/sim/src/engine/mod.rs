@@ -7,6 +7,7 @@ use fedms_data::Dataset;
 use fedms_tensor::rng::{derive_seed, rng_for};
 use fedms_tensor::Tensor;
 
+use crate::recovery::ResilientTransport;
 use crate::transport::{LocalTransport, Transport};
 use crate::{
     phases, Client, EventLog, FaultPlan, Result, RoundMetrics, RunResult, Server, SimError,
@@ -186,8 +187,21 @@ impl SimulationEngine {
             client_attack_slots[id] = Some(attack);
         }
 
-        let transport =
-            Box::new(LocalTransport::new(config.seed, topo.num_clients(), topo.num_servers()));
+        // The base transport, wrapped in the recovery layer whenever the
+        // policy actually changes delivery behaviour (a disabled policy is
+        // bit-identical, but keeping the decorator out preserves the
+        // "trivial config = trivial machinery" invariant).
+        let local = LocalTransport::new(config.seed, topo.num_clients(), topo.num_servers());
+        let transport: Box<dyn Transport> = if config.recovery.is_disabled() {
+            Box::new(local)
+        } else {
+            Box::new(ResilientTransport::new(
+                local,
+                config.recovery,
+                config.seed,
+                topo.num_servers(),
+            )?)
+        };
 
         Ok(SimulationEngine {
             participation: 1.0,
@@ -449,6 +463,7 @@ impl SimulationEngine {
             round: self.round,
             event_log: self.event_log.as_mut(),
             capture_views,
+            on_degraded: self.config.recovery.on_degraded,
         })?;
 
         let diagnostics = if capture_views {
@@ -459,6 +474,7 @@ impl SimulationEngine {
                 start_vectors: &start_vectors,
                 active: &active,
                 silent_servers,
+                suppressed_duplicates: outcome.suppressed_duplicates,
             })?)
         } else {
             None

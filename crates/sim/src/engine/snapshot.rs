@@ -33,6 +33,11 @@ pub struct Snapshot {
     pub server_state: Vec<(Vec<Tensor>, Option<Tensor>, Vec<Tensor>)>,
     /// Metrics recorded so far.
     pub result: RunResult,
+    /// The recovery layer's cross-round state (per-server delivery records
+    /// steering failover); empty when recovery is disabled, so snapshots
+    /// from older builds restore cleanly.
+    #[serde(default)]
+    pub recovery_state: Vec<u32>,
 }
 
 impl SimulationEngine {
@@ -51,6 +56,7 @@ impl SimulationEngine {
                 .map(|((history, last), outbox)| (history, last, outbox))
                 .collect(),
             result: self.result.clone(),
+            recovery_state: self.transport.recovery_state(),
         }
     }
 
@@ -100,6 +106,7 @@ impl SimulationEngine {
             outboxes.push(outbox.clone());
         }
         self.transport.restore_state(outboxes);
+        self.transport.restore_recovery_state(snapshot.recovery_state.clone());
         self.round = snapshot.round;
         self.result = snapshot.result.clone();
         Ok(())

@@ -6,7 +6,7 @@ use fedms_aggregation::{Mean, TrimmedMean};
 use fedms_attacks::AttackKind;
 use fedms_data::{DirichletPartitioner, SynthVisionConfig};
 
-use crate::{ModelSpec, RoundEvent, Topology, UploadStrategy};
+use crate::{ModelSpec, RecoveryPolicy, RoundEvent, Topology, UploadStrategy};
 use fedms_nn::LrSchedule;
 
 fn small_setup(
@@ -30,6 +30,7 @@ fn small_setup(
         eval_clients: 0,
         parallel,
         eval_after_local: false,
+        recovery: RecoveryPolicy::disabled(),
     };
     let attacks = byzantine.into_iter().map(|id| (id, attack.build().unwrap())).collect();
     SimulationEngine::new(config, &train, &test, &parts, filter, attacks).unwrap()
@@ -104,6 +105,7 @@ fn attack_ids_must_match_topology() {
         eval_clients: 0,
         parallel: false,
         eval_after_local: false,
+        recovery: RecoveryPolicy::disabled(),
     };
     // No attack supplied for byzantine server 1 → error.
     let err = SimulationEngine::new(config, &train, &test, &parts, Box::new(Mean::new()), vec![]);
@@ -168,6 +170,7 @@ fn byzantine_clients_are_filtered_by_robust_server_rule() {
         eval_clients: 0,
         parallel: false,
         eval_after_local: false,
+        recovery: RecoveryPolicy::disabled(),
     };
     let client_attacks =
         vec![(1usize, ClientAttackKind::Random { lo: -10.0, hi: 10.0 }.build().unwrap())];
@@ -226,6 +229,7 @@ fn client_attack_validation() {
         eval_clients: 0,
         parallel: false,
         eval_after_local: false,
+        recovery: RecoveryPolicy::disabled(),
     };
     let atk = || ClientAttackKind::SignFlip { scale: 1.0 }.build().unwrap();
     // Out-of-range id.
@@ -539,11 +543,12 @@ fn degraded_quorum_is_a_typed_error() {
     e.step_round(false).unwrap();
     // …round 1 must fail fast with the structured error, not panic.
     match e.step_round(false) {
-        Err(SimError::DegradedQuorum { round, client, received, needed }) => {
+        Err(SimError::DegradedQuorum { round, client, received, needed, total }) => {
             assert_eq!(round, 1);
             assert_eq!(client, 0);
             assert_eq!(received, 2);
             assert_eq!(needed, 2);
+            assert_eq!(total, 4);
         }
         other => panic!("expected DegradedQuorum, got {other:?}"),
     }

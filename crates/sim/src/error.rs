@@ -38,6 +38,9 @@ pub enum SimError {
         received: usize,
         /// The strict lower bound `2B`: safety needs `received > needed`.
         needed: usize,
+        /// The federation's full server count `P`, so operators can see how
+        /// badly the view degraded (`received` of `total` survived).
+        total: usize,
     },
     /// A checkpoint was written with a different [`crate::Snapshot`]
     /// layout version than this build produces
@@ -61,9 +64,9 @@ impl fmt::Display for SimError {
             SimError::Agg(e) => write!(f, "aggregation error: {e}"),
             SimError::Attack(e) => write!(f, "attack error: {e}"),
             SimError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
-            SimError::DegradedQuorum { round, client, received, needed } => write!(
+            SimError::DegradedQuorum { round, client, received, needed, total } => write!(
                 f,
-                "round {round}: client {client} received only {received} server \
+                "round {round}: client {client} received only {received} of {total} server \
                  models but Byzantine tolerance needs more than {needed}"
             ),
             SimError::SnapshotVersion { found, expected } => write!(
@@ -135,11 +138,11 @@ mod tests {
 
     #[test]
     fn degraded_quorum_display_names_parties() {
-        let e = SimError::DegradedQuorum { round: 7, client: 3, received: 4, needed: 4 };
+        let e = SimError::DegradedQuorum { round: 7, client: 3, received: 4, needed: 4, total: 10 };
         let msg = e.to_string();
         assert!(msg.contains("round 7"));
         assert!(msg.contains("client 3"));
-        assert!(msg.contains('4'));
+        assert!(msg.contains("4 of 10"));
         assert!(e.source().is_none());
     }
 

@@ -33,6 +33,26 @@ pub enum RoundEvent {
         /// Whether the message was lost in transit.
         dropped: bool,
     },
+    /// The recovery layer intervened in an upload exchange: it retried,
+    /// failed over, or abandoned the exchange on its deadline. Emitted only
+    /// when something beyond a clean first attempt happened.
+    UploadRecovery {
+        /// Round index.
+        round: usize,
+        /// Sender client id.
+        client: usize,
+        /// The originally targeted server.
+        server: usize,
+        /// The server that finally received the upload (differs from
+        /// `server` after failover), if any attempt landed.
+        delivered_to: Option<usize>,
+        /// Total attempts placed on the wire.
+        attempts: u32,
+        /// Whether the exchange re-targeted an alternate server.
+        failed_over: bool,
+        /// Whether the exchange stopped on the per-message deadline.
+        deadline_missed: bool,
+    },
     /// A server produced its aggregate.
     Aggregated {
         /// Round index.
@@ -85,6 +105,7 @@ impl RoundEvent {
         match *self {
             RoundEvent::LocalTrainingCompleted { round, .. }
             | RoundEvent::UploadSent { round, .. }
+            | RoundEvent::UploadRecovery { round, .. }
             | RoundEvent::Aggregated { round, .. }
             | RoundEvent::Disseminated { round, .. }
             | RoundEvent::ServerSilent { round, .. }
@@ -92,12 +113,13 @@ impl RoundEvent {
         }
     }
 
-    /// A short tag for filtering (`"train"`, `"upload"`, `"aggregate"`,
-    /// `"disseminate"`, `"silent"`, `"filter"`).
+    /// A short tag for filtering (`"train"`, `"upload"`, `"recovery"`,
+    /// `"aggregate"`, `"disseminate"`, `"silent"`, `"filter"`).
     pub fn kind(&self) -> &'static str {
         match self {
             RoundEvent::LocalTrainingCompleted { .. } => "train",
             RoundEvent::UploadSent { .. } => "upload",
+            RoundEvent::UploadRecovery { .. } => "recovery",
             RoundEvent::Aggregated { .. } => "aggregate",
             RoundEvent::Disseminated { .. } => "disseminate",
             RoundEvent::ServerSilent { .. } => "silent",
@@ -215,13 +237,25 @@ mod tests {
         let events = [
             RoundEvent::LocalTrainingCompleted { round: 7, client: 0, loss: 1.0 },
             RoundEvent::UploadSent { round: 7, client: 0, server: 1, dropped: false },
+            RoundEvent::UploadRecovery {
+                round: 7,
+                client: 0,
+                server: 1,
+                delivered_to: Some(2),
+                attempts: 3,
+                failed_over: true,
+                deadline_missed: false,
+            },
             RoundEvent::Aggregated { round: 7, server: 1, received: 1, aggregate_norm: 2.0 },
             RoundEvent::Disseminated { round: 7, server: 1, byzantine: true, equivocating: false },
             RoundEvent::ServerSilent { round: 7, server: 2, crashed: true },
             RoundEvent::Filtered { round: 7, client: 0, displacement: 0.1 },
         ];
         let kinds: Vec<_> = events.iter().map(RoundEvent::kind).collect();
-        assert_eq!(kinds, vec!["train", "upload", "aggregate", "disseminate", "silent", "filter"]);
+        assert_eq!(
+            kinds,
+            vec!["train", "upload", "recovery", "aggregate", "disseminate", "silent", "filter"]
+        );
         assert!(events.iter().all(|e| e.round() == 7));
     }
 }

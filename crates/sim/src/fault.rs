@@ -31,6 +31,23 @@ use crate::{Result, SimError};
 /// RNG label for fault-plan sampling ("FALT").
 const FAULT_LABEL: u64 = 0x46_41_4C_54;
 
+/// How a failed delivery attempt should be classified by a recovery layer.
+///
+/// The distinction drives retry economics: a *transient* failure (channel
+/// loss, omission) is worth retrying on the same link, while a *persistent*
+/// one (the recipient is crashed for the rest of the run) makes every
+/// retry futile — the only productive recovery is failover to another
+/// server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// The loss was a per-message accident; an immediate retry on the same
+    /// link may succeed.
+    Transient,
+    /// The recipient is down for this and every later round; retries on
+    /// this link cannot succeed.
+    Persistent,
+}
+
 /// The failure mode of a single server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ServerFault {
@@ -200,6 +217,18 @@ impl FaultPlan {
         }
     }
 
+    /// Classifies a failed upload to `server` in `round`: crash silence is
+    /// [`FaultClass::Persistent`] (the server never comes back), anything
+    /// else — channel loss on an otherwise healthy link —
+    /// [`FaultClass::Transient`].
+    pub fn upload_fault_class(&self, server: usize, round: usize) -> FaultClass {
+        if self.is_crashed(server, round) {
+            FaultClass::Persistent
+        } else {
+            FaultClass::Transient
+        }
+    }
+
     /// Ids of servers scheduled to crash (at any round).
     pub fn crashed_ids(&self) -> Vec<usize> {
         self.server_faults
@@ -293,6 +322,23 @@ mod tests {
         // Unlisted servers are healthy.
         assert!(!plan.is_crashed(5, 99));
         assert_eq!(plan.fault_for(5), ServerFault::None);
+    }
+
+    #[test]
+    fn upload_fault_class_tracks_crash_schedule() {
+        let plan = FaultPlan {
+            server_faults: vec![
+                ServerFault::Crash { round: 2 },
+                ServerFault::Straggler { delay: 1 },
+            ],
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.upload_fault_class(0, 1), FaultClass::Transient);
+        assert_eq!(plan.upload_fault_class(0, 2), FaultClass::Persistent);
+        // Stragglers and unlisted servers accept uploads: losses there are
+        // per-message accidents.
+        assert_eq!(plan.upload_fault_class(1, 9), FaultClass::Transient);
+        assert_eq!(plan.upload_fault_class(7, 9), FaultClass::Transient);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`Transport`] / [`LocalTransport`] — the message layer: typed
 //!   [`Upload`]/[`Broadcast`] protocol messages, delivery outcomes,
 //!   fault realization and all [`CommStats`] accounting,
+//! * [`ResilientTransport`] / [`RecoveryPolicy`] — the recovery layer:
+//!   deadline-driven retries with seed-deterministic backoff, and upload
+//!   failover to alternate servers, layered over any transport,
 //! * [`SimulationEngine`] — a thin orchestrator that runs each round as an
 //!   explicit phase pipeline (train → upload → aggregate → disseminate →
 //!   filter) over the transport, generic over the client-side model filter
@@ -38,6 +41,7 @@ mod fault;
 mod metrics;
 mod model_spec;
 mod phases;
+mod recovery;
 mod server;
 mod topology;
 mod transport;
@@ -48,9 +52,12 @@ pub use comm::CommStats;
 pub use engine::{EngineConfig, SimulationEngine, Snapshot, SNAPSHOT_VERSION};
 pub use error::SimError;
 pub use events::{EventLog, RoundEvent};
-pub use fault::{FaultPlan, FaultSpec, ServerFault};
+pub use fault::{FaultClass, FaultPlan, FaultSpec, ServerFault};
 pub use metrics::{RoundDiagnostics, RoundMetrics, RunResult, RunSummary};
 pub use model_spec::ModelSpec;
+pub use recovery::{
+    downlink_id, uplink_id, DegradedMode, RecoveryPolicy, ResilientTransport, UploadReport,
+};
 pub use server::Server;
 pub use topology::Topology;
 pub use transport::{

@@ -27,6 +27,11 @@ pub struct RoundDiagnostics {
     /// many models.
     #[serde(default)]
     pub silent_servers: usize,
+    /// Duplicate deliveries suppressed before filtering this round (summed
+    /// over clients): fault-injected repeats never reach the filter, so a
+    /// duplicating downlink cannot double a server's weight.
+    #[serde(default)]
+    pub suppressed_duplicates: usize,
 }
 
 /// Measurements taken at the end of one training round.

@@ -24,6 +24,7 @@ use fedms_attacks::{ClientAttack, ClientAttackContext};
 use fedms_tensor::Tensor;
 use rand::rngs::StdRng;
 
+use crate::recovery::DegradedMode;
 use crate::transport::{Broadcast, DeliveryOutcome, Dissemination, Transport, Upload};
 use crate::{Client, EventLog, Result, RoundDiagnostics, RoundEvent, Server, SimError};
 
@@ -126,7 +127,7 @@ pub(crate) fn upload(
             continue;
         }
         for &s in servers {
-            let outcome = ctx.transport.send_upload(Upload {
+            let report = ctx.transport.send_upload_tracked(Upload {
                 client: k,
                 server: s,
                 model: client_vectors[k].clone(),
@@ -136,8 +137,21 @@ pub(crate) fn upload(
                     round: ctx.round,
                     client: k,
                     server: s,
-                    dropped: outcome == DeliveryOutcome::Dropped,
+                    dropped: report.outcome == DeliveryOutcome::Dropped,
                 });
+                // A clean single-attempt exchange needs no recovery event.
+                if report.attempts > 1 || report.failed_over || report.deadline_missed {
+                    log.push(RoundEvent::UploadRecovery {
+                        round: ctx.round,
+                        client: k,
+                        server: s,
+                        delivered_to: (report.outcome == DeliveryOutcome::Delivered)
+                            .then_some(report.server),
+                        attempts: report.attempts,
+                        failed_over: report.failed_over,
+                        deadline_missed: report.deadline_missed,
+                    });
+                }
             }
         }
     }
@@ -261,6 +275,8 @@ pub(crate) struct FilterCtx<'a> {
     pub event_log: Option<&'a mut EventLog>,
     /// Capture client 0's realized view for defence diagnostics.
     pub capture_views: bool,
+    /// What to do when a client's view degrades below quorum anyway.
+    pub on_degraded: DegradedMode,
 }
 
 /// What the filtering phase produces.
@@ -269,36 +285,55 @@ pub(crate) struct FilterOutcome {
     pub models: Vec<Tensor>,
     /// Client 0's realized (post-fault) server views, if captured.
     pub client0_views: Vec<Tensor>,
+    /// Duplicate deliveries suppressed before filtering, summed over
+    /// clients.
+    pub suppressed_duplicates: usize,
 }
 
 /// Phase 5 — client-side filtering: each client drains its own realization
-/// of the downlink and applies `Def(·)` over whatever arrived.
+/// of the downlink, discards fault-injected duplicate deliveries (first
+/// delivery wins, so a duplicating downlink cannot double a server's
+/// weight in the filter) and applies `Def(·)` over what remains.
 ///
 /// Graceful-degradation guard: trimming `B` per side needs a strict honest
 /// majority among the *distinct* deliveries (duplicates of one server must
 /// not count towards quorum). Only fault-degraded views (`P' < P`) are
 /// guarded — a deliberately infeasible fault-free federation (`B ≥ P/2`)
-/// is let through so experiments can demonstrate filter defeat.
+/// is let through so experiments can demonstrate filter defeat. What a
+/// degraded view does — abort with [`SimError::DegradedQuorum`] or keep
+/// the affected client's local model — is decided by
+/// [`FilterCtx::on_degraded`].
 pub(crate) fn filter(mut ctx: FilterCtx<'_>) -> Result<FilterOutcome> {
     let num_clients = ctx.clients.len();
     let mut models: Vec<Tensor> = Vec::with_capacity(num_clients);
     let mut client0_views: Vec<Tensor> = Vec::new();
+    let mut suppressed_duplicates = 0usize;
     for k in 0..num_clients {
         let deliveries = ctx.transport.drain_deliveries(k);
-        let distinct =
-            deliveries.iter().filter(|d| d.outcome == DeliveryOutcome::Delivered).count();
-        let views: Vec<Tensor> = deliveries.into_iter().map(|d| d.model).collect();
-        if ctx.byz_servers > 0 && distinct < ctx.num_servers && distinct <= 2 * ctx.byz_servers {
+        // First delivery wins: repeats never reach the filter.
+        suppressed_duplicates +=
+            deliveries.iter().filter(|d| d.outcome == DeliveryOutcome::Duplicated).count();
+        let views: Vec<Tensor> = deliveries
+            .into_iter()
+            .filter(|d| d.outcome != DeliveryOutcome::Duplicated)
+            .map(|d| d.model)
+            .collect();
+        let distinct = views.len();
+        let degraded =
+            ctx.byz_servers > 0 && distinct < ctx.num_servers && distinct <= 2 * ctx.byz_servers;
+        if degraded && ctx.on_degraded == DegradedMode::Abort {
             return Err(SimError::DegradedQuorum {
                 round: ctx.round,
                 client: k,
                 received: distinct,
                 needed: 2 * ctx.byz_servers,
+                total: ctx.num_servers,
             });
         }
-        let out = if views.is_empty() {
-            // Total blackout (only reachable with B = 0): the client keeps
-            // its locally trained model this round.
+        let out = if views.is_empty() || degraded {
+            // Total blackout, or a sub-quorum view the policy chose to ride
+            // out: the client keeps its locally trained model this round
+            // (filtering a Byzantine-dominated sample would be worse).
             ctx.clients[k].model_vector()
         } else {
             ctx.filter.aggregate(&views)?
@@ -316,7 +351,7 @@ pub(crate) fn filter(mut ctx: FilterCtx<'_>) -> Result<FilterOutcome> {
         }
         models.push(out);
     }
-    Ok(FilterOutcome { models, client0_views })
+    Ok(FilterOutcome { models, client0_views, suppressed_duplicates })
 }
 
 /// Context for the diagnostics pass.
@@ -333,6 +368,8 @@ pub(crate) struct DiagnosticsCtx<'a> {
     pub active: &'a [usize],
     /// Number of servers that disseminated nothing this round.
     pub silent_servers: usize,
+    /// Duplicate deliveries suppressed before filtering this round.
+    pub suppressed_duplicates: usize,
 }
 
 /// Defence diagnostics from client 0's viewpoint (its realized, post-fault
@@ -363,6 +400,7 @@ pub(crate) fn diagnostics(ctx: DiagnosticsCtx<'_>) -> Result<RoundDiagnostics> {
         filter_displacement: displacement,
         max_update_norm: max_update,
         silent_servers: ctx.silent_servers,
+        suppressed_duplicates: ctx.suppressed_duplicates,
     })
 }
 

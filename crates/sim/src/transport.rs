@@ -34,6 +34,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::recovery::UploadReport;
 use crate::{CommStats, FaultPlan, Result, SimError};
 
 /// RNG label for uplink channel loss ("DROP").
@@ -106,7 +107,8 @@ pub enum DeliveryOutcome {
     /// Lost in transit: uplink channel loss or a crashed recipient.
     Dropped,
     /// Delivered twice — the duplicate is a second, separately accounted
-    /// transmission (the filter sees the model with double weight).
+    /// transmission. The filter phase suppresses the repeat (first delivery
+    /// wins), so duplication costs bandwidth but never filter weight.
     Duplicated,
     /// Held back by a straggler pipeline; the payload surfaces (stale) in a
     /// later round, or never if the pipeline is still warming up.
@@ -122,7 +124,8 @@ pub struct Delivery {
     pub model: Tensor,
     /// [`DeliveryOutcome::Delivered`] for a first copy,
     /// [`DeliveryOutcome::Duplicated`] for a fault-injected repeat.
-    /// Duplicates never count toward the filter quorum.
+    /// Duplicates never count toward the filter quorum and are suppressed
+    /// before filtering.
     pub outcome: DeliveryOutcome,
 }
 
@@ -148,6 +151,15 @@ pub trait Transport: Send {
     /// ([`DeliveryOutcome::Delivered`] or [`DeliveryOutcome::Dropped`]).
     /// The sender pays for the attempt either way.
     fn send_upload(&mut self, upload: Upload) -> DeliveryOutcome;
+
+    /// Routes one upload and reports its attempt-level history. Plain
+    /// transports make exactly one attempt; a recovering transport (see
+    /// [`crate::ResilientTransport`]) may retry, back off and fail over,
+    /// and reports how the exchange actually went.
+    fn send_upload_tracked(&mut self, upload: Upload) -> UploadReport {
+        let server = upload.server;
+        UploadReport::direct(self.send_upload(upload), server)
+    }
 
     /// Whether `server` can participate this round (a crashed server
     /// cannot).
@@ -211,6 +223,17 @@ pub trait Transport: Send {
     /// Restores the evolving state captured by
     /// [`Transport::state_snapshot`].
     fn restore_state(&mut self, outboxes: Vec<Vec<Tensor>>);
+
+    /// The recovery layer's evolving cross-round state (per-server
+    /// delivery records steering failover), for bit-exact checkpointing.
+    /// Empty for transports without a recovery layer.
+    fn recovery_state(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    /// Restores the state captured by [`Transport::recovery_state`]. A
+    /// no-op for transports without a recovery layer.
+    fn restore_recovery_state(&mut self, _state: Vec<u32>) {}
 }
 
 /// The seed-deterministic in-process transport.

@@ -1,0 +1,413 @@
+//! Integration and property tests of the recovery layer: backoff purity,
+//! disabled-policy transparency, recovery accounting, and the end-to-end
+//! acceptance scenarios (quorum restoration under heavy omission, degraded
+//! continuation, and the long chaos soak).
+
+use fedms_aggregation::TrimmedMean;
+use fedms_attacks::AttackKind;
+use fedms_data::{DirichletPartitioner, SynthVisionConfig};
+use fedms_nn::LrSchedule;
+use fedms_sim::{
+    uplink_id, Broadcast, CommStats, DegradedMode, DeliveryOutcome, Dissemination, EngineConfig,
+    FaultPlan, LocalTransport, ModelSpec, RecoveryPolicy, ResilientTransport, ServerFault,
+    SimError, SimulationEngine, Topology, Transport, Upload, UploadStrategy,
+};
+use fedms_tensor::Tensor;
+use proptest::prelude::*;
+
+/// One realized message fate: `(round, stage, from, to, outcome)` with
+/// stage 0 = uplink, 1 = aggregate release (`to` = released flag),
+/// 2 = downlink delivery (mirrors `crates/sim/tests/proptests.rs`).
+type TraceEntry = (usize, u8, usize, usize, DeliveryOutcome);
+
+/// Drives `rounds` full rounds of protocol traffic through `t` and records
+/// every message fate plus the per-round counters.
+fn replay(
+    t: &mut dyn Transport,
+    clients: usize,
+    servers: usize,
+    rounds: usize,
+) -> (Vec<TraceEntry>, Vec<CommStats>) {
+    let mut trace = Vec::new();
+    let mut comms = Vec::new();
+    for round in 0..rounds {
+        t.begin_round(round, 2);
+        for k in 0..clients {
+            let s = k % servers;
+            let model = Tensor::from_slice(&[k as f32, round as f32]);
+            let outcome = t.send_upload(Upload { client: k, server: s, model });
+            trace.push((round, 0, k, s, outcome));
+        }
+        for s in 0..servers {
+            let _ = t.take_inbox(s);
+            let agg = Tensor::from_slice(&[s as f32, round as f32]);
+            let (outcome, released) = t.release_aggregate(s, agg);
+            trace.push((round, 1, s, usize::from(released.is_some()), outcome));
+            if let Some(model) = released {
+                t.broadcast(Broadcast { server: s, model: Dissemination::Broadcast(model) })
+                    .expect("full broadcast always covers every client");
+            }
+        }
+        for k in 0..clients {
+            for d in t.drain_deliveries(k) {
+                trace.push((round, 2, d.server, k, d.outcome));
+            }
+        }
+        comms.push(t.take_comm());
+    }
+    (trace, comms)
+}
+
+/// Builds a faulty [`LocalTransport`], optionally wrapped in a
+/// [`ResilientTransport`] running `policy`.
+fn transport(
+    seed: u64,
+    clients: usize,
+    servers: usize,
+    plan: &FaultPlan,
+    drop_rate: f64,
+    policy: Option<RecoveryPolicy>,
+) -> Box<dyn Transport> {
+    let mut inner = LocalTransport::new(seed, clients, servers);
+    inner.install_fault_plan(plan.clone()).expect("generated plan is valid");
+    inner.set_upload_drop_rate(drop_rate).expect("generated rate is valid");
+    match policy {
+        None => Box::new(inner),
+        Some(p) => Box::new(
+            ResilientTransport::new(inner, p, seed, servers).expect("generated policy is valid"),
+        ),
+    }
+}
+
+/// Maps generated per-server fault codes onto a [`FaultPlan`].
+fn plan_from_codes(
+    codes: &[u8],
+    crash_round: usize,
+    delay: usize,
+    omission: f64,
+    duplicate: f64,
+) -> FaultPlan {
+    FaultPlan {
+        server_faults: codes
+            .iter()
+            .map(|c| match c {
+                0 => ServerFault::None,
+                1 => ServerFault::Crash { round: crash_round },
+                _ => ServerFault::Straggler { delay },
+            })
+            .collect(),
+        downlink_omission: omission,
+        duplicate_rate: duplicate,
+    }
+}
+
+proptest! {
+    /// The backoff schedule is a pure function of
+    /// `(seed, round, link, attempt)`: recomputing any delay gives the same
+    /// value, and every delay sits in `[exp/2, exp]` for the capped
+    /// exponential envelope.
+    #[test]
+    fn backoff_schedule_is_pure_and_bounded(
+        seed in 0u64..10_000,
+        round in 0usize..100,
+        client in 0usize..64,
+        server in 0usize..64,
+        base in 1u64..100,
+        cap_extra in 0u64..2_000,
+        attempt in 1u32..12,
+    ) {
+        let policy = RecoveryPolicy {
+            retry_budget: 12,
+            backoff_base_ms: base,
+            backoff_cap_ms: base + cap_extra,
+            ..RecoveryPolicy::disabled()
+        };
+        let link = uplink_id(client, server);
+        let d1 = policy.backoff_delay_ms(seed, round, link, attempt);
+        let d2 = policy.backoff_delay_ms(seed, round, link, attempt);
+        prop_assert_eq!(d1, d2, "backoff must not depend on hidden state");
+        let exp = base
+            .saturating_mul(1u64 << u64::from(attempt - 1))
+            .min(policy.backoff_cap_ms);
+        prop_assert!(d1 >= exp / 2 && d1 <= exp, "{} outside [{}, {}]", d1, exp / 2, exp);
+    }
+
+    /// A [`ResilientTransport`] running the disabled policy is
+    /// delivery-for-delivery and counter-for-counter identical to the bare
+    /// [`LocalTransport`] it wraps, for any fault plan.
+    #[test]
+    fn disabled_decorator_is_transparent(
+        seed in 0u64..1000,
+        clients in 1usize..10,
+        codes in proptest::collection::vec(0u8..3, 2..7),
+        crash_round in 0usize..3,
+        delay in 1usize..4,
+        omission in 0.0f64..0.9,
+        duplicate in 0.0f64..0.9,
+        drop_rate in 0.0f64..0.9,
+    ) {
+        let servers = codes.len();
+        let rounds = 1 + (seed % 4) as usize;
+        let plan = plan_from_codes(&codes, crash_round, delay, omission, duplicate);
+        let mut bare = transport(seed, clients, servers, &plan, drop_rate, None);
+        let mut wrapped = transport(
+            seed,
+            clients,
+            servers,
+            &plan,
+            drop_rate,
+            Some(RecoveryPolicy::disabled()),
+        );
+        let a = replay(bare.as_mut(), clients, servers, rounds);
+        let b = replay(wrapped.as_mut(), clients, servers, rounds);
+        prop_assert_eq!(a.0, b.0, "message fates diverged under the disabled decorator");
+        prop_assert_eq!(a.1, b.1, "comm counters diverged under the disabled decorator");
+    }
+
+    /// Recovery accounting balances exactly: every uplink wire attempt is
+    /// the first try of a message, a budgeted retry, or the opening attempt
+    /// of a failover exchange, and every downlink message is a broadcast
+    /// copy, a fault-injected duplicate, or a recovery retransmission.
+    #[test]
+    fn recovery_comm_totals_balance(
+        seed in 0u64..1000,
+        clients in 1usize..8,
+        codes in proptest::collection::vec(0u8..3, 2..6),
+        crash_round in 0usize..3,
+        omission in 0.0f64..0.7,
+        drop_rate in 0.0f64..0.7,
+        budget in 1u32..5,
+        failover_code in 0u8..2,
+    ) {
+        let servers = codes.len();
+        let plan = plan_from_codes(&codes, crash_round, 2, omission, 0.0);
+        let policy = RecoveryPolicy {
+            retry_budget: budget,
+            failover: failover_code == 1,
+            round_deadline_ms: 0,
+            ..RecoveryPolicy::standard()
+        };
+        let mut t = transport(seed, clients, servers, &plan, drop_rate, Some(policy));
+        let rounds = 3;
+        let (trace, comms) = replay(t.as_mut(), clients, servers, rounds);
+        for (round, comm) in comms.iter().enumerate() {
+            let broadcasts = trace
+                .iter()
+                .filter(|e| e.0 == round && e.1 == 1 && e.3 == 1)
+                .count() as u64;
+            prop_assert_eq!(
+                comm.upload_messages,
+                clients as u64 + comm.retried_uploads + comm.failover_uploads,
+                "round {}: uplink attempts must be first tries + retries + failovers",
+                round
+            );
+            prop_assert_eq!(
+                comm.download_messages,
+                broadcasts * clients as u64
+                    + comm.duplicated_downloads
+                    + comm.retried_downloads,
+                "round {}: downlink messages must be fan-out + duplicates + retransmissions",
+                round
+            );
+        }
+    }
+}
+
+/// Under transient omission and uplink loss, enabling recovery delivers
+/// strictly more models to the filter in every round than the same
+/// federation without it — and never fewer of anything, since first-copy
+/// fates share the same seeded draws.
+#[test]
+fn recovery_delivers_strictly_more_models_per_round() {
+    let plan = FaultPlan { downlink_omission: 0.5, ..FaultPlan::default() };
+    let policy = RecoveryPolicy {
+        retry_budget: 6,
+        failover: true,
+        round_deadline_ms: 0,
+        ..RecoveryPolicy::standard()
+    };
+    let (clients, servers, rounds) = (4, 3, 6);
+    let mut off = transport(17, clients, servers, &plan, 0.3, None);
+    let mut on = transport(17, clients, servers, &plan, 0.3, Some(policy));
+    let (trace_off, _) = replay(off.as_mut(), clients, servers, rounds);
+    let (trace_on, _) = replay(on.as_mut(), clients, servers, rounds);
+    let delivered = |trace: &[TraceEntry], round: usize, stage: u8| {
+        trace
+            .iter()
+            .filter(|e| e.0 == round && e.1 == stage && e.4 == DeliveryOutcome::Delivered)
+            .count()
+    };
+    for round in 0..rounds {
+        let (down_off, down_on) = (delivered(&trace_off, round, 2), delivered(&trace_on, round, 2));
+        assert!(
+            down_on > down_off,
+            "round {round}: recovery should repair downlink losses ({down_on} vs {down_off})"
+        );
+        assert!(
+            delivered(&trace_on, round, 0) >= delivered(&trace_off, round, 0),
+            "round {round}: recovery must never lose an upload the base run delivered"
+        );
+    }
+    let up_off: usize = (0..rounds).map(|r| delivered(&trace_off, r, 0)).sum();
+    let up_on: usize = (0..rounds).map(|r| delivered(&trace_on, r, 0)).sum();
+    assert!(up_on > up_off, "30% uplink loss must cost the unprotected run some uploads");
+}
+
+/// Builds an 8-client / 4-server engine with one Byzantine server and the
+/// given recovery policy (the `degraded_quorum` scenario from the engine
+/// tests, reachable here through the public API).
+fn engine(seed: u64, recovery: RecoveryPolicy) -> SimulationEngine {
+    let (train, test) = SynthVisionConfig::small().generate(3).unwrap();
+    let topo = Topology::new(8, 4, vec![1]).unwrap();
+    let parts = DirichletPartitioner::new(10.0).unwrap().partition(&train, 8, 3).unwrap();
+    let config = EngineConfig {
+        topology: topo,
+        model: ModelSpec::Mlp { widths: vec![16, 8, 4] },
+        upload: UploadStrategy::Sparse,
+        local_epochs: 2,
+        batch_size: 4,
+        schedule: LrSchedule::Constant(0.05),
+        seed,
+        eval_every: 1,
+        eval_clients: 0,
+        parallel: false,
+        eval_after_local: false,
+        recovery,
+    };
+    let attack = AttackKind::Noise { std: 0.5 };
+    let attacks = vec![(1, attack.build().unwrap())];
+    let filter: Box<dyn fedms_aggregation::AggregationRule> =
+        Box::new(TrimmedMean::new(0.25).unwrap());
+    SimulationEngine::new(config, &train, &test, &parts, filter, attacks).unwrap()
+}
+
+/// The acceptance scenario: 60% downlink omission degrades some client's
+/// view below quorum almost immediately without recovery, and the typed
+/// error says so; the same federation with a retry budget completes every
+/// round and logs the upload repairs it performed.
+#[test]
+fn recovery_restores_quorum_under_heavy_omission() {
+    let plan = FaultPlan { downlink_omission: 0.6, ..FaultPlan::default() };
+
+    let mut fragile = engine(9, RecoveryPolicy::disabled());
+    fragile.set_fault_plan(plan.clone()).unwrap();
+    match fragile.run(5) {
+        Err(SimError::DegradedQuorum { total, needed, .. }) => {
+            assert_eq!(total, 4);
+            assert_eq!(needed, 2);
+        }
+        other => panic!("60% omission without recovery should degrade the quorum, got {other:?}"),
+    }
+
+    let policy = RecoveryPolicy {
+        retry_budget: 12,
+        failover: true,
+        round_deadline_ms: 0,
+        ..RecoveryPolicy::standard()
+    };
+    let mut hardened = engine(9, policy);
+    hardened.set_fault_plan(plan).unwrap();
+    hardened.set_upload_drop_rate(0.3).unwrap();
+    hardened.enable_event_log(10_000);
+    let result = hardened.run(5).expect("recovery should carry every client past quorum");
+    assert_eq!(result.rounds.len(), 5);
+    assert!(result.final_accuracy().unwrap().is_finite());
+    let log = hardened.event_log().unwrap();
+    assert!(
+        !log.of_kind("recovery").is_empty(),
+        "30% uplink loss must trigger at least one logged upload recovery"
+    );
+    assert!(result.total_comm.retried_downloads > 0, "omission repair must be accounted");
+}
+
+/// With `DegradedMode::Proceed`, the crash scenario that used to abort with
+/// `DegradedQuorum` instead completes: sub-quorum clients keep their local
+/// models for the round and the run finishes.
+#[test]
+fn proceed_degraded_completes_the_crash_scenario() {
+    let plan = FaultPlan {
+        server_faults: vec![
+            ServerFault::Crash { round: 1 },
+            ServerFault::None,
+            ServerFault::Crash { round: 1 },
+            ServerFault::None,
+        ],
+        ..FaultPlan::default()
+    };
+
+    // Baseline: this exact federation aborts in round 1 without recovery.
+    let mut fragile = engine(9, RecoveryPolicy::disabled());
+    fragile.set_fault_plan(plan.clone()).unwrap();
+    let err = fragile.run(3).unwrap_err();
+    assert!(matches!(err, SimError::DegradedQuorum { round: 1, .. }), "got {err:?}");
+
+    let policy =
+        RecoveryPolicy { on_degraded: DegradedMode::Proceed, ..RecoveryPolicy::disabled() };
+    let mut tolerant = engine(9, policy);
+    tolerant.set_fault_plan(plan).unwrap();
+    let result = tolerant.run(3).expect("Proceed mode must ride out the crash degradation");
+    assert_eq!(result.rounds.len(), 3);
+    assert!(result.final_accuracy().unwrap().is_finite());
+}
+
+/// Long chaos soak: a crash, a straggler, downlink omission, duplicates and
+/// uplink loss all at once, with recovery on, for 200 rounds. Run with
+/// `cargo test -p fedms-sim --test recovery -- --ignored` (CI runs it on
+/// the chaos-soak schedule).
+#[test]
+#[ignore = "long soak; exercised by the scheduled chaos-soak workflow"]
+fn chaos_soak_200_rounds() {
+    let (train, test) = SynthVisionConfig::small().generate(3).unwrap();
+    let topo = Topology::new(8, 4, vec![]).unwrap();
+    let parts = DirichletPartitioner::new(10.0).unwrap().partition(&train, 8, 3).unwrap();
+    let policy = RecoveryPolicy {
+        retry_budget: 4,
+        failover: true,
+        round_deadline_ms: 0,
+        ..RecoveryPolicy::standard()
+    };
+    let config = EngineConfig {
+        topology: topo,
+        model: ModelSpec::Mlp { widths: vec![16, 8, 4] },
+        upload: UploadStrategy::Sparse,
+        local_epochs: 1,
+        batch_size: 8,
+        schedule: LrSchedule::Constant(0.05),
+        seed: 29,
+        eval_every: 50,
+        eval_clients: 0,
+        parallel: false,
+        eval_after_local: false,
+        recovery: policy,
+    };
+    let filter: Box<dyn fedms_aggregation::AggregationRule> =
+        Box::new(TrimmedMean::new(0.25).unwrap());
+    let mut e = SimulationEngine::new(config, &train, &test, &parts, filter, vec![]).unwrap();
+    e.set_fault_plan(FaultPlan {
+        server_faults: vec![
+            ServerFault::Crash { round: 50 },
+            ServerFault::Straggler { delay: 2 },
+            ServerFault::None,
+            ServerFault::None,
+        ],
+        downlink_omission: 0.2,
+        duplicate_rate: 0.1,
+    })
+    .unwrap();
+    e.set_upload_drop_rate(0.1).unwrap();
+
+    let rounds = 200;
+    let result = e.run(rounds).expect("the soak must survive every fault class at once");
+    assert_eq!(e.round(), rounds, "every soak round must complete");
+    assert!(result.final_accuracy().unwrap().is_finite());
+    let comm = result.total_comm;
+    assert!(comm.retried_uploads > 0 && comm.retried_downloads > 0);
+    // Delivered-download floor: the fan-out of three live servers repaired
+    // against 20% omission should land the overwhelming majority of the
+    // ~24 per-round downlink copies across 200 rounds.
+    let delivered = comm.download_messages - comm.dropped_downloads - comm.duplicated_downloads;
+    assert!(
+        delivered >= (rounds as u64) * 8 * 2,
+        "soak delivered only {delivered} downlink models"
+    );
+}

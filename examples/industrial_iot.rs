@@ -10,8 +10,8 @@
 //! Run with: `cargo run --release --example industrial_iot`
 
 use fedms::{
-    AttackKind, DirichletPartitioner, EngineConfig, LrSchedule, ModelSpec, ServerAttack,
-    SimulationEngine, SynthSensorConfig, Topology, TrimmedMean, UploadStrategy,
+    AttackKind, DirichletPartitioner, EngineConfig, LrSchedule, ModelSpec, RecoveryPolicy,
+    ServerAttack, SimulationEngine, SynthSensorConfig, Topology, TrimmedMean, UploadStrategy,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -47,6 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eval_clients: 0,
         parallel: true,
         eval_after_local: true,
+        recovery: RecoveryPolicy::disabled(),
     };
     let attacks: Vec<(usize, Box<dyn ServerAttack>)> = byzantine
         .iter()

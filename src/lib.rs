@@ -67,8 +67,9 @@ pub use fedms_data::{
 pub use fedms_nn::{AvgPool2d, BatchNorm2d, Dropout, MaxPool2d, Sequential, Sigmoid, Tanh};
 pub use fedms_nn::{Layer, LrSchedule, Mlp, MobileNetNano, MobileNetNanoConfig, NeuralNet, Sgd};
 pub use fedms_sim::{
-    CommStats, EngineConfig, EventLog, FaultPlan, FaultSpec, ModelSpec, RoundDiagnostics,
-    RoundEvent, RoundMetrics, RunResult, RunSummary, ServerFault, SimError, SimulationEngine,
-    Snapshot, Topology, UploadStrategy,
+    CommStats, DegradedMode, EngineConfig, EventLog, FaultClass, FaultPlan, FaultSpec,
+    LocalTransport, ModelSpec, RecoveryPolicy, ResilientTransport, RoundDiagnostics, RoundEvent,
+    RoundMetrics, RunResult, RunSummary, ServerFault, SimError, SimulationEngine, Snapshot,
+    Topology, Transport, UploadReport, UploadStrategy,
 };
 pub use fedms_tensor::{Shape, Tensor, TensorError};

@@ -17,7 +17,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fedms init-config <file.json>\n  fedms run [<file.json>] [--out <file>] [--rounds <n>] [--seed <n>] [--save-checkpoint <file>] [--resume <file>]\n            [--crash <n>] [--crash-round <r>] [--stragglers <n>] [--straggler-delay <r>]\n            [--downlink-omission <p>] [--duplicate-rate <p>]\n  fedms compare <a.json> <b.json> [...]\n  fedms attacks\n  fedms filters\n\nfault flags inject benign server/link faults on top of the config's\nscenario; victims are sampled deterministically from the run seed."
+        "usage:\n  fedms init-config <file.json>\n  fedms run [<file.json>] [--out <file>] [--rounds <n>] [--seed <n>] [--save-checkpoint <file>] [--resume <file>]\n            [--crash <n>] [--crash-round <r>] [--stragglers <n>] [--straggler-delay <r>]\n            [--downlink-omission <p>] [--duplicate-rate <p>]\n            [--retry-budget <n>] [--attempt-timeout <ms>] [--backoff-base <ms>]\n            [--failover] [--proceed-degraded]\n  fedms compare <a.json> <b.json> [...]\n  fedms attacks\n  fedms filters\n\nfault flags inject benign server/link faults on top of the config's\nscenario; victims are sampled deterministically from the run seed.\nrecovery flags enable deadline-driven retries with seed-deterministic\nbackoff (--retry-budget), upload failover to alternate servers\n(--failover), and local continuation instead of aborting when a client's\nview still degrades below quorum (--proceed-degraded)."
     );
     ExitCode::FAILURE
 }
@@ -167,6 +167,11 @@ fn run(args: &[String]) -> ExitCode {
     let mut straggler_delay: Option<usize> = None;
     let mut downlink_omission: Option<f64> = None;
     let mut duplicate_rate: Option<f64> = None;
+    let mut retry_budget: Option<u32> = None;
+    let mut attempt_timeout: Option<u64> = None;
+    let mut backoff_base: Option<u64> = None;
+    let mut failover = false;
+    let mut proceed_degraded = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -181,6 +186,11 @@ fn run(args: &[String]) -> ExitCode {
             "--straggler-delay" => straggler_delay = it.next().and_then(|v| v.parse().ok()),
             "--downlink-omission" => downlink_omission = it.next().and_then(|v| v.parse().ok()),
             "--duplicate-rate" => duplicate_rate = it.next().and_then(|v| v.parse().ok()),
+            "--retry-budget" => retry_budget = it.next().and_then(|v| v.parse().ok()),
+            "--attempt-timeout" => attempt_timeout = it.next().and_then(|v| v.parse().ok()),
+            "--backoff-base" => backoff_base = it.next().and_then(|v| v.parse().ok()),
+            "--failover" => failover = true,
+            "--proceed-degraded" => proceed_degraded = true,
             other if !other.starts_with("--") && config_path.is_none() => config_path = Some(other),
             other => {
                 eprintln!("error: unrecognised argument {other}");
@@ -235,6 +245,22 @@ fn run(args: &[String]) -> ExitCode {
     if let Some(p) = duplicate_rate {
         cfg.fault.duplicate_rate = p;
     }
+    if let Some(n) = retry_budget {
+        cfg.recovery.retry_budget = n;
+    }
+    if let Some(ms) = attempt_timeout {
+        cfg.recovery.attempt_timeout_ms = ms;
+    }
+    if let Some(ms) = backoff_base {
+        cfg.recovery.backoff_base_ms = ms;
+        cfg.recovery.backoff_cap_ms = cfg.recovery.backoff_cap_ms.max(ms);
+    }
+    if failover {
+        cfg.recovery.failover = true;
+    }
+    if proceed_degraded {
+        cfg.recovery.on_degraded = fedms::DegradedMode::Proceed;
+    }
 
     println!(
         "fed-ms run: K={} P={} B={} attack={} filter={} rounds={} seed={}",
@@ -255,6 +281,20 @@ fn run(args: &[String]) -> ExitCode {
             cfg.fault.straggler_delay,
             cfg.fault.downlink_omission,
             cfg.fault.duplicate_rate
+        );
+    }
+    if !cfg.recovery.is_disabled() {
+        println!(
+            "recovery: retries={} timeout={}ms backoff={}ms(cap {}ms) failover={} degraded={}",
+            cfg.recovery.retry_budget,
+            cfg.recovery.attempt_timeout_ms,
+            cfg.recovery.backoff_base_ms,
+            cfg.recovery.backoff_cap_ms,
+            cfg.recovery.failover,
+            match cfg.recovery.on_degraded {
+                fedms::DegradedMode::Abort => "abort",
+                fedms::DegradedMode::Proceed => "proceed",
+            }
         );
     }
     let mut engine = match cfg.build_engine() {
@@ -286,6 +326,13 @@ fn run(args: &[String]) -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
+            if matches!(e, fedms::SimError::DegradedQuorum { .. }) {
+                eprintln!(
+                    "hint: enable the recovery layer (--retry-budget <n> and/or --failover) \
+                     to repair transient losses, or --proceed-degraded to ride out the round \
+                     on local models"
+                );
+            }
             return ExitCode::FAILURE;
         }
     };
@@ -319,6 +366,14 @@ fn run(args: &[String]) -> ExitCode {
         println!(
             "fault losses: {} uploads dropped, {} downloads dropped, {} duplicated",
             comm.dropped_uploads, comm.dropped_downloads, comm.duplicated_downloads
+        );
+    }
+    if comm.retried_uploads + comm.failover_uploads + comm.retried_downloads + comm.deadline_misses
+        > 0
+    {
+        println!(
+            "recovery: {} upload retries, {} failovers, {} download retransmissions, {} deadline misses",
+            comm.retried_uploads, comm.failover_uploads, comm.retried_downloads, comm.deadline_misses
         );
     }
     if let Some(path) = out_path {

@@ -4,8 +4,8 @@
 
 use fedms::{
     AttackKind, DirichletPartitioner, EngineConfig, LrSchedule, Mean, MobileNetNanoConfig,
-    ModelSpec, NoiseAttack, RotatingAttack, ServerAttack, SimulationEngine, SynthVisionConfig,
-    Topology, TrimmedMean, UploadStrategy,
+    ModelSpec, NoiseAttack, RecoveryPolicy, RotatingAttack, ServerAttack, SimulationEngine,
+    SynthVisionConfig, Topology, TrimmedMean, UploadStrategy,
 };
 
 fn small_data() -> (fedms::Dataset, fedms::Dataset) {
@@ -41,6 +41,7 @@ fn manual_assembly_with_trimmed_mean_filter() {
         eval_clients: 0,
         parallel: false,
         eval_after_local: false,
+        recovery: RecoveryPolicy::disabled(),
     };
     let attacks: Vec<(usize, Box<dyn ServerAttack>)> =
         vec![(2, Box::new(NoiseAttack::new(1.0).unwrap()))];
@@ -84,6 +85,7 @@ fn mobilenet_nano_federation_trains() {
         eval_clients: 0,
         parallel: false,
         eval_after_local: false,
+        recovery: RecoveryPolicy::disabled(),
     };
     let mut engine =
         SimulationEngine::new(config, &train, &test, &partitions, Box::new(Mean::new()), vec![])
@@ -109,6 +111,7 @@ fn engine_exposes_client_models_for_inspection() {
         eval_clients: 0,
         parallel: false,
         eval_after_local: false,
+        recovery: RecoveryPolicy::disabled(),
     };
     let mut engine =
         SimulationEngine::new(config, &train, &test, &partitions, Box::new(Mean::new()), vec![])
@@ -145,6 +148,7 @@ fn rotating_adaptive_adversary_is_survivable() {
         eval_clients: 0,
         parallel: false,
         eval_after_local: false,
+        recovery: RecoveryPolicy::disabled(),
     };
     let mut engine = SimulationEngine::new(
         config,
@@ -187,6 +191,7 @@ fn attack_trait_objects_compose_via_kind() {
             eval_clients: 2,
             parallel: false,
             eval_after_local: false,
+            recovery: RecoveryPolicy::disabled(),
         };
         let mut engine = SimulationEngine::new(
             config,
