@@ -1,47 +1,53 @@
 //! Figure 3 (a–d): test accuracy vs training epochs for Byzantine server
 //! fractions ε ∈ {0%, 10%, 20%, 30%} under the Noise attack, Fed-MS vs
-//! Vanilla FL.
+//! Vanilla FL — a thin wrapper over the checked-in sweep spec
+//! `experiments/fig3.toml` executed through `fedms-exp`.
 //!
 //! Per the algorithm's definition (Section IV-B) the trim rate tracks the
-//! Byzantine fraction: β = B/P = ε.
+//! Byzantine fraction: β = B/P = ε (the spec's `trimmed:matched` filter).
 //!
 //! Paper shape to reproduce: Fed-MS matches the attack-free baseline at
 //! every ε, while Vanilla FL degrades monotonically as ε grows.
 //!
 //! Usage: `cargo run --release -p fedms-bench --bin fig3`
 
-use fedms_attacks::AttackKind;
-use fedms_bench::{
-    harness_defaults, print_series_table, run_averaged, save_json, seeds_from_env, Series,
-};
-use fedms_core::{FilterKind, Result};
+use fedms_exp::{panels, print_series_table, run_spec, save_json, Series, SpecError};
 
-fn panel(byzantine: usize, servers: usize, seeds: &[u64]) -> Result<Vec<Series>> {
-    let beta = byzantine as f64 / servers as f64;
-    let algorithms = [
-        (format!("fed-ms (b={beta})"), FilterKind::TrimmedMean { beta }),
-        ("vanilla".to_string(), FilterKind::Mean),
-    ];
-    let mut out = Vec::new();
-    for (label, filter) in algorithms {
-        let mut cfg = harness_defaults(42)?;
-        cfg.byzantine_count = byzantine;
-        cfg.attack = AttackKind::Noise { std: 1.0 };
-        cfg.filter = filter;
-        out.push(Series { label, points: run_averaged(&cfg, seeds)? });
+const SPEC: &str = include_str!("../../../../experiments/fig3.toml");
+
+/// Old panel names kept so downstream plotting of `results/fig3.json`
+/// stays stable.
+fn panel_name(epsilon: &str) -> String {
+    match epsilon {
+        "0" => "3a-eps0".into(),
+        "0.1" => "3b-eps10".into(),
+        "0.2" => "3c-eps20".into(),
+        "0.3" => "3d-eps30".into(),
+        other => format!("3-eps-{other}"),
     }
-    Ok(out)
 }
 
-fn main() -> Result<()> {
-    let seeds = seeds_from_env();
+fn algorithm_label(filter: &str, epsilon: &str) -> String {
+    match filter {
+        "trimmed:matched" => format!("fed-ms (b={epsilon})"),
+        "mean" => "vanilla".into(),
+        other => other.into(),
+    }
+}
+
+fn main() -> Result<(), SpecError> {
     println!("Figure 3: impact of the Byzantine fraction (Noise attack)");
-    println!("K=50 P=10 E=3 D_a=10; seeds {seeds:?}");
+    println!("K=50 P=10 E=3 D_a=10");
+    let (_, report) = run_spec(SPEC)?;
     let mut all = serde_json::Map::new();
-    for (name, b) in [("3a-eps0", 0usize), ("3b-eps10", 1), ("3c-eps20", 2), ("3d-eps30", 3)] {
-        let series = panel(b, 10, &seeds)?;
-        print_series_table(&format!("Fig. {name} (e = {}%)", b * 10), &series);
-        all.insert(name.into(), serde_json::to_value(&series).unwrap_or_default());
+    for (epsilon, series) in panels(&report.records, "epsilon", "filter") {
+        let series: Vec<Series> = series
+            .into_iter()
+            .map(|s| Series { label: algorithm_label(&s.label, &epsilon), points: s.points })
+            .collect();
+        let name = panel_name(&epsilon);
+        print_series_table(&format!("Fig. {name} (e = {epsilon})"), &series);
+        all.insert(name, serde_json::to_value(&series).unwrap_or_default());
     }
     save_json("fig3", &all);
     Ok(())

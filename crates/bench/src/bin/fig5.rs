@@ -1,6 +1,8 @@
 //! Figure 5: test accuracy vs training epochs for data heterogeneity
 //! D_α ∈ {1, 5, 10, 1000}; ε = 20%, Noise attack, Fed-MS (β = 0.2), with
-//! the Vanilla-FL comparison the section's text discusses.
+//! the Vanilla-FL comparison the section's text discusses — a thin wrapper
+//! over the checked-in sweep spec `experiments/fig5.toml` executed through
+//! `fedms-exp`.
 //!
 //! Paper shape to reproduce: accuracy improves (weakly monotonically) with
 //! D_α; Vanilla FL stays far below Fed-MS at every D_α. Note (documented in
@@ -9,36 +11,34 @@
 //!
 //! Usage: `cargo run --release -p fedms-bench --bin fig5`
 
-use fedms_attacks::AttackKind;
-use fedms_bench::{
-    harness_defaults, print_series_table, run_averaged, save_json, seeds_from_env, Series,
-};
-use fedms_core::{FilterKind, Result};
+use fedms_exp::{panels, print_series_table, run_spec, save_json, Series, SpecError};
 
-fn curves(filter: FilterKind, seeds: &[u64]) -> Result<Vec<Series>> {
-    let mut out = Vec::new();
-    for alpha in [1.0, 5.0, 10.0, 1000.0] {
-        let mut cfg = harness_defaults(42)?;
-        cfg.byzantine_count = 2;
-        cfg.attack = AttackKind::Noise { std: 1.0 };
-        cfg.filter = filter;
-        cfg.dirichlet_alpha = alpha;
-        out.push(Series { label: format!("D_a={alpha}"), points: run_averaged(&cfg, seeds)? });
+const SPEC: &str = include_str!("../../../../experiments/fig5.toml");
+
+/// Old top-level JSON keys kept so downstream plotting of
+/// `results/fig5.json` stays stable.
+fn panel_name(filter: &str) -> (String, String) {
+    match filter {
+        "trimmed:0.2" => ("fedms".into(), "Fed-MS (beta=0.2) across D_a".into()),
+        "mean" => ("vanilla".into(), "Vanilla FL across D_a".into()),
+        other => (other.into(), format!("{other} across D_a")),
     }
-    Ok(out)
 }
 
-fn main() -> Result<()> {
-    let seeds = seeds_from_env();
+fn main() -> Result<(), SpecError> {
     println!("Figure 5: impact of data heterogeneity (Noise attack, e=20%)");
-    println!("K=50 P=10 E=3; seeds {seeds:?}");
-    let fedms = curves(FilterKind::TrimmedMean { beta: 0.2 }, &seeds)?;
-    print_series_table("Fed-MS (beta=0.2) across D_a", &fedms);
-    let vanilla = curves(FilterKind::Mean, &seeds)?;
-    print_series_table("Vanilla FL across D_a", &vanilla);
+    println!("K=50 P=10 E=3");
+    let (_, report) = run_spec(SPEC)?;
     let mut all = serde_json::Map::new();
-    all.insert("fedms".into(), serde_json::to_value(&fedms).unwrap_or_default());
-    all.insert("vanilla".into(), serde_json::to_value(&vanilla).unwrap_or_default());
+    for (filter, series) in panels(&report.records, "filter", "dirichlet_alpha") {
+        let series: Vec<Series> = series
+            .into_iter()
+            .map(|s| Series { label: format!("D_a={}", s.label), points: s.points })
+            .collect();
+        let (key, title) = panel_name(&filter);
+        print_series_table(&title, &series);
+        all.insert(key, serde_json::to_value(&series).unwrap_or_default());
+    }
     save_json("fig5", &all);
     Ok(())
 }

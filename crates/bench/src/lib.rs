@@ -1,65 +1,30 @@
 //! Experiment harness shared by the per-figure binaries and benches.
 //!
-//! Every table and figure of the paper's evaluation section has a binary in
-//! `src/bin/` that regenerates it:
+//! Every table and figure of the paper's evaluation section has a binary
+//! in `src/bin/`; the binary ↔ paper-artefact mapping (and the checked-in
+//! sweep specs under `experiments/` that back the accuracy figures) is
+//! tabulated in the repository README under *Reproducing the paper*. The
+//! accuracy figures (`fig2`, `fig3`, `fig5`) are thin
+//! wrappers over `fedms exp run` on those specs; the remaining drivers
+//! build their configs by hand and call [`run_averaged`].
 //!
-//! | Binary   | Paper artefact | Content |
-//! |----------|----------------|---------|
-//! | `fig2`   | Figure 2 (a–d) | accuracy vs epochs under Noise/Random/Safeguard/Backward for Fed-MS, Fed-MS⁻, Vanilla FL |
-//! | `fig3`   | Figure 3 (a–d) | accuracy vs epochs for ε ∈ {0,10,20,30}% under Noise |
-//! | `fig4`   | Figure 4       | per-client class histograms for D_α ∈ {1,5,10,1000} |
-//! | `fig5`   | Figure 5       | accuracy vs epochs for D_α ∈ {1,5,10,1000} |
-//! | `table2` | Table II       | the harness's actual experiment settings |
-//! | `theory` | Theorem 1      | measured optimality gap vs the closed-form bound (extra experiment E1) |
-//! | `comm`   | Section IV-A   | communication cost: sparse vs full vs redundant upload (extra E2) |
-//! | `lemma2` | Lemma 2        | empirical trimmed-mean error vs the order-statistics bound (extra E3) |
-//! | `dual`   | future work    | Byzantine servers AND clients with symmetric trimming (extra E4) |
-//! | `worstcase` | Section III-A | equivocating vs consistent dissemination (extra E5) |
-//! | `stealth` | extension     | ALIE / IPM stealth adversaries vs robust filters (extra E6) |
+//! The shared helpers ([`harness_defaults`], [`seeds_from_env`],
+//! [`rounds_from_env`], [`save_json`], [`Series`],
+//! [`print_series_table`]) live in `fedms-exp` and are re-exported here so
+//! the drivers keep a single import path.
 //!
 //! Environment knobs honoured by the accuracy experiments:
 //! `FEDMS_ROUNDS` (default 60), `FEDMS_SEEDS` (comma-separated, default
-//! `42`), `FEDMS_FAST=1` (10 rounds, quick smoke run). Results print as
-//! text tables and are also written to `results/<id>.json`.
+//! `42`), `FEDMS_FAST=1` (10 rounds, quick smoke run), `FEDMS_THREADS`
+//! (sweep parallelism). Results print as text tables and are written to
+//! `results/` as provenance-stamped artifacts with a `<name>.json` pointer
+//! to the latest.
 
 use fedms_core::{FedMsConfig, Result};
-use serde::Serialize;
-use std::io::Write as _;
 
-/// One labelled accuracy curve: `(round, accuracy)` points.
-#[derive(Debug, Clone, Serialize)]
-pub struct Series {
-    /// Curve label (e.g. `"fed-ms"`).
-    pub label: String,
-    /// `(round, mean accuracy)` points.
-    pub points: Vec<(usize, f32)>,
-}
-
-impl Series {
-    /// The accuracy at the last recorded round.
-    pub fn final_accuracy(&self) -> Option<f32> {
-        self.points.last().map(|&(_, a)| a)
-    }
-}
-
-/// Number of training rounds requested via the environment
-/// (`FEDMS_FAST` → 10, `FEDMS_ROUNDS` → explicit, default 60).
-pub fn rounds_from_env() -> usize {
-    if std::env::var("FEDMS_FAST").is_ok_and(|v| v == "1") {
-        return 10;
-    }
-    std::env::var("FEDMS_ROUNDS").ok().and_then(|v| v.parse().ok()).unwrap_or(60)
-}
-
-/// Experiment seeds requested via `FEDMS_SEEDS` (comma-separated), default
-/// `[42]`.
-pub fn seeds_from_env() -> Vec<u64> {
-    std::env::var("FEDMS_SEEDS")
-        .ok()
-        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
-        .filter(|v: &Vec<u64>| !v.is_empty())
-        .unwrap_or_else(|| vec![42])
-}
+pub use fedms_exp::{
+    harness_defaults, print_series_table, rounds_from_env, save_json, seeds_from_env, Series,
+};
 
 /// Runs `cfg` once per seed and averages the accuracy series point-wise.
 ///
@@ -86,102 +51,9 @@ pub fn run_averaged(cfg: &FedMsConfig, seeds: &[u64]) -> Result<Vec<(usize, f32)
     Ok(acc.into_iter().map(|(r, a)| (r, (a / n) as f32)).collect())
 }
 
-/// Prints labelled curves as an aligned text table: one row per evaluated
-/// round, one column per series.
-pub fn print_series_table(title: &str, series: &[Series]) {
-    println!("\n== {title} ==");
-    if series.is_empty() {
-        println!("(no data)");
-        return;
-    }
-    print!("{:>6}", "round");
-    for s in series {
-        print!(" {:>12}", truncate_label(&s.label, 12));
-    }
-    println!();
-    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
-    for i in 0..rows {
-        let round = series.iter().find_map(|s| s.points.get(i).map(|&(r, _)| r)).unwrap_or(i);
-        print!("{round:>6}");
-        for s in series {
-            match s.points.get(i) {
-                Some(&(_, a)) => print!(" {:>12.3}", a),
-                None => print!(" {:>12}", "-"),
-            }
-        }
-        println!();
-    }
-    print!("{:>6}", "final");
-    for s in series {
-        match s.final_accuracy() {
-            Some(a) => print!(" {:>12.3}", a),
-            None => print!(" {:>12}", "-"),
-        }
-    }
-    println!();
-}
-
-fn truncate_label(label: &str, width: usize) -> String {
-    if label.chars().count() <= width {
-        label.to_string()
-    } else {
-        label.chars().take(width - 1).chain(std::iter::once('…')).collect()
-    }
-}
-
-/// Writes any serialisable result to `results/<name>.json` under the
-/// workspace root (best effort: prints a warning on I/O failure rather than
-/// aborting the experiment output).
-pub fn save_json<T: Serialize>(name: &str, value: &T) {
-    let dir = std::path::Path::new("results");
-    let write = || -> std::io::Result<()> {
-        std::fs::create_dir_all(dir)?;
-        let mut f = std::fs::File::create(dir.join(format!("{name}.json")))?;
-        let body = serde_json::to_string_pretty(value)
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
-        f.write_all(body.as_bytes())
-    };
-    if let Err(e) = write() {
-        eprintln!("warning: could not save results/{name}.json: {e}");
-    }
-}
-
-/// The experiment defaults shared by every accuracy figure: Table II plus
-/// the calibrated substitutions documented in DESIGN.md.
-///
-/// # Errors
-///
-/// Propagates configuration errors.
-pub fn harness_defaults(seed: u64) -> Result<FedMsConfig> {
-    let mut cfg = FedMsConfig::paper_defaults(seed)?;
-    cfg.rounds = rounds_from_env();
-    cfg.eval_every = (cfg.rounds / 20).max(1);
-    Ok(cfg)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn series_final_accuracy() {
-        let s = Series { label: "x".into(), points: vec![(0, 0.1), (5, 0.9)] };
-        assert_eq!(s.final_accuracy(), Some(0.9));
-        let empty = Series { label: "y".into(), points: vec![] };
-        assert_eq!(empty.final_accuracy(), None);
-    }
-
-    #[test]
-    fn env_defaults() {
-        // Do not set the env vars here (tests run in parallel); just check
-        // the defaults hold when unset.
-        if std::env::var("FEDMS_ROUNDS").is_err() && std::env::var("FEDMS_FAST").is_err() {
-            assert_eq!(rounds_from_env(), 60);
-        }
-        if std::env::var("FEDMS_SEEDS").is_err() {
-            assert_eq!(seeds_from_env(), vec![42]);
-        }
-    }
 
     #[test]
     fn run_averaged_over_two_seeds() {
@@ -194,8 +66,8 @@ mod tests {
     }
 
     #[test]
-    fn truncate_label_width() {
-        assert_eq!(truncate_label("short", 12), "short");
-        assert_eq!(truncate_label("averyverylonglabel", 6).chars().count(), 6);
+    fn reexported_series_still_works() {
+        let s = Series { label: "x".into(), points: vec![(0, 0.1), (5, 0.9)] };
+        assert_eq!(s.final_accuracy(), Some(0.9));
     }
 }

@@ -297,6 +297,23 @@ impl FedMsConfig {
         Ok(engine)
     }
 
+    /// A stable 64-bit content hash of the full configuration (FNV-1a over
+    /// the canonical JSON serialization).
+    ///
+    /// Two configs hash equal iff they serialize identically, so the hash
+    /// is a durable identity for provenance stamps, run-store directory
+    /// names and resume lookups. The seed is part of the hash: the same
+    /// grid cell under two seeds is two distinct trials.
+    pub fn stable_hash(&self) -> u64 {
+        let json = serde_json::to_string(self).unwrap_or_default();
+        crate::hash::fnv1a64(json.as_bytes())
+    }
+
+    /// [`FedMsConfig::stable_hash`] as 16 lowercase hex digits.
+    pub fn stable_hash_hex(&self) -> String {
+        format!("{:016x}", self.stable_hash())
+    }
+
     /// Runs the full experiment and returns the per-round metrics.
     ///
     /// # Errors
@@ -426,6 +443,20 @@ mod tests {
         cfg.attack = AttackKind::Random { lo: -10.0, hi: 10.0 };
         let result = cfg.run().unwrap();
         assert_eq!(result.rounds.len(), 3);
+    }
+
+    #[test]
+    fn stable_hash_tracks_content() {
+        let a = FedMsConfig::tiny(1);
+        let b = FedMsConfig::tiny(1);
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        assert_eq!(a.stable_hash_hex().len(), 16);
+        let mut c = FedMsConfig::tiny(1);
+        c.seed = 2;
+        assert_ne!(a.stable_hash(), c.stable_hash(), "seed must be part of the identity");
+        let mut d = FedMsConfig::tiny(1);
+        d.rounds += 1;
+        assert_ne!(a.stable_hash(), d.stable_hash());
     }
 
     #[test]

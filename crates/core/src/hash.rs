@@ -1,0 +1,54 @@
+//! Stable content hashing for experiment provenance.
+//!
+//! Results files, run manifests and trial records are keyed by a hash of
+//! the configuration that produced them. [`std::hash::Hasher`] makes no
+//! stability promise across Rust releases, so provenance uses a hand-rolled
+//! FNV-1a: the hash of a given byte string is fixed forever, which keeps
+//! run-store directory names and resume lookups valid across toolchains.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The 64-bit FNV-1a hash of `bytes`.
+///
+/// Deterministic across platforms, toolchains and process runs — the
+/// stability contract the experiment run store relies on.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// [`fnv1a64`] rendered as 16 lowercase hex digits.
+pub fn fnv1a64_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_rendering() {
+        assert_eq!(fnv1a64_hex(b""), "cbf29ce484222325");
+        assert_eq!(fnv1a64_hex(b"a").len(), 16);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        assert_ne!(fnv1a64(b"seed=1"), fnv1a64(b"seed=2"));
+    }
+}

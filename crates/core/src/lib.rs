@@ -44,11 +44,13 @@
 mod config;
 mod error;
 mod filter;
+pub mod hash;
 pub mod theory;
 
 pub use config::FedMsConfig;
 pub use error::CoreError;
 pub use filter::FilterKind;
+pub use hash::{fnv1a64, fnv1a64_hex};
 
 /// Crate-wide `Result` alias using [`CoreError`].
 pub type Result<T> = std::result::Result<T, CoreError>;

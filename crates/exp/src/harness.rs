@@ -1,0 +1,77 @@
+//! Shared harness helpers: the environment knobs and Table-II defaults the
+//! per-figure bench binaries all honour.
+//!
+//! These used to be copy-pasted across `crates/bench`; they live here now
+//! so the spec runner, the CLI and every bench binary read the environment
+//! the same way. `fedms-bench` re-exports them unchanged.
+
+use fedms_core::{FedMsConfig, Result};
+
+/// Number of training rounds requested via the environment
+/// (`FEDMS_FAST` → 10, `FEDMS_ROUNDS` → explicit, default 60).
+pub fn rounds_from_env() -> usize {
+    if std::env::var("FEDMS_FAST").is_ok_and(|v| v == "1") {
+        return 10;
+    }
+    std::env::var("FEDMS_ROUNDS").ok().and_then(|v| v.parse().ok()).unwrap_or(60)
+}
+
+/// Experiment seeds requested via `FEDMS_SEEDS` (comma-separated), default
+/// `[42]`.
+pub fn seeds_from_env() -> Vec<u64> {
+    std::env::var("FEDMS_SEEDS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<u64>| !v.is_empty())
+        .unwrap_or_else(|| vec![42])
+}
+
+/// Worker-thread count requested via `FEDMS_THREADS`, defaulting to the
+/// machine's available parallelism.
+pub fn threads_from_env() -> usize {
+    std::env::var("FEDMS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// The experiment defaults shared by every accuracy figure: Table II plus
+/// the calibrated substitutions documented in DESIGN.md.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn harness_defaults(seed: u64) -> Result<FedMsConfig> {
+    let mut cfg = FedMsConfig::paper_defaults(seed)?;
+    cfg.rounds = rounds_from_env();
+    cfg.eval_every = (cfg.rounds / 20).max(1);
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        // Do not set the env vars here (tests run in parallel); just check
+        // the defaults hold when unset.
+        if std::env::var("FEDMS_ROUNDS").is_err() && std::env::var("FEDMS_FAST").is_err() {
+            assert_eq!(rounds_from_env(), 60);
+        }
+        if std::env::var("FEDMS_SEEDS").is_err() {
+            assert_eq!(seeds_from_env(), vec![42]);
+        }
+        if std::env::var("FEDMS_THREADS").is_err() {
+            assert!(threads_from_env() >= 1);
+        }
+    }
+
+    #[test]
+    fn harness_defaults_track_env_rounds() {
+        let cfg = harness_defaults(42).unwrap();
+        assert_eq!(cfg.rounds, rounds_from_env());
+        assert_eq!(cfg.eval_every, (cfg.rounds / 20).max(1));
+    }
+}

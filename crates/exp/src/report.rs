@@ -1,0 +1,208 @@
+//! Turning trial records back into figure series.
+//!
+//! The figure binaries are thin wrappers: they run a checked-in spec and
+//! then use [`panels`] to regroup the flat record list into the paper's
+//! panel/series structure — one panel per value of one grid axis, one
+//! series per value of another, seeds averaged point-wise.
+
+use crate::trial::TrialRecord;
+use serde::Serialize;
+
+/// One labelled accuracy curve: `(round, accuracy)` points.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Curve label (e.g. `"trimmed:0.2"`).
+    pub label: String,
+    /// `(round, mean accuracy)` points.
+    pub points: Vec<(usize, f32)>,
+}
+
+impl Series {
+    /// The accuracy at the last recorded round.
+    pub fn final_accuracy(&self) -> Option<f32> {
+        self.points.last().map(|&(_, a)| a)
+    }
+}
+
+/// Averages several point series point-wise (they share the round grid by
+/// construction: same config modulo seed).
+pub fn average_points(runs: &[&[(usize, f32)]]) -> Vec<(usize, f32)> {
+    let Some(first) = runs.first() else { return Vec::new() };
+    let mut acc: Vec<(usize, f64)> = first.iter().map(|&(r, a)| (r, f64::from(a))).collect();
+    for run in &runs[1..] {
+        for (slot, &(r, a)) in acc.iter_mut().zip(run.iter()) {
+            debug_assert_eq!(slot.0, r);
+            slot.1 += f64::from(a);
+        }
+    }
+    let n = runs.len() as f64;
+    acc.into_iter().map(|(r, a)| (r, (a / n) as f32)).collect()
+}
+
+fn axis_value<'r>(record: &'r TrialRecord, key: &str) -> Option<&'r str> {
+    record.axes.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+/// Groups completed records into `(panel value, series list)` pairs.
+///
+/// `panel_key` and `series_key` name grid axes; records are grouped by
+/// their `panel_key` value (first-seen order), then within each panel by
+/// their `series_key` value, averaging across seeds. Pass `panel_key = ""`
+/// for a single unnamed panel. Failed records and records missing either
+/// axis are skipped — a partially-failed sweep still yields its surviving
+/// curves.
+pub fn panels(
+    records: &[TrialRecord],
+    panel_key: &str,
+    series_key: &str,
+) -> Vec<(String, Vec<Series>)> {
+    // Records grouped by series value, nested under their panel value.
+    type SeriesGroup<'r> = Vec<(String, Vec<&'r TrialRecord>)>;
+    let mut out: Vec<(String, SeriesGroup)> = Vec::new();
+    for record in records.iter().filter(|r| r.is_completed()) {
+        let panel = if panel_key.is_empty() { Some("") } else { axis_value(record, panel_key) };
+        let (Some(panel), Some(series)) = (panel, axis_value(record, series_key)) else {
+            continue;
+        };
+        let panel_slot = match out.iter_mut().find(|(p, _)| p == panel) {
+            Some(slot) => slot,
+            None => {
+                out.push((panel.to_string(), Vec::new()));
+                out.last_mut().expect("just pushed")
+            }
+        };
+        let series = series.to_string();
+        match panel_slot.1.iter_mut().find(|(s, _)| *s == series) {
+            Some((_, records)) => records.push(record),
+            None => panel_slot.1.push((series, vec![record])),
+        }
+    }
+    out.into_iter()
+        .map(|(panel, series)| {
+            let series = series
+                .into_iter()
+                .map(|(label, records)| {
+                    let runs: Vec<&[(usize, f32)]> =
+                        records.iter().map(|r| r.points.as_slice()).collect();
+                    Series { label, points: average_points(&runs) }
+                })
+                .collect();
+            (panel, series)
+        })
+        .collect()
+}
+
+/// Prints labelled curves as an aligned text table: one row per evaluated
+/// round, one column per series.
+pub fn print_series_table(title: &str, series: &[Series]) {
+    println!("\n== {title} ==");
+    if series.is_empty() {
+        println!("(no data)");
+        return;
+    }
+    print!("{:>6}", "round");
+    for s in series {
+        print!(" {:>12}", truncate_label(&s.label, 12));
+    }
+    println!();
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let round = series.iter().find_map(|s| s.points.get(i).map(|&(r, _)| r)).unwrap_or(i);
+        print!("{round:>6}");
+        for s in series {
+            match s.points.get(i) {
+                Some(&(_, a)) => print!(" {:>12.3}", a),
+                None => print!(" {:>12}", "-"),
+            }
+        }
+        println!();
+    }
+    print!("{:>6}", "final");
+    for s in series {
+        match s.final_accuracy() {
+            Some(a) => print!(" {:>12.3}", a),
+            None => print!(" {:>12}", "-"),
+        }
+    }
+    println!();
+}
+
+fn truncate_label(label: &str, width: usize) -> String {
+    if label.chars().count() <= width {
+        label.to_string()
+    } else {
+        label.chars().take(width - 1).chain(std::iter::once('…')).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trial::TrialStatus;
+
+    fn record(axes: &[(&str, &str)], seed: u64, points: Vec<(usize, f32)>) -> TrialRecord {
+        TrialRecord {
+            trial_id: format!("t-{seed}-{}", axes.iter().map(|(_, v)| *v).collect::<String>()),
+            label: String::new(),
+            axes: axes.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect(),
+            seed,
+            config_hash: String::new(),
+            status: TrialStatus::Completed,
+            final_accuracy: points.last().map(|&(_, a)| a),
+            points,
+            comm: None,
+        }
+    }
+
+    #[test]
+    fn series_final_accuracy() {
+        let s = Series { label: "x".into(), points: vec![(0, 0.1), (5, 0.9)] };
+        assert_eq!(s.final_accuracy(), Some(0.9));
+        let empty = Series { label: "y".into(), points: vec![] };
+        assert_eq!(empty.final_accuracy(), None);
+    }
+
+    #[test]
+    fn panels_group_and_average_seeds() {
+        let records = vec![
+            record(&[("attack", "noise"), ("filter", "mean")], 1, vec![(0, 0.2), (1, 0.4)]),
+            record(&[("attack", "noise"), ("filter", "mean")], 2, vec![(0, 0.4), (1, 0.6)]),
+            record(&[("attack", "noise"), ("filter", "trimmed:0.2")], 1, vec![(0, 0.5), (1, 0.7)]),
+            record(&[("attack", "zero"), ("filter", "mean")], 1, vec![(0, 0.1), (1, 0.2)]),
+        ];
+        let panels = panels(&records, "attack", "filter");
+        assert_eq!(panels.len(), 2);
+        assert_eq!(panels[0].0, "noise");
+        assert_eq!(panels[0].1.len(), 2);
+        let mean = &panels[0].1[0];
+        assert_eq!(mean.label, "mean");
+        assert_eq!(mean.points, vec![(0, 0.3), (1, 0.5)], "seeds must average point-wise");
+        assert_eq!(panels[1].0, "zero");
+    }
+
+    #[test]
+    fn failed_records_are_skipped() {
+        let mut bad = record(&[("attack", "noise"), ("filter", "mean")], 1, vec![(0, 0.2)]);
+        bad.status = TrialStatus::Failed { error: "boom".into() };
+        let good = record(&[("attack", "noise"), ("filter", "mean")], 2, vec![(0, 0.4)]);
+        let panels = panels(&[bad, good], "attack", "filter");
+        assert_eq!(panels[0].1[0].points, vec![(0, 0.4)]);
+    }
+
+    #[test]
+    fn empty_panel_key_gives_single_panel() {
+        let records = vec![
+            record(&[("filter", "mean")], 1, vec![(0, 0.2)]),
+            record(&[("filter", "median")], 1, vec![(0, 0.3)]),
+        ];
+        let panels = panels(&records, "", "filter");
+        assert_eq!(panels.len(), 1);
+        assert_eq!(panels[0].1.len(), 2);
+    }
+
+    #[test]
+    fn truncate_label_width() {
+        assert_eq!(truncate_label("short", 12), "short");
+        assert_eq!(truncate_label("averyverylonglabel", 6).chars().count(), 6);
+    }
+}

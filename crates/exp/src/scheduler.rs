@@ -1,0 +1,257 @@
+//! Work-stealing multi-threaded trial scheduler.
+//!
+//! Trials are dealt round-robin onto per-worker deques; each worker drains
+//! its own deque from the front and, when empty, steals from the back of
+//! its peers — classic work-stealing over plain `std` primitives (the
+//! environment is offline; no rayon/crossbeam). Results flow to the calling
+//! thread over a **bounded** channel, so the caller is the only writer to
+//! the run store and progress reporting back-pressures the workers instead
+//! of buffering unboundedly.
+//!
+//! Two properties the tests pin down:
+//!
+//! * **Determinism** — a trial's record is produced by the trial runner
+//!   alone; the scheduler only decides *when* it runs. `--threads 1` and
+//!   `--threads N` therefore write byte-identical per-trial records.
+//! * **Panic isolation** — a panicking trial is caught at the worker
+//!   boundary and recorded as [`TrialStatus::Failed`]; the sweep continues.
+//!
+//! [`TrialStatus::Failed`]: crate::TrialStatus
+
+use crate::store::RunStore;
+use crate::trial::{execute_trial, Trial, TrialRecord};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Progress events emitted to the caller's callback, in store-write order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Progress {
+    /// The trial already had a completed record in the store; not re-run.
+    Skipped {
+        /// The trial's id.
+        trial_id: String,
+    },
+    /// A worker picked the trial up.
+    Started {
+        /// The trial's id.
+        trial_id: String,
+        /// Index of the worker thread executing it.
+        worker: usize,
+    },
+    /// The trial finished (completed or failed) and its record was written.
+    Finished {
+        /// The written record (boxed: much larger than the other variants).
+        record: Box<TrialRecord>,
+    },
+}
+
+/// Aggregate outcome of one scheduler invocation.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Trials executed by this invocation.
+    pub executed: usize,
+    /// Trials skipped because a completed record was already stored.
+    pub skipped: usize,
+    /// Executed trials that ended in [`crate::TrialStatus::Failed`].
+    pub failed: usize,
+    /// Every trial's record, in trial order — freshly executed and
+    /// previously stored alike, so callers always see the complete sweep.
+    pub records: Vec<TrialRecord>,
+}
+
+enum WorkerMsg {
+    Started { trial_idx: usize, worker: usize },
+    Done { trial_idx: usize, record: Box<TrialRecord> },
+}
+
+/// Runs `trials` through the store with the default runner
+/// ([`execute_trial`]).
+///
+/// # Errors
+///
+/// Propagates store I/O errors; individual trial failures are recorded,
+/// not raised.
+pub fn run_sweep(
+    trials: &[Trial],
+    store: &RunStore,
+    threads: usize,
+    on_progress: impl FnMut(&Progress),
+) -> Result<SweepReport, String> {
+    run_sweep_with(trials, store, threads, execute_trial, on_progress)
+}
+
+/// Runs `trials` with a caller-supplied runner (tests inject panicking or
+/// instant runners here; production uses [`execute_trial`]).
+///
+/// Trials that already have a *completed* record in `store` are skipped;
+/// failed records are retried. Each executed trial's record is written to
+/// the store by the calling thread before its
+/// [`Progress::Finished`] fires, so a kill at any point leaves the store
+/// prefix-consistent: every record on disk is complete and final.
+///
+/// # Errors
+///
+/// Propagates store I/O errors; individual trial failures are recorded,
+/// not raised.
+pub fn run_sweep_with<F>(
+    trials: &[Trial],
+    store: &RunStore,
+    threads: usize,
+    runner: F,
+    mut on_progress: impl FnMut(&Progress),
+) -> Result<SweepReport, String>
+where
+    F: Fn(&Trial, Option<&std::path::Path>) -> TrialRecord + Sync,
+{
+    let threads = threads.max(1);
+    let mut report = SweepReport::default();
+    let mut records: Vec<Option<TrialRecord>> = vec![None; trials.len()];
+
+    // Skip-on-resume: completed records are final; anything else runs.
+    let done = store.completed_records().map_err(|e| e.to_string())?;
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, t) in trials.iter().enumerate() {
+        match done.get(&t.id) {
+            Some(r) => {
+                records[i] = Some(r.clone());
+                report.skipped += 1;
+                on_progress(&Progress::Skipped { trial_id: t.id.clone() });
+            }
+            None => pending.push(i),
+        }
+    }
+
+    if !pending.is_empty() {
+        // Deal pending trials round-robin onto per-worker deques.
+        let workers = threads.min(pending.len());
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+        for (n, &idx) in pending.iter().enumerate() {
+            queues[n % workers].push_back(idx);
+        }
+        let queues: Vec<Mutex<VecDeque<usize>>> = queues.into_iter().map(Mutex::new).collect();
+        let expected = pending.len();
+        // Bounded: workers block rather than buffer when the collector
+        // (which is also the store writer) falls behind.
+        let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(threads * 2);
+
+        std::thread::scope(|scope| -> Result<(), String> {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let queues = &queues;
+                let runner = &runner;
+                scope.spawn(move || {
+                    while let Some(idx) = pop_task(queues, w) {
+                        if tx.send(WorkerMsg::Started { trial_idx: idx, worker: w }).is_err() {
+                            break;
+                        }
+                        let trial = &trials[idx];
+                        let ckpt =
+                            (trial.checkpoint_every > 0).then(|| store.checkpoint_path(&trial.id));
+                        let record =
+                            match catch_unwind(AssertUnwindSafe(|| runner(trial, ckpt.as_deref())))
+                            {
+                                Ok(record) => record,
+                                Err(payload) => {
+                                    TrialRecord::failed(trial, panic_message(payload.as_ref()))
+                                }
+                            };
+                        if tx
+                            .send(WorkerMsg::Done { trial_idx: idx, record: Box::new(record) })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut finished = 0usize;
+            while finished < expected {
+                let msg = rx.recv().map_err(|_| {
+                    "scheduler workers hung up before finishing all trials".to_string()
+                })?;
+                match msg {
+                    WorkerMsg::Started { trial_idx, worker } => {
+                        on_progress(&Progress::Started {
+                            trial_id: trials[trial_idx].id.clone(),
+                            worker,
+                        });
+                    }
+                    WorkerMsg::Done { trial_idx, record } => {
+                        store.write_record(&record).map_err(|e| e.to_string())?;
+                        report.executed += 1;
+                        if !record.is_completed() {
+                            report.failed += 1;
+                        }
+                        finished += 1;
+                        on_progress(&Progress::Finished { record: record.clone() });
+                        records[trial_idx] = Some(*record);
+                    }
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    report.records = records
+        .into_iter()
+        .map(|r| r.expect("every trial is either skipped (stored) or executed"))
+        .collect();
+    Ok(report)
+}
+
+/// Pops the next task for worker `w`: own deque front first, then steal
+/// from peers' backs.
+fn pop_task(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(idx) = queues[w].lock().ok()?.pop_front() {
+        return Some(idx);
+    }
+    let n = queues.len();
+    for off in 1..n {
+        let victim = (w + off) % n;
+        if let Some(idx) = queues[victim].lock().ok()?.pop_back() {
+            return Some(idx);
+        }
+    }
+    None
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("trial panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("trial panicked: {s}")
+    } else {
+        "trial panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_task_drains_own_then_steals() {
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            vec![VecDeque::from([0, 1]).into(), VecDeque::from([2, 3]).into()];
+        assert_eq!(pop_task(&queues, 0), Some(0));
+        assert_eq!(pop_task(&queues, 0), Some(1));
+        // Own queue empty: steal from the *back* of the peer.
+        assert_eq!(pop_task(&queues, 0), Some(3));
+        assert_eq!(pop_task(&queues, 1), Some(2));
+        assert_eq!(pop_task(&queues, 0), None);
+        assert_eq!(pop_task(&queues, 1), None);
+    }
+
+    #[test]
+    fn panic_messages_from_both_payload_kinds() {
+        let p = catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "trial panicked: static str");
+        let p = catch_unwind(|| panic!("{}", String::from("formatted"))).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "trial panicked: formatted");
+    }
+}

@@ -1,0 +1,767 @@
+//! Declarative sweep specs: parse, validate, expand.
+//!
+//! A spec is a small TOML-subset document (see [`crate::toml`]) with three
+//! tables:
+//!
+//! ```toml
+//! [experiment]           # run identity and global knobs
+//! name = "fig3"          # required; names the run directory
+//! title = "..."          # optional, printed at sweep start
+//! seeds = [42, 43]       # default [42]; FEDMS_SEEDS overrides
+//! rounds = 60            # default 60; FEDMS_ROUNDS / FEDMS_FAST override
+//! scale = "paper"        # "paper" (Table II) or "tiny" (test scale)
+//! eval_every = 3         # default max(rounds/20, 1)
+//! checkpoint_every = 0   # engine snapshot cadence, 0 = off
+//!
+//! [base]                 # overrides applied to every cell
+//! byzantine = 2
+//! attack = "noise"
+//!
+//! [grid]                 # each key is an axis; cells = cross product
+//! filter = ["trimmed:0.2", "mean"]
+//! epsilon = [0.0, 0.1, 0.2, 0.3]
+//! ```
+//!
+//! Expansion crosses the grid axes in declaration order, applies `[base]`
+//! then the cell's axis values to the scale's base config, crosses with the
+//! seed list, and **deduplicates** trials whose resolved `(config, seed)`
+//! coincide. Attack and filter values are compact `kind[:param[:param]]`
+//! strings; `trimmed:matched` resolves β = B/P per cell (the paper's
+//! matched trim rate), `adaptive:matched` resolves trim = B.
+
+use crate::toml::{self, Value};
+use crate::trial::Trial;
+use fedms_attacks::{AttackKind, ClientAttackKind};
+use fedms_core::{fnv1a64_hex, FedMsConfig, FilterKind};
+use fedms_nn::LrSchedule;
+use fedms_sim::UploadStrategy;
+use std::fmt;
+
+/// A spec-level failure: parse error, unknown key, bad value, infeasible
+/// config.
+#[derive(Debug, Clone)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<toml::TomlError> for SpecError {
+    fn from(e: toml::TomlError) -> Self {
+        SpecError(e.to_string())
+    }
+}
+
+/// The base configuration a spec's overrides start from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// [`FedMsConfig::paper_defaults`] — Table II (K=50, P=10).
+    Paper,
+    /// [`FedMsConfig::tiny`] — the 8-client/4-server test federation.
+    Tiny,
+}
+
+/// A parsed, validated sweep spec, ready to expand into trials.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// `[experiment] name` — names the run directory.
+    pub name: String,
+    /// `[experiment] title`, printed at sweep start.
+    pub title: String,
+    /// Seed list the grid is crossed with.
+    pub seeds: Vec<u64>,
+    /// Training rounds per trial.
+    pub rounds: usize,
+    /// Evaluation cadence; `None` = auto (`max(rounds/20, 1)`).
+    pub eval_every: Option<usize>,
+    /// Base config preset.
+    pub scale: Scale,
+    /// Engine-snapshot cadence for long trials (0 = off).
+    pub checkpoint_every: usize,
+    /// `[base]` overrides in declaration order.
+    pub base: Vec<(String, Value)>,
+    /// `[grid]` axes in declaration order.
+    pub axes: Vec<(String, Vec<Value>)>,
+    /// The verbatim spec source (hashed for the run id, copied into the
+    /// run directory).
+    pub source: String,
+}
+
+/// Override keys accepted in `[base]` and `[grid]`.
+const KNOWN_KEYS: &[&str] = &[
+    "clients",
+    "servers",
+    "byzantine",
+    "epsilon",
+    "byzantine_clients",
+    "attack",
+    "client_attack",
+    "equivocate",
+    "filter",
+    "server_filter",
+    "upload",
+    "local_epochs",
+    "batch_size",
+    "lr",
+    "dirichlet_alpha",
+    "rounds",
+    "participation",
+    "upload_drop_rate",
+    "crashed_servers",
+    "crash_round",
+    "straggler_servers",
+    "straggler_delay",
+    "downlink_omission",
+    "duplicate_rate",
+    "retry_budget",
+    "attempt_timeout_ms",
+    "backoff_base_ms",
+    "backoff_cap_ms",
+    "failover",
+    "proceed_degraded",
+];
+
+fn bad(msg: impl Into<String>) -> SpecError {
+    SpecError(msg.into())
+}
+
+impl SweepSpec {
+    /// Parses and validates a spec document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the offending key or line for parse
+    /// failures, unknown keys/tables, and malformed values.
+    pub fn parse(source: &str) -> Result<SweepSpec, SpecError> {
+        let doc = toml::parse(source)?;
+        for table in &doc.tables {
+            match table.name.as_str() {
+                "experiment" | "base" | "grid" => {}
+                "" => return Err(bad("keys before any table header; start with [experiment]")),
+                other => return Err(bad(format!("unknown table [{other}]"))),
+            }
+        }
+        let exp = doc.table("experiment").ok_or_else(|| bad("missing [experiment] table"))?;
+        for entry in &exp.entries {
+            match entry.key.as_str() {
+                "name" | "title" | "figure" | "seeds" | "rounds" | "scale" | "eval_every"
+                | "checkpoint_every" => {}
+                other => {
+                    return Err(bad(format!(
+                        "line {}: unknown [experiment] key `{other}`",
+                        entry.line
+                    )))
+                }
+            }
+        }
+        let name = exp
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("[experiment] needs a string `name`"))?
+            .to_string();
+        if name.is_empty()
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(bad(format!("experiment name `{name}` must be a nonempty slug")));
+        }
+        let title = exp.get("title").and_then(Value::as_str).unwrap_or(&name).to_string();
+        let seeds = match exp.get("seeds") {
+            None => vec![42],
+            Some(v) => {
+                let items = v.as_array().ok_or_else(|| bad("`seeds` must be an array"))?;
+                let mut seeds = Vec::new();
+                for item in items {
+                    let i = item
+                        .as_int()
+                        .filter(|&i| i >= 0)
+                        .ok_or_else(|| bad("`seeds` entries must be non-negative integers"))?;
+                    seeds.push(i as u64);
+                }
+                if seeds.is_empty() {
+                    return Err(bad("`seeds` must not be empty"));
+                }
+                seeds
+            }
+        };
+        let rounds = match exp.get("rounds") {
+            None => 60,
+            Some(v) => usize_value(v).map_err(|e| bad(format!("`rounds`: {e}")))?,
+        };
+        if rounds == 0 {
+            return Err(bad("`rounds` must be positive"));
+        }
+        let eval_every = match exp.get("eval_every") {
+            None => None,
+            Some(v) => {
+                let n = usize_value(v).map_err(|e| bad(format!("`eval_every`: {e}")))?;
+                if n == 0 {
+                    return Err(bad("`eval_every` must be positive"));
+                }
+                Some(n)
+            }
+        };
+        let scale = match exp.get("scale").map(|v| v.as_str().unwrap_or_default()) {
+            None | Some("paper") => Scale::Paper,
+            Some("tiny") => Scale::Tiny,
+            Some(other) => return Err(bad(format!("unknown scale `{other}` (paper|tiny)"))),
+        };
+        let checkpoint_every = match exp.get("checkpoint_every") {
+            None => 0,
+            Some(v) => usize_value(v).map_err(|e| bad(format!("`checkpoint_every`: {e}")))?,
+        };
+
+        let mut base = Vec::new();
+        if let Some(table) = doc.table("base") {
+            for entry in &table.entries {
+                check_key(&entry.key, entry.line)?;
+                if matches!(entry.value, Value::Array(_)) {
+                    return Err(bad(format!(
+                        "line {}: [base] values are scalars; put axis `{}` under [grid]",
+                        entry.line, entry.key
+                    )));
+                }
+                base.push((entry.key.clone(), entry.value.clone()));
+            }
+        }
+        let mut axes = Vec::new();
+        if let Some(table) = doc.table("grid") {
+            for entry in &table.entries {
+                check_key(&entry.key, entry.line)?;
+                let values = entry
+                    .value
+                    .as_array()
+                    .ok_or_else(|| {
+                        bad(format!(
+                            "line {}: [grid] values are arrays; scalar `{}` belongs in [base]",
+                            entry.line, entry.key
+                        ))
+                    })?
+                    .to_vec();
+                if values.is_empty() {
+                    return Err(bad(format!("line {}: axis `{}` is empty", entry.line, entry.key)));
+                }
+                axes.push((entry.key.clone(), values));
+            }
+        }
+
+        let spec = SweepSpec {
+            name,
+            title,
+            seeds,
+            rounds,
+            eval_every,
+            scale,
+            checkpoint_every,
+            base,
+            axes,
+            source: source.to_string(),
+        };
+        // Surface bad cell values at parse time, not mid-sweep.
+        spec.expand()?;
+        Ok(spec)
+    }
+
+    /// Applies the harness environment overrides: `FEDMS_SEEDS` replaces
+    /// the seed list, `FEDMS_ROUNDS` replaces the round count, and
+    /// `FEDMS_FAST=1` clamps rounds to at most 10 (a smoke run never runs
+    /// *longer* than the spec asks).
+    pub fn apply_env(&mut self) {
+        if let Some(seeds) = std::env::var("FEDMS_SEEDS")
+            .ok()
+            .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect::<Vec<u64>>())
+            .filter(|v| !v.is_empty())
+        {
+            self.seeds = seeds;
+        }
+        if let Some(rounds) =
+            std::env::var("FEDMS_ROUNDS").ok().and_then(|v| v.parse::<usize>().ok())
+        {
+            if rounds > 0 {
+                self.rounds = rounds;
+            }
+        }
+        if std::env::var("FEDMS_FAST").is_ok_and(|v| v == "1") {
+            self.rounds = self.rounds.min(10);
+        }
+    }
+
+    /// The spec-source hash (16 hex digits) — the run's identity.
+    pub fn spec_hash(&self) -> String {
+        fnv1a64_hex(self.source.as_bytes())
+    }
+
+    /// The default run id: `<name>-<spec-hash8>`. Deterministic, so
+    /// re-running an unchanged spec resumes its own run directory.
+    pub fn default_run_id(&self) -> String {
+        format!("{}-{}", self.name, &self.spec_hash()[..8])
+    }
+
+    /// Expands the grid into the deduplicated trial list:
+    /// `cells(axes) × seeds`, minus trials whose resolved `(config, seed)`
+    /// duplicate an earlier one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the cell for malformed override
+    /// values or configs that fail [`FedMsConfig::validate`].
+    pub fn expand(&self) -> Result<Vec<Trial>, SpecError> {
+        let mut trials = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let cells = self.cells();
+        for cell in &cells {
+            let label = if cell.is_empty() {
+                "base".to_string()
+            } else {
+                cell.iter()
+                    .map(|(k, v)| format!("{k}={}", v.display()))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let axes: Vec<(String, String)> =
+                cell.iter().map(|(k, v)| (k.clone(), v.display())).collect();
+            for &seed in &self.seeds {
+                let config = self
+                    .resolve_config(cell, seed)
+                    .map_err(|e| bad(format!("cell `{label}`: {e}")))?;
+                config.validate().map_err(|e| bad(format!("cell `{label}`: {e}")))?;
+                // Checkpoint segments must align with the evaluation grid
+                // only when eval_every == 1; otherwise segment boundaries
+                // add evaluation points. Both are deterministic; see
+                // `trial::execute_trial`.
+                let config_hash = config.stable_hash_hex();
+                if !seen.insert((config_hash.clone(), seed)) {
+                    continue; // duplicate cell (e.g. vanilla × every epsilon=0 variant)
+                }
+                let id = format!("{}-s{seed}-{}", slug(&label), &config_hash[..8]);
+                trials.push(Trial {
+                    id,
+                    label: label.clone(),
+                    axes: axes.clone(),
+                    seed,
+                    config,
+                    config_hash,
+                    checkpoint_every: self.checkpoint_every,
+                });
+            }
+        }
+        Ok(trials)
+    }
+
+    /// The grid cells (axis assignments) in odometer order, last axis
+    /// fastest. A gridless spec has one empty cell.
+    fn cells(&self) -> Vec<Vec<(String, Value)>> {
+        let mut cells: Vec<Vec<(String, Value)>> = vec![Vec::new()];
+        for (key, values) in &self.axes {
+            let mut next = Vec::with_capacity(cells.len() * values.len());
+            for cell in &cells {
+                for v in values {
+                    let mut c = cell.clone();
+                    c.push((key.clone(), v.clone()));
+                    next.push(c);
+                }
+            }
+            cells = next;
+        }
+        cells
+    }
+
+    /// Resolves one cell to a full config: the scale's base config, then
+    /// `[base]` overrides, then cell overrides (cell wins), with filters
+    /// applied last so `matched` sees the final `B`/`P`.
+    fn resolve_config(&self, cell: &[(String, Value)], seed: u64) -> Result<FedMsConfig, String> {
+        let mut cfg = match self.scale {
+            Scale::Paper => FedMsConfig::paper_defaults(seed).map_err(|e| e.to_string())?,
+            Scale::Tiny => FedMsConfig::tiny(seed),
+        };
+        cfg.seed = seed;
+        cfg.rounds = self.rounds;
+        cfg.eval_every = self.eval_every.unwrap_or_else(|| (self.rounds / 20).max(1));
+
+        // Merge [base] then the cell, cell entries overriding same-key base
+        // entries.
+        let mut merged: Vec<(String, Value)> = Vec::new();
+        for (k, v) in self.base.iter().chain(cell.iter()) {
+            if let Some(slot) = merged.iter_mut().find(|(mk, _)| mk == k) {
+                slot.1 = v.clone();
+            } else {
+                merged.push((k.clone(), v.clone()));
+            }
+        }
+        // Application order matters: sizes first (epsilon needs `servers`),
+        // filters last (`matched` needs the final B and P).
+        let phase = |key: &str| match key {
+            "clients" | "servers" => 0,
+            "byzantine" | "epsilon" | "byzantine_clients" => 1,
+            "filter" | "server_filter" => 3,
+            _ => 2,
+        };
+        for p in 0..4 {
+            for (k, v) in merged.iter().filter(|(k, _)| phase(k) == p) {
+                apply_override(&mut cfg, k, v).map_err(|e| format!("`{k}`: {e}"))?;
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+fn check_key(key: &str, line: usize) -> Result<(), SpecError> {
+    if KNOWN_KEYS.contains(&key) {
+        Ok(())
+    } else {
+        Err(bad(format!("line {line}: unknown override key `{key}`")))
+    }
+}
+
+fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut last_dash = true;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+            last_dash = false;
+        } else if !last_dash {
+            out.push('-');
+            last_dash = true;
+        }
+    }
+    while out.ends_with('-') {
+        out.pop();
+    }
+    if out.is_empty() {
+        out.push_str("cell");
+    }
+    out
+}
+
+fn usize_value(v: &Value) -> Result<usize, String> {
+    v.as_int()
+        .filter(|&i| i >= 0)
+        .map(|i| i as usize)
+        .ok_or_else(|| format!("expected a non-negative integer, got {}", v.kind()))
+}
+
+fn float_value(v: &Value) -> Result<f64, String> {
+    v.as_float().ok_or_else(|| format!("expected a number, got {}", v.kind()))
+}
+
+fn bool_value(v: &Value) -> Result<bool, String> {
+    v.as_bool().ok_or_else(|| format!("expected a boolean, got {}", v.kind()))
+}
+
+fn str_value(v: &Value) -> Result<&str, String> {
+    v.as_str().ok_or_else(|| format!("expected a string, got {}", v.kind()))
+}
+
+/// Applies one override to the config. Filters may reference the already-
+/// applied `byzantine`/`servers` fields (`matched`).
+fn apply_override(cfg: &mut FedMsConfig, key: &str, v: &Value) -> Result<(), String> {
+    match key {
+        "clients" => cfg.clients = usize_value(v)?,
+        "servers" => cfg.servers = usize_value(v)?,
+        "byzantine" => cfg.byzantine_count = usize_value(v)?,
+        "epsilon" => {
+            let eps = float_value(v)?;
+            if !(0.0..=1.0).contains(&eps) {
+                return Err(format!("epsilon {eps} outside [0, 1]"));
+            }
+            cfg.byzantine_count = (eps * cfg.servers as f64).round() as usize;
+        }
+        "byzantine_clients" => cfg.byzantine_clients = usize_value(v)?,
+        "attack" => cfg.attack = parse_attack(str_value(v)?)?,
+        "client_attack" => cfg.client_attack = parse_client_attack(str_value(v)?)?,
+        "equivocate" => cfg.equivocate = bool_value(v)?,
+        "filter" => cfg.filter = parse_filter(str_value(v)?, cfg.byzantine_count, cfg.servers)?,
+        "server_filter" => {
+            // Matched rates for the server-side rule key off the Byzantine
+            // *client* count over the client population.
+            cfg.server_filter = parse_filter(str_value(v)?, cfg.byzantine_clients, cfg.clients)?;
+        }
+        "upload" => cfg.upload = parse_upload(str_value(v)?)?,
+        "local_epochs" => cfg.local_epochs = usize_value(v)?,
+        "batch_size" => cfg.batch_size = usize_value(v)?,
+        "lr" => cfg.schedule = LrSchedule::Constant(float_value(v)? as f32),
+        "dirichlet_alpha" => cfg.dirichlet_alpha = float_value(v)?,
+        "rounds" => cfg.rounds = usize_value(v)?,
+        "participation" => cfg.participation = float_value(v)?,
+        "upload_drop_rate" => cfg.upload_drop_rate = float_value(v)?,
+        "crashed_servers" => cfg.fault.crashed_servers = usize_value(v)?,
+        "crash_round" => cfg.fault.crash_round = usize_value(v)?,
+        "straggler_servers" => {
+            cfg.fault.straggler_servers = usize_value(v)?;
+            if cfg.fault.straggler_servers > 0 && cfg.fault.straggler_delay == 0 {
+                cfg.fault.straggler_delay = 1;
+            }
+        }
+        "straggler_delay" => cfg.fault.straggler_delay = usize_value(v)?,
+        "downlink_omission" => cfg.fault.downlink_omission = float_value(v)?,
+        "duplicate_rate" => cfg.fault.duplicate_rate = float_value(v)?,
+        "retry_budget" => cfg.recovery.retry_budget = usize_value(v)? as u32,
+        "attempt_timeout_ms" => cfg.recovery.attempt_timeout_ms = usize_value(v)? as u64,
+        "backoff_base_ms" => {
+            cfg.recovery.backoff_base_ms = usize_value(v)? as u64;
+            cfg.recovery.backoff_cap_ms =
+                cfg.recovery.backoff_cap_ms.max(cfg.recovery.backoff_base_ms);
+        }
+        "backoff_cap_ms" => cfg.recovery.backoff_cap_ms = usize_value(v)? as u64,
+        "failover" => cfg.recovery.failover = bool_value(v)?,
+        "proceed_degraded" => {
+            cfg.recovery.on_degraded = if bool_value(v)? {
+                fedms_sim::DegradedMode::Proceed
+            } else {
+                fedms_sim::DegradedMode::Abort
+            };
+        }
+        other => return Err(format!("unknown key `{other}`")),
+    }
+    Ok(())
+}
+
+/// Splits `kind:p1:p2` into the kind and its parameter list.
+fn parts(s: &str) -> (&str, Vec<&str>) {
+    let mut it = s.split(':');
+    let kind = it.next().unwrap_or_default();
+    (kind, it.collect())
+}
+
+fn param<T: std::str::FromStr>(p: &[&str], i: usize, default: T) -> Result<T, String> {
+    match p.get(i) {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("bad parameter `{s}`")),
+    }
+}
+
+/// Parses a server attack: `kind[:param...]`, paper parameters as
+/// defaults (`noise`→std 1.0, `random`→[-10,10], `safeguard`→γ 0.6,
+/// `backward`→delay 2).
+fn parse_attack(s: &str) -> Result<AttackKind, String> {
+    let (kind, p) = parts(s);
+    Ok(match kind {
+        "benign" => AttackKind::Benign,
+        "noise" => AttackKind::Noise { std: param(&p, 0, 1.0)? },
+        "random" => AttackKind::Random { lo: param(&p, 0, -10.0)?, hi: param(&p, 1, 10.0)? },
+        "safeguard" => AttackKind::Safeguard { gamma: param(&p, 0, 0.6)? },
+        "backward" => AttackKind::Backward { delay: param(&p, 0, 2)? },
+        "signflip" => AttackKind::SignFlip { scale: param(&p, 0, 1.0)? },
+        "zero" => AttackKind::Zero,
+        "alie" => AttackKind::Alie { z: param(&p, 0, 1.0)? },
+        "ipm" => AttackKind::Ipm { epsilon: param(&p, 0, 0.5)? },
+        other => return Err(format!("unknown attack `{other}`")),
+    })
+}
+
+/// Parses a client attack: `kind[:param...]`.
+fn parse_client_attack(s: &str) -> Result<ClientAttackKind, String> {
+    let (kind, p) = parts(s);
+    Ok(match kind {
+        "signflip" => ClientAttackKind::SignFlip { scale: param(&p, 0, 1.0)? },
+        "noise" => ClientAttackKind::Noise { std: param(&p, 0, 1.0)? },
+        "random" => ClientAttackKind::Random { lo: param(&p, 0, -10.0)?, hi: param(&p, 1, 10.0)? },
+        "amplify" => ClientAttackKind::Amplify { factor: param(&p, 0, 10.0)? },
+        "labelflip" => ClientAttackKind::LabelFlip { offset: param(&p, 0, 1)? },
+        other => return Err(format!("unknown client attack `{other}`")),
+    })
+}
+
+/// Parses a filter: `kind[:param...]`. `trimmed:matched` → β = b/p;
+/// `adaptive:matched` → trim = b.
+fn parse_filter(s: &str, b: usize, p_servers: usize) -> Result<FilterKind, String> {
+    let (kind, p) = parts(s);
+    Ok(match kind {
+        "mean" => FilterKind::Mean,
+        "trimmed" => {
+            if p.first() == Some(&"matched") {
+                if p_servers == 0 {
+                    return Err("matched trim rate needs servers > 0".into());
+                }
+                FilterKind::fedms(b, p_servers)
+            } else {
+                FilterKind::TrimmedMean { beta: param(&p, 0, 0.2)? }
+            }
+        }
+        "adaptive" => {
+            if p.first() == Some(&"matched") {
+                FilterKind::fedms_adaptive(b)
+            } else {
+                FilterKind::AdaptiveTrimmedMean { trim: param(&p, 0, 1)? }
+            }
+        }
+        "median" => FilterKind::Median,
+        "krum" => FilterKind::Krum { f: param(&p, 0, 1)? },
+        "multikrum" => FilterKind::MultiKrum { f: param(&p, 0, 1)?, m: param(&p, 1, 2)? },
+        "geomedian" => FilterKind::GeometricMedian,
+        "bulyan" => FilterKind::Bulyan { f: param(&p, 0, 1)? },
+        "centeredclip" => FilterKind::CenteredClip { tau: param(&p, 0, 1.0)? },
+        "normbound" => FilterKind::NormBound { factor: param(&p, 0, 3.0)? },
+        other => return Err(format!("unknown filter `{other}`")),
+    })
+}
+
+/// Parses an upload strategy: `sparse`, `full` or `redundant:<k>`.
+fn parse_upload(s: &str) -> Result<UploadStrategy, String> {
+    let (kind, p) = parts(s);
+    Ok(match kind {
+        "sparse" => UploadStrategy::Sparse,
+        "full" => UploadStrategy::Full,
+        "redundant" => UploadStrategy::Redundant(param(&p, 0, 2)?),
+        other => return Err(format!("unknown upload strategy `{other}`")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG3ISH: &str = r#"
+[experiment]
+name = "fig3ish"
+seeds = [1, 2]
+rounds = 4
+scale = "tiny"
+eval_every = 1
+
+[base]
+attack = "noise"
+
+[grid]
+epsilon = [0.0, 0.25]
+filter = ["trimmed:matched", "mean"]
+"#;
+
+    #[test]
+    fn parses_and_expands_the_grid() {
+        let spec = SweepSpec::parse(FIG3ISH).unwrap();
+        assert_eq!(spec.name, "fig3ish");
+        assert_eq!(spec.seeds, vec![1, 2]);
+        assert_eq!(spec.scale, Scale::Tiny);
+        let trials = spec.expand().unwrap();
+        // 2 eps × 2 filters × 2 seeds = 8; dedup removes the eps=0
+        // trimmed:matched duplicate of... nothing (beta 0 vs mean differ),
+        // so all 8 survive.
+        assert_eq!(trials.len(), 8);
+        // Axis order: epsilon declared first, so it is the slow axis.
+        assert_eq!(trials[0].axes[0].0, "epsilon");
+        assert!(trials.iter().all(|t| t.config.rounds == 4 && t.config.eval_every == 1));
+        // matched beta resolves against the tiny federation (4 servers).
+        let matched: Vec<_> =
+            trials.iter().filter(|t| t.label.contains("trimmed:matched")).collect();
+        assert!(matched.iter().any(|t| t.config.filter == FilterKind::TrimmedMean { beta: 0.0 }));
+        assert!(matched.iter().any(|t| t.config.filter == FilterKind::TrimmedMean { beta: 0.25 }));
+        // epsilon=0.25 of 4 servers → 1 Byzantine.
+        assert!(trials
+            .iter()
+            .any(|t| t.label.contains("epsilon=0.25") && t.config.byzantine_count == 1));
+        // Ids are unique and slug-shaped.
+        let mut ids: Vec<_> = trials.iter().map(|t| t.id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+        assert!(ids.iter().all(|id| id.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')));
+    }
+
+    #[test]
+    fn dedup_collapses_identical_cells() {
+        let spec = SweepSpec::parse(
+            "[experiment]\nname = \"dup\"\nscale = \"tiny\"\nrounds = 2\n\n[grid]\nfilter = [\"mean\", \"mean\"]\n",
+        )
+        .unwrap();
+        assert_eq!(spec.expand().unwrap().len(), 1, "identical cells must deduplicate");
+    }
+
+    #[test]
+    fn base_and_cell_merge_cell_wins() {
+        let spec = SweepSpec::parse(
+            "[experiment]\nname = \"m\"\nscale = \"tiny\"\nrounds = 2\n\n[base]\nbyzantine = 1\nattack = \"zero\"\n\n[grid]\nbyzantine = [0, 2]\n",
+        )
+        .unwrap();
+        let trials = spec.expand().unwrap();
+        assert_eq!(trials.len(), 2);
+        assert_eq!(trials[0].config.byzantine_count, 0);
+        assert_eq!(trials[1].config.byzantine_count, 2);
+        assert!(trials.iter().all(|t| t.config.attack == AttackKind::Zero));
+    }
+
+    #[test]
+    fn rejects_bad_specs_with_context() {
+        for (text, needle) in [
+            ("rounds = 3\n", "keys before any table"),
+            ("[experiment]\nrounds = 3\n", "needs a string `name`"),
+            ("[experiment]\nname = \"x\"\n[grid]\nfilter = \"mean\"\n", "arrays"),
+            ("[experiment]\nname = \"x\"\n[base]\nfilter = [\"mean\"]\n", "scalars"),
+            ("[experiment]\nname = \"x\"\n[base]\nwat = 1\n", "unknown override key `wat`"),
+            ("[experiment]\nname = \"x\"\n[weird]\na = 1\n", "unknown table"),
+            ("[experiment]\nname = \"x\"\nrounds = 0\n", "positive"),
+            ("[experiment]\nname = \"x\"\nseeds = []\n", "seeds"),
+            (
+                "[experiment]\nname = \"x\"\nscale = \"tiny\"\n[base]\nattack = \"martian\"\n",
+                "unknown attack",
+            ),
+            ("[experiment]\nname = \"x\"\nscale = \"tiny\"\n[base]\nbyzantine = 9\n", "byzantine"),
+        ] {
+            let e = SweepSpec::parse(text).unwrap_err();
+            assert!(e.to_string().contains(needle), "{text:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn attack_filter_upload_parsers() {
+        assert_eq!(parse_attack("noise").unwrap(), AttackKind::Noise { std: 1.0 });
+        assert_eq!(parse_attack("noise:2.5").unwrap(), AttackKind::Noise { std: 2.5 });
+        assert_eq!(parse_attack("random:-1:1").unwrap(), AttackKind::Random { lo: -1.0, hi: 1.0 });
+        assert_eq!(parse_attack("backward:5").unwrap(), AttackKind::Backward { delay: 5 });
+        assert!(parse_attack("noise:abc").is_err());
+        assert_eq!(
+            parse_filter("trimmed:0.3", 0, 10).unwrap(),
+            FilterKind::TrimmedMean { beta: 0.3 }
+        );
+        assert_eq!(
+            parse_filter("trimmed:matched", 3, 10).unwrap(),
+            FilterKind::TrimmedMean { beta: 0.3 }
+        );
+        assert_eq!(
+            parse_filter("adaptive:matched", 2, 10).unwrap(),
+            FilterKind::AdaptiveTrimmedMean { trim: 2 }
+        );
+        assert_eq!(
+            parse_filter("multikrum:2:4", 0, 10).unwrap(),
+            FilterKind::MultiKrum { f: 2, m: 4 }
+        );
+        assert_eq!(parse_upload("redundant:3").unwrap(), UploadStrategy::Redundant(3));
+        assert!(parse_filter("quantum", 0, 10).is_err());
+        assert!(parse_upload("carrier-pigeon").is_err());
+    }
+
+    #[test]
+    fn env_overrides_guarded() {
+        // Like the bench crate's env tests: only assert when the variables
+        // are unset (tests run in parallel; we never mutate the env).
+        if std::env::var("FEDMS_SEEDS").is_err()
+            && std::env::var("FEDMS_ROUNDS").is_err()
+            && std::env::var("FEDMS_FAST").is_err()
+        {
+            let mut spec = SweepSpec::parse(FIG3ISH).unwrap();
+            spec.apply_env();
+            assert_eq!(spec.seeds, vec![1, 2]);
+            assert_eq!(spec.rounds, 4);
+        }
+    }
+
+    #[test]
+    fn run_id_is_deterministic_and_tracks_source() {
+        let a = SweepSpec::parse(FIG3ISH).unwrap();
+        let b = SweepSpec::parse(FIG3ISH).unwrap();
+        assert_eq!(a.default_run_id(), b.default_run_id());
+        assert!(a.default_run_id().starts_with("fig3ish-"));
+        let c = SweepSpec::parse(&FIG3ISH.replace("rounds = 4", "rounds = 3")).unwrap();
+        assert_ne!(a.default_run_id(), c.default_run_id());
+    }
+
+    #[test]
+    fn slug_shapes() {
+        assert_eq!(slug("attack=noise, filter=trimmed:0.2"), "attack-noise-filter-trimmed-0-2");
+        assert_eq!(slug("***"), "cell");
+    }
+}

@@ -1,0 +1,254 @@
+//! Trials: the unit of scheduled work, and the record each one produces.
+//!
+//! A [`Trial`] is one fully-resolved [`FedMsConfig`] plus its seed — the
+//! leaf of an expanded sweep grid. Its output, a [`TrialRecord`], is a
+//! **pure function of the config and seed**: no timestamps, durations,
+//! thread ids or scheduling artefacts are recorded, so the serialized
+//! record is byte-identical whether the sweep ran on one thread or sixteen,
+//! fresh or resumed. That invariant is what makes the run store's
+//! skip-on-resume and the scheduler's parallelism safe, and it is enforced
+//! by proptest in `tests/sweep.rs`.
+
+use fedms_core::FedMsConfig;
+use fedms_sim::{CommStats, Snapshot};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One fully-resolved unit of work: a config, its seed, and the sweep-cell
+/// metadata used for grouping results into figure series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trial {
+    /// Deterministic, filesystem-safe identity:
+    /// `<label-slug>-s<seed>-<hash8>`.
+    pub id: String,
+    /// Human-readable cell label, e.g. `attack=noise, filter=trimmed:0.2`.
+    pub label: String,
+    /// The grid-axis assignment that produced this cell, in axis order —
+    /// `(key, display value)` pairs (empty for a gridless spec).
+    pub axes: Vec<(String, String)>,
+    /// The experiment seed (also present in `config.seed`).
+    pub seed: u64,
+    /// The fully-resolved configuration.
+    pub config: FedMsConfig,
+    /// `config.stable_hash_hex()`, precomputed at expansion time.
+    pub config_hash: String,
+    /// Engine-snapshot cadence in rounds (0 = no mid-trial checkpoints).
+    /// Long trials write a `Snapshot` every `checkpoint_every` rounds so a
+    /// killed sweep resumes inside the trial, not just between trials.
+    pub checkpoint_every: usize,
+}
+
+/// Terminal state of one executed trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrialStatus {
+    /// The simulation ran to its final round.
+    Completed,
+    /// The simulation returned an error or panicked; the sweep continued.
+    Failed {
+        /// The error or panic message.
+        error: String,
+    },
+}
+
+/// The durable result of one trial — one JSONL line in the run store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// [`Trial::id`].
+    pub trial_id: String,
+    /// [`Trial::label`].
+    pub label: String,
+    /// [`Trial::axes`].
+    pub axes: Vec<(String, String)>,
+    /// [`Trial::seed`].
+    pub seed: u64,
+    /// [`Trial::config_hash`].
+    pub config_hash: String,
+    /// Completed or failed (with the error message).
+    pub status: TrialStatus,
+    /// `(round, mean accuracy)` at every evaluated round (empty on
+    /// failure).
+    pub points: Vec<(usize, f32)>,
+    /// Accuracy at the last evaluated round.
+    pub final_accuracy: Option<f32>,
+    /// Total communication counters for the run.
+    pub comm: Option<CommStats>,
+}
+
+impl TrialRecord {
+    /// Whether the trial ran to completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self.status, TrialStatus::Completed)
+    }
+
+    /// The canonical single-line JSON form stored in the run store
+    /// (newline-terminated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures (none for well-formed records).
+    pub fn to_jsonl(&self) -> Result<String, String> {
+        serde_json::to_string(self)
+            .map(|mut s| {
+                s.push('\n');
+                s
+            })
+            .map_err(|e| format!("serialise trial record: {e}"))
+    }
+
+    /// Parses a record from its stored JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the parse failure.
+    pub fn from_jsonl(line: &str) -> Result<Self, String> {
+        serde_json::from_str(line.trim()).map_err(|e| format!("parse trial record: {e}"))
+    }
+
+    /// The failure record for `trial` with the given error message.
+    pub fn failed(trial: &Trial, error: String) -> Self {
+        TrialRecord {
+            trial_id: trial.id.clone(),
+            label: trial.label.clone(),
+            axes: trial.axes.clone(),
+            seed: trial.seed,
+            config_hash: trial.config_hash.clone(),
+            status: TrialStatus::Failed { error },
+            points: Vec::new(),
+            final_accuracy: None,
+            comm: None,
+        }
+    }
+}
+
+/// Executes one trial to a record. Never panics for engine-level errors —
+/// those become [`TrialStatus::Failed`]. (Panics out of the simulator
+/// itself are caught one level up, by the scheduler's isolation boundary.)
+///
+/// When `checkpoint` names a path and [`Trial::checkpoint_every`] is
+/// non-zero, the run proceeds in segments: after each segment the engine
+/// [`Snapshot`] is written to the path, and an existing snapshot there is
+/// restored before training (so a killed sweep loses at most one segment of
+/// this trial). The snapshot is removed once the trial completes — record
+/// presence, not snapshot presence, marks a finished trial.
+pub fn execute_trial(trial: &Trial, checkpoint: Option<&Path>) -> TrialRecord {
+    match run_config(trial, checkpoint) {
+        Ok((points, comm)) => TrialRecord {
+            trial_id: trial.id.clone(),
+            label: trial.label.clone(),
+            axes: trial.axes.clone(),
+            seed: trial.seed,
+            config_hash: trial.config_hash.clone(),
+            status: TrialStatus::Completed,
+            final_accuracy: points.last().map(|&(_, a)| a),
+            points,
+            comm: Some(comm),
+        },
+        Err(e) => TrialRecord::failed(trial, e),
+    }
+}
+
+fn run_config(
+    trial: &Trial,
+    checkpoint: Option<&Path>,
+) -> Result<(Vec<(usize, f32)>, CommStats), String> {
+    let cfg = &trial.config;
+    let segment = trial.checkpoint_every;
+    let result = match checkpoint.filter(|_| segment > 0) {
+        None => cfg.run().map_err(|e| e.to_string())?,
+        Some(path) => {
+            let mut engine = cfg.build_engine().map_err(|e| e.to_string())?;
+            if let Ok(body) = std::fs::read_to_string(path) {
+                let snap: Snapshot = serde_json::from_str(&body)
+                    .map_err(|e| format!("corrupt trial checkpoint {}: {e}", path.display()))?;
+                engine.restore(&snap).map_err(|e| e.to_string())?;
+            }
+            let mut result = engine.result().clone();
+            while engine.round() < cfg.rounds {
+                let step = segment.min(cfg.rounds - engine.round());
+                result = engine.run(step).map_err(|e| e.to_string())?;
+                if engine.round() < cfg.rounds {
+                    let body =
+                        serde_json::to_string(&engine.snapshot()).map_err(|e| e.to_string())?;
+                    std::fs::write(path, body).map_err(|e| e.to_string())?;
+                }
+            }
+            let _ = std::fs::remove_file(path);
+            result
+        }
+    };
+    Ok((result.accuracy_series(), result.total_comm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_trial(seed: u64) -> Trial {
+        let mut config = FedMsConfig::tiny(seed);
+        config.seed = seed;
+        let config_hash = config.stable_hash_hex();
+        Trial {
+            id: format!("tiny-s{seed}"),
+            label: "base".into(),
+            axes: Vec::new(),
+            seed,
+            config,
+            config_hash,
+            checkpoint_every: 0,
+        }
+    }
+
+    #[test]
+    fn execute_produces_completed_record() {
+        let t = tiny_trial(3);
+        let r = execute_trial(&t, None);
+        assert!(r.is_completed());
+        assert_eq!(r.points.len(), 3);
+        assert_eq!(r.final_accuracy, r.points.last().map(|&(_, a)| a));
+        assert!(r.comm.is_some());
+    }
+
+    #[test]
+    fn invalid_config_yields_failed_record() {
+        let mut t = tiny_trial(3);
+        t.config.byzantine_count = 100; // > servers: validate() rejects
+        let r = execute_trial(&t, None);
+        assert!(!r.is_completed());
+        assert!(matches!(&r.status, TrialStatus::Failed { error } if error.contains("byzantine")));
+        assert!(r.points.is_empty());
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_exact() {
+        let r = execute_trial(&tiny_trial(5), None);
+        let line = r.to_jsonl().unwrap();
+        assert!(line.ends_with('\n') && !line.trim().contains('\n'));
+        let back = TrialRecord::from_jsonl(&line).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(back.to_jsonl().unwrap(), line, "re-serialisation must be byte-stable");
+    }
+
+    #[test]
+    fn checkpointed_run_matches_straight_run_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("fedms-exp-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("t.ckpt.json");
+        let _ = std::fs::remove_file(&ckpt);
+
+        let straight = execute_trial(&tiny_trial(9), None);
+        let mut seg = tiny_trial(9);
+        seg.checkpoint_every = 1;
+        let segmented = execute_trial(&seg, Some(&ckpt));
+        assert_eq!(straight.points, segmented.points, "segmenting must not change the result");
+        assert!(!ckpt.exists(), "completed trial must remove its checkpoint");
+
+        // Simulate a mid-trial kill: run one segment by hand, leave the
+        // snapshot behind, then re-execute — the result must still match.
+        let mut engine = seg.config.build_engine().unwrap();
+        engine.run(1).unwrap();
+        std::fs::write(&ckpt, serde_json::to_string(&engine.snapshot()).unwrap()).unwrap();
+        let resumed = execute_trial(&seg, Some(&ckpt));
+        assert_eq!(straight.points, resumed.points, "resume from snapshot must be bit-exact");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

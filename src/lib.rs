@@ -21,7 +21,10 @@
 //! * [`sim`] — the K-client / P-server round-loop simulator with
 //!   communication accounting,
 //! * [`core`] — the Fed-MS algorithm itself ([`FedMsConfig`]) and the
-//!   Theorem-1 theory module.
+//!   Theorem-1 theory module,
+//! * [`exp`] — declarative sweep specs (`experiments/*.toml`), the
+//!   work-stealing parallel scheduler and the resumable run store behind
+//!   `fedms exp run`.
 //!
 //! # Quickstart
 //!
@@ -46,6 +49,7 @@ pub use fedms_aggregation as aggregation;
 pub use fedms_attacks as attacks;
 pub use fedms_core as core;
 pub use fedms_data as data;
+pub use fedms_exp as exp;
 pub use fedms_nn as nn;
 pub use fedms_sim as sim;
 pub use fedms_tensor as tensor;

@@ -3,6 +3,9 @@
 //! ```text
 //! fedms init-config <file.json>   write a template experiment config
 //! fedms run [<file.json>]         run an experiment (defaults: Table II)
+//! fedms exp run <spec.toml>       run a declarative sweep spec in parallel
+//! fedms exp list <spec.toml>      print the trials a spec expands into
+//! fedms exp check <run-dir>       verify a run directory is complete
 //! fedms attacks                   list server/client attack kinds
 //! fedms filters                   list client-side filter kinds
 //! ```
@@ -10,14 +13,17 @@
 //! `run` prints the per-round accuracy table and, with `--out <file>`,
 //! writes the full metric record as JSON. `compare` runs several configs
 //! and prints a summary table (final/best accuracy, convergence speed,
-//! bytes uploaded).
+//! bytes uploaded). `exp run` executes a sweep spec (see `experiments/`)
+//! on a work-stealing thread pool with a resumable run store under
+//! `results/runs/<run-id>/`.
 
+use fedms::exp::{SweepSpec, Trial, TrialStatus};
 use fedms::{AttackKind, ClientAttackKind, FedMsConfig, FilterKind, Snapshot};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fedms init-config <file.json>\n  fedms run [<file.json>] [--out <file>] [--rounds <n>] [--seed <n>] [--save-checkpoint <file>] [--resume <file>]\n            [--crash <n>] [--crash-round <r>] [--stragglers <n>] [--straggler-delay <r>]\n            [--downlink-omission <p>] [--duplicate-rate <p>]\n            [--retry-budget <n>] [--attempt-timeout <ms>] [--backoff-base <ms>]\n            [--failover] [--proceed-degraded]\n  fedms compare <a.json> <b.json> [...]\n  fedms attacks\n  fedms filters\n\nfault flags inject benign server/link faults on top of the config's\nscenario; victims are sampled deterministically from the run seed.\nrecovery flags enable deadline-driven retries with seed-deterministic\nbackoff (--retry-budget), upload failover to alternate servers\n(--failover), and local continuation instead of aborting when a client's\nview still degrades below quorum (--proceed-degraded)."
+        "usage:\n  fedms init-config <file.json>\n  fedms run [<file.json>] [--out <file>] [--rounds <n>] [--seed <n>] [--save-checkpoint <file>] [--resume <file>]\n            [--crash <n>] [--crash-round <r>] [--stragglers <n>] [--straggler-delay <r>]\n            [--downlink-omission <p>] [--duplicate-rate <p>]\n            [--retry-budget <n>] [--attempt-timeout <ms>] [--backoff-base <ms>]\n            [--failover] [--proceed-degraded]\n  fedms exp run <spec.toml> [--threads <n>] [--resume <run-id>] [--out-dir <dir>] [--dry-run|--list]\n  fedms exp list <spec.toml>\n  fedms exp check <run-dir>\n  fedms compare <a.json> <b.json> [...]\n  fedms attacks\n  fedms filters\n\nfault flags inject benign server/link faults on top of the config's\nscenario; victims are sampled deterministically from the run seed.\nrecovery flags enable deadline-driven retries with seed-deterministic\nbackoff (--retry-budget), upload failover to alternate servers\n(--failover), and local continuation instead of aborting when a client's\nview still degrades below quorum (--proceed-degraded).\n\n`exp run` executes a declarative sweep spec (see experiments/*.toml) on a\nwork-stealing thread pool; records land in <out-dir>/<run-id>/ and a\nre-run (or --resume <run-id>) skips every already-completed trial."
     );
     ExitCode::FAILURE
 }
@@ -30,6 +36,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "init-config" => init_config(&args[1..]),
         "run" => run(&args[1..]),
+        "exp" => exp(&args[1..]),
         "compare" => compare(&args[1..]),
         "attacks" => {
             println!("server attacks (FedMsConfig.attack):");
@@ -75,6 +82,195 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => usage(),
+    }
+}
+
+fn exp(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("run") => exp_run(&args[1..]),
+        Some("list") => exp_list(&args[1..]),
+        Some("check") => exp_check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// Parses a spec file, applies the harness env overrides, and expands it.
+fn load_spec(path: &str) -> Result<(SweepSpec, Vec<Trial>), String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+    let mut spec = SweepSpec::parse(&source).map_err(|e| format!("{path}: {e}"))?;
+    spec.apply_env();
+    let trials = spec.expand().map_err(|e| format!("{path}: {e}"))?;
+    Ok((spec, trials))
+}
+
+fn print_trials(spec: &SweepSpec, trials: &[Trial]) {
+    println!(
+        "sweep `{}`: {} trials, {} rounds, seeds {:?} -> run id {}",
+        spec.name,
+        trials.len(),
+        spec.rounds,
+        spec.seeds,
+        spec.default_run_id()
+    );
+    for t in trials {
+        println!("  {:<48} [{}]", t.id, t.label);
+    }
+}
+
+fn exp_run(args: &[String]) -> ExitCode {
+    let mut spec_path: Option<&str> = None;
+    let mut threads: Option<usize> = None;
+    let mut resume: Option<&str> = None;
+    let mut out_dir = "results/runs".to_string();
+    let mut dry_run = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => threads = it.next().and_then(|v| v.parse().ok()),
+            "--resume" => resume = it.next().map(String::as_str),
+            "--out-dir" => {
+                if let Some(dir) = it.next() {
+                    out_dir = dir.clone();
+                }
+            }
+            "--dry-run" | "--list" => dry_run = true,
+            other if !other.starts_with("--") && spec_path.is_none() => spec_path = Some(other),
+            other => {
+                eprintln!("error: unrecognised argument {other}");
+                return usage();
+            }
+        }
+    }
+    let Some(spec_path) = spec_path else {
+        return usage();
+    };
+    if dry_run {
+        return exp_list(&[spec_path.to_string()]);
+    }
+    let source = match std::fs::read_to_string(spec_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not read {spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let threads = threads.unwrap_or_else(fedms::exp::threads_from_env);
+    match fedms::exp::run_spec_in(
+        &source,
+        std::path::Path::new(&out_dir),
+        resume,
+        threads,
+        fedms::exp::print_progress,
+    ) {
+        Ok((spec, store, report)) => {
+            println!(
+                "sweep `{}`: {} executed, {} skipped, {} failed -> {}",
+                spec.name,
+                report.executed,
+                report.skipped,
+                report.failed,
+                store.root().display()
+            );
+            if report.failed > 0 {
+                eprintln!(
+                    "error: {} trial(s) failed; re-run to retry them (completed trials are skipped)",
+                    report.failed
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn exp_list(args: &[String]) -> ExitCode {
+    let Some(spec_path) = args.first() else {
+        return usage();
+    };
+    match load_spec(spec_path) {
+        Ok((spec, trials)) => {
+            print_trials(&spec, &trials);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Verifies a run directory: the manifest must load and every trial it
+/// lists must have a parseable, completed record.
+fn exp_check(args: &[String]) -> ExitCode {
+    let Some(dir) = args.first() else {
+        return usage();
+    };
+    let store = match fedms::exp::RunStore::open_existing(std::path::Path::new(dir)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let manifest = match store.load_manifest() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match store.all_records() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: could not list records: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut problems = 0usize;
+    let mut completed = 0usize;
+    for trial in &manifest.trials {
+        match records.iter().find(|(id, _)| id == &trial.id) {
+            None => {
+                println!("  [missing] {}", trial.id);
+                problems += 1;
+            }
+            Some((_, Err(e))) => {
+                println!("  [corrupt] {}: {e}", trial.id);
+                problems += 1;
+            }
+            Some((_, Ok(record))) => match &record.status {
+                TrialStatus::Completed => completed += 1,
+                TrialStatus::Failed { error } => {
+                    println!("  [failed]  {}: {error}", trial.id);
+                    problems += 1;
+                }
+            },
+        }
+    }
+    for (id, _) in &records {
+        if !manifest.trials.iter().any(|t| &t.id == id) {
+            println!("  [orphan]  {id} (not in manifest)");
+            problems += 1;
+        }
+    }
+    println!(
+        "run `{}` (spec hash {}, git {}): {}/{} trials completed, {} problem(s)",
+        manifest.run_id,
+        manifest.spec_hash,
+        manifest.git_rev,
+        completed,
+        manifest.trials.len(),
+        problems
+    );
+    if problems > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
