@@ -3,7 +3,7 @@
 use fedms_tensor::Tensor;
 
 use crate::rule::validate_models;
-use crate::{AggError, AggregationRule, Result};
+use crate::{kernel, AggError, AggregationRule, Result};
 
 /// Bulyan: a two-stage rule that first selects `n − 2f` candidates by
 /// iterated Krum, then coordinate-wise averages the `n − 4f` values closest
@@ -47,21 +47,15 @@ impl AggregationRule for Bulyan {
         let select = n - 2 * f;
         let krum_scores = crate::krum::krum_scores(models, f)?;
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            krum_scores[a].partial_cmp(&krum_scores[b]).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let chosen: Vec<&Tensor> = order[..select].iter().map(|&i| &models[i]).collect();
+        order.sort_by(|&a, &b| krum_scores[a].total_cmp(&krum_scores[b]));
+        let chosen: Vec<&[f32]> = order[..select].iter().map(|&i| models[i].as_slice()).collect();
 
         // Stage 2: per coordinate, average the select − 2f values closest
-        // to the median of the chosen candidates.
+        // to the median of the chosen candidates. Columns arrive already
+        // sorted (total order) through the shared blocked column path.
         let keep = select - 2 * f;
         let mut out = vec![0.0f32; len];
-        let mut column: Vec<f32> = vec![0.0; select];
-        for (d, o) in out.iter_mut().enumerate() {
-            for (j, m) in chosen.iter().enumerate() {
-                column[j] = m.as_slice()[d];
-            }
-            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        kernel::for_sorted_columns(&chosen, len, |d, column| {
             let median = if select % 2 == 1 {
                 column[select / 2]
             } else {
@@ -80,8 +74,8 @@ impl AggregationRule for Bulyan {
                 }
             }
             let window = &column[best_start..best_start + keep];
-            *o = (window.iter().map(|&v| v as f64).sum::<f64>() / keep as f64) as f32;
-        }
+            out[d] = (window.iter().map(|&v| f64::from(v)).sum::<f64>() / keep as f64) as f32;
+        });
         Ok(Tensor::from_vec(out, models[0].dims())?)
     }
 }
@@ -142,5 +136,18 @@ mod tests {
     #[test]
     fn rejects_bad_input() {
         assert!(Bulyan::new(0).aggregate(&[]).is_err());
+    }
+
+    #[test]
+    fn nan_model_is_deselected_deterministically() {
+        // A NaN-poisoned model has NaN distances, hence a NaN Krum score;
+        // under total_cmp NaN scores sort *last* and stage 1 drops them
+        // (the old partial_cmp comparator left their position to chance).
+        let mut models: Vec<Tensor> =
+            (0..6).map(|i| Tensor::from_slice(&[1.0 + i as f32 * 0.01])).collect();
+        models.push(Tensor::from_slice(&[f32::NAN]));
+        let out = Bulyan::new(1).aggregate(&models).unwrap().as_slice()[0];
+        assert!(out.is_finite(), "NaN model must be deselected, got {out}");
+        assert!((out - 1.0).abs() < 0.1, "got {out}");
     }
 }

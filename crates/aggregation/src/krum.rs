@@ -23,7 +23,7 @@ pub(crate) fn krum_scores(models: &[Tensor], f: usize) -> Result<Vec<f64>> {
     for (i, row) in dist2.iter().enumerate() {
         let mut ds: Vec<f64> =
             row.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &d)| d).collect();
-        ds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        ds.sort_by(f64::total_cmp);
         scores.push(ds[..closest].iter().sum());
     }
     Ok(scores)
@@ -68,7 +68,7 @@ impl AggregationRule for Krum {
         let best = scores
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .ok_or(AggError::Empty)?;
         Ok(models[best].clone())
@@ -111,9 +111,7 @@ impl AggregationRule for MultiKrum {
         }
         let scores = krum_scores(models, self.num_byzantine)?;
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
         let chosen: Vec<Tensor> = order[..self.select].iter().map(|&i| models[i].clone()).collect();
         crate::Mean::new().aggregate(&chosen)
     }
@@ -174,5 +172,20 @@ mod tests {
         assert!(Krum::new(0).aggregate(&[]).is_err());
         let mixed = vec![Tensor::zeros(&[2]), Tensor::zeros(&[3])];
         assert!(Krum::new(0).aggregate(&mixed).is_err());
+    }
+
+    #[test]
+    fn nan_score_loses_to_every_finite_score() {
+        // A NaN-poisoned model has NaN distances to everyone, so its Krum
+        // score is NaN. total_cmp places NaN above all finite scores, so
+        // neither Krum nor Multi-Krum can select it (the old partial_cmp
+        // comparator made the winner depend on sort probe order).
+        let mut models = cluster_with_outlier();
+        models.push(Tensor::from_slice(&[f32::NAN, 1.0]));
+        let out = Krum::new(1).aggregate(&models).unwrap();
+        assert!(out.as_slice()[0].is_finite(), "Krum must never pick the NaN model");
+        let out = MultiKrum::new(1, 3).unwrap().aggregate(&models).unwrap();
+        assert!(out.as_slice()[0].is_finite(), "Multi-Krum must exclude the NaN model");
+        assert!((out.as_slice()[0] - 1.0).abs() < 0.2);
     }
 }

@@ -14,6 +14,11 @@
 //! All rules implement [`AggregationRule`] and operate on slices of
 //! same-shape tensors (flat model parameter vectors in practice).
 //!
+//! The coordinate-wise rules (trimmed mean, median, Bulyan stage 2) run
+//! on the blocked selection kernels in [`kernel`]; the historical
+//! sort-per-coordinate code lives on in [`reference`] as the oracle the
+//! kernels are property-tested against bit-for-bit.
+//!
 //! # Example
 //!
 //! ```
@@ -32,10 +37,12 @@ mod bulyan;
 mod clipping;
 mod error;
 mod geomedian;
+pub mod kernel;
 mod krum;
 mod mean;
 mod median;
 mod normbound;
+pub mod reference;
 mod rule;
 mod trimmed;
 

@@ -3,7 +3,7 @@
 use fedms_tensor::Tensor;
 
 use crate::rule::validate_models;
-use crate::{AggregationRule, Result};
+use crate::{kernel, AggregationRule, Result};
 
 /// The coordinate-wise median: in every dimension, the median of the
 /// received values (mean of the two central values for even counts).
@@ -27,16 +27,9 @@ impl AggregationRule for CoordinateMedian {
 
     fn aggregate(&self, models: &[Tensor]) -> Result<Tensor> {
         let len = validate_models(models)?;
-        let n = models.len();
+        let views: Vec<&[f32]> = models.iter().map(Tensor::as_slice).collect();
         let mut out = vec![0.0f32; len];
-        let mut column = vec![0.0f32; n];
-        for (d, o) in out.iter_mut().enumerate() {
-            for (j, m) in models.iter().enumerate() {
-                column[j] = m.as_slice()[d];
-            }
-            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            *o = if n % 2 == 1 { column[n / 2] } else { 0.5 * (column[n / 2 - 1] + column[n / 2]) };
-        }
+        kernel::coordinate_median(&views, &mut out);
         Ok(Tensor::from_vec(out, models[0].dims())?)
     }
 }
@@ -81,5 +74,25 @@ mod tests {
     #[test]
     fn rejects_bad_input() {
         assert!(CoordinateMedian::new().aggregate(&[]).is_err());
+    }
+
+    #[test]
+    fn nan_and_infinity_positions_are_pinned() {
+        // total_cmp: NaN is the largest value, so an odd sample's median
+        // stays finite with a single NaN outlier.
+        let out = CoordinateMedian::new().aggregate(&scalars(&[1.0, f32::NAN, 3.0])).unwrap();
+        assert_eq!(out.as_slice(), &[3.0]);
+        // ±inf sit outside all finite values; median of five is finite.
+        let vs = [f32::NEG_INFINITY, 1.0, 2.0, 3.0, f32::INFINITY];
+        let out = CoordinateMedian::new().aggregate(&scalars(&vs)).unwrap();
+        assert_eq!(out.as_slice(), &[2.0]);
+        // Even count with an untrimmable NaN in the center propagates
+        // deterministically: sorted [1, 2, NaN, NaN] → 0.5·(2 + NaN).
+        let out =
+            CoordinateMedian::new().aggregate(&scalars(&[f32::NAN, 1.0, 2.0, f32::NAN])).unwrap();
+        assert!(out.as_slice()[0].is_nan());
+        // Duplicates: the median of an all-equal sample is that value.
+        let out = CoordinateMedian::new().aggregate(&scalars(&[4.5; 6])).unwrap();
+        assert_eq!(out.as_slice(), &[4.5]);
     }
 }

@@ -46,7 +46,7 @@ impl AggregationRule for NormBound {
     fn aggregate(&self, models: &[Tensor]) -> Result<Tensor> {
         validate_models(models)?;
         let mut norms: Vec<f32> = models.iter().map(Tensor::norm_l2).collect();
-        norms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        norms.sort_by(f32::total_cmp);
         let n = norms.len();
         let median =
             if n % 2 == 1 { norms[n / 2] } else { 0.5 * (norms[n / 2 - 1] + norms[n / 2]) };
@@ -116,5 +116,21 @@ mod tests {
     #[test]
     fn rejects_bad_input() {
         assert!(NormBound::new(1.0).unwrap().aggregate(&[]).is_err());
+    }
+
+    #[test]
+    fn nan_norm_sorts_above_all_finite_norms() {
+        // A NaN-norm model lands at the top of the sorted norms under
+        // total_cmp, so the median of five stays finite and the cap is
+        // well-defined; the other honest models average cleanly in dim 1.
+        let models = vec![
+            Tensor::from_slice(&[1.0, 4.0]),
+            Tensor::from_slice(&[2.0, 4.0]),
+            Tensor::from_slice(&[3.0, 4.0]),
+            Tensor::from_slice(&[4.0, 4.0]),
+            Tensor::from_slice(&[f32::NAN, 4.0]),
+        ];
+        let out = NormBound::new(2.0).unwrap().aggregate(&models).unwrap();
+        assert!(out.as_slice()[1].is_finite(), "cap must stay finite with one NaN norm");
     }
 }

@@ -1,0 +1,89 @@
+//! Sort-based reference implementations — the oracle the blocked kernels
+//! in [`crate::kernel`] are property-tested against.
+//!
+//! These keep the original per-coordinate shape (gather a column, sort
+//! it in full, reduce) with two deliberate changes from the historical
+//! code: the comparator is [`f32::total_cmp`] instead of the NaN-unsound
+//! `partial_cmp(..).unwrap_or(Equal)`, so NaN and signed zeros have one
+//! pinned, documented position (`-NaN < -∞ < … < -0.0 < +0.0 < … < +∞ <
+//! +NaN`) instead of an order that depended on where the sort happened
+//! to probe; and an arithmetic result that comes out NaN is collapsed to
+//! the canonical [`f32::NAN`] (IEEE leaves the sign/payload of such NaNs
+//! unspecified, so without the collapse two correct compilations could
+//! legally disagree on the bits). The kernels reproduce these functions
+//! bit-for-bit; the proptest suite (`tests/proptests.rs`) asserts
+//! `to_bits` equality across federation sizes, trim rates and
+//! adversarial value patterns.
+
+use crate::kernel::canonical_nan;
+
+/// Coordinate-wise trimmed mean, one full stable sort per coordinate.
+/// Sums the kept band in ascending order in `f64` — the canonical
+/// accumulation order the kernels replicate.
+///
+/// # Panics
+///
+/// Panics if `models` is empty, lengths disagree with `out`, or
+/// `models.len() <= 2·trim` (callers validate first).
+pub fn trimmed_mean(models: &[&[f32]], trim: usize, out: &mut [f32]) {
+    let n = models.len();
+    assert!(n > 2 * trim, "reference needs more than 2·trim models");
+    let inv = 1.0 / (n - 2 * trim) as f64;
+    let mut column = vec![0.0f32; n];
+    for (d, o) in out.iter_mut().enumerate() {
+        for (j, m) in models.iter().enumerate() {
+            column[j] = m[d];
+        }
+        column.sort_by(f32::total_cmp);
+        let sum: f64 = column[trim..n - trim].iter().map(|&v| f64::from(v)).sum();
+        *o = canonical_nan((sum * inv) as f32);
+    }
+}
+
+/// Coordinate-wise median, one full stable sort per coordinate.
+///
+/// # Panics
+///
+/// Panics if `models` is empty or lengths disagree with `out`.
+pub fn coordinate_median(models: &[&[f32]], out: &mut [f32]) {
+    let n = models.len();
+    assert!(n > 0, "reference median needs at least one model");
+    let mut column = vec![0.0f32; n];
+    for (d, o) in out.iter_mut().enumerate() {
+        for (j, m) in models.iter().enumerate() {
+            column[j] = m[d];
+        }
+        column.sort_by(f32::total_cmp);
+        *o = if n % 2 == 1 {
+            column[n / 2]
+        } else {
+            canonical_nan(0.5 * (column[n / 2 - 1] + column[n / 2]))
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_papers_worked_example() {
+        let vals = [[1.0f32], [2.0], [3.0], [4.0], [5.0]];
+        let views: Vec<&[f32]> = vals.iter().map(|v| v.as_slice()).collect();
+        let mut out = [0.0f32];
+        trimmed_mean(&views, 1, &mut out);
+        assert_eq!(out, [3.0]);
+        coordinate_median(&views, &mut out);
+        assert_eq!(out, [3.0]);
+    }
+
+    #[test]
+    fn nan_sorts_to_the_top_and_gets_trimmed() {
+        let vals = [[1.0f32], [2.0], [3.0], [4.0], [f32::NAN]];
+        let views: Vec<&[f32]> = vals.iter().map(|v| v.as_slice()).collect();
+        let mut out = [0.0f32];
+        trimmed_mean(&views, 1, &mut out);
+        // total order: 1 2 3 4 NaN → band {2, 3, 4}.
+        assert_eq!(out, [3.0]);
+    }
+}

@@ -4,25 +4,45 @@ use fedms_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::rule::validate_models;
-use crate::{AggError, AggregationRule, Result};
+use crate::{kernel, AggError, AggregationRule, Result};
 
 /// Trimmed mean of a scalar sample: drops the `trim` smallest and `trim`
-/// largest values, then averages the rest. Exposed for the Lemma-2
-/// experiment, which studies the scalar case directly.
+/// largest values (under the [`f32::total_cmp`] total order, so NaNs sort
+/// to the extremes and are trimmed first), then averages the rest.
+/// Exposed for the Lemma-2 experiment, which studies the scalar case
+/// directly.
 ///
 /// # Errors
 ///
-/// Returns [`AggError::TooFewModels`] if fewer than `2·trim + 1` values are
-/// supplied.
+/// Returns [`AggError::TooFewModels`] if fewer than `2·trim + 1` values
+/// are supplied — including for the empty sample and for `trim` so large
+/// that `2·trim + 1` overflows `usize`.
 pub fn trimmed_mean_scalars(values: &[f32], trim: usize) -> Result<f32> {
-    let needed = 2 * trim + 1;
+    let needed = trim
+        .checked_mul(2)
+        .and_then(|t| t.checked_add(1))
+        .ok_or(AggError::TooFewModels { got: values.len(), needed: usize::MAX })?;
     if values.len() < needed {
         return Err(AggError::TooFewModels { got: values.len(), needed });
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(f32::total_cmp);
     let kept = &sorted[trim..sorted.len() - trim];
-    Ok((kept.iter().map(|&v| v as f64).sum::<f64>() / kept.len() as f64) as f32)
+    Ok((kept.iter().map(|&v| f64::from(v)).sum::<f64>() / kept.len() as f64) as f32)
+}
+
+/// Shared body of the two trimmed-mean rules: validates, then runs the
+/// blocked O(P) kernel ([`kernel::trimmed_mean`]).
+fn trimmed_aggregate(models: &[Tensor], trim: usize) -> Result<Tensor> {
+    let len = validate_models(models)?;
+    let n = models.len();
+    if n <= 2 * trim {
+        return Err(AggError::TooFewModels { got: n, needed: 2 * trim + 1 });
+    }
+    let views: Vec<&[f32]> = models.iter().map(Tensor::as_slice).collect();
+    let mut out = vec![0.0f32; len];
+    kernel::trimmed_mean(&views, trim, &mut out);
+    Ok(Tensor::from_vec(out, models[0].dims())?)
 }
 
 /// Coordinate-wise β-trimmed mean (the paper's `trmean_β{·}`, Algorithm 1
@@ -107,25 +127,7 @@ impl AggregationRule for AdaptiveTrimmedMean {
     }
 
     fn aggregate(&self, models: &[Tensor]) -> Result<Tensor> {
-        let len = validate_models(models)?;
-        let n = models.len();
-        let trim = self.trim;
-        if n <= 2 * trim {
-            return Err(AggError::TooFewModels { got: n, needed: 2 * trim + 1 });
-        }
-        let kept = n - 2 * trim;
-        let inv = 1.0 / kept as f64;
-        let mut out = vec![0.0f32; len];
-        let mut column = vec![0.0f32; n];
-        for (d, o) in out.iter_mut().enumerate() {
-            for (j, m) in models.iter().enumerate() {
-                column[j] = m.as_slice()[d];
-            }
-            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            let sum: f64 = column[trim..n - trim].iter().map(|&v| v as f64).sum();
-            *o = (sum * inv) as f32;
-        }
-        Ok(Tensor::from_vec(out, models[0].dims())?)
+        trimmed_aggregate(models, self.trim)
     }
 }
 
@@ -135,25 +137,7 @@ impl AggregationRule for TrimmedMean {
     }
 
     fn aggregate(&self, models: &[Tensor]) -> Result<Tensor> {
-        let len = validate_models(models)?;
-        let n = models.len();
-        let trim = self.trim_count(n);
-        if n <= 2 * trim {
-            return Err(AggError::TooFewModels { got: n, needed: 2 * trim + 1 });
-        }
-        let kept = n - 2 * trim;
-        let inv = 1.0 / kept as f64;
-        let mut out = vec![0.0f32; len];
-        let mut column = vec![0.0f32; n];
-        for (d, o) in out.iter_mut().enumerate() {
-            for (j, m) in models.iter().enumerate() {
-                column[j] = m.as_slice()[d];
-            }
-            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            let sum: f64 = column[trim..n - trim].iter().map(|&v| v as f64).sum();
-            *o = (sum * inv) as f32;
-        }
-        Ok(Tensor::from_vec(out, models[0].dims())?)
+        trimmed_aggregate(models, self.trim_count(models.len()))
     }
 }
 
@@ -307,6 +291,79 @@ mod tests {
         let json = serde_json::to_string(&rule).unwrap();
         let back: AdaptiveTrimmedMean = serde_json::from_str(&json).unwrap();
         assert_eq!(rule, back);
+    }
+
+    #[test]
+    fn scalar_helper_edge_cases_are_typed_errors() {
+        // Empty input: even trim = 0 needs one value.
+        match trimmed_mean_scalars(&[], 0).unwrap_err() {
+            AggError::TooFewModels { got, needed } => {
+                assert_eq!((got, needed), (0, 1));
+            }
+            other => panic!("expected TooFewModels, got {other:?}"),
+        }
+        // 2·trim >= len: the boundary and everything below it.
+        assert!(trimmed_mean_scalars(&[1.0, 2.0, 3.0, 4.0], 2).is_err());
+        assert!(trimmed_mean_scalars(&[1.0, 2.0, 3.0], 2).is_err());
+        assert_eq!(trimmed_mean_scalars(&[1.0, 2.0, 3.0, 4.0, 5.0], 2).unwrap(), 3.0);
+        // trim = 0 is the plain mean, down to a single value.
+        assert_eq!(trimmed_mean_scalars(&[7.5], 0).unwrap(), 7.5);
+        assert_eq!(trimmed_mean_scalars(&[1.0, 2.0, 6.0], 0).unwrap(), 3.0);
+        // Absurd trim counts must not overflow `2·trim + 1` into a panic.
+        match trimmed_mean_scalars(&[1.0, 2.0], usize::MAX / 2 + 1).unwrap_err() {
+            AggError::TooFewModels { got, .. } => assert_eq!(got, 2),
+            other => panic!("expected TooFewModels, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_sorts_to_the_extreme_and_is_trimmed_first() {
+        // Pinned total_cmp behaviour: +NaN is the largest value, so one
+        // trimmed slot per side removes it before any honest value.
+        let out = trimmed_mean_scalars(&[1.0, 2.0, 3.0, 4.0, f32::NAN], 1).unwrap();
+        assert_eq!(out, 3.0); // band {2, 3, 4}
+        let out = trimmed_mean_scalars(&[-f32::NAN, 1.0, 2.0, 3.0, f32::NAN], 1).unwrap();
+        assert_eq!(out, 2.0); // -NaN lowest, +NaN highest, band {1, 2, 3}
+                              // An untrimmed NaN propagates (and does so deterministically).
+        assert!(trimmed_mean_scalars(&[1.0, f32::NAN, 3.0], 0).unwrap().is_nan());
+    }
+
+    #[test]
+    fn infinities_and_duplicates_are_pinned() {
+        // ±inf sort inside NaN, outside all finite values.
+        let out = trimmed_mean_scalars(&[f32::NEG_INFINITY, 1.0, 2.0, 3.0, f32::INFINITY], 1);
+        assert_eq!(out.unwrap(), 2.0);
+        // Duplicates: trimming removes *slots*, not distinct values.
+        let out = trimmed_mean_scalars(&[5.0, 5.0, 5.0, 5.0, 5.0], 2).unwrap();
+        assert_eq!(out, 5.0);
+        // Signed zeros are ordered (-0.0 < +0.0); the band {-0.0, 0.0,
+        // 0.0} sums to +0.0.
+        let out = trimmed_mean_scalars(&[-0.0, 0.0, -0.0, 0.0, 1.0], 1).unwrap();
+        assert_eq!(out, 0.0);
+        assert!(out.is_sign_positive());
+        let rule = TrimmedMean::new(0.2).unwrap();
+        let models = scalars(&[1.0, 2.0, 3.0, 4.0, f32::NAN]);
+        assert_eq!(rule.aggregate(&models).unwrap().as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn adaptive_degraded_quorum_boundary_is_a_typed_error_not_a_panic() {
+        let rule = AdaptiveTrimmedMean::new(3);
+        // Walk the whole degraded range below the 2·trim + 1 quorum.
+        for n in 0..=6usize {
+            let models = scalars(&(0..n).map(|i| i as f32).collect::<Vec<_>>());
+            let err = rule.aggregate(&models).unwrap_err();
+            match err {
+                AggError::TooFewModels { got, needed } => {
+                    assert_eq!((got, needed), (n, 7));
+                }
+                AggError::Empty => assert_eq!(n, 0),
+                other => panic!("expected a typed quorum error, got {other:?}"),
+            }
+        }
+        // First size above the boundary succeeds.
+        let models = scalars(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(rule.aggregate(&models).unwrap().as_slice(), &[3.0]);
     }
 
     #[test]

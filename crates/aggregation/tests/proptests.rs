@@ -1,9 +1,11 @@
 //! Property-based tests of the aggregation-rule robustness invariants —
-//! in particular the order-statistics sandwich that powers Lemma 2.
+//! the order-statistics sandwich that powers Lemma 2, and the bit-exact
+//! equivalence of the blocked selection kernels with the sort-based
+//! oracle.
 
 use fedms_aggregation::{
-    trimmed_mean_scalars, AdaptiveTrimmedMean, AggregationRule, Bulyan, CenteredClip,
-    CoordinateMedian, GeometricMedian, Krum, Mean, NormBound, TrimmedMean,
+    kernel, reference, trimmed_mean_scalars, AdaptiveTrimmedMean, AggregationRule, Bulyan,
+    CenteredClip, CoordinateMedian, GeometricMedian, Krum, Mean, NormBound, TrimmedMean,
 };
 use fedms_tensor::Tensor;
 use proptest::prelude::*;
@@ -11,6 +13,36 @@ use proptest::prelude::*;
 fn models_strategy(n: usize, d: usize) -> impl Strategy<Value = Vec<Tensor>> {
     proptest::collection::vec(proptest::collection::vec(-50.0f32..50.0, d), n)
         .prop_map(|vs| vs.into_iter().map(|v| Tensor::from_slice(&v)).collect())
+}
+
+/// Widens a plain float into the full adversarial value pool: NaN, ±∞,
+/// signed zeros and heavy duplication, the inputs where a NaN-unsound
+/// comparator or a reordered float sum would diverge first.
+fn adversarial_value(selector: u32, v: f32) -> f32 {
+    match selector % 10 {
+        0 => f32::NAN,
+        1 => f32::INFINITY,
+        2 => f32::NEG_INFINITY,
+        3 => 0.0,
+        4 => -0.0,
+        5 | 6 => 1.0, // duplicates collide often
+        _ => v,
+    }
+}
+
+/// `(models, trim)` over random federation sizes (spanning both kernel
+/// strategies: network at small `P`, selection past `NETWORK_MAX`),
+/// dimensions crossing the block boundary, and adversarial values.
+fn raw_models_and_trim() -> impl Strategy<Value = (Vec<Vec<f32>>, usize)> {
+    (3usize..40, 1usize..80).prop_flat_map(|(n, d)| {
+        let value = (0u32..10, -100.0f32..100.0).prop_map(|(s, v)| adversarial_value(s, v));
+        let models = proptest::collection::vec(proptest::collection::vec(value, d), n);
+        (models, 0usize..((n - 1) / 2 + 1))
+    })
+}
+
+fn bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
 }
 
 proptest! {
@@ -244,5 +276,99 @@ proptest! {
         let n_good = 2 * trim + 1;
         let good: Vec<Tensor> = (0..n_good).map(|i| Tensor::from_slice(&[i as f32])).collect();
         prop_assert!(rule.aggregate(&good).is_ok());
+    }
+
+    /// The blocked trimmed-mean kernel is bit-identical to the sort-based
+    /// oracle — across federation sizes (both kernel strategies), trim
+    /// rates, dimensions and the adversarial value pool (NaN, ±∞, signed
+    /// zeros, duplicates). `to_bits` equality, not approximate.
+    #[test]
+    fn kernel_trimmed_mean_bit_identical_to_oracle(input in raw_models_and_trim()) {
+        let (models, trim) = input;
+        let views: Vec<&[f32]> = models.iter().map(Vec::as_slice).collect();
+        let dim = views[0].len();
+        let mut fast = vec![0.0f32; dim];
+        let mut oracle = vec![0.0f32; dim];
+        kernel::trimmed_mean(&views, trim, &mut fast);
+        reference::trimmed_mean(&views, trim, &mut oracle);
+        prop_assert_eq!(bits(&fast), bits(&oracle));
+        // Both internal strategies must agree regardless of which one the
+        // dispatch would pick for this P.
+        let mut network = vec![0.0f32; dim];
+        let mut selection = vec![0.0f32; dim];
+        kernel::trimmed_mean_network(&views, trim, &mut network);
+        kernel::trimmed_mean_selection(&views, trim, &mut selection);
+        prop_assert_eq!(bits(&network), bits(&oracle));
+        prop_assert_eq!(bits(&selection), bits(&oracle));
+    }
+
+    /// Same bit-exactness for the coordinate-median kernel.
+    #[test]
+    fn kernel_median_bit_identical_to_oracle(input in raw_models_and_trim()) {
+        let (models, _) = input;
+        let views: Vec<&[f32]> = models.iter().map(Vec::as_slice).collect();
+        let dim = views[0].len();
+        let mut fast = vec![0.0f32; dim];
+        let mut oracle = vec![0.0f32; dim];
+        kernel::coordinate_median(&views, &mut fast);
+        reference::coordinate_median(&views, &mut oracle);
+        prop_assert_eq!(bits(&fast), bits(&oracle));
+    }
+}
+
+/// Structured worst-case inputs the random pool hits only rarely: fully
+/// equal columns, globally sorted and reversed coordinates, and a dense
+/// ±0.0 lattice. Swept across both kernel strategies and a block-crossing
+/// dimension.
+#[test]
+fn kernel_matches_oracle_on_adversarial_patterns() {
+    let dim = 300; // crosses the 256-coordinate block boundary
+    for &n in &[3usize, 5, 10, 31, 32, 33, 40] {
+        let patterns: Vec<(&str, Vec<Vec<f32>>)> = vec![
+            ("all-equal", (0..n).map(|_| vec![7.25f32; dim]).collect()),
+            ("sorted", (0..n).map(|j| (0..dim).map(|i| (j * dim + i) as f32).collect()).collect()),
+            (
+                "reversed",
+                (0..n).map(|j| (0..dim).map(|i| -((j * dim + i) as f32)).collect()).collect(),
+            ),
+            (
+                "signed-zeros",
+                (0..n)
+                    .map(|j| {
+                        (0..dim).map(|i| if (i + j) % 2 == 0 { 0.0f32 } else { -0.0f32 }).collect()
+                    })
+                    .collect(),
+            ),
+            (
+                "nan-and-inf-bands",
+                (0..n)
+                    .map(|j| {
+                        (0..dim)
+                            .map(|i| match (i + 3 * j) % 5 {
+                                0 => f32::NAN,
+                                1 => f32::INFINITY,
+                                2 => f32::NEG_INFINITY,
+                                _ => (i as f32) - (j as f32),
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            ),
+        ];
+        for (name, models) in patterns {
+            let views: Vec<&[f32]> = models.iter().map(Vec::as_slice).collect();
+            for trim in 0..=((n - 1) / 2).min(3) {
+                let mut fast = vec![0.0f32; dim];
+                let mut oracle = vec![0.0f32; dim];
+                kernel::trimmed_mean(&views, trim, &mut fast);
+                reference::trimmed_mean(&views, trim, &mut oracle);
+                assert_eq!(bits(&fast), bits(&oracle), "{name} n={n} trim={trim}");
+            }
+            let mut fast = vec![0.0f32; dim];
+            let mut oracle = vec![0.0f32; dim];
+            kernel::coordinate_median(&views, &mut fast);
+            reference::coordinate_median(&views, &mut oracle);
+            assert_eq!(bits(&fast), bits(&oracle), "median {name} n={n}");
+        }
     }
 }

@@ -22,6 +22,8 @@
 
 use fedms_core::{FedMsConfig, Result};
 
+pub mod perf;
+
 pub use fedms_exp::{
     harness_defaults, print_series_table, rounds_from_env, save_json, seeds_from_env, Series,
 };

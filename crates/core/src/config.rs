@@ -59,6 +59,11 @@ pub struct FedMsConfig {
     pub eval_clients: usize,
     /// Multi-threaded client training (bit-identical results).
     pub parallel: bool,
+    /// Worker-thread count for the client-parallel phases when `parallel`
+    /// is on: 0 picks one thread per available core. Any count produces
+    /// bit-identical results.
+    #[serde(default)]
+    pub threads: usize,
     /// Evaluate the clients' local models right after local training (the
     /// paper's metric) instead of the post-filter models.
     pub eval_after_local: bool,
@@ -121,6 +126,7 @@ impl FedMsConfig {
             eval_every: 1,
             eval_clients: 0,
             parallel: true,
+            threads: 0,
             eval_after_local: true,
             byzantine_clients: 0,
             client_attack: ClientAttackKind::SignFlip { scale: 1.0 },
@@ -155,6 +161,7 @@ impl FedMsConfig {
             eval_every: 1,
             eval_clients: 0,
             parallel: false,
+            threads: 0,
             eval_after_local: true,
             byzantine_clients: 0,
             client_attack: ClientAttackKind::SignFlip { scale: 1.0 },
@@ -251,6 +258,7 @@ impl FedMsConfig {
             eval_every: self.eval_every,
             eval_clients: self.eval_clients,
             parallel: self.parallel,
+            threads: self.threads,
             eval_after_local: self.eval_after_local,
             recovery: self.recovery,
         };

@@ -30,6 +30,11 @@ pub struct EngineConfig {
     pub eval_clients: usize,
     /// Train clients on multiple threads (bit-identical to sequential).
     pub parallel: bool,
+    /// Worker-thread count for the client-parallel phases when `parallel`
+    /// is on: 0 picks one thread per available core. Results are
+    /// bit-identical across thread counts.
+    #[serde(default)]
+    pub threads: usize,
     /// When true (the paper's protocol), accuracy is measured on the
     /// clients' *local* models right after local training; when false, on
     /// the post-filter models at the end of the round. Under strong
@@ -59,6 +64,7 @@ impl EngineConfig {
             eval_every: 1,
             eval_clients: 0,
             parallel: true,
+            threads: 0,
             eval_after_local: true,
             recovery: RecoveryPolicy::disabled(),
         })

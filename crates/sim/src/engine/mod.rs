@@ -387,6 +387,7 @@ impl SimulationEngine {
         // client/server state) — the property behind bit-exact
         // checkpoint/resume ([`SimulationEngine::snapshot`]).
         let round_label = self.round as u64;
+        let worker_threads = self.worker_threads();
         let mut upload_rng = rng_for(self.config.seed, &[0x55_50_4C_44, round_label]); // "UPLD"
         let mut participation_rng = rng_for(self.config.seed, &[0x50_41_52_54, round_label]); // "PART"
         let mut client_attack_rng = rng_for(self.config.seed, &[0x43_41_54, round_label]); // "CAT"
@@ -400,7 +401,7 @@ impl SimulationEngine {
             active: &active,
             round: self.round,
             local_epochs: self.config.local_epochs,
-            parallel: self.config.parallel,
+            threads: worker_threads,
             event_log: self.event_log.as_mut(),
         })?;
 
@@ -464,6 +465,7 @@ impl SimulationEngine {
             event_log: self.event_log.as_mut(),
             capture_views,
             on_degraded: self.config.recovery.on_degraded,
+            threads: worker_threads,
         })?;
 
         let diagnostics = if capture_views {
@@ -525,10 +527,24 @@ impl SimulationEngine {
         }
         let samples = self.test_samples.clone();
         let labels = self.test_labels.clone();
-        let accs = phases::for_clients(&mut self.clients, &indices, self.config.parallel, |c| {
+        let threads = self.worker_threads();
+        let accs = phases::for_clients(&mut self.clients, &indices, threads, |c| {
             c.evaluate(&samples, &labels)
         })?;
         Ok((accs.iter().map(|&a| a as f64).sum::<f64>() / accs.len() as f64) as f32)
+    }
+
+    /// Resolves the effective worker-thread count for the client-parallel
+    /// phases: 1 when `parallel` is off, the configured count when set,
+    /// one per available core otherwise.
+    fn worker_threads(&self) -> usize {
+        if !self.config.parallel {
+            1
+        } else if self.config.threads != 0 {
+            self.config.threads
+        } else {
+            std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4)
+        }
     }
 }
 

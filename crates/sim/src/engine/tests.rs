@@ -29,6 +29,7 @@ fn small_setup(
         eval_every: 1,
         eval_clients: 0,
         parallel,
+        threads: 0,
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
     };
@@ -104,6 +105,7 @@ fn attack_ids_must_match_topology() {
         eval_every: 1,
         eval_clients: 0,
         parallel: false,
+        threads: 0,
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
     };
@@ -169,6 +171,7 @@ fn byzantine_clients_are_filtered_by_robust_server_rule() {
         eval_every: 1,
         eval_clients: 0,
         parallel: false,
+        threads: 0,
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
     };
@@ -228,6 +231,7 @@ fn client_attack_validation() {
         eval_every: 1,
         eval_clients: 0,
         parallel: false,
+        threads: 0,
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
     };

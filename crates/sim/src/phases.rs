@@ -58,8 +58,9 @@ pub(crate) struct TrainCtx<'a> {
     pub round: usize,
     /// Local SGD iterations per round (the paper's `E`).
     pub local_epochs: usize,
-    /// Train on multiple threads (bit-identical to sequential).
-    pub parallel: bool,
+    /// Worker threads for client-parallel training (≤ 1 = sequential;
+    /// results are bit-identical across thread counts).
+    pub threads: usize,
     /// Structured event sink, if enabled.
     pub event_log: Option<&'a mut EventLog>,
 }
@@ -70,7 +71,7 @@ pub(crate) fn local_train(mut ctx: TrainCtx<'_>) -> Result<f64> {
     let global_step = ctx.round * ctx.local_epochs;
     let epochs = ctx.local_epochs;
     let losses =
-        for_clients(ctx.clients, ctx.active, ctx.parallel, |c| c.local_train(epochs, global_step))?;
+        for_clients(ctx.clients, ctx.active, ctx.threads, |c| c.local_train(epochs, global_step))?;
     if let Some(log) = ctx.event_log.as_deref_mut() {
         for (&client, &loss) in ctx.active.iter().zip(losses.iter()) {
             log.push(RoundEvent::LocalTrainingCompleted { round: ctx.round, client, loss });
@@ -277,6 +278,9 @@ pub(crate) struct FilterCtx<'a> {
     pub capture_views: bool,
     /// What to do when a client's view degrades below quorum anyway.
     pub on_degraded: DegradedMode,
+    /// Worker threads for the per-client filter applications (≤ 1 =
+    /// sequential; results are bit-identical across thread counts).
+    pub threads: usize,
 }
 
 /// What the filtering phase produces.
@@ -305,9 +309,15 @@ pub(crate) struct FilterOutcome {
 /// [`FilterCtx::on_degraded`].
 pub(crate) fn filter(mut ctx: FilterCtx<'_>) -> Result<FilterOutcome> {
     let num_clients = ctx.clients.len();
-    let mut models: Vec<Tensor> = Vec::with_capacity(num_clients);
-    let mut client0_views: Vec<Tensor> = Vec::new();
     let mut suppressed_duplicates = 0usize;
+    // Pass 1 (sequential): realize every client's downlink on the
+    // transport, suppress duplicate deliveries and apply the quorum guard.
+    // The transport is exclusive state, so this stays single-threaded; it
+    // also pins abort order, so a parallel run reports the same
+    // [`SimError::DegradedQuorum`] a sequential one would.
+    // Each client's realized view plus, where the policy fell back, the
+    // local model to keep (`Some` = keep local, skip the filter).
+    let mut realized: Vec<(Vec<Tensor>, Option<Tensor>)> = Vec::with_capacity(num_clients);
     for k in 0..num_clients {
         let deliveries = ctx.transport.drain_deliveries(k);
         // First delivery wins: repeats never reach the filter.
@@ -330,24 +340,41 @@ pub(crate) fn filter(mut ctx: FilterCtx<'_>) -> Result<FilterOutcome> {
                 total: ctx.num_servers,
             });
         }
-        let out = if views.is_empty() || degraded {
-            // Total blackout, or a sub-quorum view the policy chose to ride
-            // out: the client keeps its locally trained model this round
-            // (filtering a Byzantine-dominated sample would be worse).
-            ctx.clients[k].model_vector()
-        } else {
-            ctx.filter.aggregate(&views)?
+        // Total blackout, or a sub-quorum view the policy chose to ride
+        // out: the client keeps its locally trained model this round
+        // (filtering a Byzantine-dominated sample would be worse).
+        let fallback = (views.is_empty() || degraded).then(|| ctx.clients[k].model_vector());
+        realized.push((views, fallback));
+    }
+    let client0_views: Vec<Tensor> = match realized.first() {
+        Some((views, _)) if ctx.capture_views => views.clone(),
+        _ => Vec::new(),
+    };
+    // Pass 2 (parallel): apply `Def(·)` — the dominant per-round cost at
+    // real model sizes — to each client's realized view independently.
+    // Outputs stitch back in client order, so any thread count produces
+    // the same bits.
+    let filter = ctx.filter;
+    let want_displacement = ctx.event_log.is_some();
+    let filtered = map_in_order(realized, ctx.threads, |(views, fallback)| {
+        let out = match fallback {
+            Some(local) => local,
+            None => filter.aggregate(&views)?,
         };
+        let displacement = if want_displacement && !views.is_empty() {
+            out.sub(&Mean::new().aggregate(&views)?)?.norm_l2()
+        } else {
+            0.0
+        };
+        Ok::<(Tensor, f32), SimError>((out, displacement))
+    });
+    // Pass 3 (sequential): surface the lowest-client-index error and emit
+    // events in client order.
+    let mut models: Vec<Tensor> = Vec::with_capacity(num_clients);
+    for (k, res) in filtered.into_iter().enumerate() {
+        let (out, displacement) = res?;
         if let Some(log) = ctx.event_log.as_deref_mut() {
-            let displacement = if views.is_empty() {
-                0.0
-            } else {
-                out.sub(&Mean::new().aggregate(&views)?)?.norm_l2()
-            };
             log.push(RoundEvent::Filtered { round: ctx.round, client: k, displacement });
-        }
-        if k == 0 && ctx.capture_views {
-            client0_views = views;
         }
         models.push(out);
     }
@@ -404,15 +431,15 @@ pub(crate) fn diagnostics(ctx: DiagnosticsCtx<'_>) -> Result<RoundDiagnostics> {
     })
 }
 
-/// Applies `f` to the clients at `indices` (strictly increasing),
-/// optionally on multiple threads, preserving index order in the returned
-/// vector. Parallel execution is bit-identical to sequential: `f` itself
-/// is deterministic per client and the outputs are stitched back in index
-/// order.
+/// Applies `f` to the clients at `indices` (strictly increasing) on up to
+/// `threads` worker threads (≤ 1 = sequential), preserving index order in
+/// the returned vector. Parallel execution is bit-identical to sequential:
+/// `f` itself is deterministic per client and the outputs are stitched
+/// back in index order.
 pub(crate) fn for_clients<F>(
     clients: &mut [Client],
     indices: &[usize],
-    parallel: bool,
+    threads: usize,
     f: F,
 ) -> Result<Vec<f32>>
 where
@@ -431,10 +458,9 @@ where
         }
     }
     let n = selected.len();
-    if !parallel || n < 4 {
+    if threads <= 1 || n < 4 {
         return selected.into_iter().map(&f).collect();
     }
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
     let chunk = n.div_ceil(threads.min(n));
     let mut outputs: Vec<Result<Vec<f32>>> = Vec::new();
     std::thread::scope(|scope| {
@@ -456,4 +482,42 @@ where
         flat.extend(out?);
     }
     Ok(flat)
+}
+
+/// Maps `f` over owned `items` on up to `threads` worker threads (≤ 1 =
+/// sequential), returning the outputs in input order. The chunking only
+/// changes *where* each item runs, never the result order, which is what
+/// keeps parallel phases bit-identical across thread counts.
+pub(crate) fn map_in_order<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n < 4 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads.min(n));
+    let mut groups: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let group: Vec<T> = it.by_ref().take(chunk).collect();
+        if group.is_empty() {
+            break;
+        }
+        groups.push(group);
+    }
+    let mut outputs: Vec<Vec<U>> = Vec::with_capacity(groups.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for group in groups {
+            let f = &f;
+            handles.push(scope.spawn(move || group.into_iter().map(f).collect::<Vec<U>>()));
+        }
+        for h in handles {
+            outputs.push(h.join().expect("worker thread panicked"));
+        }
+    });
+    outputs.into_iter().flatten().collect()
 }

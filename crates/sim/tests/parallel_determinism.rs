@@ -1,0 +1,63 @@
+//! End-to-end determinism across thread counts: the engine promises that
+//! the client-parallel phases (local SGD, evaluation, the `Def(·)` filter)
+//! are bit-identical however the work is sharded. This test drives full
+//! rounds — Byzantine server, trimmed-mean filter, diagnostics on — under
+//! sequential, 4-thread and auto-thread execution and compares the
+//! serialized [`fedms_sim::Snapshot`] byte-for-byte.
+
+use fedms_aggregation::TrimmedMean;
+use fedms_attacks::AttackKind;
+use fedms_data::{DirichletPartitioner, SynthVisionConfig};
+use fedms_nn::LrSchedule;
+use fedms_sim::{
+    EngineConfig, ModelSpec, RecoveryPolicy, SimulationEngine, Snapshot, Topology, UploadStrategy,
+};
+
+/// An 8-client / 4-server federation with one noisy Byzantine server —
+/// enough structure that every phase (attacks, filtering, diagnostics)
+/// does real work each round.
+fn engine(parallel: bool, threads: usize) -> SimulationEngine {
+    let (train, test) = SynthVisionConfig::small().generate(21).unwrap();
+    let parts = DirichletPartitioner::new(10.0).unwrap().partition(&train, 8, 5).unwrap();
+    let config = EngineConfig {
+        topology: Topology::new(8, 4, vec![2]).unwrap(),
+        model: ModelSpec::Mlp { widths: vec![16, 8, 4] },
+        upload: UploadStrategy::Sparse,
+        local_epochs: 2,
+        batch_size: 4,
+        schedule: LrSchedule::Constant(0.05),
+        seed: 33,
+        eval_every: 1,
+        eval_clients: 0,
+        parallel,
+        threads,
+        eval_after_local: true,
+        recovery: RecoveryPolicy::disabled(),
+    };
+    let attacks = vec![(2, AttackKind::Noise { std: 0.5 }.build().unwrap())];
+    let filter = Box::new(TrimmedMean::new(0.25).unwrap());
+    let mut e = SimulationEngine::new(config, &train, &test, &parts, filter, attacks).unwrap();
+    e.set_record_diagnostics(true);
+    e
+}
+
+/// Runs three rounds and returns the snapshot serialized to bytes —
+/// the strictest equality the engine exposes (every client model bit,
+/// every server aggregate, every recorded metric).
+fn snapshot_bytes(parallel: bool, threads: usize) -> Vec<u8> {
+    let mut e = engine(parallel, threads);
+    e.run(3).unwrap();
+    let snap: Snapshot = e.snapshot();
+    serde_json::to_string(&snap).unwrap().into_bytes()
+}
+
+#[test]
+fn rounds_are_byte_identical_across_thread_counts() {
+    let sequential = snapshot_bytes(false, 0);
+    let one_thread = snapshot_bytes(true, 1);
+    let four_threads = snapshot_bytes(true, 4);
+    let auto_threads = snapshot_bytes(true, 0);
+    assert_eq!(sequential, one_thread, "threads=1 must equal parallel=off");
+    assert_eq!(sequential, four_threads, "threads=4 must equal sequential");
+    assert_eq!(sequential, auto_threads, "auto thread count must equal sequential");
+}

@@ -271,6 +271,7 @@ fn engine(seed: u64, recovery: RecoveryPolicy) -> SimulationEngine {
         eval_every: 1,
         eval_clients: 0,
         parallel: false,
+        threads: 0,
         eval_after_local: false,
         recovery,
     };
@@ -377,6 +378,7 @@ fn chaos_soak_200_rounds() {
         eval_every: 50,
         eval_clients: 0,
         parallel: false,
+        threads: 0,
         eval_after_local: false,
         recovery: policy,
     };

@@ -46,6 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eval_every: 5,
         eval_clients: 0,
         parallel: true,
+        threads: 0,
         eval_after_local: true,
         recovery: RecoveryPolicy::disabled(),
     };

@@ -40,6 +40,7 @@ fn manual_assembly_with_trimmed_mean_filter() {
         eval_every: 1,
         eval_clients: 0,
         parallel: false,
+        threads: 0,
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
     };
@@ -84,6 +85,7 @@ fn mobilenet_nano_federation_trains() {
         eval_every: 2,
         eval_clients: 0,
         parallel: false,
+        threads: 0,
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
     };
@@ -110,6 +112,7 @@ fn engine_exposes_client_models_for_inspection() {
         eval_every: 1,
         eval_clients: 0,
         parallel: false,
+        threads: 0,
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
     };
@@ -147,6 +150,7 @@ fn rotating_adaptive_adversary_is_survivable() {
         eval_every: 8,
         eval_clients: 0,
         parallel: false,
+        threads: 0,
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
     };
@@ -190,6 +194,7 @@ fn attack_trait_objects_compose_via_kind() {
             eval_every: 1,
             eval_clients: 2,
             parallel: false,
+            threads: 0,
             eval_after_local: false,
             recovery: RecoveryPolicy::disabled(),
         };
