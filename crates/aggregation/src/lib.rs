@@ -51,7 +51,7 @@ pub use clipping::CenteredClip;
 pub use error::AggError;
 pub use geomedian::GeometricMedian;
 pub use krum::{Krum, MultiKrum};
-pub use mean::Mean;
+pub use mean::{Mean, MeanAccumulator};
 pub use median::CoordinateMedian;
 pub use normbound::NormBound;
 pub use rule::AggregationRule;

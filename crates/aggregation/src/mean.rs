@@ -3,7 +3,7 @@
 use fedms_tensor::Tensor;
 
 use crate::rule::validate_models;
-use crate::{AggregationRule, Result};
+use crate::{AggError, AggregationRule, Result};
 
 /// The arithmetic mean of all models — no Byzantine protection.
 ///
@@ -36,6 +36,73 @@ impl AggregationRule for Mean {
         }
         let data: Vec<f32> = acc.into_iter().map(|v| v as f32 * inv).collect();
         Ok(Tensor::from_vec(data, models[0].dims())?)
+    }
+
+    fn make_accumulator(&self) -> Option<MeanAccumulator> {
+        Some(MeanAccumulator::new())
+    }
+}
+
+/// A streaming equivalent of [`Mean::aggregate`].
+///
+/// Models are folded in one at a time, so a server's round can be
+/// aggregated without ever materializing its full inbox — the property the
+/// simulator's large-cohort path relies on. Bit-exactness contract: pushing
+/// models `m₀ … mₙ₋₁` in order and calling [`MeanAccumulator::finish`]
+/// produces exactly the tensor `Mean::new().aggregate(&[m₀ … mₙ₋₁])` would,
+/// including `f64` summation order and the final `sum as f32 * (1/n)`
+/// rounding.
+#[derive(Debug, Clone, Default)]
+pub struct MeanAccumulator {
+    acc: Vec<f64>,
+    dims: Vec<usize>,
+    count: usize,
+}
+
+impl MeanAccumulator {
+    /// Creates an empty accumulator; the first push fixes the shape.
+    pub fn new() -> Self {
+        MeanAccumulator::default()
+    }
+
+    /// Folds one model in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggError::ShapeDisagreement`] if `model`'s shape differs
+    /// from the first pushed model's (the reported index is the position
+    /// this push would have had in the batched slice).
+    pub fn push(&mut self, model: &Tensor) -> Result<()> {
+        if self.count == 0 {
+            self.dims = model.dims().to_vec();
+            self.acc = vec![0.0f64; model.len()];
+        } else if model.dims() != self.dims.as_slice() {
+            return Err(AggError::ShapeDisagreement { index: self.count });
+        }
+        for (a, &v) in self.acc.iter_mut().zip(model.as_slice()) {
+            *a += v as f64;
+        }
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Models folded in so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Reduces to the mean tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggError::Empty`] if nothing was pushed.
+    pub fn finish(self) -> Result<Tensor> {
+        if self.count == 0 {
+            return Err(AggError::Empty);
+        }
+        let inv = 1.0 / self.count as f32;
+        let data: Vec<f32> = self.acc.into_iter().map(|v| v as f32 * inv).collect();
+        Ok(Tensor::from_vec(data, &self.dims)?)
     }
 }
 
@@ -75,5 +142,51 @@ mod tests {
         models.push(Tensor::from_slice(&[1000.0]));
         let m = Mean::new().aggregate(&models).unwrap();
         assert!(m.as_slice()[0] > 100.0);
+    }
+
+    #[test]
+    fn accumulator_matches_batch_bit_for_bit() {
+        // Values chosen so f32 rounding is actually exercised.
+        let models: Vec<Tensor> = (0..7)
+            .map(|i| {
+                let v: Vec<f32> =
+                    (0..5).map(|j| ((i * 31 + j * 7) as f32).sin() * 1e3 + 0.1).collect();
+                Tensor::from_vec(v, &[5]).unwrap()
+            })
+            .collect();
+        let batched = Mean::new().aggregate(&models).unwrap();
+        let mut acc = Mean::new().make_accumulator().unwrap();
+        for m in &models {
+            acc.push(m).unwrap();
+        }
+        assert_eq!(acc.count(), 7);
+        let streamed = acc.finish().unwrap();
+        assert_eq!(batched.dims(), streamed.dims());
+        let same_bits = batched
+            .as_slice()
+            .iter()
+            .zip(streamed.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same_bits, "streamed mean must reproduce batched bits");
+    }
+
+    #[test]
+    fn accumulator_rejects_empty_and_mismatched() {
+        assert!(matches!(MeanAccumulator::new().finish(), Err(AggError::Empty)));
+        let mut acc = MeanAccumulator::new();
+        acc.push(&Tensor::zeros(&[2])).unwrap();
+        assert!(matches!(
+            acc.push(&Tensor::zeros(&[3])),
+            Err(AggError::ShapeDisagreement { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn accumulator_preserves_shape() {
+        let mut acc = MeanAccumulator::new();
+        for _ in 0..4 {
+            acc.push(&Tensor::zeros(&[2, 3])).unwrap();
+        }
+        assert_eq!(acc.finish().unwrap().dims(), &[2, 3]);
     }
 }

@@ -2,7 +2,7 @@
 
 use fedms_tensor::Tensor;
 
-use crate::{AggError, Result};
+use crate::{AggError, MeanAccumulator, Result};
 
 /// A rule that combines several same-shape model tensors into one.
 ///
@@ -24,6 +24,20 @@ pub trait AggregationRule: Send + Sync {
     /// [`AggError::ShapeDisagreement`] if shapes differ, and rule-specific
     /// errors (e.g. [`AggError::TooFewModels`]) otherwise.
     fn aggregate(&self, models: &[Tensor]) -> Result<Tensor>;
+
+    /// A streaming accumulator equivalent to this rule, if one exists.
+    ///
+    /// Rules that can fold models in one at a time (today only [`Mean`],
+    /// the per-server aggregation of Algorithm 1 line 4) return
+    /// `Some(accumulator)`; pushing the same models in the same order and
+    /// finishing must be bit-identical to [`AggregationRule::aggregate`]
+    /// over the batched slice. Robust rules that need the full model set at
+    /// once keep the default `None`, and callers fall back to batching.
+    ///
+    /// [`Mean`]: crate::Mean
+    fn make_accumulator(&self) -> Option<MeanAccumulator> {
+        None
+    }
 }
 
 /// Validates the common preconditions shared by all rules: at least one

@@ -27,7 +27,9 @@
 //!     default 8, the acceptance floor 10 minus CI noise margin).
 
 use fedms_aggregation::{kernel, reference};
-use fedms_bench::perf::{pseudo_values, Harness, MachineInfo, Measurement, Workload};
+use fedms_bench::perf::{
+    peak_rss_bytes, pseudo_values, Harness, MachineInfo, Measurement, MemoryInfo, Workload,
+};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -68,6 +70,10 @@ struct Report {
     speedup: f64,
     /// Estimated wall-clock for one full 1000-client filter round, ms.
     round_ms: f64,
+    /// Peak-memory footprint at the end of the measurement (absent in
+    /// reports written before it was recorded).
+    #[serde(default)]
+    memory: Option<MemoryInfo>,
 }
 
 /// One iteration = `CLIENTS` trimmed-mean applications over the same
@@ -203,6 +209,9 @@ fn main() -> ExitCode {
         speedup,
         kernel: kernel_m,
         reference: reference_m,
+        // This bench allocates its views up front and never touches the
+        // engine's buffer pool, so only the RSS component applies.
+        memory: Some(MemoryInfo { peak_rss_bytes: peak_rss_bytes(), pool_high_water_bytes: None }),
     };
 
     println!(

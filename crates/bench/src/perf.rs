@@ -69,6 +69,32 @@ impl MachineInfo {
     }
 }
 
+/// Peak-memory footprint recorded next to a measurement: the process's
+/// high-water RSS plus, where the workload runs through the engine's
+/// buffer pool, the pool's own high-water mark. Both are `Option` — RSS
+/// is Linux-only (`VmHWM`), and not every workload has a pool — so a
+/// report stays serializable everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct MemoryInfo {
+    /// Peak resident set size of the whole process in bytes (`VmHWM` from
+    /// `/proc/self/status`); `None` off Linux. Process-wide: meaningful
+    /// when the measured workload dominates the process.
+    pub peak_rss_bytes: Option<u64>,
+    /// High-water mark of the engine's tensor buffer pool in bytes
+    /// ([`fedms_tensor::pool::PoolStats::high_water_bytes`]); `None` for
+    /// workloads that do not run through a pool.
+    pub pool_high_water_bytes: Option<u64>,
+}
+
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
 /// One measured workload, ready to serialize.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Measurement {
@@ -213,6 +239,20 @@ mod tests {
         assert!(!info.os.is_empty());
         assert!(!info.arch.is_empty());
         assert!(!info.cpu_model.is_empty());
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss.unwrap() > 0);
+        }
+        // MemoryInfo with absent fields round-trips (old reports have no
+        // memory block at all; new ones may have partial data).
+        let info = MemoryInfo { peak_rss_bytes: rss, pool_high_water_bytes: None };
+        let json = serde_json::to_string(&info).unwrap();
+        let back: MemoryInfo = serde_json::from_str(&json).unwrap();
+        assert_eq!(info, back);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use fedms_attacks::{AttackKind, ClientAttack, ClientAttackKind, ServerAttack};
 use fedms_data::{DirichletPartitioner, SynthVisionConfig};
 use fedms_nn::LrSchedule;
 use fedms_sim::{
-    EngineConfig, FaultPlan, FaultSpec, LocalTransport, ModelSpec, RecoveryPolicy,
+    EngineConfig, FaultPlan, FaultSpec, LocalTransport, ModelSpec, Partitions, RecoveryPolicy,
     ResilientTransport, RunResult, SimulationEngine, Topology, Transport, UploadStrategy,
 };
 use fedms_tensor::rng::derive_seed;
@@ -96,6 +96,20 @@ pub struct FedMsConfig {
     /// bit-identical to the bare transport.
     #[serde(default)]
     pub recovery: RecoveryPolicy,
+    /// Per-round cohort size: each round uniformly samples this many
+    /// clients to train, upload and filter; the rest keep their current
+    /// model. 0 (the default, the paper's setting) runs every client every
+    /// round. Round memory and time scale with the cohort, which is what
+    /// makes `K = 10⁶` federations simulable.
+    #[serde(default)]
+    pub cohort: usize,
+    /// When positive, replaces the Dirichlet partition with a procedural
+    /// uniform partition: every client draws this many samples (with
+    /// replacement, on its own seed stream) from the training set, at
+    /// `O(1)` storage per client. Required beyond ~10⁵ clients, where
+    /// materializing explicit index lists stops being feasible.
+    #[serde(default)]
+    pub shard_samples: usize,
 }
 
 impl FedMsConfig {
@@ -136,6 +150,8 @@ impl FedMsConfig {
             upload_drop_rate: 0.0,
             fault: FaultSpec::default(),
             recovery: RecoveryPolicy::disabled(),
+            cohort: 0,
+            shard_samples: 0,
         })
     }
 
@@ -171,6 +187,8 @@ impl FedMsConfig {
             upload_drop_rate: 0.0,
             fault: FaultSpec::default(),
             recovery: RecoveryPolicy::disabled(),
+            cohort: 0,
+            shard_samples: 0,
         }
     }
 
@@ -216,11 +234,23 @@ impl FedMsConfig {
     pub fn build_engine(&self) -> Result<SimulationEngine> {
         self.validate()?;
         let (train, test) = self.dataset.generate(derive_seed(self.seed, &[0xDA7A]))?;
-        let partitions = DirichletPartitioner::new(self.dirichlet_alpha)?.partition(
-            &train,
-            self.clients,
-            derive_seed(self.seed, &[0x9A97]),
-        )?;
+        // Explicit Dirichlet partitioning is the paper's setup; the
+        // procedural uniform partition keeps construction O(1) per client
+        // for federations too large to hold index lists for.
+        let partitions = if self.shard_samples > 0 {
+            Partitions::uniform(
+                self.clients,
+                train.len(),
+                self.shard_samples,
+                derive_seed(self.seed, &[0x9A97]),
+            )?
+        } else {
+            Partitions::explicit(DirichletPartitioner::new(self.dirichlet_alpha)?.partition(
+                &train,
+                self.clients,
+                derive_seed(self.seed, &[0x9A97]),
+            )?)
+        };
         let topology = Topology::with_random_byzantine(
             self.clients,
             self.servers,
@@ -261,13 +291,14 @@ impl FedMsConfig {
             threads: self.threads,
             eval_after_local: self.eval_after_local,
             recovery: self.recovery,
+            cohort: self.cohort,
         };
         let byz_client_ids: Vec<usize> = client_attacks.iter().map(|(id, _)| *id).collect();
-        let mut engine = SimulationEngine::with_adversaries(
+        let mut engine = SimulationEngine::with_store(
             engine_config,
             &train,
             &test,
-            &partitions,
+            partitions,
             self.filter.build()?,
             self.server_filter.build()?,
             attacks,

@@ -110,6 +110,9 @@ const KNOWN_KEYS: &[&str] = &[
     "dirichlet_alpha",
     "rounds",
     "participation",
+    "cohort",
+    "shard_samples",
+    "eval_clients",
     "upload_drop_rate",
     "crashed_servers",
     "crash_round",
@@ -487,6 +490,9 @@ fn apply_override(cfg: &mut FedMsConfig, key: &str, v: &Value) -> Result<(), Str
         "dirichlet_alpha" => cfg.dirichlet_alpha = float_value(v)?,
         "rounds" => cfg.rounds = usize_value(v)?,
         "participation" => cfg.participation = float_value(v)?,
+        "cohort" => cfg.cohort = usize_value(v)?,
+        "shard_samples" => cfg.shard_samples = usize_value(v)?,
+        "eval_clients" => cfg.eval_clients = usize_value(v)?,
         "upload_drop_rate" => cfg.upload_drop_rate = float_value(v)?,
         "crashed_servers" => cfg.fault.crashed_servers = usize_value(v)?,
         "crash_round" => cfg.fault.crash_round = usize_value(v)?,

@@ -14,6 +14,16 @@ use crate::{Result, SimError};
 /// from `(seed, id, global_step)`, so a client's behaviour is a pure
 /// function of its state — the property behind the engine's bit-exact
 /// checkpoint/resume.
+///
+/// **Rehydration contract** (relied on by [`crate::SimulationEngine`]'s
+/// lazy [`Client`] construction): the parameter vector is a client's
+/// *entire* evolving state. The optimizer is stateless between calls
+/// (its step index is set from `global_step`), the batch stream is a pure
+/// function of `(seed, id, global_step)`, and the shard is immutable —
+/// so dropping a [`Client`] and rebuilding it from `(id, shard, seed)`
+/// plus its last parameter vector continues training bit-identically.
+/// Any new per-client mutable state added here must move into the
+/// engine's client store to keep that true.
 pub struct Client {
     id: usize,
     model: Box<dyn Layer>,

@@ -46,6 +46,15 @@ pub struct EngineConfig {
     /// [`crate::LocalTransport`].
     #[serde(default)]
     pub recovery: RecoveryPolicy,
+    /// Per-round cohort size: each round uniformly samples this many
+    /// clients (without replacement, from its own `"CHRT"` seed stream) to
+    /// train, upload, receive and filter; everyone else keeps their banked
+    /// model. 0 (the default) or any value ≥ `K` runs the full federation
+    /// every round, bit-identical to the pre-cohort engine. Round memory
+    /// scales with the cohort, not `K` — the knob that makes
+    /// million-client federations simulable.
+    #[serde(default)]
+    pub cohort: usize,
 }
 
 impl EngineConfig {
@@ -67,6 +76,7 @@ impl EngineConfig {
             threads: 0,
             eval_after_local: true,
             recovery: RecoveryPolicy::disabled(),
+            cohort: 0,
         })
     }
 

@@ -4,14 +4,15 @@
 use fedms_aggregation::{AggregationRule, Mean};
 use fedms_attacks::{ClientAttack, ServerAttack};
 use fedms_data::Dataset;
+use fedms_nn::NeuralNet;
+use fedms_tensor::pool::{BufferPool, PoolStats};
 use fedms_tensor::rng::{derive_seed, rng_for};
 use fedms_tensor::Tensor;
 
 use crate::recovery::ResilientTransport;
+use crate::store::{ClientStore, Partitions};
 use crate::transport::{LocalTransport, Transport};
-use crate::{
-    phases, Client, EventLog, FaultPlan, Result, RoundMetrics, RunResult, Server, SimError,
-};
+use crate::{phases, EventLog, FaultPlan, Result, RoundMetrics, RunResult, Server, SimError};
 
 mod config;
 mod snapshot;
@@ -30,15 +31,21 @@ pub use snapshot::{Snapshot, SNAPSHOT_VERSION};
 /// [`phases::disseminate`] → [`phases::filter`] over a [`Transport`]
 /// (a [`LocalTransport`] by default; swap it with
 /// [`SimulationEngine::set_transport`]).
+///
+/// Clients live in a [`ClientStore`] — per-client metadata plus an
+/// interned bank of model vectors — and are rehydrated lazily for the
+/// rounds that sample them, so memory scales with the per-round *cohort*
+/// ([`EngineConfig::cohort`]), not the federation size `K`.
 pub struct SimulationEngine {
     config: EngineConfig,
-    clients: Vec<Client>,
+    store: ClientStore,
     servers: Vec<Server>,
     filter: Box<dyn AggregationRule>,
     server_rule: Box<dyn AggregationRule>,
     client_attacks: Vec<Option<Box<dyn ClientAttack>>>,
     participation: f64,
     transport: Box<dyn Transport>,
+    pool: BufferPool,
     record_diagnostics: bool,
     event_log: Option<EventLog>,
     initial_model: Tensor,
@@ -52,7 +59,7 @@ impl std::fmt::Debug for SimulationEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimulationEngine")
             .field("round", &self.round)
-            .field("clients", &self.clients.len())
+            .field("clients", &self.store.num_clients())
             .field("servers", &self.servers.len())
             .field("filter", &self.filter.name())
             .field("transport", &self.transport.name())
@@ -118,12 +125,44 @@ impl SimulationEngine {
         attacks: Vec<(usize, Box<dyn ServerAttack>)>,
         client_attacks: Vec<(usize, Box<dyn ClientAttack>)>,
     ) -> Result<Self> {
+        Self::with_store(
+            config,
+            train,
+            test,
+            Partitions::explicit(partitions.to_vec()),
+            filter,
+            server_rule,
+            attacks,
+            client_attacks,
+        )
+    }
+
+    /// Builds a federation from a [`Partitions`] description instead of
+    /// eager per-client index lists. [`Partitions::Uniform`] keeps the
+    /// description O(1) regardless of `K`, which is what makes
+    /// million-client topologies constructible at all; everything else is
+    /// identical to [`SimulationEngine::with_adversaries`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SimulationEngine::with_adversaries`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_store(
+        config: EngineConfig,
+        train: &Dataset,
+        test: &Dataset,
+        partitions: Partitions,
+        filter: Box<dyn AggregationRule>,
+        server_rule: Box<dyn AggregationRule>,
+        attacks: Vec<(usize, Box<dyn ServerAttack>)>,
+        client_attacks: Vec<(usize, Box<dyn ClientAttack>)>,
+    ) -> Result<Self> {
         config.validate()?;
         let topo = &config.topology;
-        if partitions.len() != topo.num_clients() {
+        if partitions.num_clients() != topo.num_clients() {
             return Err(SimError::BadConfig(format!(
                 "{} partitions for {} clients",
-                partitions.len(),
+                partitions.num_clients(),
                 topo.num_clients()
             )));
         }
@@ -146,20 +185,20 @@ impl SimulationEngine {
 
         let flat = config.model.wants_flat_input();
         let test_set = if flat { test.flattened() } else { test.clone() };
-        let mut clients = Vec::with_capacity(topo.num_clients());
-        for (k, part) in partitions.iter().enumerate() {
-            let shard = train.subset(part)?;
-            let shard = if flat { shard.flattened() } else { shard };
-            let model = config.model.build(init_seed)?;
-            clients.push(Client::new(
-                k,
-                model,
-                shard,
-                config.batch_size,
-                config.schedule,
-                derive_seed(config.seed, &[0x434C_4E54, k as u64]), // "CLNT"
-            )?);
-        }
+        // Flattening the whole train split up front (a reshape) makes
+        // per-client shards bit-identical to the old subset-then-flatten
+        // path while letting the store hydrate lazily.
+        let train_set = if flat { train.flattened() } else { train.clone() };
+        let store = ClientStore::new(
+            config.model.clone(),
+            init_seed,
+            config.seed,
+            config.batch_size,
+            config.schedule,
+            train_set,
+            partitions,
+            initial_model.clone(),
+        )?;
 
         let mut attack_map: std::collections::BTreeMap<usize, Box<dyn ServerAttack>> =
             attacks.into_iter().collect();
@@ -206,12 +245,13 @@ impl SimulationEngine {
         Ok(SimulationEngine {
             participation: 1.0,
             transport,
+            pool: BufferPool::new(),
             record_diagnostics: false,
             event_log: None,
             client_attacks: client_attack_slots,
             server_rule,
             config,
-            clients,
+            store,
             servers,
             filter,
             initial_model,
@@ -234,20 +274,22 @@ impl SimulationEngine {
     ///
     /// Returns [`SimError::BadConfig`] for an out-of-range client id.
     pub fn poison_client_labels(&mut self, client: usize, offset: usize) -> Result<()> {
-        let Some(c) = self.clients.get_mut(client) else {
+        if client >= self.store.num_clients() {
             return Err(SimError::BadConfig(format!(
                 "client {client} out of range for {} clients",
-                self.clients.len()
+                self.store.num_clients()
             )));
-        };
-        c.poison_labels(offset);
+        }
+        self.store.poison(client, offset);
         Ok(())
     }
 
     /// Sets the per-round client participation fraction: each round only a
     /// uniformly sampled `⌈fraction·K⌉` clients train and upload (classic
     /// partial device participation; the paper's Lemma 3 machinery covers
-    /// it). Everyone still receives the dissemination and filters.
+    /// it). Everyone still receives the dissemination and filters. Under
+    /// cohort sampling ([`EngineConfig::cohort`]) the fraction applies
+    /// *within* the cohort.
     ///
     /// # Errors
     ///
@@ -344,9 +386,26 @@ impl SimulationEngine {
         &self.result
     }
 
-    /// The current flat model vector of each client.
+    /// The current flat model vector of each client. Materializes `K`
+    /// dense tensors — fine for inspection at paper scale, not something
+    /// to call inside a million-client loop (use
+    /// [`SimulationEngine::distinct_client_models`] there).
     pub fn client_models(&self) -> Vec<Tensor> {
-        self.clients.iter().map(Client::model_vector).collect()
+        self.store.dense_models()
+    }
+
+    /// Number of *distinct* model vectors across all clients (the interned
+    /// bank's size): the engine's resident model state is proportional to
+    /// this, not to `K`.
+    pub fn distinct_client_models(&self) -> usize {
+        self.store.distinct_models()
+    }
+
+    /// Counters of the engine's downlink buffer pool (see
+    /// [`PoolStats`]); `high_water_bytes` bounds the transient filter-view
+    /// memory of the run so far.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Runs `rounds` training rounds, evaluating per the configuration.
@@ -378,10 +437,6 @@ impl SimulationEngine {
         let (num_clients, num_servers) = (topo.num_clients(), topo.num_servers());
         self.transport.begin_round(self.round, self.initial_model.len());
 
-        // The global model each client starts this round from (context for
-        // update-amplification client attacks).
-        let start_vectors: Vec<Tensor> = self.clients.iter().map(Client::model_vector).collect();
-
         // All engine-level randomness is derived per round from the root
         // seed, making every round a pure function of (config, round,
         // client/server state) — the property behind bit-exact
@@ -392,12 +447,30 @@ impl SimulationEngine {
         let mut participation_rng = rng_for(self.config.seed, &[0x50_41_52_54, round_label]); // "PART"
         let mut client_attack_rng = rng_for(self.config.seed, &[0x43_41_54, round_label]); // "CAT"
 
-        let active =
-            phases::sample_participation(num_clients, self.participation, &mut participation_rng);
+        // This round's cohort: the clients that exist for the round at all
+        // (train, upload, receive, filter). `cohort = 0` or ≥ K keeps the
+        // full federation and is bit-identical to the pre-cohort engine.
+        let cohort: Vec<usize> = if self.config.cohort == 0 || self.config.cohort >= num_clients {
+            (0..num_clients).collect()
+        } else {
+            let mut cohort_rng = rng_for(self.config.seed, &[0x43_48_52_54, round_label]); // "CHRT"
+            phases::sample_cohort((0..num_clients).collect(), self.config.cohort, &mut cohort_rng)
+        };
+        self.transport.set_round_recipients(cohort.len());
 
-        // 1. Local training (Algorithm 1 lines 8–10) — active clients only.
-        let mean_train_loss = phases::local_train(phases::TrainCtx {
-            clients: &mut self.clients,
+        // Partial participation applies within the cohort.
+        let active: Vec<usize> = if self.participation >= 1.0 {
+            cohort.clone()
+        } else {
+            let take =
+                ((self.participation * cohort.len() as f64).ceil() as usize).clamp(1, cohort.len());
+            phases::sample_cohort(cohort.clone(), take, &mut participation_rng)
+        };
+
+        // 1. Local training (Algorithm 1 lines 8–10) — active clients only,
+        // rehydrated one-at-a-time per worker from the store.
+        let (mut trained, mean_train_loss) = phases::local_train(phases::TrainCtx {
+            store: &self.store,
             active: &active,
             round: self.round,
             local_epochs: self.config.local_epochs,
@@ -408,39 +481,57 @@ impl SimulationEngine {
         // Accuracy of the freshly trained *local* models (the paper's
         // metric), measured before aggregation touches them.
         let local_accuracy = if evaluate && self.config.eval_after_local {
-            Some(self.evaluate_mean_accuracy()?)
+            Some(self.mean_accuracy_over(Some((&active, &trained)))?)
         } else {
             None
         };
 
-        // 2. Sparse upload (line 11) over the transport.
-        let assignment = self.config.upload.assign(num_clients, num_servers, &mut upload_rng)?;
-        let client_vectors = phases::upload(
+        // 2. Sparse upload (line 11) over the transport. The assignment is
+        // drawn over the cohort (positions align with cohort order), so a
+        // full cohort consumes the "UPLD" stream exactly as before. When
+        // both the transport and the server rule can stream, delivered
+        // uploads fold into per-server running aggregates instead of being
+        // buffered — at most O(P × dim) extra memory.
+        let assignment = self.config.upload.assign(cohort.len(), num_servers, &mut upload_rng)?;
+        let mut accumulators = if self.transport.supports_streaming() {
+            (0..num_servers)
+                .map(|_| self.server_rule.make_accumulator())
+                .collect::<Option<Vec<_>>>()
+        } else {
+            None
+        };
+        phases::upload(
             phases::UploadCtx {
                 transport: self.transport.as_mut(),
-                clients: &self.clients,
+                store: &self.store,
                 client_attacks: &self.client_attacks,
-                start_vectors: &start_vectors,
+                cohort: &cohort,
                 active: &active,
+                trained: &mut trained,
                 round: self.round,
                 event_log: self.event_log.as_mut(),
             },
             &assignment,
             &mut client_attack_rng,
+            accumulators.as_deref_mut(),
         )?;
 
-        // 3. Aggregation (lines 3–4): online servers aggregate their
-        // inboxes; crash/straggler silence is realized by the transport.
+        // 3. Aggregation (lines 3–4): online servers reduce their streamed
+        // accumulator or aggregate their inbox; crash/straggler silence is
+        // realized by the transport.
         let (ready, silent_servers) = phases::aggregate(phases::AggregateCtx {
             transport: self.transport.as_mut(),
             servers: &mut self.servers,
             server_rule: self.server_rule.as_ref(),
             initial_model: &self.initial_model,
             round: self.round,
+            accumulators,
             event_log: self.event_log.as_mut(),
         })?;
 
-        // 4. Dissemination (line 5), Byzantine or not.
+        // 4. Dissemination (line 5), Byzantine or not. Equivocating
+        // attacks still cover all K client slots; only the cohort drains
+        // them.
         phases::disseminate(
             phases::DisseminateCtx {
                 transport: self.transport.as_mut(),
@@ -453,11 +544,16 @@ impl SimulationEngine {
         )?;
 
         // 5. Client-side filtering (lines 12–13): w_{t+1,0}^k = Def(ã…),
-        // over however many models survive the faults.
+        // over however many models survive the faults, block by block
+        // through the buffer pool.
         let capture_views = self.record_diagnostics && evaluate;
         let outcome = phases::filter(phases::FilterCtx {
             transport: self.transport.as_mut(),
-            clients: &self.clients,
+            store: &self.store,
+            cohort: &cohort,
+            active: &active,
+            trained: &trained,
+            pool: &self.pool,
             filter: self.filter.as_ref(),
             num_servers,
             byz_servers: topo.byzantine_ids().count(),
@@ -470,11 +566,11 @@ impl SimulationEngine {
 
         let diagnostics = if capture_views {
             Some(phases::diagnostics(phases::DiagnosticsCtx {
-                views: &outcome.client0_views,
+                views: &outcome.first_views,
                 filtered0: &outcome.models[0],
-                client_vectors: &client_vectors,
-                start_vectors: &start_vectors,
+                store: &self.store,
                 active: &active,
+                trained: &trained,
                 silent_servers,
                 suppressed_duplicates: outcome.suppressed_duplicates,
             })?)
@@ -482,11 +578,13 @@ impl SimulationEngine {
             None
         };
 
-        // Commit: install the filtered models, advance the round, absorb
-        // the transport's counters.
-        for (client, model) in self.clients.iter_mut().zip(outcome.models.iter()) {
-            client.set_model_vector(model)?;
+        // Commit: install the cohort's filtered models into the bank (the
+        // rest of the federation keeps its banked state), advance the
+        // round, absorb the transport's counters.
+        for (&k, model) in cohort.iter().zip(outcome.models) {
+            self.store.set_model(k, model)?;
         }
+        self.store.sweep();
         self.round += 1;
         let comm = self.transport.take_comm();
         self.result.total_comm += comm;
@@ -495,7 +593,7 @@ impl SimulationEngine {
         if evaluate {
             let mean_accuracy = match local_accuracy {
                 Some(acc) => acc,
-                None => self.evaluate_mean_accuracy()?,
+                None => self.mean_accuracy_over(None)?,
             };
             self.result.rounds.push(RoundMetrics {
                 round: self.round - 1,
@@ -516,21 +614,41 @@ impl SimulationEngine {
     ///
     /// Propagates evaluation errors; returns [`SimError::BadConfig`] if
     /// every client is Byzantine.
-    pub fn evaluate_mean_accuracy(&mut self) -> Result<f32> {
+    pub fn evaluate_mean_accuracy(&self) -> Result<f32> {
+        self.mean_accuracy_over(None)
+    }
+
+    /// Accuracy over the banked models, with `overrides` substituting the
+    /// freshly trained vectors for this round's active clients (both
+    /// slices sorted by client id, aligned with each other).
+    fn mean_accuracy_over(&self, overrides: Option<(&[usize], &[Tensor])>) -> Result<f32> {
         let mut indices: Vec<usize> =
-            (0..self.clients.len()).filter(|&i| self.client_attacks[i].is_none()).collect();
+            (0..self.store.num_clients()).filter(|&i| self.client_attacks[i].is_none()).collect();
         if indices.is_empty() {
             return Err(SimError::BadConfig("no benign clients to evaluate".into()));
         }
         if self.config.eval_clients != 0 {
             indices.truncate(self.config.eval_clients);
         }
-        let samples = self.test_samples.clone();
-        let labels = self.test_labels.clone();
-        let threads = self.worker_threads();
-        let accs = phases::for_clients(&mut self.clients, &indices, threads, |c| {
-            c.evaluate(&samples, &labels)
-        })?;
+        let store = &self.store;
+        let samples = &self.test_samples;
+        let labels = &self.test_labels;
+        let results = phases::map_in_order(indices, self.worker_threads(), |k| {
+            let vector = match overrides {
+                Some((active, trained)) => match active.binary_search(&k) {
+                    Ok(pos) => &trained[pos],
+                    Err(_) => store.model(k),
+                },
+                None => store.model(k),
+            };
+            let mut model = store.build_model()?;
+            model.set_param_vector(vector)?;
+            Ok::<f32, SimError>(model.evaluate(samples, labels)?)
+        });
+        let mut accs = Vec::with_capacity(results.len());
+        for res in results {
+            accs.push(res?);
+        }
         Ok((accs.iter().map(|&a| a as f64).sum::<f64>() / accs.len() as f64) as f32)
     }
 

@@ -7,8 +7,16 @@ use super::SimulationEngine;
 use crate::{Result, RunResult, Server, SimError};
 
 /// The snapshot layout produced by this build; [`SimulationEngine::restore`]
-/// rejects any other version with [`SimError::SnapshotVersion`].
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// accepts this version and the dense version-1 layout, and rejects
+/// anything else with [`SimError::SnapshotVersion`].
+///
+/// Version history:
+/// * **1** — dense `client_models`: one tensor per client.
+/// * **2** — interned model bank: `model_pool` (distinct vectors) +
+///   `model_refs` (one `u32` per client). Snapshot size scales with the
+///   number of *distinct* client states, which cohort-sampled
+///   million-client runs keep far below `K`.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// A bit-exact checkpoint of a running federation: everything that evolves
 /// during training and is not re-derivable from the configuration.
@@ -26,8 +34,19 @@ pub struct Snapshot {
     pub version: u32,
     /// Completed rounds.
     pub round: usize,
-    /// Every client's flat model vector, in client order.
+    /// Every client's flat model vector, in client order (version-1
+    /// layout; empty in version-2 snapshots, which carry the interned
+    /// bank instead).
+    #[serde(default)]
     pub client_models: Vec<Tensor>,
+    /// The distinct model vectors referenced by `model_refs` (version-2
+    /// layout).
+    #[serde(default)]
+    pub model_pool: Vec<Tensor>,
+    /// One index into `model_pool` per client, in client order (version-2
+    /// layout).
+    #[serde(default)]
+    pub model_refs: Vec<u32>,
     /// Per-server evolving state: (attack history, last aggregate,
     /// straggler outbox).
     pub server_state: Vec<(Vec<Tensor>, Option<Tensor>, Vec<Tensor>)>,
@@ -44,10 +63,13 @@ impl SimulationEngine {
     /// Captures a bit-exact checkpoint of the federation's evolving state.
     pub fn snapshot(&self) -> Snapshot {
         let outboxes = self.transport.state_snapshot();
+        let (model_pool, model_refs) = self.store.bank_parts();
         Snapshot {
             version: SNAPSHOT_VERSION,
             round: self.round,
-            client_models: self.client_models(),
+            client_models: Vec::new(),
+            model_pool,
+            model_refs,
             server_state: self
                 .servers
                 .iter()
@@ -62,26 +84,53 @@ impl SimulationEngine {
 
     /// Restores a checkpoint taken from an engine with the same
     /// configuration, datasets and adversaries. Continuing afterwards is
-    /// bit-identical to the uninterrupted run.
+    /// bit-identical to the uninterrupted run. Both the current interned
+    /// layout and the dense version-1 layout are accepted (a v1 snapshot's
+    /// models are interned on the way in).
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::SnapshotVersion`] for a snapshot written with a
-    /// different layout version, and [`SimError::BadConfig`] if the
+    /// Returns [`SimError::SnapshotVersion`] for a snapshot written with an
+    /// unknown layout version, and [`SimError::BadConfig`] if the
     /// snapshot's entity counts or model sizes do not match this engine.
     pub fn restore(&mut self, snapshot: &Snapshot) -> Result<()> {
-        if snapshot.version != SNAPSHOT_VERSION {
-            return Err(SimError::SnapshotVersion {
-                found: snapshot.version,
-                expected: SNAPSHOT_VERSION,
-            });
-        }
-        if snapshot.client_models.len() != self.clients.len() {
-            return Err(SimError::BadConfig(format!(
-                "snapshot has {} clients, engine has {}",
-                snapshot.client_models.len(),
-                self.clients.len()
-            )));
+        match snapshot.version {
+            1 => {
+                if snapshot.client_models.len() != self.store.num_clients() {
+                    return Err(SimError::BadConfig(format!(
+                        "snapshot has {} clients, engine has {}",
+                        snapshot.client_models.len(),
+                        self.store.num_clients()
+                    )));
+                }
+                if snapshot.client_models.iter().any(|m| m.len() != self.store.model_len()) {
+                    return Err(SimError::BadConfig(
+                        "snapshot model size does not match the engine's model".into(),
+                    ));
+                }
+            }
+            SNAPSHOT_VERSION => {
+                if snapshot.model_refs.len() != self.store.num_clients() {
+                    return Err(SimError::BadConfig(format!(
+                        "snapshot has {} clients, engine has {}",
+                        snapshot.model_refs.len(),
+                        self.store.num_clients()
+                    )));
+                }
+                if snapshot.model_pool.iter().any(|m| m.len() != self.store.model_len()) {
+                    return Err(SimError::BadConfig(
+                        "snapshot model size does not match the engine's model".into(),
+                    ));
+                }
+                if snapshot.model_refs.iter().any(|&r| r as usize >= snapshot.model_pool.len()) {
+                    return Err(SimError::BadConfig(
+                        "snapshot model reference out of range of its model pool".into(),
+                    ));
+                }
+            }
+            other => {
+                return Err(SimError::SnapshotVersion { found: other, expected: SNAPSHOT_VERSION });
+            }
         }
         if snapshot.server_state.len() != self.servers.len() {
             return Err(SimError::BadConfig(format!(
@@ -90,13 +139,10 @@ impl SimulationEngine {
                 self.servers.len()
             )));
         }
-        if snapshot.client_models.iter().any(|m| m.len() != self.initial_model.len()) {
-            return Err(SimError::BadConfig(
-                "snapshot model size does not match the engine's model".into(),
-            ));
-        }
-        for (client, model) in self.clients.iter_mut().zip(&snapshot.client_models) {
-            client.set_model_vector(model)?;
+        if snapshot.version == 1 {
+            self.store.restore_dense(&snapshot.client_models);
+        } else {
+            self.store.restore_parts(snapshot.model_pool.clone(), snapshot.model_refs.clone());
         }
         let mut outboxes = Vec::with_capacity(snapshot.server_state.len());
         for (server, (history, last, outbox)) in

@@ -32,6 +32,7 @@ fn small_setup(
         threads: 0,
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
+        cohort: 0,
     };
     let attacks = byzantine.into_iter().map(|id| (id, attack.build().unwrap())).collect();
     SimulationEngine::new(config, &train, &test, &parts, filter, attacks).unwrap()
@@ -108,6 +109,7 @@ fn attack_ids_must_match_topology() {
         threads: 0,
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
+        cohort: 0,
     };
     // No attack supplied for byzantine server 1 → error.
     let err = SimulationEngine::new(config, &train, &test, &parts, Box::new(Mean::new()), vec![]);
@@ -174,6 +176,7 @@ fn byzantine_clients_are_filtered_by_robust_server_rule() {
         threads: 0,
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
+        cohort: 0,
     };
     let client_attacks =
         vec![(1usize, ClientAttackKind::Random { lo: -10.0, hi: 10.0 }.build().unwrap())];
@@ -234,6 +237,7 @@ fn client_attack_validation() {
         threads: 0,
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
+        cohort: 0,
     };
     let atk = || ClientAttackKind::SignFlip { scale: 1.0 }.build().unwrap();
     // Out-of-range id.
@@ -262,7 +266,7 @@ fn client_attack_validation() {
     .is_err());
     // All clients Byzantine → evaluation impossible.
     let all: Vec<_> = (0..4).map(|i| (i, atk())).collect();
-    let mut engine = SimulationEngine::with_adversaries(
+    let engine = SimulationEngine::with_adversaries(
         config,
         &train,
         &test,
@@ -399,14 +403,67 @@ fn snapshot_resume_is_bit_exact() {
 fn restore_validates_shape() {
     let mut a = small_setup(vec![], AttackKind::Benign, Box::new(Mean::new()), false);
     let mut snap = a.snapshot();
-    snap.client_models.pop();
+    snap.model_refs.pop();
     assert!(a.restore(&snap).is_err());
     let mut snap = a.snapshot();
     snap.server_state.pop();
     assert!(a.restore(&snap).is_err());
     let mut snap = a.snapshot();
-    snap.client_models[0] = Tensor::zeros(&[3]);
+    snap.model_pool[0] = Tensor::zeros(&[3]);
     assert!(a.restore(&snap).is_err());
+    let mut snap = a.snapshot();
+    snap.model_refs[0] = snap.model_pool.len() as u32;
+    assert!(a.restore(&snap).is_err());
+}
+
+#[test]
+fn restore_accepts_dense_v1_snapshots() {
+    // Simulates resuming from a checkpoint written by the pre-cohort
+    // engine: version 1 with dense per-client models instead of the
+    // interned bank. Continuing must be bit-identical to the run the
+    // snapshot came from.
+    let make = || {
+        small_setup(
+            vec![1],
+            AttackKind::Backward { delay: 2 },
+            Box::new(TrimmedMean::new(0.25).unwrap()),
+            false,
+        )
+    };
+    let mut reference = make();
+    reference.run(6).unwrap();
+
+    let mut first = make();
+    first.run(3).unwrap();
+    // Rewrite the snapshot into the v1 layout the old engine produced.
+    let v2 = first.snapshot();
+    let legacy = Snapshot {
+        version: 1,
+        round: v2.round,
+        client_models: first.client_models(),
+        model_pool: Vec::new(),
+        model_refs: Vec::new(),
+        server_state: v2.server_state.clone(),
+        result: v2.result.clone(),
+        recovery_state: v2.recovery_state.clone(),
+    };
+    // The v1 layout survives serde (the v2-only fields default to empty).
+    let json = serde_json::to_string(&legacy).unwrap();
+    let legacy: Snapshot = serde_json::from_str(&json).unwrap();
+
+    let mut resumed = make();
+    resumed.restore(&legacy).unwrap();
+    resumed.run(3).unwrap();
+    assert_eq!(reference.client_models(), resumed.client_models());
+    assert_eq!(reference.result().rounds, resumed.result().rounds);
+
+    // v1 validation still guards entity counts and model sizes.
+    let mut bad = Snapshot { version: 1, ..legacy.clone() };
+    bad.client_models.pop();
+    assert!(resumed.restore(&bad).is_err());
+    let mut bad = legacy.clone();
+    bad.client_models[0] = Tensor::zeros(&[3]);
+    assert!(resumed.restore(&bad).is_err());
 }
 
 #[test]

@@ -12,6 +12,10 @@
 //! * [`UploadStrategy`] — the paper's sparse upload, plus full and
 //!   k-redundant ablations,
 //! * [`Client`] / [`Server`] — stateful simulation entities,
+//! * [`Partitions`] — explicit or procedural (`O(1)`-storage) per-client
+//!   data assignment; the engine stores clients as metadata and rehydrates
+//!   them lazily, so memory follows the per-round cohort
+//!   ([`EngineConfig::cohort`]), not the federation size,
 //! * [`Transport`] / [`LocalTransport`] — the message layer: typed
 //!   [`Upload`]/[`Broadcast`] protocol messages, delivery outcomes,
 //!   fault realization and all [`CommStats`] accounting,
@@ -43,6 +47,7 @@ mod model_spec;
 mod phases;
 mod recovery;
 mod server;
+mod store;
 mod topology;
 mod transport;
 mod upload;
@@ -55,10 +60,12 @@ pub use events::{EventLog, RoundEvent};
 pub use fault::{FaultClass, FaultPlan, FaultSpec, ServerFault};
 pub use metrics::{RoundDiagnostics, RoundMetrics, RunResult, RunSummary};
 pub use model_spec::ModelSpec;
+pub use phases::sample_cohort;
 pub use recovery::{
     downlink_id, uplink_id, DegradedMode, RecoveryPolicy, ResilientTransport, UploadReport,
 };
 pub use server::Server;
+pub use store::Partitions;
 pub use topology::Topology;
 pub use transport::{
     Broadcast, Delivery, DeliveryOutcome, Dissemination, LocalTransport, Transport, Upload,

@@ -18,40 +18,53 @@
 //! live behind the [`Transport`] — and they never share mutable state
 //! except through their contexts, so ablating, reordering (where the
 //! protocol allows) or instrumenting a single stage is a local change.
+//!
+//! Memory model: the phases read clients through a
+//! [`crate::store::ClientStore`] and only ever materialize the *cohort*
+//! (this round's sampled clients). Training rehydrates one client per
+//! worker at a time; uploads stream into per-server accumulators when the
+//! transport supports it; filtering drains downlinks in fixed-size blocks
+//! through a [`BufferPool`]. At no point does the pipeline hold more than
+//! `O(cohort × dim)` trained vectors plus `O(block × P × dim)` transient
+//! views.
 
-use fedms_aggregation::{AggregationRule, Mean};
+use fedms_aggregation::{AggregationRule, Mean, MeanAccumulator};
 use fedms_attacks::{ClientAttack, ClientAttackContext};
+use fedms_tensor::pool::BufferPool;
 use fedms_tensor::Tensor;
 use rand::rngs::StdRng;
 
-use crate::recovery::DegradedMode;
+use crate::recovery::{DegradedMode, UploadReport};
+use crate::store::ClientStore;
 use crate::transport::{Broadcast, DeliveryOutcome, Dissemination, Transport, Upload};
-use crate::{Client, EventLog, Result, RoundDiagnostics, RoundEvent, Server, SimError};
+use crate::{EventLog, Result, RoundDiagnostics, RoundEvent, Server, SimError};
 
-/// Samples this round's active client set: everyone at full participation,
-/// otherwise a uniform `⌈fraction·K⌉`-subset (sorted, so later phases walk
-/// clients in id order).
-pub(crate) fn sample_participation(
-    num_clients: usize,
-    fraction: f64,
-    rng: &mut StdRng,
-) -> Vec<usize> {
-    if fraction >= 1.0 {
-        return (0..num_clients).collect();
+/// Downlink realizations processed per filter block: bounds the pooled
+/// view tensors resident at once to `O(FILTER_BLOCK × P × dim)` without
+/// affecting results (the stitch order is block-independent).
+const FILTER_BLOCK: usize = 256;
+
+/// Uniformly samples `take` of `ids` without replacement, returning them
+/// sorted (so later phases walk clients in id order). `take ≥ ids.len()`
+/// returns `ids` untouched — without consuming the RNG — which makes a
+/// full cohort bit-identical to not sampling at all. Used for both the
+/// per-round cohort draw (`"CHRT"` stream) and partial participation
+/// within the cohort (`"PART"` stream).
+pub fn sample_cohort(mut ids: Vec<usize>, take: usize, rng: &mut StdRng) -> Vec<usize> {
+    if take >= ids.len() {
+        return ids;
     }
-    let take = ((fraction * num_clients as f64).ceil() as usize).clamp(1, num_clients);
-    let mut ids: Vec<usize> = (0..num_clients).collect();
     use rand::seq::SliceRandom;
     ids.shuffle(rng);
-    let mut chosen = ids[..take].to_vec();
-    chosen.sort_unstable();
-    chosen
+    ids.truncate(take.max(1));
+    ids.sort_unstable();
+    ids
 }
 
 /// Context for the local-training phase.
 pub(crate) struct TrainCtx<'a> {
-    /// All clients; only those in `active` train.
-    pub clients: &'a mut [Client],
+    /// Client metadata + model bank; active clients are rehydrated from it.
+    pub store: &'a ClientStore,
     /// This round's active client ids (strictly increasing).
     pub active: &'a [usize],
     /// Current round index.
@@ -65,33 +78,52 @@ pub(crate) struct TrainCtx<'a> {
     pub event_log: Option<&'a mut EventLog>,
 }
 
-/// Phase 1 — local training on the active clients. Returns the mean local
-/// training loss.
-pub(crate) fn local_train(mut ctx: TrainCtx<'_>) -> Result<f64> {
+/// Phase 1 — local training on the active clients. Each worker hydrates
+/// one client at a time, trains it, and keeps only the trained parameter
+/// vector (the [`crate::Client`] is dropped before the next item), so peak
+/// memory is `O(threads × client)` + `O(active × dim)` outputs. Returns
+/// the trained vectors (aligned with `active`) and the mean training loss.
+pub(crate) fn local_train(mut ctx: TrainCtx<'_>) -> Result<(Vec<Tensor>, f64)> {
     let global_step = ctx.round * ctx.local_epochs;
     let epochs = ctx.local_epochs;
-    let losses =
-        for_clients(ctx.clients, ctx.active, ctx.threads, |c| c.local_train(epochs, global_step))?;
+    let store = ctx.store;
+    let results = map_in_order(ctx.active.to_vec(), ctx.threads, |k| {
+        let mut client = store.hydrate(k)?;
+        let loss = client.local_train(epochs, global_step)?;
+        Ok::<(Tensor, f32), SimError>((client.model_vector(), loss))
+    });
+    let mut trained = Vec::with_capacity(ctx.active.len());
+    let mut losses = Vec::with_capacity(ctx.active.len());
+    for res in results {
+        let (vector, loss) = res?;
+        trained.push(vector);
+        losses.push(loss);
+    }
     if let Some(log) = ctx.event_log.as_deref_mut() {
         for (&client, &loss) in ctx.active.iter().zip(losses.iter()) {
             log.push(RoundEvent::LocalTrainingCompleted { round: ctx.round, client, loss });
         }
     }
-    Ok(losses.iter().map(|&l| l as f64).sum::<f64>() / losses.len() as f64)
+    Ok((trained, losses.iter().map(|&l| l as f64).sum::<f64>() / losses.len() as f64))
 }
 
 /// Context for the upload phase.
 pub(crate) struct UploadCtx<'a> {
     /// The delivery substrate.
     pub transport: &'a mut dyn Transport,
-    /// All clients (read-only: their trained model vectors are taken).
-    pub clients: &'a [Client],
+    /// Client metadata + model bank (start-of-round vectors; the bank is
+    /// not committed until the round ends).
+    pub store: &'a ClientStore,
     /// Per-client Byzantine upload tampering, indexed by client id.
     pub client_attacks: &'a [Option<Box<dyn ClientAttack>>],
-    /// Each client's model at the start of the round (attack context).
-    pub start_vectors: &'a [Tensor],
-    /// This round's active client ids.
+    /// This round's cohort (strictly increasing); `assignment` aligns with
+    /// it positionally.
+    pub cohort: &'a [usize],
+    /// This round's active client ids (a subset of the cohort).
     pub active: &'a [usize],
+    /// Trained vectors aligned with `active`; Byzantine entries are
+    /// tampered in place.
+    pub trained: &'a mut [Tensor],
     /// Current round index.
     pub round: usize,
     /// Structured event sink, if enabled.
@@ -100,39 +132,59 @@ pub(crate) struct UploadCtx<'a> {
 
 /// Phase 2 — sparse upload: Byzantine clients tamper with their vectors
 /// (in client order, sharing `attack_rng`), then every active client sends
-/// per `assignment` over the transport. Returns the (tampered) upload
-/// vector of every client, which later phases use as attack/diagnostic
-/// context.
+/// per `assignment` over the transport. With `accumulators` present
+/// (streaming transports + a streamable server rule), each delivered model
+/// is folded straight into its server's running aggregate instead of being
+/// queued — bit-identical, since arrival order equals send order.
 pub(crate) fn upload(
     mut ctx: UploadCtx<'_>,
     assignment: &[Vec<usize>],
     attack_rng: &mut StdRng,
-) -> Result<Vec<Tensor>> {
-    let num_clients = ctx.clients.len();
-    let mut client_vectors: Vec<Tensor> = ctx.clients.iter().map(Client::model_vector).collect();
+    mut accumulators: Option<&mut [MeanAccumulator]>,
+) -> Result<()> {
     // Byzantine clients tamper with their uploads (extension beyond the
-    // paper's server-only threat model).
+    // paper's server-only threat model). All attack slots draw in client
+    // order — active or not — so the shared stream stays aligned with the
+    // full-participation engine.
     for (k, slot) in ctx.client_attacks.iter().enumerate() {
-        if let Some(attack) = slot {
-            let global = if ctx.round == 0 { None } else { Some(&ctx.start_vectors[k]) };
-            let actx = ClientAttackContext::new(ctx.round, k, &client_vectors[k], global);
-            client_vectors[k] = attack.tamper_upload(&actx, attack_rng)?;
+        let Some(attack) = slot else { continue };
+        let global = if ctx.round == 0 { None } else { Some(ctx.store.model(k)) };
+        match ctx.active.binary_search(&k) {
+            Ok(pos) => {
+                let tampered = {
+                    let actx = ClientAttackContext::new(ctx.round, k, &ctx.trained[pos], global);
+                    attack.tamper_upload(&actx, attack_rng)?
+                };
+                ctx.trained[pos] = tampered;
+            }
+            Err(_) => {
+                // Inactive this round: nothing is uploaded, but the draw
+                // still happens (its untrained vector is the bank model).
+                let actx = ClientAttackContext::new(ctx.round, k, ctx.store.model(k), global);
+                let _ = attack.tamper_upload(&actx, attack_rng)?;
+            }
         }
     }
-    let mut is_active = vec![false; num_clients];
-    for &k in ctx.active {
-        is_active[k] = true;
-    }
-    for (k, servers) in assignment.iter().enumerate() {
-        if !is_active[k] {
-            continue;
-        }
-        for &s in servers {
-            let report = ctx.transport.send_upload_tracked(Upload {
-                client: k,
-                server: s,
-                model: client_vectors[k].clone(),
-            });
+    for (ci, &k) in ctx.cohort.iter().enumerate() {
+        let Ok(pos) = ctx.active.binary_search(&k) else { continue };
+        for &s in &assignment[ci] {
+            let report = match accumulators.as_deref_mut() {
+                Some(accs) => {
+                    let outcome = ctx
+                        .transport
+                        .route_upload(k, s)
+                        .expect("streaming transport must implement route_upload");
+                    if outcome == DeliveryOutcome::Delivered {
+                        accs[s].push(&ctx.trained[pos])?;
+                    }
+                    UploadReport::direct(outcome, s)
+                }
+                None => ctx.transport.send_upload_tracked(Upload {
+                    client: k,
+                    server: s,
+                    model: ctx.trained[pos].clone(),
+                }),
+            };
             if let Some(log) = ctx.event_log.as_deref_mut() {
                 log.push(RoundEvent::UploadSent {
                     round: ctx.round,
@@ -156,7 +208,7 @@ pub(crate) fn upload(
             }
         }
     }
-    Ok(client_vectors)
+    Ok(())
 }
 
 /// Context for the aggregation phase.
@@ -171,16 +223,21 @@ pub(crate) struct AggregateCtx<'a> {
     pub initial_model: &'a Tensor,
     /// Current round index.
     pub round: usize,
+    /// Per-server streaming accumulators already fed by the upload phase,
+    /// if the round ran in streaming mode.
+    pub accumulators: Option<Vec<MeanAccumulator>>,
     /// Structured event sink, if enabled.
     pub event_log: Option<&'a mut EventLog>,
 }
 
-/// Phase 3 — per-server aggregation. Each online server aggregates its
-/// transport inbox and pushes the result through its delivery pipeline.
+/// Phase 3 — per-server aggregation. Each online server reduces its
+/// streaming accumulator (or aggregates its transport inbox on the
+/// buffered path) and pushes the result through its delivery pipeline.
 /// Returns the aggregate each server is ready to disseminate this round
 /// (`None` = silent: crashed, or a straggler pipeline still filling) and
 /// the number of silent servers.
 pub(crate) fn aggregate(mut ctx: AggregateCtx<'_>) -> Result<(Vec<Option<Tensor>>, usize)> {
+    let mut accumulators = ctx.accumulators.take();
     let mut ready: Vec<Option<Tensor>> = Vec::with_capacity(ctx.servers.len());
     let mut silent = 0usize;
     for (i, server) in ctx.servers.iter_mut().enumerate() {
@@ -193,12 +250,23 @@ pub(crate) fn aggregate(mut ctx: AggregateCtx<'_>) -> Result<(Vec<Option<Tensor>
             continue;
         }
         let inbox = ctx.transport.take_inbox(i);
-        let agg = server.aggregate(&inbox, ctx.initial_model, ctx.server_rule)?;
+        let streamed = accumulators.as_mut().map(|a| std::mem::take(&mut a[i]));
+        let (received, agg) = match streamed {
+            // `finish` is bit-identical to `Mean::aggregate` over the
+            // inbox the buffered path would have built.
+            Some(acc) if acc.count() > 0 => {
+                debug_assert!(inbox.is_empty(), "streaming rounds must not fill inboxes");
+                (acc.count(), server.install_aggregate(acc.finish().map_err(SimError::from)?))
+            }
+            // Empty accumulator or buffered path: the server falls back to
+            // its previous aggregate (or w₀) exactly as before.
+            _ => (inbox.len(), server.aggregate(&inbox, ctx.initial_model, ctx.server_rule)?),
+        };
         if let Some(log) = ctx.event_log.as_deref_mut() {
             log.push(RoundEvent::Aggregated {
                 round: ctx.round,
                 server: i,
-                received: inbox.len(),
+                received,
                 aggregate_norm: agg.norm_l2(),
             });
         }
@@ -262,8 +330,19 @@ pub(crate) fn disseminate(mut ctx: DisseminateCtx<'_>, ready: Vec<Option<Tensor>
 pub(crate) struct FilterCtx<'a> {
     /// The delivery substrate.
     pub transport: &'a mut dyn Transport,
-    /// All clients (read-only: blackout fallback keeps the local model).
-    pub clients: &'a [Client],
+    /// Client metadata + model bank (blackout fallback for inactive cohort
+    /// members keeps the banked local model).
+    pub store: &'a ClientStore,
+    /// This round's cohort — the clients that realize the downlink and
+    /// filter (strictly increasing).
+    pub cohort: &'a [usize],
+    /// This round's active client ids (a subset of the cohort).
+    pub active: &'a [usize],
+    /// Trained vectors aligned with `active` (blackout fallback for active
+    /// clients keeps the freshly trained model).
+    pub trained: &'a [Tensor],
+    /// Recycles the per-client view tensors across filter blocks.
+    pub pool: &'a BufferPool,
     /// The client-side defence `Def(·)`.
     pub filter: &'a dyn AggregationRule,
     /// Total number of servers `P`.
@@ -274,7 +353,8 @@ pub(crate) struct FilterCtx<'a> {
     pub round: usize,
     /// Structured event sink, if enabled.
     pub event_log: Option<&'a mut EventLog>,
-    /// Capture client 0's realized view for defence diagnostics.
+    /// Capture the first cohort client's realized view for defence
+    /// diagnostics.
     pub capture_views: bool,
     /// What to do when a client's view degrades below quorum anyway.
     pub on_degraded: DegradedMode,
@@ -285,19 +365,30 @@ pub(crate) struct FilterCtx<'a> {
 
 /// What the filtering phase produces.
 pub(crate) struct FilterOutcome {
-    /// The post-filter model of every client, in client order.
+    /// The post-filter model of every cohort client, aligned with the
+    /// cohort.
     pub models: Vec<Tensor>,
-    /// Client 0's realized (post-fault) server views, if captured.
-    pub client0_views: Vec<Tensor>,
+    /// The first cohort client's realized (post-fault) server views, if
+    /// captured.
+    pub first_views: Vec<Tensor>,
     /// Duplicate deliveries suppressed before filtering, summed over
     /// clients.
     pub suppressed_duplicates: usize,
 }
 
-/// Phase 5 — client-side filtering: each client drains its own realization
-/// of the downlink, discards fault-injected duplicate deliveries (first
-/// delivery wins, so a duplicating downlink cannot double a server's
-/// weight in the filter) and applies `Def(·)` over what remains.
+/// Phase 5 — client-side filtering: each cohort client drains its own
+/// realization of the downlink, discards fault-injected duplicate
+/// deliveries (first delivery wins, so a duplicating downlink cannot
+/// double a server's weight in the filter) and applies `Def(·)` over what
+/// remains.
+///
+/// The cohort is processed in blocks of [`FILTER_BLOCK`]: each block
+/// drains its downlinks sequentially (the transport is exclusive state)
+/// into pooled tensors, filters in parallel, then releases the views back
+/// to the pool — so at most `O(block × P × dim)` views are resident at
+/// once regardless of cohort size. Blocking is invisible in the results:
+/// outputs stitch in cohort order and `Filtered` events are buffered until
+/// the whole cohort succeeds.
 ///
 /// Graceful-degradation guard: trimming `B` per side needs a strict honest
 /// majority among the *distinct* deliveries (duplicates of one server must
@@ -306,101 +397,121 @@ pub(crate) struct FilterOutcome {
 /// is let through so experiments can demonstrate filter defeat. What a
 /// degraded view does — abort with [`SimError::DegradedQuorum`] or keep
 /// the affected client's local model — is decided by
-/// [`FilterCtx::on_degraded`].
+/// [`FilterCtx::on_degraded`]. Blocks are walked in ascending client
+/// order, so an abort names the same lowest client id the unblocked
+/// engine would.
 pub(crate) fn filter(mut ctx: FilterCtx<'_>) -> Result<FilterOutcome> {
-    let num_clients = ctx.clients.len();
     let mut suppressed_duplicates = 0usize;
-    // Pass 1 (sequential): realize every client's downlink on the
-    // transport, suppress duplicate deliveries and apply the quorum guard.
-    // The transport is exclusive state, so this stays single-threaded; it
-    // also pins abort order, so a parallel run reports the same
-    // [`SimError::DegradedQuorum`] a sequential one would.
-    // Each client's realized view plus, where the policy fell back, the
-    // local model to keep (`Some` = keep local, skip the filter).
-    let mut realized: Vec<(Vec<Tensor>, Option<Tensor>)> = Vec::with_capacity(num_clients);
-    for k in 0..num_clients {
-        let deliveries = ctx.transport.drain_deliveries(k);
-        // First delivery wins: repeats never reach the filter.
-        suppressed_duplicates +=
-            deliveries.iter().filter(|d| d.outcome == DeliveryOutcome::Duplicated).count();
-        let views: Vec<Tensor> = deliveries
-            .into_iter()
-            .filter(|d| d.outcome != DeliveryOutcome::Duplicated)
-            .map(|d| d.model)
-            .collect();
-        let distinct = views.len();
-        let degraded =
-            ctx.byz_servers > 0 && distinct < ctx.num_servers && distinct <= 2 * ctx.byz_servers;
-        if degraded && ctx.on_degraded == DegradedMode::Abort {
-            return Err(SimError::DegradedQuorum {
-                round: ctx.round,
-                client: k,
-                received: distinct,
-                needed: 2 * ctx.byz_servers,
-                total: ctx.num_servers,
-            });
-        }
-        // Total blackout, or a sub-quorum view the policy chose to ride
-        // out: the client keeps its locally trained model this round
-        // (filtering a Byzantine-dominated sample would be worse).
-        let fallback = (views.is_empty() || degraded).then(|| ctx.clients[k].model_vector());
-        realized.push((views, fallback));
-    }
-    let client0_views: Vec<Tensor> = match realized.first() {
-        Some((views, _)) if ctx.capture_views => views.clone(),
-        _ => Vec::new(),
-    };
-    // Pass 2 (parallel): apply `Def(·)` — the dominant per-round cost at
-    // real model sizes — to each client's realized view independently.
-    // Outputs stitch back in client order, so any thread count produces
-    // the same bits.
-    let filter = ctx.filter;
+    let mut models: Vec<Tensor> = Vec::with_capacity(ctx.cohort.len());
+    let mut first_views: Vec<Tensor> = Vec::new();
     let want_displacement = ctx.event_log.is_some();
-    let filtered = map_in_order(realized, ctx.threads, |(views, fallback)| {
-        let out = match fallback {
-            Some(local) => local,
-            None => filter.aggregate(&views)?,
-        };
-        let displacement = if want_displacement && !views.is_empty() {
-            out.sub(&Mean::new().aggregate(&views)?)?.norm_l2()
-        } else {
-            0.0
-        };
-        Ok::<(Tensor, f32), SimError>((out, displacement))
-    });
-    // Pass 3 (sequential): surface the lowest-client-index error and emit
-    // events in client order.
-    let mut models: Vec<Tensor> = Vec::with_capacity(num_clients);
-    for (k, res) in filtered.into_iter().enumerate() {
-        let (out, displacement) = res?;
-        if let Some(log) = ctx.event_log.as_deref_mut() {
-            log.push(RoundEvent::Filtered { round: ctx.round, client: k, displacement });
+    let mut displacements: Vec<f32> = Vec::new();
+    for chunk in ctx.cohort.chunks(FILTER_BLOCK) {
+        // Pass 1 (sequential): realize this block's downlinks on the
+        // transport, suppress duplicate deliveries and apply the quorum
+        // guard. Each entry is a client's realized view plus, where the
+        // policy fell back, the local model to keep (`Some` = keep local,
+        // skip the filter).
+        let mut realized: Vec<(Vec<Tensor>, Option<Tensor>)> = Vec::with_capacity(chunk.len());
+        for &k in chunk {
+            let deliveries = ctx.transport.drain_deliveries_pooled(k, ctx.pool);
+            let mut views = Vec::with_capacity(deliveries.len());
+            for d in deliveries {
+                // First delivery wins: repeats never reach the filter.
+                if d.outcome == DeliveryOutcome::Duplicated {
+                    suppressed_duplicates += 1;
+                    ctx.pool.release_tensor(d.model);
+                } else {
+                    views.push(d.model);
+                }
+            }
+            let distinct = views.len();
+            let degraded = ctx.byz_servers > 0
+                && distinct < ctx.num_servers
+                && distinct <= 2 * ctx.byz_servers;
+            if degraded && ctx.on_degraded == DegradedMode::Abort {
+                return Err(SimError::DegradedQuorum {
+                    round: ctx.round,
+                    client: k,
+                    received: distinct,
+                    needed: 2 * ctx.byz_servers,
+                    total: ctx.num_servers,
+                });
+            }
+            // Total blackout, or a sub-quorum view the policy chose to
+            // ride out: the client keeps its locally trained model this
+            // round (filtering a Byzantine-dominated sample would be
+            // worse).
+            let fallback =
+                (views.is_empty() || degraded).then(|| match ctx.active.binary_search(&k) {
+                    Ok(pos) => ctx.trained[pos].clone(),
+                    Err(_) => ctx.store.model(k).clone(),
+                });
+            realized.push((views, fallback));
         }
-        models.push(out);
+        if ctx.capture_views && models.is_empty() {
+            if let Some((views, _)) = realized.first() {
+                first_views = views.clone();
+            }
+        }
+        // Pass 2 (parallel): apply `Def(·)` — the dominant per-round cost
+        // at real model sizes — to each client's realized view
+        // independently, releasing the views to the pool afterwards.
+        let filter = ctx.filter;
+        let pool = ctx.pool;
+        let filtered = map_in_order(realized, ctx.threads, |(views, fallback)| {
+            let out = match fallback {
+                Some(local) => local,
+                None => filter.aggregate(&views)?,
+            };
+            let displacement = if want_displacement && !views.is_empty() {
+                out.sub(&Mean::new().aggregate(&views)?)?.norm_l2()
+            } else {
+                0.0
+            };
+            for v in views {
+                pool.release_tensor(v);
+            }
+            Ok::<(Tensor, f32), SimError>((out, displacement))
+        });
+        // Stitch sequentially, surfacing the lowest-client-index error.
+        for res in filtered {
+            let (out, displacement) = res?;
+            models.push(out);
+            if want_displacement {
+                displacements.push(displacement);
+            }
+        }
     }
-    Ok(FilterOutcome { models, client0_views, suppressed_duplicates })
+    // Events flush only after every block succeeded, in cohort order.
+    if let Some(log) = ctx.event_log.as_deref_mut() {
+        for (&client, &displacement) in ctx.cohort.iter().zip(displacements.iter()) {
+            log.push(RoundEvent::Filtered { round: ctx.round, client, displacement });
+        }
+    }
+    Ok(FilterOutcome { models, first_views, suppressed_duplicates })
 }
 
 /// Context for the diagnostics pass.
 pub(crate) struct DiagnosticsCtx<'a> {
-    /// Client 0's realized (post-fault) server views.
+    /// The first cohort client's realized (post-fault) server views.
     pub views: &'a [Tensor],
-    /// Client 0's post-filter model.
+    /// That client's post-filter model.
     pub filtered0: &'a Tensor,
-    /// Every client's (tampered) upload vector this round.
-    pub client_vectors: &'a [Tensor],
-    /// Every client's model at the start of the round.
-    pub start_vectors: &'a [Tensor],
+    /// Client metadata + model bank (start-of-round vectors).
+    pub store: &'a ClientStore,
     /// This round's active client ids.
     pub active: &'a [usize],
+    /// The (tampered) upload vectors, aligned with `active`.
+    pub trained: &'a [Tensor],
     /// Number of servers that disseminated nothing this round.
     pub silent_servers: usize,
     /// Duplicate deliveries suppressed before filtering this round.
     pub suppressed_duplicates: usize,
 }
 
-/// Defence diagnostics from client 0's viewpoint (its realized, post-fault
-/// view — not the idealized full dissemination).
+/// Defence diagnostics from the first filtered client's viewpoint (its
+/// realized, post-fault view — not the idealized full dissemination).
 pub(crate) fn diagnostics(ctx: DiagnosticsCtx<'_>) -> Result<RoundDiagnostics> {
     let views = ctx.views;
     let mut pair_sum = 0.0f64;
@@ -418,8 +529,8 @@ pub(crate) fn diagnostics(ctx: DiagnosticsCtx<'_>) -> Result<RoundDiagnostics> {
         ctx.filtered0.sub(&naive)?.norm_l2()
     };
     let mut max_update = 0.0f32;
-    for &k in ctx.active {
-        let update = ctx.client_vectors[k].sub(&ctx.start_vectors[k])?.norm_l2();
+    for (pos, &k) in ctx.active.iter().enumerate() {
+        let update = ctx.trained[pos].sub(ctx.store.model(k))?.norm_l2();
         max_update = max_update.max(update);
     }
     Ok(RoundDiagnostics {
@@ -429,59 +540,6 @@ pub(crate) fn diagnostics(ctx: DiagnosticsCtx<'_>) -> Result<RoundDiagnostics> {
         silent_servers: ctx.silent_servers,
         suppressed_duplicates: ctx.suppressed_duplicates,
     })
-}
-
-/// Applies `f` to the clients at `indices` (strictly increasing) on up to
-/// `threads` worker threads (≤ 1 = sequential), preserving index order in
-/// the returned vector. Parallel execution is bit-identical to sequential:
-/// `f` itself is deterministic per client and the outputs are stitched
-/// back in index order.
-pub(crate) fn for_clients<F>(
-    clients: &mut [Client],
-    indices: &[usize],
-    threads: usize,
-    f: F,
-) -> Result<Vec<f32>>
-where
-    F: Fn(&mut Client) -> Result<f32> + Sync,
-{
-    let mut selected: Vec<&mut Client> = Vec::with_capacity(indices.len());
-    {
-        let mut rest = clients;
-        let mut offset = 0usize;
-        for &i in indices {
-            let (_, tail) = rest.split_at_mut(i - offset);
-            let (one, tail) = tail.split_at_mut(1);
-            selected.push(&mut one[0]);
-            rest = tail;
-            offset = i + 1;
-        }
-    }
-    let n = selected.len();
-    if threads <= 1 || n < 4 {
-        return selected.into_iter().map(&f).collect();
-    }
-    let chunk = n.div_ceil(threads.min(n));
-    let mut outputs: Vec<Result<Vec<f32>>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for group in selected.chunks_mut(chunk) {
-            let f = &f;
-            handles.push(
-                scope.spawn(move || -> Result<Vec<f32>> {
-                    group.iter_mut().map(|c| f(c)).collect()
-                }),
-            );
-        }
-        for h in handles {
-            outputs.push(h.join().expect("client worker panicked"));
-        }
-    });
-    let mut flat = Vec::with_capacity(n);
-    for out in outputs {
-        flat.extend(out?);
-    }
-    Ok(flat)
 }
 
 /// Maps `f` over owned `items` on up to `threads` worker threads (≤ 1 =

@@ -480,6 +480,15 @@ impl<T: Transport> Transport for ResilientTransport<T> {
         self.deliver_upload(upload)
     }
 
+    // `supports_streaming`/`route_upload` deliberately keep the trait
+    // defaults: retries and failover need to own the payload, so the
+    // recovery layer always routes full uploads and the engine falls back
+    // to buffered per-server inboxes.
+
+    fn set_round_recipients(&mut self, recipients: usize) {
+        self.inner.set_round_recipients(recipients);
+    }
+
     fn server_online(&self, server: usize) -> bool {
         self.inner.server_online(server)
     }

@@ -90,6 +90,15 @@ impl Server {
         Ok(agg)
     }
 
+    /// Installs an aggregate computed *outside* the server (the engine's
+    /// streaming accumulator path), with the same state effect as
+    /// [`Server::aggregate`]: the value becomes this server's
+    /// `last_aggregate` fallback for future empty rounds.
+    pub(crate) fn install_aggregate(&mut self, agg: Tensor) -> Tensor {
+        self.last_aggregate = Some(agg.clone());
+        agg
+    }
+
     /// Dissemination stage: a benign server broadcasts `aggregate`
     /// unchanged; a Byzantine server tampers with it (per client if the
     /// attack equivocates). The *true* aggregate is appended to the attack

@@ -28,6 +28,7 @@
 //! bit-identical to no plan at all, and every faulty run replays exactly
 //! from `(config, seed)`.
 
+use fedms_tensor::pool::BufferPool;
 use fedms_tensor::rng::rng_for;
 use fedms_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -161,6 +162,36 @@ pub trait Transport: Send {
         UploadReport::direct(self.send_upload(upload), server)
     }
 
+    /// Whether this transport can route uploads *without* taking ownership
+    /// of the payload ([`Transport::route_upload`]), letting the caller
+    /// stream the model straight into a running aggregate instead of
+    /// queueing it in the server inbox. Recovery layers that may need to
+    /// retransmit a payload later keep the default `false`.
+    fn supports_streaming(&self) -> bool {
+        false
+    }
+
+    /// Routes one client→server upload *by reference*: performs exactly
+    /// the accounting and channel-loss draws of [`Transport::send_upload`]
+    /// but never stores the payload, returning the realized fate so the
+    /// caller can fold a delivered model into a streaming aggregate
+    /// itself. Returns `None` on transports that do not support streaming
+    /// (see [`Transport::supports_streaming`]); callers must then fall
+    /// back to [`Transport::send_upload`].
+    fn route_upload(&mut self, client: usize, server: usize) -> Option<DeliveryOutcome> {
+        let _ = (client, server);
+        None
+    }
+
+    /// Declares how many clients actually receive this round's
+    /// disseminations (a sampled cohort may be far smaller than the
+    /// federation). Affects download accounting only; transports that do
+    /// not track per-recipient costs may ignore it. Reset to the full
+    /// federation by [`Transport::begin_round`].
+    fn set_round_recipients(&mut self, recipients: usize) {
+        let _ = recipients;
+    }
+
     /// Whether `server` can participate this round (a crashed server
     /// cannot).
     fn server_online(&self, server: usize) -> bool;
@@ -192,6 +223,15 @@ pub trait Transport: Send {
     /// broadcast order, minus omissions, plus duplicates. Each client sees
     /// its own realization of a lossy downlink.
     fn drain_deliveries(&mut self, client: usize) -> Vec<Delivery>;
+
+    /// [`Transport::drain_deliveries`], materializing the delivered
+    /// tensors through `pool` so their storage can be recycled after
+    /// filtering. Value-transparent: the deliveries are bit-identical to
+    /// the unpooled drain. The default ignores the pool.
+    fn drain_deliveries_pooled(&mut self, client: usize, pool: &BufferPool) -> Vec<Delivery> {
+        let _ = pool;
+        self.drain_deliveries(client)
+    }
 
     /// Takes the communication counters accumulated since
     /// [`Transport::begin_round`].
@@ -250,6 +290,10 @@ pub struct LocalTransport {
     upload_drop_rate: f64,
     round: usize,
     model_len: usize,
+    /// Clients receiving this round's disseminations (download
+    /// accounting); the full federation unless the engine samples a
+    /// smaller cohort.
+    recipients: usize,
     drop_rng: Option<StdRng>,
     downlink_rng: Option<StdRng>,
     inboxes: Vec<Vec<Tensor>>,
@@ -283,6 +327,7 @@ impl LocalTransport {
             upload_drop_rate: 0.0,
             round: 0,
             model_len: 0,
+            recipients: num_clients,
             drop_rng: None,
             downlink_rng: None,
             inboxes: vec![Vec::new(); num_servers],
@@ -290,6 +335,53 @@ impl LocalTransport {
             outboxes: vec![Vec::new(); num_servers],
             comm: CommStats::new(),
         }
+    }
+
+    /// Shared downlink realization; `materialize` copies a queued model
+    /// into its delivered form (a plain clone, or a pooled copy whose
+    /// storage the filter phase recycles). The fault draws and accounting
+    /// are identical either way.
+    fn drain_with<F: FnMut(&Tensor) -> Tensor>(
+        &mut self,
+        client: usize,
+        mut materialize: F,
+    ) -> Vec<Delivery> {
+        let mut out = Vec::with_capacity(self.queued.len());
+        for b in &self.queued {
+            let model = b.model.for_client(client);
+            if let Some(rng) = &mut self.downlink_rng {
+                if self.fault_plan.downlink_omission > 0.0
+                    && rng.gen_bool(self.fault_plan.downlink_omission)
+                {
+                    self.comm.record_dropped_download();
+                    continue;
+                }
+                out.push(Delivery {
+                    server: b.server,
+                    model: materialize(model),
+                    outcome: DeliveryOutcome::Delivered,
+                });
+                if self.fault_plan.duplicate_rate > 0.0
+                    && rng.gen_bool(self.fault_plan.duplicate_rate)
+                {
+                    // Delivered twice: double filter weight, and the
+                    // network carried it twice.
+                    self.comm.record_duplicated_download(self.model_len);
+                    out.push(Delivery {
+                        server: b.server,
+                        model: materialize(model),
+                        outcome: DeliveryOutcome::Duplicated,
+                    });
+                }
+            } else {
+                out.push(Delivery {
+                    server: b.server,
+                    model: materialize(model),
+                    outcome: DeliveryOutcome::Delivered,
+                });
+            }
+        }
+        out
     }
 }
 
@@ -306,6 +398,7 @@ impl Transport for LocalTransport {
         }
         self.queued.clear();
         self.comm = CommStats::new();
+        self.recipients = self.num_clients;
         // The loss streams are derived per round so any round is replayable
         // in isolation; they are only instantiated (and drawn from) when
         // the corresponding probability is non-zero, keeping the reliable
@@ -319,6 +412,20 @@ impl Transport for LocalTransport {
     }
 
     fn send_upload(&mut self, upload: Upload) -> DeliveryOutcome {
+        let outcome = self
+            .route_upload(upload.client, upload.server)
+            .expect("local transport routes uploads");
+        if outcome == DeliveryOutcome::Delivered {
+            self.inboxes[upload.server].push(upload.model);
+        }
+        outcome
+    }
+
+    fn supports_streaming(&self) -> bool {
+        true
+    }
+
+    fn route_upload(&mut self, _client: usize, server: usize) -> Option<DeliveryOutcome> {
         // The sender pays for the attempt whether or not it lands.
         self.comm.record_uploads(1, self.model_len);
         // The channel draw happens regardless of the recipient's health, so
@@ -327,13 +434,16 @@ impl Transport for LocalTransport {
             Some(rng) => rng.gen_bool(self.upload_drop_rate),
             None => false,
         };
-        if channel_loss || self.fault_plan.is_crashed(upload.server, self.round) {
+        Some(if channel_loss || self.fault_plan.is_crashed(server, self.round) {
             self.comm.record_dropped_upload();
             DeliveryOutcome::Dropped
         } else {
-            self.inboxes[upload.server].push(upload.model);
             DeliveryOutcome::Delivered
-        }
+        })
+    }
+
+    fn set_round_recipients(&mut self, recipients: usize) {
+        self.recipients = recipients.min(self.num_clients);
     }
 
     fn server_online(&self, server: usize) -> bool {
@@ -361,7 +471,7 @@ impl Transport for LocalTransport {
 
     fn broadcast(&mut self, message: Broadcast) -> Result<()> {
         message.model.check_coverage(self.num_clients)?;
-        self.comm.record_downloads(self.num_clients as u64, self.model_len);
+        self.comm.record_downloads(self.recipients as u64, self.model_len);
         self.queued.push(message);
         Ok(())
     }
@@ -371,42 +481,11 @@ impl Transport for LocalTransport {
     }
 
     fn drain_deliveries(&mut self, client: usize) -> Vec<Delivery> {
-        let mut out = Vec::with_capacity(self.queued.len());
-        for b in &self.queued {
-            let model = b.model.for_client(client);
-            if let Some(rng) = &mut self.downlink_rng {
-                if self.fault_plan.downlink_omission > 0.0
-                    && rng.gen_bool(self.fault_plan.downlink_omission)
-                {
-                    self.comm.record_dropped_download();
-                    continue;
-                }
-                out.push(Delivery {
-                    server: b.server,
-                    model: model.clone(),
-                    outcome: DeliveryOutcome::Delivered,
-                });
-                if self.fault_plan.duplicate_rate > 0.0
-                    && rng.gen_bool(self.fault_plan.duplicate_rate)
-                {
-                    // Delivered twice: double filter weight, and the
-                    // network carried it twice.
-                    self.comm.record_duplicated_download(self.model_len);
-                    out.push(Delivery {
-                        server: b.server,
-                        model: model.clone(),
-                        outcome: DeliveryOutcome::Duplicated,
-                    });
-                }
-            } else {
-                out.push(Delivery {
-                    server: b.server,
-                    model: model.clone(),
-                    outcome: DeliveryOutcome::Delivered,
-                });
-            }
-        }
-        out
+        self.drain_with(client, Tensor::clone)
+    }
+
+    fn drain_deliveries_pooled(&mut self, client: usize, pool: &BufferPool) -> Vec<Delivery> {
+        self.drain_with(client, |m| pool.fetch_tensor(m))
     }
 
     fn take_comm(&mut self) -> CommStats {

@@ -1,0 +1,194 @@
+//! Cohort-sampling invariants and engine-level cohort determinism.
+//!
+//! Three layers of guarantees:
+//!
+//! 1. [`fedms_sim::sample_cohort`] draws a uniform sample without
+//!    replacement (property tests: size, distinctness, range, order,
+//!    seed-purity, and a rough per-id frequency check),
+//! 2. cohort-sampled rounds are byte-identical across worker-thread
+//!    counts (snapshot serialization compared at the byte level),
+//! 3. a cohort covering the whole federation reproduces the pre-cohort
+//!    engine bit-exactly (`cohort = K` ≡ `cohort = 0`).
+
+use fedms_aggregation::TrimmedMean;
+use fedms_attacks::AttackKind;
+use fedms_data::{DirichletPartitioner, SynthVisionConfig};
+use fedms_nn::LrSchedule;
+use fedms_sim::{
+    sample_cohort, EngineConfig, ModelSpec, RecoveryPolicy, SimulationEngine, Topology,
+    UploadStrategy,
+};
+use fedms_tensor::rng::rng_for;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// The sample has the requested size (clamped to [1, n]), is strictly
+    /// increasing (so distinct and sorted), stays in range, and is a pure
+    /// function of the seed.
+    #[test]
+    fn sample_cohort_invariants(
+        n in 1usize..200,
+        take in 0usize..250,
+        seed in 0u64..500,
+    ) {
+        let draw = || sample_cohort((0..n).collect(), take, &mut rng_for(seed, &[0x43_48_52_54]));
+        let sample = draw();
+        let expected = if take >= n { n } else { take.max(1) };
+        prop_assert_eq!(sample.len(), expected);
+        prop_assert!(sample.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        prop_assert!(sample.iter().all(|&k| k < n));
+        prop_assert_eq!(&sample, &draw());
+        // A full (or overfull) take returns the input untouched.
+        if take >= n {
+            let ids: Vec<usize> = (0..n).collect();
+            prop_assert_eq!(&sample, &ids);
+        }
+    }
+
+    /// Distinct seeds decorrelate draws: over many rounds every id is
+    /// sampled a plausible number of times (a loose band around the
+    /// expected `rounds · take / n` — catches "always the same prefix"
+    /// or "never the tail" bugs, not distribution subtleties).
+    #[test]
+    fn sample_cohort_is_roughly_uniform(seed in 0u64..20) {
+        let n = 50usize;
+        let take = 10usize;
+        let rounds = 400usize;
+        let mut hits = vec![0usize; n];
+        for r in 0..rounds {
+            let sample =
+                sample_cohort((0..n).collect(), take, &mut rng_for(seed, &[0x43_48_52_54, r as u64]));
+            for k in sample {
+                hits[k] += 1;
+            }
+        }
+        // Expected 80 hits each; Binomial(400, 0.2) keeps every count
+        // within ±45 with overwhelming probability.
+        let expected = rounds * take / n;
+        for (k, &h) in hits.iter().enumerate() {
+            prop_assert!(
+                h.abs_diff(expected) < 45,
+                "client {} sampled {} times, expected ≈{}", k, h, expected
+            );
+        }
+    }
+
+    /// Two different rounds of the same seed produce different cohorts
+    /// (with take far below n, collisions should be rare; a few are fine
+    /// — identical draws every round would mean the round label is dead).
+    #[test]
+    fn sample_cohort_varies_by_round(seed in 0u64..20) {
+        let n = 100usize;
+        let take = 10usize;
+        let mut distinct = HashSet::new();
+        for r in 0..20u64 {
+            distinct.insert(sample_cohort((0..n).collect(), take, &mut rng_for(seed, &[0x43_48_52_54, r])));
+        }
+        prop_assert!(distinct.len() > 15, "only {} distinct cohorts in 20 rounds", distinct.len());
+    }
+}
+
+fn cohort_engine(cohort: usize, threads: usize, parallel: bool) -> SimulationEngine {
+    let (train, test) = SynthVisionConfig::small().generate(3).unwrap();
+    let topo = Topology::new(12, 4, vec![1]).unwrap();
+    let parts = DirichletPartitioner::new(10.0).unwrap().partition(&train, 12, 3).unwrap();
+    let config = EngineConfig {
+        topology: topo,
+        model: ModelSpec::Mlp { widths: vec![16, 8, 4] },
+        upload: UploadStrategy::Sparse,
+        local_epochs: 2,
+        batch_size: 4,
+        schedule: LrSchedule::Constant(0.05),
+        seed: 11,
+        eval_every: 1,
+        eval_clients: 0,
+        parallel,
+        threads,
+        eval_after_local: false,
+        recovery: RecoveryPolicy::disabled(),
+        cohort,
+    };
+    let attacks = vec![(1usize, AttackKind::Noise { std: 0.5 }.build().unwrap())];
+    SimulationEngine::new(
+        config,
+        &train,
+        &test,
+        &parts,
+        Box::new(TrimmedMean::new(0.25).unwrap()),
+        attacks,
+    )
+    .unwrap()
+}
+
+/// Serialized snapshot bytes after a short cohort-sampled run — the
+/// strictest observable state (models, server histories, outboxes,
+/// metrics) in one comparable blob.
+fn snapshot_bytes(cohort: usize, threads: usize, parallel: bool) -> Vec<u8> {
+    let mut e = cohort_engine(cohort, threads, parallel);
+    e.run(4).unwrap();
+    serde_json::to_string(&e.snapshot()).unwrap().into_bytes()
+}
+
+#[test]
+fn cohort_rounds_are_byte_identical_across_thread_counts() {
+    let sequential = snapshot_bytes(5, 0, false);
+    let one = snapshot_bytes(5, 1, true);
+    let four = snapshot_bytes(5, 4, true);
+    let auto = snapshot_bytes(5, 0, true);
+    assert_eq!(sequential, one, "threads=1 differs from sequential");
+    assert_eq!(sequential, four, "threads=4 differs from sequential");
+    assert_eq!(sequential, auto, "threads=auto differs from sequential");
+}
+
+#[test]
+fn full_cohort_reproduces_the_uncohorted_engine_bit_exactly() {
+    // cohort = K and cohort = 0 must not just agree on models — the whole
+    // snapshot (bank layout included) must match byte-for-byte.
+    let full = snapshot_bytes(12, 0, false);
+    let off = snapshot_bytes(0, 0, false);
+    assert_eq!(full, off);
+    // Oversized cohorts clamp to the federation.
+    let over = snapshot_bytes(100, 0, false);
+    assert_eq!(over, off);
+}
+
+#[test]
+fn cohort_run_records_metrics_and_bounds_memory() {
+    let mut e = cohort_engine(4, 0, false);
+    e.set_record_diagnostics(true);
+    let result = e.run(5).unwrap();
+    assert_eq!(result.rounds.len(), 5);
+    assert!(result.final_accuracy().unwrap().is_finite());
+    // 4 cohort clients × 1 sparse upload × 5 rounds.
+    assert_eq!(result.total_comm.upload_messages, 20);
+    // Downloads go to the cohort only: 4 servers × 4 clients × 5 rounds.
+    assert_eq!(result.total_comm.download_messages, 80);
+    // The bank stays interned: at most cohort + a shared broadcast entry
+    // per round survives the sweep, never one model per client.
+    assert!(
+        e.distinct_client_models() <= 1 + 4 * 5,
+        "bank grew to {} entries",
+        e.distinct_client_models()
+    );
+    // The filter pool recycled its buffers.
+    let stats = e.pool_stats();
+    assert!(stats.reused > 0, "pool never reused a buffer");
+    assert_eq!(stats.outstanding_bytes, 0, "filter leaked pooled buffers");
+}
+
+#[test]
+fn cohort_snapshot_resume_is_bit_exact() {
+    let mut reference = cohort_engine(5, 0, false);
+    reference.run(6).unwrap();
+
+    let mut first = cohort_engine(5, 0, false);
+    first.run(3).unwrap();
+    let snap = first.snapshot();
+    let mut resumed = cohort_engine(5, 0, false);
+    resumed.restore(&snap).unwrap();
+    resumed.run(3).unwrap();
+
+    assert_eq!(reference.client_models(), resumed.client_models());
+    assert_eq!(reference.result().rounds, resumed.result().rounds);
+}

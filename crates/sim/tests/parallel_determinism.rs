@@ -33,6 +33,7 @@ fn engine(parallel: bool, threads: usize) -> SimulationEngine {
         threads,
         eval_after_local: true,
         recovery: RecoveryPolicy::disabled(),
+        cohort: 0,
     };
     let attacks = vec![(2, AttackKind::Noise { std: 0.5 }.build().unwrap())];
     let filter = Box::new(TrimmedMean::new(0.25).unwrap());

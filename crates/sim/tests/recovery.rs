@@ -274,6 +274,7 @@ fn engine(seed: u64, recovery: RecoveryPolicy) -> SimulationEngine {
         threads: 0,
         eval_after_local: false,
         recovery,
+        cohort: 0,
     };
     let attack = AttackKind::Noise { std: 0.5 };
     let attacks = vec![(1, attack.build().unwrap())];
@@ -381,6 +382,7 @@ fn chaos_soak_200_rounds() {
         threads: 0,
         eval_after_local: false,
         recovery: policy,
+        cohort: 0,
     };
     let filter: Box<dyn fedms_aggregation::AggregationRule> =
         Box::new(TrimmedMean::new(0.25).unwrap());

@@ -23,6 +23,7 @@
 mod conv;
 mod error;
 mod ops;
+pub mod pool;
 pub mod rng;
 mod shape;
 mod stats;

@@ -49,6 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         threads: 0,
         eval_after_local: true,
         recovery: RecoveryPolicy::disabled(),
+        cohort: 0,
     };
     let attacks: Vec<(usize, Box<dyn ServerAttack>)> = byzantine
         .iter()

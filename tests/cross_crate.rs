@@ -43,6 +43,7 @@ fn manual_assembly_with_trimmed_mean_filter() {
         threads: 0,
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
+        cohort: 0,
     };
     let attacks: Vec<(usize, Box<dyn ServerAttack>)> =
         vec![(2, Box::new(NoiseAttack::new(1.0).unwrap()))];
@@ -88,6 +89,7 @@ fn mobilenet_nano_federation_trains() {
         threads: 0,
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
+        cohort: 0,
     };
     let mut engine =
         SimulationEngine::new(config, &train, &test, &partitions, Box::new(Mean::new()), vec![])
@@ -115,6 +117,7 @@ fn engine_exposes_client_models_for_inspection() {
         threads: 0,
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
+        cohort: 0,
     };
     let mut engine =
         SimulationEngine::new(config, &train, &test, &partitions, Box::new(Mean::new()), vec![])
@@ -153,6 +156,7 @@ fn rotating_adaptive_adversary_is_survivable() {
         threads: 0,
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
+        cohort: 0,
     };
     let mut engine = SimulationEngine::new(
         config,
@@ -197,6 +201,7 @@ fn attack_trait_objects_compose_via_kind() {
             threads: 0,
             eval_after_local: false,
             recovery: RecoveryPolicy::disabled(),
+            cohort: 0,
         };
         let mut engine = SimulationEngine::new(
             config,
