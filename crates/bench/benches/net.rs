@@ -1,0 +1,115 @@
+//! Criterion bench: wire-frame and NetTransport throughput.
+//!
+//! Three layers of the network stack, sized so each iteration handles a
+//! known number of frames and payload bytes (the vendored criterion has
+//! no `Throughput`; divide the per-iteration counts printed in the
+//! benchmark id by the reported time to get frames/s and bytes/s):
+//!
+//! * `wire` — encode + decode one `Upload` frame of `d` coordinates:
+//!   1 frame, `4·d` payload bytes per iteration.
+//! * `channel` — one full K-client / P-server round through
+//!   [`NetTransport`]'s actor channels (uploads, aggregate releases,
+//!   broadcasts, downlink drains), under the ideal and the edge network
+//!   model: `K + P·(1 + K)` delivered frames per iteration.
+//! * `tcp` — one loopback-TCP round: a [`TcpRound`] server thread accepts
+//!   `K` sequential [`run_client`] uploads of `d` coordinates each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedms_sim::net::wire::{decode_frame, encode_frame, Frame};
+use fedms_sim::net::{run_client, TcpRound};
+use fedms_sim::{Broadcast, Dissemination, NetModel, NetTransport, Transport, Upload};
+use fedms_tensor::rng::rng_for;
+use fedms_tensor::Tensor;
+use std::hint::black_box;
+
+fn model(d: usize, tag: u64) -> Tensor {
+    let mut rng = rng_for(7, &[tag, d as u64]);
+    Tensor::randn(&mut rng, &[d], 0.0, 1.0)
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_wire");
+    for d in [1_000usize, 13_000] {
+        let frame =
+            Frame::Upload { round: 3, client: 5, server: 1, arrival_ms: 42, model: model(d, 0) };
+        group.bench_with_input(BenchmarkId::new("encode_decode", format!("d{d}")), &d, |b, _| {
+            b.iter(|| {
+                let bytes = encode_frame(black_box(&frame));
+                black_box(decode_frame(&bytes).expect("round-trips"))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One full round of protocol traffic through `t`: K uploads, P aggregate
+/// releases + broadcasts, K downlink drains.
+fn round_trip(t: &mut dyn Transport, round: usize, clients: usize, servers: usize, d: usize) {
+    t.begin_round(round, d);
+    for k in 0..clients {
+        t.send_upload(Upload { client: k, server: k % servers, model: model(d, k as u64) });
+    }
+    for s in 0..servers {
+        let inbox = t.take_inbox(s);
+        let agg = inbox.into_iter().next().unwrap_or_else(|| model(d, 1000 + s as u64));
+        if let (_, Some(m)) = t.release_aggregate(s, agg) {
+            t.broadcast(Broadcast { server: s, model: Dissemination::Broadcast(m) })
+                .expect("broadcast covers all clients");
+        }
+    }
+    for k in 0..clients {
+        black_box(t.drain_deliveries(k));
+    }
+    black_box(t.take_comm());
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_channel_round");
+    group.sample_size(20);
+    let (clients, servers) = (20usize, 5usize);
+    for d in [1_000usize, 13_000] {
+        for (label, net) in [("ideal", NetModel::ideal()), ("edge", NetModel::edge())] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("k{clients}_p{servers}_d{d}")),
+                &d,
+                |b, &d| {
+                    let mut t = NetTransport::new(7, clients, servers, net);
+                    let mut round = 0;
+                    b.iter(|| {
+                        round_trip(&mut t, round, clients, servers, d);
+                        round += 1;
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_tcp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_tcp_round");
+    group.sample_size(10);
+    let clients = 8usize;
+    for d in [1_000usize, 13_000] {
+        let uploads: Vec<Tensor> = (0..clients).map(|k| model(d, k as u64)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("loopback", format!("k{clients}_d{d}")),
+            &d,
+            |b, _| {
+                b.iter(|| {
+                    let server = TcpRound::bind("127.0.0.1:0").expect("loopback bind");
+                    let addr = server.local_addr().expect("bound socket has an address");
+                    let handle = std::thread::spawn(move || server.serve(clients));
+                    for (k, m) in uploads.iter().enumerate() {
+                        black_box(run_client(&addr, k, m).expect("upload round-trips"));
+                    }
+                    black_box(handle.join().expect("server thread").expect("round completes"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_channel, bench_tcp);
+criterion_main!(benches);

@@ -85,6 +85,7 @@ fn bench_recovery(c: &mut Criterion) {
                 lossy_transport(clients, servers),
                 RecoveryPolicy::disabled(),
                 7,
+                clients,
                 servers,
             )
             .expect("disabled policy is valid");
@@ -95,9 +96,14 @@ fn bench_recovery(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("active", format!("d{d}")), &d, |b, &d| {
-            let mut t =
-                ResilientTransport::new(lossy_transport(clients, servers), active, 7, servers)
-                    .expect("active policy is valid");
+            let mut t = ResilientTransport::new(
+                lossy_transport(clients, servers),
+                active,
+                7,
+                clients,
+                servers,
+            )
+            .expect("active policy is valid");
             let mut round = 0;
             b.iter(|| {
                 round_trip(&mut t, round, clients, servers, d);

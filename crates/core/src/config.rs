@@ -4,8 +4,9 @@ use fedms_attacks::{AttackKind, ClientAttack, ClientAttackKind, ServerAttack};
 use fedms_data::{DirichletPartitioner, SynthVisionConfig};
 use fedms_nn::LrSchedule;
 use fedms_sim::{
-    EngineConfig, FaultPlan, FaultSpec, LocalTransport, ModelSpec, Partitions, RecoveryPolicy,
-    ResilientTransport, RunResult, SimulationEngine, Topology, Transport, UploadStrategy,
+    EngineConfig, FaultPlan, FaultSpec, LocalTransport, ModelSpec, NetModel, NetTransport,
+    Partitions, RecoveryPolicy, ResilientTransport, RunResult, SimulationEngine, Topology,
+    Transport, UploadStrategy,
 };
 use fedms_tensor::rng::derive_seed;
 use serde::{Deserialize, Serialize};
@@ -103,6 +104,19 @@ pub struct FedMsConfig {
     /// makes `K = 10⁶` federations simulable.
     #[serde(default)]
     pub cohort: usize,
+    /// The delivery substrate: the synchronous in-process transport (the
+    /// default, and the CI oracle) or the concurrent message-passing
+    /// transport with per-server actors exchanging wire frames under
+    /// [`FedMsConfig::net_model`].
+    #[serde(default)]
+    pub transport: TransportKind,
+    /// Latency/bandwidth model of the `net` transport (ignored by
+    /// `local`). The default ideal model keeps every delay at zero, which
+    /// makes the two transports bit-identical; [`NetModel::edge`]-style
+    /// settings make stragglers and deadline misses emerge from the
+    /// network itself.
+    #[serde(default)]
+    pub net_model: NetModel,
     /// When positive, replaces the Dirichlet partition with a procedural
     /// uniform partition: every client draws this many samples (with
     /// replacement, on its own seed stream) from the training set, at
@@ -110,6 +124,19 @@ pub struct FedMsConfig {
     /// materializing explicit index lists stops being feasible.
     #[serde(default)]
     pub shard_samples: usize,
+}
+
+/// Which delivery substrate [`FedMsConfig::build_engine`] hands to the
+/// engine's phase pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransportKind {
+    /// The synchronous in-process [`LocalTransport`] — the CI oracle.
+    #[default]
+    Local,
+    /// The concurrent message-passing [`NetTransport`]: per-server actors
+    /// exchanging versioned wire frames over bounded channels, under the
+    /// config's [`FedMsConfig::net_model`].
+    Net,
 }
 
 impl FedMsConfig {
@@ -150,6 +177,8 @@ impl FedMsConfig {
             upload_drop_rate: 0.0,
             fault: FaultSpec::default(),
             recovery: RecoveryPolicy::disabled(),
+            transport: TransportKind::Local,
+            net_model: NetModel::ideal(),
             cohort: 0,
             shard_samples: 0,
         })
@@ -187,6 +216,8 @@ impl FedMsConfig {
             upload_drop_rate: 0.0,
             fault: FaultSpec::default(),
             recovery: RecoveryPolicy::disabled(),
+            transport: TransportKind::Local,
+            net_model: NetModel::ideal(),
             cohort: 0,
             shard_samples: 0,
         }
@@ -313,27 +344,46 @@ impl FedMsConfig {
         engine.set_participation(self.participation)?;
         // The delivery substrate is built explicitly: channel loss and the
         // realized fault plan are transport concerns, configured before the
-        // transport is handed to the engine's phase pipeline.
-        let mut transport = LocalTransport::new(self.seed, self.clients, self.servers);
-        transport.set_upload_drop_rate(self.upload_drop_rate)?;
+        // transport is handed to the engine's phase pipeline. Either base
+        // transport composes with the recovery decorator.
+        let transport = match self.transport {
+            TransportKind::Local => {
+                self.finish_transport(LocalTransport::new(self.seed, self.clients, self.servers))?
+            }
+            TransportKind::Net => self.finish_transport(NetTransport::new(
+                self.seed,
+                self.clients,
+                self.servers,
+                self.net_model,
+            ))?,
+        };
+        engine.set_transport(transport);
+        engine.set_record_diagnostics(self.record_diagnostics);
+        Ok(engine)
+    }
+
+    /// Installs channel loss and the sampled fault plan on a freshly built
+    /// base transport, then wraps it in the recovery layer when the policy
+    /// is active.
+    fn finish_transport<T: Transport + 'static>(&self, mut base: T) -> Result<Box<dyn Transport>> {
+        base.set_upload_drop_rate(self.upload_drop_rate)?;
         if !self.fault.is_trivial() {
             // The victims are a pure function of (spec, seed): FaultPlan
             // sampling draws from its own labelled RNG stream.
             let plan = FaultPlan::sample(&self.fault, self.servers, self.seed)?;
-            transport.install_fault_plan(plan)?;
+            base.install_fault_plan(plan)?;
         }
         if self.recovery.is_disabled() {
-            engine.set_transport(Box::new(transport));
+            Ok(Box::new(base))
         } else {
-            engine.set_transport(Box::new(ResilientTransport::new(
-                transport,
+            Ok(Box::new(ResilientTransport::new(
+                base,
                 self.recovery,
                 self.seed,
+                self.clients,
                 self.servers,
-            )?));
+            )?))
         }
-        engine.set_record_diagnostics(self.record_diagnostics);
-        Ok(engine)
     }
 
     /// A stable 64-bit content hash of the full configuration (FNV-1a over

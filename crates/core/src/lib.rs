@@ -47,7 +47,7 @@ mod filter;
 pub mod hash;
 pub mod theory;
 
-pub use config::FedMsConfig;
+pub use config::{FedMsConfig, TransportKind};
 pub use error::CoreError;
 pub use filter::FilterKind;
 pub use hash::{fnv1a64, fnv1a64_hex};

@@ -238,6 +238,7 @@ impl SimulationEngine {
                 local,
                 config.recovery,
                 config.seed,
+                topo.num_clients(),
                 topo.num_servers(),
             )?)
         };

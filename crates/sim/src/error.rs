@@ -8,6 +8,8 @@ use fedms_data::DataError;
 use fedms_nn::NnError;
 use fedms_tensor::TensorError;
 
+use crate::net::WireError;
+
 /// Errors produced while constructing or running a simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -53,6 +55,18 @@ pub enum SimError {
         /// Version this build reads and writes.
         expected: u32,
     },
+    /// A per-client dissemination was asked for a client it does not
+    /// cover (see [`crate::Dissemination::for_client`]). Raised instead
+    /// of an out-of-bounds panic when an equivocating server's message
+    /// is shorter than the federation.
+    DisseminationCoverage {
+        /// The client whose model was requested.
+        client: usize,
+        /// How many clients the dissemination actually covers.
+        covered: usize,
+    },
+    /// A network frame failed to decode (see [`crate::net::WireError`]).
+    Wire(WireError),
 }
 
 impl fmt::Display for SimError {
@@ -74,6 +88,12 @@ impl fmt::Display for SimError {
                 "snapshot has layout version {found} but this build reads \
                  version {expected}"
             ),
+            SimError::DisseminationCoverage { client, covered } => write!(
+                f,
+                "dissemination covers only {covered} clients but client \
+                 {client} was addressed"
+            ),
+            SimError::Wire(e) => write!(f, "wire error: {e}"),
         }
     }
 }
@@ -86,10 +106,18 @@ impl std::error::Error for SimError {
             SimError::Data(e) => Some(e),
             SimError::Agg(e) => Some(e),
             SimError::Attack(e) => Some(e),
+            SimError::Wire(e) => Some(e),
             SimError::BadConfig(_)
             | SimError::DegradedQuorum { .. }
-            | SimError::SnapshotVersion { .. } => None,
+            | SimError::SnapshotVersion { .. }
+            | SimError::DisseminationCoverage { .. } => None,
         }
+    }
+}
+
+impl From<WireError> for SimError {
+    fn from(e: WireError) -> Self {
+        SimError::Wire(e)
     }
 }
 

@@ -19,6 +19,10 @@
 //! * [`Transport`] / [`LocalTransport`] — the message layer: typed
 //!   [`Upload`]/[`Broadcast`] protocol messages, delivery outcomes,
 //!   fault realization and all [`CommStats`] accounting,
+//! * [`net::NetTransport`] — the concurrent message-passing transport:
+//!   per-server actors exchanging versioned wire frames over bounded
+//!   channels (or loopback TCP), under a seed-deterministic
+//!   latency/bandwidth model ([`net::NetModel`]),
 //! * [`ResilientTransport`] / [`RecoveryPolicy`] — the recovery layer:
 //!   deadline-driven retries with seed-deterministic backoff, and upload
 //!   failover to alternate servers, layered over any transport,
@@ -44,6 +48,7 @@ mod events;
 mod fault;
 mod metrics;
 mod model_spec;
+pub mod net;
 mod phases;
 mod recovery;
 mod server;
@@ -60,6 +65,7 @@ pub use events::{EventLog, RoundEvent};
 pub use fault::{FaultClass, FaultPlan, FaultSpec, ServerFault};
 pub use metrics::{RoundDiagnostics, RoundMetrics, RunResult, RunSummary};
 pub use model_spec::ModelSpec;
+pub use net::{NetModel, NetStats, NetTransport, WireError, FRAME_VERSION};
 pub use phases::sample_cohort;
 pub use recovery::{
     downlink_id, uplink_id, DegradedMode, RecoveryPolicy, ResilientTransport, UploadReport,

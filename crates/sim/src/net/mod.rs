@@ -1,0 +1,31 @@
+//! Real concurrent message-passing: the network transport layer.
+//!
+//! This module is the second [`crate::Transport`] implementation (ROADMAP
+//! item "a second Transport implementation over threads/sockets"):
+//!
+//! * [`wire`] — the length-prefixed, versioned frame protocol
+//!   ([`FRAME_VERSION`], typed [`WireError`] decode errors),
+//! * [`model`] — the seed-deterministic latency/bandwidth/jitter model
+//!   ([`NetModel`]; [`NetModel::ideal`] is the zero-delay oracle
+//!   configuration),
+//! * [`transport`] — [`NetTransport`]: per-server uplink actors and a
+//!   downlink router exchanging frames over bounded in-process channels,
+//! * [`tcp`] — the loopback-TCP mode behind `fedms serve` /
+//!   `fedms client` ([`TcpRound`], [`run_client`]).
+//!
+//! The contract that keeps all of this honest: under [`NetModel::ideal`]
+//! a `NetTransport` round produces the same delivered-message multiset and
+//! [`crate::CommStats`] totals as [`crate::LocalTransport`]
+//! (property-tested in `crates/sim/tests/net.rs`), while a non-trivial
+//! model makes straggler and deadline-miss outcomes *emerge* from delay
+//! arithmetic instead of fault injection.
+
+pub mod model;
+pub mod tcp;
+pub mod transport;
+pub mod wire;
+
+pub use model::NetModel;
+pub use tcp::{run_client, TcpRound, TcpRoundReport};
+pub use transport::{NetStats, NetTransport};
+pub use wire::{Frame, WireError, FRAME_VERSION};

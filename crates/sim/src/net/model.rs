@@ -1,0 +1,198 @@
+//! The seed-deterministic latency/bandwidth/jitter model.
+//!
+//! A [`NetModel`] turns each link transmission into a virtual delay:
+//!
+//! ```text
+//! delay(link, bytes) = base_latency_ms + U(0..=jitter_ms) + bytes / bytes_per_ms
+//! ```
+//!
+//! The jitter draw comes from its own labeled RNG stream
+//! (`"LTNC"`, keyed by `(seed, round, link)` using the same link ids as
+//! the recovery layer), so every delay is a pure function of the run seed
+//! — never of thread scheduling. Server-side processing lag draws from the
+//! `"SLAG"` stream and converts into whole-round delivery delays, which is
+//! how network-produced stragglers and deadline misses arise *without* a
+//! [`crate::FaultPlan`] injecting them.
+//!
+//! [`NetModel::ideal`] (zero latency, infinite bandwidth, no deadline) is
+//! the oracle configuration: a [`crate::net::NetTransport`] round under it
+//! is message-for-message identical to [`crate::LocalTransport`].
+
+use fedms_tensor::rng::rng_for;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// RNG label for per-link latency jitter ("LTNC").
+const LATENCY_LABEL: u64 = 0x4C_54_4E_43;
+/// RNG label for server processing lag ("SLAG").
+const LAG_LABEL: u64 = 0x53_4C_41_47;
+
+/// Latency/bandwidth/jitter parameters of a simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetModel {
+    /// Fixed propagation delay per transmission, in virtual ms.
+    #[serde(default)]
+    pub base_latency_ms: u64,
+    /// Upper bound of the uniform per-transmission jitter, in virtual ms.
+    /// 0 disables the jitter draw entirely (no RNG is consumed).
+    #[serde(default)]
+    pub jitter_ms: u64,
+    /// Link throughput in bytes per virtual ms; 0 = infinite bandwidth
+    /// (no serialization delay).
+    #[serde(default)]
+    pub bytes_per_ms: u64,
+    /// Mean server-side processing lag in virtual ms; the per-round draw
+    /// is uniform over `0..=2·server_lag_ms`. 0 = no lag draw.
+    #[serde(default)]
+    pub server_lag_ms: u64,
+    /// Virtual length of one round in ms: server lag is quantized into
+    /// whole-round delivery delays as `lag / round_ms`. 0 disables the
+    /// conversion (lag never spills into later rounds).
+    #[serde(default)]
+    pub round_ms: u64,
+    /// Per-message delivery deadline in virtual ms; a transmission whose
+    /// modelled arrival exceeds it misses the round. 0 = no deadline.
+    #[serde(default)]
+    pub deadline_ms: u64,
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel::ideal()
+    }
+}
+
+impl NetModel {
+    /// The oracle configuration: zero latency, infinite bandwidth, no
+    /// jitter, no lag, no deadline. Under it every modelled delay is 0 and
+    /// a [`crate::net::NetTransport`] round is message-for-message
+    /// identical to [`crate::LocalTransport`].
+    pub fn ideal() -> Self {
+        NetModel {
+            base_latency_ms: 0,
+            jitter_ms: 0,
+            bytes_per_ms: 0,
+            server_lag_ms: 0,
+            round_ms: 0,
+            deadline_ms: 0,
+        }
+    }
+
+    /// A lossy-edge preset: 20 ms base latency, up to 30 ms jitter,
+    /// ~10 Mbit/s links (1250 bytes/ms), 40 ms mean server lag against a
+    /// 100 ms round, 250 ms delivery deadline. Stragglers and deadline
+    /// misses emerge from these numbers alone.
+    pub fn edge() -> Self {
+        NetModel {
+            base_latency_ms: 20,
+            jitter_ms: 30,
+            bytes_per_ms: 1250,
+            server_lag_ms: 40,
+            round_ms: 100,
+            deadline_ms: 250,
+        }
+    }
+
+    /// Whether every modelled delay is identically zero (no draws, no
+    /// deadline) — the oracle configuration.
+    pub fn is_ideal(&self) -> bool {
+        *self == NetModel::ideal()
+    }
+
+    /// The modelled delay of transmitting `payload_bytes` over `link` in
+    /// `round`: base latency plus uniform jitter plus serialization time.
+    /// A pure function of `(seed, round, link)` — no RNG state is carried
+    /// between transmissions, and zero-jitter models consume no RNG.
+    pub fn link_delay_ms(&self, seed: u64, round: usize, link: u64, payload_bytes: u64) -> u64 {
+        let jitter = if self.jitter_ms > 0 {
+            let mut rng = rng_for(seed, &[LATENCY_LABEL, round as u64, link]);
+            rng.gen_range(0..=self.jitter_ms)
+        } else {
+            0
+        };
+        let transfer =
+            if self.bytes_per_ms > 0 { payload_bytes.div_ceil(self.bytes_per_ms) } else { 0 };
+        self.base_latency_ms + jitter + transfer
+    }
+
+    /// Whether a transmission arriving at `arrival_ms` misses the round's
+    /// delivery deadline.
+    pub fn misses_deadline(&self, arrival_ms: u64) -> bool {
+        self.deadline_ms > 0 && arrival_ms > self.deadline_ms
+    }
+
+    /// The number of whole rounds `server`'s aggregate is held back by
+    /// processing lag this round: a uniform lag draw over
+    /// `0..=2·server_lag_ms` (stream `"SLAG"`, keyed per server and
+    /// round), quantized by [`NetModel::round_ms`]. 0 when lag modelling
+    /// is disabled.
+    pub fn server_lag_rounds(&self, seed: u64, round: usize, server: usize) -> usize {
+        if self.server_lag_ms == 0 || self.round_ms == 0 {
+            return 0;
+        }
+        let mut rng = rng_for(seed, &[LAG_LABEL, round as u64, server as u64]);
+        let lag = rng.gen_range(0..=2 * self.server_lag_ms);
+        (lag / self.round_ms) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_model_is_all_zero_and_deterministic() {
+        let m = NetModel::ideal();
+        assert!(m.is_ideal());
+        assert_eq!(m.link_delay_ms(7, 0, 42, 1 << 20), 0);
+        assert!(!m.misses_deadline(u64::MAX));
+        assert_eq!(m.server_lag_rounds(7, 0, 0), 0);
+    }
+
+    #[test]
+    fn delays_are_pure_functions_of_seed_round_link() {
+        let m = NetModel::edge();
+        let a = m.link_delay_ms(7, 3, 99, 5_000);
+        let b = m.link_delay_ms(7, 3, 99, 5_000);
+        assert_eq!(a, b, "same (seed, round, link) must draw the same delay");
+        assert!(a >= m.base_latency_ms + 5_000u64.div_ceil(m.bytes_per_ms));
+        assert!(a <= m.base_latency_ms + m.jitter_ms + 5_000u64.div_ceil(m.bytes_per_ms));
+        // Different links draw independently (almost surely different).
+        let other = m.link_delay_ms(7, 3, 100, 5_000);
+        let _ = other; // value may coincide; determinism is what matters
+        assert_eq!(other, m.link_delay_ms(7, 3, 100, 5_000));
+    }
+
+    #[test]
+    fn bandwidth_and_deadline_interact() {
+        let m = NetModel {
+            base_latency_ms: 10,
+            jitter_ms: 0,
+            bytes_per_ms: 100,
+            deadline_ms: 50,
+            ..NetModel::ideal()
+        };
+        // 1000 bytes at 100 B/ms = 10 ms transfer + 10 ms base = 20 ms.
+        assert_eq!(m.link_delay_ms(1, 0, 5, 1_000), 20);
+        assert!(!m.misses_deadline(20));
+        // 100 KB takes 1000 ms — far past the 50 ms deadline.
+        assert!(m.misses_deadline(m.link_delay_ms(1, 0, 5, 100_000)));
+    }
+
+    #[test]
+    fn server_lag_quantizes_into_rounds() {
+        let m = NetModel { server_lag_ms: 300, round_ms: 100, ..NetModel::ideal() };
+        let lag = m.server_lag_rounds(9, 4, 1);
+        assert!(lag <= 6, "lag draw is bounded by 2·mean / round_ms");
+        assert_eq!(lag, m.server_lag_rounds(9, 4, 1), "per-round draw is deterministic");
+    }
+
+    #[test]
+    fn serde_roundtrip_with_defaults() {
+        let m: NetModel = serde_json::from_str("{}").unwrap();
+        assert!(m.is_ideal());
+        let text = serde_json::to_string(&NetModel::edge()).unwrap();
+        let back: NetModel = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, NetModel::edge());
+    }
+}

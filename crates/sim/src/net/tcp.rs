@@ -1,0 +1,174 @@
+//! Loopback-TCP mode: one aggregation round over real sockets.
+//!
+//! This is the `fedms serve` / `fedms client` pair: a [`TcpRound`] binds a
+//! listener and plays one parameter server for one round, while
+//! [`run_client`] connects, uploads a model and reads back the server's
+//! running aggregate. The exchange per connection is strictly
+//! request/response — `Hello`, `Upload`, then an `Aggregate` reply and
+//! `Bye` — so neither side can deadlock, and every message is a
+//! length-prefixed versioned [`Frame`] exactly as in the in-process
+//! channel mode. Frames from an incompatible build are rejected with the
+//! typed [`crate::net::WireError::Version`].
+
+use std::net::{TcpListener, TcpStream};
+
+use fedms_aggregation::MeanAccumulator;
+use fedms_tensor::Tensor;
+
+use crate::net::wire::{read_frame, write_frame, Frame, WireError};
+use crate::{Result, SimError};
+
+/// What one [`TcpRound::serve`] call processed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcpRoundReport {
+    /// Uploads folded into the aggregate.
+    pub uploads: usize,
+    /// Frames read off accepted connections.
+    pub frames_read: u64,
+    /// Frames written back (aggregate replies).
+    pub frames_written: u64,
+    /// The final mean aggregate, if at least one upload arrived.
+    pub aggregate: Option<Tensor>,
+}
+
+/// One parameter server bound to a TCP listener for one round.
+pub struct TcpRound {
+    listener: TcpListener,
+}
+
+impl TcpRound {
+    /// Binds `addr` (e.g. `127.0.0.1:7070`; port 0 picks a free port).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Wire`] when the bind fails.
+    pub fn bind(addr: &str) -> Result<Self> {
+        let listener = TcpListener::bind(addr).map_err(WireError::from)?;
+        Ok(TcpRound { listener })
+    }
+
+    /// The bound address, e.g. to print after a port-0 bind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Wire`] when the socket has no local address.
+    pub fn local_addr(&self) -> Result<String> {
+        Ok(self.listener.local_addr().map_err(WireError::from)?.to_string())
+    }
+
+    /// Serves one round: accepts connections until `expect` uploads have
+    /// been folded into the running mean, replying to each upload with the
+    /// aggregate-so-far. Connections are handled sequentially — each one
+    /// is a short request/response exchange — so the round is
+    /// deterministic in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Wire`] on socket failures or malformed frames,
+    /// and [`SimError::Agg`] if the uploads disagree on dimension.
+    pub fn serve(&self, expect: usize) -> Result<TcpRoundReport> {
+        let mut acc = MeanAccumulator::new();
+        let mut report =
+            TcpRoundReport { uploads: 0, frames_read: 0, frames_written: 0, aggregate: None };
+        while report.uploads < expect {
+            let (stream, _) = self.listener.accept().map_err(WireError::from)?;
+            self.serve_connection(stream, &mut acc, &mut report)?;
+        }
+        if acc.count() > 0 {
+            report.aggregate = Some(acc.finish().map_err(SimError::from)?);
+        }
+        Ok(report)
+    }
+
+    fn serve_connection(
+        &self,
+        mut stream: TcpStream,
+        acc: &mut MeanAccumulator,
+        report: &mut TcpRoundReport,
+    ) -> Result<()> {
+        loop {
+            let frame = match read_frame(&mut stream) {
+                Ok(f) => f,
+                // A peer hanging up between frames ends the connection.
+                Err(WireError::Io(_)) => return Ok(()),
+                Err(e) => return Err(e.into()),
+            };
+            report.frames_read += 1;
+            match frame {
+                Frame::Hello { .. } => {}
+                Frame::Upload { round, model, .. } => {
+                    acc.push(&model).map_err(SimError::from)?;
+                    report.uploads += 1;
+                    // Reply with the running mean so the client learns the
+                    // aggregate-so-far; a full protocol would broadcast the
+                    // final mean, but one reply per upload keeps the
+                    // exchange deadlock-free.
+                    let reply = Frame::Aggregate {
+                        round,
+                        contributors: acc.count() as u32,
+                        model: acc.clone().finish().map_err(SimError::from)?,
+                    };
+                    write_frame(&mut stream, &reply)?;
+                    report.frames_written += 1;
+                }
+                Frame::Bye => return Ok(()),
+                // Downlink/batch frames are not part of the TCP exchange.
+                _ => return Err(SimError::Wire(WireError::UnknownKind(0))),
+            }
+        }
+    }
+}
+
+/// Connects to a [`TcpRound`] server at `addr`, uploads `model` as
+/// `client`, and returns `(contributors, aggregate)` from the server's
+/// reply.
+///
+/// # Errors
+///
+/// Returns [`SimError::Wire`] on connection failures, malformed frames or
+/// an unexpected reply type.
+pub fn run_client(addr: &str, client: usize, model: &Tensor) -> Result<(u32, Tensor)> {
+    let mut stream = TcpStream::connect(addr).map_err(WireError::from)?;
+    write_frame(&mut stream, &Frame::Hello { client: client as u32 })?;
+    write_frame(
+        &mut stream,
+        &Frame::Upload {
+            round: 0,
+            client: client as u32,
+            server: 0,
+            arrival_ms: 0,
+            model: model.clone(),
+        },
+    )?;
+    let reply = read_frame(&mut stream)?;
+    write_frame(&mut stream, &Frame::Bye)?;
+    match reply {
+        Frame::Aggregate { contributors, model, .. } => Ok((contributors, model)),
+        _ => Err(SimError::Wire(WireError::UnknownKind(0))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_round_aggregates_all_uploads() {
+        let server = TcpRound::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve(3).unwrap());
+        let mut last = None;
+        for k in 0..3 {
+            let model = Tensor::from_slice(&[k as f32, 1.0]);
+            let (contributors, agg) = run_client(&addr, k, &model).unwrap();
+            assert_eq!(contributors, k as u32 + 1);
+            last = Some(agg);
+        }
+        let report = handle.join().unwrap();
+        assert_eq!(report.uploads, 3);
+        assert_eq!(report.frames_written, 3);
+        // mean of [0,1],[1,1],[2,1] = [1,1]
+        assert_eq!(report.aggregate.as_ref().unwrap().as_slice(), &[1.0, 1.0]);
+        assert_eq!(last.unwrap().as_slice(), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,766 @@
+//! [`NetTransport`]: concurrent message-passing over in-process channels.
+//!
+//! Unlike [`crate::LocalTransport`] — a synchronous bookkeeping structure —
+//! this transport actually *moves messages between threads*: every server
+//! runs as its own actor consuming length-prefixed
+//! [`Frame`](crate::net::Frame)s from a bounded channel (backpressure: a
+//! sender that outruns a server blocks), and one downlink-router actor
+//! owns the queued disseminations and realizes each client's downlink on
+//! request. Uploads to the same server are coalesced into
+//! `Frame::UploadBatch` frames (flushed at the batch bound or when the
+//! inbox is taken), which is where the frames/s vs bytes/s trade-off of
+//! the bench lives.
+//!
+//! Determinism: message *content* and *fate* never depend on thread
+//! scheduling. All loss draws (the `"DROP"`/`"OMIT"` streams shared with
+//! `LocalTransport`) happen in protocol order — uplink draws on the
+//! sending side in send order, downlink draws inside the router in drain
+//! order — and the [`NetModel`] delay draws are pure functions of
+//! `(seed, round, link)`. Server inboxes sort stably by modelled arrival
+//! time, so under [`NetModel::ideal`] (all delays zero) the inbox order
+//! is send order and a round is message-for-message and counter-for-
+//! counter identical to `LocalTransport` (property-tested in
+//! `crates/sim/tests/net.rs`). Under a non-trivial model, stragglers and
+//! deadline misses *emerge* from the delay arithmetic instead of being
+//! injected by a [`FaultPlan`].
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::thread::JoinHandle;
+
+use fedms_tensor::rng::rng_for;
+use fedms_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::net::model::NetModel;
+use crate::net::wire::{decode_frame, encode_frame, BatchedUpload, Frame, WireError};
+use crate::recovery::{downlink_id, uplink_id, UploadReport};
+use crate::transport::{
+    Broadcast, Delivery, DeliveryOutcome, Dissemination, Transport, Upload, DROP_LABEL, OMIT_LABEL,
+};
+use crate::{CommStats, FaultPlan, Result, SimError};
+
+/// Default uploads coalesced per frame.
+const DEFAULT_COALESCE: usize = 8;
+/// Default bound of each actor channel (frames in flight before the
+/// sender blocks).
+const DEFAULT_CHANNEL_BOUND: usize = 64;
+
+/// Frame-level traffic counters of a [`NetTransport`] (cumulative since
+/// construction; the criterion bench reads frames/s and bytes/s off them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames placed on any channel.
+    pub frames_sent: u64,
+    /// Encoded bytes placed on any channel (length prefixes included).
+    pub frame_bytes: u64,
+    /// Frames that carried more than one coalesced upload.
+    pub coalesced_batches: u64,
+}
+
+enum ServerMsg {
+    Begin { round: usize },
+    Frame(Vec<u8>),
+    TakeInbox { reply: Sender<InboxReply> },
+    Shutdown,
+}
+
+struct InboxReply {
+    models: Vec<Tensor>,
+    error: Option<WireError>,
+}
+
+enum RouterMsg {
+    Begin { round: usize, omission: f64, duplicate: f64, lossy: bool },
+    Frame(Vec<u8>),
+    Drain { client: usize, reply: Sender<DrainReply> },
+    Shutdown,
+}
+
+struct DrainReply {
+    deliveries: Vec<Delivery>,
+    dropped: u64,
+    duplicated: u64,
+    deadline_missed: u64,
+    error: Option<WireError>,
+}
+
+/// One server's uplink actor: decodes incoming frames into an inbox,
+/// ordered stably by modelled arrival time (ties keep receive order, which
+/// equals send order — bounded mpsc channels are FIFO).
+fn server_actor(rx: Receiver<ServerMsg>) {
+    let mut round = 0usize;
+    let mut entries: Vec<(u64, Tensor)> = Vec::new();
+    let mut error: Option<WireError> = None;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ServerMsg::Begin { round: r } => {
+                round = r;
+                entries.clear();
+                error = None;
+            }
+            ServerMsg::Frame(bytes) => match decode_frame(&bytes) {
+                Ok((Frame::Upload { round: r, arrival_ms, model, .. }, _))
+                    if r as usize == round =>
+                {
+                    entries.push((arrival_ms, model));
+                }
+                Ok((Frame::UploadBatch { round: r, uploads, .. }, _)) if r as usize == round => {
+                    for u in uploads {
+                        entries.push((u.arrival_ms, u.model));
+                    }
+                }
+                // Stale (previous-round) or non-uplink frames are dropped;
+                // channel FIFO ordering makes them unreachable from this
+                // crate, but a TCP peer could replay one.
+                Ok(_) => {}
+                Err(e) => {
+                    error.get_or_insert(e);
+                }
+            },
+            ServerMsg::TakeInbox { reply } => {
+                let mut taken = std::mem::take(&mut entries);
+                // Stable: equal arrival times keep send order, so the ideal
+                // model reproduces LocalTransport's send-order inbox.
+                taken.sort_by_key(|&(arrival, _)| arrival);
+                let _ = reply.send(InboxReply {
+                    models: taken.into_iter().map(|(_, m)| m).collect(),
+                    error: error.take(),
+                });
+            }
+            ServerMsg::Shutdown => break,
+        }
+    }
+}
+
+/// The downlink router actor: owns the queued disseminations and realizes
+/// each client's downlink — fault draws in LocalTransport's exact order,
+/// then the latency model's delay/deadline arithmetic.
+fn router_actor(rx: Receiver<RouterMsg>, seed: u64, model: NetModel) {
+    let mut round = 0usize;
+    let mut queued: Vec<(usize, Dissemination)> = Vec::new();
+    let mut omission = 0.0f64;
+    let mut duplicate = 0.0f64;
+    let mut downlink_rng: Option<StdRng> = None;
+    let mut error: Option<WireError> = None;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            RouterMsg::Begin { round: r, omission: o, duplicate: d, lossy } => {
+                round = r;
+                queued.clear();
+                omission = o;
+                duplicate = d;
+                error = None;
+                // Derived exactly like LocalTransport::begin_round, and
+                // only when the plan is lossy, so the draw sequence across
+                // drains matches the oracle bit for bit.
+                downlink_rng = lossy.then(|| rng_for(seed, &[OMIT_LABEL, r as u64]));
+            }
+            RouterMsg::Frame(bytes) => match decode_frame(&bytes) {
+                Ok((Frame::Broadcast { round: r, server, model }, _)) if r as usize == round => {
+                    queued.push((server as usize, model));
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    error.get_or_insert(e);
+                }
+            },
+            RouterMsg::Drain { client, reply } => {
+                let mut deliveries = Vec::with_capacity(queued.len());
+                let mut dropped = 0u64;
+                let mut duplicated = 0u64;
+                let mut deadline_missed = 0u64;
+                for (server, diss) in &queued {
+                    // Coverage is validated at broadcast; skip, not panic.
+                    let Ok(m) = diss.for_client(client) else {
+                        debug_assert!(false, "queued dissemination misses client {client}");
+                        continue;
+                    };
+                    if let Some(rng) = &mut downlink_rng {
+                        if omission > 0.0 && rng.gen_bool(omission) {
+                            dropped += 1;
+                            continue;
+                        }
+                        let arrival = model.link_delay_ms(
+                            seed,
+                            round,
+                            downlink_id(*server, client),
+                            (m.as_slice().len() * 4) as u64,
+                        );
+                        if model.misses_deadline(arrival) {
+                            dropped += 1;
+                            deadline_missed += 1;
+                            continue;
+                        }
+                        deliveries.push(Delivery {
+                            server: *server,
+                            model: m.clone(),
+                            outcome: DeliveryOutcome::Delivered,
+                        });
+                        if duplicate > 0.0 && rng.gen_bool(duplicate) {
+                            duplicated += 1;
+                            deliveries.push(Delivery {
+                                server: *server,
+                                model: m.clone(),
+                                outcome: DeliveryOutcome::Duplicated,
+                            });
+                        }
+                    } else {
+                        let arrival = model.link_delay_ms(
+                            seed,
+                            round,
+                            downlink_id(*server, client),
+                            (m.as_slice().len() * 4) as u64,
+                        );
+                        if model.misses_deadline(arrival) {
+                            dropped += 1;
+                            deadline_missed += 1;
+                            continue;
+                        }
+                        deliveries.push(Delivery {
+                            server: *server,
+                            model: m.clone(),
+                            outcome: DeliveryOutcome::Delivered,
+                        });
+                    }
+                }
+                let _ = reply.send(DrainReply {
+                    deliveries,
+                    dropped,
+                    duplicated,
+                    deadline_missed,
+                    error: error.take(),
+                });
+            }
+            RouterMsg::Shutdown => break,
+        }
+    }
+}
+
+struct PendingUpload {
+    client: usize,
+    arrival_ms: u64,
+    model: Tensor,
+}
+
+/// The concurrent in-process transport: per-server uplink actors and a
+/// downlink router exchanging versioned wire frames over bounded channels,
+/// under a seed-deterministic [`NetModel`].
+pub struct NetTransport {
+    seed: u64,
+    num_clients: usize,
+    num_servers: usize,
+    model: NetModel,
+    coalesce: usize,
+    fault_plan: FaultPlan,
+    upload_drop_rate: f64,
+    round: usize,
+    model_len: usize,
+    recipients: usize,
+    pending_recipients: Option<usize>,
+    round_open: bool,
+    drop_rng: Option<StdRng>,
+    uplinks: Vec<SyncSender<ServerMsg>>,
+    router: SyncSender<RouterMsg>,
+    handles: Vec<JoinHandle<()>>,
+    /// Per-server coalescing buffers, flushed at the batch bound or on
+    /// `take_inbox`.
+    pending: Vec<Vec<PendingUpload>>,
+    /// Straggler/lag outboxes, oldest first (same FIFO as LocalTransport).
+    outboxes: Vec<VecDeque<Tensor>>,
+    comm: CommStats,
+    stats: NetStats,
+    wire_error: Option<WireError>,
+}
+
+impl std::fmt::Debug for NetTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetTransport")
+            .field("round", &self.round)
+            .field("clients", &self.num_clients)
+            .field("servers", &self.num_servers)
+            .field("ideal", &self.model.is_ideal())
+            .finish()
+    }
+}
+
+impl NetTransport {
+    /// Creates a transport for a `num_clients` × `num_servers` federation
+    /// under `model`, spawning one uplink actor per server plus the
+    /// downlink router, with default coalescing and channel bounds.
+    pub fn new(seed: u64, num_clients: usize, num_servers: usize, model: NetModel) -> Self {
+        Self::with_options(
+            seed,
+            num_clients,
+            num_servers,
+            model,
+            DEFAULT_COALESCE,
+            DEFAULT_CHANNEL_BOUND,
+        )
+    }
+
+    /// [`NetTransport::new`] with explicit tuning: `coalesce` uploads per
+    /// frame (≥ 1; 1 disables batching) and `channel_bound` frames in
+    /// flight per actor before senders block (backpressure).
+    pub fn with_options(
+        seed: u64,
+        num_clients: usize,
+        num_servers: usize,
+        model: NetModel,
+        coalesce: usize,
+        channel_bound: usize,
+    ) -> Self {
+        let bound = channel_bound.max(1);
+        let mut uplinks = Vec::with_capacity(num_servers);
+        let mut handles = Vec::with_capacity(num_servers + 1);
+        for _ in 0..num_servers {
+            let (tx, rx) = sync_channel(bound);
+            uplinks.push(tx);
+            handles.push(std::thread::spawn(move || server_actor(rx)));
+        }
+        let (router, router_rx) = sync_channel(bound);
+        handles.push(std::thread::spawn(move || router_actor(router_rx, seed, model)));
+        NetTransport {
+            seed,
+            num_clients,
+            num_servers,
+            model,
+            coalesce: coalesce.max(1),
+            fault_plan: FaultPlan::none(),
+            upload_drop_rate: 0.0,
+            round: 0,
+            model_len: 0,
+            recipients: num_clients,
+            pending_recipients: None,
+            round_open: false,
+            drop_rng: None,
+            uplinks,
+            router,
+            handles,
+            pending: (0..num_servers).map(|_| Vec::new()).collect(),
+            outboxes: vec![VecDeque::new(); num_servers],
+            comm: CommStats::new(),
+            stats: NetStats::default(),
+            wire_error: None,
+        }
+    }
+
+    /// The active network model.
+    pub fn model(&self) -> &NetModel {
+        &self.model
+    }
+
+    /// Cumulative frame-level traffic counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Takes the first wire decode error surfaced by any actor since the
+    /// last call, if one occurred. A healthy run never produces one.
+    pub fn take_wire_error(&mut self) -> Option<WireError> {
+        self.wire_error.take()
+    }
+
+    fn send_frame_to_server(&mut self, server: usize, frame: &Frame) {
+        let bytes = encode_frame(frame);
+        self.stats.frames_sent += 1;
+        self.stats.frame_bytes += bytes.len() as u64;
+        // A send can only fail if the actor died, which only happens at
+        // shutdown; losing the frame then is fine.
+        let _ = self.uplinks[server].send(ServerMsg::Frame(bytes));
+    }
+
+    fn flush_uplink(&mut self, server: usize) {
+        if self.pending[server].is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending[server]);
+        let round = self.round as u32;
+        let frame = if pending.len() == 1 {
+            let u = pending.into_iter().next().expect("len checked");
+            Frame::Upload {
+                round,
+                client: u.client as u32,
+                server: server as u32,
+                arrival_ms: u.arrival_ms,
+                model: u.model,
+            }
+        } else {
+            self.stats.coalesced_batches += 1;
+            Frame::UploadBatch {
+                round,
+                server: server as u32,
+                uploads: pending
+                    .into_iter()
+                    .map(|u| BatchedUpload {
+                        client: u.client as u32,
+                        arrival_ms: u.arrival_ms,
+                        model: u.model,
+                    })
+                    .collect(),
+            }
+        };
+        self.send_frame_to_server(server, &frame);
+    }
+
+    /// The accounting + loss draws of one upload attempt, in the exact
+    /// order of [`crate::LocalTransport::route_upload`], plus the network
+    /// model's delay/deadline arithmetic. Returns the realized fate and
+    /// the modelled arrival time.
+    fn route_net_upload(&mut self, client: usize, server: usize) -> (DeliveryOutcome, u64) {
+        self.comm.record_uploads(1, self.model_len);
+        let channel_loss = match &mut self.drop_rng {
+            Some(rng) => rng.gen_bool(self.upload_drop_rate),
+            None => false,
+        };
+        if channel_loss || self.fault_plan.is_crashed(server, self.round) {
+            self.comm.record_dropped_upload();
+            return (DeliveryOutcome::Dropped, 0);
+        }
+        let arrival = self.model.link_delay_ms(
+            self.seed,
+            self.round,
+            uplink_id(client, server),
+            (self.model_len * 4) as u64,
+        );
+        if self.model.misses_deadline(arrival) {
+            // The payload is in flight but too late for this round's
+            // aggregation: lost to the round, and a recorded miss.
+            self.comm.record_dropped_upload();
+            self.comm.record_deadline_miss();
+            return (DeliveryOutcome::Delayed, arrival);
+        }
+        (DeliveryOutcome::Delivered, arrival)
+    }
+
+    fn send_net_upload(&mut self, upload: Upload) -> (DeliveryOutcome, u64) {
+        let (outcome, arrival) = self.route_net_upload(upload.client, upload.server);
+        if outcome == DeliveryOutcome::Delivered {
+            self.pending[upload.server].push(PendingUpload {
+                client: upload.client,
+                arrival_ms: arrival,
+                model: upload.model,
+            });
+            if self.pending[upload.server].len() >= self.coalesce {
+                self.flush_uplink(upload.server);
+            }
+        }
+        (outcome, arrival)
+    }
+}
+
+impl Transport for NetTransport {
+    fn name(&self) -> &'static str {
+        "net"
+    }
+
+    fn begin_round(&mut self, round: usize, model_len: usize) {
+        self.round = round;
+        self.model_len = model_len;
+        self.comm = CommStats::new();
+        self.round_open = true;
+        self.recipients = match self.pending_recipients.take() {
+            Some(n) => n.min(self.num_clients),
+            None => self.num_clients,
+        };
+        for s in 0..self.num_servers {
+            self.pending[s].clear();
+            let _ = self.uplinks[s].send(ServerMsg::Begin { round });
+        }
+        let _ = self.router.send(RouterMsg::Begin {
+            round,
+            omission: self.fault_plan.downlink_omission,
+            duplicate: self.fault_plan.duplicate_rate,
+            lossy: self.fault_plan.lossy_downlink(),
+        });
+        self.drop_rng =
+            (self.upload_drop_rate > 0.0).then(|| rng_for(self.seed, &[DROP_LABEL, round as u64]));
+    }
+
+    fn send_upload(&mut self, upload: Upload) -> DeliveryOutcome {
+        self.send_net_upload(upload).0
+    }
+
+    fn send_upload_tracked(&mut self, upload: Upload) -> UploadReport {
+        let server = upload.server;
+        let (outcome, arrival) = self.send_net_upload(upload);
+        let mut report = UploadReport::direct(outcome, server);
+        report.elapsed_ms = arrival;
+        report.deadline_missed = outcome == DeliveryOutcome::Delayed;
+        report
+    }
+
+    // `supports_streaming` stays `false`: a networked transport must move
+    // the payload itself, so the engine uses buffered per-server inboxes
+    // (and the PR-3 recovery decorator composes unchanged on top).
+
+    fn set_round_recipients(&mut self, recipients: usize) {
+        if self.round_open {
+            self.recipients = recipients.min(self.num_clients);
+        } else {
+            self.pending_recipients = Some(recipients);
+        }
+    }
+
+    fn server_online(&self, server: usize) -> bool {
+        !self.fault_plan.is_crashed(server, self.round)
+    }
+
+    fn release_aggregate(
+        &mut self,
+        server: usize,
+        aggregate: Tensor,
+    ) -> (DeliveryOutcome, Option<Tensor>) {
+        // Straggling is the *sum* of injected delay (FaultPlan) and
+        // emergent processing lag (NetModel); under the ideal model the
+        // arithmetic collapses to LocalTransport's exactly.
+        let injected = self.fault_plan.straggler_delay(server).unwrap_or(0);
+        let emergent = self.model.server_lag_rounds(self.seed, self.round, server);
+        let delay = injected + emergent;
+        if delay == 0 {
+            return (DeliveryOutcome::Delivered, Some(aggregate));
+        }
+        let outbox = &mut self.outboxes[server];
+        outbox.push_back(aggregate);
+        if outbox.len() > delay {
+            (DeliveryOutcome::Delayed, outbox.pop_front())
+        } else {
+            (DeliveryOutcome::Delayed, None)
+        }
+    }
+
+    fn broadcast(&mut self, message: Broadcast) -> Result<()> {
+        message.model.check_coverage(self.num_clients)?;
+        self.comm.record_downloads(self.recipients as u64, self.model_len);
+        let frame = Frame::Broadcast {
+            round: self.round as u32,
+            server: message.server as u32,
+            model: message.model,
+        };
+        let bytes = encode_frame(&frame);
+        self.stats.frames_sent += 1;
+        self.stats.frame_bytes += bytes.len() as u64;
+        let _ = self.router.send(RouterMsg::Frame(bytes));
+        Ok(())
+    }
+
+    fn take_inbox(&mut self, server: usize) -> Vec<Tensor> {
+        self.flush_uplink(server);
+        let (tx, rx) = channel();
+        if self.uplinks[server].send(ServerMsg::TakeInbox { reply: tx }).is_err() {
+            return Vec::new();
+        }
+        match rx.recv() {
+            Ok(reply) => {
+                if let Some(e) = reply.error {
+                    self.wire_error.get_or_insert(e);
+                }
+                reply.models
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn drain_deliveries(&mut self, client: usize) -> Vec<Delivery> {
+        let (tx, rx) = channel();
+        if self.router.send(RouterMsg::Drain { client, reply: tx }).is_err() {
+            return Vec::new();
+        }
+        let Ok(reply) = rx.recv() else {
+            return Vec::new();
+        };
+        if let Some(e) = reply.error {
+            self.wire_error.get_or_insert(e);
+        }
+        for _ in 0..reply.dropped {
+            self.comm.record_dropped_download();
+        }
+        for _ in 0..reply.duplicated {
+            self.comm.record_duplicated_download(self.model_len);
+        }
+        for _ in 0..reply.deadline_missed {
+            self.comm.record_deadline_miss();
+        }
+        reply.deliveries
+    }
+
+    fn take_comm(&mut self) -> CommStats {
+        self.round_open = false;
+        std::mem::take(&mut self.comm)
+    }
+
+    fn install_fault_plan(&mut self, plan: FaultPlan) -> Result<()> {
+        plan.validate(self.num_servers)?;
+        self.fault_plan = plan;
+        Ok(())
+    }
+
+    fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    fn set_upload_drop_rate(&mut self, rate: f64) -> Result<()> {
+        if !(rate.is_finite() && (0.0..1.0).contains(&rate)) {
+            return Err(SimError::BadConfig(format!("drop rate must be in [0, 1), got {rate}")));
+        }
+        self.upload_drop_rate = rate;
+        Ok(())
+    }
+
+    fn state_snapshot(&self) -> Vec<Vec<Tensor>> {
+        self.outboxes.iter().map(|q| q.iter().cloned().collect()).collect()
+    }
+
+    fn restore_state(&mut self, outboxes: Vec<Vec<Tensor>>) {
+        self.outboxes = outboxes.into_iter().map(VecDeque::from).collect();
+    }
+}
+
+impl Drop for NetTransport {
+    fn drop(&mut self) {
+        for tx in &self.uplinks {
+            let _ = tx.send(ServerMsg::Shutdown);
+        }
+        let _ = self.router.send(RouterMsg::Shutdown);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServerFault;
+
+    fn up(client: usize, server: usize, v: f32) -> Upload {
+        Upload { client, server, model: Tensor::from_slice(&[v, v]) }
+    }
+
+    #[test]
+    fn ideal_round_delivers_in_send_order() {
+        let mut t = NetTransport::new(1, 4, 3, NetModel::ideal());
+        t.begin_round(0, 2);
+        assert_eq!(t.send_upload(up(0, 1, 1.0)), DeliveryOutcome::Delivered);
+        assert_eq!(t.send_upload(up(2, 1, 2.0)), DeliveryOutcome::Delivered);
+        let inbox = t.take_inbox(1);
+        assert_eq!(inbox.len(), 2);
+        assert_eq!(inbox[0].as_slice(), &[1.0, 1.0]);
+        assert_eq!(inbox[1].as_slice(), &[2.0, 2.0]);
+        assert!(t.take_inbox(1).is_empty());
+        let comm = t.take_comm();
+        assert_eq!(comm.upload_messages, 2);
+        assert_eq!(comm.upload_bytes, 2 * 4 * 2);
+        assert!(t.take_wire_error().is_none());
+    }
+
+    #[test]
+    fn coalescing_batches_frames_without_changing_delivery() {
+        let mut batched = NetTransport::with_options(1, 8, 2, NetModel::ideal(), 4, 16);
+        let mut single = NetTransport::with_options(1, 8, 2, NetModel::ideal(), 1, 16);
+        for t in [&mut batched, &mut single] {
+            t.begin_round(0, 2);
+            for k in 0..8 {
+                t.send_upload(up(k, 0, k as f32));
+            }
+        }
+        let b = batched.take_inbox(0);
+        let s = single.take_inbox(0);
+        assert_eq!(b, s, "coalescing must not change inbox content or order");
+        assert!(batched.net_stats().coalesced_batches > 0);
+        assert!(batched.net_stats().frames_sent < single.net_stats().frames_sent);
+        assert!(batched.net_stats().frame_bytes < single.net_stats().frame_bytes);
+    }
+
+    #[test]
+    fn crashed_recipient_drops_and_accounts_like_local() {
+        let mut t = NetTransport::new(1, 4, 3, NetModel::ideal());
+        t.install_fault_plan(FaultPlan {
+            server_faults: vec![ServerFault::None, ServerFault::Crash { round: 1 }],
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        t.begin_round(1, 2);
+        assert_eq!(t.send_upload(up(0, 1, 1.0)), DeliveryOutcome::Dropped);
+        assert!(!t.server_online(1));
+        assert!(t.take_inbox(1).is_empty());
+        let comm = t.take_comm();
+        assert_eq!(comm.upload_messages, 1);
+        assert_eq!(comm.dropped_uploads, 1);
+    }
+
+    #[test]
+    fn tight_deadline_produces_delayed_uploads_without_a_fault_plan() {
+        // 2-parameter model = 8 bytes; at 1 byte/ms that is 8 ms transfer
+        // against a 5 ms deadline: every upload misses, produced purely by
+        // the network model.
+        let model = NetModel { bytes_per_ms: 1, deadline_ms: 5, ..NetModel::ideal() };
+        let mut t = NetTransport::new(1, 4, 2, model);
+        t.begin_round(0, 2);
+        let report = t.send_upload_tracked(up(0, 0, 1.0));
+        assert_eq!(report.outcome, DeliveryOutcome::Delayed);
+        assert!(report.deadline_missed);
+        assert!(report.elapsed_ms > 5);
+        assert!(t.take_inbox(0).is_empty());
+        let comm = t.take_comm();
+        assert_eq!(comm.deadline_misses, 1);
+        assert_eq!(comm.dropped_uploads, 1);
+    }
+
+    #[test]
+    fn server_lag_produces_delayed_aggregates_without_a_fault_plan() {
+        let model = NetModel { server_lag_ms: 500, round_ms: 100, ..NetModel::ideal() };
+        let mut t = NetTransport::new(3, 4, 1, model);
+        let mut delayed = 0;
+        for round in 0..12 {
+            t.begin_round(round, 1);
+            let (o, _) = t.release_aggregate(0, Tensor::from_slice(&[round as f32]));
+            if o == DeliveryOutcome::Delayed {
+                delayed += 1;
+            }
+        }
+        assert!(delayed > 0, "a 5-round mean lag must delay some aggregate in 12 rounds");
+    }
+
+    #[test]
+    fn broadcast_and_drain_roundtrip_with_coverage_check() {
+        let mut t = NetTransport::new(1, 4, 2, NetModel::ideal());
+        t.begin_round(0, 2);
+        let short = Broadcast {
+            server: 0,
+            model: Dissemination::PerClient(vec![Tensor::from_slice(&[1.0, 1.0]); 2]),
+        };
+        assert!(t.broadcast(short).is_err());
+        t.broadcast(Broadcast {
+            server: 1,
+            model: Dissemination::Broadcast(Tensor::from_slice(&[2.0, 2.0])),
+        })
+        .unwrap();
+        for k in 0..4 {
+            let d = t.drain_deliveries(k);
+            assert_eq!(d.len(), 1);
+            assert_eq!(d[0].server, 1);
+            assert_eq!(d[0].model.as_slice(), &[2.0, 2.0]);
+        }
+        let comm = t.take_comm();
+        assert_eq!(comm.download_messages, 4);
+    }
+
+    #[test]
+    fn outboxes_roundtrip_through_snapshots() {
+        let mut t = NetTransport::new(1, 4, 2, NetModel::ideal());
+        t.install_fault_plan(FaultPlan {
+            server_faults: vec![ServerFault::Straggler { delay: 2 }, ServerFault::None],
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        t.begin_round(0, 1);
+        t.release_aggregate(0, Tensor::from_slice(&[7.0]));
+        let state = t.state_snapshot();
+        assert_eq!(state[0].len(), 1);
+        let mut r = NetTransport::new(1, 4, 2, NetModel::ideal());
+        r.restore_state(state.clone());
+        assert_eq!(r.state_snapshot(), state);
+    }
+}

@@ -1,0 +1,511 @@
+//! The wire protocol: length-prefixed, versioned serialized frames.
+//!
+//! Every message a [`crate::net::NetTransport`] actor or the loopback-TCP
+//! pair exchanges is one *frame*:
+//!
+//! ```text
+//! [u32 len LE][u16 version LE][u8 kind][payload...]
+//! ```
+//!
+//! `len` counts everything after the prefix. The layout is versioned like
+//! the engine's [`crate::Snapshot`]: [`FRAME_VERSION`] is bumped on any
+//! incompatible change, and a frame written by a different version decodes
+//! to the typed [`WireError::Version`] instead of being silently
+//! reinterpreted. All integers are little-endian; tensors are encoded as
+//! `u32` length plus raw `f32` little-endian words, so a decode round-trip
+//! is bit-exact.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use fedms_tensor::Tensor;
+
+use crate::transport::Dissemination;
+
+/// Version of the frame layout this build reads and writes.
+pub const FRAME_VERSION: u16 = 1;
+
+/// Upper bound on a single frame body; larger prefixes decode to
+/// [`WireError::Oversized`] instead of attempting a huge allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 28;
+
+const KIND_HELLO: u8 = 1;
+const KIND_UPLOAD: u8 = 2;
+const KIND_UPLOAD_BATCH: u8 = 3;
+const KIND_BROADCAST: u8 = 4;
+const KIND_AGGREGATE: u8 = 5;
+const KIND_BYE: u8 = 6;
+
+const DISS_BROADCAST: u8 = 0;
+const DISS_PER_CLIENT: u8 = 1;
+
+/// A typed frame-decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before its declared payload did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        got: usize,
+    },
+    /// The frame was written by an incompatible layout version.
+    Version {
+        /// Version recorded in the frame.
+        found: u16,
+        /// Version this build reads ([`FRAME_VERSION`]).
+        expected: u16,
+    },
+    /// The frame kind byte names no known message type.
+    UnknownKind(u8),
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// Declared frame length.
+        len: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// The payload decoded cleanly but left unconsumed bytes.
+    TrailingBytes {
+        /// Number of leftover bytes.
+        extra: usize,
+    },
+    /// An I/O failure while reading or writing a frame (TCP mode). The
+    /// message is carried as text so the error stays `Clone + PartialEq`.
+    Io(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "frame truncated: needed {needed} bytes, got {got}")
+            }
+            WireError::Version { found, expected } => write!(
+                f,
+                "frame has layout version {found} but this build reads version {expected}"
+            ),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "frame payload left {extra} trailing bytes")
+            }
+            WireError::Io(msg) => write!(f, "frame i/o failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.to_string())
+    }
+}
+
+/// One upload inside a coalesced [`Frame::UploadBatch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedUpload {
+    /// Sender client id.
+    pub client: u32,
+    /// Modelled arrival time (ms since round start) under the sender's
+    /// latency draw.
+    pub arrival_ms: u64,
+    /// The uploaded model.
+    pub model: Tensor,
+}
+
+/// One protocol message on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A client introducing itself (TCP mode handshake).
+    Hello {
+        /// Sender client id.
+        client: u32,
+    },
+    /// One client→server model upload.
+    Upload {
+        /// Round the upload belongs to.
+        round: u32,
+        /// Sender client id.
+        client: u32,
+        /// Destination server id.
+        server: u32,
+        /// Modelled arrival time (ms since round start).
+        arrival_ms: u64,
+        /// The uploaded model.
+        model: Tensor,
+    },
+    /// Several uploads to the same server coalesced into one frame.
+    UploadBatch {
+        /// Round the uploads belong to.
+        round: u32,
+        /// Destination server id.
+        server: u32,
+        /// The coalesced uploads, in send order.
+        uploads: Vec<BatchedUpload>,
+    },
+    /// One server→clients dissemination.
+    Broadcast {
+        /// Round the dissemination belongs to.
+        round: u32,
+        /// Sender server id.
+        server: u32,
+        /// The disseminated model(s).
+        model: Dissemination,
+    },
+    /// A server's aggregate, sent back to a client (TCP mode reply).
+    Aggregate {
+        /// Round the aggregate belongs to.
+        round: u32,
+        /// Number of uploads folded into the aggregate so far.
+        contributors: u32,
+        /// The aggregate model.
+        model: Tensor,
+    },
+    /// Orderly end of a connection (TCP mode).
+    Bye,
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let got = self.buf.len() - self.pos;
+        if got < n {
+            return Err(WireError::Truncated { needed: n, got });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn tensor(&mut self) -> Result<Tensor, WireError> {
+        let len = self.u32()? as usize;
+        if len.saturating_mul(4) > MAX_FRAME_BYTES {
+            return Err(WireError::Oversized { len: len * 4, max: MAX_FRAME_BYTES });
+        }
+        let raw = self.take(len * 4)?;
+        let mut data = Vec::with_capacity(len);
+        for chunk in raw.chunks_exact(4) {
+            data.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+        Ok(Tensor::from_slice(&data))
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    let data = t.as_slice();
+    put_u32(out, data.len() as u32);
+    for &v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Encodes `frame` as one length-prefixed wire frame (prefix included).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut body = Vec::new();
+    put_u16(&mut body, FRAME_VERSION);
+    match frame {
+        Frame::Hello { client } => {
+            body.push(KIND_HELLO);
+            put_u32(&mut body, *client);
+        }
+        Frame::Upload { round, client, server, arrival_ms, model } => {
+            body.push(KIND_UPLOAD);
+            put_u32(&mut body, *round);
+            put_u32(&mut body, *client);
+            put_u32(&mut body, *server);
+            put_u64(&mut body, *arrival_ms);
+            put_tensor(&mut body, model);
+        }
+        Frame::UploadBatch { round, server, uploads } => {
+            body.push(KIND_UPLOAD_BATCH);
+            put_u32(&mut body, *round);
+            put_u32(&mut body, *server);
+            put_u32(&mut body, uploads.len() as u32);
+            for u in uploads {
+                put_u32(&mut body, u.client);
+                put_u64(&mut body, u.arrival_ms);
+                put_tensor(&mut body, &u.model);
+            }
+        }
+        Frame::Broadcast { round, server, model } => {
+            body.push(KIND_BROADCAST);
+            put_u32(&mut body, *round);
+            put_u32(&mut body, *server);
+            match model {
+                Dissemination::Broadcast(m) => {
+                    body.push(DISS_BROADCAST);
+                    put_tensor(&mut body, m);
+                }
+                Dissemination::PerClient(ms) => {
+                    body.push(DISS_PER_CLIENT);
+                    put_u32(&mut body, ms.len() as u32);
+                    for m in ms {
+                        put_tensor(&mut body, m);
+                    }
+                }
+            }
+        }
+        Frame::Aggregate { round, contributors, model } => {
+            body.push(KIND_AGGREGATE);
+            put_u32(&mut body, *round);
+            put_u32(&mut body, *contributors);
+            put_tensor(&mut body, model);
+        }
+        Frame::Bye => body.push(KIND_BYE),
+    }
+    let mut out = Vec::with_capacity(4 + body.len());
+    put_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(&body);
+    out
+}
+
+fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
+    let mut c = Cursor { buf: body, pos: 0 };
+    let version = c.u16()?;
+    if version != FRAME_VERSION {
+        return Err(WireError::Version { found: version, expected: FRAME_VERSION });
+    }
+    let kind = c.u8()?;
+    let frame = match kind {
+        KIND_HELLO => Frame::Hello { client: c.u32()? },
+        KIND_UPLOAD => Frame::Upload {
+            round: c.u32()?,
+            client: c.u32()?,
+            server: c.u32()?,
+            arrival_ms: c.u64()?,
+            model: c.tensor()?,
+        },
+        KIND_UPLOAD_BATCH => {
+            let round = c.u32()?;
+            let server = c.u32()?;
+            let count = c.u32()? as usize;
+            let mut uploads = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                uploads.push(BatchedUpload {
+                    client: c.u32()?,
+                    arrival_ms: c.u64()?,
+                    model: c.tensor()?,
+                });
+            }
+            Frame::UploadBatch { round, server, uploads }
+        }
+        KIND_BROADCAST => {
+            let round = c.u32()?;
+            let server = c.u32()?;
+            let model = match c.u8()? {
+                DISS_BROADCAST => Dissemination::Broadcast(c.tensor()?),
+                DISS_PER_CLIENT => {
+                    let count = c.u32()? as usize;
+                    let mut ms = Vec::with_capacity(count.min(1 << 16));
+                    for _ in 0..count {
+                        ms.push(c.tensor()?);
+                    }
+                    Dissemination::PerClient(ms)
+                }
+                tag => return Err(WireError::UnknownKind(tag)),
+            };
+            Frame::Broadcast { round, server, model }
+        }
+        KIND_AGGREGATE => {
+            Frame::Aggregate { round: c.u32()?, contributors: c.u32()?, model: c.tensor()? }
+        }
+        KIND_BYE => Frame::Bye,
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    let extra = body.len() - c.pos;
+    if extra > 0 {
+        return Err(WireError::TrailingBytes { extra });
+    }
+    Ok(frame)
+}
+
+/// Decodes one length-prefixed frame from `bytes`, returning the frame and
+/// the total number of bytes consumed (prefix included).
+///
+/// # Errors
+///
+/// Returns the typed [`WireError`] describing the first decode failure.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), WireError> {
+    let mut c = Cursor { buf: bytes, pos: 0 };
+    let len = c.u32()? as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized { len, max: MAX_FRAME_BYTES });
+    }
+    let body = c.take(len)?;
+    Ok((decode_body(body)?, 4 + len))
+}
+
+/// Writes one frame to `w` (blocking, TCP mode).
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] when the write fails.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), WireError> {
+    w.write_all(&encode_frame(frame))?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame from `r` (blocking, TCP mode).
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] on a short or failed read, or the typed
+/// decode error for a malformed frame.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized { len, max: MAX_FRAME_BYTES });
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    decode_body(&body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = encode_frame(&frame);
+        let (decoded, consumed) = decode_frame(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn frames_roundtrip_bit_exactly() {
+        roundtrip(Frame::Hello { client: 7 });
+        roundtrip(Frame::Upload {
+            round: 3,
+            client: 1,
+            server: 2,
+            arrival_ms: 450,
+            model: Tensor::from_slice(&[1.5, -2.25, f32::MIN_POSITIVE, 0.1 + 0.2]),
+        });
+        roundtrip(Frame::UploadBatch {
+            round: 9,
+            server: 0,
+            uploads: vec![
+                BatchedUpload { client: 0, arrival_ms: 1, model: Tensor::from_slice(&[0.5]) },
+                BatchedUpload { client: 3, arrival_ms: 2, model: Tensor::from_slice(&[-0.5]) },
+            ],
+        });
+        roundtrip(Frame::Broadcast {
+            round: 1,
+            server: 4,
+            model: Dissemination::Broadcast(Tensor::from_slice(&[9.0, 8.0])),
+        });
+        roundtrip(Frame::Broadcast {
+            round: 1,
+            server: 4,
+            model: Dissemination::PerClient(vec![Tensor::from_slice(&[1.0]); 3]),
+        });
+        roundtrip(Frame::Aggregate {
+            round: 2,
+            contributors: 5,
+            model: Tensor::from_slice(&[0.25]),
+        });
+        roundtrip(Frame::Bye);
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut bytes = encode_frame(&Frame::Bye);
+        // The version field sits right after the 4-byte length prefix.
+        bytes[4] = 99;
+        assert_eq!(
+            decode_frame(&bytes).unwrap_err(),
+            WireError::Version { found: 99, expected: FRAME_VERSION }
+        );
+    }
+
+    #[test]
+    fn truncation_unknown_kind_and_trailing_are_typed() {
+        let bytes = encode_frame(&Frame::Hello { client: 1 });
+        assert!(matches!(
+            decode_frame(&bytes[..bytes.len() - 2]).unwrap_err(),
+            WireError::Truncated { .. }
+        ));
+        let mut unknown = encode_frame(&Frame::Bye);
+        unknown[6] = 250;
+        assert_eq!(decode_frame(&unknown).unwrap_err(), WireError::UnknownKind(250));
+        let mut trailing = encode_frame(&Frame::Bye);
+        trailing.push(0);
+        trailing[0] += 1; // declare the junk byte part of the body
+        assert_eq!(decode_frame(&trailing).unwrap_err(), WireError::TrailingBytes { extra: 1 });
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(decode_frame(&bytes).unwrap_err(), WireError::Oversized { .. }));
+    }
+
+    #[test]
+    fn stream_read_write_roundtrip() {
+        let frames = vec![
+            Frame::Hello { client: 2 },
+            Frame::Upload {
+                round: 0,
+                client: 2,
+                server: 1,
+                arrival_ms: 0,
+                model: Tensor::from_slice(&[1.0, 2.0, 3.0]),
+            },
+            Frame::Bye,
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = &buf[..];
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).unwrap(), f);
+        }
+        assert!(matches!(read_frame(&mut r).unwrap_err(), WireError::Io(_)));
+    }
+}

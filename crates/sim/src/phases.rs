@@ -169,16 +169,24 @@ pub(crate) fn upload(
         let Ok(pos) = ctx.active.binary_search(&k) else { continue };
         for &s in &assignment[ci] {
             let report = match accumulators.as_deref_mut() {
-                Some(accs) => {
-                    let outcome = ctx
-                        .transport
-                        .route_upload(k, s)
-                        .expect("streaming transport must implement route_upload");
-                    if outcome == DeliveryOutcome::Delivered {
-                        accs[s].push(&ctx.trained[pos])?;
+                Some(accs) => match ctx.transport.route_upload(k, s) {
+                    Some(outcome) => {
+                        if outcome == DeliveryOutcome::Delivered {
+                            accs[s].push(&ctx.trained[pos])?;
+                        }
+                        UploadReport::direct(outcome, s)
                     }
-                    UploadReport::direct(outcome, s)
-                }
+                    // A transport that advertises streaming but declines to
+                    // route this upload by reference: fall back to the
+                    // buffered path for it instead of panicking. The
+                    // aggregation phase folds such inbox entries into the
+                    // accumulator, so no delivered model is lost.
+                    None => ctx.transport.send_upload_tracked(Upload {
+                        client: k,
+                        server: s,
+                        model: ctx.trained[pos].clone(),
+                    }),
+                },
                 None => ctx.transport.send_upload_tracked(Upload {
                     client: k,
                     server: s,
@@ -253,9 +261,14 @@ pub(crate) fn aggregate(mut ctx: AggregateCtx<'_>) -> Result<(Vec<Option<Tensor>
         let streamed = accumulators.as_mut().map(|a| std::mem::take(&mut a[i]));
         let (received, agg) = match streamed {
             // `finish` is bit-identical to `Mean::aggregate` over the
-            // inbox the buffered path would have built.
-            Some(acc) if acc.count() > 0 => {
-                debug_assert!(inbox.is_empty(), "streaming rounds must not fill inboxes");
+            // inbox the buffered path would have built. A transport that
+            // declined to route some uploads by reference leaves them in
+            // the buffered inbox; fold them into the accumulator so no
+            // delivered model is lost.
+            Some(mut acc) if acc.count() > 0 || !inbox.is_empty() => {
+                for model in &inbox {
+                    acc.push(model)?;
+                }
                 (acc.count(), server.install_aggregate(acc.finish().map_err(SimError::from)?))
             }
             // Empty accumulator or buffered path: the server falls back to

@@ -272,6 +272,7 @@ pub struct ResilientTransport<T: Transport> {
     inner: T,
     policy: RecoveryPolicy,
     seed: u64,
+    num_clients: usize,
     num_servers: usize,
     round: usize,
     model_len: usize,
@@ -297,18 +298,26 @@ impl<T: Transport> std::fmt::Debug for ResilientTransport<T> {
 
 impl<T: Transport> ResilientTransport<T> {
     /// Wraps `inner` with `policy`. `seed` must be the run seed (all
-    /// retry randomness derives from it) and `num_servers` the federation
-    /// width (failover candidates).
+    /// retry randomness derives from it), `num_clients` the federation's
+    /// client count (mirrored disseminations must cover it) and
+    /// `num_servers` its width (failover candidates).
     ///
     /// # Errors
     ///
     /// Propagates [`RecoveryPolicy::validate`].
-    pub fn new(inner: T, policy: RecoveryPolicy, seed: u64, num_servers: usize) -> Result<Self> {
+    pub fn new(
+        inner: T,
+        policy: RecoveryPolicy,
+        seed: u64,
+        num_clients: usize,
+        num_servers: usize,
+    ) -> Result<Self> {
         policy.validate()?;
         Ok(ResilientTransport {
             inner,
             policy,
             seed,
+            num_clients,
             num_servers,
             round: 0,
             model_len: 0,
@@ -451,7 +460,14 @@ impl<T: Transport> ResilientTransport<T> {
                     elapsed += self.policy.attempt_timeout_ms;
                     continue;
                 }
-                let model = self.queued[qi].1.for_client(client).clone();
+                // Coverage was validated when the broadcast was mirrored,
+                // so a miss here means an upstream bug; skip the repair
+                // rather than panic.
+                let Ok(model) = self.queued[qi].1.for_client(client) else {
+                    debug_assert!(false, "mirrored dissemination misses client {client}");
+                    break;
+                };
+                let model = model.clone();
                 deliveries.push(Delivery { server, model, outcome: DeliveryOutcome::Delivered });
                 break;
             }
@@ -502,10 +518,19 @@ impl<T: Transport> Transport for ResilientTransport<T> {
     }
 
     fn broadcast(&mut self, message: Broadcast) -> Result<()> {
-        if !self.policy.is_disabled() {
-            self.queued.push((message.server, message.model.clone()));
+        // Validate coverage *before* mirroring: an equivocating
+        // dissemination shorter than the federation must be rejected with
+        // a typed error, never queued where `repair_downlink` would later
+        // index past its end.
+        message.model.check_coverage(self.num_clients)?;
+        let mirror = (!self.policy.is_disabled()).then(|| (message.server, message.model.clone()));
+        // Mirror only after the inner transport accepted the broadcast, so
+        // a rejected message cannot be retransmitted on repair.
+        self.inner.broadcast(message)?;
+        if let Some(entry) = mirror {
+            self.queued.push(entry);
         }
-        self.inner.broadcast(message)
+        Ok(())
     }
 
     fn take_inbox(&mut self, server: usize) -> Vec<Tensor> {
@@ -574,7 +599,7 @@ mod tests {
         let mut inner = LocalTransport::new(seed, 4, 3);
         inner.install_fault_plan(plan).unwrap();
         inner.set_upload_drop_rate(drop_rate).unwrap();
-        let mut t = ResilientTransport::new(inner, policy, seed, 3).unwrap();
+        let mut t = ResilientTransport::new(inner, policy, seed, 4, 3).unwrap();
         t.begin_round(0, 2);
         t
     }
@@ -713,7 +738,9 @@ mod tests {
             inner.install_fault_plan(plan.clone()).unwrap();
             inner.set_upload_drop_rate(0.4).unwrap();
             let mut t: Box<dyn Transport> = if wrap {
-                Box::new(ResilientTransport::new(inner, RecoveryPolicy::disabled(), 9, 3).unwrap())
+                Box::new(
+                    ResilientTransport::new(inner, RecoveryPolicy::disabled(), 9, 4, 3).unwrap(),
+                )
             } else {
                 Box::new(inner)
             };
@@ -744,6 +771,28 @@ mod tests {
             (fates, drains, t.take_comm())
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn short_equivocation_is_rejected_not_queued() {
+        // Regression: a per-client dissemination shorter than the
+        // federation used to be mirrored unchecked, and `repair_downlink`
+        // later panicked indexing past its end. It must now be rejected
+        // with a typed error before anything is queued.
+        let plan = FaultPlan { downlink_omission: 0.9, ..FaultPlan::default() };
+        let policy = RecoveryPolicy { retry_budget: 10, ..RecoveryPolicy::standard() };
+        let mut t = resilient(5, policy, plan, 0.0);
+        let short = Broadcast {
+            server: 0,
+            // Covers 2 of the 4 clients.
+            model: Dissemination::PerClient(vec![Tensor::from_slice(&[1.0, 1.0]); 2]),
+        };
+        assert!(t.broadcast(short).is_err());
+        // Nothing was mirrored, so repairing the high-omission downlink of
+        // the uncovered client 3 has nothing to retransmit — and must not
+        // panic.
+        assert!(t.drain_deliveries(3).is_empty());
+        assert_eq!(t.take_comm().retried_downloads, 0);
     }
 
     #[test]

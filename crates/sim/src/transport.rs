@@ -28,6 +28,8 @@
 //! bit-identical to no plan at all, and every faulty run replays exactly
 //! from `(config, seed)`.
 
+use std::collections::VecDeque;
+
 use fedms_tensor::pool::BufferPool;
 use fedms_tensor::rng::rng_for;
 use fedms_tensor::Tensor;
@@ -38,10 +40,13 @@ use serde::{Deserialize, Serialize};
 use crate::recovery::UploadReport;
 use crate::{CommStats, FaultPlan, Result, SimError};
 
-/// RNG label for uplink channel loss ("DROP").
-const DROP_LABEL: u64 = 0x44_52_4F_50;
-/// RNG label for downlink omission/duplication ("OMIT").
-const OMIT_LABEL: u64 = 0x4F_4D_49_54;
+/// RNG label for uplink channel loss ("DROP"). Shared with
+/// [`crate::net::NetTransport`], which must replay the identical stream
+/// for Local≡Net equivalence.
+pub(crate) const DROP_LABEL: u64 = 0x44_52_4F_50;
+/// RNG label for downlink omission/duplication ("OMIT"); shared like
+/// [`DROP_LABEL`].
+pub(crate) const OMIT_LABEL: u64 = 0x4F_4D_49_54;
 
 /// What a server sends out in the dissemination stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,10 +59,19 @@ pub enum Dissemination {
 
 impl Dissemination {
     /// The model delivered to `client_id`.
-    pub fn for_client(&self, client_id: usize) -> &Tensor {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DisseminationCoverage`] for a per-client
+    /// dissemination that does not cover `client_id` (an equivocating
+    /// server's message shorter than the federation), instead of an
+    /// out-of-bounds panic.
+    pub fn for_client(&self, client_id: usize) -> Result<&Tensor> {
         match self {
-            Dissemination::Broadcast(m) => m,
-            Dissemination::PerClient(ms) => &ms[client_id],
+            Dissemination::Broadcast(m) => Ok(m),
+            Dissemination::PerClient(ms) => ms
+                .get(client_id)
+                .ok_or(SimError::DisseminationCoverage { client: client_id, covered: ms.len() }),
         }
     }
 
@@ -294,13 +308,20 @@ pub struct LocalTransport {
     /// accounting); the full federation unless the engine samples a
     /// smaller cohort.
     recipients: usize,
+    /// A cohort size declared *before* the round opened, applied by the
+    /// next [`Transport::begin_round`] instead of being silently reset.
+    pending_recipients: Option<usize>,
+    /// Whether a round is open (between `begin_round` and `take_comm`);
+    /// gates whether `set_round_recipients` applies now or at next round.
+    round_open: bool,
     drop_rng: Option<StdRng>,
     downlink_rng: Option<StdRng>,
     inboxes: Vec<Vec<Tensor>>,
     queued: Vec<Broadcast>,
     /// Aggregates awaiting delayed dissemination per straggler server,
-    /// oldest first. Persists across rounds (checkpointed state).
-    outboxes: Vec<Vec<Tensor>>,
+    /// oldest first (FIFO, popped front). Persists across rounds
+    /// (checkpointed state).
+    outboxes: Vec<VecDeque<Tensor>>,
     comm: CommStats,
 }
 
@@ -328,11 +349,13 @@ impl LocalTransport {
             round: 0,
             model_len: 0,
             recipients: num_clients,
+            pending_recipients: None,
+            round_open: false,
             drop_rng: None,
             downlink_rng: None,
             inboxes: vec![Vec::new(); num_servers],
             queued: Vec::new(),
-            outboxes: vec![Vec::new(); num_servers],
+            outboxes: vec![VecDeque::new(); num_servers],
             comm: CommStats::new(),
         }
     }
@@ -348,7 +371,12 @@ impl LocalTransport {
     ) -> Vec<Delivery> {
         let mut out = Vec::with_capacity(self.queued.len());
         for b in &self.queued {
-            let model = b.model.for_client(client);
+            // Coverage is validated when the broadcast is queued, so a miss
+            // here means an upstream bug; skip rather than panic.
+            let Ok(model) = b.model.for_client(client) else {
+                debug_assert!(false, "queued dissemination misses client {client}");
+                continue;
+            };
             if let Some(rng) = &mut self.downlink_rng {
                 if self.fault_plan.downlink_omission > 0.0
                     && rng.gen_bool(self.fault_plan.downlink_omission)
@@ -398,7 +426,13 @@ impl Transport for LocalTransport {
         }
         self.queued.clear();
         self.comm = CommStats::new();
-        self.recipients = self.num_clients;
+        self.round_open = true;
+        // A cohort declared before the round opened takes effect now
+        // instead of being silently reset to the full federation.
+        self.recipients = match self.pending_recipients.take() {
+            Some(n) => n.min(self.num_clients),
+            None => self.num_clients,
+        };
         // The loss streams are derived per round so any round is replayable
         // in isolation; they are only instantiated (and drawn from) when
         // the corresponding probability is non-zero, keeping the reliable
@@ -443,7 +477,13 @@ impl Transport for LocalTransport {
     }
 
     fn set_round_recipients(&mut self, recipients: usize) {
-        self.recipients = recipients.min(self.num_clients);
+        if self.round_open {
+            self.recipients = recipients.min(self.num_clients);
+        } else {
+            // Declared between rounds: defer to the next `begin_round` so
+            // its reset cannot silently overwrite the declaration.
+            self.pending_recipients = Some(recipients);
+        }
     }
 
     fn server_online(&self, server: usize) -> bool {
@@ -458,9 +498,9 @@ impl Transport for LocalTransport {
         match self.fault_plan.straggler_delay(server) {
             Some(delay) => {
                 let outbox = &mut self.outboxes[server];
-                outbox.push(aggregate);
+                outbox.push_back(aggregate);
                 if outbox.len() > delay {
-                    (DeliveryOutcome::Delayed, Some(outbox.remove(0)))
+                    (DeliveryOutcome::Delayed, outbox.pop_front())
                 } else {
                     (DeliveryOutcome::Delayed, None)
                 }
@@ -489,6 +529,7 @@ impl Transport for LocalTransport {
     }
 
     fn take_comm(&mut self) -> CommStats {
+        self.round_open = false;
         std::mem::take(&mut self.comm)
     }
 
@@ -511,11 +552,11 @@ impl Transport for LocalTransport {
     }
 
     fn state_snapshot(&self) -> Vec<Vec<Tensor>> {
-        self.outboxes.clone()
+        self.outboxes.iter().map(|q| q.iter().cloned().collect()).collect()
     }
 
     fn restore_state(&mut self, outboxes: Vec<Vec<Tensor>>) {
-        self.outboxes = outboxes;
+        self.outboxes = outboxes.into_iter().map(VecDeque::from).collect();
     }
 }
 
@@ -678,6 +719,83 @@ mod tests {
         assert_eq!(comm.duplicated_downloads, duplicated);
         assert_eq!(comm.download_messages, 2 * 16 + duplicated);
         assert_eq!(delivered, 2 * 16 - comm.dropped_downloads);
+    }
+
+    #[test]
+    fn for_client_is_checked_not_panicking() {
+        let d = Dissemination::PerClient(vec![Tensor::from_slice(&[1.0]); 2]);
+        assert!(d.for_client(1).is_ok());
+        assert_eq!(
+            d.for_client(5).unwrap_err(),
+            SimError::DisseminationCoverage { client: 5, covered: 2 }
+        );
+        let b = Dissemination::Broadcast(Tensor::from_slice(&[2.0]));
+        assert_eq!(b.for_client(99).unwrap().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn recipients_declared_before_begin_round_survive_the_reset() {
+        // Regression: `begin_round` used to reset `recipients` back to the
+        // full federation, silently overcounting downlink bytes whenever
+        // the cohort was declared first.
+        let mut t = LocalTransport::new(1, 8, 2);
+        t.set_round_recipients(3);
+        t.begin_round(0, 2);
+        t.broadcast(Broadcast {
+            server: 0,
+            model: Dissemination::Broadcast(Tensor::from_slice(&[1.0, 1.0])),
+        })
+        .unwrap();
+        let comm = t.take_comm();
+        assert_eq!(comm.download_messages, 3, "pre-round cohort must not be reset");
+        assert_eq!(comm.download_bytes, 3 * 4 * 2);
+        // The declaration is consumed: the next round reverts to the full
+        // federation unless declared again.
+        t.begin_round(1, 2);
+        t.broadcast(Broadcast {
+            server: 0,
+            model: Dissemination::Broadcast(Tensor::from_slice(&[1.0, 1.0])),
+        })
+        .unwrap();
+        assert_eq!(t.take_comm().download_messages, 8);
+        // Declared mid-round (the engine's order) it still applies directly.
+        t.begin_round(2, 2);
+        t.set_round_recipients(5);
+        t.broadcast(Broadcast {
+            server: 0,
+            model: Dissemination::Broadcast(Tensor::from_slice(&[1.0, 1.0])),
+        })
+        .unwrap();
+        assert_eq!(t.take_comm().download_messages, 5);
+    }
+
+    #[test]
+    fn deque_outbox_matches_vec_remove_semantics() {
+        // Bit-exactness of the VecDeque straggler pipeline against the old
+        // `Vec::remove(0)` reference over a mixed push/pop schedule.
+        let delay = 3usize;
+        let mut t = LocalTransport::new(1, 4, 1);
+        t.install_fault_plan(FaultPlan {
+            server_faults: vec![ServerFault::Straggler { delay }],
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        t.begin_round(0, 1);
+        let mut reference: Vec<Vec<f32>> = Vec::new();
+        for i in 0..32 {
+            let v = (i * 7 % 13) as f32;
+            reference.push(vec![v]);
+            let expected = (reference.len() > delay).then(|| reference.remove(0));
+            let (o, m) = t.release_aggregate(0, Tensor::from_slice(&[v]));
+            assert_eq!(o, DeliveryOutcome::Delayed);
+            assert_eq!(m.map(|m| m.as_slice().to_vec()), expected);
+        }
+        // And the snapshot round-trip preserves FIFO order bit-exactly.
+        let state = t.state_snapshot();
+        assert_eq!(state[0].len(), delay);
+        let mut r = LocalTransport::new(1, 4, 1);
+        r.restore_state(state);
+        assert_eq!(r.state_snapshot(), t.state_snapshot());
     }
 
     #[test]

@@ -74,7 +74,8 @@ fn transport(
     match policy {
         None => Box::new(inner),
         Some(p) => Box::new(
-            ResilientTransport::new(inner, p, seed, servers).expect("generated policy is valid"),
+            ResilientTransport::new(inner, p, seed, clients, servers)
+                .expect("generated policy is valid"),
         ),
     }
 }

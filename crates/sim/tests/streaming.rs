@@ -1,0 +1,207 @@
+//! Streaming vs buffered upload equivalence, including a misbehaving
+//! transport mock.
+//!
+//! The engine folds uploads into per-server running accumulators whenever
+//! the transport advertises streaming ([`Transport::supports_streaming`]).
+//! These tests pin the two guarantees that keep that optimization safe:
+//!
+//! 1. **Equivalence** — forcing the buffered path (a decorator that hides
+//!    streaming support) reproduces the streaming engine's snapshot
+//!    byte-for-byte, under uplink drops and crashed servers, across
+//!    worker-thread counts.
+//! 2. **Graceful fallback** — a transport that *claims* streaming but
+//!    declines to route an upload by reference (`route_upload → None`)
+//!    must fall back to the buffered path for that upload, not panic and
+//!    not lose the model. This is the regression for the streaming-upload
+//!    `.expect` in the upload phase.
+
+use fedms_aggregation::TrimmedMean;
+use fedms_attacks::AttackKind;
+use fedms_data::{DirichletPartitioner, SynthVisionConfig};
+use fedms_nn::LrSchedule;
+use fedms_sim::{
+    Broadcast, CommStats, Delivery, DeliveryOutcome, EngineConfig, FaultPlan, LocalTransport,
+    ModelSpec, RecoveryPolicy, Result, ServerFault, SimulationEngine, Topology, Transport, Upload,
+    UploadStrategy,
+};
+use fedms_tensor::pool::BufferPool;
+use fedms_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Forwards every `Transport` method to `inner` — a transparent decorator
+/// the mocks below specialize.
+macro_rules! delegate_transport {
+    () => {
+        fn begin_round(&mut self, round: usize, model_len: usize) {
+            self.0.begin_round(round, model_len);
+        }
+        fn send_upload(&mut self, upload: Upload) -> DeliveryOutcome {
+            self.0.send_upload(upload)
+        }
+        fn set_round_recipients(&mut self, recipients: usize) {
+            self.0.set_round_recipients(recipients);
+        }
+        fn server_online(&self, server: usize) -> bool {
+            self.0.server_online(server)
+        }
+        fn release_aggregate(
+            &mut self,
+            server: usize,
+            aggregate: Tensor,
+        ) -> (DeliveryOutcome, Option<Tensor>) {
+            self.0.release_aggregate(server, aggregate)
+        }
+        fn broadcast(&mut self, message: Broadcast) -> Result<()> {
+            self.0.broadcast(message)
+        }
+        fn take_inbox(&mut self, server: usize) -> Vec<Tensor> {
+            self.0.take_inbox(server)
+        }
+        fn drain_deliveries(&mut self, client: usize) -> Vec<Delivery> {
+            self.0.drain_deliveries(client)
+        }
+        fn drain_deliveries_pooled(&mut self, client: usize, pool: &BufferPool) -> Vec<Delivery> {
+            self.0.drain_deliveries_pooled(client, pool)
+        }
+        fn take_comm(&mut self) -> CommStats {
+            self.0.take_comm()
+        }
+        fn install_fault_plan(&mut self, plan: FaultPlan) -> Result<()> {
+            self.0.install_fault_plan(plan)
+        }
+        fn fault_plan(&self) -> &FaultPlan {
+            self.0.fault_plan()
+        }
+        fn set_upload_drop_rate(&mut self, rate: f64) -> Result<()> {
+            self.0.set_upload_drop_rate(rate)
+        }
+        fn state_snapshot(&self) -> Vec<Vec<Tensor>> {
+            self.0.state_snapshot()
+        }
+        fn restore_state(&mut self, outboxes: Vec<Vec<Tensor>>) {
+            self.0.restore_state(outboxes)
+        }
+    };
+}
+
+/// Hides the inner transport's streaming support, forcing the engine onto
+/// the buffered per-server inbox path (`supports_streaming` and
+/// `route_upload` keep their trait defaults: `false` / `None`).
+struct Buffered(LocalTransport);
+
+impl Transport for Buffered {
+    fn name(&self) -> &'static str {
+        "buffered"
+    }
+    delegate_transport!();
+}
+
+/// A misbehaving mock: advertises streaming but declines to route any
+/// upload by reference. Before the fallback fix, the upload phase
+/// `.expect`ed `route_upload` to succeed on a streaming transport and
+/// panicked the engine; now each declined upload must take the buffered
+/// path and the run must be unaffected.
+struct LyingStream(LocalTransport);
+
+impl Transport for LyingStream {
+    fn name(&self) -> &'static str {
+        "lying-stream"
+    }
+    fn supports_streaming(&self) -> bool {
+        true
+    }
+    fn route_upload(&mut self, _client: usize, _server: usize) -> Option<DeliveryOutcome> {
+        None
+    }
+    delegate_transport!();
+}
+
+fn engine(threads: usize) -> SimulationEngine {
+    let (train, test) = SynthVisionConfig::small().generate(3).unwrap();
+    let topo = Topology::new(12, 4, vec![1]).unwrap();
+    let parts = DirichletPartitioner::new(10.0).unwrap().partition(&train, 12, 3).unwrap();
+    let config = EngineConfig {
+        topology: topo,
+        model: ModelSpec::Mlp { widths: vec![16, 8, 4] },
+        upload: UploadStrategy::Sparse,
+        local_epochs: 2,
+        batch_size: 4,
+        schedule: LrSchedule::Constant(0.05),
+        seed: 11,
+        eval_every: 1,
+        eval_clients: 0,
+        parallel: threads > 1,
+        threads,
+        eval_after_local: false,
+        recovery: RecoveryPolicy::disabled(),
+        cohort: 0,
+    };
+    let attacks = vec![(1usize, AttackKind::Noise { std: 0.5 }.build().unwrap())];
+    SimulationEngine::new(
+        config,
+        &train,
+        &test,
+        &parts,
+        Box::new(TrimmedMean::new(0.25).unwrap()),
+        attacks,
+    )
+    .unwrap()
+}
+
+/// Which transport the run goes over — the streaming default, the
+/// buffered decorator, or the lying mock.
+#[derive(Clone, Copy)]
+enum Mode {
+    Streaming,
+    Buffered,
+    Lying,
+}
+
+/// Runs 3 faulty rounds and returns `(snapshot bytes, comm totals)`.
+fn run(mode: Mode, threads: usize, drop_rate: f64, crashed: Option<usize>) -> (Vec<u8>, CommStats) {
+    let mut e = engine(threads);
+    match mode {
+        Mode::Streaming => {}
+        Mode::Buffered => e.set_transport(Box::new(Buffered(LocalTransport::new(11, 12, 4)))),
+        Mode::Lying => e.set_transport(Box::new(LyingStream(LocalTransport::new(11, 12, 4)))),
+    }
+    if let Some(s) = crashed {
+        let mut faults = vec![ServerFault::None; 4];
+        faults[s] = ServerFault::Crash { round: 1 };
+        e.set_fault_plan(FaultPlan { server_faults: faults, ..FaultPlan::default() }).unwrap();
+    }
+    e.set_upload_drop_rate(drop_rate).unwrap();
+    let result = e.run(3).unwrap();
+    (serde_json::to_string(&e.snapshot()).unwrap().into_bytes(), result.total_comm)
+}
+
+proptest! {
+    /// Streaming and buffered uploads are byte-identical across drop
+    /// rates, crashed servers and worker-thread counts: same snapshot
+    /// (models, server histories, outboxes, metrics), same comm totals.
+    #[test]
+    fn streaming_equals_buffered_under_faults(
+        drop_rate in 0.0f64..0.8,
+        crash_code in 0usize..5,
+        threads_code in 0usize..2,
+    ) {
+        let threads = if threads_code == 0 { 1 } else { 4 };
+        let crashed = (crash_code < 4).then_some(crash_code);
+        let (stream_snap, stream_comm) = run(Mode::Streaming, threads, drop_rate, crashed);
+        let (buffer_snap, buffer_comm) = run(Mode::Buffered, threads, drop_rate, crashed);
+        prop_assert_eq!(stream_comm, buffer_comm, "comm totals diverged");
+        prop_assert_eq!(stream_snap, buffer_snap, "snapshots diverged");
+    }
+}
+
+/// The regression for the streaming-upload panic: a transport that
+/// advertises streaming but returns `None` from `route_upload` must run
+/// to completion through the buffered fallback — bit-identically to the
+/// honest transport. Pre-fix, this panicked in the upload phase.
+#[test]
+fn transport_that_lies_about_streaming_falls_back_instead_of_panicking() {
+    let (honest_snap, honest_comm) = run(Mode::Streaming, 1, 0.3, Some(2));
+    let (lying_snap, lying_comm) = run(Mode::Lying, 1, 0.3, Some(2));
+    assert_eq!(honest_comm, lying_comm, "the fallback path changed message accounting");
+    assert_eq!(honest_snap, lying_snap, "the fallback path changed training results");
+}

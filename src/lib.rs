@@ -63,7 +63,7 @@ pub use fedms_attacks::{
     ClientAttackContext, ClientAttackKind, Equivocation, IpmAttack, NoiseAttack, RandomAttack,
     RotatingAttack, SafeguardAttack, ServerAttack, SignFlipAttack, ZeroAttack,
 };
-pub use fedms_core::{theory, CoreError, FedMsConfig, FilterKind};
+pub use fedms_core::{theory, CoreError, FedMsConfig, FilterKind, TransportKind};
 pub use fedms_data::{
     augment_dataset, Augmentation, BatchSampler, Dataset, DirichletPartitioner, LabelHistogram,
     SynthSensorConfig, SynthVision, SynthVisionConfig,
@@ -72,8 +72,9 @@ pub use fedms_nn::{AvgPool2d, BatchNorm2d, Dropout, MaxPool2d, Sequential, Sigmo
 pub use fedms_nn::{Layer, LrSchedule, Mlp, MobileNetNano, MobileNetNanoConfig, NeuralNet, Sgd};
 pub use fedms_sim::{
     CommStats, DegradedMode, EngineConfig, EventLog, FaultClass, FaultPlan, FaultSpec,
-    LocalTransport, ModelSpec, RecoveryPolicy, ResilientTransport, RoundDiagnostics, RoundEvent,
-    RoundMetrics, RunResult, RunSummary, ServerFault, SimError, SimulationEngine, Snapshot,
-    Topology, Transport, UploadReport, UploadStrategy,
+    LocalTransport, ModelSpec, NetModel, NetStats, NetTransport, RecoveryPolicy,
+    ResilientTransport, RoundDiagnostics, RoundEvent, RoundMetrics, RunResult, RunSummary,
+    ServerFault, SimError, SimulationEngine, Snapshot, Topology, Transport, UploadReport,
+    UploadStrategy, WireError,
 };
 pub use fedms_tensor::{Shape, Tensor, TensorError};

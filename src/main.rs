@@ -6,6 +6,8 @@
 //! fedms exp run <spec.toml>       run a declarative sweep spec in parallel
 //! fedms exp list <spec.toml>      print the trials a spec expands into
 //! fedms exp check <run-dir>       verify a run directory is complete
+//! fedms serve <addr>              play one parameter-server round over TCP
+//! fedms client <addr>             upload a model to a `fedms serve` round
 //! fedms attacks                   list server/client attack kinds
 //! fedms filters                   list client-side filter kinds
 //! ```
@@ -18,12 +20,16 @@
 //! `results/runs/<run-id>/`.
 
 use fedms::exp::{SweepSpec, Trial, TrialStatus};
-use fedms::{AttackKind, ClientAttackKind, FedMsConfig, FilterKind, Snapshot};
+use fedms::sim::net::{run_client, TcpRound};
+use fedms::{
+    AttackKind, ClientAttackKind, FedMsConfig, FilterKind, NetModel, Snapshot, Tensor,
+    TransportKind,
+};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fedms init-config <file.json>\n  fedms run [<file.json>] [--out <file>] [--rounds <n>] [--seed <n>] [--save-checkpoint <file>] [--resume <file>]\n            [--crash <n>] [--crash-round <r>] [--stragglers <n>] [--straggler-delay <r>]\n            [--downlink-omission <p>] [--duplicate-rate <p>]\n            [--retry-budget <n>] [--attempt-timeout <ms>] [--backoff-base <ms>]\n            [--failover] [--proceed-degraded]\n  fedms exp run <spec.toml> [--threads <n>] [--resume <run-id>] [--out-dir <dir>] [--dry-run|--list]\n  fedms exp list <spec.toml>\n  fedms exp check <run-dir>\n  fedms compare <a.json> <b.json> [...]\n  fedms attacks\n  fedms filters\n\nfault flags inject benign server/link faults on top of the config's\nscenario; victims are sampled deterministically from the run seed.\nrecovery flags enable deadline-driven retries with seed-deterministic\nbackoff (--retry-budget), upload failover to alternate servers\n(--failover), and local continuation instead of aborting when a client's\nview still degrades below quorum (--proceed-degraded).\n\n`exp run` executes a declarative sweep spec (see experiments/*.toml) on a\nwork-stealing thread pool; records land in <out-dir>/<run-id>/ and a\nre-run (or --resume <run-id>) skips every already-completed trial."
+        "usage:\n  fedms init-config <file.json>\n  fedms run [<file.json>] [--out <file>] [--rounds <n>] [--seed <n>] [--save-checkpoint <file>] [--resume <file>]\n            [--crash <n>] [--crash-round <r>] [--stragglers <n>] [--straggler-delay <r>]\n            [--downlink-omission <p>] [--duplicate-rate <p>]\n            [--retry-budget <n>] [--attempt-timeout <ms>] [--backoff-base <ms>]\n            [--failover] [--proceed-degraded]\n            [--transport <local|net>] [--net-profile <ideal|edge>]\n  fedms serve <addr> [--expect <n>]\n  fedms client <addr> [--client <id>] [--dim <n>] [--value <x>]\n  fedms exp run <spec.toml> [--threads <n>] [--resume <run-id>] [--out-dir <dir>] [--dry-run|--list]\n  fedms exp list <spec.toml>\n  fedms exp check <run-dir>\n  fedms compare <a.json> <b.json> [...]\n  fedms attacks\n  fedms filters\n\nfault flags inject benign server/link faults on top of the config's\nscenario; victims are sampled deterministically from the run seed.\nrecovery flags enable deadline-driven retries with seed-deterministic\nbackoff (--retry-budget), upload failover to alternate servers\n(--failover), and local continuation instead of aborting when a client's\nview still degrades below quorum (--proceed-degraded).\n\n--transport net runs the round loop over the concurrent NetTransport\n(per-server actors, versioned wire frames); --net-profile edge adds the\nedge-network latency/bandwidth model, making stragglers and deadline\nmisses emerge from the network itself. `serve` binds one TCP parameter\nserver for a single round (port 0 picks a free port) and `client`\nuploads to it over the same wire frames.\n\n`exp run` executes a declarative sweep spec (see experiments/*.toml) on a\nwork-stealing thread pool; records land in <out-dir>/<run-id>/ and a\nre-run (or --resume <run-id>) skips every already-completed trial."
     );
     ExitCode::FAILURE
 }
@@ -38,6 +44,8 @@ fn main() -> ExitCode {
         "run" => run(&args[1..]),
         "exp" => exp(&args[1..]),
         "compare" => compare(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "client" => client(&args[1..]),
         "attacks" => {
             println!("server attacks (FedMsConfig.attack):");
             for kind in [
@@ -368,6 +376,8 @@ fn run(args: &[String]) -> ExitCode {
     let mut backoff_base: Option<u64> = None;
     let mut failover = false;
     let mut proceed_degraded = false;
+    let mut transport: Option<&str> = None;
+    let mut net_profile: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -387,6 +397,8 @@ fn run(args: &[String]) -> ExitCode {
             "--backoff-base" => backoff_base = it.next().and_then(|v| v.parse().ok()),
             "--failover" => failover = true,
             "--proceed-degraded" => proceed_degraded = true,
+            "--transport" => transport = it.next().map(String::as_str),
+            "--net-profile" => net_profile = it.next().map(String::as_str),
             other if !other.starts_with("--") && config_path.is_none() => config_path = Some(other),
             other => {
                 eprintln!("error: unrecognised argument {other}");
@@ -456,6 +468,24 @@ fn run(args: &[String]) -> ExitCode {
     }
     if proceed_degraded {
         cfg.recovery.on_degraded = fedms::DegradedMode::Proceed;
+    }
+    match transport {
+        None => {}
+        Some("local") => cfg.transport = TransportKind::Local,
+        Some("net") => cfg.transport = TransportKind::Net,
+        Some(other) => {
+            eprintln!("error: unknown transport {other} (expected local or net)");
+            return usage();
+        }
+    }
+    match net_profile {
+        None => {}
+        Some("ideal") => cfg.net_model = NetModel::ideal(),
+        Some("edge") => cfg.net_model = NetModel::edge(),
+        Some(other) => {
+            eprintln!("error: unknown net profile {other} (expected ideal or edge)");
+            return usage();
+        }
     }
 
     println!(
@@ -588,4 +618,115 @@ fn run(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `fedms serve <addr> [--expect <n>]` — bind one TCP parameter server
+/// and play a single aggregation round: accept connections until
+/// `--expect` uploads arrive (default 1), folding each into the running
+/// mean and replying with the aggregate-so-far.
+fn serve(args: &[String]) -> ExitCode {
+    let mut addr: Option<&str> = None;
+    let mut expect: usize = 1;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--expect" => expect = it.next().and_then(|v| v.parse().ok()).unwrap_or(expect),
+            other if !other.starts_with("--") && addr.is_none() => addr = Some(other),
+            other => {
+                eprintln!("error: unrecognised argument {other}");
+                return usage();
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        return usage();
+    };
+    let round = match TcpRound::bind(addr) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: could not bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match round.local_addr() {
+        Ok(bound) => println!(
+            "serving one round on {bound} (waiting for {expect} upload{})",
+            if expect == 1 { "" } else { "s" }
+        ),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let report = match round.serve(expect) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "round complete: {} uploads, {} frames read, {} frames written",
+        report.uploads, report.frames_read, report.frames_written
+    );
+    if let Some(agg) = report.aggregate {
+        println!("aggregate: {}", preview_tensor(&agg));
+    }
+    ExitCode::SUCCESS
+}
+
+/// `fedms client <addr> [--client <id>] [--dim <n>] [--value <x>]` —
+/// connect to a `fedms serve` round, upload a constant model of `--dim`
+/// coordinates (filled with `--value`, defaulting to the client id) and
+/// print the server's aggregate reply.
+fn client(args: &[String]) -> ExitCode {
+    let mut addr: Option<&str> = None;
+    let mut client_id: usize = 0;
+    let mut dim: usize = 8;
+    let mut value: Option<f32> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--client" => client_id = it.next().and_then(|v| v.parse().ok()).unwrap_or(client_id),
+            "--dim" => dim = it.next().and_then(|v| v.parse().ok()).unwrap_or(dim),
+            "--value" => value = it.next().and_then(|v| v.parse().ok()),
+            other if !other.starts_with("--") && addr.is_none() => addr = Some(other),
+            other => {
+                eprintln!("error: unrecognised argument {other}");
+                return usage();
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        return usage();
+    };
+    if dim == 0 {
+        eprintln!("error: --dim must be positive");
+        return ExitCode::FAILURE;
+    }
+    let fill = value.unwrap_or(client_id as f32);
+    let model = Tensor::from_slice(&vec![fill; dim]);
+    match run_client(addr, client_id, &model) {
+        Ok((contributors, aggregate)) => {
+            println!(
+                "uploaded {dim} coordinates as client {client_id}; \
+                 aggregate over {contributors} contributor{}: {}",
+                if contributors == 1 { "" } else { "s" },
+                preview_tensor(&aggregate)
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Formats the first few coordinates of a tensor for terminal output.
+fn preview_tensor(t: &Tensor) -> String {
+    let data = t.as_slice();
+    let head: Vec<String> = data.iter().take(8).map(|v| format!("{v:.4}")).collect();
+    let tail = if data.len() > 8 { ", ..." } else { "" };
+    format!("[{}{}] ({} coordinates)", head.join(", "), tail, data.len())
 }
