@@ -1,0 +1,467 @@
+//! Online estimation of the Byzantine server count B̂.
+//!
+//! Fed-MS's trimmed-mean filter needs the Byzantine bound `B` to pick its
+//! trim radius, but at the edge `B` is unknown and time-varying: servers
+//! get compromised mid-run and healed later. Following Chen et al.'s
+//! analysis of the estimation trade-off (over-estimating B wastes honest
+//! models and inflates variance; under-estimating admits adversarial
+//! coordinates and biases the update), the [`ByzantineEstimator`] scores
+//! each server's per-round aggregate against the coordinate-wise median of
+//! all aggregates and maintains an exponentially decayed suspicion per
+//! server:
+//!
+//! ```text
+//! d_i  = mean_j |v_i[j] − med[j]|              (distance to the median view)
+//! o_i  = 1  iff  d_i > scale · median_i(d_i)   (robust outlier test)
+//! s_i ← decay · s_i + (1 − decay) · o_i        (confidence window)
+//! b̂   = clamp(#{i : s_i > threshold}, floor, ceiling)
+//! ```
+//!
+//! The decay window trades reaction speed against false-positive noise: a
+//! single weird round moves `s_i` by only `1 − decay`, but a sustained
+//! attack crosses `threshold` within a few rounds (with the defaults,
+//! `0.4 + 0.4·0.6 > 0.5` — two consecutive outlier rounds convict).
+//! Healing is symmetric: once a server stops lying, its suspicion decays
+//! below the threshold and its models re-enter the mean.
+//!
+//! `b̂` feeds [`crate::AdaptiveTrimmedMean`] as the per-round trim count.
+//! The ceiling defaults to `⌈P/2⌉ − 1`, the largest `b` for which a
+//! `2b + 1` quorum can exist, so the estimator can never trim away an
+//! honest majority.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernel;
+
+/// Tuning knobs for the online B̂ estimator. Following the crate-wide
+/// "0 = auto" convention (serde only defaults fields to zero), the window
+/// parameters store `0.0` for "use the documented default" and expose the
+/// resolved value through [`EstimatorPolicy::decay`] and friends. The
+/// `Default` value is *disabled* with every knob on auto.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EstimatorPolicy {
+    /// Master switch. When `false` the engine keeps the static filter and
+    /// instantiates no estimator at all (bit-identical runs).
+    #[serde(default)]
+    pub enabled: bool,
+    /// Exponential decay of the suspicion window, in `(0, 1)`; `0.0` =
+    /// auto (0.6). Higher = longer memory, slower reaction.
+    #[serde(default)]
+    pub decay: f64,
+    /// Outlier test sensitivity — a server is an outlier when its distance
+    /// exceeds `scale ×` the median distance; `0.0` = auto (3.0).
+    #[serde(default)]
+    pub scale: f64,
+    /// Suspicion level above which a server counts toward B̂; `0.0` =
+    /// auto (0.5).
+    #[serde(default)]
+    pub threshold: f64,
+    /// Lower clamp on B̂ (trim at least this much even with no suspects).
+    #[serde(default)]
+    pub floor: usize,
+    /// Upper clamp on B̂; `0` means automatic `⌈P/2⌉ − 1`.
+    #[serde(default)]
+    pub ceiling: usize,
+}
+
+impl EstimatorPolicy {
+    /// An enabled policy with the default window.
+    pub fn enabled() -> Self {
+        EstimatorPolicy { enabled: true, ..EstimatorPolicy::default() }
+    }
+
+    /// The resolved suspicion decay (auto: 0.6).
+    pub fn decay(&self) -> f64 {
+        if self.decay == 0.0 {
+            0.6
+        } else {
+            self.decay
+        }
+    }
+
+    /// The resolved outlier sensitivity (auto: 3.0).
+    pub fn scale(&self) -> f64 {
+        if self.scale == 0.0 {
+            3.0
+        } else {
+            self.scale
+        }
+    }
+
+    /// The resolved conviction threshold (auto: 0.5).
+    pub fn threshold(&self) -> f64 {
+        if self.threshold == 0.0 {
+            0.5
+        } else {
+            self.threshold
+        }
+    }
+
+    /// The effective ceiling for a federation of `num_servers`: the
+    /// configured one, or `⌈P/2⌉ − 1` when left at 0 (the largest trim
+    /// that still leaves a `2b̂ + 1` quorum possible).
+    pub fn effective_ceiling(&self, num_servers: usize) -> usize {
+        if self.ceiling > 0 {
+            self.ceiling
+        } else {
+            num_servers.div_ceil(2).saturating_sub(1)
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending field.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if !(self.decay.is_finite() && (0.0..1.0).contains(&self.decay)) {
+            return Err(format!("estimator decay must be in [0, 1), got {}", self.decay));
+        }
+        if !(self.scale.is_finite() && self.scale >= 0.0) {
+            return Err(format!("estimator scale must be non-negative, got {}", self.scale));
+        }
+        if !(self.threshold.is_finite() && (0.0..=1.0).contains(&self.threshold)) {
+            return Err(format!("estimator threshold must be in [0, 1], got {}", self.threshold));
+        }
+        if self.ceiling > 0 && self.floor > self.ceiling {
+            return Err(format!("estimator floor {} exceeds ceiling {}", self.floor, self.ceiling));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one [`ByzantineEstimator::observe`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Estimate {
+    /// The clamped per-round trim count b̂.
+    pub trim: usize,
+    /// How many servers are currently over the suspicion threshold
+    /// (before clamping).
+    pub suspects: usize,
+}
+
+/// The online B̂ estimator: per-server exponentially decayed suspicion
+/// driven by a median-distance outlier test over the per-server global
+/// models observed each round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ByzantineEstimator {
+    policy: EstimatorPolicy,
+    num_servers: usize,
+    suspicion: Vec<f64>,
+    trim: usize,
+}
+
+impl ByzantineEstimator {
+    /// Creates an estimator for a federation of `num_servers`, starting
+    /// with zero suspicion everywhere and `trim = floor`.
+    pub fn new(num_servers: usize, policy: EstimatorPolicy) -> Self {
+        let trim = policy.floor.min(policy.effective_ceiling(num_servers));
+        ByzantineEstimator { policy, num_servers, suspicion: vec![0.0; num_servers], trim }
+    }
+
+    /// The current per-round trim count b̂.
+    pub fn trim(&self) -> usize {
+        self.trim
+    }
+
+    /// The current per-server suspicion scores (indexed by server id).
+    pub fn scores(&self) -> &[f64] {
+        &self.suspicion
+    }
+
+    /// Restores evolving state from a checkpoint.
+    pub fn restore(&mut self, scores: Vec<f64>, trim: usize) {
+        if scores.len() == self.num_servers {
+            self.suspicion = scores;
+        }
+        self.trim = trim.min(self.policy.effective_ceiling(self.num_servers));
+    }
+
+    /// Feeds one round of observations — `(server id, its disseminated
+    /// global model)` pairs, one per server that was heard from — and
+    /// returns the updated estimate. Servers *not* observed this round
+    /// (partitioned, crashed) have their suspicion decayed toward zero:
+    /// absence is not evidence of lying.
+    pub fn observe(&mut self, views: &[(usize, &[f32])]) -> Estimate {
+        let distances = median_distances(views);
+        let mut observed = vec![false; self.num_servers];
+        let outlier_cut = robust_cut(&distances, self.policy.scale());
+        let decay = self.policy.decay();
+        for (&(id, _), &d) in views.iter().zip(&distances) {
+            if id >= self.num_servers {
+                continue;
+            }
+            observed[id] = true;
+            let outlier = if d > outlier_cut { 1.0 } else { 0.0 };
+            self.suspicion[id] = decay * self.suspicion[id] + (1.0 - decay) * outlier;
+        }
+        for (id, seen) in observed.iter().enumerate() {
+            if !seen {
+                self.suspicion[id] *= decay;
+            }
+        }
+        let suspects = self.suspicion.iter().filter(|&&s| s > self.policy.threshold()).count();
+        self.trim =
+            suspects.max(self.policy.floor).min(self.policy.effective_ceiling(self.num_servers));
+        Estimate { trim: self.trim, suspects }
+    }
+}
+
+/// Mean absolute deviation of each view from the coordinate-wise median
+/// of all views. With fewer than 3 views no outlier test is possible and
+/// all distances are zero.
+fn median_distances(views: &[(usize, &[f32])]) -> Vec<f64> {
+    if views.len() < 3 {
+        return vec![0.0; views.len()];
+    }
+    let len = views[0].1.len();
+    if len == 0 || views.iter().any(|(_, v)| v.len() != len) {
+        return vec![0.0; views.len()];
+    }
+    let slices: Vec<&[f32]> = views.iter().map(|(_, v)| *v).collect();
+    let mut med = vec![0.0f32; len];
+    kernel::coordinate_median(&slices, &mut med);
+    views
+        .iter()
+        .map(|(_, v)| {
+            let sum: f64 = v
+                .iter()
+                .zip(&med)
+                .map(|(&a, &m)| {
+                    let d = f64::from(a) - f64::from(m);
+                    if d.is_finite() {
+                        d.abs()
+                    } else {
+                        f64::MAX / len as f64
+                    }
+                })
+                .sum();
+            sum / len as f64
+        })
+        .collect()
+}
+
+/// The outlier cut-off: `scale ×` the median of the distances, with a
+/// tiny absolute floor so bit-identical honest views (distance exactly 0)
+/// never flag each other.
+fn robust_cut(distances: &[f64], scale: f64) -> f64 {
+    if distances.is_empty() {
+        return f64::MAX;
+    }
+    let mut sorted = distances.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    let median =
+        if sorted.len() % 2 == 1 { sorted[mid] } else { 0.5 * (sorted[mid - 1] + sorted[mid]) };
+    (scale * median).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(models: &[Vec<f32>]) -> Vec<(usize, &[f32])> {
+        models.iter().enumerate().map(|(i, m)| (i, m.as_slice())).collect()
+    }
+
+    #[test]
+    fn default_policy_is_disabled_with_documented_window() {
+        let p = EstimatorPolicy::default();
+        assert!(!p.enabled);
+        assert_eq!(p.decay(), 0.6);
+        assert_eq!(p.scale(), 3.0);
+        assert_eq!(p.threshold(), 0.5);
+        // Explicit values override the auto resolution.
+        let tuned = EstimatorPolicy { decay: 0.9, scale: 2.0, threshold: 0.8, ..p };
+        assert_eq!(tuned.decay(), 0.9);
+        assert_eq!(tuned.scale(), 2.0);
+        assert_eq!(tuned.threshold(), 0.8);
+        assert!(EstimatorPolicy::enabled().enabled);
+        assert!(p.validate().is_ok());
+        // serde: missing fields take the documented defaults.
+        let from_empty: EstimatorPolicy = serde_json::from_str("{}").unwrap();
+        assert_eq!(from_empty, p);
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(EstimatorPolicy { decay: 1.0, ..EstimatorPolicy::default() }.validate().is_err());
+        assert!(EstimatorPolicy { decay: f64::NAN, ..EstimatorPolicy::default() }
+            .validate()
+            .is_err());
+        assert!(EstimatorPolicy { scale: -1.0, ..EstimatorPolicy::default() }.validate().is_err());
+        assert!(EstimatorPolicy { threshold: 1.5, ..EstimatorPolicy::default() }
+            .validate()
+            .is_err());
+        assert!(EstimatorPolicy { floor: 3, ceiling: 2, ..EstimatorPolicy::default() }
+            .validate()
+            .is_err());
+        assert!(EstimatorPolicy { floor: 3, ceiling: 0, ..EstimatorPolicy::default() }
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn auto_ceiling_preserves_quorum() {
+        let p = EstimatorPolicy::default();
+        // ⌈P/2⌉ − 1: the largest b̂ with 2b̂ + 1 ≤ P ... for odd P; for
+        // even P it is the largest b̂ with 2b̂ < P.
+        assert_eq!(p.effective_ceiling(10), 4);
+        assert_eq!(p.effective_ceiling(9), 4);
+        assert_eq!(p.effective_ceiling(4), 1);
+        assert_eq!(p.effective_ceiling(2), 0);
+        assert_eq!(p.effective_ceiling(1), 0);
+        let pinned = EstimatorPolicy { ceiling: 2, ..EstimatorPolicy::default() };
+        assert_eq!(pinned.effective_ceiling(10), 2);
+    }
+
+    #[test]
+    fn honest_consensus_stays_at_floor() {
+        let mut est = ByzantineEstimator::new(4, EstimatorPolicy::enabled());
+        let models = vec![vec![1.0f32, 2.0]; 4];
+        for _ in 0..10 {
+            let e = est.observe(&views(&models));
+            assert_eq!(e.trim, 0);
+            assert_eq!(e.suspects, 0);
+        }
+        assert!(est.scores().iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn sustained_outlier_convicts_within_a_few_rounds() {
+        let mut est = ByzantineEstimator::new(5, EstimatorPolicy::enabled());
+        let mut models = vec![vec![1.0f32, 1.0]; 5];
+        models[2] = vec![100.0, -100.0];
+        let mut convicted_at = None;
+        for round in 0..10 {
+            let e = est.observe(&views(&models));
+            if e.trim >= 1 && convicted_at.is_none() {
+                convicted_at = Some(round);
+            }
+        }
+        // 1 − 0.6 = 0.4 per round: two outlier rounds cross 0.5.
+        assert_eq!(convicted_at, Some(1));
+        assert_eq!(est.trim(), 1);
+        // Honest servers stay clean.
+        for (id, &s) in est.scores().iter().enumerate() {
+            if id != 2 {
+                assert!(s < 0.5, "server {id} wrongly suspected (s = {s})");
+            }
+        }
+    }
+
+    #[test]
+    fn healing_decays_suspicion_back_down() {
+        let mut est = ByzantineEstimator::new(5, EstimatorPolicy::enabled());
+        let honest = vec![vec![0.0f32; 4]; 5];
+        let mut lying = honest.clone();
+        lying[1] = vec![50.0; 4];
+        for _ in 0..6 {
+            est.observe(&views(&lying));
+        }
+        assert_eq!(est.trim(), 1);
+        for _ in 0..6 {
+            est.observe(&views(&honest));
+        }
+        assert_eq!(est.trim(), 0);
+    }
+
+    #[test]
+    fn unobserved_servers_decay_not_convict() {
+        let mut est = ByzantineEstimator::new(5, EstimatorPolicy::enabled());
+        // Server 4 never reports (partitioned); the others agree.
+        let models = vec![vec![1.0f32, 1.0]; 4];
+        let v: Vec<(usize, &[f32])> =
+            models.iter().enumerate().map(|(i, m)| (i, m.as_slice())).collect();
+        for _ in 0..8 {
+            let e = est.observe(&v);
+            assert_eq!(e.trim, 0);
+        }
+        assert_eq!(est.scores()[4], 0.0);
+    }
+
+    #[test]
+    fn ceiling_caps_mass_compromise() {
+        let mut est = ByzantineEstimator::new(5, EstimatorPolicy::enabled());
+        // Three of five lie in *different* directions; the median still
+        // tracks the honest pair closely enough that distances differ.
+        let mut models = vec![vec![0.0f32; 2]; 5];
+        models[0] = vec![100.0, 100.0];
+        models[1] = vec![-100.0, 100.0];
+        models[2] = vec![100.0, -100.0];
+        for _ in 0..10 {
+            est.observe(&views(&models));
+        }
+        // Auto ceiling for P = 5 is 2: quorum 2b̂ + 1 = 5 stays reachable.
+        assert!(est.trim() <= 2);
+    }
+
+    #[test]
+    fn floor_forces_minimum_trim() {
+        let policy = EstimatorPolicy { floor: 1, ..EstimatorPolicy::enabled() };
+        let mut est = ByzantineEstimator::new(5, policy);
+        assert_eq!(est.trim(), 1);
+        let models = vec![vec![1.0f32]; 5];
+        let e = est.observe(&views(&models));
+        assert_eq!(e.trim, 1);
+        assert_eq!(e.suspects, 0);
+    }
+
+    #[test]
+    fn too_few_views_is_inconclusive() {
+        let mut est = ByzantineEstimator::new(5, EstimatorPolicy::enabled());
+        let models = vec![vec![0.0f32], vec![1000.0]];
+        let e = est.observe(&views(&models));
+        assert_eq!(e.trim, 0);
+        assert_eq!(e.suspects, 0);
+    }
+
+    #[test]
+    fn non_finite_views_are_flagged_not_propagated() {
+        let mut est = ByzantineEstimator::new(5, EstimatorPolicy::enabled());
+        let mut models = vec![vec![1.0f32, 1.0]; 5];
+        models[3] = vec![f32::NAN, f32::INFINITY];
+        for _ in 0..4 {
+            est.observe(&views(&models));
+        }
+        assert_eq!(est.trim(), 1);
+        assert!(est.scores()[3] > 0.5);
+    }
+
+    #[test]
+    fn restore_roundtrip() {
+        let mut est = ByzantineEstimator::new(4, EstimatorPolicy::enabled());
+        let mut models = vec![vec![0.0f32; 3]; 4];
+        models[1] = vec![99.0; 3];
+        for _ in 0..5 {
+            est.observe(&views(&models));
+        }
+        let scores = est.scores().to_vec();
+        let trim = est.trim();
+        let mut fresh = ByzantineEstimator::new(4, EstimatorPolicy::enabled());
+        fresh.restore(scores, trim);
+        assert_eq!(fresh, est);
+        // A stale snapshot with the wrong server count is ignored rather
+        // than corrupting state.
+        let mut fresh = ByzantineEstimator::new(4, EstimatorPolicy::enabled());
+        fresh.restore(vec![1.0; 7], 9);
+        assert_eq!(fresh.scores(), &[0.0; 4]);
+        assert_eq!(fresh.trim(), 1); // clamped to the P = 4 auto ceiling
+    }
+
+    #[test]
+    fn observe_is_deterministic() {
+        let run = || {
+            let mut est = ByzantineEstimator::new(6, EstimatorPolicy::enabled());
+            let mut models = vec![vec![0.5f32; 8]; 6];
+            models[0] = vec![-40.0; 8];
+            let mut trail = Vec::new();
+            for _ in 0..12 {
+                let e = est.observe(&views(&models));
+                trail.push((e.trim, e.suspects));
+            }
+            (trail, est.scores().to_vec())
+        };
+        assert_eq!(run(), run());
+    }
+}

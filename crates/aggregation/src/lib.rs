@@ -19,6 +19,11 @@
 //! sort-per-coordinate code lives on in [`reference`] as the oracle the
 //! kernels are property-tested against bit-for-bit.
 //!
+//! When the Byzantine count is unknown or time-varying, the online
+//! [`ByzantineEstimator`] scores each server's disseminated model against
+//! the median view and feeds [`AdaptiveTrimmedMean`] a per-round trim
+//! count B̂.
+//!
 //! # Example
 //!
 //! ```
@@ -36,6 +41,7 @@
 mod bulyan;
 mod clipping;
 mod error;
+mod estimate;
 mod geomedian;
 pub mod kernel;
 mod krum;
@@ -49,6 +55,7 @@ mod trimmed;
 pub use bulyan::Bulyan;
 pub use clipping::CenteredClip;
 pub use error::AggError;
+pub use estimate::{ByzantineEstimator, Estimate, EstimatorPolicy};
 pub use geomedian::GeometricMedian;
 pub use krum::{Krum, MultiKrum};
 pub use mean::{Mean, MeanAccumulator};

@@ -1,12 +1,13 @@
 //! End-to-end Fed-MS experiment configuration.
 
+use fedms_aggregation::EstimatorPolicy;
 use fedms_attacks::{AttackKind, ClientAttack, ClientAttackKind, ServerAttack};
 use fedms_data::{DirichletPartitioner, SynthVisionConfig};
 use fedms_nn::LrSchedule;
 use fedms_sim::{
     EngineConfig, FaultPlan, FaultSpec, LocalTransport, ModelSpec, NetModel, NetTransport,
-    Partitions, RecoveryPolicy, ResilientTransport, RunResult, SimulationEngine, Topology,
-    Transport, UploadStrategy,
+    Partitions, RecoveryPolicy, ResilientTransport, RunResult, SimulationEngine, ThreatSchedule,
+    Topology, Transport, UploadStrategy,
 };
 use fedms_tensor::rng::derive_seed;
 use serde::{Deserialize, Serialize};
@@ -124,6 +125,17 @@ pub struct FedMsConfig {
     /// materializing explicit index lists stops being feasible.
     #[serde(default)]
     pub shard_samples: usize,
+    /// Dynamic threat schedule: per-round epochs that compromise honest
+    /// servers mid-run, partition links and corrupt wire frames
+    /// ([`ThreatSchedule`]; parse one from the CLI grammar with
+    /// [`ThreatSchedule::parse`]). Trivial by default.
+    #[serde(default)]
+    pub threat: ThreatSchedule,
+    /// Online Byzantine-count estimator driving the adaptive trimmed-mean
+    /// defence ([`EstimatorPolicy`]). Disabled by default, which keeps the
+    /// configured `filter` in charge.
+    #[serde(default)]
+    pub estimator: EstimatorPolicy,
 }
 
 /// Which delivery substrate [`FedMsConfig::build_engine`] hands to the
@@ -181,6 +193,8 @@ impl FedMsConfig {
             net_model: NetModel::ideal(),
             cohort: 0,
             shard_samples: 0,
+            threat: ThreatSchedule::none(),
+            estimator: EstimatorPolicy::default(),
         })
     }
 
@@ -220,6 +234,8 @@ impl FedMsConfig {
             net_model: NetModel::ideal(),
             cohort: 0,
             shard_samples: 0,
+            threat: ThreatSchedule::none(),
+            estimator: EstimatorPolicy::default(),
         }
     }
 
@@ -323,6 +339,8 @@ impl FedMsConfig {
             eval_after_local: self.eval_after_local,
             recovery: self.recovery,
             cohort: self.cohort,
+            threat: self.threat.clone(),
+            estimator: self.estimator,
         };
         let byz_client_ids: Vec<usize> = client_attacks.iter().map(|(id, _)| *id).collect();
         let mut engine = SimulationEngine::with_store(

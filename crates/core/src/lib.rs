@@ -49,6 +49,8 @@ pub mod theory;
 
 pub use config::{FedMsConfig, TransportKind};
 pub use error::CoreError;
+pub use fedms_aggregation::EstimatorPolicy;
+pub use fedms_sim::ThreatSchedule;
 pub use filter::FilterKind;
 pub use hash::{fnv1a64, fnv1a64_hex};
 

@@ -126,6 +126,8 @@ const KNOWN_KEYS: &[&str] = &[
     "backoff_cap_ms",
     "failover",
     "proceed_degraded",
+    "threat_schedule",
+    "estimate_b",
 ];
 
 fn bad(msg: impl Into<String>) -> SpecError {
@@ -514,6 +516,17 @@ fn apply_override(cfg: &mut FedMsConfig, key: &str, v: &Value) -> Result<(), Str
         }
         "backoff_cap_ms" => cfg.recovery.backoff_cap_ms = usize_value(v)? as u64,
         "failover" => cfg.recovery.failover = bool_value(v)?,
+        "threat_schedule" => {
+            cfg.threat = fedms_core::ThreatSchedule::parse(str_value(v)?)
+                .map_err(|e| format!("bad threat_schedule: {e}"))?;
+        }
+        "estimate_b" => {
+            cfg.estimator = if bool_value(v)? {
+                fedms_core::EstimatorPolicy::enabled()
+            } else {
+                fedms_core::EstimatorPolicy::default()
+            };
+        }
         "proceed_degraded" => {
             cfg.recovery.on_degraded = if bool_value(v)? {
                 fedms_sim::DegradedMode::Proceed
@@ -688,6 +701,26 @@ filter = ["trimmed:matched", "mean"]
         assert_eq!(trials[0].config.byzantine_count, 0);
         assert_eq!(trials[1].config.byzantine_count, 2);
         assert!(trials.iter().all(|t| t.config.attack == AttackKind::Zero));
+    }
+
+    #[test]
+    fn threat_schedule_and_estimator_keys_apply() {
+        let spec = SweepSpec::parse(
+            "[experiment]\nname = \"threat\"\nscale = \"tiny\"\nrounds = 2\n\n[base]\nthreat_schedule = \"1..: compromise=1, attack=zero\"\nestimate_b = true\n",
+        )
+        .unwrap();
+        let trials = spec.expand().unwrap();
+        assert_eq!(trials.len(), 1);
+        let cfg = &trials[0].config;
+        assert!(!cfg.threat.is_trivial());
+        assert_eq!(cfg.threat.epochs.len(), 1);
+        assert!(cfg.estimator.enabled);
+        // A malformed schedule is rejected up front with context.
+        let e = SweepSpec::parse(
+            "[experiment]\nname = \"t2\"\nscale = \"tiny\"\nrounds = 2\n\n[base]\nthreat_schedule = \"1..: wat=3\"\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("threat_schedule"), "{e}");
     }
 
     #[test]

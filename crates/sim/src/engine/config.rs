@@ -1,9 +1,12 @@
 //! Static configuration of a simulation run.
 
+use fedms_aggregation::EstimatorPolicy;
 use fedms_nn::LrSchedule;
 use serde::{Deserialize, Serialize};
 
-use crate::{ModelSpec, RecoveryPolicy, Result, SimError, Topology, UploadStrategy};
+use crate::{
+    ModelSpec, RecoveryPolicy, Result, SimError, ThreatSchedule, Topology, UploadStrategy,
+};
 
 /// Static configuration of a simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,6 +58,18 @@ pub struct EngineConfig {
     /// million-client federations simulable.
     #[serde(default)]
     pub cohort: usize,
+    /// Dynamic threat schedule: per-round epochs that compromise honest
+    /// servers mid-run, partition links and corrupt frames (see
+    /// [`ThreatSchedule`]). The trivial schedule (the default) leaves the
+    /// engine bit-identical to a build without the threat layer.
+    #[serde(default)]
+    pub threat: ThreatSchedule,
+    /// Online Byzantine-count estimator feeding the adaptive trimmed-mean
+    /// filter a per-round `β̂` (see
+    /// [`fedms_aggregation::EstimatorPolicy`]). Disabled by default, which
+    /// keeps the statically configured filter bit-identically in charge.
+    #[serde(default)]
+    pub estimator: EstimatorPolicy,
 }
 
 impl EngineConfig {
@@ -77,6 +92,8 @@ impl EngineConfig {
             eval_after_local: true,
             recovery: RecoveryPolicy::disabled(),
             cohort: 0,
+            threat: ThreatSchedule::none(),
+            estimator: EstimatorPolicy::default(),
         })
     }
 
@@ -92,6 +109,9 @@ impl EngineConfig {
         }
         self.schedule.validate().map_err(SimError::from)?;
         self.recovery.validate()?;
+        let byz: Vec<usize> = self.topology.byzantine_ids().collect();
+        self.threat.validate(self.topology.num_servers(), &byz)?;
+        self.estimator.validate().map_err(SimError::BadConfig)?;
         Ok(())
     }
 }

@@ -1,8 +1,8 @@
 //! The round-loop orchestrator: a thin driver over the phase pipeline
 //! ([`crate::phases`]) and the message layer ([`crate::transport`]).
 
-use fedms_aggregation::{AggregationRule, Mean};
-use fedms_attacks::{ClientAttack, ServerAttack};
+use fedms_aggregation::{AdaptiveTrimmedMean, AggregationRule, ByzantineEstimator, Mean};
+use fedms_attacks::{AttackKind, ClientAttack, ServerAttack};
 use fedms_data::Dataset;
 use fedms_nn::NeuralNet;
 use fedms_tensor::pool::{BufferPool, PoolStats};
@@ -12,7 +12,10 @@ use fedms_tensor::Tensor;
 use crate::recovery::ResilientTransport;
 use crate::store::{ClientStore, Partitions};
 use crate::transport::{LocalTransport, Transport};
-use crate::{phases, EventLog, FaultPlan, Result, RoundMetrics, RunResult, Server, SimError};
+use crate::{
+    phases, EventLog, FaultPlan, Result, RoundEvent, RoundMetrics, RunResult, Server, SimError,
+    ThreatView,
+};
 
 mod config;
 mod snapshot;
@@ -53,6 +56,16 @@ pub struct SimulationEngine {
     test_labels: Vec<usize>,
     round: usize,
     result: RunResult,
+    /// The compromise currently applied to each server by the dynamic
+    /// threat schedule (`None` = running its built-in behaviour). Applied
+    /// state, not configuration: rebuilt by diffing against the schedule
+    /// each round, so a restored engine re-applies the right view on its
+    /// first step.
+    dynamic_attack: Vec<Option<AttackKind>>,
+    /// The online Byzantine-count estimator, when the adaptive defence is
+    /// enabled. `None` keeps the statically configured filter bit-identical
+    /// in charge.
+    estimator: Option<ByzantineEstimator>,
 }
 
 impl std::fmt::Debug for SimulationEngine {
@@ -243,6 +256,11 @@ impl SimulationEngine {
             )?)
         };
 
+        let estimator = config
+            .estimator
+            .enabled
+            .then(|| ByzantineEstimator::new(topo.num_servers(), config.estimator));
+        let dynamic_attack = vec![None; topo.num_servers()];
         Ok(SimulationEngine {
             participation: 1.0,
             transport,
@@ -260,6 +278,8 @@ impl SimulationEngine {
             test_labels: test_set.labels().to_vec(),
             round: 0,
             result: RunResult::new(),
+            dynamic_attack,
+            estimator,
         })
     }
 
@@ -349,6 +369,57 @@ impl SimulationEngine {
         self.transport.fault_plan()
     }
 
+    /// The online estimator's current trim level `β̂·P`, when the adaptive
+    /// defence ([`EngineConfig::estimator`]) is enabled.
+    pub fn estimated_trim(&self) -> Option<usize> {
+        self.estimator.as_ref().map(|e| e.trim())
+    }
+
+    /// Ids of the servers currently compromised by the dynamic threat
+    /// schedule (empty whenever the schedule is trivial or quiescent).
+    pub fn compromised_servers(&self) -> Vec<usize> {
+        self.dynamic_attack.iter().enumerate().filter_map(|(i, a)| a.as_ref().map(|_| i)).collect()
+    }
+
+    /// Applies the dynamic threat schedule's view for the current round:
+    /// diffs the scheduled compromise set against what is already applied
+    /// (attacks are built or removed only on transitions, so a steady
+    /// epoch does no per-round work), hands the network-layer threat to
+    /// the transport, and emits a [`RoundEvent::ThreatEpoch`] whenever the
+    /// view changed since the previous round.
+    fn apply_threat_view(&mut self) -> Result<()> {
+        let view = self.config.threat.view(self.round);
+        for (i, applied) in self.dynamic_attack.iter_mut().enumerate() {
+            let want = view.compromised.get(&i).copied();
+            if want != *applied {
+                let attack = match want {
+                    Some(kind) => Some(kind.build().map_err(SimError::from)?),
+                    None => None,
+                };
+                self.servers[i].set_attack(attack);
+                *applied = want;
+            }
+        }
+        self.transport.set_net_threat(view.net_threat());
+        let previous = if self.round == 0 {
+            ThreatView::default()
+        } else {
+            self.config.threat.view(self.round - 1)
+        };
+        if view != previous {
+            if let Some(log) = self.event_log.as_mut() {
+                log.push(RoundEvent::ThreatEpoch {
+                    round: self.round,
+                    epoch: self.config.threat.epoch_index(self.round),
+                    compromised: view.compromised.keys().copied().collect(),
+                    partitioned: view.partitioned.iter().copied().collect(),
+                    corrupt_rate: view.corrupt_rate,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Enables the structured event log with the given retention capacity
     /// (see [`crate::EventLog`]); pass 0 to disable recording again.
     pub fn enable_event_log(&mut self, capacity: usize) {
@@ -436,6 +507,19 @@ impl SimulationEngine {
     pub fn step_round(&mut self, evaluate: bool) -> Result<()> {
         let topo = self.config.topology.clone();
         let (num_clients, num_servers) = (topo.num_clients(), topo.num_servers());
+
+        // Dynamic threat: realize this round's scheduled view — compromise
+        // or heal servers, move the partition/corruption state to the wire
+        // — before the transport opens the round. A trivial schedule takes
+        // this branch never, leaving the engine bit-identical to a build
+        // without the threat layer.
+        let threat_epoch = if self.config.threat.is_trivial() {
+            None
+        } else {
+            self.apply_threat_view()?;
+            self.config.threat.epoch_index(self.round)
+        };
+
         self.transport.begin_round(self.round, self.initial_model.len());
 
         // All engine-level randomness is derived per round from the root
@@ -532,7 +616,9 @@ impl SimulationEngine {
 
         // 4. Dissemination (line 5), Byzantine or not. Equivocating
         // attacks still cover all K client slots; only the cohort drains
-        // them.
+        // them. When the estimator runs, each server's post-attack
+        // dissemination is also captured as its observable view.
+        let mut estimator_views: Vec<(usize, Tensor)> = Vec::new();
         phases::disseminate(
             phases::DisseminateCtx {
                 transport: self.transport.as_mut(),
@@ -542,12 +628,48 @@ impl SimulationEngine {
                 event_log: self.event_log.as_mut(),
             },
             ready,
+            self.estimator.is_some().then_some(&mut estimator_views),
         )?;
+
+        // Online B̂ estimation: score the servers' observable
+        // disseminations (partitioned servers contribute nothing — their
+        // frames never arrive) and let the adaptive trimmed mean take over
+        // the client-side defence at the estimated trim level.
+        let mut beta_hat = None;
+        let mut adaptive: Option<AdaptiveTrimmedMean> = None;
+        if let Some(estimator) = self.estimator.as_mut() {
+            if threat_epoch.is_some() {
+                let view = self.config.threat.view(self.round);
+                estimator_views.retain(|(s, _)| !view.partitioned.contains(s));
+            }
+            let observed: Vec<(usize, &[f32])> =
+                estimator_views.iter().map(|(s, t)| (*s, t.as_slice())).collect();
+            let previous = estimator.trim();
+            let estimate = estimator.observe(&observed);
+            drop(observed);
+            estimator_views.clear();
+            if estimate.trim != previous {
+                if let Some(log) = self.event_log.as_mut() {
+                    log.push(RoundEvent::BetaAdjusted {
+                        round: self.round,
+                        previous,
+                        trim: estimate.trim,
+                        suspects: estimate.suspects,
+                    });
+                }
+            }
+            beta_hat = Some(estimate.trim);
+            adaptive = Some(AdaptiveTrimmedMean::new(estimate.trim));
+        }
 
         // 5. Client-side filtering (lines 12–13): w_{t+1,0}^k = Def(ã…),
         // over however many models survive the faults, block by block
         // through the buffer pool.
         let capture_views = self.record_diagnostics && evaluate;
+        let filter: &dyn AggregationRule = match adaptive.as_ref() {
+            Some(rule) => rule,
+            None => self.filter.as_ref(),
+        };
         let outcome = phases::filter(phases::FilterCtx {
             transport: self.transport.as_mut(),
             store: &self.store,
@@ -555,14 +677,19 @@ impl SimulationEngine {
             active: &active,
             trained: &trained,
             pool: &self.pool,
-            filter: self.filter.as_ref(),
+            filter,
             num_servers,
-            byz_servers: topo.byzantine_ids().count(),
+            byz_servers: match beta_hat {
+                Some(trim) => trim,
+                None => topo.byzantine_ids().count(),
+            },
             round: self.round,
             event_log: self.event_log.as_mut(),
             capture_views,
             on_degraded: self.config.recovery.on_degraded,
             threads: worker_threads,
+            beta_hat,
+            threat_epoch,
         })?;
 
         let diagnostics = if capture_views {

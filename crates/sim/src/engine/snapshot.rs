@@ -57,6 +57,14 @@ pub struct Snapshot {
     /// from older builds restore cleanly.
     #[serde(default)]
     pub recovery_state: Vec<u32>,
+    /// The online B̂ estimator's per-server suspicion scores; empty when
+    /// the estimator is disabled (and in snapshots from older builds,
+    /// which restore cleanly with a fresh estimator).
+    #[serde(default)]
+    pub estimator_scores: Vec<f64>,
+    /// The estimator's current trim level, paired with `estimator_scores`.
+    #[serde(default)]
+    pub estimator_trim: usize,
 }
 
 impl SimulationEngine {
@@ -79,6 +87,12 @@ impl SimulationEngine {
                 .collect(),
             result: self.result.clone(),
             recovery_state: self.transport.recovery_state(),
+            estimator_scores: self
+                .estimator
+                .as_ref()
+                .map(|e| e.scores().to_vec())
+                .unwrap_or_default(),
+            estimator_trim: self.estimator.as_ref().map(|e| e.trim()).unwrap_or(0),
         }
     }
 
@@ -153,6 +167,13 @@ impl SimulationEngine {
         }
         self.transport.restore_state(outboxes);
         self.transport.restore_recovery_state(snapshot.recovery_state.clone());
+        if let Some(estimator) = self.estimator.as_mut() {
+            // Pre-estimator snapshots carry no scores; a fresh estimator is
+            // the right state for them.
+            if !snapshot.estimator_scores.is_empty() {
+                estimator.restore(snapshot.estimator_scores.clone(), snapshot.estimator_trim);
+            }
+        }
         self.round = snapshot.round;
         self.result = snapshot.result.clone();
         Ok(())

@@ -2,11 +2,11 @@
 //! of `engine`, relocated to keep the orchestrator readable).
 
 use super::*;
-use fedms_aggregation::{Mean, TrimmedMean};
+use fedms_aggregation::{EstimatorPolicy, Mean, TrimmedMean};
 use fedms_attacks::AttackKind;
 use fedms_data::{DirichletPartitioner, SynthVisionConfig};
 
-use crate::{ModelSpec, RecoveryPolicy, RoundEvent, Topology, UploadStrategy};
+use crate::{ModelSpec, RecoveryPolicy, RoundEvent, ThreatSchedule, Topology, UploadStrategy};
 use fedms_nn::LrSchedule;
 
 fn small_setup(
@@ -33,6 +33,8 @@ fn small_setup(
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
         cohort: 0,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
     };
     let attacks = byzantine.into_iter().map(|id| (id, attack.build().unwrap())).collect();
     SimulationEngine::new(config, &train, &test, &parts, filter, attacks).unwrap()
@@ -110,6 +112,8 @@ fn attack_ids_must_match_topology() {
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
         cohort: 0,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
     };
     // No attack supplied for byzantine server 1 → error.
     let err = SimulationEngine::new(config, &train, &test, &parts, Box::new(Mean::new()), vec![]);
@@ -177,6 +181,8 @@ fn byzantine_clients_are_filtered_by_robust_server_rule() {
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
         cohort: 0,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
     };
     let client_attacks =
         vec![(1usize, ClientAttackKind::Random { lo: -10.0, hi: 10.0 }.build().unwrap())];
@@ -238,6 +244,8 @@ fn client_attack_validation() {
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
         cohort: 0,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
     };
     let atk = || ClientAttackKind::SignFlip { scale: 1.0 }.build().unwrap();
     // Out-of-range id.
@@ -446,6 +454,8 @@ fn restore_accepts_dense_v1_snapshots() {
         server_state: v2.server_state.clone(),
         result: v2.result.clone(),
         recovery_state: v2.recovery_state.clone(),
+        estimator_scores: Vec::new(),
+        estimator_trim: 0,
     };
     // The v1 layout survives serde (the v2-only fields default to empty).
     let json = serde_json::to_string(&legacy).unwrap();
@@ -604,7 +614,7 @@ fn degraded_quorum_is_a_typed_error() {
     e.step_round(false).unwrap();
     // …round 1 must fail fast with the structured error, not panic.
     match e.step_round(false) {
-        Err(SimError::DegradedQuorum { round, client, received, needed, total }) => {
+        Err(SimError::DegradedQuorum { round, client, received, needed, total, .. }) => {
             assert_eq!(round, 1);
             assert_eq!(client, 0);
             assert_eq!(received, 2);

@@ -43,6 +43,13 @@ pub enum SimError {
         /// The federation's full server count `P`, so operators can see how
         /// badly the view degraded (`received` of `total` survived).
         total: usize,
+        /// The online estimator's current trim level `β̂·P`, when the
+        /// adaptive defence is running: tells operators whether the
+        /// estimator over-trimmed or servers actually died.
+        beta_hat: Option<usize>,
+        /// Index of the active threat epoch when the quorum was lost, if a
+        /// dynamic threat schedule was driving the run.
+        threat_epoch: Option<usize>,
     },
     /// A checkpoint was written with a different [`crate::Snapshot`]
     /// layout version than this build produces
@@ -78,11 +85,28 @@ impl fmt::Display for SimError {
             SimError::Agg(e) => write!(f, "aggregation error: {e}"),
             SimError::Attack(e) => write!(f, "attack error: {e}"),
             SimError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
-            SimError::DegradedQuorum { round, client, received, needed, total } => write!(
-                f,
-                "round {round}: client {client} received only {received} of {total} server \
-                 models but Byzantine tolerance needs more than {needed}"
-            ),
+            SimError::DegradedQuorum {
+                round,
+                client,
+                received,
+                needed,
+                total,
+                beta_hat,
+                threat_epoch,
+            } => {
+                write!(
+                    f,
+                    "round {round}: client {client} received only {received} of {total} server \
+                     models but Byzantine tolerance needs more than {needed}"
+                )?;
+                if let Some(trim) = beta_hat {
+                    write!(f, " (estimator trimming {trim} per side)")?;
+                }
+                if let Some(epoch) = threat_epoch {
+                    write!(f, " (threat epoch {epoch} active)")?;
+                }
+                Ok(())
+            }
             SimError::SnapshotVersion { found, expected } => write!(
                 f,
                 "snapshot has layout version {found} but this build reads \
@@ -166,12 +190,38 @@ mod tests {
 
     #[test]
     fn degraded_quorum_display_names_parties() {
-        let e = SimError::DegradedQuorum { round: 7, client: 3, received: 4, needed: 4, total: 10 };
+        let e = SimError::DegradedQuorum {
+            round: 7,
+            client: 3,
+            received: 4,
+            needed: 4,
+            total: 10,
+            beta_hat: None,
+            threat_epoch: None,
+        };
         let msg = e.to_string();
         assert!(msg.contains("round 7"));
         assert!(msg.contains("client 3"));
         assert!(msg.contains("4 of 10"));
+        assert!(!msg.contains("estimator"));
+        assert!(!msg.contains("threat epoch"));
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn degraded_quorum_display_reports_threat_context() {
+        let e = SimError::DegradedQuorum {
+            round: 7,
+            client: 3,
+            received: 4,
+            needed: 4,
+            total: 10,
+            beta_hat: Some(2),
+            threat_epoch: Some(1),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("estimator trimming 2 per side"));
+        assert!(msg.contains("threat epoch 1 active"));
     }
 
     #[test]

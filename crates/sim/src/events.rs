@@ -97,6 +97,35 @@ pub enum RoundEvent {
         /// received models.
         displacement: f32,
     },
+    /// The dynamic threat schedule changed the world this round: servers
+    /// were compromised or healed, links partitioned or restored, frame
+    /// corruption turned on or off (see [`crate::ThreatSchedule`]).
+    ThreatEpoch {
+        /// Round index.
+        round: usize,
+        /// Index of the dominant active epoch in the schedule, if any
+        /// (`None` when the schedule returned to quiescence).
+        epoch: Option<usize>,
+        /// Ids of the servers currently running a scheduled compromise.
+        compromised: Vec<usize>,
+        /// Ids of the servers currently cut off by a link partition.
+        partitioned: Vec<usize>,
+        /// Per-frame corruption probability currently injected at the wire.
+        corrupt_rate: f64,
+    },
+    /// The online Byzantine-count estimator moved its trim level: the
+    /// adaptive filter will trim `trim` servers per side from here on
+    /// (see [`fedms_aggregation::ByzantineEstimator`]).
+    BetaAdjusted {
+        /// Round index.
+        round: usize,
+        /// The trim level used before this adjustment.
+        previous: usize,
+        /// The new per-side trim level `β̂·P`.
+        trim: usize,
+        /// How many servers currently score above the suspicion threshold.
+        suspects: usize,
+    },
 }
 
 impl RoundEvent {
@@ -109,12 +138,15 @@ impl RoundEvent {
             | RoundEvent::Aggregated { round, .. }
             | RoundEvent::Disseminated { round, .. }
             | RoundEvent::ServerSilent { round, .. }
-            | RoundEvent::Filtered { round, .. } => round,
+            | RoundEvent::Filtered { round, .. }
+            | RoundEvent::ThreatEpoch { round, .. }
+            | RoundEvent::BetaAdjusted { round, .. } => round,
         }
     }
 
     /// A short tag for filtering (`"train"`, `"upload"`, `"recovery"`,
-    /// `"aggregate"`, `"disseminate"`, `"silent"`, `"filter"`).
+    /// `"aggregate"`, `"disseminate"`, `"silent"`, `"filter"`, `"threat"`,
+    /// `"beta"`).
     pub fn kind(&self) -> &'static str {
         match self {
             RoundEvent::LocalTrainingCompleted { .. } => "train",
@@ -124,6 +156,8 @@ impl RoundEvent {
             RoundEvent::Disseminated { .. } => "disseminate",
             RoundEvent::ServerSilent { .. } => "silent",
             RoundEvent::Filtered { .. } => "filter",
+            RoundEvent::ThreatEpoch { .. } => "threat",
+            RoundEvent::BetaAdjusted { .. } => "beta",
         }
     }
 }
@@ -250,11 +284,29 @@ mod tests {
             RoundEvent::Disseminated { round: 7, server: 1, byzantine: true, equivocating: false },
             RoundEvent::ServerSilent { round: 7, server: 2, crashed: true },
             RoundEvent::Filtered { round: 7, client: 0, displacement: 0.1 },
+            RoundEvent::ThreatEpoch {
+                round: 7,
+                epoch: Some(1),
+                compromised: vec![2],
+                partitioned: vec![5],
+                corrupt_rate: 0.01,
+            },
+            RoundEvent::BetaAdjusted { round: 7, previous: 0, trim: 2, suspects: 2 },
         ];
         let kinds: Vec<_> = events.iter().map(RoundEvent::kind).collect();
         assert_eq!(
             kinds,
-            vec!["train", "upload", "recovery", "aggregate", "disseminate", "silent", "filter"]
+            vec![
+                "train",
+                "upload",
+                "recovery",
+                "aggregate",
+                "disseminate",
+                "silent",
+                "filter",
+                "threat",
+                "beta"
+            ]
         );
         assert!(events.iter().all(|e| e.round() == 7));
     }

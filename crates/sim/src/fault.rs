@@ -22,6 +22,13 @@
 //! `β' = B/P'`): as long as `P' > 2B` an honest per-coordinate majority
 //! remains and filtering degrades gracefully; at `P' ≤ 2B` the round
 //! aborts with [`crate::SimError::DegradedQuorum`].
+//!
+//! Faults here are *benign* and sampled once up front. The companion
+//! [`crate::ThreatSchedule`] layer covers the *adversarial* time axis —
+//! servers that become Byzantine mid-run, link partitions, and wire
+//! corruption — and composes with a `FaultPlan`: a server can be crashed
+//! by the plan and (pointlessly) compromised by the schedule; the crash
+//! wins because it never disseminates.
 
 use fedms_tensor::rng::rng_for;
 use serde::{Deserialize, Serialize};

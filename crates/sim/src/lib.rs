@@ -53,6 +53,7 @@ mod phases;
 mod recovery;
 mod server;
 mod store;
+mod threat;
 mod topology;
 mod transport;
 mod upload;
@@ -72,6 +73,10 @@ pub use recovery::{
 };
 pub use server::Server;
 pub use store::Partitions;
+pub use threat::{
+    parse_attack_kind, NetThreat, ThreatEpoch, ThreatSchedule, ThreatView,
+    DEFAULT_COMPROMISE_ATTACK,
+};
 pub use topology::Topology;
 pub use transport::{
     Broadcast, Delivery, DeliveryOutcome, Dissemination, LocalTransport, Transport, Upload,

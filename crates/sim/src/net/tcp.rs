@@ -119,16 +119,57 @@ impl TcpRound {
     }
 }
 
+/// Connection attempts before `run_client` gives up on a refused or
+/// reset connect.
+pub const CONNECT_ATTEMPTS: u32 = 5;
+
+/// Base backoff between connect attempts; attempt `n` sleeps
+/// `CONNECT_BACKOFF_MS << n` milliseconds (capped at the final attempt's
+/// delay, ~800 ms total across all retries).
+pub const CONNECT_BACKOFF_MS: u64 = 50;
+
+/// Connects to `addr` with bounded retry: a refused or reset connect —
+/// the normal race when the client launches before `fedms serve` has
+/// bound its listener — is retried [`CONNECT_ATTEMPTS`] times with
+/// exponential backoff instead of failing the whole upload on the first
+/// `ECONNREFUSED`. Other errors (unresolvable address, unreachable
+/// network) fail immediately: waiting cannot fix them.
+fn connect_with_retry(addr: &str) -> std::result::Result<TcpStream, WireError> {
+    let mut last = None;
+    for attempt in 0..CONNECT_ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::ConnectionReset
+                ) =>
+            {
+                last = Some(e);
+                if attempt + 1 < CONNECT_ATTEMPTS {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        CONNECT_BACKOFF_MS << attempt,
+                    ));
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Err(last.expect("loop ran at least once").into())
+}
+
 /// Connects to a [`TcpRound`] server at `addr`, uploads `model` as
 /// `client`, and returns `(contributors, aggregate)` from the server's
-/// reply.
+/// reply. A refused or reset connect is retried with bounded exponential
+/// backoff (see [`CONNECT_ATTEMPTS`]), so launching the client a moment
+/// before the server is not fatal.
 ///
 /// # Errors
 ///
-/// Returns [`SimError::Wire`] on connection failures, malformed frames or
-/// an unexpected reply type.
+/// Returns [`SimError::Wire`] on connection failures that outlive the
+/// retry budget, malformed frames or an unexpected reply type.
 pub fn run_client(addr: &str, client: usize, model: &Tensor) -> Result<(u32, Tensor)> {
-    let mut stream = TcpStream::connect(addr).map_err(WireError::from)?;
+    let mut stream = connect_with_retry(addr)?;
     write_frame(&mut stream, &Frame::Hello { client: client as u32 })?;
     write_frame(
         &mut stream,
@@ -170,5 +211,41 @@ mod tests {
         // mean of [0,1],[1,1],[2,1] = [1,1]
         assert_eq!(report.aggregate.as_ref().unwrap().as_slice(), &[1.0, 1.0]);
         assert_eq!(last.unwrap().as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn client_launched_before_the_server_retries_until_it_binds() {
+        // Learn a free port, then *drop* the listener so the first connect
+        // attempts are refused — the race `fedms client` hits when started
+        // a moment before `fedms serve`.
+        let probe = TcpRound::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let client_addr = addr.clone();
+        let client = std::thread::spawn(move || {
+            run_client(&client_addr, 0, &Tensor::from_slice(&[2.0, 4.0])).unwrap()
+        });
+        // Rebind while the client is inside its backoff window. The port
+        // could in principle be snatched in between; the retry budget
+        // (~800 ms) dwarfs the bind latency, so this stays deterministic
+        // in practice.
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        let server = TcpRound::bind(&addr).unwrap();
+        let report = server.serve(1).unwrap();
+        let (contributors, agg) = client.join().unwrap();
+        assert_eq!(contributors, 1);
+        assert_eq!(agg.as_slice(), &[2.0, 4.0]);
+        assert_eq!(report.uploads, 1);
+    }
+
+    #[test]
+    fn unresolvable_address_fails_without_burning_the_retry_budget() {
+        let start = std::time::Instant::now();
+        let err = run_client("definitely-not-a-host.invalid:1", 0, &Tensor::from_slice(&[1.0]))
+            .unwrap_err();
+        assert!(matches!(err, SimError::Wire(WireError::Io(_))), "{err:?}");
+        // A non-retryable failure must not sleep through the backoff
+        // schedule (~800 ms); allow generous slack for slow resolvers.
+        assert!(start.elapsed() < std::time::Duration::from_millis(700), "{:?}", start.elapsed());
     }
 }

@@ -36,6 +36,7 @@ use rand::Rng;
 use crate::net::model::NetModel;
 use crate::net::wire::{decode_frame, encode_frame, BatchedUpload, Frame, WireError};
 use crate::recovery::{downlink_id, uplink_id, UploadReport};
+use crate::threat::NetThreat;
 use crate::transport::{
     Broadcast, Delivery, DeliveryOutcome, Dissemination, Transport, Upload, DROP_LABEL, OMIT_LABEL,
 };
@@ -46,6 +47,8 @@ const DEFAULT_COALESCE: usize = 8;
 /// Default bound of each actor channel (frames in flight before the
 /// sender blocks).
 const DEFAULT_CHANNEL_BOUND: usize = 64;
+/// RNG label for threat-injected frame corruption ("CRPT").
+const CORRUPT_LABEL: u64 = 0x43_52_50_54;
 
 /// Frame-level traffic counters of a [`NetTransport`] (cumulative since
 /// construction; the criterion bench reads frames/s and bytes/s off them).
@@ -57,6 +60,9 @@ pub struct NetStats {
     pub frame_bytes: u64,
     /// Frames that carried more than one coalesced upload.
     pub coalesced_batches: u64,
+    /// Frames corrupted in flight by the active threat schedule (each one
+    /// surfaces as a typed [`WireError`] at the receiver).
+    pub corrupted_frames: u64,
 }
 
 enum ServerMsg {
@@ -72,7 +78,7 @@ struct InboxReply {
 }
 
 enum RouterMsg {
-    Begin { round: usize, omission: f64, duplicate: f64, lossy: bool },
+    Begin { round: usize, omission: f64, duplicate: f64, lossy: bool, partitioned: Vec<usize> },
     Frame(Vec<u8>),
     Drain { client: usize, reply: Sender<DrainReply> },
     Shutdown,
@@ -142,15 +148,17 @@ fn router_actor(rx: Receiver<RouterMsg>, seed: u64, model: NetModel) {
     let mut queued: Vec<(usize, Dissemination)> = Vec::new();
     let mut omission = 0.0f64;
     let mut duplicate = 0.0f64;
+    let mut partitioned: Vec<usize> = Vec::new();
     let mut downlink_rng: Option<StdRng> = None;
     let mut error: Option<WireError> = None;
     while let Ok(msg) = rx.recv() {
         match msg {
-            RouterMsg::Begin { round: r, omission: o, duplicate: d, lossy } => {
+            RouterMsg::Begin { round: r, omission: o, duplicate: d, lossy, partitioned: p } => {
                 round = r;
                 queued.clear();
                 omission = o;
                 duplicate = d;
+                partitioned = p;
                 error = None;
                 // Derived exactly like LocalTransport::begin_round, and
                 // only when the plan is lossy, so the draw sequence across
@@ -177,6 +185,13 @@ fn router_actor(rx: Receiver<RouterMsg>, seed: u64, model: NetModel) {
                         debug_assert!(false, "queued dissemination misses client {client}");
                         continue;
                     };
+                    // A partitioned server's dissemination never traverses
+                    // the link: dropped before any loss draw, so the draw
+                    // streams of surviving links are unaffected.
+                    if partitioned.contains(server) {
+                        dropped += 1;
+                        continue;
+                    }
                     if let Some(rng) = &mut downlink_rng {
                         if omission > 0.0 && rng.gen_bool(omission) {
                             dropped += 1;
@@ -261,6 +276,13 @@ pub struct NetTransport {
     pending_recipients: Option<usize>,
     round_open: bool,
     drop_rng: Option<StdRng>,
+    /// Network-layer slice of the active threat view ([`NetThreat`]):
+    /// which servers are cut off and how corrupt the wire is. Trivial
+    /// unless a [`crate::ThreatSchedule`] is driving the run.
+    net_threat: NetThreat,
+    /// Per-frame corruption draws ("CRPT" stream); only instantiated while
+    /// `net_threat.corrupt_rate > 0`, so a trivial threat costs no RNG.
+    corrupt_rng: Option<StdRng>,
     uplinks: Vec<SyncSender<ServerMsg>>,
     router: SyncSender<RouterMsg>,
     handles: Vec<JoinHandle<()>>,
@@ -335,6 +357,8 @@ impl NetTransport {
             pending_recipients: None,
             round_open: false,
             drop_rng: None,
+            net_threat: NetThreat::default(),
+            corrupt_rng: None,
             uplinks,
             router,
             handles,
@@ -362,8 +386,28 @@ impl NetTransport {
         self.wire_error.take()
     }
 
+    /// Realizes threat-scheduled frame corruption: with probability
+    /// `corrupt_rate` one deterministic-random bit of the frame's version
+    /// field is flipped in transit, so the receiver decodes a typed
+    /// [`WireError::Version`] and the whole payload is lost to the round —
+    /// the error emerges from the wire, not from injection at the inbox.
+    fn maybe_corrupt(&mut self, bytes: &mut [u8]) {
+        let Some(rng) = &mut self.corrupt_rng else {
+            return;
+        };
+        if bytes.len() < 6 || !rng.gen_bool(self.net_threat.corrupt_rate) {
+            return;
+        }
+        // The version field is bytes 4..6 of the encoded frame; flipping
+        // any of its 16 bits guarantees a decode-time version mismatch.
+        let bit = rng.gen_range(0..16usize);
+        bytes[4 + bit / 8] ^= 1 << (bit % 8);
+        self.stats.corrupted_frames += 1;
+    }
+
     fn send_frame_to_server(&mut self, server: usize, frame: &Frame) {
-        let bytes = encode_frame(frame);
+        let mut bytes = encode_frame(frame);
+        self.maybe_corrupt(&mut bytes);
         self.stats.frames_sent += 1;
         self.stats.frame_bytes += bytes.len() as u64;
         // A send can only fail if the actor died, which only happens at
@@ -414,7 +458,10 @@ impl NetTransport {
             Some(rng) => rng.gen_bool(self.upload_drop_rate),
             None => false,
         };
-        if channel_loss || self.fault_plan.is_crashed(server, self.round) {
+        if channel_loss
+            || self.fault_plan.is_crashed(server, self.round)
+            || self.net_threat.is_partitioned(server)
+        {
             self.comm.record_dropped_upload();
             return (DeliveryOutcome::Dropped, 0);
         }
@@ -473,9 +520,12 @@ impl Transport for NetTransport {
             omission: self.fault_plan.downlink_omission,
             duplicate: self.fault_plan.duplicate_rate,
             lossy: self.fault_plan.lossy_downlink(),
+            partitioned: self.net_threat.partitioned.clone(),
         });
         self.drop_rng =
             (self.upload_drop_rate > 0.0).then(|| rng_for(self.seed, &[DROP_LABEL, round as u64]));
+        self.corrupt_rng = (self.net_threat.corrupt_rate > 0.0)
+            .then(|| rng_for(self.seed, &[CORRUPT_LABEL, round as u64]));
     }
 
     fn send_upload(&mut self, upload: Upload) -> DeliveryOutcome {
@@ -538,7 +588,8 @@ impl Transport for NetTransport {
             server: message.server as u32,
             model: message.model,
         };
-        let bytes = encode_frame(&frame);
+        let mut bytes = encode_frame(&frame);
+        self.maybe_corrupt(&mut bytes);
         self.stats.frames_sent += 1;
         self.stats.frame_bytes += bytes.len() as u64;
         let _ = self.router.send(RouterMsg::Frame(bytes));
@@ -606,6 +657,10 @@ impl Transport for NetTransport {
         }
         self.upload_drop_rate = rate;
         Ok(())
+    }
+
+    fn set_net_threat(&mut self, threat: NetThreat) {
+        self.net_threat = threat;
     }
 
     fn state_snapshot(&self) -> Vec<Vec<Tensor>> {
@@ -745,6 +800,89 @@ mod tests {
         }
         let comm = t.take_comm();
         assert_eq!(comm.download_messages, 4);
+    }
+
+    #[test]
+    fn partitioned_server_is_unreachable_both_ways() {
+        let mut t = NetTransport::new(1, 4, 3, NetModel::ideal());
+        t.set_net_threat(NetThreat { partitioned: vec![1], corrupt_rate: 0.0 });
+        t.begin_round(0, 2);
+        // Uplink: dropped at the sender, the server stays online (it is
+        // up, just unreachable — unlike a crash).
+        assert_eq!(t.send_upload(up(0, 1, 1.0)), DeliveryOutcome::Dropped);
+        assert!(t.server_online(1));
+        assert_eq!(t.send_upload(up(0, 2, 1.0)), DeliveryOutcome::Delivered);
+        assert!(t.take_inbox(1).is_empty());
+        assert_eq!(t.take_inbox(2).len(), 1);
+        // Downlink: its dissemination never leaves the router.
+        for s in [1usize, 2] {
+            t.broadcast(Broadcast {
+                server: s,
+                model: Dissemination::Broadcast(Tensor::from_slice(&[s as f32, 0.0])),
+            })
+            .unwrap();
+        }
+        let d = t.drain_deliveries(0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].server, 2);
+        let comm = t.take_comm();
+        assert_eq!(comm.dropped_uploads, 1);
+        assert!(comm.dropped_downloads >= 1);
+        // Healing the partition restores both directions.
+        t.set_net_threat(NetThreat::default());
+        t.begin_round(1, 2);
+        assert_eq!(t.send_upload(up(0, 1, 9.0)), DeliveryOutcome::Delivered);
+        assert_eq!(t.take_inbox(1).len(), 1);
+        assert!(t.take_wire_error().is_none());
+    }
+
+    #[test]
+    fn corrupted_frames_surface_typed_version_errors() {
+        let mut t = NetTransport::new(7, 4, 2, NetModel::ideal());
+        t.set_net_threat(NetThreat { partitioned: vec![], corrupt_rate: 1.0 });
+        t.begin_round(0, 2);
+        // Every uplink frame is corrupted: the payload is lost to the
+        // round and the actor reports a typed version error.
+        assert_eq!(t.send_upload(up(0, 0, 1.0)), DeliveryOutcome::Delivered);
+        assert!(t.take_inbox(0).is_empty());
+        match t.take_wire_error() {
+            Some(WireError::Version { expected, .. }) => {
+                assert_eq!(expected, crate::net::FRAME_VERSION);
+            }
+            other => panic!("expected a version error, got {other:?}"),
+        }
+        // Downlink frames corrupt the same way.
+        t.broadcast(Broadcast {
+            server: 1,
+            model: Dissemination::Broadcast(Tensor::from_slice(&[2.0, 2.0])),
+        })
+        .unwrap();
+        assert!(t.drain_deliveries(0).is_empty());
+        assert!(matches!(t.take_wire_error(), Some(WireError::Version { .. })));
+        assert_eq!(t.net_stats().corrupted_frames, 2);
+    }
+
+    #[test]
+    fn corruption_draws_are_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut t = NetTransport::new(seed, 4, 2, NetModel::ideal());
+            t.set_net_threat(NetThreat { partitioned: vec![], corrupt_rate: 0.5 });
+            let mut survivors = Vec::new();
+            for round in 0..6 {
+                t.begin_round(round, 2);
+                for k in 0..4 {
+                    t.send_upload(up(k, 0, k as f32));
+                }
+                survivors.push(t.take_inbox(0).len());
+                t.take_wire_error();
+                t.take_comm();
+            }
+            (survivors, t.net_stats().corrupted_frames)
+        };
+        assert_eq!(run(3), run(3));
+        let (survivors, corrupted) = run(3);
+        assert!(corrupted > 0, "rate 0.5 over 24 uploads must corrupt something");
+        assert!(survivors.iter().any(|&n| n > 0), "and some frames must survive");
     }
 
     #[test]

@@ -319,13 +319,32 @@ pub(crate) struct DisseminateCtx<'a> {
 /// Phase 4 — dissemination: each non-silent server sends out its ready
 /// aggregate — honestly, or through its Byzantine attack — and the result
 /// is queued on the transport for every client.
-pub(crate) fn disseminate(mut ctx: DisseminateCtx<'_>, ready: Vec<Option<Tensor>>) -> Result<()> {
+///
+/// With `capture` present (the online Byzantine-count estimator is
+/// running), each disseminating server's *post-attack* view is recorded as
+/// `(server, model)` before it is queued — the broadcast tensor, or the
+/// first client's slice of an equivocating dissemination, which is exactly
+/// what a client-side observer could see on the wire.
+pub(crate) fn disseminate(
+    mut ctx: DisseminateCtx<'_>,
+    ready: Vec<Option<Tensor>>,
+    mut capture: Option<&mut Vec<(usize, Tensor)>>,
+) -> Result<()> {
     for (i, out) in ready.into_iter().enumerate() {
         let Some(out) = out else { continue };
         let server = &mut ctx.servers[i];
         let d = server.disseminate(&out, ctx.round, ctx.num_clients)?;
         let equivocating = matches!(d, Dissemination::PerClient(_));
         let byzantine = server.is_byzantine();
+        if let Some(views) = capture.as_deref_mut() {
+            let observed = match &d {
+                Dissemination::Broadcast(t) => Some(t.clone()),
+                Dissemination::PerClient(per) => per.first().cloned(),
+            };
+            if let Some(t) = observed {
+                views.push((i, t));
+            }
+        }
         ctx.transport.broadcast(Broadcast { server: i, model: d })?;
         if let Some(log) = ctx.event_log.as_deref_mut() {
             log.push(RoundEvent::Disseminated {
@@ -374,6 +393,13 @@ pub(crate) struct FilterCtx<'a> {
     /// Worker threads for the per-client filter applications (≤ 1 =
     /// sequential; results are bit-identical across thread counts).
     pub threads: usize,
+    /// The online estimator's current trim level, when the adaptive
+    /// defence is running — reported on [`SimError::DegradedQuorum`] so
+    /// operators can tell estimator over-trimming from dead servers.
+    pub beta_hat: Option<usize>,
+    /// Index of the active threat epoch, when a dynamic threat schedule is
+    /// driving the run — likewise reported on quorum loss.
+    pub threat_epoch: Option<usize>,
 }
 
 /// What the filtering phase produces.
@@ -449,6 +475,8 @@ pub(crate) fn filter(mut ctx: FilterCtx<'_>) -> Result<FilterOutcome> {
                     received: distinct,
                     needed: 2 * ctx.byz_servers,
                     total: ctx.num_servers,
+                    beta_hat: ctx.beta_hat,
+                    threat_epoch: ctx.threat_epoch,
                 });
             }
             // Total blackout, or a sub-quorum view the policy chose to

@@ -40,6 +40,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::fault::FaultClass;
+use crate::threat::NetThreat;
 use crate::transport::{Broadcast, Delivery, DeliveryOutcome, Dissemination, Transport, Upload};
 use crate::{CommStats, FaultPlan, Result, SimError};
 
@@ -559,6 +560,12 @@ impl<T: Transport> Transport for ResilientTransport<T> {
 
     fn set_upload_drop_rate(&mut self, rate: f64) -> Result<()> {
         self.inner.set_upload_drop_rate(rate)
+    }
+
+    fn set_net_threat(&mut self, threat: NetThreat) {
+        // The trait default swallows the threat; a decorator must hand it
+        // to whatever transport actually owns the wire.
+        self.inner.set_net_threat(threat);
     }
 
     fn state_snapshot(&self) -> Vec<Vec<Tensor>> {

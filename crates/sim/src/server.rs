@@ -65,6 +65,14 @@ impl Server {
         self.attack.is_some()
     }
 
+    /// Replaces this server's behaviour mid-run: `Some(attack)` compromises
+    /// it, `None` heals it back to benign. Used by the dynamic threat
+    /// schedule ([`crate::ThreatSchedule`]); the attack history is kept so
+    /// adaptive attacks (Backward, ALIE) see the honest past immediately.
+    pub(crate) fn set_attack(&mut self, attack: Option<Box<dyn ServerAttack>>) {
+        self.attack = attack;
+    }
+
     /// Aggregation stage: combines the received local models with `rule`
     /// (the paper's benign servers use the plain mean,
     /// `a_{t+1}^i = 1/|N_i| Σ w_{t,E}^k`; a robust rule here extends Fed-MS

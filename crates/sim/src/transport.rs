@@ -38,6 +38,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::recovery::UploadReport;
+use crate::threat::NetThreat;
 use crate::{CommStats, FaultPlan, Result, SimError};
 
 /// RNG label for uplink channel loss ("DROP"). Shared with
@@ -269,6 +270,16 @@ pub trait Transport: Send {
     ///
     /// Returns [`SimError::BadConfig`] unless `0 ≤ rate < 1`.
     fn set_upload_drop_rate(&mut self, rate: f64) -> Result<()>;
+
+    /// Installs this round's network-layer threat (link partitions, frame
+    /// corruption) from the dynamic [`crate::ThreatSchedule`]. Effective
+    /// from the next [`Transport::begin_round`]. Only transports with an
+    /// actual wire ([`crate::net::NetTransport`]) realize it; the default
+    /// ignores it — [`LocalTransport`] models no network, so there is no
+    /// link to cut or frame to corrupt. Decorators must forward it.
+    fn set_net_threat(&mut self, threat: NetThreat) {
+        let _ = threat;
+    }
 
     /// The evolving cross-round state (per-server straggler outboxes,
     /// oldest first) for bit-exact checkpointing.

@@ -10,10 +10,11 @@
 //! 3. a cohort covering the whole federation reproduces the pre-cohort
 //!    engine bit-exactly (`cohort = K` ≡ `cohort = 0`).
 
-use fedms_aggregation::TrimmedMean;
+use fedms_aggregation::{EstimatorPolicy, TrimmedMean};
 use fedms_attacks::AttackKind;
 use fedms_data::{DirichletPartitioner, SynthVisionConfig};
 use fedms_nn::LrSchedule;
+use fedms_sim::ThreatSchedule;
 use fedms_sim::{
     sample_cohort, EngineConfig, ModelSpec, RecoveryPolicy, SimulationEngine, Topology,
     UploadStrategy,
@@ -108,6 +109,8 @@ fn cohort_engine(cohort: usize, threads: usize, parallel: bool) -> SimulationEng
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
         cohort,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
     };
     let attacks = vec![(1usize, AttackKind::Noise { std: 0.5 }.build().unwrap())];
     SimulationEngine::new(

@@ -17,7 +17,7 @@
 //!    incompatible versions are rejected with the typed error, and a
 //!    loopback-TCP round aggregates concurrent client uploads.
 
-use fedms_aggregation::TrimmedMean;
+use fedms_aggregation::{EstimatorPolicy, TrimmedMean};
 use fedms_attacks::AttackKind;
 use fedms_data::{DirichletPartitioner, SynthVisionConfig};
 use fedms_nn::LrSchedule;
@@ -25,8 +25,8 @@ use fedms_sim::net::wire::{decode_frame, encode_frame};
 use fedms_sim::net::Frame;
 use fedms_sim::{
     CommStats, DeliveryOutcome, Dissemination, EngineConfig, FaultPlan, LocalTransport, ModelSpec,
-    NetModel, NetTransport, RecoveryPolicy, ServerFault, SimulationEngine, Topology, Transport,
-    Upload, UploadStrategy, WireError,
+    NetModel, NetTransport, RecoveryPolicy, ServerFault, SimulationEngine, ThreatSchedule,
+    Topology, Transport, Upload, UploadStrategy, WireError,
 };
 use fedms_tensor::Tensor;
 use proptest::prelude::*;
@@ -235,6 +235,77 @@ proptest! {
             prop_assert_eq!(used, bytes.len(), "decoder left trailing bytes");
         }
     }
+
+    /// Fuzz hardening: feeding the decoder arbitrary bytes never panics
+    /// and never over-allocates — it returns a frame or a typed
+    /// [`WireError`], and when it succeeds it consumed no more bytes than
+    /// it was given.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..512),
+    ) {
+        match decode_frame(&bytes) {
+            Ok((_, used)) => prop_assert!(used <= bytes.len()),
+            Err(
+                WireError::Truncated { .. }
+                | WireError::Version { .. }
+                | WireError::UnknownKind(_)
+                | WireError::Oversized { .. }
+                | WireError::TrailingBytes { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "pure decode surfaced {other:?}"),
+        }
+    }
+
+    /// Fuzz hardening: every truncation of a well-formed frame decodes to
+    /// a typed error — never a panic, never a bogus success.
+    #[test]
+    fn truncations_of_valid_frames_are_typed_errors(
+        round in 0u32..100,
+        server in 0u32..16,
+        payload in proptest::collection::vec(-1e3f32..1e3, 0..16),
+        cut_seed in 0u64..=u64::MAX,
+    ) {
+        let bytes = encode_frame(&Frame::Broadcast {
+            round,
+            server,
+            model: Dissemination::Broadcast(Tensor::from_slice(&payload)),
+        });
+        let cut = (cut_seed as usize) % bytes.len();
+        match decode_frame(&bytes[..cut]) {
+            Err(WireError::Truncated { needed, got }) => prop_assert!(got < needed),
+            other => prop_assert!(false, "cut at {cut}: expected truncation, got {other:?}"),
+        }
+    }
+
+    /// Fuzz hardening: a single flipped bit anywhere in a valid frame
+    /// yields a decode (possibly of different content) or a typed error —
+    /// the decoder has no panicking path and no unchecked allocation.
+    #[test]
+    fn bit_flips_decode_or_fail_typed(
+        client in 0u32..100,
+        arrival in 0u64..1000,
+        payload in proptest::collection::vec(-1e3f32..1e3, 1..16),
+        flip_seed in 0u64..=u64::MAX,
+    ) {
+        let bytes = encode_frame(&Frame::Upload {
+            round: 1,
+            client,
+            server: 0,
+            arrival_ms: arrival,
+            model: Tensor::from_slice(&payload),
+        });
+        let mut corrupted = bytes.clone();
+        let bit = (flip_seed as usize) % (bytes.len() * 8);
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        match decode_frame(&corrupted) {
+            Ok((_, used)) => prop_assert!(used <= corrupted.len()),
+            Err(WireError::Io(msg)) => {
+                prop_assert!(false, "pure decode surfaced an i/o error: {msg}")
+            }
+            Err(_) => {}
+        }
+    }
 }
 
 /// A frame stamped with a future protocol version is rejected with the
@@ -286,6 +357,8 @@ fn engine(cohort: usize) -> SimulationEngine {
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
         cohort,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
     };
     let attacks = vec![(1usize, AttackKind::Noise { std: 0.5 }.build().unwrap())];
     SimulationEngine::new(
@@ -356,6 +429,71 @@ fn cohorted_net_rounds_account_downloads_to_the_cohort() {
     // accounted on top of this base.
     assert_eq!(net_comm.download_messages - net_comm.duplicated_downloads, 4 * 4 * 2 + 3 * 4);
     assert_eq!(local_snap, net_snap);
+}
+
+/// Runs a short federation with the given server attack on the default
+/// local transport or an ideal-model net transport, returning the
+/// per-round accuracy trajectory.
+fn stealth_run(attack: Box<dyn fedms_attacks::ServerAttack>, net: bool) -> Vec<f32> {
+    let (train, test) = SynthVisionConfig::small().generate(3).unwrap();
+    let topo = Topology::new(12, 4, vec![1]).unwrap();
+    let parts = DirichletPartitioner::new(10.0).unwrap().partition(&train, 12, 3).unwrap();
+    let config = EngineConfig {
+        topology: topo,
+        model: ModelSpec::Mlp { widths: vec![16, 8, 4] },
+        upload: UploadStrategy::Sparse,
+        local_epochs: 1,
+        batch_size: 4,
+        schedule: LrSchedule::Constant(0.05),
+        seed: 21,
+        eval_every: 1,
+        eval_clients: 0,
+        parallel: false,
+        threads: 0,
+        eval_after_local: false,
+        recovery: RecoveryPolicy::disabled(),
+        cohort: 0,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
+    };
+    let mut e = SimulationEngine::new(
+        config,
+        &train,
+        &test,
+        &parts,
+        Box::new(TrimmedMean::new(0.25).unwrap()),
+        vec![(1usize, attack)],
+    )
+    .unwrap();
+    if net {
+        e.set_transport(Box::new(NetTransport::new(21, 12, 4, NetModel::ideal())));
+    }
+    let result = e.run(3).unwrap();
+    result.rounds.iter().map(|r| r.mean_accuracy).collect()
+}
+
+/// Stealth attacks cross the wire unchanged: ALIE, IPM and per-client
+/// equivocation produce bit-identical accuracy trajectories whether the
+/// tampered disseminations travel through `LocalTransport` or through the
+/// concurrent `NetTransport` under the ideal model. Equivocation
+/// exercises the per-client (`Dissemination::PerClient`) wire path, the
+/// one a broadcast-only codec would silently collapse.
+#[test]
+fn stealth_attacks_cross_the_net_transport_unchanged() {
+    type AttackBuilder = fn() -> Box<dyn fedms_attacks::ServerAttack>;
+    let builds: Vec<(&str, AttackBuilder)> = vec![
+        ("alie", || AttackKind::Alie { z: 1.0 }.build().unwrap()),
+        ("ipm", || AttackKind::Ipm { epsilon: 0.5 }.build().unwrap()),
+        ("equivocation", || {
+            AttackKind::Random { lo: -10.0, hi: 10.0 }.build_equivocating(1).unwrap()
+        }),
+    ];
+    for (name, build) in builds {
+        let local = stealth_run(build(), false);
+        let net = stealth_run(build(), true);
+        assert!(!local.is_empty(), "{name}: no accuracy samples recorded");
+        assert_eq!(local, net, "{name}: accuracy trajectory diverged between local and net");
+    }
 }
 
 /// One loopback-TCP round with *concurrent* clients: the serve loop folds

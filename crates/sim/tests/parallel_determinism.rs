@@ -5,10 +5,11 @@
 //! sequential, 4-thread and auto-thread execution and compares the
 //! serialized [`fedms_sim::Snapshot`] byte-for-byte.
 
-use fedms_aggregation::TrimmedMean;
+use fedms_aggregation::{EstimatorPolicy, TrimmedMean};
 use fedms_attacks::AttackKind;
 use fedms_data::{DirichletPartitioner, SynthVisionConfig};
 use fedms_nn::LrSchedule;
+use fedms_sim::ThreatSchedule;
 use fedms_sim::{
     EngineConfig, ModelSpec, RecoveryPolicy, SimulationEngine, Snapshot, Topology, UploadStrategy,
 };
@@ -34,6 +35,8 @@ fn engine(parallel: bool, threads: usize) -> SimulationEngine {
         eval_after_local: true,
         recovery: RecoveryPolicy::disabled(),
         cohort: 0,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
     };
     let attacks = vec![(2, AttackKind::Noise { std: 0.5 }.build().unwrap())];
     let filter = Box::new(TrimmedMean::new(0.25).unwrap());

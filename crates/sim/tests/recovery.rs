@@ -3,10 +3,11 @@
 //! acceptance scenarios (quorum restoration under heavy omission, degraded
 //! continuation, and the long chaos soak).
 
-use fedms_aggregation::TrimmedMean;
+use fedms_aggregation::{EstimatorPolicy, TrimmedMean};
 use fedms_attacks::AttackKind;
 use fedms_data::{DirichletPartitioner, SynthVisionConfig};
 use fedms_nn::LrSchedule;
+use fedms_sim::ThreatSchedule;
 use fedms_sim::{
     uplink_id, Broadcast, CommStats, DegradedMode, DeliveryOutcome, Dissemination, EngineConfig,
     FaultPlan, LocalTransport, ModelSpec, RecoveryPolicy, ResilientTransport, ServerFault,
@@ -276,6 +277,8 @@ fn engine(seed: u64, recovery: RecoveryPolicy) -> SimulationEngine {
         eval_after_local: false,
         recovery,
         cohort: 0,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
     };
     let attack = AttackKind::Noise { std: 0.5 };
     let attacks = vec![(1, attack.build().unwrap())];
@@ -384,6 +387,8 @@ fn chaos_soak_200_rounds() {
         eval_after_local: false,
         recovery: policy,
         cohort: 0,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
     };
     let filter: Box<dyn fedms_aggregation::AggregationRule> =
         Box::new(TrimmedMean::new(0.25).unwrap());

@@ -13,8 +13,9 @@
 //! *process-wide* peak RSS, so the tests must not overlap. The budget
 //! below is the one DESIGN.md §11 states for the million-client round.
 
-use fedms_aggregation::TrimmedMean;
+use fedms_aggregation::{EstimatorPolicy, TrimmedMean};
 use fedms_nn::LrSchedule;
+use fedms_sim::ThreatSchedule;
 use fedms_sim::{
     EngineConfig, ModelSpec, Partitions, RecoveryPolicy, SimulationEngine, Topology, UploadStrategy,
 };
@@ -49,6 +50,8 @@ fn scale_engine(clients: usize, cohort: usize, threads: usize, parallel: bool) -
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
         cohort,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
     };
     // Procedural partitions: O(1) storage per client is the point — an
     // explicit index-list partition of 10⁶ clients would defeat the test.

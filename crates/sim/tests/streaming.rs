@@ -15,10 +15,11 @@
 //!    not lose the model. This is the regression for the streaming-upload
 //!    `.expect` in the upload phase.
 
-use fedms_aggregation::TrimmedMean;
+use fedms_aggregation::{EstimatorPolicy, TrimmedMean};
 use fedms_attacks::AttackKind;
 use fedms_data::{DirichletPartitioner, SynthVisionConfig};
 use fedms_nn::LrSchedule;
+use fedms_sim::ThreatSchedule;
 use fedms_sim::{
     Broadcast, CommStats, Delivery, DeliveryOutcome, EngineConfig, FaultPlan, LocalTransport,
     ModelSpec, RecoveryPolicy, Result, ServerFault, SimulationEngine, Topology, Transport, Upload,
@@ -135,6 +136,8 @@ fn engine(threads: usize) -> SimulationEngine {
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
         cohort: 0,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
     };
     let attacks = vec![(1usize, AttackKind::Noise { std: 0.5 }.build().unwrap())];
     SimulationEngine::new(

@@ -1,0 +1,227 @@
+//! Acceptance tests for the dynamic threat engine: the bit-identity
+//! contract for dormant schedules, threat-epoch event emission, and the
+//! headline adaptive-defence property — an online B̂ estimator tracking a
+//! mid-run compromise to within the known-B oracle's accuracy while a
+//! static undefended run diverges.
+
+use fedms_aggregation::{AdaptiveTrimmedMean, AggregationRule, EstimatorPolicy, Mean, TrimmedMean};
+use fedms_data::{DirichletPartitioner, SynthVisionConfig};
+use fedms_nn::LrSchedule;
+use fedms_sim::{
+    EngineConfig, ModelSpec, NetModel, NetTransport, RecoveryPolicy, RoundEvent, SimulationEngine,
+    ThreatSchedule, Topology, UploadStrategy,
+};
+use proptest::prelude::*;
+
+fn config(
+    topology: Topology,
+    seed: u64,
+    threat: ThreatSchedule,
+    est: EstimatorPolicy,
+) -> EngineConfig {
+    EngineConfig {
+        topology,
+        model: ModelSpec::Mlp { widths: vec![16, 8, 4] },
+        upload: UploadStrategy::Sparse,
+        local_epochs: 1,
+        batch_size: 4,
+        schedule: LrSchedule::Constant(0.05),
+        seed,
+        eval_every: 1,
+        eval_clients: 0,
+        parallel: false,
+        threads: 0,
+        eval_after_local: false,
+        recovery: RecoveryPolicy::disabled(),
+        cohort: 0,
+        threat,
+        estimator: est,
+    }
+}
+
+/// Builds a 12-client / 4-server federation (server 1 statically
+/// Byzantine) and returns its serialized snapshot after `rounds` rounds.
+fn snapshot_after(seed: u64, net: bool, threat: ThreatSchedule, rounds: usize) -> Vec<u8> {
+    let (train, test) = SynthVisionConfig::small().generate(3).unwrap();
+    let topo = Topology::new(12, 4, vec![1]).unwrap();
+    let parts = DirichletPartitioner::new(10.0).unwrap().partition(&train, 12, 3).unwrap();
+    let attacks = vec![(1usize, fedms_attacks::AttackKind::Noise { std: 0.5 }.build().unwrap())];
+    let mut e = SimulationEngine::new(
+        config(topo, seed, threat, EstimatorPolicy::default()),
+        &train,
+        &test,
+        &parts,
+        Box::new(TrimmedMean::new(0.25).unwrap()),
+        attacks,
+    )
+    .unwrap();
+    if net {
+        e.set_transport(Box::new(NetTransport::new(seed, 12, 4, NetModel::ideal())));
+    }
+    e.run(rounds).unwrap();
+    serde_json::to_string(&e.snapshot()).unwrap().into_bytes()
+}
+
+proptest! {
+    /// The bit-identity contract: an absent schedule, an empty schedule
+    /// and a schedule whose epochs never activate inside the run all
+    /// produce byte-identical snapshots, on both the local and the
+    /// concurrent net transport. Enabling the threat layer without
+    /// triggering it costs nothing and changes nothing.
+    #[test]
+    fn dormant_threat_schedules_are_bit_identical(
+        seed in 0u64..40,
+        net in 0u8..2,
+    ) {
+        let net = net == 1;
+        let base = snapshot_after(seed, net, ThreatSchedule::none(), 3);
+        let empty = snapshot_after(seed, net, ThreatSchedule::parse("").unwrap(), 3);
+        let dormant = snapshot_after(
+            seed,
+            net,
+            ThreatSchedule::parse(
+                "500..: compromise=2, attack=random:-10:10; 600..700: partition=3, corrupt=0.5",
+            )
+            .unwrap(),
+            3,
+        );
+        prop_assert_eq!(&base, &empty, "empty schedule perturbed the run");
+        prop_assert_eq!(&base, &dormant, "dormant epochs perturbed the run");
+    }
+}
+
+/// A compromise epoch turns an honest server Byzantine for its duration
+/// and heals it afterwards: `compromised_servers` tracks the schedule,
+/// and the event log records the epoch boundaries.
+#[test]
+fn mid_run_compromise_is_applied_and_healed() {
+    let (train, test) = SynthVisionConfig::small().generate(3).unwrap();
+    let topo = Topology::new(12, 4, vec![]).unwrap();
+    let parts = DirichletPartitioner::new(10.0).unwrap().partition(&train, 12, 3).unwrap();
+    let threat = ThreatSchedule::parse("1..3: compromise=2, attack=zero").unwrap();
+    let mut e = SimulationEngine::new(
+        config(topo, 11, threat, EstimatorPolicy::default()),
+        &train,
+        &test,
+        &parts,
+        Box::new(TrimmedMean::new(0.25).unwrap()),
+        vec![],
+    )
+    .unwrap();
+    e.enable_event_log(4096);
+
+    e.step_round(false).unwrap(); // round 0: before the epoch
+    assert!(e.compromised_servers().is_empty());
+    e.step_round(false).unwrap(); // round 1: epoch opens
+    assert_eq!(e.compromised_servers(), vec![2]);
+    e.step_round(false).unwrap(); // round 2: still open
+    assert_eq!(e.compromised_servers(), vec![2]);
+    e.step_round(false).unwrap(); // round 3: healed
+    assert!(e.compromised_servers().is_empty());
+
+    let epochs: Vec<(usize, Vec<usize>)> = e
+        .event_log()
+        .unwrap()
+        .of_kind("threat")
+        .into_iter()
+        .filter_map(|ev| match ev {
+            RoundEvent::ThreatEpoch { round, compromised, .. } => {
+                Some((*round, compromised.clone()))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        epochs,
+        vec![(1, vec![2]), (3, vec![])],
+        "expected one event opening the epoch and one closing it"
+    );
+}
+
+/// Runs the 20-client / 10-server federation under a mid-run compromise
+/// of servers 2 and 7, returning the final mean accuracy and the engine.
+fn compromised_run(
+    filter: Box<dyn AggregationRule>,
+    est: EstimatorPolicy,
+    rounds: usize,
+) -> (f32, SimulationEngine) {
+    let (train, test) = SynthVisionConfig::small().generate(3).unwrap();
+    let topo = Topology::new(20, 10, vec![]).unwrap();
+    let parts = DirichletPartitioner::new(10.0).unwrap().partition(&train, 20, 3).unwrap();
+    let threat = ThreatSchedule::parse("6..: compromise=2|7, attack=random:-10:10").unwrap();
+    let mut e =
+        SimulationEngine::new(config(topo, 17, threat, est), &train, &test, &parts, filter, vec![])
+            .unwrap();
+    e.enable_event_log(4096);
+    let result = e.run(rounds).unwrap();
+    (result.rounds.last().unwrap().mean_accuracy, e)
+}
+
+/// The headline acceptance property: when 2 of 10 servers are compromised
+/// mid-run, the online B̂ estimator converges to trimming 2 per side and
+/// the adaptive run lands within 2 accuracy points of the oracle that
+/// knew B all along — while the static undefended (β = 0) run diverges
+/// under the same attack.
+#[test]
+fn adaptive_defence_tracks_the_known_b_oracle() {
+    const ROUNDS: usize = 30;
+    let (oracle, _) =
+        compromised_run(Box::new(AdaptiveTrimmedMean::new(2)), EstimatorPolicy::default(), ROUNDS);
+    let (adaptive, engine) =
+        compromised_run(Box::new(Mean::new()), EstimatorPolicy::enabled(), ROUNDS);
+    let (undefended, _) =
+        compromised_run(Box::new(Mean::new()), EstimatorPolicy::default(), ROUNDS);
+
+    // The estimator convicted exactly the two compromised servers.
+    assert_eq!(engine.estimated_trim(), Some(2), "estimator must settle on B̂ = 2");
+    let adjustments = engine.event_log().unwrap().of_kind("beta").len();
+    assert!(adjustments >= 1, "the trim change must be logged as a BetaAdjusted event");
+
+    assert!(
+        adaptive >= oracle - 0.02,
+        "adaptive defence ({adaptive}) must end within 2 accuracy points \
+         of the known-B oracle ({oracle})"
+    );
+    assert!(
+        undefended + 0.2 < oracle,
+        "the undefended run ({undefended}) must diverge from the oracle ({oracle})"
+    );
+}
+
+/// Long threat soak: a mid-run compromise epoch, an overlapping network
+/// partition and persistent frame corruption, all over the concurrent net
+/// transport with the online estimator driving the trim, for 200 rounds.
+/// Run with `cargo test -p fedms-sim --test threat -- --ignored` (CI runs
+/// it on the chaos-soak schedule).
+#[test]
+#[ignore = "long soak; exercised by the scheduled chaos-soak workflow"]
+fn threat_soak_200_rounds() {
+    let (train, test) = SynthVisionConfig::small().generate(3).unwrap();
+    let topo = Topology::new(12, 6, vec![]).unwrap();
+    let parts = DirichletPartitioner::new(10.0).unwrap().partition(&train, 12, 3).unwrap();
+    let threat = ThreatSchedule::parse(
+        "50..120: compromise=1|4, attack=random:-10:10; 80..140: partition=5; 50..: corrupt=0.01",
+    )
+    .unwrap();
+    // With a partitioned server *and* corrupted frames the per-client view
+    // can dip below the 2β̂+1 quorum; Proceed mode rides out those rounds
+    // instead of aborting (the client keeps its local model).
+    let mut cfg = config(topo, 29, threat, EstimatorPolicy::enabled());
+    cfg.recovery = RecoveryPolicy {
+        on_degraded: fedms_sim::DegradedMode::Proceed,
+        ..RecoveryPolicy::disabled()
+    };
+    let mut e =
+        SimulationEngine::new(cfg, &train, &test, &parts, Box::new(Mean::new()), vec![]).unwrap();
+    e.set_transport(Box::new(NetTransport::new(29, 12, 6, NetModel::ideal())));
+
+    let rounds = 200;
+    let result = e.run(rounds).expect("the soak must survive compromise + partition + corruption");
+    assert_eq!(e.round(), rounds, "every soak round must complete");
+    let last = result.rounds.last().unwrap().mean_accuracy;
+    // All epochs have healed by round 140; sixty clean rounds later the
+    // federation must be back above the accuracy floor.
+    assert!(last >= 0.5, "final accuracy {last} below the soak floor");
+    // The suspicion of the healed servers decays; by the end B̂ is 0 again.
+    assert_eq!(e.estimated_trim(), Some(0), "estimator must heal with the servers");
+}

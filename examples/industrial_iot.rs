@@ -10,8 +10,9 @@
 //! Run with: `cargo run --release --example industrial_iot`
 
 use fedms::{
-    AttackKind, DirichletPartitioner, EngineConfig, LrSchedule, ModelSpec, RecoveryPolicy,
-    ServerAttack, SimulationEngine, SynthSensorConfig, Topology, TrimmedMean, UploadStrategy,
+    AttackKind, DirichletPartitioner, EngineConfig, EstimatorPolicy, LrSchedule, ModelSpec,
+    RecoveryPolicy, ServerAttack, SimulationEngine, SynthSensorConfig, ThreatSchedule, Topology,
+    TrimmedMean, UploadStrategy,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -50,6 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eval_after_local: true,
         recovery: RecoveryPolicy::disabled(),
         cohort: 0,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
     };
     let attacks: Vec<(usize, Box<dyn ServerAttack>)> = byzantine
         .iter()

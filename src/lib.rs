@@ -55,8 +55,9 @@ pub use fedms_sim as sim;
 pub use fedms_tensor as tensor;
 
 pub use fedms_aggregation::{
-    AdaptiveTrimmedMean, AggregationRule, Bulyan, CenteredClip, CoordinateMedian, GeometricMedian,
-    Krum, Mean, MultiKrum, NormBound, TrimmedMean,
+    AdaptiveTrimmedMean, AggregationRule, Bulyan, ByzantineEstimator, CenteredClip,
+    CoordinateMedian, Estimate, EstimatorPolicy, GeometricMedian, Krum, Mean, MultiKrum, NormBound,
+    TrimmedMean,
 };
 pub use fedms_attacks::{
     AlieAttack, AttackContext, AttackKind, BackwardAttack, Benign, ClientAttack,
@@ -71,10 +72,10 @@ pub use fedms_data::{
 pub use fedms_nn::{AvgPool2d, BatchNorm2d, Dropout, MaxPool2d, Sequential, Sigmoid, Tanh};
 pub use fedms_nn::{Layer, LrSchedule, Mlp, MobileNetNano, MobileNetNanoConfig, NeuralNet, Sgd};
 pub use fedms_sim::{
-    CommStats, DegradedMode, EngineConfig, EventLog, FaultClass, FaultPlan, FaultSpec,
-    LocalTransport, ModelSpec, NetModel, NetStats, NetTransport, RecoveryPolicy,
-    ResilientTransport, RoundDiagnostics, RoundEvent, RoundMetrics, RunResult, RunSummary,
-    ServerFault, SimError, SimulationEngine, Snapshot, Topology, Transport, UploadReport,
-    UploadStrategy, WireError,
+    parse_attack_kind, CommStats, DegradedMode, EngineConfig, EventLog, FaultClass, FaultPlan,
+    FaultSpec, LocalTransport, ModelSpec, NetModel, NetStats, NetThreat, NetTransport,
+    RecoveryPolicy, ResilientTransport, RoundDiagnostics, RoundEvent, RoundMetrics, RunResult,
+    RunSummary, ServerFault, SimError, SimulationEngine, Snapshot, ThreatEpoch, ThreatSchedule,
+    ThreatView, Topology, Transport, UploadReport, UploadStrategy, WireError,
 };
 pub use fedms_tensor::{Shape, Tensor, TensorError};

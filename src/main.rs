@@ -29,7 +29,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fedms init-config <file.json>\n  fedms run [<file.json>] [--out <file>] [--rounds <n>] [--seed <n>] [--save-checkpoint <file>] [--resume <file>]\n            [--crash <n>] [--crash-round <r>] [--stragglers <n>] [--straggler-delay <r>]\n            [--downlink-omission <p>] [--duplicate-rate <p>]\n            [--retry-budget <n>] [--attempt-timeout <ms>] [--backoff-base <ms>]\n            [--failover] [--proceed-degraded]\n            [--transport <local|net>] [--net-profile <ideal|edge>]\n  fedms serve <addr> [--expect <n>]\n  fedms client <addr> [--client <id>] [--dim <n>] [--value <x>]\n  fedms exp run <spec.toml> [--threads <n>] [--resume <run-id>] [--out-dir <dir>] [--dry-run|--list]\n  fedms exp list <spec.toml>\n  fedms exp check <run-dir>\n  fedms compare <a.json> <b.json> [...]\n  fedms attacks\n  fedms filters\n\nfault flags inject benign server/link faults on top of the config's\nscenario; victims are sampled deterministically from the run seed.\nrecovery flags enable deadline-driven retries with seed-deterministic\nbackoff (--retry-budget), upload failover to alternate servers\n(--failover), and local continuation instead of aborting when a client's\nview still degrades below quorum (--proceed-degraded).\n\n--transport net runs the round loop over the concurrent NetTransport\n(per-server actors, versioned wire frames); --net-profile edge adds the\nedge-network latency/bandwidth model, making stragglers and deadline\nmisses emerge from the network itself. `serve` binds one TCP parameter\nserver for a single round (port 0 picks a free port) and `client`\nuploads to it over the same wire frames.\n\n`exp run` executes a declarative sweep spec (see experiments/*.toml) on a\nwork-stealing thread pool; records land in <out-dir>/<run-id>/ and a\nre-run (or --resume <run-id>) skips every already-completed trial."
+        "usage:\n  fedms init-config <file.json>\n  fedms run [<file.json>] [--out <file>] [--rounds <n>] [--seed <n>] [--save-checkpoint <file>] [--resume <file>]\n            [--crash <n>] [--crash-round <r>] [--stragglers <n>] [--straggler-delay <r>]\n            [--downlink-omission <p>] [--duplicate-rate <p>]\n            [--retry-budget <n>] [--attempt-timeout <ms>] [--backoff-base <ms>]\n            [--failover] [--proceed-degraded]\n            [--transport <local|net>] [--net-profile <ideal|edge>]\n            [--threat-schedule <spec>] [--estimate-b]\n  fedms serve <addr> [--expect <n>]\n  fedms client <addr> [--client <id>] [--dim <n>] [--value <x>]\n  fedms exp run <spec.toml> [--threads <n>] [--resume <run-id>] [--out-dir <dir>] [--dry-run|--list]\n  fedms exp list <spec.toml>\n  fedms exp check <run-dir>\n  fedms compare <a.json> <b.json> [...]\n  fedms attacks\n  fedms filters\n\nfault flags inject benign server/link faults on top of the config's\nscenario; victims are sampled deterministically from the run seed.\nrecovery flags enable deadline-driven retries with seed-deterministic\nbackoff (--retry-budget), upload failover to alternate servers\n(--failover), and local continuation instead of aborting when a client's\nview still degrades below quorum (--proceed-degraded).\n\n--transport net runs the round loop over the concurrent NetTransport\n(per-server actors, versioned wire frames); --net-profile edge adds the\nedge-network latency/bandwidth model, making stragglers and deadline\nmisses emerge from the network itself. `serve` binds one TCP parameter\nserver for a single round (port 0 picks a free port) and `client`\nuploads to it over the same wire frames.\n\n--threat-schedule drives a dynamic threat timeline: epochs separated by\n';', each 'START..END: key=value, ...' with keys compromise=IDS,\nattack=NAME[:P[:P]], partition=IDS, corrupt=RATE (ids '|'-separated).\nExample: '50..80: compromise=1|3, attack=random:-10:10; 60..: partition=5'.\n--estimate-b turns on the online Byzantine-count estimator: the filter\nbecomes an adaptive trimmed mean driven by a per-round B-hat.\n\n`exp run` executes a declarative sweep spec (see experiments/*.toml) on a\nwork-stealing thread pool; records land in <out-dir>/<run-id>/ and a\nre-run (or --resume <run-id>) skips every already-completed trial."
     );
     ExitCode::FAILURE
 }
@@ -378,6 +378,8 @@ fn run(args: &[String]) -> ExitCode {
     let mut proceed_degraded = false;
     let mut transport: Option<&str> = None;
     let mut net_profile: Option<&str> = None;
+    let mut threat_schedule: Option<&str> = None;
+    let mut estimate_b = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -399,6 +401,8 @@ fn run(args: &[String]) -> ExitCode {
             "--proceed-degraded" => proceed_degraded = true,
             "--transport" => transport = it.next().map(String::as_str),
             "--net-profile" => net_profile = it.next().map(String::as_str),
+            "--threat-schedule" => threat_schedule = it.next().map(String::as_str),
+            "--estimate-b" => estimate_b = true,
             other if !other.starts_with("--") && config_path.is_none() => config_path = Some(other),
             other => {
                 eprintln!("error: unrecognised argument {other}");
@@ -487,6 +491,18 @@ fn run(args: &[String]) -> ExitCode {
             return usage();
         }
     }
+    if let Some(spec) = threat_schedule {
+        cfg.threat = match fedms::ThreatSchedule::parse(spec) {
+            Ok(schedule) => schedule,
+            Err(e) => {
+                eprintln!("error: bad --threat-schedule: {e}");
+                return usage();
+            }
+        };
+    }
+    if estimate_b {
+        cfg.estimator = fedms::EstimatorPolicy::enabled();
+    }
 
     println!(
         "fed-ms run: K={} P={} B={} attack={} filter={} rounds={} seed={}",
@@ -507,6 +523,23 @@ fn run(args: &[String]) -> ExitCode {
             cfg.fault.straggler_delay,
             cfg.fault.downlink_omission,
             cfg.fault.duplicate_rate
+        );
+    }
+    if !cfg.threat.is_trivial() {
+        println!(
+            "threat schedule: {} epoch(s) — mid-run compromise/partition/corruption driven \
+             from the run seed",
+            cfg.threat.epochs.len()
+        );
+    }
+    if cfg.estimator.enabled {
+        println!(
+            "estimator: online B-hat (decay={} scale={} threshold={} floor={} ceiling={})",
+            cfg.estimator.decay(),
+            cfg.estimator.scale(),
+            cfg.estimator.threshold(),
+            cfg.estimator.floor,
+            cfg.estimator.effective_ceiling(cfg.servers),
         );
     }
     if !cfg.recovery.is_disabled() {
@@ -552,12 +585,27 @@ fn run(args: &[String]) -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
-            if matches!(e, fedms::SimError::DegradedQuorum { .. }) {
-                eprintln!(
-                    "hint: enable the recovery layer (--retry-budget <n> and/or --failover) \
-                     to repair transient losses, or --proceed-degraded to ride out the round \
-                     on local models"
-                );
+            if let fedms::SimError::DegradedQuorum { received, beta_hat, threat_epoch, .. } = e {
+                match beta_hat {
+                    // The estimator set the quorum bar: distinguish "B̂ is
+                    // too aggressive for the surviving view" from "the
+                    // servers actually died".
+                    Some(trim) if received > 0 && 2 * trim >= received => eprintln!(
+                        "hint: the online estimator is trimming {trim} per side, which the \
+                         {received} surviving server model(s) cannot satisfy — the estimator \
+                         over-trimmed (lower the estimator ceiling or raise its threshold), \
+                         or ride it out with --proceed-degraded"
+                    ),
+                    _ => eprintln!(
+                        "hint: servers went silent{}; enable the recovery layer \
+                         (--retry-budget <n> and/or --failover) to repair transient losses, \
+                         or --proceed-degraded to ride out the round on local models",
+                        match threat_epoch {
+                            Some(epoch) => format!(" (threat epoch {epoch} is active)"),
+                            None => String::new(),
+                        }
+                    ),
+                }
             }
             return ExitCode::FAILURE;
         }

@@ -3,9 +3,9 @@
 //! that the public APIs compose the way DESIGN.md promises.
 
 use fedms::{
-    AttackKind, DirichletPartitioner, EngineConfig, LrSchedule, Mean, MobileNetNanoConfig,
-    ModelSpec, NoiseAttack, RecoveryPolicy, RotatingAttack, ServerAttack, SimulationEngine,
-    SynthVisionConfig, Topology, TrimmedMean, UploadStrategy,
+    AttackKind, DirichletPartitioner, EngineConfig, EstimatorPolicy, LrSchedule, Mean,
+    MobileNetNanoConfig, ModelSpec, NoiseAttack, RecoveryPolicy, RotatingAttack, ServerAttack,
+    SimulationEngine, SynthVisionConfig, ThreatSchedule, Topology, TrimmedMean, UploadStrategy,
 };
 
 fn small_data() -> (fedms::Dataset, fedms::Dataset) {
@@ -44,6 +44,8 @@ fn manual_assembly_with_trimmed_mean_filter() {
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
         cohort: 0,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
     };
     let attacks: Vec<(usize, Box<dyn ServerAttack>)> =
         vec![(2, Box::new(NoiseAttack::new(1.0).unwrap()))];
@@ -90,6 +92,8 @@ fn mobilenet_nano_federation_trains() {
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
         cohort: 0,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
     };
     let mut engine =
         SimulationEngine::new(config, &train, &test, &partitions, Box::new(Mean::new()), vec![])
@@ -118,6 +122,8 @@ fn engine_exposes_client_models_for_inspection() {
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
         cohort: 0,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
     };
     let mut engine =
         SimulationEngine::new(config, &train, &test, &partitions, Box::new(Mean::new()), vec![])
@@ -157,6 +163,8 @@ fn rotating_adaptive_adversary_is_survivable() {
         eval_after_local: false,
         recovery: RecoveryPolicy::disabled(),
         cohort: 0,
+        threat: ThreatSchedule::none(),
+        estimator: EstimatorPolicy::default(),
     };
     let mut engine = SimulationEngine::new(
         config,
@@ -202,6 +210,8 @@ fn attack_trait_objects_compose_via_kind() {
             eval_after_local: false,
             recovery: RecoveryPolicy::disabled(),
             cohort: 0,
+            threat: ThreatSchedule::none(),
+            estimator: EstimatorPolicy::default(),
         };
         let mut engine = SimulationEngine::new(
             config,
