@@ -10,6 +10,7 @@ use fedms_sim::{
     Topology, Transport, UploadStrategy,
 };
 use fedms_tensor::rng::derive_seed;
+use fedms_tensor::BackendKind;
 use serde::{Deserialize, Serialize};
 
 use crate::{CoreError, FilterKind, Result};
@@ -136,6 +137,13 @@ pub struct FedMsConfig {
     /// configured `filter` in charge.
     #[serde(default)]
     pub estimator: EstimatorPolicy,
+    /// Compute backend for client training kernels
+    /// ([`fedms_tensor::BackendKind`]). `Scalar` (the default) is the
+    /// deterministic CI oracle; `Blocked` selects the cache-blocked
+    /// vectorized kernels and requires a build with the `backend-blocked`
+    /// feature.
+    #[serde(default)]
+    pub backend: BackendKind,
 }
 
 /// Which delivery substrate [`FedMsConfig::build_engine`] hands to the
@@ -195,6 +203,7 @@ impl FedMsConfig {
             shard_samples: 0,
             threat: ThreatSchedule::none(),
             estimator: EstimatorPolicy::default(),
+            backend: BackendKind::Scalar,
         })
     }
 
@@ -236,6 +245,7 @@ impl FedMsConfig {
             shard_samples: 0,
             threat: ThreatSchedule::none(),
             estimator: EstimatorPolicy::default(),
+            backend: BackendKind::Scalar,
         }
     }
 
@@ -341,6 +351,7 @@ impl FedMsConfig {
             cohort: self.cohort,
             threat: self.threat.clone(),
             estimator: self.estimator,
+            backend: self.backend,
         };
         let byz_client_ids: Vec<usize> = client_attacks.iter().map(|(id, _)| *id).collect();
         let mut engine = SimulationEngine::with_store(

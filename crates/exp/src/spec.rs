@@ -128,6 +128,7 @@ const KNOWN_KEYS: &[&str] = &[
     "proceed_degraded",
     "threat_schedule",
     "estimate_b",
+    "backend",
 ];
 
 fn bad(msg: impl Into<String>) -> SpecError {
@@ -519,6 +520,9 @@ fn apply_override(cfg: &mut FedMsConfig, key: &str, v: &Value) -> Result<(), Str
         "threat_schedule" => {
             cfg.threat = fedms_core::ThreatSchedule::parse(str_value(v)?)
                 .map_err(|e| format!("bad threat_schedule: {e}"))?;
+        }
+        "backend" => {
+            cfg.backend = fedms_core::BackendKind::parse(str_value(v)?)?;
         }
         "estimate_b" => {
             cfg.estimator = if bool_value(v)? {

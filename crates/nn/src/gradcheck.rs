@@ -18,7 +18,7 @@ const MAX_INPUT_PROBES: usize = 24;
 /// Central-difference step, sized for `f32`.
 const EPS: f32 = 5e-3;
 
-fn loss_of(layer: &mut Box<dyn Layer>, input: &Tensor) -> Result<f32> {
+fn loss_of(layer: &mut dyn Layer, input: &Tensor) -> Result<f32> {
     let out = layer.forward(input)?;
     Ok(0.5 * out.norm_l2_sq())
 }
@@ -73,6 +73,22 @@ pub fn check_layer(
     seed: u64,
     tol: f32,
 ) -> Result<()> {
+    check_layer_ref(layer.as_mut(), input_dims, seed, tol)
+}
+
+/// Borrowing form of [`check_layer`]: verifies the layer in place, leaving
+/// every parameter at its original value afterwards. Useful for checking
+/// the same layer repeatedly under different compute backends.
+///
+/// # Errors
+///
+/// Same contract as [`check_layer`].
+pub fn check_layer_ref(
+    layer: &mut dyn Layer,
+    input_dims: &[usize],
+    seed: u64,
+    tol: f32,
+) -> Result<()> {
     let mut rng = fedms_tensor::rng::rng_for(seed, &[0xC0DE]);
     let input = Tensor::randn(&mut rng, input_dims, 0.0, 1.0);
 
@@ -95,7 +111,7 @@ pub fn check_layer(
             let orig = layer.params()[pi].as_slice()[ci];
             let mut probe = |v: f32| -> Result<f32> {
                 layer.params_mut()[pi].as_mut_slice()[ci] = v;
-                loss_of(&mut layer, &input)
+                loss_of(&mut *layer, &input)
             };
             let Some(numeric) = numeric_grad(&mut probe, orig)? else {
                 continue; // kink inside the probing interval
@@ -119,7 +135,7 @@ pub fn check_layer(
         let orig = input.as_slice()[ci];
         let mut probe = |v: f32| -> Result<f32> {
             input.as_mut_slice()[ci] = v;
-            loss_of(&mut layer, &input)
+            loss_of(&mut *layer, &input)
         };
         let Some(numeric) = numeric_grad(&mut probe, orig)? else {
             continue;

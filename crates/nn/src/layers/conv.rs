@@ -1,6 +1,7 @@
 //! Convolutional layers (standard and depthwise), computed via im2col.
 
-use fedms_tensor::{col2im, im2col, Conv2dGeometry, Tensor, TensorError};
+use fedms_tensor::pool::{BufferPool, PoolStats};
+use fedms_tensor::{BackendHandle, Conv2dGeometry, Tensor, TensorError};
 use rand::Rng;
 
 use crate::{Layer, NnError, Result};
@@ -23,7 +24,11 @@ fn check_input_4d(input: &Tensor, c: usize, h: usize, w: usize) -> Result<usize>
 /// * input: `(batch, in_c, H, W)`
 /// * output: `(batch, out_c, out_h, out_w)`
 /// * weight: `(out_c, in_c·k·k)` (flattened filter bank), bias: `(out_c)`
-#[derive(Debug, Clone)]
+///
+/// All scratch (column matrices, GEMM outputs) is routed through an internal
+/// [`BufferPool`], so a steady-state training loop performs no per-step
+/// heap allocation on the conv path.
+#[derive(Debug)]
 pub struct Conv2d {
     geom: Conv2dGeometry,
     out_channels: usize,
@@ -32,6 +37,26 @@ pub struct Conv2d {
     grad_weight: Tensor,
     grad_bias: Tensor,
     cached_cols: Vec<Tensor>,
+    backend: BackendHandle,
+    scratch: BufferPool,
+}
+
+impl Clone for Conv2d {
+    fn clone(&self) -> Self {
+        // Scratch buffers are value-transparent: a clone starts with a
+        // fresh, empty pool.
+        Conv2d {
+            geom: self.geom,
+            out_channels: self.out_channels,
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            grad_weight: self.grad_weight.clone(),
+            grad_bias: self.grad_bias.clone(),
+            cached_cols: self.cached_cols.clone(),
+            backend: self.backend,
+            scratch: BufferPool::new(),
+        }
+    }
 }
 
 impl Conv2d {
@@ -59,6 +84,8 @@ impl Conv2d {
             grad_weight: Tensor::zeros(&[out_channels, fan_in]),
             grad_bias: Tensor::zeros(&[out_channels]),
             cached_cols: Vec::new(),
+            backend: BackendHandle::scalar(),
+            scratch: BufferPool::new(),
         })
     }
 
@@ -70,6 +97,11 @@ impl Conv2d {
     /// Number of output channels.
     pub fn out_channels(&self) -> usize {
         self.out_channels
+    }
+
+    /// Traffic counters of the internal scratch pool (test observability).
+    pub fn scratch_stats(&self) -> PoolStats {
+        self.scratch.stats()
     }
 }
 
@@ -83,26 +115,38 @@ impl Layer for Conv2d {
         let batch = check_input_4d(input, g.in_channels, g.in_h, g.in_w)?;
         let vol = g.input_volume();
         let out_plane = g.out_h * g.out_w;
+        let col_len = g.col_rows() * g.col_cols();
         let mut out = Tensor::zeros(&[batch, self.out_channels, g.out_h, g.out_w]);
-        self.cached_cols.clear();
+        // Recycle last step's cached column matrices before building new ones.
+        for cols in self.cached_cols.drain(..) {
+            self.scratch.release_tensor(cols);
+        }
         for s in 0..batch {
-            let img = Tensor::from_vec(
-                input.as_slice()[s * vol..(s + 1) * vol].to_vec(),
-                &[g.in_channels, g.in_h, g.in_w],
-            )?;
-            let cols = im2col(&img, &g)?;
-            let y = self.weight.matmul(&cols)?; // (out_c, out_plane)
+            let img = &input.as_slice()[s * vol..(s + 1) * vol];
+            let mut cols = self.scratch.fetch_zeroed(col_len);
+            self.backend.im2col(img, &g, &mut cols);
+            let mut y = self.scratch.fetch_zeroed(self.out_channels * out_plane);
+            self.backend.matmul(
+                self.weight.as_slice(),
+                &cols,
+                &mut y,
+                self.out_channels,
+                g.col_rows(),
+                out_plane,
+            );
             let dst = &mut out.as_mut_slice()
                 [s * self.out_channels * out_plane..(s + 1) * self.out_channels * out_plane];
             for oc in 0..self.out_channels {
                 let b = self.bias.as_slice()[oc];
-                for (d, &v) in
-                    dst[oc * out_plane..(oc + 1) * out_plane].iter_mut().zip(y.row(oc)?.iter())
+                for (d, &v) in dst[oc * out_plane..(oc + 1) * out_plane]
+                    .iter_mut()
+                    .zip(y[oc * out_plane..(oc + 1) * out_plane].iter())
                 {
                     *d = v + b;
                 }
             }
-            self.cached_cols.push(cols);
+            self.scratch.release(y);
+            self.cached_cols.push(Tensor::from_vec(cols, &[g.col_rows(), g.col_cols()])?);
         }
         Ok(out)
     }
@@ -129,23 +173,40 @@ impl Layer for Conv2d {
         let vol = g.input_volume();
         let mut grad_in = Tensor::zeros(&[batch, g.in_channels, g.in_h, g.in_w]);
         for s in 0..batch {
-            let go = Tensor::from_vec(
-                grad_out.as_slice()
-                    [s * self.out_channels * out_plane..(s + 1) * self.out_channels * out_plane]
-                    .to_vec(),
-                &[self.out_channels, out_plane],
-            )?;
+            let go = &grad_out.as_slice()
+                [s * self.out_channels * out_plane..(s + 1) * self.out_channels * out_plane];
+            let cols = self.cached_cols[s].as_slice();
             // dW += gradOut · colsᵀ
-            let dw = go.matmul_transb(&self.cached_cols[s])?;
-            self.grad_weight.add_inplace(&dw)?;
+            let mut dw = self.scratch.fetch_zeroed(self.out_channels * g.col_rows());
+            self.backend.matmul_transb(
+                go,
+                cols,
+                &mut dw,
+                self.out_channels,
+                out_plane,
+                g.col_rows(),
+            );
+            for (gw, &v) in self.grad_weight.as_mut_slice().iter_mut().zip(dw.iter()) {
+                *gw += v;
+            }
+            self.scratch.release(dw);
             // db += row sums
             for oc in 0..self.out_channels {
-                self.grad_bias.as_mut_slice()[oc] += go.row(oc)?.iter().sum::<f32>();
+                self.grad_bias.as_mut_slice()[oc] +=
+                    go[oc * out_plane..(oc + 1) * out_plane].iter().sum::<f32>();
             }
             // dCols = Wᵀ · gradOut, then scatter back to image space.
-            let dcols = self.weight.matmul_transa(&go)?;
-            let dimg = col2im(&dcols, &g)?;
-            grad_in.as_mut_slice()[s * vol..(s + 1) * vol].copy_from_slice(dimg.as_slice());
+            let mut dcols = self.scratch.fetch_zeroed(g.col_rows() * out_plane);
+            self.backend.matmul_transa(
+                self.weight.as_slice(),
+                go,
+                &mut dcols,
+                g.col_rows(),
+                self.out_channels,
+                out_plane,
+            );
+            self.backend.col2im(&dcols, &g, &mut grad_in.as_mut_slice()[s * vol..(s + 1) * vol]);
+            self.scratch.release(dcols);
         }
         Ok(grad_in)
     }
@@ -166,6 +227,14 @@ impl Layer for Conv2d {
         self.grad_weight.scale(0.0);
         self.grad_bias.scale(0.0);
     }
+
+    fn set_backend(&mut self, backend: BackendHandle) {
+        self.backend = backend;
+    }
+
+    fn backend(&self) -> BackendHandle {
+        self.backend
+    }
 }
 
 /// A depthwise 2-D convolution: one `k×k` filter per channel, no cross-
@@ -173,7 +242,7 @@ impl Layer for Conv2d {
 ///
 /// * input/output channels are equal
 /// * weight: `(channels, k·k)`, bias: `(channels)`
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DepthwiseConv2d {
     geom: Conv2dGeometry,
     chan_geom: Conv2dGeometry,
@@ -182,6 +251,24 @@ pub struct DepthwiseConv2d {
     grad_weight: Tensor,
     grad_bias: Tensor,
     cached_cols: Vec<Vec<Tensor>>,
+    backend: BackendHandle,
+    scratch: BufferPool,
+}
+
+impl Clone for DepthwiseConv2d {
+    fn clone(&self) -> Self {
+        DepthwiseConv2d {
+            geom: self.geom,
+            chan_geom: self.chan_geom,
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            grad_weight: self.grad_weight.clone(),
+            grad_bias: self.grad_bias.clone(),
+            cached_cols: self.cached_cols.clone(),
+            backend: self.backend,
+            scratch: BufferPool::new(),
+        }
+    }
 }
 
 impl DepthwiseConv2d {
@@ -205,12 +292,19 @@ impl DepthwiseConv2d {
             grad_weight: Tensor::zeros(&[geom.in_channels, kk]),
             grad_bias: Tensor::zeros(&[geom.in_channels]),
             cached_cols: Vec::new(),
+            backend: BackendHandle::scalar(),
+            scratch: BufferPool::new(),
         })
     }
 
     /// The convolution geometry (channel count shared between in and out).
     pub fn geometry(&self) -> &Conv2dGeometry {
         &self.geom
+    }
+
+    /// Traffic counters of the internal scratch pool (test observability).
+    pub fn scratch_stats(&self) -> PoolStats {
+        self.scratch.stats()
     }
 }
 
@@ -226,16 +320,18 @@ impl Layer for DepthwiseConv2d {
         let out_plane = g.out_h * g.out_w;
         let kk = g.kernel * g.kernel;
         let mut out = Tensor::zeros(&[batch, g.in_channels, g.out_h, g.out_w]);
-        self.cached_cols.clear();
+        for per_chan in self.cached_cols.drain(..) {
+            for cols in per_chan {
+                self.scratch.release_tensor(cols);
+            }
+        }
         for s in 0..batch {
             let mut per_chan = Vec::with_capacity(g.in_channels);
             for c in 0..g.in_channels {
                 let off = (s * g.in_channels + c) * plane;
-                let chan = Tensor::from_vec(
-                    input.as_slice()[off..off + plane].to_vec(),
-                    &[1, g.in_h, g.in_w],
-                )?;
-                let cols = im2col(&chan, &self.chan_geom)?; // (kk, out_plane)
+                let chan = &input.as_slice()[off..off + plane];
+                let mut cols = self.scratch.fetch_zeroed(kk * out_plane); // (kk, out_plane)
+                self.backend.im2col(chan, &self.chan_geom, &mut cols);
                 let w = &self.weight.as_slice()[c * kk..(c + 1) * kk];
                 let b = self.bias.as_slice()[c];
                 let dst_off = (s * g.in_channels + c) * out_plane;
@@ -243,11 +339,11 @@ impl Layer for DepthwiseConv2d {
                 for (j, d) in dst.iter_mut().enumerate() {
                     let mut acc = b;
                     for (t, &wv) in w.iter().enumerate() {
-                        acc += wv * cols.as_slice()[t * out_plane + j];
+                        acc += wv * cols[t * out_plane + j];
                     }
                     *d = acc;
                 }
-                per_chan.push(cols);
+                per_chan.push(Tensor::from_vec(cols, &[kk, out_plane])?);
             }
             self.cached_cols.push(per_chan);
         }
@@ -287,15 +383,19 @@ impl Layer for DepthwiseConv2d {
                 self.grad_bias.as_mut_slice()[c] += go.iter().sum::<f32>();
                 // dcols[t, j] = w[t] * go[j], scatter via col2im.
                 let w = &self.weight.as_slice()[c * kk..(c + 1) * kk];
-                let mut dcols = vec![0.0f32; kk * out_plane];
+                let mut dcols = self.scratch.fetch_zeroed(kk * out_plane);
                 for (t, &wv) in w.iter().enumerate() {
                     for (j, &gv) in go.iter().enumerate() {
                         dcols[t * out_plane + j] = wv * gv;
                     }
                 }
-                let dimg = col2im(&Tensor::from_vec(dcols, &[kk, out_plane])?, &self.chan_geom)?;
                 let dst_off = (s * g.in_channels + c) * plane;
-                grad_in.as_mut_slice()[dst_off..dst_off + plane].copy_from_slice(dimg.as_slice());
+                self.backend.col2im(
+                    &dcols,
+                    &self.chan_geom,
+                    &mut grad_in.as_mut_slice()[dst_off..dst_off + plane],
+                );
+                self.scratch.release(dcols);
             }
         }
         Ok(grad_in)
@@ -316,6 +416,14 @@ impl Layer for DepthwiseConv2d {
     fn zero_grads(&mut self) {
         self.grad_weight.scale(0.0);
         self.grad_bias.scale(0.0);
+    }
+
+    fn set_backend(&mut self, backend: BackendHandle) {
+        self.backend = backend;
+    }
+
+    fn backend(&self) -> BackendHandle {
+        self.backend
     }
 }
 
@@ -394,6 +502,25 @@ mod tests {
     }
 
     #[test]
+    fn conv_scratch_pool_reaches_steady_state() {
+        // Satellite: after warm-up, every training step must be served from
+        // recycled buffers — reuses ≫ fresh allocations.
+        let mut rng = rng_for(10, &[]);
+        let mut l = Conv2d::new(geom(2, 4, 3, 1, 1), 3, &mut rng).unwrap();
+        let x = Tensor::ones(&[2, 2, 4, 4]);
+        let go = Tensor::ones(&[2, 3, 4, 4]);
+        for _ in 0..20 {
+            l.forward(&x).unwrap();
+            l.backward(&go).unwrap();
+        }
+        let stats = l.scratch_stats();
+        assert!(
+            stats.reused >= 10 * stats.allocated,
+            "conv scratch should be pool-served at steady state: {stats:?}"
+        );
+    }
+
+    #[test]
     fn depthwise_forward_shape_and_independence() {
         let mut rng = rng_for(7, &[]);
         let mut l = DepthwiseConv2d::new(geom(2, 4, 3, 1, 1), &mut rng).unwrap();
@@ -425,5 +552,22 @@ mod tests {
             l.backward(&Tensor::zeros(&[1, 1, 4, 4])),
             Err(NnError::NoForwardCache(_))
         ));
+    }
+
+    #[test]
+    fn depthwise_scratch_pool_reaches_steady_state() {
+        let mut rng = rng_for(11, &[]);
+        let mut l = DepthwiseConv2d::new(geom(2, 4, 3, 1, 1), &mut rng).unwrap();
+        let x = Tensor::ones(&[2, 2, 4, 4]);
+        let go = Tensor::ones(&[2, 2, 4, 4]);
+        for _ in 0..20 {
+            l.forward(&x).unwrap();
+            l.backward(&go).unwrap();
+        }
+        let stats = l.scratch_stats();
+        assert!(
+            stats.reused >= 10 * stats.allocated,
+            "depthwise scratch should be pool-served at steady state: {stats:?}"
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! Sequential composition of layers.
 
-use fedms_tensor::Tensor;
+use fedms_tensor::{BackendHandle, Tensor};
 
 use crate::{Layer, NnError, Result};
 
@@ -10,6 +10,7 @@ use crate::{Layer, NnError, Result};
 #[derive(Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    backend: BackendHandle,
 }
 
 impl std::fmt::Debug for Sequential {
@@ -23,18 +24,21 @@ impl std::fmt::Debug for Sequential {
 impl Sequential {
     /// Creates an empty sequence.
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential::default()
     }
 
     /// Appends a layer, returning `self` for chaining.
     #[must_use]
     pub fn with(mut self, layer: impl Layer + 'static) -> Self {
-        self.layers.push(Box::new(layer));
+        let mut boxed = Box::new(layer);
+        boxed.set_backend(self.backend);
+        self.layers.push(boxed);
         self
     }
 
     /// Appends a boxed layer.
-    pub fn push(&mut self, layer: Box<dyn Layer>) {
+    pub fn push(&mut self, mut layer: Box<dyn Layer>) {
+        layer.set_backend(self.backend);
         self.layers.push(layer);
     }
 
@@ -98,6 +102,17 @@ impl Layer for Sequential {
         for l in &mut self.layers {
             l.set_training(training);
         }
+    }
+
+    fn set_backend(&mut self, backend: BackendHandle) {
+        self.backend = backend;
+        for l in &mut self.layers {
+            l.set_backend(backend);
+        }
+    }
+
+    fn backend(&self) -> BackendHandle {
+        self.backend
     }
 }
 

@@ -1,5 +1,6 @@
 //! Mini-batch stochastic gradient descent with the paper's step-size family.
 
+use fedms_tensor::BackendHandle;
 use serde::{Deserialize, Serialize};
 
 use crate::{Layer, NnError, Result};
@@ -98,6 +99,7 @@ pub struct Sgd {
     momentum: f32,
     weight_decay: f32,
     velocity: Vec<Vec<f32>>,
+    backend: BackendHandle,
 }
 
 impl Sgd {
@@ -115,7 +117,13 @@ impl Sgd {
             momentum: 0.0,
             weight_decay: 0.0,
             velocity: Vec::new(),
+            backend: BackendHandle::scalar(),
         })
+    }
+
+    /// Routes the parameter-update loop through `backend`.
+    pub fn set_backend(&mut self, backend: BackendHandle) {
+        self.backend = backend;
     }
 
     /// Enables heavy-ball momentum: `v ← m·v + ∇p`, `p ← p − η·v`.
@@ -203,16 +211,17 @@ impl Sgd {
             self.velocity = grads.iter().map(|g| vec![0.0f32; g.len()]).collect();
         }
         for (pi, (param, grad)) in model.params_mut().into_iter().zip(grads.iter()).enumerate() {
-            let pslice = param.as_mut_slice();
-            for (ci, (p, &g)) in pslice.iter_mut().zip(grad.iter()).enumerate() {
-                let mut eff = scale * g + self.weight_decay * *p;
-                if self.momentum > 0.0 {
-                    let v = &mut self.velocity[pi][ci];
-                    *v = self.momentum * *v + eff;
-                    eff = *v;
-                }
-                *p -= lr * eff;
-            }
+            let velocity =
+                if self.momentum > 0.0 { Some(self.velocity[pi].as_mut_slice()) } else { None };
+            self.backend.sgd_update(
+                param.as_mut_slice(),
+                grad,
+                lr,
+                scale,
+                self.weight_decay,
+                self.momentum,
+                velocity,
+            );
         }
         self.step += 1;
         Ok(())

@@ -35,6 +35,7 @@ fn small_setup(
         cohort: 0,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms_tensor::BackendKind::Scalar,
     };
     let attacks = byzantine.into_iter().map(|id| (id, attack.build().unwrap())).collect();
     SimulationEngine::new(config, &train, &test, &parts, filter, attacks).unwrap()
@@ -114,6 +115,7 @@ fn attack_ids_must_match_topology() {
         cohort: 0,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms_tensor::BackendKind::Scalar,
     };
     // No attack supplied for byzantine server 1 → error.
     let err = SimulationEngine::new(config, &train, &test, &parts, Box::new(Mean::new()), vec![]);
@@ -183,6 +185,7 @@ fn byzantine_clients_are_filtered_by_robust_server_rule() {
         cohort: 0,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms_tensor::BackendKind::Scalar,
     };
     let client_attacks =
         vec![(1usize, ClientAttackKind::Random { lo: -10.0, hi: 10.0 }.build().unwrap())];
@@ -246,6 +249,7 @@ fn client_attack_validation() {
         cohort: 0,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms_tensor::BackendKind::Scalar,
     };
     let atk = || ClientAttackKind::SignFlip { scale: 1.0 }.build().unwrap();
     // Out-of-range id.

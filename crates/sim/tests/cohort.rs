@@ -111,6 +111,7 @@ fn cohort_engine(cohort: usize, threads: usize, parallel: bool) -> SimulationEng
         cohort,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms_tensor::BackendKind::Scalar,
     };
     let attacks = vec![(1usize, AttackKind::Noise { std: 0.5 }.build().unwrap())];
     SimulationEngine::new(

@@ -359,6 +359,7 @@ fn engine(cohort: usize) -> SimulationEngine {
         cohort,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms_tensor::BackendKind::Scalar,
     };
     let attacks = vec![(1usize, AttackKind::Noise { std: 0.5 }.build().unwrap())];
     SimulationEngine::new(
@@ -455,6 +456,7 @@ fn stealth_run(attack: Box<dyn fedms_attacks::ServerAttack>, net: bool) -> Vec<f
         cohort: 0,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms_tensor::BackendKind::Scalar,
     };
     let mut e = SimulationEngine::new(
         config,

@@ -37,6 +37,7 @@ fn engine(parallel: bool, threads: usize) -> SimulationEngine {
         cohort: 0,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms_tensor::BackendKind::Scalar,
     };
     let attacks = vec![(2, AttackKind::Noise { std: 0.5 }.build().unwrap())];
     let filter = Box::new(TrimmedMean::new(0.25).unwrap());

@@ -279,6 +279,7 @@ fn engine(seed: u64, recovery: RecoveryPolicy) -> SimulationEngine {
         cohort: 0,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms_tensor::BackendKind::Scalar,
     };
     let attack = AttackKind::Noise { std: 0.5 };
     let attacks = vec![(1, attack.build().unwrap())];
@@ -389,6 +390,7 @@ fn chaos_soak_200_rounds() {
         cohort: 0,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms_tensor::BackendKind::Scalar,
     };
     let filter: Box<dyn fedms_aggregation::AggregationRule> =
         Box::new(TrimmedMean::new(0.25).unwrap());

@@ -52,6 +52,7 @@ fn scale_engine(clients: usize, cohort: usize, threads: usize, parallel: bool) -
         cohort,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms_tensor::BackendKind::Scalar,
     };
     // Procedural partitions: O(1) storage per client is the point — an
     // explicit index-list partition of 10⁶ clients would defeat the test.

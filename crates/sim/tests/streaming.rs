@@ -138,6 +138,7 @@ fn engine(threads: usize) -> SimulationEngine {
         cohort: 0,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms_tensor::BackendKind::Scalar,
     };
     let attacks = vec![(1usize, AttackKind::Noise { std: 0.5 }.build().unwrap())];
     SimulationEngine::new(

@@ -36,6 +36,7 @@ fn config(
         cohort: 0,
         threat,
         estimator: est,
+        backend: fedms_tensor::BackendKind::Scalar,
     }
 }
 

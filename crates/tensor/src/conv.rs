@@ -7,7 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Tensor, TensorError};
+use crate::{BackendHandle, Tensor, TensorError};
 
 /// Static geometry of a 2-D convolution: input extents, kernel size, stride
 /// and zero padding, with derived output extents.
@@ -62,8 +62,10 @@ impl Conv2dGeometry {
         if kernel == 0 {
             return Err(TensorError::Invalid("conv kernel must be positive".into()));
         }
-        let padded_h = in_h + 2 * padding;
-        let padded_w = in_w + 2 * padding;
+        let overflow = || TensorError::Invalid("conv geometry overflows usize".into());
+        let pad2 = padding.checked_mul(2).ok_or_else(overflow)?;
+        let padded_h = in_h.checked_add(pad2).ok_or_else(overflow)?;
+        let padded_w = in_w.checked_add(pad2).ok_or_else(overflow)?;
         if padded_h < kernel || padded_w < kernel {
             return Err(TensorError::Invalid(format!(
                 "kernel {kernel} larger than padded input {padded_h}x{padded_w}"
@@ -71,7 +73,19 @@ impl Conv2dGeometry {
         }
         let out_h = (padded_h - kernel) / stride + 1;
         let out_w = (padded_w - kernel) / stride + 1;
-        Ok(Conv2dGeometry { in_channels, in_h, in_w, kernel, stride, padding, out_h, out_w })
+        let geom =
+            Conv2dGeometry { in_channels, in_h, in_w, kernel, stride, padding, out_h, out_w };
+        // Reject geometries whose derived volumes wrap: every downstream
+        // buffer size (input image, column matrix) is a product of these
+        // extents, and a wrapped product would silently under-allocate.
+        let col_rows = in_channels
+            .checked_mul(kernel)
+            .and_then(|v| v.checked_mul(kernel))
+            .ok_or_else(overflow)?;
+        let col_cols = out_h.checked_mul(out_w).ok_or_else(overflow)?;
+        col_rows.checked_mul(col_cols).ok_or_else(overflow)?;
+        in_channels.checked_mul(in_h).and_then(|v| v.checked_mul(in_w)).ok_or_else(overflow)?;
+        Ok(geom)
     }
 
     /// Number of rows of the im2col matrix: `C · k · k`.
@@ -104,33 +118,9 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorErr
             expected: geom.input_volume(),
         });
     }
-    let src = image.as_slice();
-    let (k, s, p) = (geom.kernel, geom.stride, geom.padding);
-    let cols = geom.col_cols();
-    let mut out = vec![0.0f32; geom.col_rows() * cols];
-    for c in 0..geom.in_channels {
-        let chan = &src[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
-        for ky in 0..k {
-            for kx in 0..k {
-                let row_idx = (c * k + ky) * k + kx;
-                let row = &mut out[row_idx * cols..(row_idx + 1) * cols];
-                for oy in 0..geom.out_h {
-                    let iy = (oy * s + ky) as isize - p as isize;
-                    if iy < 0 || iy >= geom.in_h as isize {
-                        continue;
-                    }
-                    for ox in 0..geom.out_w {
-                        let ix = (ox * s + kx) as isize - p as isize;
-                        if ix < 0 || ix >= geom.in_w as isize {
-                            continue;
-                        }
-                        row[oy * geom.out_w + ox] = chan[iy as usize * geom.in_w + ix as usize];
-                    }
-                }
-            }
-        }
-    }
-    Tensor::from_vec(out, &[geom.col_rows(), cols])
+    let mut out = vec![0.0f32; geom.col_rows() * geom.col_cols()];
+    BackendHandle::scalar().im2col(image.as_slice(), geom, &mut out);
+    Tensor::from_vec(out, &[geom.col_rows(), geom.col_cols()])
 }
 
 /// Scatters a `(C·k·k, out_h·out_w)` column-gradient matrix back onto a
@@ -148,32 +138,8 @@ pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorErro
             right: vec![geom.col_rows(), geom.col_cols()],
         });
     }
-    let src = cols.as_slice();
-    let (k, s, p) = (geom.kernel, geom.stride, geom.padding);
-    let ncols = geom.col_cols();
     let mut out = vec![0.0f32; geom.input_volume()];
-    for c in 0..geom.in_channels {
-        let chan = &mut out[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
-        for ky in 0..k {
-            for kx in 0..k {
-                let row_idx = (c * k + ky) * k + kx;
-                let row = &src[row_idx * ncols..(row_idx + 1) * ncols];
-                for oy in 0..geom.out_h {
-                    let iy = (oy * s + ky) as isize - p as isize;
-                    if iy < 0 || iy >= geom.in_h as isize {
-                        continue;
-                    }
-                    for ox in 0..geom.out_w {
-                        let ix = (ox * s + kx) as isize - p as isize;
-                        if ix < 0 || ix >= geom.in_w as isize {
-                            continue;
-                        }
-                        chan[iy as usize * geom.in_w + ix as usize] += row[oy * geom.out_w + ox];
-                    }
-                }
-            }
-        }
-    }
+    BackendHandle::scalar().col2im(cols.as_slice(), geom, &mut out);
     Tensor::from_vec(out, &[geom.in_channels, geom.in_h, geom.in_w])
 }
 
@@ -202,6 +168,24 @@ mod tests {
         assert!(Conv2dGeometry::new(1, 4, 4, 0, 1, 0).is_err());
         assert!(Conv2dGeometry::new(1, 2, 2, 5, 1, 0).is_err());
         assert!(Conv2dGeometry::new(1, 2, 2, 5, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn geometry_rejects_overflowing_volumes() {
+        // Padding arithmetic and derived column-matrix volumes must never
+        // wrap — a wrapped product would under-allocate downstream buffers.
+        assert!(matches!(
+            Conv2dGeometry::new(1, 4, 4, 3, 1, usize::MAX / 2 + 1),
+            Err(TensorError::Invalid(_))
+        ));
+        assert!(matches!(
+            Conv2dGeometry::new(usize::MAX, 4, 4, 3, 1, 1),
+            Err(TensorError::Invalid(_))
+        ));
+        assert!(matches!(
+            Conv2dGeometry::new(1, usize::MAX / 2, usize::MAX / 2, 3, 1, 1),
+            Err(TensorError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! # Ok::<(), fedms_tensor::TensorError>(())
 //! ```
 
+pub mod backend;
 mod conv;
 mod error;
 mod ops;
@@ -29,6 +30,7 @@ mod shape;
 mod stats;
 mod tensor;
 
+pub use backend::{Backend, BackendHandle, BackendKind};
 pub use conv::{col2im, im2col, Conv2dGeometry};
 pub use error::TensorError;
 pub use shape::Shape;

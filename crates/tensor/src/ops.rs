@@ -1,47 +1,55 @@
 //! Linear algebra and reduction operations on [`Tensor`].
+//!
+//! The matmul-family entry points validate shapes here and delegate their
+//! inner loops to a [`BackendHandle`] — by default the scalar reference
+//! backend, whose kernels are the original loop bodies moved verbatim. The
+//! `*_on` variants accept an explicit backend for optimized execution.
 
-use crate::{Tensor, TensorError};
+use crate::{BackendHandle, Tensor, TensorError};
+
+/// `rows · cols` with overflow detection: degenerate shapes such as
+/// `(2³³ × 0) · (0 × 2³³)` are valid inputs whose *output* volume exceeds
+/// `usize`, which must surface as a typed error rather than a wrapped
+/// allocation size.
+pub(crate) fn checked_out_len(rows: usize, cols: usize) -> Result<usize, TensorError> {
+    rows.checked_mul(cols)
+        .ok_or_else(|| TensorError::Invalid(format!("output size {rows}x{cols} overflows usize")))
+}
 
 impl Tensor {
     // ------------------------------------------------------------------
     // Linear algebra (rank-2)
     // ------------------------------------------------------------------
 
-    /// Matrix product of two rank-2 tensors: `(m×k) · (k×n) → (m×n)`.
-    ///
-    /// Uses a cache-friendly `i-k-j` loop order; adequate for the model
-    /// sizes trained in this workspace.
+    /// Matrix product of two rank-2 tensors: `(m×k) · (k×n) → (m×n)` on the
+    /// default (scalar) backend.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] for non-matrices and
     /// [`TensorError::MatmulDimMismatch`] if the inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.matmul_on(other, BackendHandle::scalar())
+    }
+
+    /// [`Tensor::matmul`] on an explicit backend.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Tensor::matmul`].
+    pub fn matmul_on(&self, other: &Tensor, backend: BackendHandle) -> Result<Tensor, TensorError> {
         let (m, k) = self.matrix_dims()?;
         let (k2, n) = other.matrix_dims()?;
         if k != k2 {
             return Err(TensorError::MatmulDimMismatch { left: (m, k), right: (k2, n) });
         }
-        let a = self.as_slice();
-        let b = other.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (kk, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
-                    *o += aik * bkj;
-                }
-            }
-        }
+        let mut out = vec![0.0f32; checked_out_len(m, n)?];
+        backend.matmul(self.as_slice(), other.as_slice(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
-    /// `self · otherᵀ` for rank-2 tensors: `(m×k) · (n×k)ᵀ → (m×n)`.
+    /// `self · otherᵀ` for rank-2 tensors: `(m×k) · (n×k)ᵀ → (m×n)` on the
+    /// default (scalar) backend.
     ///
     /// Equivalent to `self.matmul(&other.transposed()?)` but avoids
     /// materialising the transpose; used on backward passes.
@@ -51,66 +59,76 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] for non-matrices and
     /// [`TensorError::MatmulDimMismatch`] if the shared dimension disagrees.
     pub fn matmul_transb(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.matmul_transb_on(other, BackendHandle::scalar())
+    }
+
+    /// [`Tensor::matmul_transb`] on an explicit backend.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Tensor::matmul_transb`].
+    pub fn matmul_transb_on(
+        &self,
+        other: &Tensor,
+        backend: BackendHandle,
+    ) -> Result<Tensor, TensorError> {
         let (m, k) = self.matrix_dims()?;
         let (n, k2) = other.matrix_dims()?;
         if k != k2 {
             return Err(TensorError::MatmulDimMismatch { left: (m, k), right: (k2, n) });
         }
-        let a = self.as_slice();
-        let b = other.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&x, &y) in arow.iter().zip(brow.iter()) {
-                    acc += x * y;
-                }
-                out[i * n + j] = acc;
-            }
-        }
+        let mut out = vec![0.0f32; checked_out_len(m, n)?];
+        backend.matmul_transb(self.as_slice(), other.as_slice(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
-    /// `selfᵀ · other` for rank-2 tensors: `(k×m)ᵀ · (k×n) → (m×n)`.
+    /// `selfᵀ · other` for rank-2 tensors: `(k×m)ᵀ · (k×n) → (m×n)` on the
+    /// default (scalar) backend.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] for non-matrices and
     /// [`TensorError::MatmulDimMismatch`] if the shared dimension disagrees.
     pub fn matmul_transa(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.matmul_transa_on(other, BackendHandle::scalar())
+    }
+
+    /// [`Tensor::matmul_transa`] on an explicit backend.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Tensor::matmul_transa`].
+    pub fn matmul_transa_on(
+        &self,
+        other: &Tensor,
+        backend: BackendHandle,
+    ) -> Result<Tensor, TensorError> {
         let (k, m) = self.matrix_dims()?;
         let (k2, n) = other.matrix_dims()?;
         if k != k2 {
             return Err(TensorError::MatmulDimMismatch { left: (m, k), right: (k2, n) });
         }
-        let a = self.as_slice();
-        let b = other.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        for kk in 0..k {
-            let arow = &a[kk * m..(kk + 1) * m];
-            let brow = &b[kk * n..(kk + 1) * n];
-            for (i, &aki) in arow.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
-                    *o += aki * bkj;
-                }
-            }
-        }
+        let mut out = vec![0.0f32; checked_out_len(m, n)?];
+        backend.matmul_transa(self.as_slice(), other.as_slice(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
     /// Matrix–vector product of a rank-2 and a rank-1 tensor:
-    /// `(m×n) · (n) → (m)`.
+    /// `(m×n) · (n) → (m)` on the default (scalar) backend.
     ///
     /// # Errors
     ///
     /// Returns rank/dimension errors on shape mismatch.
     pub fn matvec(&self, v: &Tensor) -> Result<Tensor, TensorError> {
+        self.matvec_on(v, BackendHandle::scalar())
+    }
+
+    /// [`Tensor::matvec`] on an explicit backend.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Tensor::matvec`].
+    pub fn matvec_on(&self, v: &Tensor, backend: BackendHandle) -> Result<Tensor, TensorError> {
         let (m, n) = self.matrix_dims()?;
         if v.rank() != 1 {
             return Err(TensorError::RankMismatch { expected: 1, got: v.rank() });
@@ -118,17 +136,8 @@ impl Tensor {
         if v.len() != n {
             return Err(TensorError::MatmulDimMismatch { left: (m, n), right: (v.len(), 1) });
         }
-        let a = self.as_slice();
-        let x = v.as_slice();
         let mut out = vec![0.0f32; m];
-        for (i, o) in out.iter_mut().enumerate() {
-            let row = &a[i * n..(i + 1) * n];
-            let mut acc = 0.0f64;
-            for (&r, &xv) in row.iter().zip(x.iter()) {
-                acc += r as f64 * xv as f64;
-            }
-            *o = acc as f32;
-        }
+        backend.matvec(self.as_slice(), v.as_slice(), &mut out, m, n);
         Tensor::from_vec(out, &[m])
     }
 
@@ -145,7 +154,7 @@ impl Tensor {
             return Err(TensorError::RankMismatch { expected: 1, got: other.rank() });
         }
         let (m, n) = (self.len(), other.len());
-        let mut out = vec![0.0f32; m * n];
+        let mut out = vec![0.0f32; checked_out_len(m, n)?];
         for (i, &a) in self.as_slice().iter().enumerate() {
             for (j, &b) in other.as_slice().iter().enumerate() {
                 out[i * n + j] = a * b;
@@ -332,6 +341,39 @@ mod tests {
         let b = Tensor::zeros(&[2, 3]);
         assert!(matches!(a.matmul(&b), Err(TensorError::MatmulDimMismatch { .. })));
         assert!(matches!(Tensor::zeros(&[3]).matmul(&b), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn degenerate_shapes_with_overflowing_output_are_rejected() {
+        // (huge × 0) · (0 × huge): both inputs are empty and cheap to build,
+        // but the output volume exceeds usize — must be a typed error, not a
+        // wrapped allocation.
+        let huge = 1usize << 33;
+        let a = Tensor::zeros(&[huge, 0]);
+        let b = Tensor::zeros(&[0, huge]);
+        assert!(matches!(a.matmul(&b), Err(TensorError::Invalid(_))));
+        let bt = Tensor::zeros(&[huge, 0]);
+        assert!(matches!(a.matmul_transb(&bt), Err(TensorError::Invalid(_))));
+        let at = Tensor::zeros(&[0, huge]);
+        assert!(matches!(at.matmul_transa(&b), Err(TensorError::Invalid(_))));
+        let v1 = Tensor::zeros(&[huge]);
+        let v2 = Tensor::zeros(&[huge]);
+        assert!(matches!(v1.outer(&v2), Err(TensorError::Invalid(_))));
+    }
+
+    #[test]
+    fn on_variants_match_default_backend() {
+        use crate::BackendHandle;
+        let a = mat(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let b = mat(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], 3, 2);
+        let h = BackendHandle::scalar();
+        assert_eq!(a.matmul_on(&b, h).unwrap(), a.matmul(&b).unwrap());
+        let bt = mat(&[1.0, 0.5, -1.0, 2.0, 0.0, 3.0], 2, 3);
+        assert_eq!(a.matmul_transb_on(&bt, h).unwrap(), a.matmul_transb(&bt).unwrap());
+        let at = mat(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2);
+        assert_eq!(at.matmul_transa_on(&b, h).unwrap(), at.matmul_transa(&b).unwrap());
+        let v = Tensor::from_slice(&[1.0, 0.5, -1.0]);
+        assert_eq!(a.matvec_on(&v, h).unwrap(), a.matvec(&v).unwrap());
     }
 
     #[test]

@@ -53,6 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cohort: 0,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms::BackendKind::Scalar,
     };
     let attacks: Vec<(usize, Box<dyn ServerAttack>)> = byzantine
         .iter()

@@ -46,6 +46,7 @@ fn manual_assembly_with_trimmed_mean_filter() {
         cohort: 0,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms::BackendKind::Scalar,
     };
     let attacks: Vec<(usize, Box<dyn ServerAttack>)> =
         vec![(2, Box::new(NoiseAttack::new(1.0).unwrap()))];
@@ -94,6 +95,7 @@ fn mobilenet_nano_federation_trains() {
         cohort: 0,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms::BackendKind::Scalar,
     };
     let mut engine =
         SimulationEngine::new(config, &train, &test, &partitions, Box::new(Mean::new()), vec![])
@@ -124,6 +126,7 @@ fn engine_exposes_client_models_for_inspection() {
         cohort: 0,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms::BackendKind::Scalar,
     };
     let mut engine =
         SimulationEngine::new(config, &train, &test, &partitions, Box::new(Mean::new()), vec![])
@@ -165,6 +168,7 @@ fn rotating_adaptive_adversary_is_survivable() {
         cohort: 0,
         threat: ThreatSchedule::none(),
         estimator: EstimatorPolicy::default(),
+        backend: fedms::BackendKind::Scalar,
     };
     let mut engine = SimulationEngine::new(
         config,
@@ -212,6 +216,7 @@ fn attack_trait_objects_compose_via_kind() {
             cohort: 0,
             threat: ThreatSchedule::none(),
             estimator: EstimatorPolicy::default(),
+            backend: fedms::BackendKind::Scalar,
         };
         let mut engine = SimulationEngine::new(
             config,
